@@ -1,0 +1,149 @@
+// Command qmlrun executes a job.json submission bundle through the middle
+// layer runtime: validation, backend selection from the context (or the
+// scheduler when the context names no engine), execution, and decoded
+// output.
+//
+//	qmlrun job.json
+//	qmlrun -engine anneal.sa job.json   # override the context's engine
+//	qmlrun -top 5 job.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/algolib"
+	"repro/internal/bundle"
+	"repro/internal/ctxdesc"
+	"repro/internal/qop"
+	"repro/internal/result"
+	"repro/internal/runtime"
+	"repro/internal/transpile"
+)
+
+func main() {
+	engine := flag.String("engine", "", "override the context's exec.engine")
+	top := flag.Int("top", 10, "show at most this many outcomes")
+	estimate := flag.Bool("estimate", false, "print per-engine cost estimates instead of executing")
+	qasm := flag.Bool("qasm", false, "print the transpiled circuit as OpenQASM 2.0 instead of executing")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: qmlrun [-engine name] [-top n] [-estimate] [-qasm] job.json")
+		os.Exit(2)
+	}
+	var err error
+	switch {
+	case *estimate:
+		err = runEstimate(flag.Arg(0))
+	case *qasm:
+		err = runQASM(flag.Arg(0))
+	default:
+		err = run(flag.Arg(0), *engine, *top)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qmlrun:", err)
+		os.Exit(1)
+	}
+}
+
+// runEstimate prints the scheduler's per-engine cost projection — the
+// "estimate queue and runtime" capability the paper's §2 calls for.
+func runEstimate(path string) error {
+	b, err := bundle.Load(path, qop.ValidateOptions{})
+	if err != nil {
+		return err
+	}
+	ests, err := runtime.EstimateAll(b)
+	if err != nil {
+		return err
+	}
+	fmt.Println("engine              feasible   duration(ms)   2q-gates   depth   units")
+	for _, e := range ests {
+		if !e.Feasible {
+			fmt.Printf("%-18s  no (%s)\n", e.Engine, e.Reason)
+			continue
+		}
+		fmt.Printf("%-18s  yes      %12.3f   %8d   %5d   %5d\n",
+			e.Engine, e.DurationNS/1e6, e.TwoQubitGates, e.Depth, e.PhysicalUnits)
+	}
+	return nil
+}
+
+// runQASM lowers and transpiles the bundle's gate path and prints it as
+// OpenQASM 2.0.
+func runQASM(path string) error {
+	b, err := bundle.Load(path, qop.ValidateOptions{})
+	if err != nil {
+		return err
+	}
+	regs := algolib.Registers{}
+	for _, d := range b.QDTs {
+		regs[d.ID] = d
+	}
+	lowered, err := algolib.Lower(b.Operators, regs)
+	if err != nil {
+		return err
+	}
+	tr, err := transpile.Transpile(lowered.Circuit, transpile.FromContext(b.Context))
+	if err != nil {
+		return err
+	}
+	text, err := tr.Circuit.ToQASM()
+	if err != nil {
+		return err
+	}
+	fmt.Print(text)
+	return nil
+}
+
+func run(path, engineOverride string, top int) error {
+	b, err := bundle.Load(path, qop.ValidateOptions{})
+	if err != nil {
+		return err
+	}
+	if engineOverride != "" {
+		ctx := b.Context
+		if ctx == nil {
+			ctx = ctxdesc.New()
+		}
+		ctx = ctx.Clone()
+		if ctx.Exec == nil {
+			ctx.Exec = &ctxdesc.Exec{}
+		}
+		ctx.Exec.Engine = engineOverride
+		b = b.WithContext(ctx)
+	}
+	res, err := runtime.Submit(b, runtime.Options{})
+	if err != nil {
+		return err
+	}
+	printResult(res, top)
+	return nil
+}
+
+func printResult(res *result.Result, top int) {
+	fmt.Printf("engine: %s\nsamples: %d\n", res.Engine, res.Samples)
+	if fp, ok := res.Meta["intent_fingerprint"].(string); ok {
+		fmt.Printf("intent: %s\n", fp[:16])
+	}
+	res.Sort()
+	shown := 0
+	for _, e := range res.Entries {
+		if shown >= top {
+			fmt.Printf("… %d more outcomes\n", len(res.Entries)-shown)
+			break
+		}
+		if e.HasEnergy {
+			fmt.Printf("  %s  count=%-6d energy=%+.3f\n", e.Bitstring, e.Count, e.Energy)
+		} else {
+			fmt.Printf("  %s  count=%-6d\n", e.Bitstring, e.Count)
+		}
+		shown++
+	}
+	for _, key := range []string{"transpile", "embedding", "comm", "qec", "pulse"} {
+		if v, ok := res.Meta[key]; ok {
+			fmt.Printf("%s: %+v\n", key, v)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command qmlvalidate validates middle-layer descriptor artifacts against
+// their embedded JSON Schemas — the "validators can catch mismatches
+// early" role of the paper's §4.1.
+//
+// Each argument is a JSON file; its schema is taken from the document's
+// "$schema" field, or forced with -schema. Exit status is non-zero if any
+// file fails.
+//
+//	qmlvalidate qdt.json qop.json ctx.json job.json
+//	qmlvalidate -schema qdt-core.schema.json some.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/schemas"
+)
+
+func main() {
+	schemaFlag := flag.String("schema", "", "force a schema name instead of reading $schema")
+	list := flag.Bool("list", false, "list known schemas and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range schemas.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: qmlvalidate [-schema name] file.json...")
+		os.Exit(2)
+	}
+	failed := 0
+	for _, path := range flag.Args() {
+		if err := validateFile(path, *schemaFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", path, err)
+			failed++
+			continue
+		}
+		fmt.Printf("ok   %s\n", path)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func validateFile(path, forced string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	name := forced
+	if name == "" {
+		var probe struct {
+			Schema string `json:"$schema"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return fmt.Errorf("parse: %w", err)
+		}
+		if probe.Schema == "" {
+			return fmt.Errorf("no $schema field; use -schema")
+		}
+		name = probe.Schema
+	}
+	return schemas.Validate(name, raw)
+}

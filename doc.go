@@ -1,0 +1,17 @@
+// Package repro is a Go reproduction of "An HPC-Inspired Blueprint for a
+// Technology-Agnostic Quantum Middle Layer" (Markidis, Netzer, Pennati,
+// Peng — SC Workshops '25, arXiv:2510.07079).
+//
+// The middle layer lets a program state its intent once — typed quantum
+// registers (internal/qdt) and logical operator descriptors (internal/qop)
+// — while execution policy travels separately in a context descriptor
+// (internal/ctxdesc). The same intent bundle (internal/bundle) then runs
+// on a gate-model statevector engine, a simulated annealer, or a pulse
+// model (internal/backend) without modification.
+//
+// See README.md for the architecture tour, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-vs-measured record. The benchmark harness in bench_test.go
+// regenerates every quantitative artifact; cmd/qmlbench prints them as
+// tables.
+package repro

@@ -1,0 +1,78 @@
+// QEC as execution context (paper §4.3.2 / Listing 5): the same logical
+// Max-Cut program runs with and without an error-correction policy, and
+// across code families and distances, by swapping only the context's qec
+// block. Operator descriptors never change; the middle layer reports what
+// each policy costs and buys.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/algolib"
+	"repro/internal/bundle"
+	"repro/internal/ctxdesc"
+	"repro/internal/graph"
+	"repro/internal/qdt"
+	"repro/internal/qec"
+	"repro/internal/runtime"
+)
+
+func main() {
+	reg := qdt.NewIsingVars("ising_vars", "s", 4)
+	seq, err := algolib.BuildQAOA(reg, graph.Cycle(4), []float64{0.3927}, []float64{1.1781})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := ctxdesc.NewGate("gate.statevector", 1024, 42)
+	bare, err := bundle.New([]*qdt.DataType{reg}, seq, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bareFP, _ := bare.Fingerprint()
+
+	fmt.Println("policy                        phys qubits   rounds   logical err/op")
+	fmt.Printf("none (bare physical)          %11d   %6d   %.1e (= physical rate)\n", 4, 0, 1e-3)
+	for _, d := range []int{3, 5, 7, 9} {
+		pol := &ctxdesc.QEC{CodeFamily: "surface", Distance: d, Allocator: "auto",
+			LogicalGateSet: []string{"H", "S", "CNOT", "T", "MEASURE_Z"}, PhysErrorRate: 1e-3}
+		ctx := base.Clone()
+		ctx.QEC = pol
+		b := bare.WithContext(ctx)
+		res, err := runtime.Submit(b, runtime.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ov, ok := res.Meta["qec"].(qec.Overhead)
+		if !ok {
+			log.Fatal("qec overhead missing")
+		}
+		fp, _ := b.Fingerprint()
+		if fp != bareFP {
+			log.Fatal("intent fingerprint changed under QEC context")
+		}
+		fmt.Printf("surface d=%-2d                  %11d   %6d   %.1e\n",
+			d, ov.Allocation.PhysicalQubits, ov.RoundOverhead, ov.LogicalError)
+	}
+	fmt.Println("\n(Listing 5: distance-7 surface code; intent fingerprints identical across all runs)")
+
+	// Executable decoder: repetition-code syndrome extraction.
+	fmt.Println("\nrepetition-code syndrome extraction, d=5, 5 rounds, p=0.02, logical |1⟩:")
+	decoded, syndromes, err := qec.SyndromeExtraction(5, 5, 0.02, 1, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for round, syn := range syndromes {
+		fmt.Printf("  round %d syndromes: %v\n", round, syn)
+	}
+	fmt.Printf("  decoded logical value: %d (encoded 1)\n", decoded)
+
+	// Monte Carlo vs closed form.
+	mc, err := qec.SimulateRepetition(5, 0.05, 100000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, _ := qec.LogicalErrorRate(&ctxdesc.QEC{CodeFamily: "repetition", Distance: 5}, 0.05)
+	fmt.Printf("\nrepetition d=5 @ p=0.05: Monte Carlo %.5f vs closed form %.5f\n", mc.Rate, exact)
+}

@@ -1,0 +1,374 @@
+package repro
+
+// End-to-end integration tests: full job.json workflows through the file
+// system, cross-backend consistency, and the E-series invariants that
+// span modules.
+
+import (
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/algolib"
+	"repro/internal/bundle"
+	"repro/internal/ctxdesc"
+	"repro/internal/graph"
+	"repro/internal/ising"
+	"repro/internal/qdt"
+	"repro/internal/qop"
+	"repro/internal/runtime"
+	"repro/internal/schemas"
+	"repro/internal/transpile"
+)
+
+// TestE1E2_JobFileRoundTrip drives the paper's two §5 workflows through
+// serialized job.json files, exactly as an external tool would.
+func TestE1E2_JobFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reg := qdt.NewIsingVars("ising_vars", "s", 4)
+	g := graph.Cycle(4)
+
+	// Gate-path job file.
+	seq, err := algolib.BuildQAOA(reg, g, []float64{0.3927}, []float64{1.1781})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gateCtx := ctxdesc.NewGate("gate.aer_simulator", 2048, 42)
+	gateBundle, err := bundle.New([]*qdt.DataType{reg}, seq, gateCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gatePath := filepath.Join(dir, "gate_job.json")
+	if err := gateBundle.Save(gatePath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Anneal-path job file.
+	isingOp, err := algolib.NewIsingProblem(reg, ising.FromMaxCut(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	annealBundle, err := bundle.New([]*qdt.DataType{reg}, qop.Sequence{isingOp},
+		ctxdesc.NewAnneal("anneal.neal", 1000, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	annealPath := filepath.Join(dir, "anneal_job.json")
+	if err := annealBundle.Save(annealPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reload and execute both, as qmlrun does.
+	for _, tc := range []struct {
+		path   string
+		engine string
+	}{
+		{gatePath, "gate.aer_simulator"},
+		{annealPath, "anneal.neal"},
+	} {
+		loaded, err := bundle.Load(tc.path, qop.ValidateOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.path, err)
+		}
+		if err := loaded.ValidateAgainstSchemas(); err != nil {
+			t.Fatalf("%s fails schemas: %v", tc.path, err)
+		}
+		res, err := runtime.Submit(loaded, runtime.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.path, err)
+		}
+		if res.Engine != tc.engine {
+			t.Errorf("%s ran on %s", tc.path, res.Engine)
+		}
+		top, err := res.Top()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if top.Bitstring != "1010" && top.Bitstring != "0101" {
+			t.Errorf("%s top outcome %q, want an optimal cut", tc.path, top.Bitstring)
+		}
+	}
+}
+
+// TestE3_CrossBackendConsistency verifies that both backends agree on the
+// optimal solutions of the same typed problem.
+func TestE3_CrossBackendConsistency(t *testing.T) {
+	reg := qdt.NewIsingVars("ising_vars", "s", 4)
+	g := graph.Cycle(4)
+	exact := g.MaxCutBruteForce()
+
+	seq, err := algolib.BuildQAOA(reg, g, []float64{0.3927}, []float64{1.1781})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := bundle.New([]*qdt.DataType{reg}, seq, ctxdesc.NewGate("gate.statevector", 4096, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gres, err := runtime.Submit(gb, runtime.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	op, err := algolib.NewIsingProblem(reg, ising.FromMaxCut(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := bundle.New([]*qdt.DataType{reg}, qop.Sequence{op}, ctxdesc.NewAnneal("anneal.sa", 1000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ares, err := runtime.Submit(ab, runtime.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The two most frequent strings of each backend must be exactly the
+	// brute-force optima.
+	wantSet := map[uint64]bool{}
+	for _, m := range exact.Assignments {
+		wantSet[m] = true
+	}
+	gres.Sort()
+	ares.Sort()
+	for i := 0; i < 2; i++ {
+		if !wantSet[gres.Entries[i].Index] {
+			t.Errorf("gate entry %d (%s) is not an optimal cut", i, gres.Entries[i].Bitstring)
+		}
+		if !wantSet[ares.Entries[i].Index] {
+			t.Errorf("anneal entry %d (%s) is not an optimal cut", i, ares.Entries[i].Bitstring)
+		}
+	}
+}
+
+// TestE4_QFTUniform reproduces the Listing-1 motivational run.
+func TestE4_QFTUniform(t *testing.T) {
+	reg := qdt.NewPhaseRegister("reg_phase", "phase", 10)
+	qft, err := algolib.NewQFT(reg, 0, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bundle.New([]*qdt.DataType{reg},
+		qop.Sequence{qft, algolib.NewMeasurement(reg)},
+		ctxdesc.NewGate("gate.aer_simulator", 10000, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runtime.Submit(b, runtime.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) < 990 {
+		t.Errorf("only %d distinct outcomes; uniform over 1024 expected", len(res.Entries))
+	}
+	// Chi-square-like sanity: no outcome should be wildly off 9.77.
+	for _, e := range res.Entries {
+		if e.Count > 40 {
+			t.Errorf("outcome %d count %d far above uniform", e.Index, e.Count)
+		}
+	}
+}
+
+// TestE5_QFTCostHint pins the Listing-3 numbers.
+func TestE5_QFTCostHint(t *testing.T) {
+	reg := qdt.NewPhaseRegister("reg_phase", "phase", 10)
+	qft, err := algolib.NewQFT(reg, 0, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qft.CostHint.TwoQ != 45 {
+		t.Errorf("twoq hint %d, want 45 (Listing 3)", qft.CostHint.TwoQ)
+	}
+	if qft.CostHint.Depth != 100 {
+		t.Errorf("depth hint %d, want 100 (Listing 3)", qft.CostHint.Depth)
+	}
+	circ, err := algolib.QFTCircuit(10, 0, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := circ.CountOps()["cp"]; got != 45 {
+		t.Errorf("realized cp count %d, want 45", got)
+	}
+}
+
+// TestE6_CouplingMapRouting verifies the Listing-4 effect: the linear map
+// inflates the two-qubit count.
+func TestE6_CouplingMapRouting(t *testing.T) {
+	reg := qdt.NewPhaseRegister("reg_phase", "phase", 10)
+	qft, err := algolib.NewQFT(reg, 0, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := qop.Sequence{qft, algolib.NewMeasurement(reg)}
+
+	mkCtx := func(coupled bool) *ctxdesc.Context {
+		ctx := ctxdesc.NewGate("gate.aer_simulator", 256, 42)
+		ctx.Exec.Target = &ctxdesc.Target{BasisGates: []string{"sx", "rz", "cx"}}
+		if coupled {
+			for i := 0; i < 9; i++ {
+				ctx.Exec.Target.CouplingMap = append(ctx.Exec.Target.CouplingMap, [2]int{i, i + 1})
+			}
+		}
+		ctx.Exec.Options = map[string]any{"optimization_level": 2}
+		return ctx
+	}
+	run := func(ctx *ctxdesc.Context) map[string]any {
+		b, err := bundle.New([]*qdt.DataType{reg}, seq, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := runtime.Submit(b, runtime.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Meta
+	}
+	ideal, ok := run(mkCtx(false))["transpile"].(transpile.Stats)
+	if !ok {
+		t.Fatal("transpile stats missing from ideal run")
+	}
+	routed, ok := run(mkCtx(true))["transpile"].(transpile.Stats)
+	if !ok {
+		t.Fatal("transpile stats missing from routed run")
+	}
+	if routed.SwapsInserted == 0 {
+		t.Error("linear coupling inserted no swaps")
+	}
+	if routed.TwoQAfter <= ideal.TwoQAfter {
+		t.Errorf("routing did not inflate two-qubit count: %d vs %d",
+			routed.TwoQAfter, ideal.TwoQAfter)
+	}
+	if routed.DepthAfter <= ideal.DepthAfter {
+		t.Errorf("routing did not inflate depth: %d vs %d",
+			routed.DepthAfter, ideal.DepthAfter)
+	}
+}
+
+// TestE9_IntentArtifactsUnchanged: serialized intent bytes identical
+// across contexts.
+func TestE9_IntentArtifactsUnchanged(t *testing.T) {
+	reg := qdt.NewIsingVars("ising_vars", "s", 4)
+	op, err := algolib.NewIsingProblem(reg, ising.FromMaxCut(graph.Cycle(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	intent := qop.Sequence{op}
+	dir := t.TempDir()
+	var intentBytes []string
+	var fingerprints []string
+	for i, ctx := range []*ctxdesc.Context{
+		ctxdesc.NewAnneal("anneal.sa", 50, 1),
+		ctxdesc.NewGate("gate.statevector", 50, 1),
+		nil,
+	} {
+		b, err := bundle.New([]*qdt.DataType{reg}, intent, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The artifact must also survive a disk round trip unchanged.
+		path := filepath.Join(dir, "job.json")
+		if err := b.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := bundle.Load(path, qop.ValidateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Serialize exactly the intent half (what Fingerprint hashes).
+		serial, err := json.Marshal(struct {
+			QDTs      []*qdt.DataType `json:"qdts"`
+			Operators qop.Sequence    `json:"operators"`
+		}{loaded.QDTs, loaded.Operators})
+		if err != nil {
+			t.Fatal(err)
+		}
+		intentBytes = append(intentBytes, string(serial))
+		fp, err := loaded.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fingerprints = append(fingerprints, fp)
+		if i > 0 {
+			if intentBytes[i] != intentBytes[0] {
+				t.Errorf("serialized intent differs under context %d", i)
+			}
+			if fingerprints[i] != fingerprints[0] {
+				t.Errorf("fingerprint differs under context %d", i)
+			}
+		}
+	}
+}
+
+// TestSchemaAndSemanticValidationAgree: everything algolib builds passes
+// both validation layers.
+func TestSchemaAndSemanticValidationAgree(t *testing.T) {
+	reg := qdt.NewIsingVars("ising_vars", "s", 4)
+	phase := qdt.NewPhaseRegister("reg_phase", "phase", 6)
+	builders := []func() (*qop.Operator, error){
+		func() (*qop.Operator, error) { return algolib.NewQFT(phase, 1, true, false) },
+		func() (*qop.Operator, error) { return algolib.NewPrepUniform(reg) },
+		func() (*qop.Operator, error) { return algolib.NewMixerRX(reg, 0.5) },
+		func() (*qop.Operator, error) { return algolib.NewIsingCostPhase(reg, graph.Cycle(4), 0.4) },
+		func() (*qop.Operator, error) { return algolib.NewIsingProblem(reg, ising.FromMaxCut(graph.Cycle(4))) },
+		func() (*qop.Operator, error) { return algolib.NewAdder(phase, 13) },
+		func() (*qop.Operator, error) { return algolib.NewGroverOracle(reg, []uint64{5}) },
+		func() (*qop.Operator, error) { return algolib.NewGroverDiffusion(reg) },
+		func() (*qop.Operator, error) { return algolib.NewMeasurement(reg), nil },
+	}
+	for i, build := range builders {
+		op, err := build()
+		if err != nil {
+			t.Fatalf("builder %d: %v", i, err)
+		}
+		raw, err := op.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := schemas.Validate("qod.schema.json", raw); err != nil {
+			t.Errorf("builder %d (%s) fails schema: %v", i, op.Name, err)
+		}
+	}
+}
+
+// TestNoiseAblationThroughContext: error rate rises smoothly with the
+// context's noise level while the intent stays fixed.
+func TestNoiseAblationThroughContext(t *testing.T) {
+	reg := qdt.New("search", "x", 3, qdt.IntRegister, qdt.AsInt)
+	seq, err := algolib.BuildGrover(reg, []uint64{5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bundle.New([]*qdt.DataType{reg}, seq, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	success := func(p float64) float64 {
+		ctx := ctxdesc.NewGate("gate.statevector", 1500, 9)
+		if p > 0 {
+			ctx.Exec.Options = map[string]any{"noise": map[string]any{"prob_1q": p, "prob_2q": p}}
+		}
+		res, err := runtime.Submit(b.WithContext(ctx), runtime.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range res.Entries {
+			if e.Index == 5 {
+				return float64(e.Count) / float64(res.Samples)
+			}
+		}
+		return 0
+	}
+	clean := success(0)
+	mid := success(0.01)
+	heavy := success(0.08)
+	if !(clean > mid && mid > heavy) {
+		t.Errorf("success not monotone in noise: %v, %v, %v", clean, mid, heavy)
+	}
+	if clean < 0.9 {
+		t.Errorf("noiseless Grover success %v", clean)
+	}
+	if math.Abs(clean-1) < 1e-12 {
+		t.Error("suspiciously perfect sampling")
+	}
+}

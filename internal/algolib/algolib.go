@@ -1,0 +1,71 @@
+// Package algolib implements the quantum algorithmic libraries of the
+// middle layer (paper §4.4): reusable constructors that consume typed
+// quantum data and produce operator descriptor sequences, cost-hint
+// estimators, result-schema helpers, and the realization hooks that lower
+// descriptors to target-specific forms (gate circuits here; the anneal
+// path lowers to Ising models in the backend).
+//
+// Constructors are pure: they build and validate JSON-ready descriptors
+// and never touch a backend. Realization happens only when a caller
+// supplies registers and asks for a circuit (Lower), keeping the paper's
+// late-binding rule: "deferring circuit generation until the back-end
+// parameters are known".
+package algolib
+
+import (
+	"fmt"
+
+	"repro/internal/qdt"
+	"repro/internal/qop"
+)
+
+// Registers is the register table consulted during lowering.
+type Registers map[string]*qdt.DataType
+
+// widths derives the width table for sequence validation.
+func (r Registers) widths() qop.QDTWidths {
+	w := qop.QDTWidths{}
+	for id, d := range r {
+		w[id] = d.Width
+	}
+	return w
+}
+
+// provenance stamps descriptors built by this library.
+const provenance = "repro/internal/algolib"
+
+func newOp(name string, kind qop.RepKind, registerID string) *qop.Operator {
+	op := qop.New(name, kind, registerID)
+	op.Provenance = provenance
+	return op
+}
+
+// attachDefaultResult gives an operator the identity readout for its
+// register — the helper the paper's §4.4 lists ("result-schema helpers
+// for measurements").
+func attachDefaultResult(op *qop.Operator, reg *qdt.DataType) {
+	op.Result = qop.DefaultResultSchema(reg.ID, reg.Width,
+		string(reg.MeasurementSemantics), string(reg.BitOrder))
+}
+
+// NewMeasurement builds the explicit final MEASUREMENT operator with the
+// register's default result schema.
+func NewMeasurement(reg *qdt.DataType) *qop.Operator {
+	op := newOp("measure_"+reg.ID, qop.Measurement, reg.ID)
+	attachDefaultResult(op, reg)
+	return op
+}
+
+// Validate checks a sequence against a register table with the library's
+// default policy (no hidden mid-circuit measurement).
+func Validate(ops qop.Sequence, regs Registers) error {
+	for id, d := range regs {
+		if err := d.Validate(); err != nil {
+			return err
+		}
+		if id != d.ID {
+			return fmt.Errorf("algolib: register table key %q != descriptor id %q", id, d.ID)
+		}
+	}
+	return ops.Validate(regs.widths(), qop.ValidateOptions{})
+}

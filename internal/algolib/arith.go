@@ -1,0 +1,182 @@
+package algolib
+
+import (
+	"fmt"
+
+	"repro/internal/qdt"
+	"repro/internal/qop"
+)
+
+// NewAdder builds the constant-addition template |x⟩ → |x + c mod 2^n⟩,
+// realized on the gate path as a Draper adder (QFT, single-qubit phases,
+// inverse QFT).
+func NewAdder(reg *qdt.DataType, constant uint64) (*qop.Operator, error) {
+	if err := reg.Validate(); err != nil {
+		return nil, err
+	}
+	op := newOp("add_const", qop.AdderTemplate, reg.ID)
+	op.SetParam("constant", float64(constant%(uint64(1)<<uint(reg.Width))))
+	n := reg.Width
+	qft := EstimateQFTCost(n, 0, true)
+	hint := qft.Add(qop.CostHint{OneQ: n}).Add(qft)
+	op.CostHint = &hint
+	attachDefaultResult(op, reg)
+	return op, nil
+}
+
+// NewModAdd builds the modular-addition template |x⟩ → |x + a mod M⟩ for
+// x < M (identity above M), the paper's §4.2 "modular adder … a main
+// component of the Shor algorithm". Realized as an exact reversible
+// permutation on the simulator path.
+func NewModAdd(reg *qdt.DataType, a, modulus uint64) (*qop.Operator, error) {
+	if err := validateModulus(reg, modulus); err != nil {
+		return nil, err
+	}
+	op := newOp("mod_add", qop.ModAddTemplate, reg.ID)
+	op.SetParam("a", float64(a%modulus))
+	op.SetParam("modulus", float64(modulus))
+	op.CostHint = &qop.CostHint{TwoQ: 4 * reg.Width, Depth: 8 * reg.Width, Ancilla: 1}
+	attachDefaultResult(op, reg)
+	return op, nil
+}
+
+// NewModMul builds the modular-multiplication template |x⟩ → |a·x mod M⟩
+// for x < M; gcd(a, M) must be 1 so the map is reversible.
+func NewModMul(reg *qdt.DataType, a, modulus uint64) (*qop.Operator, error) {
+	if err := validateModulus(reg, modulus); err != nil {
+		return nil, err
+	}
+	if gcd(a%modulus, modulus) != 1 {
+		return nil, fmt.Errorf("algolib: gcd(%d, %d) != 1; modular multiplication is not reversible", a, modulus)
+	}
+	op := newOp("mod_mul", qop.ModMulTemplate, reg.ID)
+	op.SetParam("a", float64(a%modulus))
+	op.SetParam("modulus", float64(modulus))
+	w := reg.Width
+	op.CostHint = &qop.CostHint{TwoQ: 8 * w * w, Depth: 16 * w * w, Ancilla: w + 1}
+	attachDefaultResult(op, reg)
+	return op, nil
+}
+
+// NewModExp builds the modular-exponentiation template
+// |e⟩|y⟩ → |e⟩|y·base^e mod M⟩ for y < M — the Shor workhorse. The
+// exponent register is the domain; the target register id rides in
+// params.
+func NewModExp(expReg, targetReg *qdt.DataType, base, modulus uint64) (*qop.Operator, error) {
+	if err := expReg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateModulus(targetReg, modulus); err != nil {
+		return nil, err
+	}
+	if gcd(base%modulus, modulus) != 1 {
+		return nil, fmt.Errorf("algolib: gcd(%d, %d) != 1; modular exponentiation is not reversible", base, modulus)
+	}
+	op := newOp("mod_exp", qop.ModExpTemplate, expReg.ID)
+	op.SetParam("base", float64(base%modulus))
+	op.SetParam("modulus", float64(modulus))
+	op.SetParam("target_qdt", targetReg.ID)
+	we, wt := expReg.Width, targetReg.Width
+	op.CostHint = &qop.CostHint{TwoQ: 8 * we * wt * wt, Depth: 16 * we * wt * wt, Ancilla: wt + 1}
+	return op, nil
+}
+
+// NewCompare builds the comparison template |x⟩|b⟩ → |x⟩|b ⊕ (x < c)⟩,
+// writing into a one-bit flag register.
+func NewCompare(reg, flag *qdt.DataType, constant uint64) (*qop.Operator, error) {
+	if err := reg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := flag.Validate(); err != nil {
+		return nil, err
+	}
+	if flag.Width != 1 {
+		return nil, fmt.Errorf("algolib: compare flag register must have width 1, got %d", flag.Width)
+	}
+	op := newOp("compare_lt", qop.CompareTemplate, reg.ID)
+	op.SetParam("constant", float64(constant))
+	op.SetParam("flag_qdt", flag.ID)
+	op.CostHint = &qop.CostHint{TwoQ: 2 * reg.Width, Depth: 4 * reg.Width, Ancilla: 1}
+	return op, nil
+}
+
+// NewCSwap builds a controlled swap of two carriers within the register,
+// controlled by a third.
+func NewCSwap(reg *qdt.DataType, ctrlBit, aBit, bBit int) (*qop.Operator, error) {
+	if err := reg.Validate(); err != nil {
+		return nil, err
+	}
+	bits := []int{ctrlBit, aBit, bBit}
+	for i, b := range bits {
+		if b < 0 || b >= reg.Width {
+			return nil, fmt.Errorf("algolib: cswap bit %d out of width %d", b, reg.Width)
+		}
+		for j := 0; j < i; j++ {
+			if bits[j] == b {
+				return nil, fmt.Errorf("algolib: cswap bits must be distinct")
+			}
+		}
+	}
+	op := newOp("cswap", qop.CSwap, reg.ID)
+	op.SetParam("control", ctrlBit)
+	op.SetParam("a", aBit)
+	op.SetParam("b", bBit)
+	op.CostHint = &qop.CostHint{TwoQ: 8, Depth: 12}
+	return op, nil
+}
+
+// NewSwapTest builds the SWAP-test gadget estimating |⟨ψ_A|ψ_B⟩|²: an
+// ancilla register (width 1, domain) controls pairwise swaps between two
+// equal-width state registers; P(ancilla = 0) = (1 + |⟨A|B⟩|²)/2.
+func NewSwapTest(anc, regA, regB *qdt.DataType) (*qop.Operator, error) {
+	for _, d := range []*qdt.DataType{anc, regA, regB} {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if anc.Width != 1 {
+		return nil, fmt.Errorf("algolib: swap-test ancilla must have width 1, got %d", anc.Width)
+	}
+	if regA.Width != regB.Width {
+		return nil, fmt.Errorf("algolib: swap-test registers differ in width: %d vs %d", regA.Width, regB.Width)
+	}
+	op := newOp("swap_test", qop.SwapTest, anc.ID)
+	op.SetParam("a_qdt", regA.ID)
+	op.SetParam("b_qdt", regB.ID)
+	op.CostHint = &qop.CostHint{TwoQ: 8 * regA.Width, OneQ: 2, Depth: 12*regA.Width + 2}
+	attachDefaultResult(op, anc)
+	return op, nil
+}
+
+func validateModulus(reg *qdt.DataType, modulus uint64) error {
+	if err := reg.Validate(); err != nil {
+		return err
+	}
+	if modulus < 2 {
+		return fmt.Errorf("algolib: modulus %d < 2", modulus)
+	}
+	if reg.Width < 63 && modulus > uint64(1)<<uint(reg.Width) {
+		return fmt.Errorf("algolib: modulus %d exceeds register capacity 2^%d", modulus, reg.Width)
+	}
+	return nil
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// modPow computes base^e mod m.
+func modPow(base, e, m uint64) uint64 {
+	result := uint64(1) % m
+	base %= m
+	for ; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			result = result * base % m
+		}
+		base = base * base % m
+	}
+	return result
+}

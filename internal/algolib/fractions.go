@@ -1,0 +1,87 @@
+package algolib
+
+import (
+	"fmt"
+)
+
+// This file provides the classical post-processing half of period finding
+// (§4.4's "expectation/estimation helpers" family): continued-fraction
+// expansion of a measured phase k/2^n to recover the order r.
+
+// Fraction is a rational p/q.
+type Fraction struct {
+	P, Q uint64
+}
+
+// Convergents returns the continued-fraction convergents of num/den in
+// order of increasing denominator (including the final exact fraction).
+func Convergents(num, den uint64) ([]Fraction, error) {
+	if den == 0 {
+		return nil, fmt.Errorf("algolib: zero denominator")
+	}
+	var out []Fraction
+	// Standard recurrence: h_i = a_i h_{i-1} + h_{i-2}.
+	var h0, h1 uint64 = 1, 0 // numerators (h_{-1}, h_{-2})
+	var k0, k1 uint64 = 0, 1 // denominators
+	a, b := num, den
+	for {
+		q := a / b
+		h0, h1 = q*h0+h1, h0
+		k0, k1 = q*k0+k1, k0
+		out = append(out, Fraction{P: h0, Q: k0})
+		a, b = b, a%b
+		if b == 0 {
+			return out, nil
+		}
+	}
+}
+
+// RecoverPeriod post-processes a phase-estimation outcome k (out of 2^n
+// values) into a candidate period r ≤ maxDenominator: the denominator of
+// the best convergent of k/2^n. The verifier reports whether the
+// candidate truly satisfies base^r ≡ 1 (mod modulus); callers retry with
+// another measurement when it fails (k = 0 or shared factors).
+func RecoverPeriod(k uint64, n int, base, modulus, maxDenominator uint64) (r uint64, ok bool, err error) {
+	if n < 1 || n > 62 {
+		return 0, false, fmt.Errorf("algolib: counting width %d out of [1,62]", n)
+	}
+	den := uint64(1) << uint(n)
+	if k >= den {
+		return 0, false, fmt.Errorf("algolib: outcome %d exceeds 2^%d", k, n)
+	}
+	if k == 0 {
+		return 0, false, nil // uninformative measurement
+	}
+	convs, err := Convergents(k, den)
+	if err != nil {
+		return 0, false, err
+	}
+	for _, c := range convs {
+		if c.Q == 0 || c.Q > maxDenominator {
+			continue
+		}
+		if c.Q > 1 && modPow(base, c.Q, modulus) == 1%modulus {
+			return c.Q, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// OrderOf computes the multiplicative order of base modulo modulus by
+// direct iteration — the brute-force reference for tests and examples.
+func OrderOf(base, modulus uint64) (uint64, error) {
+	if modulus < 2 {
+		return 0, fmt.Errorf("algolib: modulus %d < 2", modulus)
+	}
+	if gcd(base%modulus, modulus) != 1 {
+		return 0, fmt.Errorf("algolib: gcd(%d, %d) != 1; no order exists", base, modulus)
+	}
+	acc := base % modulus
+	for r := uint64(1); r <= modulus; r++ {
+		if acc == 1 {
+			return r, nil
+		}
+		acc = acc * (base % modulus) % modulus
+	}
+	return 0, fmt.Errorf("algolib: order not found below modulus (impossible for coprime base)")
+}

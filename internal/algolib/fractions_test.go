@@ -1,0 +1,159 @@
+package algolib
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/qop"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func TestConvergentsOfPi(t *testing.T) {
+	// 355/113 is the classic convergent of π ≈ 3.14159265; expand
+	// 3141592653/1000000000 and expect 3, 22/7, 333/106, 355/113 among
+	// the convergents.
+	convs, err := Convergents(3141592653, 1000000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fraction{{3, 1}, {22, 7}, {333, 106}, {355, 113}}
+	for _, w := range want {
+		found := false
+		for _, c := range convs {
+			if c == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("convergent %d/%d missing from %v", w.P, w.Q, convs[:6])
+		}
+	}
+}
+
+func TestConvergentsExactLast(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		num := uint64(r.Intn(1000))
+		den := uint64(1 + r.Intn(1000))
+		convs, err := Convergents(num, den)
+		if err != nil || len(convs) == 0 {
+			return false
+		}
+		last := convs[len(convs)-1]
+		// Exactness: last convergent equals num/den in lowest terms.
+		return last.P*den == last.Q*num
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvergentsZeroDen(t *testing.T) {
+	if _, err := Convergents(1, 0); err == nil {
+		t.Error("zero denominator accepted")
+	}
+}
+
+func TestRecoverPeriodShorCase(t *testing.T) {
+	// 7 mod 15 has order 4. QPE outcomes k ∈ {0,4,8,12} over 2^4: k=4
+	// → 1/4 → r=4; k=12 → 3/4 → r=4; k=8 → 1/2 → r=2 fails verification
+	// (7² = 4 ≠ 1), so ok=false; k=0 uninformative.
+	cases := []struct {
+		k      uint64
+		wantR  uint64
+		wantOK bool
+	}{
+		{4, 4, true},
+		{12, 4, true},
+		{8, 0, false},
+		{0, 0, false},
+	}
+	for _, c := range cases {
+		r, ok, err := RecoverPeriod(c.k, 4, 7, 15, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != c.wantOK || r != c.wantR {
+			t.Errorf("RecoverPeriod(k=%d) = %d, %v; want %d, %v", c.k, r, ok, c.wantR, c.wantOK)
+		}
+	}
+}
+
+func TestRecoverPeriodValidation(t *testing.T) {
+	if _, _, err := RecoverPeriod(1, 0, 7, 15, 15); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, _, err := RecoverPeriod(16, 4, 7, 15, 15); err == nil {
+		t.Error("out-of-range outcome accepted")
+	}
+}
+
+func TestOrderOf(t *testing.T) {
+	cases := []struct {
+		base, mod, want uint64
+	}{
+		{7, 15, 4}, {2, 15, 4}, {4, 15, 2}, {2, 7, 3}, {3, 7, 6},
+	}
+	for _, c := range cases {
+		got, err := OrderOf(c.base, c.mod)
+		if err != nil || got != c.want {
+			t.Errorf("OrderOf(%d, %d) = %d, %v; want %d", c.base, c.mod, got, err, c.want)
+		}
+	}
+	if _, err := OrderOf(5, 15); err == nil {
+		t.Error("non-coprime base accepted")
+	}
+	if _, err := OrderOf(2, 1); err == nil {
+		t.Error("modulus 1 accepted")
+	}
+}
+
+func TestEndToEndOrderFinding(t *testing.T) {
+	// Full pipeline: QPE over mod-exp, measure, continued fractions —
+	// a majority of measurements must recover r = 4 for 7 mod 15.
+	expReg := intReg("e", 4)
+	tgtReg := intReg("y", 4)
+	prepE, err := NewPrepUniform(expReg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepY, err := NewPrepBasis(tgtReg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modExp, err := NewModExp(expReg, tgtReg, 7, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iqft, err := NewQFT(expReg, 0, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := qop.Sequence{prepE, prepY, modExp, iqft, NewMeasurement(expReg)}
+	low, err := Lower(seq, Registers{"e": expReg, "y": tgtReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(low.Circuit, sim.Options{Shots: 400, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := 0
+	total := 0
+	for k, count := range res.Counts {
+		total += count
+		r, ok, err := RecoverPeriod(k, 4, 7, 15, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && r == 4 {
+			recovered += count
+		}
+	}
+	// k ∈ {4, 12} recover directly: 50 % of the ideal distribution.
+	if frac := float64(recovered) / float64(total); frac < 0.4 {
+		t.Errorf("period recovered in %v of shots, want ≥ 0.4", frac)
+	}
+}

@@ -1,0 +1,126 @@
+package algolib
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/qdt"
+	"repro/internal/qop"
+)
+
+// NewGroverOracle builds a phase oracle flipping the sign of the marked
+// basis states: O|x⟩ = −|x⟩ for x ∈ marked, identity otherwise. Realized
+// natively as a diagonal unitary on the simulator path (as with the
+// modular-arithmetic templates, basis-gate synthesis of arbitrary
+// diagonals is left to targets that need it).
+func NewGroverOracle(reg *qdt.DataType, marked []uint64) (*qop.Operator, error) {
+	if err := reg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(marked) == 0 {
+		return nil, fmt.Errorf("algolib: oracle needs at least one marked state")
+	}
+	space := uint64(1) << uint(reg.Width)
+	seen := map[uint64]bool{}
+	markedAny := make([]any, 0, len(marked))
+	for _, m := range marked {
+		if m >= space {
+			return nil, fmt.Errorf("algolib: marked state %d exceeds register space 2^%d", m, reg.Width)
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("algolib: marked state %d repeated", m)
+		}
+		seen[m] = true
+		markedAny = append(markedAny, float64(m))
+	}
+	op := newOp("grover_oracle", qop.GroverOracle, reg.ID)
+	op.SetParam("marked", markedAny)
+	op.CostHint = &qop.CostHint{Depth: 1, TwoQ: reg.Width} // multi-controlled-Z scale
+	return op, nil
+}
+
+// NewGroverDiffusion builds the inversion-about-the-mean operator
+// D = 2|s⟩⟨s| − I (with |s⟩ the uniform state), realized as
+// H^⊗n · (2|0⟩⟨0| − I) · H^⊗n.
+func NewGroverDiffusion(reg *qdt.DataType) (*qop.Operator, error) {
+	if err := reg.Validate(); err != nil {
+		return nil, err
+	}
+	op := newOp("grover_diffusion", qop.GroverDiffusion, reg.ID)
+	op.CostHint = &qop.CostHint{OneQ: 2 * reg.Width, TwoQ: reg.Width, Depth: 3}
+	return op, nil
+}
+
+// OptimalGroverIterations returns the iteration count maximizing the
+// success probability sin²((2k+1)θ) with θ = asin(√(M/N)): the exact
+// k* = round((π/(2θ) − 1)/2), which reduces to the familiar ⌈π/4·√(N/M)⌉
+// in the small-θ limit but stays correct when the marked fraction is
+// large.
+func OptimalGroverIterations(width int, markedCount int) int {
+	if markedCount < 1 {
+		return 0
+	}
+	n := float64(uint64(1) << uint(width))
+	m := float64(markedCount)
+	if m >= n {
+		return 0 // everything is marked; nothing to amplify
+	}
+	theta := math.Asin(math.Sqrt(m / n))
+	k := math.Round((math.Pi/(2*theta) - 1) / 2)
+	if k < 1 {
+		return 1
+	}
+	return int(k)
+}
+
+// BuildGrover emits the full search sequence: uniform preparation,
+// `iterations` oracle+diffusion rounds, and a typed measurement.
+// iterations = 0 selects the optimal count automatically.
+func BuildGrover(reg *qdt.DataType, marked []uint64, iterations int) (qop.Sequence, error) {
+	if iterations < 0 {
+		return nil, fmt.Errorf("algolib: negative Grover iterations %d", iterations)
+	}
+	if iterations == 0 {
+		iterations = OptimalGroverIterations(reg.Width, len(marked))
+	}
+	prep, err := NewPrepUniform(reg)
+	if err != nil {
+		return nil, err
+	}
+	seq := qop.Sequence{prep}
+	for i := 0; i < iterations; i++ {
+		oracle, err := NewGroverOracle(reg, marked)
+		if err != nil {
+			return nil, err
+		}
+		diffusion, err := NewGroverDiffusion(reg)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, oracle, diffusion)
+	}
+	seq = append(seq, NewMeasurement(reg))
+	return seq, nil
+}
+
+// lowerGroverOracle appends the oracle's diagonal realization.
+func lowerGroverOracle(c interface {
+	Diagonal(qubits []int, phases []complex128) error
+}, op *qop.Operator, base, width int) error {
+	marked, err := floatSliceParam(op, "marked")
+	if err != nil {
+		return err
+	}
+	phases := make([]complex128, 1<<uint(width))
+	for i := range phases {
+		phases[i] = 1
+	}
+	for _, m := range marked {
+		idx := uint64(m)
+		if idx >= uint64(len(phases)) {
+			return fmt.Errorf("marked state %d out of range", idx)
+		}
+		phases[idx] = -1
+	}
+	return c.Diagonal(regQubits(base, width), phases)
+}

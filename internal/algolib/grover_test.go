@@ -1,0 +1,123 @@
+package algolib
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestGroverSingleMarked(t *testing.T) {
+	// 4-qubit search, one marked state: optimal iterations = round(π/4·4)
+	// = 3, success probability ≈ 0.96.
+	reg := intReg("search", 4)
+	seq, err := BuildGrover(reg, []uint64{11}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := Lower(seq, Registers{"search": reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(low.Circuit, sim.Options{Shots: 2000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(res.Counts[11]) / 2000
+	if frac < 0.90 {
+		t.Errorf("marked state frequency %v, want > 0.90", frac)
+	}
+}
+
+func TestGroverMultipleMarked(t *testing.T) {
+	// 4 qubits, 4 marked states: optimal iterations = round(π/4·2) = 2,
+	// success ≈ 1.
+	reg := intReg("search", 4)
+	marked := []uint64{1, 6, 9, 14}
+	seq, err := BuildGrover(reg, marked, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := Lower(seq, Registers{"search": reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(low.Circuit, sim.Options{Shots: 2000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, m := range marked {
+		hits += res.Counts[m]
+	}
+	if frac := float64(hits) / 2000; frac < 0.9 {
+		t.Errorf("marked-set frequency %v, want > 0.9", frac)
+	}
+}
+
+func TestGroverAmplificationGrowsThenOvershoots(t *testing.T) {
+	// Success probability follows sin²((2k+1)θ): it grows to the optimum
+	// then decreases — the standard Grover signature.
+	reg := intReg("search", 3)
+	probAt := func(iters int) float64 {
+		seq, err := BuildGrover(reg, []uint64{5}, iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		low, err := Lower(seq, Registers{"search": reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.Evolve(low.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Probability(5)
+	}
+	p1, p2, p4 := probAt(1), probAt(2), probAt(4)
+	if !(p2 > p1) {
+		t.Errorf("P(2 iters)=%v not above P(1)=%v", p2, p1)
+	}
+	if !(p4 < p2) {
+		t.Errorf("overshoot not observed: P(4)=%v vs P(2)=%v", p4, p2)
+	}
+	// Analytic check at k=2, n=3, M=1: sin²(5θ), θ=asin(1/√8).
+	theta := math.Asin(1 / math.Sqrt(8))
+	want := math.Pow(math.Sin(5*theta), 2)
+	if math.Abs(p2-want) > 1e-9 {
+		t.Errorf("P(2 iters) = %v, analytic %v", p2, want)
+	}
+}
+
+func TestOptimalGroverIterations(t *testing.T) {
+	if k := OptimalGroverIterations(4, 1); k != 3 {
+		t.Errorf("n=4 M=1: %d, want 3", k)
+	}
+	// M/N = 1/4: θ = π/6 and k* = 1 reaches success probability 1
+	// exactly (the asymptotic π/4·√(N/M) ≈ 2 would overshoot to 0.25).
+	if k := OptimalGroverIterations(4, 4); k != 1 {
+		t.Errorf("n=4 M=4: %d, want 1", k)
+	}
+	if k := OptimalGroverIterations(2, 1); k != 1 {
+		t.Errorf("n=2 M=1: %d, want 1", k)
+	}
+	if k := OptimalGroverIterations(4, 0); k != 0 {
+		t.Errorf("M=0: %d, want 0", k)
+	}
+}
+
+func TestGroverOracleValidation(t *testing.T) {
+	reg := intReg("search", 3)
+	if _, err := NewGroverOracle(reg, nil); err == nil {
+		t.Error("empty marked set accepted")
+	}
+	if _, err := NewGroverOracle(reg, []uint64{8}); err == nil {
+		t.Error("out-of-range marked state accepted")
+	}
+	if _, err := NewGroverOracle(reg, []uint64{3, 3}); err == nil {
+		t.Error("duplicate marked state accepted")
+	}
+	if _, err := BuildGrover(reg, []uint64{1}, -1); err == nil {
+		t.Error("negative iterations accepted")
+	}
+}

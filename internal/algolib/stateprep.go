@@ -1,0 +1,116 @@
+package algolib
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/qdt"
+	"repro/internal/qop"
+)
+
+// NewPrepUniform builds the uniform state preparation operator (Hadamard
+// on every carrier) — the first element of the paper's §5 QAOA stack.
+func NewPrepUniform(reg *qdt.DataType) (*qop.Operator, error) {
+	if err := reg.Validate(); err != nil {
+		return nil, err
+	}
+	op := newOp("prep_uniform", qop.PrepUniform, reg.ID)
+	op.CostHint = &qop.CostHint{OneQ: reg.Width, Depth: 1}
+	return op, nil
+}
+
+// NewPrepBasis builds a computational-basis preparation |value⟩ (X gates
+// on the set bits).
+func NewPrepBasis(reg *qdt.DataType, value uint64) (*qop.Operator, error) {
+	if err := reg.Validate(); err != nil {
+		return nil, err
+	}
+	if reg.Width < 64 && value >= uint64(1)<<uint(reg.Width) {
+		return nil, fmt.Errorf("algolib: basis value %d exceeds register width %d", value, reg.Width)
+	}
+	op := newOp("prep_basis", qop.PrepBasis, reg.ID)
+	op.SetParam("value", float64(value))
+	ones := 0
+	for v := value; v != 0; v >>= 1 {
+		ones += int(v & 1)
+	}
+	op.CostHint = &qop.CostHint{OneQ: ones, Depth: 1}
+	return op, nil
+}
+
+// NewAngleEncoding builds the angle-encoding preparation: RY(angles[i])
+// on carrier i — the standard feature-map entry of the paper's state
+// preparation family.
+func NewAngleEncoding(reg *qdt.DataType, angles []float64) (*qop.Operator, error) {
+	if err := reg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(angles) != reg.Width {
+		return nil, fmt.Errorf("algolib: %d angles for width-%d register", len(angles), reg.Width)
+	}
+	op := newOp("angle_encoding", qop.AngleEncoding, reg.ID)
+	op.SetParam("angles", toAnySlice(angles))
+	op.CostHint = &qop.CostHint{OneQ: reg.Width, Depth: 1}
+	return op, nil
+}
+
+// NewAmplitudeEncoding builds the amplitude-encoding preparation: the
+// register is initialized to the normalized amplitude vector. Amplitudes
+// are carried as parallel re/im arrays so the descriptor stays pure JSON.
+func NewAmplitudeEncoding(reg *qdt.DataType, amps []complex128) (*qop.Operator, error) {
+	if err := reg.Validate(); err != nil {
+		return nil, err
+	}
+	want := 1 << uint(reg.Width)
+	if len(amps) != want {
+		return nil, fmt.Errorf("algolib: %d amplitudes for width-%d register (want %d)", len(amps), reg.Width, want)
+	}
+	norm := 0.0
+	re := make([]float64, len(amps))
+	im := make([]float64, len(amps))
+	for i, a := range amps {
+		re[i] = real(a)
+		im[i] = imag(a)
+		norm += real(a)*real(a) + imag(a)*imag(a)
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		return nil, fmt.Errorf("algolib: amplitude vector not normalized (norm² = %v)", norm)
+	}
+	op := newOp("amplitude_encoding", qop.AmplitudeEnc, reg.ID)
+	op.SetParam("re", toAnySlice(re))
+	op.SetParam("im", toAnySlice(im))
+	op.CostHint = &qop.CostHint{Depth: 1 << uint(reg.Width)} // state prep is exponential in general
+	return op, nil
+}
+
+func toAnySlice(xs []float64) []any {
+	out := make([]any, len(xs))
+	for i, x := range xs {
+		out[i] = x
+	}
+	return out
+}
+
+// floatSliceParam reads a []float64 parameter that may arrive as []any
+// (after JSON round-trips) or []float64 (freshly constructed).
+func floatSliceParam(op *qop.Operator, key string) ([]float64, error) {
+	v, ok := op.Params[key]
+	if !ok {
+		return nil, fmt.Errorf("algolib: op %q missing param %q", op.Name, key)
+	}
+	switch t := v.(type) {
+	case []float64:
+		return append([]float64(nil), t...), nil
+	case []any:
+		out := make([]float64, len(t))
+		for i, e := range t {
+			f, isF := e.(float64)
+			if !isF {
+				return nil, fmt.Errorf("algolib: op %q param %q[%d] is %T", op.Name, key, i, e)
+			}
+			out[i] = f
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("algolib: op %q param %q is %T, want array", op.Name, key, v)
+}

@@ -1,0 +1,53 @@
+// Package backend implements the execution backends the context
+// descriptor's exec.engine selects: the gate-model statevector path (the
+// paper's IBM Qiskit Aer substitute), the simulated-annealing path (the
+// D-Wave Ocean neal substitute), and a pulse-model path. A registry maps
+// engine names — including the paper's own "gate.aer_simulator" and the
+// Ocean-style "anneal.neal" — to implementations.
+package backend
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bundle"
+	"repro/internal/result"
+)
+
+// Backend executes a validated job bundle.
+type Backend interface {
+	// Name is the canonical engine name.
+	Name() string
+	// Execute realizes and runs the bundle, returning decoded results.
+	Execute(b *bundle.Bundle) (*result.Result, error)
+}
+
+// DefaultShots is used when the context specifies no sample count.
+const DefaultShots = 1024
+
+var registry = map[string]func() Backend{
+	"gate.statevector":   func() Backend { return &Gate{engine: "gate.statevector"} },
+	"gate.aer_simulator": func() Backend { return &Gate{engine: "gate.aer_simulator"} },
+	"anneal.sa":          func() Backend { return &Anneal{engine: "anneal.sa"} },
+	"anneal.neal":        func() Backend { return &Anneal{engine: "anneal.neal"} },
+	"pulse.model":        func() Backend { return &Pulse{engine: "pulse.model"} },
+}
+
+// Get returns a backend for the engine name.
+func Get(engine string) (Backend, error) {
+	f, ok := registry[engine]
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown engine %q (known: %v)", engine, Engines())
+	}
+	return f(), nil
+}
+
+// Engines returns the registered engine names, sorted.
+func Engines() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,441 @@
+// Package circuit provides the backend-side circuit intermediate
+// representation that operator descriptors are lowered to on the gate path.
+//
+// A Circuit is a flat instruction list over numbered qubits and classical
+// bits. Besides standard gates it supports two *native* operations the
+// statevector simulator executes directly: arbitrary reversible
+// permutations (used to realize modular-arithmetic templates exactly) and
+// state initialization (used for amplitude encoding). Both are rejected by
+// basis-gate-constrained transpilation, mirroring real stacks where such
+// ops require synthesis before hitting hardware.
+package circuit
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gates"
+)
+
+// Opcode distinguishes instruction classes beyond plain gates.
+type Opcode int
+
+const (
+	OpGate     Opcode = iota // standard gate from the gates package
+	OpMeasure                // single-qubit Z measurement into a classical bit
+	OpBarrier                // scheduling barrier across listed qubits (all if empty)
+	OpPermute                // native basis-state permutation over listed qubits
+	OpInit                   // native state initialization over listed qubits
+	OpDiagonal               // native diagonal unitary (unit-modulus phases) over listed qubits
+)
+
+// Instruction is one operation.
+type Instruction struct {
+	Op     Opcode
+	Gate   gates.Name // for OpGate
+	Qubits []int
+	Params []float64 // gate angles
+	Clbits []int     // for OpMeasure (parallel to Qubits)
+
+	// Perm, for OpPermute, maps input basis index -> output basis index
+	// over the listed qubits (local indexing: Qubits[0] is bit 0).
+	Perm []uint64
+
+	// Amps, for OpInit, is the normalized state over the listed qubits.
+	Amps []complex128
+
+	// Phases, for OpDiagonal, are the unit-modulus diagonal entries over
+	// the listed qubits (local indexing as for Perm).
+	Phases []complex128
+}
+
+// Circuit is an ordered instruction list.
+type Circuit struct {
+	NumQubits int
+	NumClbits int
+	Instrs    []Instruction
+}
+
+// New returns an empty circuit. It panics on negative sizes.
+func New(numQubits, numClbits int) *Circuit {
+	if numQubits < 0 || numClbits < 0 {
+		panic("circuit: negative register size")
+	}
+	return &Circuit{NumQubits: numQubits, NumClbits: numClbits}
+}
+
+// Append validates and adds an instruction.
+func (c *Circuit) Append(ins Instruction) error {
+	switch ins.Op {
+	case OpGate:
+		info, err := gates.Lookup(ins.Gate)
+		if err != nil {
+			return err
+		}
+		if len(ins.Qubits) != info.Qubits {
+			return fmt.Errorf("circuit: gate %q takes %d qubits, got %d", ins.Gate, info.Qubits, len(ins.Qubits))
+		}
+		if len(ins.Params) != info.Params {
+			return fmt.Errorf("circuit: gate %q takes %d params, got %d", ins.Gate, info.Params, len(ins.Params))
+		}
+	case OpMeasure:
+		if len(ins.Qubits) != len(ins.Clbits) {
+			return fmt.Errorf("circuit: measure has %d qubits but %d clbits", len(ins.Qubits), len(ins.Clbits))
+		}
+		for _, cb := range ins.Clbits {
+			if cb < 0 || cb >= c.NumClbits {
+				return fmt.Errorf("circuit: clbit %d out of [0,%d)", cb, c.NumClbits)
+			}
+		}
+	case OpBarrier:
+		// any qubit list
+	case OpPermute:
+		n := len(ins.Qubits)
+		if n == 0 || n > 24 {
+			return fmt.Errorf("circuit: permute over %d qubits unsupported", n)
+		}
+		want := 1 << uint(n)
+		if len(ins.Perm) != want {
+			return fmt.Errorf("circuit: permute over %d qubits needs %d entries, got %d", n, want, len(ins.Perm))
+		}
+		seen := make([]bool, want)
+		for _, to := range ins.Perm {
+			if to >= uint64(want) || seen[to] {
+				return fmt.Errorf("circuit: permute table is not a bijection")
+			}
+			seen[to] = true
+		}
+	case OpInit:
+		n := len(ins.Qubits)
+		if n == 0 || n > 24 {
+			return fmt.Errorf("circuit: init over %d qubits unsupported", n)
+		}
+		if len(ins.Amps) != 1<<uint(n) {
+			return fmt.Errorf("circuit: init over %d qubits needs %d amplitudes, got %d", n, 1<<uint(n), len(ins.Amps))
+		}
+	case OpDiagonal:
+		n := len(ins.Qubits)
+		if n == 0 || n > 24 {
+			return fmt.Errorf("circuit: diagonal over %d qubits unsupported", n)
+		}
+		if len(ins.Phases) != 1<<uint(n) {
+			return fmt.Errorf("circuit: diagonal over %d qubits needs %d phases, got %d", n, 1<<uint(n), len(ins.Phases))
+		}
+		for i, ph := range ins.Phases {
+			mag := real(ph)*real(ph) + imag(ph)*imag(ph)
+			if mag < 1-1e-9 || mag > 1+1e-9 {
+				return fmt.Errorf("circuit: diagonal phase %d has modulus² %v, want 1", i, mag)
+			}
+		}
+	default:
+		return fmt.Errorf("circuit: unknown opcode %d", ins.Op)
+	}
+	seen := map[int]bool{}
+	for _, q := range ins.Qubits {
+		if q < 0 || q >= c.NumQubits {
+			return fmt.Errorf("circuit: qubit %d out of [0,%d)", q, c.NumQubits)
+		}
+		if seen[q] {
+			return fmt.Errorf("circuit: duplicate qubit %d in one instruction", q)
+		}
+		seen[q] = true
+	}
+	c.Instrs = append(c.Instrs, ins)
+	return nil
+}
+
+// mustAppend is used by the fluent builders; operand errors there are
+// programming bugs, not data errors.
+func (c *Circuit) mustAppend(ins Instruction) *Circuit {
+	if err := c.Append(ins); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Gate appends a validated gate instruction (fluent form).
+func (c *Circuit) Gate(name gates.Name, qubits []int, params ...float64) *Circuit {
+	return c.mustAppend(Instruction{Op: OpGate, Gate: name, Qubits: qubits, Params: params})
+}
+
+// Convenience builders for the common gates.
+func (c *Circuit) H(q int) *Circuit      { return c.Gate(gates.H, []int{q}) }
+func (c *Circuit) X(q int) *Circuit      { return c.Gate(gates.X, []int{q}) }
+func (c *Circuit) Y(q int) *Circuit      { return c.Gate(gates.Y, []int{q}) }
+func (c *Circuit) Z(q int) *Circuit      { return c.Gate(gates.Z, []int{q}) }
+func (c *Circuit) S(q int) *Circuit      { return c.Gate(gates.S, []int{q}) }
+func (c *Circuit) T(q int) *Circuit      { return c.Gate(gates.T, []int{q}) }
+func (c *Circuit) SXGate(q int) *Circuit { return c.Gate(gates.SX, []int{q}) }
+func (c *Circuit) RX(theta float64, q int) *Circuit {
+	return c.Gate(gates.RX, []int{q}, theta)
+}
+func (c *Circuit) RY(theta float64, q int) *Circuit {
+	return c.Gate(gates.RY, []int{q}, theta)
+}
+func (c *Circuit) RZ(theta float64, q int) *Circuit {
+	return c.Gate(gates.RZ, []int{q}, theta)
+}
+func (c *Circuit) Phase(lambda float64, q int) *Circuit {
+	return c.Gate(gates.P, []int{q}, lambda)
+}
+func (c *Circuit) CX(ctrl, tgt int) *Circuit { return c.Gate(gates.CX, []int{ctrl, tgt}) }
+func (c *Circuit) CZGate(a, b int) *Circuit  { return c.Gate(gates.CZ, []int{a, b}) }
+func (c *Circuit) CPhase(lambda float64, ctrl, tgt int) *Circuit {
+	return c.Gate(gates.CP, []int{ctrl, tgt}, lambda)
+}
+func (c *Circuit) Swap(a, b int) *Circuit { return c.Gate(gates.SWAP, []int{a, b}) }
+func (c *Circuit) CCX(c1, c2, tgt int) *Circuit {
+	return c.Gate(gates.CCX, []int{c1, c2, tgt})
+}
+func (c *Circuit) CSwap(ctrl, a, b int) *Circuit {
+	return c.Gate(gates.CSWAP, []int{ctrl, a, b})
+}
+
+// Measure appends a measurement of qubit q into classical bit cb.
+func (c *Circuit) Measure(q, cb int) *Circuit {
+	return c.mustAppend(Instruction{Op: OpMeasure, Qubits: []int{q}, Clbits: []int{cb}})
+}
+
+// MeasureAll measures qubit i into clbit i for every qubit; the circuit
+// must have NumClbits >= NumQubits.
+func (c *Circuit) MeasureAll() *Circuit {
+	for q := 0; q < c.NumQubits; q++ {
+		c.Measure(q, q)
+	}
+	return c
+}
+
+// Barrier appends a scheduling barrier across the given qubits (all qubits
+// if none listed).
+func (c *Circuit) Barrier(qubits ...int) *Circuit {
+	return c.mustAppend(Instruction{Op: OpBarrier, Qubits: qubits})
+}
+
+// Permute appends a native permutation over qubits.
+func (c *Circuit) Permute(qubits []int, perm []uint64) error {
+	return c.Append(Instruction{Op: OpPermute, Qubits: qubits, Perm: perm})
+}
+
+// Init appends a native state initialization over qubits.
+func (c *Circuit) Init(qubits []int, amps []complex128) error {
+	return c.Append(Instruction{Op: OpInit, Qubits: qubits, Amps: amps})
+}
+
+// Diagonal appends a native diagonal unitary over qubits.
+func (c *Circuit) Diagonal(qubits []int, phases []complex128) error {
+	return c.Append(Instruction{Op: OpDiagonal, Qubits: qubits, Phases: phases})
+}
+
+// Copy returns a deep copy.
+func (c *Circuit) Copy() *Circuit {
+	out := New(c.NumQubits, c.NumClbits)
+	out.Instrs = make([]Instruction, len(c.Instrs))
+	for i, ins := range c.Instrs {
+		cp := ins
+		cp.Qubits = append([]int(nil), ins.Qubits...)
+		cp.Params = append([]float64(nil), ins.Params...)
+		cp.Clbits = append([]int(nil), ins.Clbits...)
+		cp.Perm = append([]uint64(nil), ins.Perm...)
+		cp.Amps = append([]complex128(nil), ins.Amps...)
+		cp.Phases = append([]complex128(nil), ins.Phases...)
+		out.Instrs[i] = cp
+	}
+	return out
+}
+
+// CountOps returns instruction counts keyed by gate name (plus "measure",
+// "barrier", "permute", "init").
+func (c *Circuit) CountOps() map[string]int {
+	counts := map[string]int{}
+	for _, ins := range c.Instrs {
+		switch ins.Op {
+		case OpGate:
+			counts[string(ins.Gate)]++
+		case OpMeasure:
+			counts["measure"] += len(ins.Qubits)
+		case OpBarrier:
+			counts["barrier"]++
+		case OpPermute:
+			counts["permute"]++
+		case OpInit:
+			counts["init"]++
+		case OpDiagonal:
+			counts["diagonal"]++
+		}
+	}
+	return counts
+}
+
+// TwoQubitCount returns the number of gates acting on exactly two qubits.
+func (c *Circuit) TwoQubitCount() int {
+	n := 0
+	for _, ins := range c.Instrs {
+		if ins.Op == OpGate && len(ins.Qubits) == 2 {
+			n++
+		}
+	}
+	return n
+}
+
+// Size returns the number of non-barrier instructions.
+func (c *Circuit) Size() int {
+	n := 0
+	for _, ins := range c.Instrs {
+		if ins.Op != OpBarrier {
+			n++
+		}
+	}
+	return n
+}
+
+// Depth returns the circuit depth: the length of the longest chain of
+// instructions sharing qubits (or clbits), with barriers synchronizing
+// their qubits but not counting as a level.
+func (c *Circuit) Depth() int {
+	qLevel := make([]int, c.NumQubits)
+	cLevel := make([]int, c.NumClbits)
+	depth := 0
+	for _, ins := range c.Instrs {
+		qubits := ins.Qubits
+		if ins.Op == OpBarrier && len(qubits) == 0 {
+			qubits = allQubits(c.NumQubits)
+		}
+		level := 0
+		for _, q := range qubits {
+			if qLevel[q] > level {
+				level = qLevel[q]
+			}
+		}
+		for _, cb := range ins.Clbits {
+			if cLevel[cb] > level {
+				level = cLevel[cb]
+			}
+		}
+		if ins.Op != OpBarrier {
+			level++
+		}
+		for _, q := range qubits {
+			qLevel[q] = level
+		}
+		for _, cb := range ins.Clbits {
+			cLevel[cb] = level
+		}
+		if level > depth {
+			depth = level
+		}
+	}
+	return depth
+}
+
+func allQubits(n int) []int {
+	qs := make([]int, n)
+	for i := range qs {
+		qs[i] = i
+	}
+	return qs
+}
+
+// Inverse returns the circuit implementing the inverse unitary: gates
+// inverted in reverse order. Circuits containing measurements, inits or
+// permutations without inverses are rejected (permutations invert fine;
+// measurement does not).
+func (c *Circuit) Inverse() (*Circuit, error) {
+	out := New(c.NumQubits, c.NumClbits)
+	for i := len(c.Instrs) - 1; i >= 0; i-- {
+		ins := c.Instrs[i]
+		switch ins.Op {
+		case OpGate:
+			invName, invParams, err := gates.Inverse(ins.Gate, ins.Params)
+			if err != nil {
+				return nil, err
+			}
+			if err := out.Append(Instruction{Op: OpGate, Gate: invName, Qubits: append([]int(nil), ins.Qubits...), Params: invParams}); err != nil {
+				return nil, err
+			}
+		case OpBarrier:
+			if err := out.Append(ins); err != nil {
+				return nil, err
+			}
+		case OpPermute:
+			inv := make([]uint64, len(ins.Perm))
+			for from, to := range ins.Perm {
+				inv[to] = uint64(from)
+			}
+			if err := out.Append(Instruction{Op: OpPermute, Qubits: append([]int(nil), ins.Qubits...), Perm: inv}); err != nil {
+				return nil, err
+			}
+		case OpDiagonal:
+			conj := make([]complex128, len(ins.Phases))
+			for i, ph := range ins.Phases {
+				conj[i] = complex(real(ph), -imag(ph))
+			}
+			if err := out.Append(Instruction{Op: OpDiagonal, Qubits: append([]int(nil), ins.Qubits...), Phases: conj}); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("circuit: cannot invert opcode %d", ins.Op)
+		}
+	}
+	return out, nil
+}
+
+// Compose appends other's instructions (validated against this circuit's
+// registers).
+func (c *Circuit) Compose(other *Circuit) error {
+	for _, ins := range other.Instrs {
+		if err := c.Append(ins); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HasOp reports whether the circuit contains any instruction of opcode op.
+func (c *Circuit) HasOp(op Opcode) bool {
+	for _, ins := range c.Instrs {
+		if ins.Op == op {
+			return true
+		}
+	}
+	return false
+}
+
+// MeasureMap returns the qubit→clbit mapping of all measurements in order.
+func (c *Circuit) MeasureMap() map[int]int {
+	m := map[int]int{}
+	for _, ins := range c.Instrs {
+		if ins.Op == OpMeasure {
+			for i, q := range ins.Qubits {
+				m[q] = ins.Clbits[i]
+			}
+		}
+	}
+	return m
+}
+
+// String renders a compact text form, one instruction per line.
+func (c *Circuit) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "circuit(%dq, %dc):\n", c.NumQubits, c.NumClbits)
+	for _, ins := range c.Instrs {
+		switch ins.Op {
+		case OpGate:
+			if len(ins.Params) > 0 {
+				fmt.Fprintf(&sb, "  %s%v %v\n", ins.Gate, ins.Params, ins.Qubits)
+			} else {
+				fmt.Fprintf(&sb, "  %s %v\n", ins.Gate, ins.Qubits)
+			}
+		case OpMeasure:
+			fmt.Fprintf(&sb, "  measure %v -> %v\n", ins.Qubits, ins.Clbits)
+		case OpBarrier:
+			fmt.Fprintf(&sb, "  barrier %v\n", ins.Qubits)
+		case OpPermute:
+			fmt.Fprintf(&sb, "  permute %v\n", ins.Qubits)
+		case OpInit:
+			fmt.Fprintf(&sb, "  init %v\n", ins.Qubits)
+		case OpDiagonal:
+			fmt.Fprintf(&sb, "  diagonal %v\n", ins.Qubits)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,231 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gates"
+)
+
+func TestAppendValidation(t *testing.T) {
+	c := New(2, 2)
+	cases := []struct {
+		name string
+		ins  Instruction
+	}{
+		{"unknown gate", Instruction{Op: OpGate, Gate: "warp", Qubits: []int{0}}},
+		{"wrong arity", Instruction{Op: OpGate, Gate: gates.CX, Qubits: []int{0}}},
+		{"wrong params", Instruction{Op: OpGate, Gate: gates.RZ, Qubits: []int{0}}},
+		{"qubit range", Instruction{Op: OpGate, Gate: gates.X, Qubits: []int{5}}},
+		{"negative qubit", Instruction{Op: OpGate, Gate: gates.X, Qubits: []int{-1}}},
+		{"duplicate qubit", Instruction{Op: OpGate, Gate: gates.CX, Qubits: []int{1, 1}}},
+		{"measure clbit range", Instruction{Op: OpMeasure, Qubits: []int{0}, Clbits: []int{7}}},
+		{"measure arity", Instruction{Op: OpMeasure, Qubits: []int{0, 1}, Clbits: []int{0}}},
+		{"permute size", Instruction{Op: OpPermute, Qubits: []int{0}, Perm: []uint64{0}}},
+		{"permute not bijection", Instruction{Op: OpPermute, Qubits: []int{0}, Perm: []uint64{0, 0}}},
+		{"permute out of range", Instruction{Op: OpPermute, Qubits: []int{0}, Perm: []uint64{0, 5}}},
+		{"init size", Instruction{Op: OpInit, Qubits: []int{0, 1}, Amps: []complex128{1}}},
+		{"bad opcode", Instruction{Op: Opcode(99)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := c.Append(tc.ins); err == nil {
+				t.Error("invalid instruction accepted")
+			}
+		})
+	}
+	if len(c.Instrs) != 0 {
+		t.Error("failed appends modified circuit")
+	}
+}
+
+func TestFluentBuilders(t *testing.T) {
+	c := New(3, 3)
+	c.H(0).X(1).CX(0, 1).RZ(0.5, 2).CPhase(math.Pi/4, 0, 2).CCX(0, 1, 2).Measure(0, 0)
+	if len(c.Instrs) != 7 {
+		t.Fatalf("got %d instructions", len(c.Instrs))
+	}
+	counts := c.CountOps()
+	if counts["h"] != 1 || counts["cx"] != 1 || counts["ccx"] != 1 || counts["measure"] != 1 {
+		t.Errorf("CountOps = %v", counts)
+	}
+}
+
+func TestBuilderPanicsOnBadOperand(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range fluent call did not panic")
+		}
+	}()
+	New(1, 0).H(3)
+}
+
+func TestDepth(t *testing.T) {
+	// h(0), h(1) run in parallel (depth 1); cx(0,1) adds a level; rz(1)
+	// another.
+	c := New(2, 2)
+	c.H(0).H(1).CX(0, 1).RZ(1.0, 1)
+	if d := c.Depth(); d != 3 {
+		t.Errorf("depth = %d, want 3", d)
+	}
+	// Barrier forces the next h(0) to wait for the rz on qubit 1? No —
+	// barrier synchronizes only listed qubits; empty barrier = all.
+	c2 := New(2, 0)
+	c2.H(0)
+	c2.Barrier()
+	c2.H(1)
+	if d := c2.Depth(); d != 2 {
+		t.Errorf("barrier depth = %d, want 2", d)
+	}
+	// Without the barrier the two H's are parallel.
+	c3 := New(2, 0)
+	c3.H(0).H(1)
+	if d := c3.Depth(); d != 1 {
+		t.Errorf("parallel depth = %d, want 1", d)
+	}
+}
+
+func TestDepthEmptyAndMeasureChains(t *testing.T) {
+	if d := New(3, 0).Depth(); d != 0 {
+		t.Errorf("empty depth = %d", d)
+	}
+	// Two measurements into the same clbit serialize.
+	c := New(2, 1)
+	c.Measure(0, 0)
+	c.Measure(1, 0)
+	if d := c.Depth(); d != 2 {
+		t.Errorf("clbit-serialized depth = %d, want 2", d)
+	}
+}
+
+func TestSizeExcludesBarriers(t *testing.T) {
+	c := New(2, 0)
+	c.H(0).Barrier().H(1)
+	if s := c.Size(); s != 2 {
+		t.Errorf("Size = %d, want 2", s)
+	}
+}
+
+func TestTwoQubitCount(t *testing.T) {
+	c := New(3, 0)
+	c.H(0).CX(0, 1).CPhase(0.1, 1, 2).Swap(0, 2).CCX(0, 1, 2)
+	if n := c.TwoQubitCount(); n != 3 {
+		t.Errorf("TwoQubitCount = %d, want 3 (ccx is 3-qubit)", n)
+	}
+}
+
+func TestCopyIsDeep(t *testing.T) {
+	c := New(2, 2)
+	c.RZ(1.0, 0).CX(0, 1).Measure(1, 1)
+	cp := c.Copy()
+	cp.Instrs[0].Params[0] = 9
+	cp.Instrs[1].Qubits[0] = 1
+	if c.Instrs[0].Params[0] != 1.0 || c.Instrs[1].Qubits[0] != 0 {
+		t.Error("Copy shares slices")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	c := New(2, 0)
+	c.H(0).T(1).CX(0, 1).RZ(0.5, 0)
+	inv, err := c.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inv.Instrs) != 4 {
+		t.Fatalf("inverse has %d instructions", len(inv.Instrs))
+	}
+	// Reverse order: rz(-0.5), cx, tdg, h.
+	if inv.Instrs[0].Gate != gates.RZ || inv.Instrs[0].Params[0] != -0.5 {
+		t.Errorf("inv[0] = %+v", inv.Instrs[0])
+	}
+	if inv.Instrs[1].Gate != gates.CX {
+		t.Errorf("inv[1] = %+v", inv.Instrs[1])
+	}
+	if inv.Instrs[2].Gate != gates.Tdg {
+		t.Errorf("inv[2] = %+v", inv.Instrs[2])
+	}
+	if inv.Instrs[3].Gate != gates.H {
+		t.Errorf("inv[3] = %+v", inv.Instrs[3])
+	}
+}
+
+func TestInverseRejectsMeasurement(t *testing.T) {
+	c := New(1, 1)
+	c.H(0).Measure(0, 0)
+	if _, err := c.Inverse(); err == nil {
+		t.Error("measured circuit inverted")
+	}
+}
+
+func TestInversePermutation(t *testing.T) {
+	c := New(2, 0)
+	// Cyclic shift: 0->1->2->3->0.
+	if err := c.Permute([]int{0, 1}, []uint64{1, 2, 3, 0}); err != nil {
+		t.Fatal(err)
+	}
+	inv, err := c.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{3, 0, 1, 2}
+	for i, v := range inv.Instrs[0].Perm {
+		if v != want[i] {
+			t.Errorf("inverse perm = %v, want %v", inv.Instrs[0].Perm, want)
+			break
+		}
+	}
+}
+
+func TestCompose(t *testing.T) {
+	a := New(2, 0)
+	a.H(0)
+	b := New(2, 0)
+	b.CX(0, 1)
+	if err := a.Compose(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Instrs) != 2 {
+		t.Errorf("composed length %d", len(a.Instrs))
+	}
+	// Composing a wider circuit fails.
+	wide := New(5, 0)
+	wide.H(4)
+	if err := a.Compose(wide); err == nil {
+		t.Error("wide compose accepted")
+	}
+}
+
+func TestMeasureMapAndHasOp(t *testing.T) {
+	c := New(3, 3)
+	c.H(0)
+	c.Measure(2, 0)
+	c.Measure(0, 2)
+	m := c.MeasureMap()
+	if m[2] != 0 || m[0] != 2 {
+		t.Errorf("MeasureMap = %v", m)
+	}
+	if !c.HasOp(OpMeasure) || c.HasOp(OpInit) {
+		t.Error("HasOp wrong")
+	}
+}
+
+func TestMeasureAll(t *testing.T) {
+	c := New(3, 3)
+	c.MeasureAll()
+	if counts := c.CountOps(); counts["measure"] != 3 {
+		t.Errorf("MeasureAll measured %d", counts["measure"])
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	c := New(2, 1)
+	c.H(0).RZ(0.5, 1).CX(0, 1).Measure(1, 0).Barrier()
+	s := c.String()
+	for _, want := range []string{"circuit(2q, 1c)", "h [0]", "rz[0.5] [1]", "cx [0 1]", "measure [1] -> [0]", "barrier"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ToQASM renders the circuit as an OpenQASM 2.0 program — the
+// interoperability hook toward the assembly-language layer the paper's
+// related work discusses (QASM 3.0, QIR). Native operations (permute,
+// init, diagonal) have no QASM spelling and are rejected; transpile to a
+// gate basis first.
+func (c *Circuit) ToQASM() (string, error) {
+	var sb strings.Builder
+	sb.WriteString("OPENQASM 2.0;\n")
+	sb.WriteString("include \"qelib1.inc\";\n")
+	fmt.Fprintf(&sb, "qreg q[%d];\n", c.NumQubits)
+	if c.NumClbits > 0 {
+		fmt.Fprintf(&sb, "creg c[%d];\n", c.NumClbits)
+	}
+	for idx, ins := range c.Instrs {
+		switch ins.Op {
+		case OpGate:
+			name, ok := qasmGateName[string(ins.Gate)]
+			if !ok {
+				return "", fmt.Errorf("circuit: gate %q has no QASM spelling", ins.Gate)
+			}
+			if len(ins.Params) > 0 {
+				params := make([]string, len(ins.Params))
+				for i, p := range ins.Params {
+					params[i] = fmt.Sprintf("%.17g", p)
+				}
+				fmt.Fprintf(&sb, "%s(%s)", name, strings.Join(params, ","))
+			} else {
+				sb.WriteString(name)
+			}
+			operands := make([]string, len(ins.Qubits))
+			for i, q := range ins.Qubits {
+				operands[i] = fmt.Sprintf("q[%d]", q)
+			}
+			fmt.Fprintf(&sb, " %s;\n", strings.Join(operands, ","))
+		case OpMeasure:
+			for i, q := range ins.Qubits {
+				fmt.Fprintf(&sb, "measure q[%d] -> c[%d];\n", q, ins.Clbits[i])
+			}
+		case OpBarrier:
+			if len(ins.Qubits) == 0 {
+				sb.WriteString("barrier q;\n")
+			} else {
+				operands := make([]string, len(ins.Qubits))
+				for i, q := range ins.Qubits {
+					operands[i] = fmt.Sprintf("q[%d]", q)
+				}
+				fmt.Fprintf(&sb, "barrier %s;\n", strings.Join(operands, ","))
+			}
+		default:
+			return "", fmt.Errorf("circuit: instruction %d (opcode %d) has no QASM spelling; transpile to a gate basis first", idx, ins.Op)
+		}
+	}
+	return sb.String(), nil
+}
+
+// qasmGateName maps internal gate names to qelib1 spellings. Most
+// coincide; the controlled-phase differs (cp is cu1 in qelib1).
+var qasmGateName = map[string]string{
+	"id": "id", "x": "x", "y": "y", "z": "z", "h": "h",
+	"s": "s", "sdg": "sdg", "t": "t", "tdg": "tdg", "sx": "sx",
+	"rx": "rx", "ry": "ry", "rz": "rz", "p": "u1",
+	"cx": "cx", "cz": "cz", "cp": "cu1", "swap": "swap",
+	"ccx": "ccx", "cswap": "cswap",
+}

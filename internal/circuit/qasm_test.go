@@ -1,0 +1,92 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestToQASMBell(t *testing.T) {
+	c := New(2, 2)
+	c.H(0).CX(0, 1).MeasureAll()
+	qasm, err := c.ToQASM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"OPENQASM 2.0;",
+		`include "qelib1.inc";`,
+		"qreg q[2];",
+		"creg c[2];",
+		"h q[0];",
+		"cx q[0],q[1];",
+		"measure q[0] -> c[0];",
+		"measure q[1] -> c[1];",
+	} {
+		if !strings.Contains(qasm, want) {
+			t.Errorf("QASM missing %q:\n%s", want, qasm)
+		}
+	}
+}
+
+func TestToQASMParamsAndAliases(t *testing.T) {
+	c := New(2, 0)
+	c.RZ(0.5, 0)
+	c.Phase(0.25, 1)
+	c.CPhase(1.5, 0, 1)
+	c.Barrier()
+	qasm, err := c.ToQASM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"rz(0.5) q[0];",
+		"u1(0.25) q[1];",
+		"cu1(1.5) q[0],q[1];",
+		"barrier q;",
+	} {
+		if !strings.Contains(qasm, want) {
+			t.Errorf("QASM missing %q:\n%s", want, qasm)
+		}
+	}
+}
+
+func TestToQASMNoClbits(t *testing.T) {
+	c := New(1, 0)
+	c.X(0)
+	qasm, err := c.ToQASM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(qasm, "creg") {
+		t.Error("creg emitted for classical-free circuit")
+	}
+}
+
+func TestToQASMRejectsNativeOps(t *testing.T) {
+	c := New(2, 0)
+	if err := c.Permute([]int{0, 1}, []uint64{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ToQASM(); err == nil {
+		t.Error("permute exported to QASM")
+	}
+	c2 := New(1, 0)
+	if err := c2.Diagonal([]int{0}, []complex128{1, -1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.ToQASM(); err == nil {
+		t.Error("diagonal exported to QASM")
+	}
+}
+
+func TestToQASMPartialBarrier(t *testing.T) {
+	c := New(3, 0)
+	c.Barrier(0, 2)
+	qasm, err := c.ToQASM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(qasm, "barrier q[0],q[2];") {
+		t.Errorf("partial barrier wrong:\n%s", qasm)
+	}
+}

@@ -1,0 +1,106 @@
+// Package core is the public face of the quantum middle layer: a Program
+// collects typed registers (quantum data type descriptors) and logical
+// transformations (quantum operator descriptors); Package bundles them
+// into a job.json; Run executes the bundle under an execution context.
+//
+// This is the paper's architecture (Fig. 1) as an API: intent is stated
+// once, backends and policies bind late through the context descriptor,
+// and the same Program runs on the gate path, the anneal path, or the
+// pulse path by swapping only the context.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/algolib"
+	"repro/internal/bundle"
+	"repro/internal/ctxdesc"
+	"repro/internal/qdt"
+	"repro/internal/qop"
+	"repro/internal/result"
+	"repro/internal/runtime"
+)
+
+// Program is an intent artifact under construction.
+type Program struct {
+	qdts []*qdt.DataType
+	ops  qop.Sequence
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program { return &Program{} }
+
+// AddRegister declares a typed register. Duplicate ids are rejected.
+func (p *Program) AddRegister(d *qdt.DataType) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	for _, existing := range p.qdts {
+		if existing.ID == d.ID {
+			return fmt.Errorf("core: register %q already declared", d.ID)
+		}
+	}
+	p.qdts = append(p.qdts, d)
+	return nil
+}
+
+// Append adds operators to the program in order.
+func (p *Program) Append(ops ...*qop.Operator) error {
+	for _, op := range ops {
+		if op == nil {
+			return fmt.Errorf("core: nil operator")
+		}
+		if err := op.Validate(); err != nil {
+			return err
+		}
+		p.ops = append(p.ops, op)
+	}
+	return nil
+}
+
+// AppendSequence adds a prebuilt sequence (e.g. from algolib.BuildQAOA).
+func (p *Program) AppendSequence(seq qop.Sequence) error {
+	for _, op := range seq {
+		if err := p.Append(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Registers returns the register table (shared descriptors — treat as
+// immutable).
+func (p *Program) Registers() algolib.Registers {
+	regs := algolib.Registers{}
+	for _, d := range p.qdts {
+		regs[d.ID] = d
+	}
+	return regs
+}
+
+// Operators returns the operator sequence (shared — treat as immutable).
+func (p *Program) Operators() qop.Sequence { return p.ops }
+
+// Validate runs the library validation pass over the whole program.
+func (p *Program) Validate() error {
+	return algolib.Validate(p.ops, p.Registers())
+}
+
+// Package bundles the program with an execution context into a job.json
+// artifact (paper §4.4's packaging step). The context may be nil; the
+// runtime's scheduler will then select an engine from the intent shape.
+func (p *Program) Package(ctx *ctxdesc.Context) (*bundle.Bundle, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return bundle.New(p.qdts, p.ops, ctx)
+}
+
+// Run packages and executes the program under the given context.
+func (p *Program) Run(ctx *ctxdesc.Context) (*result.Result, error) {
+	b, err := p.Package(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return runtime.Submit(b, runtime.Options{})
+}

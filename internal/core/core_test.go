@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/algolib"
+	"repro/internal/ctxdesc"
+	"repro/internal/graph"
+	"repro/internal/ising"
+	"repro/internal/qdt"
+	"repro/internal/qop"
+)
+
+func TestProgramGateAndAnnealSameIntent(t *testing.T) {
+	// The §5 portability demonstration through the facade: one typed
+	// problem, two backends, only the operator formulation and the
+	// context change.
+	g := graph.Cycle(4)
+
+	// Gate path.
+	gateProg := NewProgram()
+	reg := qdt.NewIsingVars("ising_vars", "s", 4)
+	if err := gateProg.AddRegister(reg); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := algolib.BuildQAOA(reg, g, []float64{0.65}, []float64{0.39})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gateProg.AppendSequence(seq); err != nil {
+		t.Fatal(err)
+	}
+	gateCtx := ctxdesc.NewGate("gate.aer_simulator", 2048, 42)
+	gateRes, err := gateProg.Run(gateCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gateRes.Samples != 2048 || len(gateRes.Entries) == 0 {
+		t.Errorf("gate result: %d samples, %d entries", gateRes.Samples, len(gateRes.Entries))
+	}
+
+	// Anneal path.
+	annealProg := NewProgram()
+	if err := annealProg.AddRegister(qdt.NewIsingVars("ising_vars", "s", 4)); err != nil {
+		t.Fatal(err)
+	}
+	op, err := algolib.NewIsingProblem(annealProg.Registers()["ising_vars"], ising.FromMaxCut(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := annealProg.Append(op); err != nil {
+		t.Fatal(err)
+	}
+	annealRes, err := annealProg.Run(ctxdesc.NewAnneal("anneal.neal", 500, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := annealRes.Top()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Bitstring != "1010" && top.Bitstring != "0101" {
+		t.Errorf("anneal top = %q", top.Bitstring)
+	}
+}
+
+func TestProgramValidation(t *testing.T) {
+	p := NewProgram()
+	reg := qdt.NewIsingVars("r", "r", 2)
+	if err := p.AddRegister(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddRegister(qdt.NewIsingVars("r", "dup", 2)); err == nil {
+		t.Error("duplicate register accepted")
+	}
+	bad := qdt.New("", "", 0, "NOPE", "AS_JPEG")
+	if err := p.AddRegister(bad); err == nil {
+		t.Error("invalid register accepted")
+	}
+	if err := p.Append(nil); err == nil {
+		t.Error("nil operator accepted")
+	}
+	if err := p.Append(&qop.Operator{}); err == nil {
+		t.Error("invalid operator accepted")
+	}
+	// Operator on undeclared register fails at Validate/Package time.
+	ghost := qop.New("x", qop.PrepUniform, "ghost")
+	if err := p.Append(ghost); err != nil {
+		t.Fatalf("structurally valid operator rejected early: %v", err)
+	}
+	if err := p.Validate(); err == nil {
+		t.Error("dangling register not caught")
+	}
+	if _, err := p.Package(nil); err == nil {
+		t.Error("Package accepted invalid program")
+	}
+}
+
+func TestProgramPackageProducesValidBundle(t *testing.T) {
+	p := NewProgram()
+	reg := qdt.NewPhaseRegister("reg_phase", "phase", 4)
+	if err := p.AddRegister(reg); err != nil {
+		t.Fatal(err)
+	}
+	qft, err := algolib.NewQFT(reg, 0, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Append(qft, algolib.NewMeasurement(reg)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Package(ctxdesc.NewGate("gate.statevector", 64, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ValidateAgainstSchemas(); err != nil {
+		t.Errorf("packaged bundle fails schemas: %v", err)
+	}
+	if b.Provenance == nil || b.Provenance.IntentFingerprint == "" {
+		t.Error("bundle missing provenance")
+	}
+}

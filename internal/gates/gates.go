@@ -1,0 +1,256 @@
+// Package gates defines the gate set shared by the circuit IR, the
+// transpiler and the statevector simulator: names, arities, parameter
+// counts, and unitary matrices.
+//
+// The set covers the paper's Listing-4 basis {sx, rz, cx}, the standard
+// one- and two-qubit gates the algorithmic libraries lower to, and CCX for
+// the arithmetic/boolean families.
+package gates
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Name identifies a gate.
+type Name string
+
+// Gate names. Matrix conventions follow OpenQASM 3 / Qiskit: RZ(λ) =
+// diag(e^{-iλ/2}, e^{iλ/2}), P(λ) = diag(1, e^{iλ}), SX = √X with
+// SX² = X (up to no phase: the Qiskit SX has det e^{iπ/2}).
+const (
+	I   Name = "id"
+	X   Name = "x"
+	Y   Name = "y"
+	Z   Name = "z"
+	H   Name = "h"
+	S   Name = "s"
+	Sdg Name = "sdg"
+	T   Name = "t"
+	Tdg Name = "tdg"
+	SX  Name = "sx"
+	RX  Name = "rx"
+	RY  Name = "ry"
+	RZ  Name = "rz"
+	P   Name = "p"
+
+	CX   Name = "cx"
+	CZ   Name = "cz"
+	CP   Name = "cp"
+	SWAP Name = "swap"
+
+	CCX   Name = "ccx"
+	CSWAP Name = "cswap"
+)
+
+// Info describes a gate's shape.
+type Info struct {
+	Qubits int // arity
+	Params int // number of real parameters
+}
+
+var table = map[Name]Info{
+	I: {1, 0}, X: {1, 0}, Y: {1, 0}, Z: {1, 0}, H: {1, 0},
+	S: {1, 0}, Sdg: {1, 0}, T: {1, 0}, Tdg: {1, 0}, SX: {1, 0},
+	RX: {1, 1}, RY: {1, 1}, RZ: {1, 1}, P: {1, 1},
+	CX: {2, 0}, CZ: {2, 0}, CP: {2, 1}, SWAP: {2, 0},
+	CCX: {3, 0}, CSWAP: {3, 0},
+}
+
+// Lookup returns the gate's shape, or an error for unknown names.
+func Lookup(n Name) (Info, error) {
+	info, ok := table[n]
+	if !ok {
+		return Info{}, fmt.Errorf("gates: unknown gate %q", n)
+	}
+	return info, nil
+}
+
+// Known reports whether n names a gate in the set.
+func Known(n Name) bool { _, ok := table[n]; return ok }
+
+// Names returns all gate names (unordered).
+func Names() []Name {
+	out := make([]Name, 0, len(table))
+	for n := range table {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Matrix2 is a one-qubit unitary in row-major order.
+type Matrix2 [2][2]complex128
+
+// Matrix4 is a two-qubit unitary; basis order |q1 q0⟩ = |00⟩,|01⟩,|10⟩,|11⟩
+// with qubit 0 the least significant index (the first qubit operand is the
+// control for controlled gates and maps to the *higher* bit by the
+// simulator's convention, documented there).
+type Matrix4 [4][4]complex128
+
+// Unitary1 returns the matrix of a one-qubit gate.
+func Unitary1(n Name, params []float64) (Matrix2, error) {
+	info, err := Lookup(n)
+	if err != nil {
+		return Matrix2{}, err
+	}
+	if info.Qubits != 1 {
+		return Matrix2{}, fmt.Errorf("gates: %q is not a one-qubit gate", n)
+	}
+	if len(params) != info.Params {
+		return Matrix2{}, fmt.Errorf("gates: %q takes %d params, got %d", n, info.Params, len(params))
+	}
+	switch n {
+	case I:
+		return Matrix2{{1, 0}, {0, 1}}, nil
+	case X:
+		return Matrix2{{0, 1}, {1, 0}}, nil
+	case Y:
+		return Matrix2{{0, -1i}, {1i, 0}}, nil
+	case Z:
+		return Matrix2{{1, 0}, {0, -1}}, nil
+	case H:
+		s := complex(1/math.Sqrt2, 0)
+		return Matrix2{{s, s}, {s, -s}}, nil
+	case S:
+		return Matrix2{{1, 0}, {0, 1i}}, nil
+	case Sdg:
+		return Matrix2{{1, 0}, {0, -1i}}, nil
+	case T:
+		return Matrix2{{1, 0}, {0, cmplx.Exp(1i * math.Pi / 4)}}, nil
+	case Tdg:
+		return Matrix2{{1, 0}, {0, cmplx.Exp(-1i * math.Pi / 4)}}, nil
+	case SX:
+		// (1/2)[[1+i, 1−i],[1−i, 1+i]]; SX·SX = X.
+		return Matrix2{
+			{complex(0.5, 0.5), complex(0.5, -0.5)},
+			{complex(0.5, -0.5), complex(0.5, 0.5)},
+		}, nil
+	case RX:
+		th := params[0] / 2
+		return Matrix2{
+			{complex(math.Cos(th), 0), complex(0, -math.Sin(th))},
+			{complex(0, -math.Sin(th)), complex(math.Cos(th), 0)},
+		}, nil
+	case RY:
+		th := params[0] / 2
+		return Matrix2{
+			{complex(math.Cos(th), 0), complex(-math.Sin(th), 0)},
+			{complex(math.Sin(th), 0), complex(math.Cos(th), 0)},
+		}, nil
+	case RZ:
+		th := params[0] / 2
+		return Matrix2{
+			{cmplx.Exp(complex(0, -th)), 0},
+			{0, cmplx.Exp(complex(0, th))},
+		}, nil
+	case P:
+		return Matrix2{{1, 0}, {0, cmplx.Exp(complex(0, params[0]))}}, nil
+	}
+	return Matrix2{}, fmt.Errorf("gates: no matrix for %q", n)
+}
+
+// Mul2 multiplies one-qubit unitaries (a·b: apply b first).
+func Mul2(a, b Matrix2) Matrix2 {
+	var out Matrix2
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			out[i][j] = a[i][0]*b[0][j] + a[i][1]*b[1][j]
+		}
+	}
+	return out
+}
+
+// Dagger2 returns the conjugate transpose.
+func Dagger2(m Matrix2) Matrix2 {
+	return Matrix2{
+		{cmplx.Conj(m[0][0]), cmplx.Conj(m[1][0])},
+		{cmplx.Conj(m[0][1]), cmplx.Conj(m[1][1])},
+	}
+}
+
+// EqualUpToPhase2 reports whether a = e^{iφ}·b for some global phase φ,
+// within tol.
+func EqualUpToPhase2(a, b Matrix2, tol float64) bool {
+	// Find the first element of b with significant magnitude to anchor the
+	// phase.
+	var phase complex128
+	found := false
+	for i := 0; i < 2 && !found; i++ {
+		for j := 0; j < 2 && !found; j++ {
+			if cmplx.Abs(b[i][j]) > tol {
+				phase = a[i][j] / b[i][j]
+				found = true
+			}
+		}
+	}
+	if !found {
+		return false
+	}
+	if math.Abs(cmplx.Abs(phase)-1) > tol {
+		return false
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if cmplx.Abs(a[i][j]-phase*b[i][j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Inverse returns the gate (and parameters) implementing the inverse of
+// the given gate. Parametric gates negate their angle; fixed gates map to
+// their daggers.
+func Inverse(n Name, params []float64) (Name, []float64, error) {
+	info, err := Lookup(n)
+	if err != nil {
+		return "", nil, err
+	}
+	if info.Params > 0 {
+		neg := make([]float64, len(params))
+		for i, p := range params {
+			neg[i] = -p
+		}
+		return n, neg, nil
+	}
+	switch n {
+	case S:
+		return Sdg, nil, nil
+	case Sdg:
+		return S, nil, nil
+	case T:
+		return Tdg, nil, nil
+	case Tdg:
+		return T, nil, nil
+	case SX:
+		// sx⁻¹ = sx·x up to phase; express as rz-free exact inverse using
+		// rx(-π/2) (equal to sx† up to global phase).
+		return RX, []float64{-math.Pi / 2}, nil
+	default:
+		// id, x, y, z, h, cx, cz, swap, ccx, cswap are self-inverse.
+		return n, nil, nil
+	}
+}
+
+// IsDiagonal reports whether the gate's unitary is diagonal in the
+// computational basis (such gates commute with each other and with
+// controls).
+func IsDiagonal(n Name) bool {
+	switch n {
+	case I, Z, S, Sdg, T, Tdg, RZ, P, CZ, CP:
+		return true
+	}
+	return false
+}
+
+// IsSelfInverse reports whether applying the gate twice (same operands,
+// no parameters) is the identity.
+func IsSelfInverse(n Name) bool {
+	switch n {
+	case I, X, Y, Z, H, CX, CZ, SWAP, CCX, CSWAP:
+		return true
+	}
+	return false
+}

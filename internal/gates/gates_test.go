@@ -1,0 +1,204 @@
+package gates
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func unitaryOK(t *testing.T, m Matrix2, name string) {
+	t.Helper()
+	// m·m† = I
+	d := Dagger2(m)
+	prod := Mul2(m, d)
+	id := Matrix2{{1, 0}, {0, 1}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if cmplx.Abs(prod[i][j]-id[i][j]) > 1e-12 {
+				t.Errorf("%s: m·m† != I at (%d,%d): %v", name, i, j, prod[i][j])
+			}
+		}
+	}
+}
+
+func TestAllOneQubitGatesAreUnitary(t *testing.T) {
+	for _, n := range Names() {
+		info, _ := Lookup(n)
+		if info.Qubits != 1 {
+			continue
+		}
+		params := make([]float64, info.Params)
+		for i := range params {
+			params[i] = 0.7321
+		}
+		m, err := Unitary1(n, params)
+		if err != nil {
+			t.Fatalf("Unitary1(%s): %v", n, err)
+		}
+		unitaryOK(t, m, string(n))
+	}
+}
+
+func TestSXSquaredIsX(t *testing.T) {
+	sx, _ := Unitary1(SX, nil)
+	x, _ := Unitary1(X, nil)
+	if !EqualUpToPhase2(Mul2(sx, sx), x, 1e-12) {
+		t.Error("sx·sx != x")
+	}
+}
+
+func TestHViaRZSX(t *testing.T) {
+	// The transpiler's core identity: h = rz(π/2)·sx·rz(π/2) up to phase.
+	rz, _ := Unitary1(RZ, []float64{math.Pi / 2})
+	sx, _ := Unitary1(SX, nil)
+	h, _ := Unitary1(H, nil)
+	if !EqualUpToPhase2(Mul2(rz, Mul2(sx, rz)), h, 1e-12) {
+		t.Error("rz(π/2)·sx·rz(π/2) != h up to phase")
+	}
+}
+
+func TestRZVsP(t *testing.T) {
+	// rz(λ) = e^{-iλ/2}·p(λ).
+	for _, lam := range []float64{0.1, 1.0, math.Pi, -2.5} {
+		rz, _ := Unitary1(RZ, []float64{lam})
+		p, _ := Unitary1(P, []float64{lam})
+		if !EqualUpToPhase2(rz, p, 1e-12) {
+			t.Errorf("rz(%v) not phase-equal to p(%v)", lam, lam)
+		}
+	}
+}
+
+func TestSTviaP(t *testing.T) {
+	s, _ := Unitary1(S, nil)
+	p2, _ := Unitary1(P, []float64{math.Pi / 2})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if cmplx.Abs(s[i][j]-p2[i][j]) > 1e-15 {
+				t.Error("s != p(π/2)")
+			}
+		}
+	}
+	tg, _ := Unitary1(T, nil)
+	p4, _ := Unitary1(P, []float64{math.Pi / 4})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if cmplx.Abs(tg[i][j]-p4[i][j]) > 1e-15 {
+				t.Error("t != p(π/4)")
+			}
+		}
+	}
+}
+
+func TestRotationComposition(t *testing.T) {
+	// rz(a)·rz(b) = rz(a+b)
+	a, _ := Unitary1(RZ, []float64{0.4})
+	b, _ := Unitary1(RZ, []float64{1.1})
+	ab, _ := Unitary1(RZ, []float64{1.5})
+	got := Mul2(a, b)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if cmplx.Abs(got[i][j]-ab[i][j]) > 1e-12 {
+				t.Error("rz angles do not add")
+			}
+		}
+	}
+}
+
+func TestInverseRules(t *testing.T) {
+	// Each (gate, inverse) product must be identity up to phase.
+	for _, n := range Names() {
+		info, _ := Lookup(n)
+		if info.Qubits != 1 {
+			continue
+		}
+		params := make([]float64, info.Params)
+		for i := range params {
+			params[i] = 1.234
+		}
+		invName, invParams, err := Inverse(n, params)
+		if err != nil {
+			t.Fatalf("Inverse(%s): %v", n, err)
+		}
+		m, _ := Unitary1(n, params)
+		inv, err := Unitary1(invName, invParams)
+		if err != nil {
+			t.Fatalf("Unitary1(%s): %v", invName, err)
+		}
+		id := Matrix2{{1, 0}, {0, 1}}
+		if !EqualUpToPhase2(Mul2(inv, m), id, 1e-12) {
+			t.Errorf("%s·%s != I up to phase", invName, n)
+		}
+	}
+}
+
+func TestInverseMultiQubitNames(t *testing.T) {
+	for _, n := range []Name{CX, CZ, SWAP, CCX, CSWAP} {
+		inv, params, err := Inverse(n, nil)
+		if err != nil || inv != n || params != nil {
+			t.Errorf("Inverse(%s) = %s, %v, %v; want self", n, inv, params, err)
+		}
+	}
+	cpInv, p, err := Inverse(CP, []float64{0.5})
+	if err != nil || cpInv != CP || p[0] != -0.5 {
+		t.Errorf("Inverse(cp) = %s %v %v", cpInv, p, err)
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	if _, err := Lookup("bogus"); err == nil {
+		t.Error("unknown gate accepted")
+	}
+	if _, err := Unitary1(CX, nil); err == nil {
+		t.Error("two-qubit gate accepted by Unitary1")
+	}
+	if _, err := Unitary1(RZ, nil); err == nil {
+		t.Error("missing parameter accepted")
+	}
+	if _, err := Unitary1(X, []float64{1}); err == nil {
+		t.Error("extra parameter accepted")
+	}
+	if Known("bogus") {
+		t.Error("Known(bogus)")
+	}
+	if !Known(CX) {
+		t.Error("!Known(cx)")
+	}
+}
+
+func TestIsDiagonal(t *testing.T) {
+	for _, n := range []Name{Z, S, Sdg, T, Tdg, RZ, P, CZ, CP} {
+		if !IsDiagonal(n) {
+			t.Errorf("IsDiagonal(%s) = false", n)
+		}
+	}
+	for _, n := range []Name{X, Y, H, SX, RX, RY, CX, SWAP} {
+		if IsDiagonal(n) {
+			t.Errorf("IsDiagonal(%s) = true", n)
+		}
+	}
+}
+
+func TestIsSelfInverse(t *testing.T) {
+	for _, n := range []Name{X, Y, Z, H, CX, CZ, SWAP, CCX, CSWAP} {
+		if !IsSelfInverse(n) {
+			t.Errorf("IsSelfInverse(%s) = false", n)
+		}
+	}
+	for _, n := range []Name{S, T, SX, RZ, RX, RY, P, CP} {
+		if IsSelfInverse(n) {
+			t.Errorf("IsSelfInverse(%s) = true", n)
+		}
+	}
+}
+
+func TestEqualUpToPhaseRejects(t *testing.T) {
+	x, _ := Unitary1(X, nil)
+	z, _ := Unitary1(Z, nil)
+	if EqualUpToPhase2(x, z, 1e-12) {
+		t.Error("x phase-equal to z")
+	}
+	var zero Matrix2
+	if EqualUpToPhase2(x, zero, 1e-12) {
+		t.Error("x phase-equal to zero matrix")
+	}
+}

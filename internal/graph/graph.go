@@ -1,0 +1,292 @@
+// Package graph provides the undirected weighted graphs used as Max-Cut and
+// QUBO workloads by the proof-of-concept experiments, together with exact
+// (brute force) Max-Cut evaluation for verifying backend results.
+//
+// The paper's §5 instance is Cycle(4) with unit weights; the benchmark
+// harness additionally sweeps complete, grid and Erdős–Rényi graphs.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Edge is an undirected weighted edge between vertices U < V.
+type Edge struct {
+	U, V   int
+	Weight float64
+}
+
+// Graph is a simple undirected weighted graph on vertices 0..N-1.
+type Graph struct {
+	N     int
+	Edges []Edge
+}
+
+// New returns an empty graph on n vertices. It panics if n < 0.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{N: n}
+}
+
+// AddEdge adds an undirected edge (u, v) with the given weight, normalizing
+// endpoint order. Self-loops and out-of-range endpoints are rejected.
+func (g *Graph) AddEdge(u, v int, w float64) error {
+	if u < 0 || u >= g.N || v < 0 || v >= g.N {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.N)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at vertex %d", u)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	g.Edges = append(g.Edges, Edge{U: u, V: v, Weight: w})
+	return nil
+}
+
+// HasEdge reports whether an edge between u and v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	for _, e := range g.Edges {
+		if e.U == u && e.V == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns the number of edges incident to v.
+func (g *Graph) Degree(v int) int {
+	d := 0
+	for _, e := range g.Edges {
+		if e.U == v || e.V == v {
+			d++
+		}
+	}
+	return d
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	s := 0.0
+	for _, e := range g.Edges {
+		s += e.Weight
+	}
+	return s
+}
+
+// Neighbors returns the sorted neighbor list of v.
+func (g *Graph) Neighbors(v int) []int {
+	var ns []int
+	for _, e := range g.Edges {
+		switch v {
+		case e.U:
+			ns = append(ns, e.V)
+		case e.V:
+			ns = append(ns, e.U)
+		}
+	}
+	sort.Ints(ns)
+	return ns
+}
+
+// CutValue returns the total weight of edges crossing the cut described by
+// assign, where assign[i] is the side (false = S̄, true = S) of vertex i.
+// It panics if len(assign) != g.N.
+func (g *Graph) CutValue(assign []bool) float64 {
+	if len(assign) != g.N {
+		panic(fmt.Sprintf("graph: assignment length %d != %d vertices", len(assign), g.N))
+	}
+	cut := 0.0
+	for _, e := range g.Edges {
+		if assign[e.U] != assign[e.V] {
+			cut += e.Weight
+		}
+	}
+	return cut
+}
+
+// CutValueBits is CutValue for a bitmask assignment (bit i = side of vertex
+// i), convenient when enumerating all 2^n cuts.
+func (g *Graph) CutValueBits(mask uint64) float64 {
+	cut := 0.0
+	for _, e := range g.Edges {
+		if (mask>>uint(e.U))&1 != (mask>>uint(e.V))&1 {
+			cut += e.Weight
+		}
+	}
+	return cut
+}
+
+// MaxCutResult is the outcome of exact Max-Cut enumeration.
+type MaxCutResult struct {
+	Value       float64  // optimal cut weight
+	Assignments []uint64 // every optimal bitmask (bit i = side of vertex i)
+}
+
+// MaxCutBruteForce enumerates all 2^(n-1) distinct cuts (vertex 0 pinned to
+// side 0 to break the global flip symmetry, then both representatives of
+// each optimal cut are reported). It panics for n > 30.
+func (g *Graph) MaxCutBruteForce() MaxCutResult {
+	if g.N > 30 {
+		panic("graph: brute force limited to 30 vertices")
+	}
+	if g.N == 0 {
+		return MaxCutResult{Value: 0, Assignments: []uint64{0}}
+	}
+	best := -1.0
+	var bestMasks []uint64
+	half := uint64(1) << uint(g.N-1) // vertex n-1 pinned to 0
+	for m := uint64(0); m < half; m++ {
+		v := g.CutValueBits(m)
+		switch {
+		case v > best:
+			best = v
+			bestMasks = bestMasks[:0]
+			bestMasks = append(bestMasks, m)
+		case v == best:
+			bestMasks = append(bestMasks, m)
+		}
+	}
+	// Report both global-flip representatives of each optimal cut, sorted,
+	// so callers can match measured bitstrings directly.
+	full := (uint64(1) << uint(g.N)) - 1
+	seen := map[uint64]bool{}
+	var all []uint64
+	for _, m := range bestMasks {
+		for _, rep := range [2]uint64{m, m ^ full} {
+			if !seen[rep] {
+				seen[rep] = true
+				all = append(all, rep)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return MaxCutResult{Value: best, Assignments: all}
+}
+
+// Cycle returns the n-cycle 0-1-…-(n-1)-0 with unit weights. This is the
+// paper's §5 workload for n=4.
+func Cycle(n int) *Graph {
+	g := New(n)
+	if n < 3 {
+		return g
+	}
+	for i := 0; i < n; i++ {
+		if err := g.AddEdge(i, (i+1)%n, 1); err != nil {
+			panic(err) // unreachable by construction
+		}
+	}
+	return g
+}
+
+// Path returns the n-vertex path 0-1-…-(n-1) with unit weights.
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(i, i+1, 1); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// Complete returns K_n with unit weights.
+func Complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := g.AddEdge(i, j, 1); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return g
+}
+
+// Grid returns the rows×cols king-less grid graph with unit weights.
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if err := g.AddEdge(id(r, c), id(r, c+1), 1); err != nil {
+					panic(err)
+				}
+			}
+			if r+1 < rows {
+				if err := g.AddEdge(id(r, c), id(r+1, c), 1); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// ErdosRenyi returns G(n, p) with unit weights, deterministically generated
+// from seed.
+func ErdosRenyi(n int, p float64, seed uint64) *Graph {
+	g := New(n)
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				if err := g.AddEdge(i, j, 1); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// RandomWeighted assigns each edge of g a uniform weight in [lo, hi),
+// returning a new graph with the same topology.
+func RandomWeighted(g *Graph, lo, hi float64, seed uint64) *Graph {
+	out := New(g.N)
+	r := rng.New(seed)
+	for _, e := range g.Edges {
+		if err := out.AddEdge(e.U, e.V, lo+(hi-lo)*r.Float64()); err != nil {
+			panic(err)
+		}
+	}
+	return out
+}
+
+// Connected reports whether g is connected (the empty graph and singletons
+// are considered connected).
+func (g *Graph) Connected() bool {
+	if g.N <= 1 {
+		return true
+	}
+	adj := make([][]int, g.N)
+	for _, e := range g.Edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	seen := make([]bool, g.N)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				stack = append(stack, u)
+			}
+		}
+	}
+	return count == g.N
+}

@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCycle4MaxCut(t *testing.T) {
+	// The paper's §5 instance: 4-cycle, unit weights. Optimal cut = 4 with
+	// exactly the two alternating assignments 0101 and 1010.
+	g := Cycle(4)
+	res := g.MaxCutBruteForce()
+	if res.Value != 4 {
+		t.Errorf("Cycle(4) max cut = %v, want 4", res.Value)
+	}
+	// bit i = vertex i; 0101 (vertices 0,2 on one side) = 0b0101 = 5,
+	// 1010 = 10.
+	want := []uint64{5, 10}
+	if len(res.Assignments) != 2 || res.Assignments[0] != want[0] || res.Assignments[1] != want[1] {
+		t.Errorf("Cycle(4) optimal assignments = %v, want %v", res.Assignments, want)
+	}
+}
+
+func TestCycle5MaxCut(t *testing.T) {
+	// Odd cycle: max cut is n-1.
+	res := Cycle(5).MaxCutBruteForce()
+	if res.Value != 4 {
+		t.Errorf("Cycle(5) max cut = %v, want 4", res.Value)
+	}
+}
+
+func TestCompleteMaxCut(t *testing.T) {
+	// K_n max cut = floor(n/2)*ceil(n/2).
+	for n := 2; n <= 8; n++ {
+		res := Complete(n).MaxCutBruteForce()
+		want := float64((n / 2) * ((n + 1) / 2))
+		if res.Value != want {
+			t.Errorf("K_%d max cut = %v, want %v", n, res.Value, want)
+		}
+	}
+}
+
+func TestPathMaxCut(t *testing.T) {
+	// A path is bipartite: every edge can be cut.
+	for n := 2; n <= 10; n++ {
+		res := Path(n).MaxCutBruteForce()
+		if res.Value != float64(n-1) {
+			t.Errorf("Path(%d) max cut = %v, want %d", n, res.Value, n-1)
+		}
+	}
+}
+
+func TestGridBipartite(t *testing.T) {
+	g := Grid(3, 4)
+	res := g.MaxCutBruteForce()
+	if res.Value != g.TotalWeight() {
+		t.Errorf("grid max cut %v != total weight %v (grid is bipartite)", res.Value, g.TotalWeight())
+	}
+}
+
+func TestCutValueMatchesBits(t *testing.T) {
+	g := ErdosRenyi(8, 0.5, 11)
+	for mask := uint64(0); mask < 256; mask++ {
+		assign := make([]bool, 8)
+		for i := 0; i < 8; i++ {
+			assign[i] = (mask>>uint(i))&1 == 1
+		}
+		if g.CutValue(assign) != g.CutValueBits(mask) {
+			t.Fatalf("CutValue disagrees with CutValueBits at mask %b", mask)
+		}
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 0, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 3, 1); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if err := g.AddEdge(-1, 1, 1); err == nil {
+		t.Error("negative endpoint accepted")
+	}
+	if err := g.AddEdge(2, 1, 1); err != nil {
+		t.Errorf("valid edge rejected: %v", err)
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Error("edge endpoint order not normalized")
+	}
+}
+
+func TestDegreeAndNeighbors(t *testing.T) {
+	g := Cycle(5)
+	for v := 0; v < 5; v++ {
+		if d := g.Degree(v); d != 2 {
+			t.Errorf("cycle vertex %d degree %d, want 2", v, d)
+		}
+	}
+	ns := g.Neighbors(0)
+	if len(ns) != 2 || ns[0] != 1 || ns[1] != 4 {
+		t.Errorf("Neighbors(0) = %v, want [1 4]", ns)
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(10, 0.4, 7)
+	b := ErdosRenyi(10, 0.4, 7)
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatalf("same seed gave %d vs %d edges", len(a.Edges), len(b.Edges))
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a.Edges[i], b.Edges[i])
+		}
+	}
+}
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	if g := ErdosRenyi(6, 0, 1); len(g.Edges) != 0 {
+		t.Errorf("G(6,0) has %d edges", len(g.Edges))
+	}
+	if g := ErdosRenyi(6, 1, 1); len(g.Edges) != 15 {
+		t.Errorf("G(6,1) has %d edges, want 15", len(g.Edges))
+	}
+}
+
+func TestRandomWeightedPreservesTopology(t *testing.T) {
+	base := Cycle(6)
+	w := RandomWeighted(base, 0.5, 2.0, 3)
+	if len(w.Edges) != len(base.Edges) {
+		t.Fatal("topology changed")
+	}
+	for i, e := range w.Edges {
+		if e.U != base.Edges[i].U || e.V != base.Edges[i].V {
+			t.Errorf("edge %d endpoints changed", i)
+		}
+		if e.Weight < 0.5 || e.Weight >= 2.0 {
+			t.Errorf("edge %d weight %v out of [0.5, 2.0)", i, e.Weight)
+		}
+	}
+}
+
+func TestConnected(t *testing.T) {
+	if !Cycle(5).Connected() {
+		t.Error("cycle not connected")
+	}
+	if !New(1).Connected() {
+		t.Error("singleton not connected")
+	}
+	g := New(4)
+	_ = g.AddEdge(0, 1, 1)
+	_ = g.AddEdge(2, 3, 1)
+	if g.Connected() {
+		t.Error("two components reported connected")
+	}
+}
+
+func TestQuickCutBoundedByTotalWeight(t *testing.T) {
+	f := func(seed uint64, mask uint16) bool {
+		g := ErdosRenyi(10, 0.5, seed)
+		cut := g.CutValueBits(uint64(mask) & 0x3ff)
+		return cut >= 0 && cut <= g.TotalWeight()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGlobalFlipSymmetry(t *testing.T) {
+	f := func(seed uint64, mask uint16) bool {
+		g := ErdosRenyi(10, 0.5, seed)
+		m := uint64(mask) & 0x3ff
+		full := uint64(1)<<10 - 1
+		return g.CutValueBits(m) == g.CutValueBits(m^full)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBruteForcePanicsOnLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("brute force on 31 vertices did not panic")
+		}
+	}()
+	New(31).MaxCutBruteForce()
+}

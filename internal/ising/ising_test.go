@@ -1,0 +1,249 @@
+package ising
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestCycle4IsingGroundStates(t *testing.T) {
+	// Paper §5: unit couplings on the 4-cycle. Ground states are the two
+	// alternating configurations 0101 (=5) and 1010 (=10), energy -4.
+	m := FromMaxCut(graph.Cycle(4))
+	gs := m.BruteForce()
+	if gs.Energy != -4 {
+		t.Errorf("ground energy = %v, want -4", gs.Energy)
+	}
+	if len(gs.Masks) != 2 || gs.Masks[0] != 5 || gs.Masks[1] != 10 {
+		t.Errorf("ground masks = %v, want [5 10]", gs.Masks)
+	}
+}
+
+func TestCutFromEnergy(t *testing.T) {
+	g := graph.Cycle(4)
+	m := FromMaxCut(g)
+	// Optimal: energy -4 -> cut 4. Uniform state (all same side): energy
+	// +4 -> cut 0.
+	if got := CutFromEnergy(g, m.EnergyBits(5)); got != 4 {
+		t.Errorf("cut(0101) = %v, want 4", got)
+	}
+	if got := CutFromEnergy(g, m.EnergyBits(0)); got != 0 {
+		t.Errorf("cut(0000) = %v, want 0", got)
+	}
+	if got := CutFromEnergy(g, m.EnergyBits(1)); got != 2 {
+		t.Errorf("cut(0001) = %v, want 2", got)
+	}
+}
+
+func TestCutEnergyCorrespondenceAllMasks(t *testing.T) {
+	g := graph.ErdosRenyi(8, 0.6, 42)
+	m := FromMaxCut(g)
+	for mask := uint64(0); mask < 256; mask++ {
+		cut := g.CutValueBits(mask)
+		fromE := CutFromEnergy(g, m.EnergyBits(mask))
+		if math.Abs(cut-fromE) > 1e-9 {
+			t.Fatalf("mask %b: cut %v != energy-derived %v", mask, cut, fromE)
+		}
+	}
+}
+
+func TestEnergyManual(t *testing.T) {
+	m := NewModel(2)
+	m.H[0] = 0.5
+	m.H[1] = -1
+	m.SetJ(0, 1, 2)
+	// s = (+1, +1): 0.5 - 1 + 2 = 1.5
+	if e := m.Energy([]int8{1, 1}); e != 1.5 {
+		t.Errorf("E(+,+) = %v, want 1.5", e)
+	}
+	// s = (+1, -1): 0.5 + 1 - 2 = -0.5
+	if e := m.Energy([]int8{1, -1}); e != -0.5 {
+		t.Errorf("E(+,-) = %v, want -0.5", e)
+	}
+}
+
+func TestEnergyPanicsOnBadSpin(t *testing.T) {
+	m := NewModel(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-±1 spin accepted")
+		}
+	}()
+	m.Energy([]int8{0})
+}
+
+func TestSetJValidation(t *testing.T) {
+	m := NewModel(3)
+	for _, fn := range []func(){
+		func() { m.SetJ(0, 0, 1) },
+		func() { m.SetJ(0, 3, 1) },
+		func() { m.SetJ(-1, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid SetJ did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	m.SetJ(2, 0, 1.5)
+	if m.GetJ(0, 2) != 1.5 || m.GetJ(2, 0) != 1.5 {
+		t.Error("coupling order not normalized")
+	}
+	m.SetJ(0, 2, 0)
+	if len(m.J) != 0 {
+		t.Error("zero coupling not removed")
+	}
+}
+
+func TestQUBOIsingRoundTripEnergies(t *testing.T) {
+	// Property: for random QUBOs, ToIsing preserves energies on every
+	// configuration, and Ising.ToQUBO inverts.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(8)
+		q := NewQUBO(n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				if r.Float64() < 0.6 {
+					q.Set(i, j, 2*r.Float64()-1)
+				}
+			}
+		}
+		q.Offset = r.Float64()
+		m := q.ToIsing()
+		back := m.ToQUBO()
+		for mask := uint64(0); mask < uint64(1)<<uint(n); mask++ {
+			eq := q.EnergyBits(mask)
+			em := m.EnergyBits(mask)
+			eb := back.EnergyBits(mask)
+			if math.Abs(eq-em) > 1e-9 || math.Abs(eq-eb) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsingQUBORoundTripEnergies(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(8)
+		m := NewModel(n)
+		for i := 0; i < n; i++ {
+			m.H[i] = 2*r.Float64() - 1
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.5 {
+					m.SetJ(i, j, 2*r.Float64()-1)
+				}
+			}
+		}
+		q := m.ToQUBO()
+		for mask := uint64(0); mask < uint64(1)<<uint(n); mask++ {
+			if math.Abs(m.EnergyBits(mask)-q.EnergyBits(mask)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpinsBitsRoundTrip(t *testing.T) {
+	f := func(mask uint16) bool {
+		s := SpinsFromBits(uint64(mask), 16)
+		return BitsFromSpins(s) == uint64(mask)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalFieldMatchesEnergyDelta(t *testing.T) {
+	r := rng.New(13)
+	m := NewModel(6)
+	for i := 0; i < 6; i++ {
+		m.H[i] = 2*r.Float64() - 1
+		for j := i + 1; j < 6; j++ {
+			m.SetJ(i, j, 2*r.Float64()-1)
+		}
+	}
+	for mask := uint64(0); mask < 64; mask++ {
+		s := SpinsFromBits(mask, 6)
+		e0 := m.Energy(s)
+		for i := 0; i < 6; i++ {
+			field := m.LocalField(i, s)
+			s[i] = -s[i]
+			e1 := m.Energy(s)
+			s[i] = -s[i]
+			// Flipping spin i: ΔE = −2·s_i_new... with s_i old value:
+			// ΔE = e1 − e0 = −2·s_i·field
+			want := -2 * float64(s[i]) * field
+			if math.Abs((e1-e0)-want) > 1e-9 {
+				t.Fatalf("mask %b spin %d: ΔE = %v, want %v", mask, i, e1-e0, want)
+			}
+		}
+	}
+}
+
+func TestAdjacencyList(t *testing.T) {
+	m := FromMaxCut(graph.Cycle(4))
+	adj := m.AdjacencyList()
+	want := [][]int{{1, 3}, {0, 2}, {1, 3}, {0, 2}}
+	for i := range want {
+		if len(adj[i]) != len(want[i]) {
+			t.Fatalf("adj[%d] = %v, want %v", i, adj[i], want[i])
+		}
+		for k := range want[i] {
+			if adj[i][k] != want[i][k] {
+				t.Fatalf("adj[%d] = %v, want %v", i, adj[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMaxAbsCoupling(t *testing.T) {
+	m := NewModel(3)
+	m.H[0] = -0.25
+	m.SetJ(0, 1, 1.5)
+	m.SetJ(1, 2, -2.5)
+	if got := m.MaxAbsCoupling(); got != 2.5 {
+		t.Errorf("MaxAbsCoupling = %v, want 2.5", got)
+	}
+}
+
+func TestBruteForceDegenerateOffset(t *testing.T) {
+	m := NewModel(2)
+	m.Offset = 3
+	gs := m.BruteForce()
+	if gs.Energy != 3 {
+		t.Errorf("zero model ground energy = %v, want offset 3", gs.Energy)
+	}
+	if len(gs.Masks) != 4 {
+		t.Errorf("zero model has %d ground states, want all 4", len(gs.Masks))
+	}
+}
+
+func TestCouplingsDeterministicOrder(t *testing.T) {
+	m := NewModel(4)
+	m.SetJ(2, 3, 1)
+	m.SetJ(0, 1, 1)
+	m.SetJ(0, 3, 1)
+	cs := m.Couplings()
+	want := [][2]int{{0, 1}, {0, 3}, {2, 3}}
+	for i := range want {
+		if cs[i] != want[i] {
+			t.Fatalf("Couplings() = %v, want %v", cs, want)
+		}
+	}
+}

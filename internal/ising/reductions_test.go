@@ -1,0 +1,193 @@
+package ising
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestNumberPartitioningPerfect(t *testing.T) {
+	// {3, 1, 1, 2, 2, 1}: total 10, perfectly balanced 5/5 exists.
+	m, err := NumberPartitioning([]float64{3, 1, 1, 2, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := m.BruteForce()
+	if math.Abs(gs.Energy) > 1e-9 {
+		t.Errorf("ground energy %v, want 0 (perfect partition)", gs.Energy)
+	}
+	if PartitionDifference(gs.Energy) != 0 {
+		t.Errorf("difference %v", PartitionDifference(gs.Energy))
+	}
+	// Each ground mask partitions into equal halves.
+	weights := []float64{3, 1, 1, 2, 2, 1}
+	for _, mask := range gs.Masks {
+		sum := 0.0
+		for i, w := range weights {
+			if mask>>uint(i)&1 == 1 {
+				sum += w
+			} else {
+				sum -= w
+			}
+		}
+		if math.Abs(sum) > 1e-9 {
+			t.Errorf("ground mask %b has imbalance %v", mask, sum)
+		}
+	}
+}
+
+func TestNumberPartitioningOdd(t *testing.T) {
+	// {5, 3, 1}: best split difference is 1 → ground energy 1.
+	m, err := NumberPartitioning([]float64{5, 3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := m.BruteForce()
+	if math.Abs(gs.Energy-1) > 1e-9 {
+		t.Errorf("ground energy %v, want 1", gs.Energy)
+	}
+	if d := PartitionDifference(gs.Energy); math.Abs(d-1) > 1e-9 {
+		t.Errorf("difference %v, want 1", d)
+	}
+}
+
+func TestNumberPartitioningEnergyIsSquaredImbalance(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(7)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = float64(1 + r.Intn(9))
+		}
+		m, err := NumberPartitioning(weights)
+		if err != nil {
+			return false
+		}
+		for mask := uint64(0); mask < uint64(1)<<uint(n); mask++ {
+			sum := 0.0
+			for i, w := range weights {
+				if mask>>uint(i)&1 == 1 {
+					sum += w
+				} else {
+					sum -= w
+				}
+			}
+			if math.Abs(m.EnergyBits(mask)-sum*sum) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumberPartitioningValidation(t *testing.T) {
+	if _, err := NumberPartitioning([]float64{1}); err == nil {
+		t.Error("single weight accepted")
+	}
+}
+
+func bruteForceQUBO(q *QUBO) (float64, []uint64) {
+	best := math.Inf(1)
+	var masks []uint64
+	for mask := uint64(0); mask < uint64(1)<<uint(q.N); mask++ {
+		e := q.EnergyBits(mask)
+		switch {
+		case e < best-1e-12:
+			best = e
+			masks = []uint64{mask}
+		case math.Abs(e-best) <= 1e-12:
+			masks = append(masks, mask)
+		}
+	}
+	return best, masks
+}
+
+func TestMinVertexCoverExact(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		g := graph.ErdosRenyi(7, 0.4, seed)
+		q, err := MinVertexCover(g, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, masks := bruteForceQUBO(q)
+		// Exact minimum cover size by direct enumeration.
+		minCover := g.N + 1
+		for mask := uint64(0); mask < uint64(1)<<uint(g.N); mask++ {
+			if IsVertexCover(g, mask) && PopCount(mask) < minCover {
+				minCover = PopCount(mask)
+			}
+		}
+		for _, mask := range masks {
+			if !IsVertexCover(g, mask) {
+				t.Errorf("seed %d: QUBO minimum %b is not a cover", seed, mask)
+			}
+			if PopCount(mask) != minCover {
+				t.Errorf("seed %d: QUBO cover size %d, optimum %d", seed, PopCount(mask), minCover)
+			}
+		}
+	}
+}
+
+func TestMaxIndependentSetExact(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		g := graph.ErdosRenyi(7, 0.4, seed)
+		q, err := MaxIndependentSet(g, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, masks := bruteForceQUBO(q)
+		maxSet := 0
+		for mask := uint64(0); mask < uint64(1)<<uint(g.N); mask++ {
+			if IsIndependentSet(g, mask) && PopCount(mask) > maxSet {
+				maxSet = PopCount(mask)
+			}
+		}
+		for _, mask := range masks {
+			if !IsIndependentSet(g, mask) {
+				t.Errorf("seed %d: QUBO minimum %b is not independent", seed, mask)
+			}
+			if PopCount(mask) != maxSet {
+				t.Errorf("seed %d: QUBO set size %d, optimum %d", seed, PopCount(mask), maxSet)
+			}
+		}
+	}
+}
+
+func TestCoverAndISComplement(t *testing.T) {
+	// König duality of the reductions themselves: the complement of a
+	// maximum independent set is a minimum vertex cover.
+	g := graph.ErdosRenyi(8, 0.5, 9)
+	qIS, _ := MaxIndependentSet(g, 2)
+	_, isMasks := bruteForceQUBO(qIS)
+	full := uint64(1)<<uint(g.N) - 1
+	for _, mask := range isMasks {
+		if !IsVertexCover(g, mask^full) {
+			t.Errorf("complement of IS %b is not a cover", mask)
+		}
+	}
+}
+
+func TestPenaltyValidation(t *testing.T) {
+	g := graph.Cycle(4)
+	if _, err := MinVertexCover(g, 1); err == nil {
+		t.Error("penalty 1 accepted for vertex cover")
+	}
+	if _, err := MaxIndependentSet(g, 0.5); err == nil {
+		t.Error("penalty 0.5 accepted for independent set")
+	}
+}
+
+func TestPopCount(t *testing.T) {
+	cases := map[uint64]int{0: 0, 1: 1, 3: 2, 255: 8, 1 << 40: 1}
+	for mask, want := range cases {
+		if got := PopCount(mask); got != want {
+			t.Errorf("PopCount(%d) = %d, want %d", mask, got, want)
+		}
+	}
+}

@@ -1,0 +1,416 @@
+// Package jsonschema implements a small JSON Schema validator covering the
+// subset of the specification that the middle layer's descriptor schemas
+// use: type, enum, const, required, properties, additionalProperties,
+// items, array and string length bounds, numeric bounds, pattern,
+// allOf/anyOf/oneOf/not, and local $ref into $defs.
+//
+// The paper's descriptors each name a schema in their "$schema" field
+// (qdt-core.schema.json, qod.schema.json, ctx.schema.json); validating
+// artifacts against those schemas is how the middle layer "catches
+// mismatches early" before anything reaches a backend.
+package jsonschema
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Schema is a parsed JSON Schema document.
+type Schema struct {
+	raw  map[string]any
+	root *Schema // document root, for $ref resolution
+
+	compiled map[string]*regexp.Regexp
+}
+
+// Compile parses and prepares a schema from its JSON source.
+func Compile(src []byte) (*Schema, error) {
+	var raw map[string]any
+	if err := json.Unmarshal(src, &raw); err != nil {
+		return nil, fmt.Errorf("jsonschema: parse: %w", err)
+	}
+	s := &Schema{raw: raw, compiled: map[string]*regexp.Regexp{}}
+	s.root = s
+	if err := s.compilePatterns(raw); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustCompile is Compile for schemas embedded in the binary; it panics on
+// error, which can only indicate a programming mistake.
+func MustCompile(src []byte) *Schema {
+	s, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *Schema) compilePatterns(node any) error {
+	switch v := node.(type) {
+	case map[string]any:
+		if p, ok := v["pattern"].(string); ok {
+			if _, done := s.compiled[p]; !done {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					return fmt.Errorf("jsonschema: bad pattern %q: %w", p, err)
+				}
+				s.compiled[p] = re
+			}
+		}
+		for _, child := range v {
+			if err := s.compilePatterns(child); err != nil {
+				return err
+			}
+		}
+	case []any:
+		for _, child := range v {
+			if err := s.compilePatterns(child); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ValidationError describes a single constraint violation.
+type ValidationError struct {
+	Path    string // JSON pointer-ish path to the offending value
+	Message string
+}
+
+func (e ValidationError) Error() string {
+	if e.Path == "" {
+		return e.Message
+	}
+	return e.Path + ": " + e.Message
+}
+
+// Errors aggregates all violations found in one document.
+type Errors []ValidationError
+
+func (es Errors) Error() string {
+	if len(es) == 0 {
+		return "jsonschema: no errors"
+	}
+	msgs := make([]string, len(es))
+	for i, e := range es {
+		msgs[i] = e.Error()
+	}
+	return "jsonschema: " + strings.Join(msgs, "; ")
+}
+
+// ValidateBytes validates raw JSON against the schema.
+func (s *Schema) ValidateBytes(doc []byte) error {
+	var v any
+	if err := json.Unmarshal(doc, &v); err != nil {
+		return fmt.Errorf("jsonschema: document parse: %w", err)
+	}
+	return s.Validate(v)
+}
+
+// Validate validates a decoded JSON value (as produced by encoding/json
+// into any) against the schema. It returns nil or an Errors value listing
+// every violation.
+func (s *Schema) Validate(v any) error {
+	var errs Errors
+	s.validate(s.raw, v, "$", &errs)
+	if len(errs) == 0 {
+		return nil
+	}
+	return errs
+}
+
+func (s *Schema) resolveRef(ref string) (map[string]any, bool) {
+	// Only local refs of the form "#/$defs/name" (or nested) are supported.
+	if !strings.HasPrefix(ref, "#/") {
+		return nil, false
+	}
+	parts := strings.Split(strings.TrimPrefix(ref, "#/"), "/")
+	var cur any = s.root.raw
+	for _, p := range parts {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return nil, false
+		}
+		cur, ok = m[p]
+		if !ok {
+			return nil, false
+		}
+	}
+	m, ok := cur.(map[string]any)
+	return m, ok
+}
+
+func jsonType(v any) string {
+	switch t := v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return "boolean"
+	case string:
+		return "string"
+	case float64:
+		if t == math.Trunc(t) && !math.IsInf(t, 0) {
+			return "integer"
+		}
+		return "number"
+	case json.Number:
+		if _, err := t.Int64(); err == nil {
+			return "integer"
+		}
+		return "number"
+	case []any:
+		return "array"
+	case map[string]any:
+		return "object"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
+
+func typeMatches(want string, v any) bool {
+	got := jsonType(v)
+	if want == got {
+		return true
+	}
+	// An integer is also a number.
+	return want == "number" && got == "integer"
+}
+
+func asFloat(v any) (float64, bool) {
+	switch t := v.(type) {
+	case float64:
+		return t, true
+	case json.Number:
+		f, err := t.Float64()
+		return f, err == nil
+	}
+	return 0, false
+}
+
+func deepEqual(a, b any) bool {
+	ab, errA := json.Marshal(canonical(a))
+	bb, errB := json.Marshal(canonical(b))
+	return errA == nil && errB == nil && string(ab) == string(bb)
+}
+
+// canonical recursively sorts map keys so deepEqual is order-insensitive.
+// encoding/json already sorts map keys, so this is mainly about normalizing
+// numeric forms.
+func canonical(v any) any { return v }
+
+func (s *Schema) validate(schema map[string]any, v any, path string, errs *Errors) {
+	if ref, ok := schema["$ref"].(string); ok {
+		target, found := s.resolveRef(ref)
+		if !found {
+			*errs = append(*errs, ValidationError{path, fmt.Sprintf("unresolvable $ref %q", ref)})
+			return
+		}
+		s.validate(target, v, path, errs)
+		return
+	}
+
+	if t, ok := schema["type"]; ok {
+		switch tt := t.(type) {
+		case string:
+			if !typeMatches(tt, v) {
+				*errs = append(*errs, ValidationError{path, fmt.Sprintf("got %s, want %s", jsonType(v), tt)})
+				return
+			}
+		case []any:
+			okAny := false
+			var names []string
+			for _, alt := range tt {
+				if name, isStr := alt.(string); isStr {
+					names = append(names, name)
+					if typeMatches(name, v) {
+						okAny = true
+					}
+				}
+			}
+			if !okAny {
+				*errs = append(*errs, ValidationError{path, fmt.Sprintf("got %s, want one of %v", jsonType(v), names)})
+				return
+			}
+		}
+	}
+
+	if enum, ok := schema["enum"].([]any); ok {
+		found := false
+		for _, e := range enum {
+			if deepEqual(e, v) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			*errs = append(*errs, ValidationError{path, fmt.Sprintf("value %v not in enum", compactJSON(v))})
+		}
+	}
+	if c, ok := schema["const"]; ok {
+		if !deepEqual(c, v) {
+			*errs = append(*errs, ValidationError{path, fmt.Sprintf("value %v != const %v", compactJSON(v), compactJSON(c))})
+		}
+	}
+
+	if f, isNum := asFloat(v); isNum {
+		if m, ok := asFloat(schema["minimum"]); ok && f < m {
+			*errs = append(*errs, ValidationError{path, fmt.Sprintf("%v < minimum %v", f, m)})
+		}
+		if m, ok := asFloat(schema["maximum"]); ok && f > m {
+			*errs = append(*errs, ValidationError{path, fmt.Sprintf("%v > maximum %v", f, m)})
+		}
+		if m, ok := asFloat(schema["exclusiveMinimum"]); ok && f <= m {
+			*errs = append(*errs, ValidationError{path, fmt.Sprintf("%v <= exclusiveMinimum %v", f, m)})
+		}
+		if m, ok := asFloat(schema["exclusiveMaximum"]); ok && f >= m {
+			*errs = append(*errs, ValidationError{path, fmt.Sprintf("%v >= exclusiveMaximum %v", f, m)})
+		}
+		if m, ok := asFloat(schema["multipleOf"]); ok && m > 0 {
+			q := f / m
+			if math.Abs(q-math.Round(q)) > 1e-9 {
+				*errs = append(*errs, ValidationError{path, fmt.Sprintf("%v is not a multiple of %v", f, m)})
+			}
+		}
+	}
+
+	if str, isStr := v.(string); isStr {
+		if m, ok := asFloat(schema["minLength"]); ok && float64(len([]rune(str))) < m {
+			*errs = append(*errs, ValidationError{path, fmt.Sprintf("string length %d < minLength %v", len([]rune(str)), m)})
+		}
+		if m, ok := asFloat(schema["maxLength"]); ok && float64(len([]rune(str))) > m {
+			*errs = append(*errs, ValidationError{path, fmt.Sprintf("string length %d > maxLength %v", len([]rune(str)), m)})
+		}
+		if p, ok := schema["pattern"].(string); ok {
+			re := s.root.compiled[p]
+			if re != nil && !re.MatchString(str) {
+				*errs = append(*errs, ValidationError{path, fmt.Sprintf("string %q does not match pattern %q", str, p)})
+			}
+		}
+	}
+
+	if arr, isArr := v.([]any); isArr {
+		if m, ok := asFloat(schema["minItems"]); ok && float64(len(arr)) < m {
+			*errs = append(*errs, ValidationError{path, fmt.Sprintf("array length %d < minItems %v", len(arr), m)})
+		}
+		if m, ok := asFloat(schema["maxItems"]); ok && float64(len(arr)) > m {
+			*errs = append(*errs, ValidationError{path, fmt.Sprintf("array length %d > maxItems %v", len(arr), m)})
+		}
+		if items, ok := schema["items"].(map[string]any); ok {
+			for i, elem := range arr {
+				s.validate(items, elem, fmt.Sprintf("%s[%d]", path, i), errs)
+			}
+		}
+		if uniq, ok := schema["uniqueItems"].(bool); ok && uniq {
+			seen := map[string]int{}
+			for i, elem := range arr {
+				key := compactJSON(elem)
+				if j, dup := seen[key]; dup {
+					*errs = append(*errs, ValidationError{fmt.Sprintf("%s[%d]", path, i), fmt.Sprintf("duplicate of element %d", j)})
+				} else {
+					seen[key] = i
+				}
+			}
+		}
+	}
+
+	if obj, isObj := v.(map[string]any); isObj {
+		if req, ok := schema["required"].([]any); ok {
+			for _, r := range req {
+				name, _ := r.(string)
+				if _, present := obj[name]; !present {
+					*errs = append(*errs, ValidationError{path, fmt.Sprintf("missing required property %q", name)})
+				}
+			}
+		}
+		props, _ := schema["properties"].(map[string]any)
+		for name, sub := range props {
+			if child, present := obj[name]; present {
+				if subSchema, ok := sub.(map[string]any); ok {
+					s.validate(subSchema, child, path+"."+name, errs)
+				}
+			}
+		}
+		if ap, ok := schema["additionalProperties"]; ok {
+			// Deterministic error ordering: iterate keys sorted.
+			keys := make([]string, 0, len(obj))
+			for k := range obj {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if _, declared := props[k]; declared {
+					continue
+				}
+				switch rule := ap.(type) {
+				case bool:
+					if !rule {
+						*errs = append(*errs, ValidationError{path, fmt.Sprintf("unexpected property %q", k)})
+					}
+				case map[string]any:
+					s.validate(rule, obj[k], path+"."+k, errs)
+				}
+			}
+		}
+	}
+
+	if all, ok := schema["allOf"].([]any); ok {
+		for _, sub := range all {
+			if m, isM := sub.(map[string]any); isM {
+				s.validate(m, v, path, errs)
+			}
+		}
+	}
+	if anyOf, ok := schema["anyOf"].([]any); ok {
+		matched := false
+		for _, sub := range anyOf {
+			if m, isM := sub.(map[string]any); isM {
+				var trial Errors
+				s.validate(m, v, path, &trial)
+				if len(trial) == 0 {
+					matched = true
+					break
+				}
+			}
+		}
+		if !matched {
+			*errs = append(*errs, ValidationError{path, "value matches no anyOf alternative"})
+		}
+	}
+	if oneOf, ok := schema["oneOf"].([]any); ok {
+		matches := 0
+		for _, sub := range oneOf {
+			if m, isM := sub.(map[string]any); isM {
+				var trial Errors
+				s.validate(m, v, path, &trial)
+				if len(trial) == 0 {
+					matches++
+				}
+			}
+		}
+		if matches != 1 {
+			*errs = append(*errs, ValidationError{path, fmt.Sprintf("value matches %d oneOf alternatives, want exactly 1", matches)})
+		}
+	}
+	if not, ok := schema["not"].(map[string]any); ok {
+		var trial Errors
+		s.validate(not, v, path, &trial)
+		if len(trial) == 0 {
+			*errs = append(*errs, ValidationError{path, "value matches forbidden (not) schema"})
+		}
+	}
+}
+
+func compactJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("%v", v)
+	}
+	return string(b)
+}

@@ -1,0 +1,249 @@
+// Package pulse implements the pulse/control context service (paper
+// §4.3.1): lowering a gate circuit to a timed pulse schedule with
+// per-gate durations, ASAP scheduling across drive channels, and simple
+// waveform synthesis — giving the middle layer a realization path whose
+// cost metric is *duration*, the quantity the paper's §2 example notes is
+// invisible without cost metadata.
+package pulse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/ctxdesc"
+)
+
+// Default timing model, loosely shaped on superconducting-qubit stacks.
+const (
+	DefaultDTNanos       = 0.222 // sample period
+	DefaultSingleGateNS  = 35.0
+	DefaultTwoGateNS     = 300.0
+	DefaultMeasureNS     = 1000.0
+	DefaultVirtualZNanos = 0.0 // rz is a frame update: zero duration
+)
+
+// Config is the resolved pulse timing model.
+type Config struct {
+	DTNanos      float64
+	SingleGateNS float64
+	TwoGateNS    float64
+	MeasureNS    float64
+	Calibrations map[string]float64 // per-gate-name duration overrides
+}
+
+// FromContext resolves a Config from the context's pulse block (nil block
+// = all defaults).
+func FromContext(p *ctxdesc.Pulse) Config {
+	cfg := Config{
+		DTNanos:      DefaultDTNanos,
+		SingleGateNS: DefaultSingleGateNS,
+		TwoGateNS:    DefaultTwoGateNS,
+		MeasureNS:    DefaultMeasureNS,
+	}
+	if p == nil {
+		return cfg
+	}
+	if p.DTNanos > 0 {
+		cfg.DTNanos = p.DTNanos
+	}
+	if p.SingleGateNS > 0 {
+		cfg.SingleGateNS = p.SingleGateNS
+	}
+	if p.TwoGateNS > 0 {
+		cfg.TwoGateNS = p.TwoGateNS
+	}
+	if len(p.Calibrations) > 0 {
+		cfg.Calibrations = map[string]float64{}
+		for k, v := range p.Calibrations {
+			cfg.Calibrations[k] = v
+		}
+	}
+	return cfg
+}
+
+// duration returns the gate's duration under the config.
+func (cfg Config) duration(ins circuit.Instruction) (float64, error) {
+	switch ins.Op {
+	case circuit.OpMeasure:
+		return cfg.MeasureNS, nil
+	case circuit.OpBarrier:
+		return 0, nil
+	case circuit.OpGate:
+		if d, ok := cfg.Calibrations[string(ins.Gate)]; ok {
+			return d, nil
+		}
+		if ins.Gate == "rz" || ins.Gate == "p" || ins.Gate == "z" ||
+			ins.Gate == "s" || ins.Gate == "sdg" || ins.Gate == "t" || ins.Gate == "tdg" {
+			// Diagonal single-qubit gates realize as virtual-Z frame
+			// updates: free.
+			return DefaultVirtualZNanos, nil
+		}
+		switch len(ins.Qubits) {
+		case 1:
+			return cfg.SingleGateNS, nil
+		case 2:
+			return cfg.TwoGateNS, nil
+		default:
+			return 0, fmt.Errorf("pulse: %d-qubit gate %q has no pulse realization; decompose first", len(ins.Qubits), ins.Gate)
+		}
+	}
+	return 0, fmt.Errorf("pulse: opcode %d has no pulse realization", ins.Op)
+}
+
+// Op is one scheduled pulse.
+type Op struct {
+	Label      string
+	Qubits     []int
+	StartNS    float64
+	DurationNS float64
+}
+
+// Schedule is a timed pulse program.
+type Schedule struct {
+	Ops             []Op
+	TotalDurationNS float64
+	PerQubitBusyNS  []float64
+}
+
+// Lower converts a circuit to a pulse schedule with ASAP scheduling: each
+// op starts when all its qubits are free; barriers synchronize.
+func Lower(c *circuit.Circuit, cfg Config) (*Schedule, error) {
+	free := make([]float64, c.NumQubits)
+	busy := make([]float64, c.NumQubits)
+	sched := &Schedule{PerQubitBusyNS: busy}
+	for idx, ins := range c.Instrs {
+		dur, err := cfg.duration(ins)
+		if err != nil {
+			return nil, fmt.Errorf("pulse: instruction %d: %w", idx, err)
+		}
+		qubits := ins.Qubits
+		if ins.Op == circuit.OpBarrier && len(qubits) == 0 {
+			qubits = make([]int, c.NumQubits)
+			for i := range qubits {
+				qubits[i] = i
+			}
+		}
+		start := 0.0
+		for _, q := range qubits {
+			if free[q] > start {
+				start = free[q]
+			}
+		}
+		end := start + dur
+		for _, q := range qubits {
+			free[q] = end
+			if ins.Op != circuit.OpBarrier {
+				busy[q] += dur
+			}
+		}
+		if ins.Op != circuit.OpBarrier && dur >= 0 {
+			label := string(ins.Gate)
+			if ins.Op == circuit.OpMeasure {
+				label = "measure"
+			}
+			sched.Ops = append(sched.Ops, Op{Label: label, Qubits: append([]int(nil), qubits...), StartNS: start, DurationNS: dur})
+		}
+		if end > sched.TotalDurationNS {
+			sched.TotalDurationNS = end
+		}
+	}
+	return sched, nil
+}
+
+// Waveform synthesizes drive-envelope samples for an op: a Gaussian for
+// single-qubit pulses, a flat-top Gaussian-square for two-qubit pulses.
+// Amplitude is normalized to 1; the sample period comes from the config.
+func Waveform(op Op, cfg Config) []float64 {
+	n := int(math.Ceil(op.DurationNS / cfg.DTNanos))
+	if n <= 0 {
+		return nil
+	}
+	samples := make([]float64, n)
+	switch len(op.Qubits) {
+	case 1:
+		// Gaussian centred at n/2 with σ = n/6.
+		sigma := float64(n) / 6
+		mid := float64(n-1) / 2
+		for i := range samples {
+			d := (float64(i) - mid) / sigma
+			samples[i] = math.Exp(-d * d / 2)
+		}
+	default:
+		// Gaussian-square: σ = n/10 edges, flat top.
+		rise := n / 5
+		if rise < 1 {
+			rise = 1
+		}
+		sigma := float64(rise) / 2
+		for i := range samples {
+			switch {
+			case i < rise:
+				d := float64(i-rise) / sigma
+				samples[i] = math.Exp(-d * d / 2)
+			case i >= n-rise:
+				d := float64(i-(n-rise-1)) / sigma
+				samples[i] = math.Exp(-d * d / 2)
+			default:
+				samples[i] = 1
+			}
+		}
+	}
+	return samples
+}
+
+// CriticalPath returns the ops on the schedule's longest time chain,
+// useful for duration-oriented cost reporting.
+func (s *Schedule) CriticalPath() []Op {
+	if len(s.Ops) == 0 {
+		return nil
+	}
+	// Walk backward from the op that ends last, following the
+	// latest-ending predecessor sharing a qubit. Predecessors are earlier
+	// in the time-sorted order (strictly, so chains of zero-duration
+	// virtual-Z ops at the same instant cannot cycle).
+	ops := append([]Op(nil), s.Ops...)
+	sort.SliceStable(ops, func(i, j int) bool {
+		return ops[i].StartNS+ops[i].DurationNS < ops[j].StartNS+ops[j].DurationNS
+	})
+	curIdx := len(ops) - 1
+	path := []Op{ops[curIdx]}
+	for {
+		cur := ops[curIdx]
+		prevIdx := -1
+		for i := 0; i < curIdx; i++ {
+			o := ops[i]
+			if o.StartNS+o.DurationNS > cur.StartNS+1e-9 {
+				continue
+			}
+			if !sharesQubit(o, cur) {
+				continue
+			}
+			if prevIdx < 0 || o.StartNS+o.DurationNS >= ops[prevIdx].StartNS+ops[prevIdx].DurationNS {
+				prevIdx = i
+			}
+		}
+		if prevIdx < 0 {
+			break
+		}
+		path = append(path, ops[prevIdx])
+		curIdx = prevIdx
+	}
+	// Reverse into time order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+func sharesQubit(a, b Op) bool {
+	for _, q := range a.Qubits {
+		for _, p := range b.Qubits {
+			if q == p {
+				return true
+			}
+		}
+	}
+	return false
+}

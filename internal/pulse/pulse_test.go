@@ -1,0 +1,174 @@
+package pulse
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/ctxdesc"
+)
+
+func TestFromContextDefaults(t *testing.T) {
+	cfg := FromContext(nil)
+	if cfg.SingleGateNS != DefaultSingleGateNS || cfg.TwoGateNS != DefaultTwoGateNS {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+	over := FromContext(&ctxdesc.Pulse{SingleGateNS: 50, TwoGateNS: 400,
+		Calibrations: map[string]float64{"sx": 20}})
+	if over.SingleGateNS != 50 || over.TwoGateNS != 400 || over.Calibrations["sx"] != 20 {
+		t.Errorf("overrides ignored: %+v", over)
+	}
+}
+
+func TestLowerSerialVsParallel(t *testing.T) {
+	cfg := FromContext(nil)
+	// Two H gates on different qubits run in parallel: total = 35ns.
+	par := circuit.New(2, 0)
+	par.H(0).H(1)
+	s, err := Lower(par, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.TotalDurationNS-35) > 1e-9 {
+		t.Errorf("parallel duration = %v, want 35", s.TotalDurationNS)
+	}
+	// Same qubit: serial, 70ns.
+	ser := circuit.New(1, 0)
+	ser.H(0).H(0)
+	s2, _ := Lower(ser, cfg)
+	if math.Abs(s2.TotalDurationNS-70) > 1e-9 {
+		t.Errorf("serial duration = %v, want 70", s2.TotalDurationNS)
+	}
+}
+
+func TestLowerVirtualZIsFree(t *testing.T) {
+	c := circuit.New(1, 0)
+	c.RZ(1.0, 0).S(0).T(0).Z(0)
+	s, err := Lower(c, FromContext(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalDurationNS != 0 {
+		t.Errorf("virtual-Z chain duration = %v, want 0", s.TotalDurationNS)
+	}
+}
+
+func TestLowerTwoQubitBlocksBoth(t *testing.T) {
+	cfg := FromContext(nil)
+	c := circuit.New(2, 0)
+	c.CX(0, 1) // 300ns
+	c.H(0)     // waits for cx: starts at 300
+	s, err := Lower(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.TotalDurationNS-335) > 1e-9 {
+		t.Errorf("total = %v, want 335", s.TotalDurationNS)
+	}
+	if math.Abs(s.Ops[1].StartNS-300) > 1e-9 {
+		t.Errorf("h start = %v, want 300", s.Ops[1].StartNS)
+	}
+}
+
+func TestLowerBarrierSynchronizes(t *testing.T) {
+	cfg := FromContext(nil)
+	c := circuit.New(2, 0)
+	c.H(0)
+	c.Barrier()
+	c.H(1) // must wait for qubit 0's H because of the barrier
+	s, err := Lower(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.TotalDurationNS-70) > 1e-9 {
+		t.Errorf("barrier total = %v, want 70", s.TotalDurationNS)
+	}
+}
+
+func TestLowerMeasurement(t *testing.T) {
+	c := circuit.New(1, 1)
+	c.H(0).Measure(0, 0)
+	s, err := Lower(c, FromContext(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.TotalDurationNS-1035) > 1e-9 {
+		t.Errorf("measure total = %v, want 1035", s.TotalDurationNS)
+	}
+}
+
+func TestLowerCalibrationOverride(t *testing.T) {
+	cfg := FromContext(&ctxdesc.Pulse{Calibrations: map[string]float64{"h": 10}})
+	c := circuit.New(1, 0)
+	c.H(0)
+	s, _ := Lower(c, cfg)
+	if math.Abs(s.TotalDurationNS-10) > 1e-9 {
+		t.Errorf("calibrated h = %v, want 10", s.TotalDurationNS)
+	}
+}
+
+func TestLowerRejectsWideGates(t *testing.T) {
+	c := circuit.New(3, 0)
+	c.CCX(0, 1, 2)
+	if _, err := Lower(c, FromContext(nil)); err == nil {
+		t.Error("ccx lowered without decomposition")
+	}
+}
+
+func TestPerQubitBusy(t *testing.T) {
+	cfg := FromContext(nil)
+	c := circuit.New(2, 0)
+	c.H(0).CX(0, 1)
+	s, _ := Lower(c, cfg)
+	if math.Abs(s.PerQubitBusyNS[0]-335) > 1e-9 {
+		t.Errorf("qubit 0 busy = %v, want 335", s.PerQubitBusyNS[0])
+	}
+	if math.Abs(s.PerQubitBusyNS[1]-300) > 1e-9 {
+		t.Errorf("qubit 1 busy = %v, want 300", s.PerQubitBusyNS[1])
+	}
+}
+
+func TestWaveformShapes(t *testing.T) {
+	cfg := FromContext(nil)
+	g := Waveform(Op{Qubits: []int{0}, DurationNS: 35}, cfg)
+	if len(g) == 0 {
+		t.Fatal("empty gaussian")
+	}
+	// Peak in the middle, low at edges.
+	mid := g[len(g)/2]
+	if mid < 0.9 || g[0] > 0.2 || g[len(g)-1] > 0.2 {
+		t.Errorf("gaussian shape wrong: edge %v mid %v", g[0], mid)
+	}
+	sq := Waveform(Op{Qubits: []int{0, 1}, DurationNS: 300}, cfg)
+	// Flat top at 1.
+	if sq[len(sq)/2] != 1 {
+		t.Errorf("gaussian-square top = %v", sq[len(sq)/2])
+	}
+	if sq[0] > 0.2 {
+		t.Errorf("gaussian-square edge = %v", sq[0])
+	}
+	if Waveform(Op{Qubits: []int{0}, DurationNS: 0}, cfg) != nil {
+		t.Error("zero-duration op produced samples")
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	cfg := FromContext(nil)
+	c := circuit.New(3, 0)
+	c.H(0)      // 0..35 on q0
+	c.CX(0, 1)  // 35..335
+	c.H(2)      // 0..35 on q2, off the critical path
+	c.SXGate(1) // 335..370
+	s, _ := Lower(c, cfg)
+	path := s.CriticalPath()
+	if len(path) != 3 {
+		t.Fatalf("critical path length %d: %+v", len(path), path)
+	}
+	if path[0].Label != "h" || path[1].Label != "cx" || path[2].Label != "sx" {
+		t.Errorf("critical path = %v %v %v", path[0].Label, path[1].Label, path[2].Label)
+	}
+	empty := &Schedule{}
+	if empty.CriticalPath() != nil {
+		t.Error("empty schedule has a critical path")
+	}
+}

@@ -1,0 +1,324 @@
+package qdt
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestListing2RoundTrip(t *testing.T) {
+	// The paper's Listing 2 verbatim.
+	src := `{
+		"$schema": "qdt-core.schema.json",
+		"id": "reg_phase",
+		"name": "phase",
+		"width": 10,
+		"encoding_kind": "PHASE_REGISTER",
+		"bit_order": "LSB_0",
+		"measurement_semantics": "AS_PHASE",
+		"phase_scale": "1/1024"
+	}`
+	d, err := FromJSON([]byte(src))
+	if err != nil {
+		t.Fatalf("Listing 2 rejected: %v", err)
+	}
+	if d.ID != "reg_phase" || d.Width != 10 || d.EncodingKind != PhaseRegister {
+		t.Errorf("Listing 2 parsed incorrectly: %+v", d)
+	}
+	out, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := FromJSON(out)
+	if err != nil {
+		t.Fatalf("re-marshaled descriptor rejected: %v", err)
+	}
+	if d2.ID != d.ID || d2.Name != d.Name || d2.Width != d.Width ||
+		d2.EncodingKind != d.EncodingKind || d2.BitOrder != d.BitOrder ||
+		d2.MeasurementSemantics != d.MeasurementSemantics || d2.PhaseScale != d.PhaseScale {
+		t.Errorf("round trip changed descriptor: %+v vs %+v", d, d2)
+	}
+}
+
+func TestNewPhaseRegisterMatchesListing2(t *testing.T) {
+	d := NewPhaseRegister("reg_phase", "phase", 10)
+	if d.PhaseScale != "1/1024" {
+		t.Errorf("phase scale = %q, want 1/1024", d.PhaseScale)
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("constructor output invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*DataType)
+		want   string
+	}{
+		{"empty id", func(d *DataType) { d.ID = "" }, "id is empty"},
+		{"zero width", func(d *DataType) { d.Width = 0 }, "not positive"},
+		{"huge width", func(d *DataType) { d.Width = 63 }, "62-carrier"},
+		{"bad kind", func(d *DataType) { d.EncodingKind = "WEIRD" }, "unknown encoding_kind"},
+		{"bad order", func(d *DataType) { d.BitOrder = "BIG" }, "unknown bit_order"},
+		{"bad semantics", func(d *DataType) { d.MeasurementSemantics = "AS_JPEG" }, "unknown measurement_semantics"},
+		{"bad schema", func(d *DataType) { d.Schema = "other.json" }, "$schema"},
+		{"phase without scale", func(d *DataType) { d.EncodingKind = PhaseRegister; d.PhaseScale = "" }, "requires phase_scale"},
+		{"bad scale", func(d *DataType) { d.EncodingKind = PhaseRegister; d.PhaseScale = "x/y" }, "invalid phase_scale"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := New("r", "r", 4, IntRegister, AsInt)
+			c.mutate(d)
+			err := d.Validate()
+			if err == nil {
+				t.Fatal("invalid descriptor accepted")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidateReportsAllProblems(t *testing.T) {
+	d := &DataType{Schema: SchemaName, Width: -1}
+	err := d.Validate()
+	if err == nil {
+		t.Fatal("empty descriptor accepted")
+	}
+	for _, want := range []string{"id is empty", "not positive", "encoding_kind is empty", "bit_order is empty"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("aggregated error missing %q: %v", want, err)
+		}
+	}
+}
+
+func TestParsePhaseScale(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"1/1024", 1.0 / 1024, true},
+		{"1/16", 0.0625, true},
+		{"0.5", 0.5, true},
+		{" 3 / 4 ", 0.75, true},
+		{"1/0", 0, false},
+		{"", 0, false},
+		{"a/b", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParsePhaseScale(c.in)
+		if c.ok && (err != nil || math.Abs(got-c.want) > 1e-15) {
+			t.Errorf("ParsePhaseScale(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParsePhaseScale(%q) accepted", c.in)
+		}
+	}
+}
+
+func TestIndexBitsLSB0(t *testing.T) {
+	d := New("r", "r", 4, IntRegister, AsInt)
+	// bits[i] is carrier i; LSB_0: carrier i has weight 2^i.
+	k, err := d.IndexFromBits([]uint8{1, 0, 1, 0}) // 1 + 4 = 5
+	if err != nil || k != 5 {
+		t.Errorf("IndexFromBits = %d, %v; want 5", k, err)
+	}
+	bits, err := d.BitsFromIndex(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint8{1, 0, 1, 0}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Errorf("BitsFromIndex(5) = %v, want %v", bits, want)
+		}
+	}
+}
+
+func TestIndexBitsMSB0(t *testing.T) {
+	d := New("r", "r", 4, IntRegister, AsInt)
+	d.BitOrder = MSB0
+	// MSB_0: carrier 0 is the most significant bit.
+	k, err := d.IndexFromBits([]uint8{1, 0, 1, 0}) // 8 + 2 = 10
+	if err != nil || k != 10 {
+		t.Errorf("MSB_0 IndexFromBits = %d, %v; want 10", k, err)
+	}
+}
+
+func TestIndexFromBitsErrors(t *testing.T) {
+	d := New("r", "r", 3, IntRegister, AsInt)
+	if _, err := d.IndexFromBits([]uint8{1, 0}); err == nil {
+		t.Error("short bit vector accepted")
+	}
+	if _, err := d.IndexFromBits([]uint8{1, 0, 2}); err == nil {
+		t.Error("non-binary bit accepted")
+	}
+	if _, err := d.BitsFromIndex(8); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestQuickIndexBitsRoundTrip(t *testing.T) {
+	f := func(k uint16, msb bool) bool {
+		d := New("r", "r", 16, IntRegister, AsInt)
+		if msb {
+			d.BitOrder = MSB0
+		}
+		bits, err := d.BitsFromIndex(uint64(k))
+		if err != nil {
+			return false
+		}
+		back, err := d.IndexFromBits(bits)
+		return err == nil && back == uint64(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeInt(t *testing.T) {
+	d := New("r", "r", 4, IntRegister, AsInt)
+	v, err := d.Decode(11)
+	if err != nil || v.Int != 11 {
+		t.Errorf("unsigned Decode(11) = %+v, %v", v, err)
+	}
+	d.Signed = true
+	v, err = d.Decode(11) // 1011 two's complement in 4 bits = -5
+	if err != nil || v.Int != -5 {
+		t.Errorf("signed Decode(11) = %d, %v; want -5", v.Int, err)
+	}
+	v, err = d.Decode(7)
+	if err != nil || v.Int != 7 {
+		t.Errorf("signed Decode(7) = %d, %v; want 7", v.Int, err)
+	}
+}
+
+func TestDecodeBool(t *testing.T) {
+	d := NewIsingVars("ising_vars", "s", 4)
+	v, err := d.Decode(5) // 0101 -> vars 0 and 2 true
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if v.Bools[i] != want[i] {
+			t.Errorf("Decode(5).Bools = %v, want %v", v.Bools, want)
+		}
+	}
+}
+
+func TestDecodeSpin(t *testing.T) {
+	d := New("r", "s", 3, IsingSpin, AsSpin)
+	v, err := d.Decode(5) // bits 101 -> spins +1, -1, +1
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int8{1, -1, 1}
+	for i := range want {
+		if v.Spins[i] != want[i] {
+			t.Errorf("Decode(5).Spins = %v, want %v", v.Spins, want)
+		}
+	}
+}
+
+func TestDecodePhase(t *testing.T) {
+	d := NewPhaseRegister("reg_phase", "phase", 10)
+	v, err := d.Decode(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.Float-0.5) > 1e-12 {
+		t.Errorf("Decode(512) phase = %v turns, want 0.5", v.Float)
+	}
+	if math.Abs(v.PhaseRadians()-math.Pi) > 1e-9 {
+		t.Errorf("PhaseRadians = %v, want π", v.PhaseRadians())
+	}
+}
+
+func TestDecodeFixedPoint(t *testing.T) {
+	d := New("r", "x", 6, FixedPoint, AsFixed)
+	d.FractionBits = 2
+	d.Signed = true
+	// k = 0b111111 = 63 -> signed -1 -> value -0.25
+	v, err := d.Decode(63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int != -1 || math.Abs(v.Float+0.25) > 1e-12 {
+		t.Errorf("fixed Decode(63) = int %d float %v, want -1, -0.25", v.Int, v.Float)
+	}
+	// k = 6 (000110) -> 6/4 = 1.5
+	v, _ = d.Decode(6)
+	if math.Abs(v.Float-1.5) > 1e-12 {
+		t.Errorf("fixed Decode(6) = %v, want 1.5", v.Float)
+	}
+}
+
+func TestDecodeBitsComposition(t *testing.T) {
+	d := NewIsingVars("ising_vars", "s", 4)
+	v, err := d.DecodeBits([]uint8{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Index != 10 {
+		t.Errorf("DecodeBits index = %d, want 10", v.Index)
+	}
+}
+
+func TestBitstringLSBFirst(t *testing.T) {
+	d := NewIsingVars("ising_vars", "s", 4)
+	// Paper §5: optimal cuts are the strings "1010" and "0101".
+	if s := d.BitstringLSBFirst(5); s != "1010" {
+		t.Errorf("Bitstring(5) = %q, want 1010", s)
+	}
+	if s := d.BitstringLSBFirst(10); s != "0101" {
+		t.Errorf("Bitstring(10) = %q, want 0101", s)
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	a := NewIsingVars("a", "a", 4)
+	b := NewIsingVars("b", "b", 4)
+	if err := Compatible(a, b); err != nil {
+		t.Errorf("compatible registers rejected: %v", err)
+	}
+	c := NewIsingVars("c", "c", 5)
+	if err := Compatible(a, c); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	d := NewPhaseRegister("d", "d", 4)
+	if err := Compatible(a, d); err == nil {
+		t.Error("encoding mismatch accepted")
+	}
+	e := NewIsingVars("e", "e", 4)
+	e.BitOrder = MSB0
+	if err := Compatible(a, e); err == nil {
+		t.Error("bit order mismatch accepted")
+	}
+}
+
+func TestMarshalDefaultsSchema(t *testing.T) {
+	d := &DataType{ID: "x", Name: "x", Width: 1, EncodingKind: BoolRegister,
+		BitOrder: LSB0, MeasurementSemantics: AsBool}
+	out, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), SchemaName) {
+		t.Errorf("marshaled descriptor missing schema: %s", out)
+	}
+}
+
+func TestFromJSONRejectsGarbage(t *testing.T) {
+	if _, err := FromJSON([]byte(`{"width": "ten"}`)); err == nil {
+		t.Error("type-mismatched JSON accepted")
+	}
+	if _, err := FromJSON([]byte(`not json`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

@@ -1,0 +1,276 @@
+// Package qec implements the error-correction context service (paper
+// §4.3.2): the orthogonal component that binds logical registers to
+// physical patches, accounts for syndrome-extraction rounds, and estimates
+// logical error rates — all driven by the context descriptor's qec block,
+// never by the operator descriptors, so the same logical program runs
+// unmodified with or without QEC.
+//
+// Two code families are realized:
+//
+//   - "repetition": a distance-d bit-flip repetition code, simulated
+//     exactly — Monte Carlo error injection with a majority decoder,
+//     cross-checked against the closed-form binomial logical error rate.
+//   - "surface": a rotated surface code *resource model*: d² data qubits
+//     plus d²−1 syndrome qubits per patch and the standard sub-threshold
+//     scaling p_L ≈ A·(p/p_th)^⌈d/2⌉ for its logical error rate. A full
+//     surface-code decoder is out of scope; the model preserves exactly
+//     the behaviour the middle layer consumes (resource counts growing
+//     with d², error rates falling exponentially in d below threshold).
+package qec
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ctxdesc"
+	"repro/internal/rng"
+)
+
+// Surface-code model constants: threshold and prefactor of the standard
+// sub-threshold scaling fit.
+const (
+	SurfaceThreshold = 0.01
+	SurfacePrefactor = 0.1
+)
+
+// Allocation describes the physical resources one QEC policy binds for a
+// logical register.
+type Allocation struct {
+	CodeFamily         string
+	Distance           int
+	LogicalQubits      int
+	DataQubits         int // per all patches
+	SyndromeQubits     int
+	PhysicalQubits     int // data + syndrome
+	RoundsPerLogicalOp int
+}
+
+// Allocate computes the physical footprint for width logical qubits under
+// the policy.
+func Allocate(policy *ctxdesc.QEC, width int) (*Allocation, error) {
+	if policy == nil {
+		return nil, fmt.Errorf("qec: nil policy")
+	}
+	if width < 1 {
+		return nil, fmt.Errorf("qec: logical width %d < 1", width)
+	}
+	if policy.Distance < 1 || policy.Distance%2 == 0 {
+		return nil, fmt.Errorf("qec: distance %d must be odd and positive", policy.Distance)
+	}
+	d := policy.Distance
+	a := &Allocation{CodeFamily: policy.CodeFamily, Distance: d, LogicalQubits: width}
+	switch policy.CodeFamily {
+	case "repetition":
+		a.DataQubits = width * d
+		a.SyndromeQubits = width * (d - 1)
+	case "surface":
+		a.DataQubits = width * d * d
+		a.SyndromeQubits = width * (d*d - 1)
+	default:
+		return nil, fmt.Errorf("qec: unknown code family %q", policy.CodeFamily)
+	}
+	a.PhysicalQubits = a.DataQubits + a.SyndromeQubits
+	a.RoundsPerLogicalOp = policy.Rounds
+	if a.RoundsPerLogicalOp == 0 {
+		a.RoundsPerLogicalOp = d
+	}
+	return a, nil
+}
+
+// LogicalErrorRate returns the per-logical-operation error probability
+// under i.i.d. physical error rate p per round.
+func LogicalErrorRate(policy *ctxdesc.QEC, p float64) (float64, error) {
+	if p < 0 || p >= 1 {
+		return 0, fmt.Errorf("qec: physical error rate %v out of [0,1)", p)
+	}
+	d := policy.Distance
+	if d < 1 || d%2 == 0 {
+		return 0, fmt.Errorf("qec: distance %d must be odd and positive", d)
+	}
+	switch policy.CodeFamily {
+	case "repetition":
+		return repetitionLogicalError(d, p), nil
+	case "surface":
+		if p == 0 {
+			return 0, nil
+		}
+		pl := SurfacePrefactor * math.Pow(p/SurfaceThreshold, float64(d+1)/2)
+		if pl > 1 {
+			pl = 1
+		}
+		return pl, nil
+	}
+	return 0, fmt.Errorf("qec: unknown code family %q", policy.CodeFamily)
+}
+
+// repetitionLogicalError is the exact majority-decoder failure rate:
+// P[more than d/2 of d bits flip] under i.i.d. flips with probability p.
+func repetitionLogicalError(d int, p float64) float64 {
+	total := 0.0
+	for k := d/2 + 1; k <= d; k++ {
+		total += binomialPMF(d, k, p)
+	}
+	return total
+}
+
+func binomialPMF(n, k int, p float64) float64 {
+	// Exact via logs to stay stable for larger n.
+	if p == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p == 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	logC := lgamma(float64(n+1)) - lgamma(float64(k+1)) - lgamma(float64(n-k+1))
+	return math.Exp(logC + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p))
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// CorrectionResult reports a Monte Carlo decoding experiment.
+type CorrectionResult struct {
+	Trials        int
+	LogicalErrors int
+	Rate          float64
+}
+
+// SimulateRepetition injects i.i.d. bit flips into a distance-d repetition
+// code and decodes by majority vote, returning the observed logical error
+// rate. This is the executable half that validates the closed form.
+func SimulateRepetition(d int, p float64, trials int, seed uint64) (*CorrectionResult, error) {
+	if d < 1 || d%2 == 0 {
+		return nil, fmt.Errorf("qec: distance %d must be odd and positive", d)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("qec: flip probability %v out of [0,1]", p)
+	}
+	if trials < 1 {
+		return nil, fmt.Errorf("qec: trials %d < 1", trials)
+	}
+	r := rng.New(seed)
+	errors := 0
+	for t := 0; t < trials; t++ {
+		flips := 0
+		for i := 0; i < d; i++ {
+			if r.Float64() < p {
+				flips++
+			}
+		}
+		if flips > d/2 {
+			errors++
+		}
+	}
+	return &CorrectionResult{Trials: trials, LogicalErrors: errors, Rate: float64(errors) / float64(trials)}, nil
+}
+
+// SyndromeExtraction simulates rounds of repetition-code stabilizer
+// measurement on one logical qubit: data bits accumulate flips with
+// probability p per round, each round records the d−1 parity syndromes,
+// and the decoder majority-votes the final data word. It returns whether
+// the decoded logical value matches the encoded one, exercising the
+// "insert syndrome-extraction rounds and choose a decoder" path of §4.3.2.
+func SyndromeExtraction(d, rounds int, p float64, logical uint8, seed uint64) (decoded uint8, syndromes [][]uint8, err error) {
+	if d < 1 || d%2 == 0 {
+		return 0, nil, fmt.Errorf("qec: distance %d must be odd and positive", d)
+	}
+	if rounds < 1 {
+		return 0, nil, fmt.Errorf("qec: rounds %d < 1", rounds)
+	}
+	if logical > 1 {
+		return 0, nil, fmt.Errorf("qec: logical value %d not a bit", logical)
+	}
+	r := rng.New(seed)
+	data := make([]uint8, d)
+	for i := range data {
+		data[i] = logical
+	}
+	syndromes = make([][]uint8, rounds)
+	for round := 0; round < rounds; round++ {
+		for i := range data {
+			if r.Float64() < p {
+				data[i] ^= 1
+			}
+		}
+		syn := make([]uint8, d-1)
+		for i := 0; i+1 < d; i++ {
+			syn[i] = data[i] ^ data[i+1]
+		}
+		syndromes[round] = syn
+		// Decode-and-correct each round (single-round majority repair of
+		// isolated flips flagged by adjacent syndromes).
+		for i := 0; i+1 < len(syn); i++ {
+			if syn[i] == 1 && syn[i+1] == 1 {
+				data[i+1] ^= 1
+				syn[i], syn[i+1] = 0, 0
+			}
+		}
+	}
+	ones := 0
+	for _, b := range data {
+		ones += int(b)
+	}
+	if ones > d/2 {
+		decoded = 1
+	}
+	return decoded, syndromes, nil
+}
+
+// Overhead summarizes what a QEC context costs relative to the bare
+// logical program — the E7 quantity.
+type Overhead struct {
+	Allocation     *Allocation
+	QubitOverhead  float64 // physical / logical qubits
+	RoundOverhead  int     // syndrome rounds per logical op
+	LogicalError   float64 // per logical op at the policy's phys_error_rate
+	UnprotectedErr float64 // physical error rate (what you'd eat without QEC)
+}
+
+// Estimate computes the overhead for running width logical qubits under
+// the policy.
+func Estimate(policy *ctxdesc.QEC, width int) (*Overhead, error) {
+	alloc, err := Allocate(policy, width)
+	if err != nil {
+		return nil, err
+	}
+	p := policy.PhysErrorRate
+	le, err := LogicalErrorRate(policy, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Overhead{
+		Allocation:     alloc,
+		QubitOverhead:  float64(alloc.PhysicalQubits) / float64(width),
+		RoundOverhead:  alloc.RoundsPerLogicalOp,
+		LogicalError:   le,
+		UnprotectedErr: p,
+	}, nil
+}
+
+// CheckLogicalGateSet verifies that the requested operations are within
+// the policy's fault-tolerant gate set (Listing 5's logical_gate_set
+// "constrains synthesis to fault-tolerant primitives"). An empty set
+// allows everything.
+func CheckLogicalGateSet(policy *ctxdesc.QEC, required []string) error {
+	if len(policy.LogicalGateSet) == 0 {
+		return nil
+	}
+	allowed := map[string]bool{}
+	for _, g := range policy.LogicalGateSet {
+		allowed[g] = true
+	}
+	for _, g := range required {
+		if !allowed[g] {
+			return fmt.Errorf("qec: logical gate %q is not in the fault-tolerant gate set %v", g, policy.LogicalGateSet)
+		}
+	}
+	return nil
+}

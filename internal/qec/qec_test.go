@@ -1,0 +1,228 @@
+package qec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ctxdesc"
+)
+
+func surfacePolicy(d int) *ctxdesc.QEC {
+	return &ctxdesc.QEC{CodeFamily: "surface", Distance: d, PhysErrorRate: 1e-3}
+}
+
+func repPolicy(d int) *ctxdesc.QEC {
+	return &ctxdesc.QEC{CodeFamily: "repetition", Distance: d, PhysErrorRate: 1e-3}
+}
+
+func TestAllocateListing5(t *testing.T) {
+	// The paper's Listing 5: surface code, distance 7. One logical qubit
+	// spans "dozens of physical qubits": 49 data + 48 syndrome = 97.
+	alloc, err := Allocate(surfacePolicy(7), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.DataQubits != 49 || alloc.SyndromeQubits != 48 || alloc.PhysicalQubits != 97 {
+		t.Errorf("d=7 surface allocation = %+v", alloc)
+	}
+	if alloc.RoundsPerLogicalOp != 7 {
+		t.Errorf("rounds default = %d, want distance", alloc.RoundsPerLogicalOp)
+	}
+}
+
+func TestAllocateRepetition(t *testing.T) {
+	alloc, err := Allocate(repPolicy(5), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.DataQubits != 20 || alloc.SyndromeQubits != 16 || alloc.PhysicalQubits != 36 {
+		t.Errorf("repetition allocation = %+v", alloc)
+	}
+}
+
+func TestAllocateValidation(t *testing.T) {
+	if _, err := Allocate(nil, 1); err == nil {
+		t.Error("nil policy accepted")
+	}
+	if _, err := Allocate(surfacePolicy(4), 1); err == nil {
+		t.Error("even distance accepted")
+	}
+	if _, err := Allocate(surfacePolicy(7), 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := Allocate(&ctxdesc.QEC{CodeFamily: "parity", Distance: 3}, 1); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestRepetitionLogicalErrorExact(t *testing.T) {
+	// d=3, p: logical error = 3p²(1−p) + p³.
+	p := 0.01
+	want := 3*p*p*(1-p) + p*p*p
+	got, err := LogicalErrorRate(repPolicy(3), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("d=3 logical error = %v, want %v", got, want)
+	}
+	// d=1 is no protection.
+	got1, _ := LogicalErrorRate(repPolicy(1), p)
+	if math.Abs(got1-p) > 1e-12 {
+		t.Errorf("d=1 logical error = %v, want p", got1)
+	}
+}
+
+func TestLogicalErrorDecreasesWithDistance(t *testing.T) {
+	for _, family := range []string{"repetition", "surface"} {
+		prev := 1.0
+		for _, d := range []int{3, 5, 7, 9} {
+			pol := &ctxdesc.QEC{CodeFamily: family, Distance: d}
+			le, err := LogicalErrorRate(pol, 1e-3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if le >= prev {
+				t.Errorf("%s: logical error did not decrease at d=%d: %v >= %v", family, d, le, prev)
+			}
+			prev = le
+		}
+	}
+}
+
+func TestSurfaceAboveThresholdCapped(t *testing.T) {
+	pol := &ctxdesc.QEC{CodeFamily: "surface", Distance: 9}
+	le, err := LogicalErrorRate(pol, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if le > 1 {
+		t.Errorf("logical error %v > 1", le)
+	}
+	zero, _ := LogicalErrorRate(pol, 0)
+	if zero != 0 {
+		t.Errorf("p=0 logical error = %v", zero)
+	}
+}
+
+func TestLogicalErrorRateValidation(t *testing.T) {
+	if _, err := LogicalErrorRate(repPolicy(3), -0.1); err == nil {
+		t.Error("negative p accepted")
+	}
+	if _, err := LogicalErrorRate(repPolicy(3), 1); err == nil {
+		t.Error("p=1 accepted")
+	}
+	if _, err := LogicalErrorRate(&ctxdesc.QEC{CodeFamily: "x", Distance: 3}, 0.1); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestMonteCarloMatchesClosedForm(t *testing.T) {
+	// The executable decoder must agree with the binomial formula.
+	for _, d := range []int{3, 5} {
+		p := 0.05
+		exact := repetitionLogicalError(d, p)
+		mc, err := SimulateRepetition(d, p, 200000, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mc.Rate-exact) > 5*math.Sqrt(exact*(1-exact)/200000)+1e-4 {
+			t.Errorf("d=%d: MC rate %v vs exact %v", d, mc.Rate, exact)
+		}
+	}
+}
+
+func TestSimulateRepetitionValidation(t *testing.T) {
+	if _, err := SimulateRepetition(2, 0.1, 10, 1); err == nil {
+		t.Error("even distance accepted")
+	}
+	if _, err := SimulateRepetition(3, 1.5, 10, 1); err == nil {
+		t.Error("p>1 accepted")
+	}
+	if _, err := SimulateRepetition(3, 0.1, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestSyndromeExtractionNoNoise(t *testing.T) {
+	for _, logical := range []uint8{0, 1} {
+		decoded, syndromes, err := SyndromeExtraction(5, 3, 0, logical, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if decoded != logical {
+			t.Errorf("noiseless decode of %d gave %d", logical, decoded)
+		}
+		if len(syndromes) != 3 || len(syndromes[0]) != 4 {
+			t.Errorf("syndrome shape: %d rounds × %d", len(syndromes), len(syndromes[0]))
+		}
+		for _, syn := range syndromes {
+			for _, s := range syn {
+				if s != 0 {
+					t.Error("noiseless syndromes should be trivial")
+				}
+			}
+		}
+	}
+}
+
+func TestSyndromeExtractionLowNoiseMostlyCorrect(t *testing.T) {
+	correct := 0
+	const trials = 200
+	for seed := uint64(0); seed < trials; seed++ {
+		decoded, _, err := SyndromeExtraction(5, 5, 0.01, 1, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if decoded == 1 {
+			correct++
+		}
+	}
+	if frac := float64(correct) / trials; frac < 0.97 {
+		t.Errorf("low-noise decode success = %v, want > 0.97", frac)
+	}
+}
+
+func TestSyndromeExtractionValidation(t *testing.T) {
+	if _, _, err := SyndromeExtraction(4, 1, 0, 0, 1); err == nil {
+		t.Error("even distance accepted")
+	}
+	if _, _, err := SyndromeExtraction(3, 0, 0, 0, 1); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	if _, _, err := SyndromeExtraction(3, 1, 0, 2, 1); err == nil {
+		t.Error("non-bit logical accepted")
+	}
+}
+
+func TestEstimateOverhead(t *testing.T) {
+	pol := surfacePolicy(7)
+	ov, err := Estimate(pol, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ov.QubitOverhead-97) > 1e-12 {
+		t.Errorf("qubit overhead = %v, want 97x", ov.QubitOverhead)
+	}
+	if ov.RoundOverhead != 7 {
+		t.Errorf("round overhead = %d", ov.RoundOverhead)
+	}
+	if ov.LogicalError >= ov.UnprotectedErr {
+		t.Errorf("QEC at p=1e-3 should beat bare: %v vs %v", ov.LogicalError, ov.UnprotectedErr)
+	}
+}
+
+func TestCheckLogicalGateSet(t *testing.T) {
+	pol := &ctxdesc.QEC{CodeFamily: "surface", Distance: 7,
+		LogicalGateSet: []string{"H", "S", "CNOT", "T", "MEASURE_Z"}}
+	if err := CheckLogicalGateSet(pol, []string{"H", "CNOT"}); err != nil {
+		t.Errorf("allowed gates rejected: %v", err)
+	}
+	if err := CheckLogicalGateSet(pol, []string{"CCZ"}); err == nil {
+		t.Error("non-FT gate accepted")
+	}
+	open := &ctxdesc.QEC{CodeFamily: "surface", Distance: 3}
+	if err := CheckLogicalGateSet(open, []string{"ANYTHING"}); err != nil {
+		t.Errorf("empty gate set should allow all: %v", err)
+	}
+}

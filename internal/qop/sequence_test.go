@@ -1,0 +1,146 @@
+package qop
+
+import (
+	"strings"
+	"testing"
+)
+
+func qaoaStack() Sequence {
+	prep := New("prep", PrepUniform, "ising_vars")
+	cost := New("cost", IsingCostPhase, "ising_vars").SetParam("gamma", 0.5)
+	mix := New("mixer", MixerRX, "ising_vars").SetParam("beta", 0.3)
+	meas := New("measure", Measurement, "ising_vars")
+	meas.Result = DefaultResultSchema("ising_vars", 4, "AS_BOOL", "LSB_0")
+	return Sequence{prep, cost, mix, meas}
+}
+
+func TestSequenceValidateQAOA(t *testing.T) {
+	s := qaoaStack()
+	if err := s.Validate(QDTWidths{"ising_vars": 4}, ValidateOptions{}); err != nil {
+		t.Errorf("paper QAOA stack rejected: %v", err)
+	}
+}
+
+func TestSequenceUndeclaredRegister(t *testing.T) {
+	s := Sequence{New("x", PrepUniform, "ghost")}
+	err := s.Validate(QDTWidths{"real": 4}, ValidateOptions{})
+	if err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("undeclared register not reported: %v", err)
+	}
+}
+
+func TestSequenceHiddenMeasurement(t *testing.T) {
+	meas := New("m", Measurement, "r")
+	meas.Result = DefaultResultSchema("r", 2, "AS_BOOL", "LSB_0")
+	s := Sequence{meas, New("prep", PrepUniform, "r")}
+	w := QDTWidths{"r": 2}
+	if err := s.Validate(w, ValidateOptions{}); err == nil {
+		t.Error("hidden mid-circuit measurement accepted")
+	}
+	if err := s.Validate(w, ValidateOptions{AllowMidCircuit: true}); err != nil {
+		t.Errorf("explicit mid-circuit measurement rejected: %v", err)
+	}
+}
+
+func TestSequenceNilOperator(t *testing.T) {
+	s := Sequence{nil}
+	if err := s.Validate(QDTWidths{}, ValidateOptions{}); err == nil {
+		t.Error("nil operator accepted")
+	}
+}
+
+func TestSequenceBadResultSchemaCaught(t *testing.T) {
+	meas := New("m", Measurement, "r")
+	meas.Result = DefaultResultSchema("r", 3, "AS_BOOL", "LSB_0") // width mismatch vs 2
+	s := Sequence{meas}
+	if err := s.Validate(QDTWidths{"r": 2}, ValidateOptions{}); err == nil {
+		t.Error("result schema width mismatch accepted")
+	}
+}
+
+func TestTotalCostHint(t *testing.T) {
+	a := New("a", PrepUniform, "r")
+	a.CostHint = &CostHint{OneQ: 4, Depth: 1}
+	b := New("b", IsingCostPhase, "r").SetParam("gamma", 1.0)
+	b.CostHint = &CostHint{TwoQ: 8, Depth: 6}
+	s := Sequence{a, b}
+	total, complete := s.TotalCostHint()
+	if !complete || total.OneQ != 4 || total.TwoQ != 8 || total.Depth != 7 {
+		t.Errorf("TotalCostHint = %+v complete=%v", total, complete)
+	}
+	s = append(s, New("c", MixerRX, "r"))
+	total, complete = s.TotalCostHint()
+	if complete {
+		t.Error("missing hint not reported")
+	}
+	if total.TwoQ != 8 {
+		t.Errorf("partial total wrong: %+v", total)
+	}
+}
+
+func TestRegistersFirstUseOrder(t *testing.T) {
+	a := New("a", PrepUniform, "r1")
+	b := New("b", AdderTemplate, "r2")
+	b.CodomainQDT = "r3"
+	s := Sequence{a, b, New("c", PrepUniform, "r1")}
+	regs := s.Registers()
+	want := []string{"r1", "r2", "r3"}
+	if len(regs) != len(want) {
+		t.Fatalf("Registers = %v, want %v", regs, want)
+	}
+	for i := range want {
+		if regs[i] != want[i] {
+			t.Fatalf("Registers = %v, want %v", regs, want)
+		}
+	}
+}
+
+func TestFinalMeasurement(t *testing.T) {
+	s := qaoaStack()
+	if m := s.FinalMeasurement(); m == nil || m.Name != "measure" {
+		t.Errorf("FinalMeasurement = %v", m)
+	}
+	if m := (Sequence{New("p", PrepUniform, "r")}).FinalMeasurement(); m != nil {
+		t.Error("non-measurement tail reported as measurement")
+	}
+	if m := (Sequence{}).FinalMeasurement(); m != nil {
+		t.Error("empty sequence reported a measurement")
+	}
+}
+
+func TestSequenceInvert(t *testing.T) {
+	cost := New("cost", IsingCostPhase, "r").SetParam("gamma", 0.5)
+	mix := New("mixer", MixerRX, "r").SetParam("beta", 0.25)
+	s := Sequence{cost, mix}
+	inv, err := s.Invert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inv) != 2 {
+		t.Fatalf("inverted length %d", len(inv))
+	}
+	// Reversed order, negated angles.
+	if b, _ := inv[0].ParamFloat("beta"); b != -0.25 {
+		t.Errorf("first inverted op beta = %v, want -0.25", b)
+	}
+	if g, _ := inv[1].ParamFloat("gamma"); g != -0.5 {
+		t.Errorf("second inverted op gamma = %v, want -0.5", g)
+	}
+	// Sequence with a measurement cannot invert.
+	if _, err := qaoaStack().Invert(); err == nil {
+		t.Error("sequence with MEASUREMENT inverted")
+	}
+}
+
+func TestConcatClones(t *testing.T) {
+	a := Sequence{New("a", PrepUniform, "r")}
+	b := Sequence{New("b", MixerRX, "r").SetParam("beta", 1.0)}
+	cat := Concat(a, b)
+	if len(cat) != 2 {
+		t.Fatalf("Concat length %d", len(cat))
+	}
+	cat[0].Name = "mutated"
+	if a[0].Name != "a" {
+		t.Error("Concat aliased input operators")
+	}
+}

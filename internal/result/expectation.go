@@ -1,0 +1,87 @@
+package result
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides the §4.4 "expectation/estimation helpers": estimating
+// diagonal (Z-basis) observables and their uncertainties from sampled
+// counts — the classical half of every variational loop on the gate path.
+
+// ZExpectation estimates ⟨Z_{b1} Z_{b2} …⟩ over the given register bits
+// from the decoded entries: each sample contributes (−1)^(parity of the
+// selected bits).
+func ZExpectation(entries []Entry, bits []int) (float64, error) {
+	if len(bits) == 0 {
+		return 0, fmt.Errorf("result: empty Z string")
+	}
+	total := 0
+	acc := 0.0
+	for _, e := range entries {
+		parity := 0
+		for _, b := range bits {
+			if b < 0 || b > 63 {
+				return 0, fmt.Errorf("result: bit index %d out of range", b)
+			}
+			parity ^= int(e.Index >> uint(b) & 1)
+		}
+		sign := 1.0
+		if parity == 1 {
+			sign = -1
+		}
+		acc += sign * float64(e.Count)
+		total += e.Count
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("result: no samples")
+	}
+	return acc / float64(total), nil
+}
+
+// IsingEnergyExpectation estimates ⟨H⟩ for an Ising Hamiltonian
+// H = Σ h_i Z_i + Σ J_ij Z_i Z_j from counts, with its standard error —
+// exactly what a QAOA outer loop consumes.
+func IsingEnergyExpectation(entries []Entry, h []float64, couplings map[[2]int]float64) (mean, stderr float64, err error) {
+	total := 0
+	for _, e := range entries {
+		total += e.Count
+	}
+	if total == 0 {
+		return 0, 0, fmt.Errorf("result: no samples")
+	}
+	sum := 0.0
+	sumSq := 0.0
+	for _, e := range entries {
+		energy := 0.0
+		for i, hi := range h {
+			if hi == 0 {
+				continue
+			}
+			energy += hi * zval(e.Index, i)
+		}
+		for key, j := range couplings {
+			energy += j * zval(e.Index, key[0]) * zval(e.Index, key[1])
+		}
+		w := float64(e.Count)
+		sum += energy * w
+		sumSq += energy * energy * w
+	}
+	mean = sum / float64(total)
+	variance := sumSq/float64(total) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	if total > 1 {
+		stderr = math.Sqrt(variance / float64(total-1))
+	}
+	return mean, stderr, nil
+}
+
+// zval maps bit b of index to the Z eigenvalue: |0⟩ → +1, |1⟩ → −1.
+func zval(index uint64, bit int) float64 {
+	if index>>uint(bit)&1 == 1 {
+		return -1
+	}
+	return 1
+}

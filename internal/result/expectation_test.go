@@ -1,0 +1,86 @@
+package result
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZExpectationSingleBit(t *testing.T) {
+	// 75% |…0…⟩, 25% |…1…⟩ on bit 1 → ⟨Z₁⟩ = 0.5.
+	entries := []Entry{
+		{Index: 0, Count: 75},
+		{Index: 2, Count: 25},
+	}
+	got, err := ZExpectation(entries, []int{1})
+	if err != nil || math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("ZExpectation = %v, %v; want 0.5", got, err)
+	}
+}
+
+func TestZExpectationParity(t *testing.T) {
+	// Bell-like counts: half 00, half 11 → ⟨Z₀Z₁⟩ = 1, ⟨Z₀⟩ = 0.
+	entries := []Entry{
+		{Index: 0, Count: 500},
+		{Index: 3, Count: 500},
+	}
+	zz, err := ZExpectation(entries, []int{0, 1})
+	if err != nil || math.Abs(zz-1) > 1e-12 {
+		t.Errorf("ZZ = %v, %v; want 1", zz, err)
+	}
+	z0, err := ZExpectation(entries, []int{0})
+	if err != nil || math.Abs(z0) > 1e-12 {
+		t.Errorf("Z0 = %v, %v; want 0", z0, err)
+	}
+	// Anticorrelated: 01 and 10 → ⟨Z₀Z₁⟩ = −1.
+	anti := []Entry{{Index: 1, Count: 10}, {Index: 2, Count: 10}}
+	zzAnti, _ := ZExpectation(anti, []int{0, 1})
+	if math.Abs(zzAnti+1) > 1e-12 {
+		t.Errorf("anticorrelated ZZ = %v, want -1", zzAnti)
+	}
+}
+
+func TestZExpectationErrors(t *testing.T) {
+	if _, err := ZExpectation([]Entry{{Index: 0, Count: 1}}, nil); err == nil {
+		t.Error("empty Z string accepted")
+	}
+	if _, err := ZExpectation([]Entry{{Index: 0, Count: 1}}, []int{70}); err == nil {
+		t.Error("out-of-range bit accepted")
+	}
+	if _, err := ZExpectation(nil, []int{0}); err == nil {
+		t.Error("empty entries accepted")
+	}
+}
+
+func TestIsingEnergyExpectation(t *testing.T) {
+	// H = Z₀Z₁ with the §5 ground states only: energy −1 each sample…
+	// wait: ground states of the 4-cycle restricted to one edge: 1010
+	// has Z₀Z₂ parity… use a direct 2-spin check instead.
+	// H = 0.5·Z₀ + Z₀Z₁; samples: 60× |00⟩ (E = 0.5+1), 40× |11⟩
+	// (E = −0.5+1).
+	entries := []Entry{
+		{Index: 0, Count: 60},
+		{Index: 3, Count: 40},
+	}
+	h := []float64{0.5, 0}
+	j := map[[2]int]float64{{0, 1}: 1}
+	mean, stderr, err := IsingEnergyExpectation(entries, h, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1.5*60 + 0.5*40) / 100
+	if math.Abs(mean-want) > 1e-12 {
+		t.Errorf("mean = %v, want %v", mean, want)
+	}
+	if stderr <= 0 || stderr > 0.1 {
+		t.Errorf("stderr = %v out of plausible range", stderr)
+	}
+	// Deterministic sample: zero variance.
+	det := []Entry{{Index: 0, Count: 100}}
+	_, se, err := IsingEnergyExpectation(det, h, j)
+	if err != nil || se != 0 {
+		t.Errorf("deterministic stderr = %v, %v", se, err)
+	}
+	if _, _, err := IsingEnergyExpectation(nil, h, j); err == nil {
+		t.Error("empty entries accepted")
+	}
+}

@@ -1,0 +1,123 @@
+package result
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/qdt"
+	"repro/internal/qop"
+)
+
+func isingReg() *qdt.DataType { return qdt.NewIsingVars("ising_vars", "s", 4) }
+
+func TestDecodeCountsIdentitySchema(t *testing.T) {
+	reg := isingReg()
+	schema := qop.DefaultResultSchema(reg.ID, reg.Width, "AS_BOOL", "LSB_0")
+	counts := map[uint64]int{5: 700, 10: 300}
+	entries, err := DecodeCounts(counts, schema, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("%d entries", len(entries))
+	}
+	// Index 5 = bits 1010 carrier-first (the paper's reported string).
+	if entries[0].Index != 5 || entries[0].Bitstring != "1010" || entries[0].Count != 700 {
+		t.Errorf("entry 0 = %+v", entries[0])
+	}
+	if entries[1].Index != 10 || entries[1].Bitstring != "0101" {
+		t.Errorf("entry 1 = %+v", entries[1])
+	}
+	if entries[0].Value.Bools[0] != true || entries[0].Value.Bools[1] != false {
+		t.Errorf("decoded bools = %v", entries[0].Value.Bools)
+	}
+}
+
+func TestDecodeCountsPermutedClbits(t *testing.T) {
+	// clbit 0 carries register bit 3, clbit 1 bit 2, etc. (reversed).
+	reg := isingReg()
+	schema := &qop.ResultSchema{
+		Basis: "Z", Datatype: "AS_BOOL", BitSignificance: "LSB_0",
+		ClbitOrder: []string{"ising_vars[3]", "ising_vars[2]", "ising_vars[1]", "ising_vars[0]"},
+	}
+	// Classical value 0b0001: clbit 0 set -> register bit 3 set -> index 8.
+	entries, err := DecodeCounts(map[uint64]int{1: 10}, schema, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries[0].Index != 8 || entries[0].Bitstring != "0001" {
+		t.Errorf("permuted decode = %+v", entries[0])
+	}
+}
+
+func TestDecodeCountsPhase(t *testing.T) {
+	reg := qdt.NewPhaseRegister("reg_phase", "phase", 10)
+	schema := qop.DefaultResultSchema(reg.ID, reg.Width, "AS_PHASE", "LSB_0")
+	entries, err := DecodeCounts(map[uint64]int{512: 5}, schema, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(entries[0].Value.Float-0.5) > 1e-12 {
+		t.Errorf("phase = %v, want 0.5 turns", entries[0].Value.Float)
+	}
+}
+
+func TestDecodeCountsMSB0(t *testing.T) {
+	reg := qdt.New("r", "r", 3, qdt.IntRegister, qdt.AsInt)
+	schema := qop.DefaultResultSchema("r", 3, "AS_INT", "MSB_0")
+	// Register bit 0 is now most significant: clbit pattern 001 (bit 0
+	// set) -> index 4.
+	entries, err := DecodeCounts(map[uint64]int{1: 1}, schema, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries[0].Value.Int != 4 {
+		t.Errorf("MSB_0 decode = %d, want 4", entries[0].Value.Int)
+	}
+	if entries[0].Bitstring != "100" {
+		t.Errorf("carrier string = %q, want 100", entries[0].Bitstring)
+	}
+}
+
+func TestDecodeCountsErrors(t *testing.T) {
+	reg := isingReg()
+	if _, err := DecodeCounts(map[uint64]int{}, nil, reg); err == nil {
+		t.Error("nil schema accepted")
+	}
+	bad := qop.DefaultResultSchema("other", reg.Width, "AS_BOOL", "LSB_0")
+	if _, err := DecodeCounts(map[uint64]int{}, bad, reg); err == nil {
+		t.Error("mismatched schema accepted")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{Entries: []Entry{
+		{Index: 5, Count: 700, Bitstring: "1010"},
+		{Index: 10, Count: 300, Bitstring: "0101"},
+		{Index: 0, Count: 700, Bitstring: "0000"},
+	}}
+	top, err := r.Top()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tie at 700: lowest index wins.
+	if top.Index != 0 {
+		t.Errorf("Top = %+v", top)
+	}
+	r.Sort()
+	if r.Entries[0].Index != 0 || r.Entries[1].Index != 5 || r.Entries[2].Index != 10 {
+		t.Errorf("Sort order: %v %v %v", r.Entries[0].Index, r.Entries[1].Index, r.Entries[2].Index)
+	}
+	mean := r.Expectation(func(e Entry) float64 { return float64(e.Index) })
+	want := (5.0*700 + 10*300 + 0) / 1700
+	if math.Abs(mean-want) > 1e-12 {
+		t.Errorf("Expectation = %v, want %v", mean, want)
+	}
+	empty := &Result{}
+	if _, err := empty.Top(); err == nil {
+		t.Error("empty Top succeeded")
+	}
+	if empty.Expectation(func(Entry) float64 { return 1 }) != 0 {
+		t.Error("empty Expectation nonzero")
+	}
+}

@@ -1,0 +1,145 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators for the middle layer's stochastic substrates (measurement
+// sampling, simulated annealing, workload generation).
+//
+// Determinism is a middle-layer contract: the execution context carries an
+// explicit seed, and every backend must reproduce bit-identical results for
+// a fixed seed. math/rand's global state is therefore never used; each
+// consumer owns an explicitly seeded generator.
+//
+// The core generator is xoshiro256**, seeded through splitmix64 as its
+// authors recommend. Both algorithms are public domain (Blackman & Vigna).
+package rng
+
+import "math"
+
+// SplitMix64 is a tiny 64-bit generator used to seed larger generators and
+// to derive independent child seeds from a single user-facing seed.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next 64-bit value in the sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a deterministic xoshiro256** generator.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via splitmix64.
+func New(seed uint64) *Rand {
+	sm := NewSplitMix64(seed)
+	r := &Rand{}
+	for i := range r.s {
+		r.s[i] = sm.Next()
+	}
+	// xoshiro must not start from the all-zero state; splitmix64 of any seed
+	// cannot produce four zeros in a row, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Child derives an independent generator from this one. It is used to give
+// each of num_reads anneal restarts (or each sampling worker) its own
+// stream so that parallel execution stays deterministic regardless of
+// scheduling order.
+func (r *Rand) Child() *Rand {
+	return New(r.Uint64())
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
+// rejection method, which avoids modulo bias without divisions in the
+// common case.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Rejection sampling on the top bits.
+	thresh := -n % n
+	for {
+		v := r.Uint64()
+		if v >= thresh {
+			return v % n
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal variate via the polar Box-Muller
+// method. Used by the pulse substrate's noise model.
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n) using Fisher-Yates.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

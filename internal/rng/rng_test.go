@@ -1,0 +1,185 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for seed 0 from the canonical splitmix64
+	// implementation (Vigna).
+	sm := NewSplitMix64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+		0xf88bb8a8724c81ec,
+	}
+	for i, w := range want {
+		if got := sm.Next(); got != w {
+			t.Errorf("SplitMix64(0) value %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestChildIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Child()
+	c2 := parent.Child()
+	if c1.Uint64() == c2.Uint64() && c1.Uint64() == c2.Uint64() {
+		t.Error("sibling child streams appear identical")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(123)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(99)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	for n := 1; n <= 33; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-square-ish sanity check over 10 buckets.
+	r := New(2024)
+	const buckets = 10
+	const n = 100000
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Uint64n(buckets)]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates too far from %v", b, c, want)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(77)
+	for _, n := range []int{0, 1, 2, 5, 17, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	r := New(31)
+	xs := []int{1, 2, 3, 4, 5, 6, 7}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Errorf("Shuffle changed multiset: sum %d -> %d", sum, got)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(404)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestQuickUint64nInRange(t *testing.T) {
+	f := func(seed uint64, n uint32) bool {
+		if n == 0 {
+			return true
+		}
+		r := New(seed)
+		v := r.Uint64n(uint64(n))
+		return v < uint64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,185 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/algolib"
+	"repro/internal/bundle"
+	"repro/internal/ctxdesc"
+	"repro/internal/graph"
+	"repro/internal/ising"
+	"repro/internal/qdt"
+	"repro/internal/qop"
+)
+
+func qaoaBundle(t *testing.T, ctx *ctxdesc.Context) *bundle.Bundle {
+	t.Helper()
+	reg := qdt.NewIsingVars("ising_vars", "s", 4)
+	seq, err := algolib.BuildQAOA(reg, graph.Cycle(4), []float64{0.6}, []float64{0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bundle.New([]*qdt.DataType{reg}, seq, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func isingBundle(t *testing.T, ctx *ctxdesc.Context) *bundle.Bundle {
+	t.Helper()
+	reg := qdt.NewIsingVars("ising_vars", "s", 4)
+	op, err := algolib.NewIsingProblem(reg, ising.FromMaxCut(graph.Cycle(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bundle.New([]*qdt.DataType{reg}, qop.Sequence{op}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSubmitGatePath(t *testing.T) {
+	ctx := ctxdesc.NewGate("gate.statevector", 512, 42)
+	res, err := Submit(qaoaBundle(t, ctx), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != "gate.statevector" || res.Samples != 512 {
+		t.Errorf("result shape: %s %d", res.Engine, res.Samples)
+	}
+	if res.Meta["intent_fingerprint"] == "" {
+		t.Error("fingerprint missing from meta")
+	}
+}
+
+func TestSubmitAnnealPath(t *testing.T) {
+	ctx := ctxdesc.NewAnneal("anneal.neal", 200, 7)
+	res, err := Submit(isingBundle(t, ctx), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := res.Top()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Bitstring != "1010" && top.Bitstring != "0101" {
+		t.Errorf("top anneal outcome %q", top.Bitstring)
+	}
+}
+
+func TestSchedulerSelectsAnnealForIsing(t *testing.T) {
+	b := isingBundle(t, nil)
+	engine, err := SelectEngine(b)
+	if err != nil || engine != "anneal.sa" {
+		t.Errorf("SelectEngine = %q, %v", engine, err)
+	}
+	// And Submit without context uses it.
+	res, err := Submit(b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != "anneal.sa" {
+		t.Errorf("engine = %s", res.Engine)
+	}
+}
+
+func TestSchedulerSelectsGateForQAOA(t *testing.T) {
+	engine, err := SelectEngine(qaoaBundle(t, nil))
+	if err != nil || engine != "gate.statevector" {
+		t.Errorf("SelectEngine = %q, %v", engine, err)
+	}
+}
+
+func TestSchedulerRejectsMixedBundle(t *testing.T) {
+	reg := qdt.NewIsingVars("ising_vars", "s", 4)
+	prob, err := algolib.NewIsingProblem(reg, ising.FromMaxCut(graph.Cycle(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := algolib.NewPrepUniform(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bundle.New([]*qdt.DataType{reg}, qop.Sequence{prep, prob}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SelectEngine(b); err == nil {
+		t.Error("mixed bundle scheduled")
+	}
+}
+
+func TestSchedulerCostGuardrail(t *testing.T) {
+	reg := qdt.NewIsingVars("r", "r", 4)
+	op := qop.New("huge", qop.PrepUniform, "r")
+	op.CostHint = &qop.CostHint{TwoQ: MaxGateTwoQ + 1}
+	b, err := bundle.New([]*qdt.DataType{reg}, qop.Sequence{op}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SelectEngine(b); err == nil {
+		t.Error("over-budget bundle scheduled")
+	}
+}
+
+func TestSubmitUnknownEngine(t *testing.T) {
+	ctx := ctxdesc.NewGate("quantum.magic", 10, 0)
+	if _, err := Submit(qaoaBundle(t, ctx), Options{}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+func TestSubmitInvalidBundle(t *testing.T) {
+	b := qaoaBundle(t, nil)
+	b.QDTs = nil
+	if _, err := Submit(b, Options{}); err == nil {
+		t.Error("invalid bundle accepted")
+	}
+}
+
+func TestE9IntentArtifactsUnchangedAcrossContexts(t *testing.T) {
+	// The paper's central claim, end to end: one intent, three contexts.
+	// The intent fingerprint must be identical across all runs, and the
+	// serialized QDT/operator artifacts byte-identical.
+	reg := qdt.NewIsingVars("ising_vars", "s", 4)
+	m := ising.FromMaxCut(graph.Cycle(4))
+	op, err := algolib.NewIsingProblem(reg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intent := qop.Sequence{op}
+
+	mk := func(ctx *ctxdesc.Context) *bundle.Bundle {
+		b, err := bundle.New([]*qdt.DataType{reg}, intent, ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	annealCtx := ctxdesc.NewAnneal("anneal.sa", 100, 1)
+	annealEmbCtx := ctxdesc.NewAnneal("anneal.sa", 100, 1)
+	annealEmbCtx.Anneal.Embed = true
+	annealEmbCtx.Anneal.UnitCells = 1
+	annealEmbCtx.Anneal.Sweeps = 300
+
+	var fingerprints []string
+	for _, ctx := range []*ctxdesc.Context{annealCtx, annealEmbCtx, nil} {
+		b := mk(ctx)
+		res, err := Submit(b, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, _ := b.Fingerprint()
+		fingerprints = append(fingerprints, fp)
+		if got := res.Meta["intent_fingerprint"]; got != fp {
+			t.Errorf("result fingerprint %v != bundle %v", got, fp)
+		}
+	}
+	for i := 1; i < len(fingerprints); i++ {
+		if fingerprints[i] != fingerprints[0] {
+			t.Errorf("fingerprint changed with context: %s vs %s", fingerprints[i], fingerprints[0])
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/rng"
+)
+
+// NoiseModel parametrizes stochastic Pauli (depolarizing-style) noise for
+// trajectory simulation: after every gate, each touched qubit suffers a
+// uniformly random Pauli error with the class's probability; measured
+// bits flip with ReadoutFlip. This is the quantum-trajectory counterpart
+// of Aer's basic device noise models, and gives the middle layer's QEC
+// context something real to protect against.
+type NoiseModel struct {
+	Prob1Q      float64 // per-qubit error probability after a 1-qubit gate
+	Prob2Q      float64 // per-qubit error probability after a multi-qubit gate
+	ReadoutFlip float64 // classical bit-flip probability at measurement
+}
+
+// Validate checks probability ranges.
+func (n NoiseModel) Validate() error {
+	for _, p := range []float64{n.Prob1Q, n.Prob2Q, n.ReadoutFlip} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("sim: noise probability %v out of [0,1]", p)
+		}
+	}
+	return nil
+}
+
+// Zero reports whether the model injects no noise at all.
+func (n NoiseModel) Zero() bool {
+	return n.Prob1Q == 0 && n.Prob2Q == 0 && n.ReadoutFlip == 0
+}
+
+// RunNoisy executes the circuit under the noise model by quantum
+// trajectories: each shot evolves its own statevector with randomly
+// inserted Pauli errors and samples one outcome. Cost is shots × circuit,
+// so it suits the small-register workloads of the evaluation; noiseless
+// runs fall through to the fast path.
+func RunNoisy(c *circuit.Circuit, noise NoiseModel, opts Options) (*Result, error) {
+	if err := noise.Validate(); err != nil {
+		return nil, err
+	}
+	if noise.Zero() {
+		return Run(c, opts)
+	}
+	if opts.Shots < 0 {
+		return nil, fmt.Errorf("sim: negative shot count %d", opts.Shots)
+	}
+	mm := c.MeasureMap()
+	res := &Result{Counts: Counts{}, Shots: opts.Shots}
+	master := rng.New(opts.Seed)
+	paulis := [3]gates.Name{gates.X, gates.Y, gates.Z}
+
+	qubits := make([]int, 0, len(mm))
+	for q := range mm {
+		qubits = append(qubits, q)
+	}
+	sort.Ints(qubits)
+
+	for shot := 0; shot < opts.Shots; shot++ {
+		r := master.Child()
+		st, err := NewState(c.NumQubits)
+		if err != nil {
+			return nil, err
+		}
+		seenMeasure := false
+		for idx, ins := range c.Instrs {
+			switch ins.Op {
+			case circuit.OpMeasure:
+				seenMeasure = true
+				continue
+			case circuit.OpBarrier:
+				continue
+			}
+			if seenMeasure {
+				return nil, fmt.Errorf("sim: instruction %d follows a measurement", idx)
+			}
+			if err := applyInstruction(st, ins); err != nil {
+				return nil, fmt.Errorf("sim: instruction %d: %w", idx, err)
+			}
+			if ins.Op != circuit.OpGate {
+				continue
+			}
+			p := noise.Prob1Q
+			if len(ins.Qubits) > 1 {
+				p = noise.Prob2Q
+			}
+			if p == 0 {
+				continue
+			}
+			for _, q := range ins.Qubits {
+				if r.Float64() < p {
+					m, err := gates.Unitary1(paulis[r.Intn(3)], nil)
+					if err != nil {
+						return nil, err
+					}
+					if err := st.Apply1(m, q); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		if len(mm) == 0 {
+			continue
+		}
+		k := sampleIndex(st, r)
+		var reg uint64
+		for _, q := range qubits {
+			bit := k >> uint(q) & 1
+			if noise.ReadoutFlip > 0 && r.Float64() < noise.ReadoutFlip {
+				bit ^= 1
+			}
+			if bit == 1 {
+				reg |= 1 << uint(mm[q])
+			}
+		}
+		res.Counts[reg]++
+	}
+	return res, nil
+}
+
+// sampleIndex draws one basis index from the Born distribution.
+func sampleIndex(st *State, r *rng.Rand) uint64 {
+	u := r.Float64()
+	acc := 0.0
+	last := uint64(st.Dim() - 1)
+	for k := 0; k < st.Dim(); k++ {
+		acc += st.Probability(uint64(k))
+		if u < acc {
+			return uint64(k)
+		}
+	}
+	return last
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func bellCircuit() *circuit.Circuit {
+	c := circuit.New(2, 2)
+	c.H(0).CX(0, 1).MeasureAll()
+	return c
+}
+
+func TestRunNoisyZeroNoiseMatchesRun(t *testing.T) {
+	c := bellCircuit()
+	clean, err := Run(c, Options{Shots: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := RunNoisy(c, NoiseModel{}, Options{Shots: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range clean.Counts {
+		if noisy.Counts[k] != v {
+			t.Fatalf("zero-noise path diverged at %d: %d vs %d", k, v, noisy.Counts[k])
+		}
+	}
+}
+
+func TestRunNoisyBellDegrades(t *testing.T) {
+	c := bellCircuit()
+	noisy, err := RunNoisy(c, NoiseModel{Prob1Q: 0.02, Prob2Q: 0.05}, Options{Shots: 3000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Correlated outcomes (00, 11) still dominate but the anticorrelated
+	// ones now appear.
+	good := noisy.Counts[0] + noisy.Counts[3]
+	bad := noisy.Counts[1] + noisy.Counts[2]
+	if bad == 0 {
+		t.Error("noise injected no errors")
+	}
+	frac := float64(good) / 3000
+	if frac < 0.80 || frac >= 1.0 {
+		t.Errorf("Bell fidelity proxy %v, want in [0.80, 1)", frac)
+	}
+	_ = bad
+}
+
+func TestRunNoisyFidelityMonotoneInNoise(t *testing.T) {
+	c := bellCircuit()
+	fidelity := func(p float64) float64 {
+		res, err := RunNoisy(c, NoiseModel{Prob1Q: p, Prob2Q: p}, Options{Shots: 2000, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Counts[0]+res.Counts[3]) / 2000
+	}
+	f0, f1, f2 := fidelity(0.005), fidelity(0.05), fidelity(0.25)
+	if !(f0 > f1 && f1 > f2) {
+		t.Errorf("fidelity not monotone: %v, %v, %v", f0, f1, f2)
+	}
+}
+
+func TestRunNoisyReadoutFlip(t *testing.T) {
+	// Deterministic |0⟩ with pure readout noise: P(1) ≈ flip rate.
+	c := circuit.New(1, 1)
+	c.Gate("id", []int{0})
+	c.Measure(0, 0)
+	res, err := RunNoisy(c, NoiseModel{ReadoutFlip: 0.1}, Options{Shots: 5000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(res.Counts[1]) / 5000
+	if math.Abs(frac-0.1) > 0.02 {
+		t.Errorf("readout flip rate %v, want ~0.1", frac)
+	}
+}
+
+func TestRunNoisyValidation(t *testing.T) {
+	c := bellCircuit()
+	if _, err := RunNoisy(c, NoiseModel{Prob1Q: -1}, Options{Shots: 1}); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if _, err := RunNoisy(c, NoiseModel{Prob2Q: 1.5}, Options{Shots: 1}); err == nil {
+		t.Error(">1 probability accepted")
+	}
+	if _, err := RunNoisy(c, NoiseModel{Prob1Q: 0.1}, Options{Shots: -1}); err == nil {
+		t.Error("negative shots accepted")
+	}
+}
+
+func TestRunNoisyDeterministicBySeed(t *testing.T) {
+	c := bellCircuit()
+	nm := NoiseModel{Prob1Q: 0.05, Prob2Q: 0.05, ReadoutFlip: 0.01}
+	a, err := RunNoisy(c, nm, Options{Shots: 400, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunNoisy(c, nm, Options{Shots: 400, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range a.Counts {
+		if b.Counts[k] != v {
+			t.Fatalf("same seed, different noisy counts at %d", k)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/rng"
+)
+
+// Counts maps a classical-bit register value (clbit i = bit i of the key)
+// to the number of shots observing it.
+type Counts map[uint64]int
+
+// TotalShots returns the sum of all counts.
+func (c Counts) TotalShots() int {
+	total := 0
+	for _, n := range c {
+		total += n
+	}
+	return total
+}
+
+// Keys returns the observed register values sorted ascending.
+func (c Counts) Keys() []uint64 {
+	keys := make([]uint64, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// MostFrequent returns the value with the highest count (lowest key wins
+// ties, for determinism).
+func (c Counts) MostFrequent() (uint64, int) {
+	bestK, bestN := uint64(0), -1
+	for _, k := range c.Keys() {
+		if c[k] > bestN {
+			bestK, bestN = k, c[k]
+		}
+	}
+	return bestK, bestN
+}
+
+// Result is the outcome of executing a circuit.
+type Result struct {
+	Counts Counts
+	Shots  int
+	// Final gives access to the pre-measurement state (nil unless
+	// KeepState was set), used by expectation-value helpers and tests.
+	Final *State
+}
+
+// Options configure Run.
+type Options struct {
+	Shots     int
+	Seed      uint64
+	KeepState bool
+}
+
+// Evolve applies every non-measurement instruction of the circuit to a
+// fresh |0…0⟩ state and returns it. Measurements must come last (the gate
+// engine is a terminal-measurement simulator; adaptive control is future
+// context work, as in the paper's late-binding discussion).
+func Evolve(c *circuit.Circuit) (*State, error) {
+	st, err := NewState(c.NumQubits)
+	if err != nil {
+		return nil, err
+	}
+	seenMeasure := false
+	for idx, ins := range c.Instrs {
+		switch ins.Op {
+		case circuit.OpMeasure:
+			seenMeasure = true
+			continue
+		case circuit.OpBarrier:
+			continue
+		}
+		if seenMeasure {
+			return nil, fmt.Errorf("sim: instruction %d follows a measurement; mid-circuit measurement is not supported by the statevector engine", idx)
+		}
+		if err := applyInstruction(st, ins); err != nil {
+			return nil, fmt.Errorf("sim: instruction %d: %w", idx, err)
+		}
+	}
+	return st, nil
+}
+
+func applyInstruction(st *State, ins circuit.Instruction) error {
+	switch ins.Op {
+	case circuit.OpGate:
+		switch ins.Gate {
+		case gates.CX:
+			return st.ApplyCX(ins.Qubits[0], ins.Qubits[1])
+		case gates.CZ:
+			return st.ApplyCZ(ins.Qubits[0], ins.Qubits[1])
+		case gates.CP:
+			return st.ApplyCP(ins.Params[0], ins.Qubits[0], ins.Qubits[1])
+		case gates.SWAP:
+			return st.ApplySwap(ins.Qubits[0], ins.Qubits[1])
+		case gates.CCX:
+			return st.ApplyCCX(ins.Qubits[0], ins.Qubits[1], ins.Qubits[2])
+		case gates.CSWAP:
+			return st.ApplyCSwap(ins.Qubits[0], ins.Qubits[1], ins.Qubits[2])
+		default:
+			m, err := gates.Unitary1(ins.Gate, ins.Params)
+			if err != nil {
+				return err
+			}
+			return st.Apply1(m, ins.Qubits[0])
+		}
+	case circuit.OpPermute:
+		return st.ApplyPermute(ins.Qubits, ins.Perm)
+	case circuit.OpInit:
+		return st.ApplyInit(ins.Qubits, ins.Amps)
+	case circuit.OpDiagonal:
+		return st.ApplyDiagonal(ins.Qubits, ins.Phases)
+	}
+	return fmt.Errorf("sim: unhandled opcode %d", ins.Op)
+}
+
+// Run executes the circuit for opts.Shots shots and returns counts over
+// the classical register defined by the circuit's measurements. A circuit
+// with no measurements yields empty counts (but still evolves, and the
+// state is available with KeepState).
+func Run(c *circuit.Circuit, opts Options) (*Result, error) {
+	if opts.Shots < 0 {
+		return nil, fmt.Errorf("sim: negative shot count %d", opts.Shots)
+	}
+	st, err := Evolve(c)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Counts: Counts{}, Shots: opts.Shots}
+	if opts.KeepState {
+		res.Final = st
+	}
+	mm := c.MeasureMap()
+	if len(mm) == 0 || opts.Shots == 0 {
+		return res, nil
+	}
+
+	// Sample basis indices from the Born distribution via CDF inversion,
+	// then project each index onto the measured clbits.
+	cdf := make([]float64, st.Dim())
+	acc := 0.0
+	for i := 0; i < st.Dim(); i++ {
+		acc += st.Probability(uint64(i))
+		cdf[i] = acc
+	}
+	// Guard against float drift so the final bucket always catches u→1.
+	cdf[len(cdf)-1] = acc + 1
+
+	qubits := make([]int, 0, len(mm))
+	for q := range mm {
+		qubits = append(qubits, q)
+	}
+	sort.Ints(qubits)
+
+	r := rng.New(opts.Seed)
+	for shot := 0; shot < opts.Shots; shot++ {
+		u := r.Float64() * acc
+		// First index with cdf[k] > u; zero-probability states have
+		// cdf[k] == cdf[k-1] and are correctly skipped.
+		k := sort.Search(len(cdf), func(i int) bool { return cdf[i] > u })
+		var reg uint64
+		for _, q := range qubits {
+			if uint64(k)>>uint(q)&1 == 1 {
+				reg |= 1 << uint(mm[q])
+			}
+		}
+		res.Counts[reg]++
+	}
+	return res, nil
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func TestRunBellCounts(t *testing.T) {
+	c := circuit.New(2, 2)
+	c.H(0).CX(0, 1).MeasureAll()
+	res, err := Run(c, Options{Shots: 10000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.TotalShots() != 10000 {
+		t.Errorf("total shots %d", res.Counts.TotalShots())
+	}
+	if len(res.Counts) != 2 {
+		t.Fatalf("Bell circuit produced %d outcomes: %v", len(res.Counts), res.Counts)
+	}
+	for _, k := range []uint64{0, 3} {
+		frac := float64(res.Counts[k]) / 10000
+		if math.Abs(frac-0.5) > 0.03 {
+			t.Errorf("outcome %d frequency %v, want ~0.5", k, frac)
+		}
+	}
+}
+
+func TestRunDeterministicWithSeed(t *testing.T) {
+	c := circuit.New(3, 3)
+	c.H(0).H(1).H(2).MeasureAll()
+	a, err := Run(c, Options{Shots: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(c, Options{Shots: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Counts) != len(b.Counts) {
+		t.Fatal("same seed, different outcome sets")
+	}
+	for k, v := range a.Counts {
+		if b.Counts[k] != v {
+			t.Fatalf("same seed, different counts at %d: %d vs %d", k, v, b.Counts[k])
+		}
+	}
+	c2, err := Run(c, Options{Shots: 500, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for k, v := range a.Counts {
+		if c2.Counts[k] != v {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical counts")
+	}
+}
+
+func TestRunPartialMeasurement(t *testing.T) {
+	// Measure only qubit 1 into clbit 0.
+	c := circuit.New(2, 1)
+	c.X(1)
+	c.H(0)
+	c.Measure(1, 0)
+	res, err := Run(c, Options{Shots: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[1] != 100 {
+		t.Errorf("expected all shots = 1, got %v", res.Counts)
+	}
+}
+
+func TestRunClbitRemapping(t *testing.T) {
+	// Qubit 0 -> clbit 2, qubit 2 -> clbit 0: X on qubit 0 should set
+	// clbit 2 (value 4).
+	c := circuit.New(3, 3)
+	c.X(0)
+	c.Measure(0, 2)
+	c.Measure(2, 0)
+	res, err := Run(c, Options{Shots: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[4] != 10 {
+		t.Errorf("clbit remap wrong: %v", res.Counts)
+	}
+}
+
+func TestRunRejectsMidCircuitMeasurement(t *testing.T) {
+	c := circuit.New(1, 1)
+	c.Measure(0, 0)
+	c.H(0)
+	if _, err := Run(c, Options{Shots: 1}); err == nil {
+		t.Error("gate after measurement accepted")
+	}
+}
+
+func TestRunNoMeasurements(t *testing.T) {
+	c := circuit.New(2, 0)
+	c.H(0)
+	res, err := Run(c, Options{Shots: 100, Seed: 0, KeepState: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Counts) != 0 {
+		t.Error("unmeasured circuit produced counts")
+	}
+	if res.Final == nil {
+		t.Fatal("KeepState did not keep state")
+	}
+	if math.Abs(res.Final.Probability(0)-0.5) > 1e-12 {
+		t.Error("final state wrong")
+	}
+}
+
+func TestRunNegativeShots(t *testing.T) {
+	c := circuit.New(1, 1)
+	if _, err := Run(c, Options{Shots: -1}); err == nil {
+		t.Error("negative shots accepted")
+	}
+}
+
+func TestRunPermuteAndInitInstructions(t *testing.T) {
+	c := circuit.New(2, 2)
+	if err := c.Init([]int{0, 1}, []complex128{0, 1, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Permute([]int{0, 1}, []uint64{1, 2, 3, 0}); err != nil {
+		t.Fatal(err)
+	}
+	c.MeasureAll()
+	res, err := Run(c, Options{Shots: 50, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// init put us at index 1; permute maps 1 -> 2.
+	if res.Counts[2] != 50 {
+		t.Errorf("counts = %v, want all at 2", res.Counts)
+	}
+}
+
+func TestCountsHelpers(t *testing.T) {
+	cnt := Counts{5: 10, 3: 30, 9: 30}
+	if cnt.TotalShots() != 70 {
+		t.Errorf("TotalShots = %d", cnt.TotalShots())
+	}
+	keys := cnt.Keys()
+	if len(keys) != 3 || keys[0] != 3 || keys[1] != 5 || keys[2] != 9 {
+		t.Errorf("Keys = %v", keys)
+	}
+	k, n := cnt.MostFrequent()
+	if k != 3 || n != 30 {
+		t.Errorf("MostFrequent = %d, %d (tie should pick lowest key)", k, n)
+	}
+}
+
+func TestEvolveQFTOnZeroIsUniform(t *testing.T) {
+	// The E4 primitive: QFT|0…0⟩ = uniform superposition, here built from
+	// raw gates (H + controlled phases), 5 qubits.
+	n := 5
+	c := circuit.New(n, 0)
+	for i := n - 1; i >= 0; i-- {
+		c.H(i)
+		for j := i - 1; j >= 0; j-- {
+			c.CPhase(math.Pi/math.Pow(2, float64(i-j)), j, i)
+		}
+	}
+	st, err := Evolve(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 / float64(st.Dim())
+	for k := 0; k < st.Dim(); k++ {
+		if math.Abs(st.Probability(uint64(k))-want) > 1e-12 {
+			t.Fatalf("QFT|0⟩ not uniform at %d: %v", k, st.Probability(uint64(k)))
+		}
+	}
+}

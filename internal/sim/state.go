@@ -1,0 +1,397 @@
+// Package sim implements the statevector simulator backing the middle
+// layer's gate path — the substitute for the paper's IBM Qiskit Aer state
+// vector simulator.
+//
+// The simulator stores all 2^n complex amplitudes, applies unitary gates
+// exactly, and samples measurement outcomes from the Born distribution
+// with a seeded generator. Gate application parallelizes across goroutines
+// once the state is large enough for the fan-out to pay for itself, in the
+// HPC spirit of the paper: the state vector is the hot data structure and
+// every gate is a bandwidth-bound sweep over it.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"runtime"
+	"sync"
+
+	"repro/internal/gates"
+)
+
+// parallelThreshold is the amplitude count above which gate sweeps fan out
+// to worker goroutines. Below it, goroutine overhead dominates.
+const parallelThreshold = 1 << 13
+
+// MaxQubits bounds state allocation (2^26 amplitudes = 1 GiB).
+const MaxQubits = 26
+
+// State is an n-qubit statevector. Qubit 0 is the least significant bit of
+// the basis index: |q_{n-1} … q_1 q_0⟩ ↔ index Σ q_i 2^i.
+type State struct {
+	n    int
+	amps []complex128
+}
+
+// NewState returns |0…0⟩ on n qubits.
+func NewState(n int) (*State, error) {
+	if n < 1 || n > MaxQubits {
+		return nil, fmt.Errorf("sim: qubit count %d out of [1,%d]", n, MaxQubits)
+	}
+	s := &State{n: n, amps: make([]complex128, 1<<uint(n))}
+	s.amps[0] = 1
+	return s, nil
+}
+
+// NumQubits returns n.
+func (s *State) NumQubits() int { return s.n }
+
+// Dim returns 2^n.
+func (s *State) Dim() int { return len(s.amps) }
+
+// Amplitude returns the amplitude of basis state k.
+func (s *State) Amplitude(k uint64) complex128 { return s.amps[k] }
+
+// Probability returns |amp_k|².
+func (s *State) Probability(k uint64) float64 {
+	a := s.amps[k]
+	return real(a)*real(a) + imag(a)*imag(a)
+}
+
+// Norm returns Σ|amp|², which must stay 1 under unitary evolution.
+func (s *State) Norm() float64 {
+	total := 0.0
+	for _, a := range s.amps {
+		total += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return total
+}
+
+// Clone returns a deep copy.
+func (s *State) Clone() *State {
+	cp := &State{n: s.n, amps: make([]complex128, len(s.amps))}
+	copy(cp.amps, s.amps)
+	return cp
+}
+
+// parallelFor splits [0, n) across workers when n is large.
+func parallelFor(n int, body func(lo, hi int)) {
+	if n < parallelThreshold {
+		body(0, n)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Apply1 applies a one-qubit unitary to qubit q.
+func (s *State) Apply1(m gates.Matrix2, q int) error {
+	if q < 0 || q >= s.n {
+		return fmt.Errorf("sim: qubit %d out of [0,%d)", q, s.n)
+	}
+	stride := 1 << uint(q)
+	a := s.amps
+	parallelFor(len(a), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i&stride != 0 {
+				continue
+			}
+			j := i | stride
+			a0, a1 := a[i], a[j]
+			a[i] = m[0][0]*a0 + m[0][1]*a1
+			a[j] = m[1][0]*a0 + m[1][1]*a1
+		}
+	})
+	return nil
+}
+
+// ApplyCX applies a controlled-X with the given control and target.
+func (s *State) ApplyCX(ctrl, tgt int) error {
+	if err := s.checkDistinct(ctrl, tgt); err != nil {
+		return err
+	}
+	cm := 1 << uint(ctrl)
+	tm := 1 << uint(tgt)
+	a := s.amps
+	parallelFor(len(a), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i&cm != 0 && i&tm == 0 {
+				j := i | tm
+				a[i], a[j] = a[j], a[i]
+			}
+		}
+	})
+	return nil
+}
+
+// ApplyCZ applies a controlled-Z.
+func (s *State) ApplyCZ(a1, a2 int) error {
+	if err := s.checkDistinct(a1, a2); err != nil {
+		return err
+	}
+	m := (1 << uint(a1)) | (1 << uint(a2))
+	a := s.amps
+	parallelFor(len(a), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i&m == m {
+				a[i] = -a[i]
+			}
+		}
+	})
+	return nil
+}
+
+// ApplyCP applies a controlled phase of angle lambda.
+func (s *State) ApplyCP(lambda float64, a1, a2 int) error {
+	if err := s.checkDistinct(a1, a2); err != nil {
+		return err
+	}
+	ph := cmplx.Exp(complex(0, lambda))
+	m := (1 << uint(a1)) | (1 << uint(a2))
+	a := s.amps
+	parallelFor(len(a), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i&m == m {
+				a[i] *= ph
+			}
+		}
+	})
+	return nil
+}
+
+// ApplySwap swaps two qubits.
+func (s *State) ApplySwap(q1, q2 int) error {
+	if err := s.checkDistinct(q1, q2); err != nil {
+		return err
+	}
+	m1 := 1 << uint(q1)
+	m2 := 1 << uint(q2)
+	a := s.amps
+	parallelFor(len(a), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			// Process only (q1=1, q2=0) to visit each pair once.
+			if i&m1 != 0 && i&m2 == 0 {
+				j := (i &^ m1) | m2
+				a[i], a[j] = a[j], a[i]
+			}
+		}
+	})
+	return nil
+}
+
+// ApplyCCX applies a Toffoli gate.
+func (s *State) ApplyCCX(c1, c2, tgt int) error {
+	if err := s.checkDistinct(c1, c2, tgt); err != nil {
+		return err
+	}
+	cm := (1 << uint(c1)) | (1 << uint(c2))
+	tm := 1 << uint(tgt)
+	a := s.amps
+	parallelFor(len(a), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i&cm == cm && i&tm == 0 {
+				j := i | tm
+				a[i], a[j] = a[j], a[i]
+			}
+		}
+	})
+	return nil
+}
+
+// ApplyCSwap applies a Fredkin gate.
+func (s *State) ApplyCSwap(ctrl, q1, q2 int) error {
+	if err := s.checkDistinct(ctrl, q1, q2); err != nil {
+		return err
+	}
+	cm := 1 << uint(ctrl)
+	m1 := 1 << uint(q1)
+	m2 := 1 << uint(q2)
+	a := s.amps
+	parallelFor(len(a), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i&cm != 0 && i&m1 != 0 && i&m2 == 0 {
+				j := (i &^ m1) | m2
+				a[i], a[j] = a[j], a[i]
+			}
+		}
+	})
+	return nil
+}
+
+// ApplyPermute applies a basis-state permutation over the listed qubits:
+// local index ℓ (bit k of ℓ = value of qubits[k]) maps to perm[ℓ].
+func (s *State) ApplyPermute(qubits []int, perm []uint64) error {
+	nq := len(qubits)
+	if len(perm) != 1<<uint(nq) {
+		return fmt.Errorf("sim: permutation table size %d != 2^%d", len(perm), nq)
+	}
+	if err := s.checkDistinct(qubits...); err != nil {
+		return err
+	}
+	src := make([]complex128, len(s.amps))
+	copy(src, s.amps)
+	a := s.amps
+	masks := make([]int, nq)
+	for k, q := range qubits {
+		masks[k] = 1 << uint(q)
+	}
+	parallelFor(len(a), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			local := 0
+			for k := range masks {
+				if i&masks[k] != 0 {
+					local |= 1 << uint(k)
+				}
+			}
+			to := int(perm[local])
+			j := i
+			for k := range masks {
+				if to&(1<<uint(k)) != 0 {
+					j |= masks[k]
+				} else {
+					j &^= masks[k]
+				}
+			}
+			a[j] = src[i]
+		}
+	})
+	return nil
+}
+
+// ApplyInit initializes the listed qubits to the given local state. The
+// listed qubits must currently be in |0…0⟩ (i.e. every amplitude with any
+// of those bits set must vanish); this keeps initialization unitary-free
+// but well-defined mid-circuit.
+func (s *State) ApplyInit(qubits []int, amps []complex128) error {
+	nq := len(qubits)
+	if len(amps) != 1<<uint(nq) {
+		return fmt.Errorf("sim: init state size %d != 2^%d", len(amps), nq)
+	}
+	if err := s.checkDistinct(qubits...); err != nil {
+		return err
+	}
+	norm := 0.0
+	for _, a := range amps {
+		norm += real(a)*real(a) + imag(a)*imag(a)
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		return fmt.Errorf("sim: init state not normalized (norm² = %v)", norm)
+	}
+	var anyMask int
+	masks := make([]int, nq)
+	for k, q := range qubits {
+		masks[k] = 1 << uint(q)
+		anyMask |= masks[k]
+	}
+	for i, a := range s.amps {
+		if i&anyMask != 0 && cmplx.Abs(a) > 1e-12 {
+			return fmt.Errorf("sim: init target qubits not in |0…0⟩ (amplitude at %d)", i)
+		}
+	}
+	src := make([]complex128, len(s.amps))
+	copy(src, s.amps)
+	a := s.amps
+	parallelFor(len(a), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			local := 0
+			for k := range masks {
+				if i&masks[k] != 0 {
+					local |= 1 << uint(k)
+				}
+			}
+			base := i &^ anyMask
+			a[i] = src[base] * amps[local]
+		}
+	})
+	return nil
+}
+
+// ApplyDiagonal multiplies each amplitude by the phase selected by the
+// local index over the listed qubits (indexing as in ApplyPermute).
+func (s *State) ApplyDiagonal(qubits []int, phases []complex128) error {
+	nq := len(qubits)
+	if len(phases) != 1<<uint(nq) {
+		return fmt.Errorf("sim: diagonal table size %d != 2^%d", len(phases), nq)
+	}
+	if err := s.checkDistinct(qubits...); err != nil {
+		return err
+	}
+	masks := make([]int, nq)
+	for k, q := range qubits {
+		masks[k] = 1 << uint(q)
+	}
+	a := s.amps
+	parallelFor(len(a), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			local := 0
+			for k := range masks {
+				if i&masks[k] != 0 {
+					local |= 1 << uint(k)
+				}
+			}
+			a[i] *= phases[local]
+		}
+	})
+	return nil
+}
+
+func (s *State) checkDistinct(qs ...int) error {
+	for i, q := range qs {
+		if q < 0 || q >= s.n {
+			return fmt.Errorf("sim: qubit %d out of [0,%d)", q, s.n)
+		}
+		for j := 0; j < i; j++ {
+			if qs[j] == q {
+				return fmt.Errorf("sim: duplicate qubit %d", q)
+			}
+		}
+	}
+	return nil
+}
+
+// ExpectationDiagonal returns Σ_k |amp_k|² f(k) for a diagonal observable
+// f over basis indices — the QAOA expected-cut evaluator.
+func (s *State) ExpectationDiagonal(f func(uint64) float64) float64 {
+	total := 0.0
+	for k, a := range s.amps {
+		p := real(a)*real(a) + imag(a)*imag(a)
+		if p > 0 {
+			total += p * f(uint64(k))
+		}
+	}
+	return total
+}
+
+// Probabilities returns the full Born distribution. The slice is freshly
+// allocated.
+func (s *State) Probabilities() []float64 {
+	ps := make([]float64, len(s.amps))
+	parallelFor(len(s.amps), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a := s.amps[i]
+			ps[i] = real(a)*real(a) + imag(a)*imag(a)
+		}
+	})
+	return ps
+}

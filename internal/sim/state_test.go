@@ -1,0 +1,379 @@
+package sim
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gates"
+	"repro/internal/rng"
+)
+
+func mustState(t *testing.T, n int) *State {
+	t.Helper()
+	s, err := NewState(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func apply1(t *testing.T, s *State, name gates.Name, q int, params ...float64) {
+	t.Helper()
+	m, err := gates.Unitary1(name, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply1(m, q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewStateBounds(t *testing.T) {
+	if _, err := NewState(0); err == nil {
+		t.Error("0-qubit state accepted")
+	}
+	if _, err := NewState(MaxQubits + 1); err == nil {
+		t.Error("oversized state accepted")
+	}
+	s := mustState(t, 3)
+	if s.Dim() != 8 || s.NumQubits() != 3 {
+		t.Errorf("dim %d, n %d", s.Dim(), s.NumQubits())
+	}
+	if s.Probability(0) != 1 {
+		t.Error("initial state not |000⟩")
+	}
+}
+
+func TestHadamardSuperposition(t *testing.T) {
+	s := mustState(t, 1)
+	apply1(t, s, gates.H, 0)
+	for k := uint64(0); k < 2; k++ {
+		if math.Abs(s.Probability(k)-0.5) > 1e-12 {
+			t.Errorf("P(%d) = %v, want 0.5", k, s.Probability(k))
+		}
+	}
+	// H² = I.
+	apply1(t, s, gates.H, 0)
+	if math.Abs(s.Probability(0)-1) > 1e-12 {
+		t.Error("H·H != I")
+	}
+}
+
+func TestXFlipsBit(t *testing.T) {
+	s := mustState(t, 3)
+	apply1(t, s, gates.X, 1)
+	if math.Abs(s.Probability(2)-1) > 1e-12 {
+		t.Errorf("X on qubit 1 gave P(2) = %v", s.Probability(2))
+	}
+}
+
+func TestBellState(t *testing.T) {
+	s := mustState(t, 2)
+	apply1(t, s, gates.H, 0)
+	if err := s.ApplyCX(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Probability(0)-0.5) > 1e-12 || math.Abs(s.Probability(3)-0.5) > 1e-12 {
+		t.Errorf("Bell probabilities: %v %v %v %v",
+			s.Probability(0), s.Probability(1), s.Probability(2), s.Probability(3))
+	}
+	if s.Probability(1) > 1e-12 || s.Probability(2) > 1e-12 {
+		t.Error("Bell state has weight on |01⟩/|10⟩")
+	}
+}
+
+func TestGHZ(t *testing.T) {
+	s := mustState(t, 5)
+	apply1(t, s, gates.H, 0)
+	for q := 1; q < 5; q++ {
+		if err := s.ApplyCX(0, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(s.Probability(0)-0.5) > 1e-12 || math.Abs(s.Probability(31)-0.5) > 1e-12 {
+		t.Error("GHZ state wrong")
+	}
+	if math.Abs(s.Norm()-1) > 1e-12 {
+		t.Errorf("norm = %v", s.Norm())
+	}
+}
+
+func TestCZPhase(t *testing.T) {
+	s := mustState(t, 2)
+	apply1(t, s, gates.H, 0)
+	apply1(t, s, gates.H, 1)
+	if err := s.ApplyCZ(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Amplitude of |11⟩ is negative.
+	if real(s.Amplitude(3)) > 0 {
+		t.Error("CZ did not flip |11⟩ phase")
+	}
+	if real(s.Amplitude(1)) < 0 || real(s.Amplitude(2)) < 0 {
+		t.Error("CZ touched wrong amplitudes")
+	}
+}
+
+func TestCPAngle(t *testing.T) {
+	s := mustState(t, 2)
+	apply1(t, s, gates.X, 0)
+	apply1(t, s, gates.X, 1)
+	theta := 0.7312
+	if err := s.ApplyCP(theta, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	want := cmplx.Exp(complex(0, theta))
+	if cmplx.Abs(s.Amplitude(3)-want) > 1e-12 {
+		t.Errorf("CP phase = %v, want %v", s.Amplitude(3), want)
+	}
+}
+
+func TestSwapExchangesQubits(t *testing.T) {
+	s := mustState(t, 3)
+	apply1(t, s, gates.X, 0) // |001⟩
+	if err := s.ApplySwap(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Probability(4)-1) > 1e-12 {
+		t.Error("swap did not move the excitation")
+	}
+	// Swap equals 3 CXs.
+	a := mustState(t, 2)
+	apply1(t, a, gates.H, 0)
+	apply1(t, a, gates.T, 1)
+	apply1(t, a, gates.H, 1)
+	b := a.Clone()
+	if err := a.ApplySwap(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	_ = b.ApplyCX(0, 1)
+	_ = b.ApplyCX(1, 0)
+	_ = b.ApplyCX(0, 1)
+	for k := uint64(0); k < 4; k++ {
+		if cmplx.Abs(a.Amplitude(k)-b.Amplitude(k)) > 1e-12 {
+			t.Errorf("swap != cx·cx·cx at %d", k)
+		}
+	}
+}
+
+func TestCCXTruthTable(t *testing.T) {
+	for in := uint64(0); in < 8; in++ {
+		s := mustState(t, 3)
+		for q := 0; q < 3; q++ {
+			if in>>uint(q)&1 == 1 {
+				apply1(t, s, gates.X, q)
+			}
+		}
+		if err := s.ApplyCCX(0, 1, 2); err != nil {
+			t.Fatal(err)
+		}
+		want := in
+		if in&3 == 3 {
+			want = in ^ 4
+		}
+		if math.Abs(s.Probability(want)-1) > 1e-12 {
+			t.Errorf("CCX(%03b) did not produce %03b", in, want)
+		}
+	}
+}
+
+func TestCSwapTruthTable(t *testing.T) {
+	for in := uint64(0); in < 8; in++ {
+		s := mustState(t, 3)
+		for q := 0; q < 3; q++ {
+			if in>>uint(q)&1 == 1 {
+				apply1(t, s, gates.X, q)
+			}
+		}
+		if err := s.ApplyCSwap(0, 1, 2); err != nil {
+			t.Fatal(err)
+		}
+		want := in
+		if in&1 == 1 {
+			b1 := in >> 1 & 1
+			b2 := in >> 2 & 1
+			want = in&1 | b1<<2 | b2<<1
+		}
+		if math.Abs(s.Probability(want)-1) > 1e-12 {
+			t.Errorf("CSWAP(%03b) did not produce %03b", in, want)
+		}
+	}
+}
+
+func TestOperandValidation(t *testing.T) {
+	s := mustState(t, 2)
+	m, _ := gates.Unitary1(gates.X, nil)
+	if err := s.Apply1(m, 5); err == nil {
+		t.Error("out-of-range qubit accepted")
+	}
+	if err := s.ApplyCX(0, 0); err == nil {
+		t.Error("duplicate qubits accepted")
+	}
+	if err := s.ApplyCCX(0, 1, 7); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+}
+
+func TestApplyPermuteCyclic(t *testing.T) {
+	s := mustState(t, 2)
+	apply1(t, s, gates.X, 0) // index 1
+	// Cyclic +1 mod 4 over qubits [0,1].
+	if err := s.ApplyPermute([]int{0, 1}, []uint64{1, 2, 3, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Probability(2)-1) > 1e-12 {
+		t.Error("permute did not map 1 -> 2")
+	}
+}
+
+func TestApplyPermuteSubsetOfLargerState(t *testing.T) {
+	// Permute only qubits {0, 2} of a 3-qubit state; qubit 1 is a spectator.
+	s := mustState(t, 3)
+	apply1(t, s, gates.X, 1) // |010⟩ = index 2
+	apply1(t, s, gates.X, 0) // |011⟩ = index 3
+	// Over locals (q0, q2): local = q0 + 2·q2; swap local 1 <-> 2
+	// (i.e. swap q0 and q2).
+	if err := s.ApplyPermute([]int{0, 2}, []uint64{0, 2, 1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// q0=1 becomes q2=1: index = 2 (q1) + 4 (q2) = 6.
+	if math.Abs(s.Probability(6)-1) > 1e-12 {
+		t.Error("subset permute wrong")
+	}
+}
+
+func TestPermutePreservesNorm(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		s := mustStateQuick(4)
+		// Random product state.
+		for q := 0; q < 4; q++ {
+			m, _ := gates.Unitary1(gates.RY, []float64{r.Float64() * 3})
+			_ = s.Apply1(m, q)
+			m2, _ := gates.Unitary1(gates.RZ, []float64{r.Float64() * 3})
+			_ = s.Apply1(m2, q)
+		}
+		// Random permutation over qubits 1..2.
+		perm := make([]uint64, 4)
+		for i, p := range r.Perm(4) {
+			perm[i] = uint64(p)
+		}
+		if err := s.ApplyPermute([]int{1, 2}, perm); err != nil {
+			return false
+		}
+		return math.Abs(s.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustStateQuick(n int) *State {
+	s, err := NewState(n)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestApplyInit(t *testing.T) {
+	s := mustState(t, 2)
+	amps := []complex128{0.6, 0, 0, 0.8}
+	if err := s.ApplyInit([]int{0, 1}, amps); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Probability(0)-0.36) > 1e-12 || math.Abs(s.Probability(3)-0.64) > 1e-12 {
+		t.Error("init amplitudes wrong")
+	}
+}
+
+func TestApplyInitRejects(t *testing.T) {
+	s := mustState(t, 2)
+	if err := s.ApplyInit([]int{0}, []complex128{2, 0}); err == nil {
+		t.Error("unnormalized init accepted")
+	}
+	apply1(t, s, gates.X, 0)
+	if err := s.ApplyInit([]int{0}, []complex128{1, 0}); err == nil {
+		t.Error("init on non-|0⟩ qubit accepted")
+	}
+	if err := s.ApplyInit([]int{1}, []complex128{1}); err == nil {
+		t.Error("wrong init size accepted")
+	}
+}
+
+func TestInitOnSubsetWithSpectators(t *testing.T) {
+	s := mustState(t, 2)
+	apply1(t, s, gates.H, 0) // qubit 0 in superposition, qubit 1 still |0⟩
+	inv := 1 / math.Sqrt2
+	if err := s.ApplyInit([]int{1}, []complex128{complex(inv, 0), complex(inv, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 4; k++ {
+		if math.Abs(s.Probability(k)-0.25) > 1e-12 {
+			t.Errorf("P(%d) = %v, want 0.25", k, s.Probability(k))
+		}
+	}
+}
+
+func TestExpectationDiagonal(t *testing.T) {
+	s := mustState(t, 2)
+	apply1(t, s, gates.H, 0)
+	apply1(t, s, gates.H, 1)
+	// f(k) = k: uniform over 0..3 -> mean 1.5.
+	got := s.ExpectationDiagonal(func(k uint64) float64 { return float64(k) })
+	if math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("expectation = %v, want 1.5", got)
+	}
+}
+
+func TestUnitarityPreservedUnderRandomCircuits(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		s := mustStateQuick(5)
+		oneQ := []gates.Name{gates.H, gates.X, gates.T, gates.SX, gates.RZ, gates.RY}
+		for step := 0; step < 40; step++ {
+			if r.Float64() < 0.3 {
+				a := r.Intn(5)
+				b := (a + 1 + r.Intn(4)) % 5
+				_ = s.ApplyCX(a, b)
+			} else {
+				g := oneQ[r.Intn(len(oneQ))]
+				info, _ := gates.Lookup(g)
+				var params []float64
+				if info.Params == 1 {
+					params = []float64{r.Float64()*6 - 3}
+				}
+				m, _ := gates.Unitary1(g, params)
+				_ = s.Apply1(m, r.Intn(5))
+			}
+		}
+		return math.Abs(s.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	// A 14-qubit state crosses parallelThreshold; verify the fan-out path
+	// produces the same state as a small serial reference computed via a
+	// different route (H on all qubits = uniform).
+	s := mustState(t, 14)
+	m, _ := gates.Unitary1(gates.H, nil)
+	for q := 0; q < 14; q++ {
+		if err := s.Apply1(m, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := 1.0 / float64(s.Dim())
+	for _, k := range []uint64{0, 1, 5000, uint64(s.Dim() - 1)} {
+		if math.Abs(s.Probability(k)-want) > 1e-12 {
+			t.Errorf("P(%d) = %v, want %v", k, s.Probability(k), want)
+		}
+	}
+	if math.Abs(s.Norm()-1) > 1e-9 {
+		t.Errorf("norm = %v", s.Norm())
+	}
+}

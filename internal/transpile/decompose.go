@@ -1,0 +1,168 @@
+// Package transpile lowers circuits to a target: basis-gate decomposition,
+// coupling-map routing with SWAP insertion, and peephole optimization.
+// It consumes the context descriptor's target block (basis_gates,
+// coupling_map) and options (optimization_level) — the knobs the paper's
+// Listing 4 exposes — and reports the cost metadata (depth, two-qubit
+// count, inserted swaps) that the middle layer's cost hints estimate.
+package transpile
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+// protoGate is one element of a decomposition rule: a gate applied to a
+// subset of the original instruction's operands.
+type protoGate struct {
+	name     gates.Name
+	operands []int // indices into the original instruction's qubit list
+	// params derives the new gate's parameters from the original's.
+	params func(orig []float64) []float64
+}
+
+func fixed(params ...float64) func([]float64) []float64 {
+	return func([]float64) []float64 { return params }
+}
+
+func noParams([]float64) []float64 { return nil }
+
+// rules maps each gate to its expansion toward the {sx, rz, cx} basis.
+// Every rule is exact up to global phase (verified by tests that compare
+// statevector probabilities and relative phases).
+var rules = map[gates.Name][]protoGate{
+	gates.I:   {},
+	gates.Z:   {{gates.RZ, []int{0}, fixed(math.Pi)}},
+	gates.S:   {{gates.RZ, []int{0}, fixed(math.Pi / 2)}},
+	gates.Sdg: {{gates.RZ, []int{0}, fixed(-math.Pi / 2)}},
+	gates.T:   {{gates.RZ, []int{0}, fixed(math.Pi / 4)}},
+	gates.Tdg: {{gates.RZ, []int{0}, fixed(-math.Pi / 4)}},
+	gates.P:   {{gates.RZ, []int{0}, func(p []float64) []float64 { return []float64{p[0]} }}},
+	gates.H: {
+		{gates.RZ, []int{0}, fixed(math.Pi / 2)},
+		{gates.SX, []int{0}, noParams},
+		{gates.RZ, []int{0}, fixed(math.Pi / 2)},
+	},
+	gates.X: {
+		{gates.SX, []int{0}, noParams},
+		{gates.SX, []int{0}, noParams},
+	},
+	gates.Y: {
+		// Y = RZ(π)·X (apply X first).
+		{gates.SX, []int{0}, noParams},
+		{gates.SX, []int{0}, noParams},
+		{gates.RZ, []int{0}, fixed(math.Pi)},
+	},
+	gates.RX: {
+		// RX(θ) = H·RZ(θ)·H exactly.
+		{gates.H, []int{0}, noParams},
+		{gates.RZ, []int{0}, func(p []float64) []float64 { return []float64{p[0]} }},
+		{gates.H, []int{0}, noParams},
+	},
+	gates.RY: {
+		// RY(θ) = RZ(π/2)·RX(θ)·RZ(−π/2) exactly in SU(2).
+		{gates.RZ, []int{0}, fixed(-math.Pi / 2)},
+		{gates.RX, []int{0}, func(p []float64) []float64 { return []float64{p[0]} }},
+		{gates.RZ, []int{0}, fixed(math.Pi / 2)},
+	},
+	gates.CZ: {
+		{gates.H, []int{1}, noParams},
+		{gates.CX, []int{0, 1}, noParams},
+		{gates.H, []int{1}, noParams},
+	},
+	gates.CP: {
+		// CP(λ) = (P(λ/2)⊗P(λ/2))·CX·(I⊗P(−λ/2))·CX, exact.
+		{gates.P, []int{0}, func(p []float64) []float64 { return []float64{p[0] / 2} }},
+		{gates.P, []int{1}, func(p []float64) []float64 { return []float64{p[0] / 2} }},
+		{gates.CX, []int{0, 1}, noParams},
+		{gates.P, []int{1}, func(p []float64) []float64 { return []float64{-p[0] / 2} }},
+		{gates.CX, []int{0, 1}, noParams},
+	},
+	gates.SWAP: {
+		{gates.CX, []int{0, 1}, noParams},
+		{gates.CX, []int{1, 0}, noParams},
+		{gates.CX, []int{0, 1}, noParams},
+	},
+	gates.CCX: {
+		// Standard 6-CX Toffoli.
+		{gates.H, []int{2}, noParams},
+		{gates.CX, []int{1, 2}, noParams},
+		{gates.Tdg, []int{2}, noParams},
+		{gates.CX, []int{0, 2}, noParams},
+		{gates.T, []int{2}, noParams},
+		{gates.CX, []int{1, 2}, noParams},
+		{gates.Tdg, []int{2}, noParams},
+		{gates.CX, []int{0, 2}, noParams},
+		{gates.T, []int{1}, noParams},
+		{gates.T, []int{2}, noParams},
+		{gates.H, []int{2}, noParams},
+		{gates.CX, []int{0, 1}, noParams},
+		{gates.T, []int{0}, noParams},
+		{gates.Tdg, []int{1}, noParams},
+		{gates.CX, []int{0, 1}, noParams},
+	},
+	gates.CSWAP: {
+		{gates.CX, []int{2, 1}, noParams},
+		{gates.CCX, []int{0, 1, 2}, noParams},
+		{gates.CX, []int{2, 1}, noParams},
+	},
+}
+
+// maxExpansionDepth bounds recursive rule application; the rule graph is
+// acyclic with depth well under this.
+const maxExpansionDepth = 12
+
+// Decompose rewrites every gate into the target basis. An empty basis
+// means "native" (no rewriting). Non-gate instructions pass through except
+// OpPermute/OpInit, which have no gate realization and are rejected when a
+// basis is requested.
+func Decompose(c *circuit.Circuit, basis []string) (*circuit.Circuit, error) {
+	if len(basis) == 0 {
+		return c.Copy(), nil
+	}
+	allowed := map[gates.Name]bool{}
+	for _, b := range basis {
+		allowed[gates.Name(b)] = true
+	}
+	out := circuit.New(c.NumQubits, c.NumClbits)
+	for idx, ins := range c.Instrs {
+		switch ins.Op {
+		case circuit.OpGate:
+			if err := expandInto(out, ins.Gate, ins.Qubits, ins.Params, allowed, 0); err != nil {
+				return nil, fmt.Errorf("transpile: instruction %d: %w", idx, err)
+			}
+		case circuit.OpPermute, circuit.OpInit, circuit.OpDiagonal:
+			return nil, fmt.Errorf("transpile: instruction %d: native op has no realization in basis %v (synthesis not supported)", idx, basis)
+		default:
+			if err := out.Append(ins); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func expandInto(out *circuit.Circuit, name gates.Name, qubits []int, params []float64, allowed map[gates.Name]bool, depth int) error {
+	if allowed[name] {
+		return out.Append(circuit.Instruction{Op: circuit.OpGate, Gate: name, Qubits: append([]int(nil), qubits...), Params: append([]float64(nil), params...)})
+	}
+	if depth > maxExpansionDepth {
+		return fmt.Errorf("expansion depth exceeded for gate %q", name)
+	}
+	rule, ok := rules[name]
+	if !ok {
+		return fmt.Errorf("gate %q cannot be decomposed into the target basis", name)
+	}
+	for _, pg := range rule {
+		opQubits := make([]int, len(pg.operands))
+		for i, o := range pg.operands {
+			opQubits[i] = qubits[o]
+		}
+		if err := expandInto(out, pg.name, opQubits, pg.params(params), allowed, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package transpile
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+// Optimize applies peephole passes at the given level:
+//
+//	0 — none
+//	1 — one pass of adjacent-pair cancellation and rotation merging
+//	2 — commutation-aware cancellation, iterated to a fixpoint
+//	3 — level 2 plus single-qubit run resynthesis (ZYZ, or the
+//	    RZ·SX·RZ·SX·RZ hardware form when zsxBasis is set), then level 2
+//	    again to clean up
+func Optimize(c *circuit.Circuit, level int) *circuit.Circuit {
+	return OptimizeBasis(c, level, false)
+}
+
+// OptimizeBasis is Optimize with the level-3 resynthesis form selectable:
+// zsxBasis chooses the {sx, rz}-native output so basis-constrained
+// pipelines never regress.
+func OptimizeBasis(c *circuit.Circuit, level int, zsxBasis bool) *circuit.Circuit {
+	out := c.Copy()
+	if level <= 0 {
+		return out
+	}
+	if level == 1 {
+		out.Instrs = onePass(out.Instrs, false)
+		return out
+	}
+	fixpoint := func(in *circuit.Circuit) *circuit.Circuit {
+		for {
+			before := len(in.Instrs)
+			in.Instrs = onePass(in.Instrs, true)
+			if len(in.Instrs) == before {
+				return in
+			}
+		}
+	}
+	out = fixpoint(out)
+	if level >= 3 {
+		out = Resynthesize(out, zsxBasis)
+		out = fixpoint(out)
+	}
+	return out
+}
+
+// angleZero reports whether a rotation angle is ≡ 0 (mod 2π); such
+// rotations are identity up to global phase.
+func angleZero(theta float64) bool {
+	m := math.Mod(theta, 2*math.Pi)
+	if m < 0 {
+		m += 2 * math.Pi
+	}
+	return m < 1e-12 || 2*math.Pi-m < 1e-12
+}
+
+// mergeable rotation gates: same gate on the same operands composes by
+// angle addition.
+func isRotation(n gates.Name) bool {
+	switch n {
+	case gates.RX, gates.RY, gates.RZ, gates.P, gates.CP:
+		return true
+	}
+	return false
+}
+
+func sameOperands(a, b circuit.Instruction) bool {
+	if len(a.Qubits) != len(b.Qubits) {
+		return false
+	}
+	for i := range a.Qubits {
+		if a.Qubits[i] != b.Qubits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func disjoint(a, b circuit.Instruction) bool {
+	for _, q := range a.Qubits {
+		for _, p := range b.Qubits {
+			if q == p {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// commutes reports whether two gate instructions commute, using sound but
+// conservative rules: disjoint supports always commute; diagonal gates
+// commute with each other; an RZ/P/diagonal single-qubit gate on the
+// control of a CX commutes with that CX; an X/SX/RX on the target of a CX
+// commutes with it; two CXs sharing only their control commute; two CXs
+// sharing only their target commute.
+func commutes(a, b circuit.Instruction) bool {
+	if a.Op != circuit.OpGate || b.Op != circuit.OpGate {
+		return false
+	}
+	if disjoint(a, b) {
+		return true
+	}
+	if gates.IsDiagonal(a.Gate) && gates.IsDiagonal(b.Gate) {
+		return true
+	}
+	// Orient so a is the 1-qubit gate when mixed.
+	if len(a.Qubits) == 2 && len(b.Qubits) == 1 {
+		a, b = b, a
+	}
+	if len(a.Qubits) == 1 && len(b.Qubits) == 2 && b.Gate == gates.CX {
+		q := a.Qubits[0]
+		if q == b.Qubits[0] && gates.IsDiagonal(a.Gate) {
+			return true
+		}
+		if q == b.Qubits[1] {
+			switch a.Gate {
+			case gates.X, gates.SX, gates.RX:
+				return true
+			}
+		}
+		return false
+	}
+	if a.Gate == gates.CX && b.Gate == gates.CX {
+		if a.Qubits[0] == b.Qubits[0] && a.Qubits[1] != b.Qubits[1] {
+			return true
+		}
+		if a.Qubits[1] == b.Qubits[1] && a.Qubits[0] != b.Qubits[0] {
+			return true
+		}
+	}
+	return false
+}
+
+// inverseOf reports whether b undoes a exactly (same operands, inverse
+// action, parameter-free self-inverse gates only; rotations are handled by
+// merging instead).
+func inverseOf(a, b circuit.Instruction) bool {
+	if a.Op != circuit.OpGate || b.Op != circuit.OpGate || !sameOperands(a, b) {
+		return false
+	}
+	if a.Gate == b.Gate && gates.IsSelfInverse(a.Gate) {
+		return true
+	}
+	// s·sdg, t·tdg pairs.
+	type pair struct{ x, y gates.Name }
+	ps := []pair{{gates.S, gates.Sdg}, {gates.T, gates.Tdg}}
+	for _, p := range ps {
+		if (a.Gate == p.x && b.Gate == p.y) || (a.Gate == p.y && b.Gate == p.x) {
+			return true
+		}
+	}
+	return false
+}
+
+// onePass walks the instruction list once, merging rotations and
+// cancelling inverse pairs. With lookThrough set it scans past commuting
+// gates to find merge/cancel partners.
+func onePass(instrs []circuit.Instruction, lookThrough bool) []circuit.Instruction {
+	var out []circuit.Instruction
+	removed := make([]bool, len(instrs))
+	for i := 0; i < len(instrs); i++ {
+		if removed[i] {
+			continue
+		}
+		ins := instrs[i]
+		if ins.Op != circuit.OpGate {
+			out = append(out, ins)
+			continue
+		}
+		// Drop identity gates and zero rotations outright.
+		if ins.Gate == gates.I {
+			continue
+		}
+		if isRotation(ins.Gate) && angleZero(ins.Params[0]) {
+			continue
+		}
+		// Look ahead for a partner.
+		matched := false
+		for j := i + 1; j < len(instrs); j++ {
+			if removed[j] {
+				continue
+			}
+			next := instrs[j]
+			if next.Op != circuit.OpGate {
+				break
+			}
+			if isRotation(ins.Gate) && next.Gate == ins.Gate && sameOperands(ins, next) {
+				merged := ins
+				merged.Params = []float64{ins.Params[0] + next.Params[0]}
+				removed[j] = true
+				if !angleZero(merged.Params[0]) {
+					out = append(out, merged)
+				}
+				matched = true
+				break
+			}
+			if inverseOf(ins, next) {
+				removed[j] = true
+				matched = true
+				break
+			}
+			if !lookThrough || !commutes(ins, next) {
+				break
+			}
+		}
+		if !matched {
+			out = append(out, ins)
+		}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package transpile
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+// zyz decomposes a one-qubit unitary (up to global phase) as
+// U ∝ RZ(α)·RY(β)·RZ(γ).
+func zyz(m gates.Matrix2) (alpha, beta, gamma float64) {
+	// Normalize to SU(2).
+	det := m[0][0]*m[1][1] - m[0][1]*m[1][0]
+	scale := cmplx.Sqrt(det)
+	if cmplx.Abs(scale) > 1e-15 {
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				m[i][j] /= scale
+			}
+		}
+	}
+	// atan2 is numerically stable where acos(|a|) is not (|a| ≈ 1 with a
+	// vanishing off-diagonal must give β = 0 exactly).
+	cosHalf := cmplx.Abs(m[0][0])
+	sinHalf := cmplx.Abs(m[1][0])
+	beta = 2 * math.Atan2(sinHalf, cosHalf)
+	switch {
+	case sinHalf < 1e-12:
+		// β ≈ 0: U is diagonal; only α+γ is defined.
+		gamma = 0
+		alpha = 2 * cmplx.Phase(m[1][1])
+	case cosHalf < 1e-12:
+		// β ≈ π: anti-diagonal; only α−γ is defined.
+		gamma = 0
+		alpha = 2 * cmplx.Phase(m[1][0])
+	default:
+		sum := 2 * cmplx.Phase(m[1][1])
+		diff := 2 * cmplx.Phase(m[1][0])
+		alpha = (sum + diff) / 2
+		gamma = (sum - diff) / 2
+	}
+	return alpha, beta, gamma
+}
+
+// Resynthesize collapses every maximal run of single-qubit gates on one
+// qubit into a canonical short form, dropping runs that multiply to the
+// identity. With zsxBasis false the form is RZ(α)·RY(β)·RZ(γ) (3 gates,
+// rewriting runs longer than 3); with zsxBasis true it is the hardware
+// form RZ·SX·RZ·SX·RZ (5 gates, rewriting runs longer than 5, so the pass
+// never inflates a basis-constrained circuit). One-qubit runs commute
+// with instructions not touching their qubit, so each run is emitted
+// immediately before the instruction that interrupts it. This is the
+// optimization_level-3 pass.
+func Resynthesize(c *circuit.Circuit, zsxBasis bool) *circuit.Circuit {
+	out := circuit.New(c.NumQubits, c.NumClbits)
+	pending := map[int][]circuit.Instruction{}
+	threshold := 3
+	if zsxBasis {
+		threshold = 5
+	}
+
+	flush := func(q int) {
+		run := pending[q]
+		if len(run) == 0 {
+			return
+		}
+		delete(pending, q)
+		if len(run) <= threshold {
+			for _, ins := range run {
+				mustAppend(out, ins)
+			}
+			return
+		}
+		// Multiply the run (later gates to the left).
+		prod := gates.Matrix2{{1, 0}, {0, 1}}
+		ok := true
+		for _, ins := range run {
+			m, err := gates.Unitary1(ins.Gate, ins.Params)
+			if err != nil {
+				ok = false
+				break
+			}
+			prod = gates.Mul2(m, prod)
+		}
+		if !ok {
+			for _, ins := range run {
+				mustAppend(out, ins)
+			}
+			return
+		}
+		id := gates.Matrix2{{1, 0}, {0, 1}}
+		if gates.EqualUpToPhase2(prod, id, 1e-10) {
+			return // run cancels entirely
+		}
+		alpha, beta, gamma := zyz(prod)
+		emit := func(name gates.Name, angle float64) {
+			if !angleZero(angle) {
+				mustAppend(out, circuit.Instruction{Op: circuit.OpGate, Gate: name,
+					Qubits: []int{q}, Params: []float64{angle}})
+			}
+		}
+		emitSX := func() {
+			mustAppend(out, circuit.Instruction{Op: circuit.OpGate, Gate: gates.SX, Qubits: []int{q}})
+		}
+		if zsxBasis {
+			// U ∝ RZ(α)·RY(β)·RZ(γ) = RZ(α+π)·SX·RZ(β+π)·SX·RZ(γ)
+			// (the standard U3 → hardware-basis identity, exact up to
+			// global phase; verified by tests).
+			emit(gates.RZ, gamma)
+			emitSX()
+			emit(gates.RZ, beta+math.Pi)
+			emitSX()
+			emit(gates.RZ, alpha+math.Pi)
+		} else {
+			emit(gates.RZ, gamma)
+			emit(gates.RY, beta)
+			emit(gates.RZ, alpha)
+		}
+	}
+	flushAll := func() {
+		qs := make([]int, 0, len(pending))
+		for q := range pending {
+			qs = append(qs, q)
+		}
+		sort.Ints(qs)
+		for _, q := range qs {
+			flush(q)
+		}
+	}
+
+	for _, ins := range c.Instrs {
+		if ins.Op == circuit.OpGate && len(ins.Qubits) == 1 {
+			q := ins.Qubits[0]
+			pending[q] = append(pending[q], ins)
+			continue
+		}
+		if ins.Op == circuit.OpBarrier && len(ins.Qubits) == 0 {
+			flushAll()
+		} else {
+			for _, q := range ins.Qubits {
+				flush(q)
+			}
+		}
+		mustAppend(out, ins)
+	}
+	flushAll()
+	return out
+}
+
+func mustAppend(c *circuit.Circuit, ins circuit.Instruction) {
+	if err := c.Append(ins); err != nil {
+		panic(err) // instructions come from an already-valid circuit
+	}
+}

@@ -1,0 +1,175 @@
+package transpile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func TestZYZReconstructs(t *testing.T) {
+	// For random 1q unitaries U, RZ(α)·RY(β)·RZ(γ) must equal U up to
+	// global phase.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		u := gates.Matrix2{{1, 0}, {0, 1}}
+		names := []gates.Name{gates.H, gates.T, gates.SX, gates.RZ, gates.RY, gates.RX, gates.S, gates.X}
+		for i := 0; i < 6; i++ {
+			n := names[r.Intn(len(names))]
+			info, _ := gates.Lookup(n)
+			var params []float64
+			if info.Params == 1 {
+				params = []float64{r.Float64()*6 - 3}
+			}
+			m, err := gates.Unitary1(n, params)
+			if err != nil {
+				return false
+			}
+			u = gates.Mul2(m, u)
+		}
+		alpha, beta, gamma := zyz(u)
+		rza, _ := gates.Unitary1(gates.RZ, []float64{alpha})
+		ryb, _ := gates.Unitary1(gates.RY, []float64{beta})
+		rzg, _ := gates.Unitary1(gates.RZ, []float64{gamma})
+		rebuilt := gates.Mul2(rza, gates.Mul2(ryb, rzg))
+		return gates.EqualUpToPhase2(rebuilt, u, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZYZEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name gates.Name
+	}{{gates.Z}, {gates.X}, {gates.I}, {gates.S}, {gates.Y}} {
+		u, _ := gates.Unitary1(tc.name, nil)
+		a, b, g := zyz(u)
+		rza, _ := gates.Unitary1(gates.RZ, []float64{a})
+		ryb, _ := gates.Unitary1(gates.RY, []float64{b})
+		rzg, _ := gates.Unitary1(gates.RZ, []float64{g})
+		rebuilt := gates.Mul2(rza, gates.Mul2(ryb, rzg))
+		if !gates.EqualUpToPhase2(rebuilt, u, 1e-9) {
+			t.Errorf("zyz(%s) does not reconstruct", tc.name)
+		}
+	}
+}
+
+func TestResynthesizeCompressesLongRuns(t *testing.T) {
+	c := circuit.New(2, 0)
+	// Ten 1q gates on qubit 0, interrupted once by a cx.
+	c.H(0).T(0).SXGate(0).RZ(0.3, 0).H(0)
+	c.CX(0, 1)
+	c.T(0).T(0).T(0).T(0).H(0)
+	out := Resynthesize(c, false)
+	if out.Size() >= c.Size() {
+		t.Errorf("resynthesis did not shrink: %d -> %d", c.Size(), out.Size())
+	}
+	// Equivalence.
+	pre := circuit.New(2, 0)
+	randomPrep(pre, 4)
+	full := pre.Copy()
+	if err := full.Compose(c); err != nil {
+		t.Fatal(err)
+	}
+	opt := pre.Copy()
+	if err := opt.Compose(out); err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := sim.Evolve(full)
+	s2, _ := sim.Evolve(opt)
+	if !equalUpToGlobalPhase(s1, s2, 1e-9) {
+		t.Error("resynthesis changed semantics")
+	}
+}
+
+func TestResynthesizeDropsIdentityRuns(t *testing.T) {
+	c := circuit.New(1, 0)
+	c.H(0).T(0).Gate(gates.Tdg, []int{0}).H(0) // = identity
+	out := Resynthesize(c, false)
+	if out.Size() != 0 {
+		t.Errorf("identity run survived: %v", out.CountOps())
+	}
+}
+
+func TestResynthesizeLeavesShortRunsAlone(t *testing.T) {
+	c := circuit.New(1, 0)
+	c.H(0).T(0)
+	out := Resynthesize(c, false)
+	if out.Size() != 2 {
+		t.Errorf("short run rewritten: %v", out.CountOps())
+	}
+}
+
+func TestOptimizeLevel3EndToEnd(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		const nq = 3
+		c := circuit.New(nq, 0)
+		randomPrep(c, seed^0x55)
+		for i := 0; i < 25; i++ {
+			switch r.Intn(6) {
+			case 0:
+				c.H(r.Intn(nq))
+			case 1:
+				c.T(r.Intn(nq))
+			case 2:
+				c.RZ(r.Float64()*4-2, r.Intn(nq))
+			case 3:
+				c.SXGate(r.Intn(nq))
+			case 4:
+				a := r.Intn(nq)
+				c.CX(a, (a+1)%nq)
+			case 5:
+				c.RY(r.Float64()*3, r.Intn(nq))
+			}
+		}
+		opt := Optimize(c, 3)
+		s1, err1 := sim.Evolve(c)
+		s2, err2 := sim.Evolve(opt)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return equalUpToGlobalPhase(s1, s2, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevel3ReducesVersusLevel2(t *testing.T) {
+	// A gate-dense circuit where resynthesis wins.
+	c := circuit.New(2, 0)
+	for i := 0; i < 8; i++ {
+		c.H(0).T(0).SXGate(0)
+		c.H(1).T(1)
+	}
+	c.CX(0, 1)
+	l2 := Optimize(c, 2)
+	l3 := Optimize(c, 3)
+	if l3.Size() >= l2.Size() {
+		t.Errorf("level 3 (%d ops) not smaller than level 2 (%d ops)", l3.Size(), l2.Size())
+	}
+	if math.Abs(float64(l3.Depth())) == 0 {
+		t.Error("level 3 emptied a non-identity circuit")
+	}
+}
+
+func TestResynthesizeRespectsBarriersAndMeasures(t *testing.T) {
+	c := circuit.New(1, 1)
+	c.H(0).T(0).SXGate(0).RZ(0.4, 0).H(0)
+	c.Measure(0, 0)
+	out := Resynthesize(c, false)
+	// Run must be flushed before the measurement.
+	last := out.Instrs[len(out.Instrs)-1]
+	if last.Op != circuit.OpMeasure {
+		t.Error("measurement not last after resynthesis")
+	}
+	if out.Size() >= c.Size() {
+		t.Errorf("run before measurement not compressed: %d -> %d", c.Size(), out.Size())
+	}
+}

@@ -1,0 +1,128 @@
+package transpile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func TestZSXIdentity(t *testing.T) {
+	// RZ(α)·RY(β)·RZ(γ) = RZ(α+π)·SX·RZ(β+π)·SX·RZ(γ) up to phase, for
+	// random angles.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		alpha := r.Float64()*6 - 3
+		beta := r.Float64()*6 - 3
+		gamma := r.Float64()*6 - 3
+		rza, _ := gates.Unitary1(gates.RZ, []float64{alpha})
+		ryb, _ := gates.Unitary1(gates.RY, []float64{beta})
+		rzg, _ := gates.Unitary1(gates.RZ, []float64{gamma})
+		want := gates.Mul2(rza, gates.Mul2(ryb, rzg))
+
+		sx, _ := gates.Unitary1(gates.SX, nil)
+		rzap, _ := gates.Unitary1(gates.RZ, []float64{alpha + math.Pi})
+		rzbp, _ := gates.Unitary1(gates.RZ, []float64{beta + math.Pi})
+		got := gates.Mul2(rzap, gates.Mul2(sx, gates.Mul2(rzbp, gates.Mul2(sx, rzg))))
+		return gates.EqualUpToPhase2(got, want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResynthesizeZSXStaysInBasis(t *testing.T) {
+	c := circuit.New(1, 0)
+	// A 10-gate run, already in the {sx, rz} vocabulary.
+	for i := 0; i < 5; i++ {
+		c.SXGate(0)
+		c.RZ(0.3+float64(i)*0.2, 0)
+	}
+	out := Resynthesize(c, true)
+	if out.Size() > 5 {
+		t.Errorf("zsx resynthesis left %d gates, want ≤ 5", out.Size())
+	}
+	for _, ins := range out.Instrs {
+		if ins.Gate != gates.SX && ins.Gate != gates.RZ {
+			t.Errorf("zsx resynthesis emitted %q", ins.Gate)
+		}
+	}
+	// Equivalence.
+	s1, _ := sim.Evolve(c)
+	s2, _ := sim.Evolve(out)
+	if !equalUpToGlobalPhase(s1, s2, 1e-9) {
+		t.Error("zsx resynthesis changed semantics")
+	}
+}
+
+func TestResynthesizeZSXThreshold(t *testing.T) {
+	// Runs of exactly 5 are left alone in zsx mode.
+	c := circuit.New(1, 0)
+	c.RZ(0.1, 0).SXGate(0).RZ(0.2, 0).SXGate(0).RZ(0.3, 0)
+	out := Resynthesize(c, true)
+	if out.Size() != 5 {
+		t.Errorf("5-gate run rewritten to %d gates", out.Size())
+	}
+}
+
+func TestTranspileLevel3NeverWorseThanLevel2OnBasis(t *testing.T) {
+	// Property: for random circuits under the Listing-4 basis, level 3
+	// output is never larger than level 2 output, and both are
+	// semantically equivalent to the input.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		const nq = 3
+		c := circuit.New(nq, nq)
+		randomPrep(c, seed^0x77)
+		for i := 0; i < 20; i++ {
+			switch r.Intn(5) {
+			case 0:
+				c.H(r.Intn(nq))
+			case 1:
+				c.T(r.Intn(nq))
+			case 2:
+				c.RY(r.Float64()*3, r.Intn(nq))
+			case 3:
+				a := r.Intn(nq)
+				c.CX(a, (a+1)%nq)
+			case 4:
+				c.SXGate(r.Intn(nq))
+			}
+		}
+		c.MeasureAll()
+		opts2 := Options{BasisGates: listing4Basis, OptimizationLevel: 2}
+		opts3 := Options{BasisGates: listing4Basis, OptimizationLevel: 3}
+		r2, err2 := Transpile(c, opts2)
+		r3, err3 := Transpile(c, opts3)
+		if err2 != nil || err3 != nil {
+			return false
+		}
+		if r3.Stats.SizeAfter > r2.Stats.SizeAfter {
+			return false
+		}
+		return distsEqualQuick(clbitDistQuick(c), clbitDistQuick(r3.Circuit), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func distsEqualQuick(a, b map[uint64]float64, tol float64) bool {
+	keys := map[uint64]bool{}
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	for k := range keys {
+		if math.Abs(a[k]-b[k]) > tol {
+			return false
+		}
+	}
+	return true
+}

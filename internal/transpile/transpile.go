@@ -1,0 +1,106 @@
+package transpile
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/ctxdesc"
+)
+
+// Options mirror the context descriptor's target and options blocks.
+type Options struct {
+	BasisGates        []string
+	CouplingMap       [][2]int
+	OptimizationLevel int
+}
+
+// FromContext extracts transpiler options from an execution context.
+func FromContext(ctx *ctxdesc.Context) Options {
+	opts := Options{OptimizationLevel: 1}
+	if ctx == nil {
+		return opts
+	}
+	opts.OptimizationLevel = ctx.OptimizationLevel()
+	if ctx.Exec != nil && ctx.Exec.Target != nil {
+		opts.BasisGates = ctx.Exec.Target.BasisGates
+		opts.CouplingMap = ctx.Exec.Target.CouplingMap
+	}
+	return opts
+}
+
+// Stats reports what transpilation did.
+type Stats struct {
+	DepthBefore   int
+	DepthAfter    int
+	TwoQBefore    int
+	TwoQAfter     int
+	SizeBefore    int
+	SizeAfter     int
+	SwapsInserted int
+}
+
+// Result is the transpiled circuit plus layout and stats.
+type Result struct {
+	Circuit *circuit.Circuit
+	Layout  Layout // final logical→physical mapping
+	Stats   Stats
+}
+
+// Transpile runs the pass pipeline: decompose → optimize → route →
+// optimize. The double optimization mirrors production stacks: the first
+// pass shrinks the circuit the router sees; the second cleans up after
+// SWAP insertion.
+func Transpile(c *circuit.Circuit, opts Options) (*Result, error) {
+	stats := Stats{
+		DepthBefore: c.Depth(),
+		TwoQBefore:  c.TwoQubitCount(),
+		SizeBefore:  c.Size(),
+	}
+	lowered, err := Decompose(c, opts.BasisGates)
+	if err != nil {
+		return nil, err
+	}
+	zsx := hasZSXBasis(opts.BasisGates)
+	lowered = OptimizeBasis(lowered, opts.OptimizationLevel, zsx)
+	routed, layout, swaps, err := Route(lowered, opts.CouplingMap)
+	if err != nil {
+		return nil, err
+	}
+	// After routing, inserted SWAPs must survive if the basis excludes
+	// them: decompose again (no-op when SWAPs are allowed or no basis).
+	if len(opts.BasisGates) > 0 && swaps > 0 {
+		routed, err = Decompose(routed, opts.BasisGates)
+		if err != nil {
+			return nil, err
+		}
+	}
+	routed = OptimizeBasis(routed, opts.OptimizationLevel, zsx)
+	// Level 3's resynthesis may emit rotations outside an exotic basis;
+	// restore the constraint and run a cheap cleanup that introduces no
+	// new gate kinds.
+	if opts.OptimizationLevel >= 3 && len(opts.BasisGates) > 0 && !zsx {
+		routed, err = Decompose(routed, opts.BasisGates)
+		if err != nil {
+			return nil, err
+		}
+		routed = Optimize(routed, 2)
+	}
+	stats.DepthAfter = routed.Depth()
+	stats.TwoQAfter = routed.TwoQubitCount()
+	stats.SizeAfter = routed.Size()
+	stats.SwapsInserted = swaps
+	return &Result{Circuit: routed, Layout: layout, Stats: stats}, nil
+}
+
+// hasZSXBasis reports whether the basis contains both sx and rz, the
+// hardware set level-3 resynthesis can target directly.
+func hasZSXBasis(basis []string) bool {
+	hasSX, hasRZ := false, false
+	for _, b := range basis {
+		switch b {
+		case "sx":
+			hasSX = true
+		case "rz":
+			hasRZ = true
+		}
+	}
+	return hasSX && hasRZ
+}

@@ -1,0 +1,496 @@
+package transpile
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// equalUpToGlobalPhase compares two states.
+func equalUpToGlobalPhase(a, b *sim.State, tol float64) bool {
+	if a.Dim() != b.Dim() {
+		return false
+	}
+	var phase complex128
+	found := false
+	for k := 0; k < a.Dim(); k++ {
+		if cmplx.Abs(b.Amplitude(uint64(k))) > tol {
+			phase = a.Amplitude(uint64(k)) / b.Amplitude(uint64(k))
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	for k := 0; k < a.Dim(); k++ {
+		if cmplx.Abs(a.Amplitude(uint64(k))-phase*b.Amplitude(uint64(k))) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// randomPrep appends a random product-state preparation so equivalence
+// checks exercise all amplitudes.
+func randomPrep(c *circuit.Circuit, seed uint64) {
+	r := rng.New(seed)
+	for q := 0; q < c.NumQubits; q++ {
+		c.RY(r.Float64()*3, q)
+		c.RZ(r.Float64()*3, q)
+	}
+}
+
+// clbitDist returns the exact Born distribution over the classical
+// register defined by the circuit's measurements.
+func clbitDist(t *testing.T, c *circuit.Circuit) map[uint64]float64 {
+	t.Helper()
+	// Strip measurements for evolution, then marginalize.
+	evolved := circuit.New(c.NumQubits, c.NumClbits)
+	for _, ins := range c.Instrs {
+		if ins.Op == circuit.OpMeasure {
+			continue
+		}
+		if err := evolved.Append(ins); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := sim.Evolve(evolved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := c.MeasureMap()
+	dist := map[uint64]float64{}
+	for k := 0; k < st.Dim(); k++ {
+		p := st.Probability(uint64(k))
+		if p < 1e-15 {
+			continue
+		}
+		var reg uint64
+		for q, cb := range mm {
+			if uint64(k)>>uint(q)&1 == 1 {
+				reg |= 1 << uint(cb)
+			}
+		}
+		dist[reg] += p
+	}
+	return dist
+}
+
+func distsEqual(a, b map[uint64]float64, tol float64) bool {
+	keys := map[uint64]bool{}
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	for k := range keys {
+		if math.Abs(a[k]-b[k]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+var listing4Basis = []string{"sx", "rz", "cx"}
+
+func TestDecomposeSingleGatesExact(t *testing.T) {
+	// Every 1q/2q/3q gate's decomposition must reproduce the original
+	// state up to global phase, starting from a random state.
+	type tc struct {
+		name  string
+		nq    int
+		build func(c *circuit.Circuit)
+	}
+	cases := []tc{
+		{"h", 1, func(c *circuit.Circuit) { c.H(0) }},
+		{"x", 1, func(c *circuit.Circuit) { c.X(0) }},
+		{"y", 1, func(c *circuit.Circuit) { c.Y(0) }},
+		{"z", 1, func(c *circuit.Circuit) { c.Z(0) }},
+		{"s", 1, func(c *circuit.Circuit) { c.S(0) }},
+		{"t", 1, func(c *circuit.Circuit) { c.T(0) }},
+		{"rx", 1, func(c *circuit.Circuit) { c.RX(1.234, 0) }},
+		{"ry", 1, func(c *circuit.Circuit) { c.RY(-0.77, 0) }},
+		{"p", 1, func(c *circuit.Circuit) { c.Phase(0.41, 0) }},
+		{"cz", 2, func(c *circuit.Circuit) { c.CZGate(0, 1) }},
+		{"cp", 2, func(c *circuit.Circuit) { c.CPhase(1.1, 0, 1) }},
+		{"swap", 2, func(c *circuit.Circuit) { c.Swap(0, 1) }},
+		{"ccx", 3, func(c *circuit.Circuit) { c.CCX(0, 1, 2) }},
+		{"cswap", 3, func(c *circuit.Circuit) { c.CSwap(0, 1, 2) }},
+	}
+	for _, tcase := range cases {
+		t.Run(tcase.name, func(t *testing.T) {
+			orig := circuit.New(tcase.nq, 0)
+			randomPrep(orig, 99)
+			tcase.build(orig)
+
+			prep := circuit.New(tcase.nq, 0)
+			randomPrep(prep, 99)
+			gateOnly := circuit.New(tcase.nq, 0)
+			tcase.build(gateOnly)
+			low, err := Decompose(gateOnly, listing4Basis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ins := range low.Instrs {
+				if ins.Op == circuit.OpGate && ins.Gate != "sx" && ins.Gate != "rz" && ins.Gate != "cx" {
+					t.Fatalf("gate %q escaped decomposition", ins.Gate)
+				}
+			}
+			if err := prep.Compose(low); err != nil {
+				t.Fatal(err)
+			}
+			sOrig, err := sim.Evolve(orig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sLow, err := sim.Evolve(prep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalUpToGlobalPhase(sOrig, sLow, 1e-9) {
+				t.Errorf("decomposition of %s is not equivalent", tcase.name)
+			}
+		})
+	}
+}
+
+func TestDecomposeEmptyBasisIsNative(t *testing.T) {
+	c2 := circuit.New(3, 0)
+	c2.H(0).CCX(0, 1, 2)
+	out, err := Decompose(c2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CountOps()["ccx"] != 1 {
+		t.Error("native mode rewrote gates")
+	}
+}
+
+func TestDecomposeRejectsNativeOps(t *testing.T) {
+	c := circuit.New(2, 0)
+	if err := c.Permute([]int{0, 1}, []uint64{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompose(c, listing4Basis); err == nil {
+		t.Error("permute accepted under basis constraint")
+	}
+}
+
+func TestDecomposeUnreachableBasis(t *testing.T) {
+	c := circuit.New(1, 0)
+	c.H(0)
+	if _, err := Decompose(c, []string{"cx"}); err == nil {
+		t.Error("H decomposed into cx-only basis")
+	}
+}
+
+func TestRouteLinearChain(t *testing.T) {
+	// cx(0,3) on a 0-1-2-3 line needs swaps.
+	pairs := [][2]int{{0, 1}, {1, 2}, {2, 3}}
+	c := circuit.New(4, 4)
+	randomPrep(c, 5)
+	c.CX(0, 3)
+	c.MeasureAll()
+	routed, layout, swaps, err := Route(c, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swaps == 0 {
+		t.Error("no swaps inserted for distant pair")
+	}
+	if len(layout) != 4 {
+		t.Errorf("layout size %d", len(layout))
+	}
+	// Every two-qubit gate must act on coupled qubits.
+	coup, _ := newCoupling(pairs, 4)
+	for _, ins := range routed.Instrs {
+		if ins.Op == circuit.OpGate && len(ins.Qubits) == 2 {
+			if !coup.connected(ins.Qubits[0], ins.Qubits[1]) {
+				t.Errorf("gate %s on uncoupled pair %v", ins.Gate, ins.Qubits)
+			}
+		}
+	}
+	// Semantics preserved through measurement remapping.
+	if !distsEqual(clbitDist(t, c), clbitDist(t, routed), 1e-9) {
+		t.Error("routing changed the measured distribution")
+	}
+}
+
+func TestRouteRing(t *testing.T) {
+	// The paper's §5 four-qubit ring 0-1-2-3-0.
+	pairs := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}
+	c := circuit.New(4, 4)
+	randomPrep(c, 11)
+	c.CX(0, 2).CX(1, 3).CX(0, 1)
+	c.MeasureAll()
+	routed, _, _, err := Route(c, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !distsEqual(clbitDist(t, c), clbitDist(t, routed), 1e-9) {
+		t.Error("ring routing changed the measured distribution")
+	}
+}
+
+func TestRouteDisconnected(t *testing.T) {
+	pairs := [][2]int{{0, 1}, {2, 3}}
+	c := circuit.New(4, 0)
+	c.CX(0, 3)
+	if _, _, _, err := Route(c, pairs); err == nil {
+		t.Error("disconnected routing succeeded")
+	}
+}
+
+func TestRouteRejectsThreeQubitGates(t *testing.T) {
+	c := circuit.New(3, 0)
+	c.CCX(0, 1, 2)
+	if _, _, _, err := Route(c, [][2]int{{0, 1}, {1, 2}}); err == nil {
+		t.Error("ccx routed without decomposition")
+	}
+}
+
+func TestRouteNoCouplingIsIdentity(t *testing.T) {
+	c := circuit.New(3, 0)
+	c.CX(0, 2)
+	routed, layout, swaps, err := Route(c, nil)
+	if err != nil || swaps != 0 {
+		t.Fatalf("err=%v swaps=%d", err, swaps)
+	}
+	if len(routed.Instrs) != 1 || layout[2] != 2 {
+		t.Error("no-coupling route modified circuit")
+	}
+}
+
+func TestOptimizeCancellation(t *testing.T) {
+	c := circuit.New(2, 0)
+	c.H(0).H(0).CX(0, 1).CX(0, 1).X(1).X(1)
+	out := Optimize(c, 1)
+	if out.Size() != 0 {
+		t.Errorf("self-inverse pairs survived: %v", out.CountOps())
+	}
+}
+
+func TestOptimizeRotationMerge(t *testing.T) {
+	c := circuit.New(1, 0)
+	c.RZ(0.5, 0).RZ(0.25, 0).RZ(-0.75, 0)
+	out := Optimize(c, 2)
+	if out.Size() != 0 {
+		t.Errorf("rz angles did not merge to zero: %v", out.String())
+	}
+	c2 := circuit.New(1, 0)
+	c2.RZ(0.5, 0).RZ(0.25, 0)
+	out2 := Optimize(c2, 1)
+	if out2.Size() != 1 || math.Abs(out2.Instrs[0].Params[0]-0.75) > 1e-12 {
+		t.Errorf("rz merge wrong: %v", out2.String())
+	}
+}
+
+func TestOptimizeDropsIdentity(t *testing.T) {
+	c := circuit.New(1, 0)
+	c.Gate(gates.I, []int{0})
+	c.RZ(0, 0)
+	c.RX(2*math.Pi, 0)
+	out := Optimize(c, 1)
+	if out.Size() != 0 {
+		t.Errorf("identities survived: %v", out.CountOps())
+	}
+}
+
+func TestOptimizeCommutationLevel2(t *testing.T) {
+	// h(0) … h(0) separated by rz on the control of a cx and the cx
+	// itself: level 2 cannot remove the h pair (h does not commute), but
+	// cx(0,1) rz(0,ctrl) cx(0,1) — the rz commutes through, letting the
+	// cx pair cancel.
+	c := circuit.New(2, 0)
+	c.CX(0, 1).RZ(0.4, 0).CX(0, 1)
+	out := Optimize(c, 2)
+	counts := out.CountOps()
+	if counts["cx"] != 0 || counts["rz"] != 1 {
+		t.Errorf("commuting cancellation failed: %v", counts)
+	}
+	// Level 1 must NOT do this (no look-through).
+	out1 := Optimize(c, 1)
+	if out1.CountOps()["cx"] != 2 {
+		t.Errorf("level 1 unexpectedly looked through: %v", out1.CountOps())
+	}
+	// And the result must still be correct.
+	pre := circuit.New(2, 0)
+	randomPrep(pre, 3)
+	full := pre.Copy()
+	if err := full.Compose(c); err != nil {
+		t.Fatal(err)
+	}
+	opt := pre.Copy()
+	if err := opt.Compose(out); err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := sim.Evolve(full)
+	s2, _ := sim.Evolve(opt)
+	if !equalUpToGlobalPhase(s1, s2, 1e-9) {
+		t.Error("level-2 optimization changed semantics")
+	}
+}
+
+func TestOptimizePreservesSemanticsRandom(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		const nq = 4
+		c := circuit.New(nq, 0)
+		randomPrep(c, seed)
+		for i := 0; i < 30; i++ {
+			switch r.Intn(6) {
+			case 0:
+				c.H(r.Intn(nq))
+			case 1:
+				c.RZ(r.Float64()*4-2, r.Intn(nq))
+			case 2:
+				a := r.Intn(nq)
+				b := (a + 1 + r.Intn(nq-1)) % nq
+				c.CX(a, b)
+			case 3:
+				c.X(r.Intn(nq))
+			case 4:
+				c.T(r.Intn(nq))
+			case 5:
+				a := r.Intn(nq)
+				b := (a + 1 + r.Intn(nq-1)) % nq
+				c.CPhase(r.Float64()*2, a, b)
+			}
+		}
+		opt := Optimize(c, 2)
+		s1, err1 := sim.Evolve(c)
+		s2, err2 := sim.Evolve(opt)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return equalUpToGlobalPhase(s1, s2, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranspilePipelineListing4(t *testing.T) {
+	// Full Listing-4 context shape: basis {sx,rz,cx}, linear coupling,
+	// level 2 — on a circuit with distant interactions.
+	c := circuit.New(4, 4)
+	randomPrep(c, 21)
+	c.H(0).CCX(0, 1, 3).CPhase(0.9, 0, 3)
+	c.MeasureAll()
+	res, err := Transpile(c, Options{
+		BasisGates:        listing4Basis,
+		CouplingMap:       [][2]int{{0, 1}, {1, 2}, {2, 3}},
+		OptimizationLevel: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ins := range res.Circuit.Instrs {
+		if ins.Op != circuit.OpGate {
+			continue
+		}
+		switch ins.Gate {
+		case "sx", "rz", "cx":
+		default:
+			t.Fatalf("gate %q escaped transpilation", ins.Gate)
+		}
+	}
+	if !distsEqual(clbitDist(t, c), clbitDist(t, res.Circuit), 1e-9) {
+		t.Error("transpilation changed the measured distribution")
+	}
+	if res.Stats.SwapsInserted == 0 {
+		t.Error("expected swaps on the linear chain")
+	}
+	if res.Stats.TwoQAfter <= res.Stats.TwoQBefore {
+		t.Errorf("routing+decomposition should raise 2q count: %d -> %d",
+			res.Stats.TwoQBefore, res.Stats.TwoQAfter)
+	}
+}
+
+func TestTranspileQuickRandomCircuits(t *testing.T) {
+	// Property: transpiling random measured circuits to the Listing-4
+	// target preserves the clbit distribution.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		const nq = 4
+		c := circuit.New(nq, nq)
+		randomPrep(c, seed^0xabc)
+		for i := 0; i < 12; i++ {
+			switch r.Intn(5) {
+			case 0:
+				c.H(r.Intn(nq))
+			case 1:
+				c.T(r.Intn(nq))
+			case 2:
+				a := r.Intn(nq)
+				b := (a + 1 + r.Intn(nq-1)) % nq
+				c.CX(a, b)
+			case 3:
+				a := r.Intn(nq)
+				b := (a + 1 + r.Intn(nq-1)) % nq
+				c.Swap(a, b)
+			case 4:
+				c.RY(r.Float64()*3, r.Intn(nq))
+			}
+		}
+		c.MeasureAll()
+		res, err := Transpile(c, Options{
+			BasisGates:        listing4Basis,
+			CouplingMap:       [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+			OptimizationLevel: 2,
+		})
+		if err != nil {
+			return false
+		}
+		return distsEqual(clbitDistQuick(c), clbitDistQuick(res.Circuit), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clbitDistQuick(c *circuit.Circuit) map[uint64]float64 {
+	evolved := circuit.New(c.NumQubits, c.NumClbits)
+	for _, ins := range c.Instrs {
+		if ins.Op == circuit.OpMeasure {
+			continue
+		}
+		if err := evolved.Append(ins); err != nil {
+			return nil
+		}
+	}
+	st, err := sim.Evolve(evolved)
+	if err != nil {
+		return nil
+	}
+	mm := c.MeasureMap()
+	dist := map[uint64]float64{}
+	for k := 0; k < st.Dim(); k++ {
+		p := st.Probability(uint64(k))
+		if p < 1e-15 {
+			continue
+		}
+		var reg uint64
+		for q, cb := range mm {
+			if uint64(k)>>uint(q)&1 == 1 {
+				reg |= 1 << uint(cb)
+			}
+		}
+		dist[reg] += p
+	}
+	return dist
+}
+
+func TestFromContext(t *testing.T) {
+	if opts := FromContext(nil); opts.OptimizationLevel != 1 {
+		t.Error("nil context defaults wrong")
+	}
+}
