@@ -343,6 +343,23 @@ func BenchmarkSimSampling(b *testing.B) {
 	}
 }
 
+// BenchmarkCountsMostFrequent guards the O(n) argmax over observed
+// outcomes: a previous implementation sorted all keys on every call
+// (O(n log n) plus an allocation), which this benchmark would regress on.
+func BenchmarkCountsMostFrequent(b *testing.B) {
+	cnt := sim.Counts{}
+	for k := uint64(0); k < 1<<16; k++ {
+		cnt[k] = int(k % 97)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if k, n := cnt.MostFrequent(); n != 96 || k != 96 {
+			b.Fatalf("MostFrequent = %d, %d", k, n)
+		}
+	}
+}
+
 // BenchmarkSASweeps measures raw Metropolis throughput: one read of 1000
 // sweeps on a 64-edge instance.
 func BenchmarkSASweeps(b *testing.B) {

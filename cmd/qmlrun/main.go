@@ -6,6 +6,7 @@
 //	qmlrun job.json
 //	qmlrun -engine anneal.sa job.json   # override the context's engine
 //	qmlrun -top 5 job.json
+//	qmlrun -parallel 4 a.json b.json c.json   # batch mode on a worker pool
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"repro/internal/algolib"
 	"repro/internal/bundle"
 	"repro/internal/ctxdesc"
+	"repro/internal/jobs"
 	"repro/internal/qop"
 	"repro/internal/result"
 	"repro/internal/runtime"
@@ -27,9 +29,21 @@ func main() {
 	top := flag.Int("top", 10, "show at most this many outcomes")
 	estimate := flag.Bool("estimate", false, "print per-engine cost estimates instead of executing")
 	qasm := flag.Bool("qasm", false, "print the transpiled circuit as OpenQASM 2.0 instead of executing")
+	parallel := flag.Int("parallel", 0, "batch mode: execute all job files on a pool of this many workers")
 	flag.Parse()
+	if *parallel > 0 {
+		if flag.NArg() < 1 || *estimate || *qasm {
+			fmt.Fprintln(os.Stderr, "usage: qmlrun -parallel n [-engine name] [-top n] job.json [job.json …]")
+			os.Exit(2)
+		}
+		if err := runParallel(flag.Args(), *engine, *parallel, *top); err != nil {
+			fmt.Fprintln(os.Stderr, "qmlrun:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: qmlrun [-engine name] [-top n] [-estimate] [-qasm] job.json")
+		fmt.Fprintln(os.Stderr, "usage: qmlrun [-engine name] [-top n] [-estimate] [-qasm] [-parallel n] job.json")
 		os.Exit(2)
 	}
 	var err error
@@ -98,9 +112,23 @@ func runQASM(path string) error {
 }
 
 func run(path, engineOverride string, top int) error {
-	b, err := bundle.Load(path, qop.ValidateOptions{})
+	b, err := loadBundle(path, engineOverride)
 	if err != nil {
 		return err
+	}
+	res, err := runtime.Submit(b, runtime.Options{})
+	if err != nil {
+		return err
+	}
+	printResult(res, top)
+	return nil
+}
+
+// loadBundle loads a job.json and applies an optional engine override.
+func loadBundle(path, engineOverride string) (*bundle.Bundle, error) {
+	b, err := bundle.Load(path, qop.ValidateOptions{})
+	if err != nil {
+		return nil, err
 	}
 	if engineOverride != "" {
 		ctx := b.Context
@@ -114,11 +142,65 @@ func run(path, engineOverride string, top int) error {
 		ctx.Exec.Engine = engineOverride
 		b = b.WithContext(ctx)
 	}
-	res, err := runtime.Submit(b, runtime.Options{})
-	if err != nil {
-		return err
+	return b, nil
+}
+
+// runParallel executes every job file concurrently on a jobs.Pool — the
+// batch-mode consumer of the same scheduler cmd/qmlserve exposes over
+// HTTP. Identical bundles (same intent, context, shots, seed) execute
+// once and the duplicates are served from the content-addressed cache.
+func runParallel(paths []string, engineOverride string, workers, top int) error {
+	// MaxRecords unbounded: the batch holds every job ID and reads each
+	// result exactly once, so no record may be evicted mid-batch.
+	pool := jobs.NewPool(jobs.Options{Workers: workers, QueueDepth: len(paths), MaxRecords: -1})
+	defer pool.Close()
+
+	ids := make([]string, len(paths))
+	for i, path := range paths {
+		b, err := loadBundle(path, engineOverride)
+		if err != nil {
+			return err
+		}
+		id, err := pool.Submit(b)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		ids[i] = id
 	}
-	printResult(res, top)
+
+	failed := 0
+	for i, id := range ids {
+		st, err := pool.Wait(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== %s (%s: %s", paths[i], id, st.State)
+		if st.CacheHit {
+			fmt.Printf(", cache hit")
+		} else {
+			fmt.Printf(", queued %.1fms, ran %.1fms",
+				float64(st.QueueWait.Microseconds())/1000, float64(st.RunTime.Microseconds())/1000)
+		}
+		fmt.Println(") ==")
+		res, err := pool.Result(id)
+		if err != nil {
+			failed++
+			fmt.Printf("  error: %v\n", err)
+			continue
+		}
+		printResult(res, top)
+	}
+
+	s := pool.Stats()
+	workerNoun := "workers"
+	if s.Workers == 1 {
+		workerNoun = "worker"
+	}
+	fmt.Printf("\nbatch: %d jobs on %d %s — %d done (%d cache hits), %d failed\n",
+		s.Submitted, s.Workers, workerNoun, s.Completed, s.CacheHits, s.Failed)
+	if failed > 0 {
+		return fmt.Errorf("%d of %d jobs failed", failed, len(paths))
+	}
 	return nil
 }
 

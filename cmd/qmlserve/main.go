@@ -1,0 +1,78 @@
+// Command qmlserve runs the middle layer as an HTTP job service: the
+// queued, job-ID-addressed consumption model of production quantum
+// backends (IBM Quantum's job API, D-Wave Leap), backed by the
+// internal/jobs worker pool and content-addressed result cache.
+//
+//	qmlserve -addr :8080 -workers 8 -queue 256 -cache 4096
+//
+// Submit the quickstart bundle and poll it:
+//
+//	curl -s -X POST --data-binary @job.json localhost:8080/v1/jobs
+//	  → {"id":"job-00000001","state":"queued","cache_hit":false}
+//	curl -s localhost:8080/v1/jobs/job-00000001
+//	  → {"id":"job-00000001","state":"done","engine":"gate.aer_simulator",...}
+//	curl -s localhost:8080/v1/jobs/job-00000001/result
+//	  → {"engine":"gate.aer_simulator","samples":10000,"entries":[...]}
+//	curl -s localhost:8080/v1/engines
+//	curl -s localhost:8080/v1/stats
+//
+// Re-POSTing an identical bundle (same intent, context, shots, seed)
+// returns a new job ID already in state "done" with "cache_hit": true —
+// the result is served from the content-addressed cache without
+// re-execution, visible in /v1/stats as cache_hits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/jobs"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = NumCPU)")
+	queue := flag.Int("queue", 64, "bounded queue depth (full queue → 429)")
+	cache := flag.Int("cache", 1024, "result-cache entries (negative disables)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: qmlserve [-addr :8080] [-workers n] [-queue n] [-cache n]")
+		os.Exit(2)
+	}
+
+	pool := jobs.NewPool(jobs.Options{Workers: *workers, QueueDepth: *queue, CacheSize: *cache})
+	srv := &http.Server{Addr: *addr, Handler: jobs.NewHandler(pool)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("qmlserve: listening on %s (engines: %v)", *addr, backend.Engines())
+
+	select {
+	case err := <-errc:
+		log.Fatalf("qmlserve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("qmlserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// DeadlineExceeded here means in-flight requests were cut off.
+		log.Printf("qmlserve: shutdown: %v", err)
+	}
+	pool.Close()
+	s := pool.Stats()
+	log.Printf("qmlserve: done (submitted=%d completed=%d failed=%d cache_hits=%d)",
+		s.Submitted, s.Completed, s.Failed, s.CacheHits)
+}

@@ -9,6 +9,35 @@
 // on a gate-model statevector engine, a simulated annealer, or a pulse
 // model (internal/backend) without modification.
 //
+// # Serving layer
+//
+// On top of the one-shot runtime sits the asynchronous serving subsystem
+// (internal/jobs): a job scheduler in the consumption model of production
+// quantum services (IBM Quantum's job API, D-Wave Leap). A jobs.Pool
+// accepts bundles, assigns job IDs, and executes them on a fixed worker
+// pool fed from a bounded queue — saturation rejects immediately
+// (backpressure) instead of stalling submitters. Identical submissions
+// (same canonical bundle JSON, shots and seed) are deduplicated through a
+// content-addressed LRU result cache, sound because every stochastic
+// stage is seeded. Each job records its lifecycle (queued → running →
+// done/failed, or canceled while queued) with queue-wait and run-time
+// metrics.
+//
+// Two consumers wrap the pool. cmd/qmlserve exposes it over HTTP
+// (stdlib net/http) speaking the job.json schema:
+//
+//	qmlserve -addr :8080 -workers 8 -queue 256 -cache 4096
+//	curl -s -X POST --data-binary @job.json localhost:8080/v1/jobs
+//	curl -s localhost:8080/v1/jobs/job-00000001          # lifecycle + timing
+//	curl -s localhost:8080/v1/jobs/job-00000001/result   # decoded entries
+//	curl -s localhost:8080/v1/engines                    # registry contents
+//	curl -s localhost:8080/v1/stats                      # counters incl. cache_hits
+//
+// and cmd/qmlrun -parallel runs a batch of job files concurrently on the
+// same scheduler. The backend registry is concurrency-safe and accepts
+// injected engines via backend.Register, which is how the jobs tests
+// substitute fakes.
+//
 // See README.md for the architecture tour, DESIGN.md for the system
 // inventory and per-experiment index, and EXPERIMENTS.md for the
 // paper-vs-measured record. The benchmark harness in bench_test.go

@@ -9,6 +9,7 @@ package backend
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/bundle"
 	"repro/internal/result"
@@ -25,6 +26,10 @@ type Backend interface {
 // DefaultShots is used when the context specifies no sample count.
 const DefaultShots = 1024
 
+// registryMu guards registry: the serving layer resolves engines from
+// concurrent worker goroutines while tests inject fakes via Register.
+var registryMu sync.RWMutex
+
 var registry = map[string]func() Backend{
 	"gate.statevector":   func() Backend { return &Gate{engine: "gate.statevector"} },
 	"gate.aer_simulator": func() Backend { return &Gate{engine: "gate.aer_simulator"} },
@@ -33,17 +38,47 @@ var registry = map[string]func() Backend{
 	"pulse.model":        func() Backend { return &Pulse{engine: "pulse.model"} },
 }
 
-// Get returns a backend for the engine name.
+// Get returns a fresh backend instance for the engine name. Safe for
+// concurrent use.
 func Get(engine string) (Backend, error) {
+	registryMu.RLock()
 	f, ok := registry[engine]
+	registryMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("backend: unknown engine %q (known: %v)", engine, Engines())
 	}
 	return f(), nil
 }
 
-// Engines returns the registered engine names, sorted.
+// Register installs (or replaces) an engine constructor under the given
+// name. The jobs layer and tests use it to inject fake backends; the
+// constructor must return a new instance per call since backends execute
+// concurrently. It returns the previous constructor, or nil, so callers
+// can restore it.
+func Register(engine string, f func() Backend) func() Backend {
+	if engine == "" || f == nil {
+		panic("backend: Register requires a non-empty name and constructor")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	prev := registry[engine]
+	registry[engine] = f
+	return prev
+}
+
+// Unregister removes an engine from the registry (test teardown for
+// engines injected via Register).
+func Unregister(engine string) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	delete(registry, engine)
+}
+
+// Engines returns the registered engine names, sorted. Safe for
+// concurrent use.
 func Engines() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
 	names := make([]string, 0, len(registry))
 	for n := range registry {
 		names = append(names, n)

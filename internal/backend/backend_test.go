@@ -1,7 +1,9 @@
 package backend
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/algolib"
@@ -11,6 +13,7 @@ import (
 	"repro/internal/ising"
 	"repro/internal/qdt"
 	"repro/internal/qop"
+	"repro/internal/result"
 	"repro/internal/sim"
 )
 
@@ -312,6 +315,75 @@ func TestRegistry(t *testing.T) {
 	if len(Engines()) < 5 {
 		t.Errorf("registry too small: %v", Engines())
 	}
+}
+
+// stubBackend is a minimal Backend for Register tests.
+type stubBackend struct{ name string }
+
+func (s *stubBackend) Name() string { return s.name }
+func (s *stubBackend) Execute(b *bundle.Bundle) (*result.Result, error) {
+	return &result.Result{Engine: s.name}, nil
+}
+
+func TestRegisterAndUnregister(t *testing.T) {
+	const name = "stub.register_test"
+	prev := Register(name, func() Backend { return &stubBackend{name: name} })
+	if prev != nil {
+		t.Fatalf("fresh name %q had a previous constructor", name)
+	}
+	defer Unregister(name)
+
+	be, err := Get(name)
+	if err != nil || be.Name() != name {
+		t.Fatalf("Get(%q) = %v, %v", name, be, err)
+	}
+	found := false
+	for _, n := range Engines() {
+		if n == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Engines() lacks %q: %v", name, Engines())
+	}
+
+	// Replacing returns the old constructor so callers can restore it.
+	prev = Register(name, func() Backend { return &stubBackend{name: "replaced"} })
+	if prev == nil {
+		t.Fatal("replacement did not return the previous constructor")
+	}
+	Register(name, prev)
+	if be, _ := Get(name); be.Name() != name {
+		t.Fatalf("restored constructor yields %q", be.Name())
+	}
+
+	Unregister(name)
+	if _, err := Get(name); err == nil {
+		t.Fatal("unregistered engine still resolvable")
+	}
+}
+
+// TestRegistryConcurrent exercises Get/Engines/Register from concurrent
+// goroutines; run with -race.
+func TestRegistryConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("stub.concurrent_%d", i)
+			for j := 0; j < 100; j++ {
+				Register(name, func() Backend { return &stubBackend{name: name} })
+				if _, err := Get("gate.statevector"); err != nil {
+					t.Error(err)
+					return
+				}
+				Engines()
+				Unregister(name)
+			}
+		}(i)
+	}
+	wg.Wait()
 }
 
 func TestExpectedCutBandE3(t *testing.T) {

@@ -1,0 +1,252 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/bundle"
+	"repro/internal/qdt"
+	"repro/internal/qop"
+	"repro/internal/result"
+)
+
+// MaxBodyBytes bounds a POST /v1/jobs body; larger submissions are
+// rejected with 413.
+const MaxBodyBytes = 8 << 20
+
+// NewHandler exposes a Pool over HTTP, speaking the job.json bundle schema
+// from internal/schemas:
+//
+//	POST   /v1/jobs             submit a job.json bundle → 202 {id,state,cache_hit}
+//	GET    /v1/jobs/{id}        lifecycle status + timing
+//	GET    /v1/jobs/{id}/result decoded result (202 while pending)
+//	DELETE /v1/jobs/{id}        cancel a queued job
+//	GET    /v1/engines          registered engine names
+//	GET    /v1/stats            pool counters incl. cache_hits
+//
+// Backpressure surfaces as 429 with Retry-After when the pool's bounded
+// queue is full.
+func NewHandler(p *Pool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmit(p, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleStatus(p, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		handleResult(p, w, r)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleCancel(p, w, r)
+	})
+	mux.HandleFunc("GET /v1/engines", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"engines": backend.Engines()})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, p.Stats())
+	})
+	return mux
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+type submitJSON struct {
+	ID       string `json:"id"`
+	State    State  `json:"state"`
+	CacheHit bool   `json:"cache_hit"`
+}
+
+type statusJSON struct {
+	ID          string  `json:"id"`
+	State       State   `json:"state"`
+	Engine      string  `json:"engine,omitempty"`
+	CacheHit    bool    `json:"cache_hit"`
+	Error       string  `json:"error,omitempty"`
+	SubmittedAt string  `json:"submitted_at"`
+	StartedAt   string  `json:"started_at,omitempty"`
+	FinishedAt  string  `json:"finished_at,omitempty"`
+	QueueMS     float64 `json:"queue_ms"`
+	RunMS       float64 `json:"run_ms"`
+}
+
+type entryJSON struct {
+	Bitstring string   `json:"bitstring"`
+	Index     uint64   `json:"index"`
+	Value     any      `json:"value,omitempty"`
+	Count     int      `json:"count"`
+	Energy    *float64 `json:"energy,omitempty"`
+}
+
+type resultJSON struct {
+	ID      string         `json:"id"`
+	Engine  string         `json:"engine"`
+	Samples int            `json:"samples"`
+	Entries []entryJSON    `json:"entries"`
+	Meta    map[string]any `json:"meta,omitempty"`
+}
+
+func handleSubmit(p *Pool, w http.ResponseWriter, r *http.Request) {
+	raw, err := readBody(w, r)
+	if err != nil {
+		return // readBody already replied
+	}
+	b, err := bundle.FromJSON(raw, qop.ValidateOptions{AllowMidCircuit: p.opts.Run.AllowMidCircuit})
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		return
+	}
+	st, err := p.submit(b)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorJSON{err.Error()})
+		return
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, errorJSON{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitJSON{ID: st.ID, State: st.State, CacheHit: st.CacheHit})
+}
+
+func handleStatus(p *Pool, w http.ResponseWriter, r *http.Request) {
+	st, err := p.Status(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, statusToJSON(st))
+}
+
+func handleResult(p *Pool, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, err := p.Result(id)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrNotFound):
+			writeJSON(w, http.StatusNotFound, errorJSON{err.Error()})
+		case errors.Is(err, ErrNotFinished):
+			// Still queued or running: poll again.
+			writeJSON(w, http.StatusAccepted, errorJSON{err.Error()})
+		case errors.Is(err, ErrCanceled):
+			writeJSON(w, http.StatusGone, errorJSON{err.Error()})
+		default: // execution failure
+			writeJSON(w, http.StatusInternalServerError, errorJSON{err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, resultToJSON(id, res))
+}
+
+func handleCancel(p *Pool, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := p.Cancel(id); err != nil {
+		if errors.Is(err, ErrNotFound) {
+			writeJSON(w, http.StatusNotFound, errorJSON{err.Error()})
+		} else {
+			writeJSON(w, http.StatusConflict, errorJSON{err.Error()})
+		}
+		return
+	}
+	st, err := p.Status(id)
+	if err != nil {
+		// The record was evicted (MaxRecords) between Cancel and the
+		// lookup; the cancellation itself succeeded.
+		st = Status{ID: id, State: StateCanceled}
+	}
+	writeJSON(w, http.StatusOK, statusToJSON(st))
+}
+
+func statusToJSON(st Status) statusJSON {
+	out := statusJSON{
+		ID:          st.ID,
+		State:       st.State,
+		Engine:      st.Engine,
+		CacheHit:    st.CacheHit,
+		Error:       st.Error,
+		SubmittedAt: st.SubmittedAt.UTC().Format(time.RFC3339Nano),
+		QueueMS:     float64(st.QueueWait) / float64(time.Millisecond),
+		RunMS:       float64(st.RunTime) / float64(time.Millisecond),
+	}
+	if !st.StartedAt.IsZero() {
+		out.StartedAt = st.StartedAt.UTC().Format(time.RFC3339Nano)
+	}
+	if !st.FinishedAt.IsZero() {
+		out.FinishedAt = st.FinishedAt.UTC().Format(time.RFC3339Nano)
+	}
+	return out
+}
+
+func resultToJSON(id string, res *result.Result) resultJSON {
+	out := resultJSON{
+		ID:      id,
+		Engine:  res.Engine,
+		Samples: res.Samples,
+		Entries: make([]entryJSON, 0, len(res.Entries)),
+		Meta:    res.Meta,
+	}
+	for _, e := range res.Entries {
+		ej := entryJSON{Bitstring: e.Bitstring, Index: e.Index, Value: valueToJSON(e.Value), Count: e.Count}
+		if e.HasEnergy {
+			energy := e.Energy
+			ej.Energy = &energy
+		}
+		out.Entries = append(out.Entries, ej)
+	}
+	return out
+}
+
+// valueToJSON renders a decoded qdt.Value in its natural JSON shape per
+// the register's measurement semantics.
+func valueToJSON(v qdt.Value) any {
+	switch v.Semantics {
+	case qdt.AsInt:
+		return v.Int
+	case qdt.AsPhase, qdt.AsFixed:
+		return v.Float
+	case qdt.AsBool:
+		return v.Bools
+	case qdt.AsSpin:
+		return v.Spins
+	default:
+		return nil
+	}
+}
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	raw, err := readAllLimited(r)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorJSON{fmt.Sprintf("jobs: body exceeds %d bytes", MaxBodyBytes)})
+		} else {
+			writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		}
+		return nil, err
+	}
+	return raw, nil
+}
+
+func readAllLimited(r *http.Request) ([]byte, error) {
+	defer r.Body.Close()
+	return io.ReadAll(http.MaxBytesReader(nil, r.Body, MaxBodyBytes))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

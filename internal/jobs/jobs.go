@@ -1,0 +1,506 @@
+// Package jobs is the middle layer's serving subsystem: an asynchronous
+// job scheduler that turns the one-shot runtime.Submit path into the
+// queued, job-ID-addressed execution model production quantum services
+// (IBM Quantum's job API, D-Wave Leap) expose.
+//
+// A Pool accepts validated submission bundles, assigns job IDs, runs them
+// on a fixed worker pool (one goroutine per worker) fed from a bounded
+// queue — Submit fails fast with ErrQueueFull when the queue is saturated,
+// the backpressure signal the HTTP front-end translates into 429 — and
+// deduplicates identical submissions through a content-addressed result
+// cache keyed by the canonical bundle JSON plus resolved shots and seed.
+// Every job records its lifecycle (queued → running → done/failed, or
+// canceled while queued) with queue-wait and run-time metrics aggregated
+// into Stats.
+//
+// cmd/qmlserve wraps a Pool in an HTTP server (see NewHandler); cmd/qmlrun
+// -parallel uses the same Pool for concurrent batch execution.
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	stdruntime "runtime"
+	"sync"
+	"time"
+
+	"repro/internal/bundle"
+	"repro/internal/result"
+	rt "repro/internal/runtime"
+)
+
+// State is a job lifecycle state.
+type State string
+
+// Lifecycle states. Queued jobs may move to Running or Canceled; Running
+// jobs finish Done or Failed. Done, Failed and Canceled are terminal.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Sentinel errors returned by Pool methods.
+var (
+	// ErrQueueFull is the backpressure signal: the bounded queue is
+	// saturated and the submission was rejected, not enqueued.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrClosed means the pool has been shut down.
+	ErrClosed = errors.New("jobs: pool closed")
+	// ErrNotFound means no job has the given ID.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrNotFinished means the job has not reached a terminal state yet.
+	ErrNotFinished = errors.New("jobs: job not finished")
+	// ErrCanceled means the job was canceled before it ran.
+	ErrCanceled = errors.New("jobs: job canceled")
+)
+
+// Options configure a Pool. The zero value is usable: NumCPU workers, a
+// 64-deep queue, and a 1024-entry result cache.
+type Options struct {
+	// Workers is the number of executor goroutines (default: NumCPU).
+	Workers int
+	// QueueDepth bounds the submission queue; a full queue rejects with
+	// ErrQueueFull (default 64).
+	QueueDepth int
+	// CacheSize bounds the content-addressed result cache in entries
+	// (default 1024; negative disables caching).
+	CacheSize int
+	// MaxRecords bounds how many terminal job records (with their
+	// results) are retained for Status/Result lookups; the oldest
+	// finished jobs are evicted first and subsequently report
+	// ErrNotFound (default 65536; negative retains everything).
+	// Queued and running jobs are never evicted.
+	MaxRecords int
+	// Run is forwarded to runtime.Submit for every job.
+	Run rt.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = stdruntime.NumCPU()
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 1024
+	}
+	if o.MaxRecords == 0 {
+		o.MaxRecords = 65536
+	}
+	return o
+}
+
+// Status is an externally visible snapshot of one job's lifecycle.
+type Status struct {
+	ID       string
+	State    State
+	Engine   string
+	CacheHit bool
+	// Error holds the failure message for StateFailed.
+	Error       string
+	SubmittedAt time.Time
+	StartedAt   time.Time // zero until the job leaves the queue
+	FinishedAt  time.Time // zero until terminal
+	// QueueWait is StartedAt−SubmittedAt (or, for cache hits and
+	// canceled jobs, FinishedAt−SubmittedAt).
+	QueueWait time.Duration
+	// RunTime is FinishedAt−StartedAt (zero for cache hits).
+	RunTime time.Duration
+}
+
+// Stats aggregates pool-level counters and timing metrics.
+type Stats struct {
+	Workers    int    `json:"workers"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueLen   int    `json:"queue_len"`
+	Running    int    `json:"running"`
+	Submitted  uint64 `json:"submitted"`
+	Completed  uint64 `json:"completed"`
+	Failed     uint64 `json:"failed"`
+	Canceled   uint64 `json:"canceled"`
+	// Rejected counts submissions refused with ErrQueueFull.
+	Rejected uint64 `json:"rejected"`
+	// CacheHits counts submissions served from the content-addressed
+	// result cache without re-execution.
+	CacheHits  uint64        `json:"cache_hits"`
+	CacheSize  int           `json:"cache_size"`
+	TotalQueue time.Duration `json:"total_queue_ns"`
+	TotalRun   time.Duration `json:"total_run_ns"`
+}
+
+// job is the internal record; all fields after construction are guarded
+// by Pool.mu except done, which is closed exactly once under mu.
+type job struct {
+	id        string
+	bundle    *bundle.Bundle
+	key       string
+	state     State
+	engine    string
+	cacheHit  bool
+	err       error
+	res       *result.Result
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	done      chan struct{}
+}
+
+// Pool is a concurrent job scheduler over runtime.Submit.
+type Pool struct {
+	opts Options
+	wg   sync.WaitGroup
+
+	mu   sync.Mutex
+	cond *sync.Cond // signals workers when pending gains a job or Close runs
+	// pending is the bounded FIFO feeding the workers. A slice (not a
+	// channel) so Cancel can remove a queued job and free its slot for
+	// backpressure accounting immediately.
+	pending []*job
+	jobs    map[string]*job
+	cache   *resultCache
+	nextID  uint64
+	running int
+	closed  bool
+	stats   Stats
+	// terminal holds finished job IDs in completion order for bounded
+	// record retention (Options.MaxRecords).
+	terminal []string
+}
+
+// NewPool starts a pool with opts.Workers executor goroutines. Call Close
+// to drain and stop them.
+func NewPool(opts Options) *Pool {
+	opts = opts.withDefaults()
+	p := &Pool{
+		opts: opts,
+		jobs: map[string]*job{},
+	}
+	p.cond = sync.NewCond(&p.mu)
+	if opts.CacheSize > 0 {
+		p.cache = newResultCache(opts.CacheSize)
+	}
+	for i := 0; i < opts.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Submit registers the bundle as a job and enqueues it, returning the job
+// ID immediately. If an identical submission (same canonical bundle JSON,
+// shots and seed) already completed, the job is born terminal in StateDone
+// with the cached result and never touches the queue. A saturated queue
+// rejects with ErrQueueFull.
+func (p *Pool) Submit(b *bundle.Bundle) (string, error) {
+	st, err := p.submit(b)
+	return st.ID, err
+}
+
+// submit does the work of Submit and additionally returns the job's
+// status snapshot from the same critical section, so callers (the HTTP
+// front-end) need no follow-up lookup that could miss an already-evicted
+// record.
+func (p *Pool) submit(b *bundle.Bundle) (Status, error) {
+	if b == nil {
+		return Status{}, fmt.Errorf("jobs: nil bundle")
+	}
+	key := ""
+	if p.cache != nil { // the key is only consulted by cache lookups
+		k, err := CacheKey(b)
+		if err != nil {
+			return Status{}, err
+		}
+		key = k
+	}
+	engine := resolveEngine(b)
+	now := time.Now()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return Status{}, ErrClosed
+	}
+	p.nextID++
+	j := &job{
+		id:        fmt.Sprintf("job-%08d", p.nextID),
+		bundle:    b,
+		key:       key,
+		state:     StateQueued,
+		engine:    engine,
+		submitted: now,
+		done:      make(chan struct{}),
+	}
+	p.stats.Submitted++
+	if p.cache != nil {
+		if res, ok := p.cache.get(key); ok {
+			j.state = StateDone
+			j.res = res
+			j.cacheHit = true
+			j.finished = now
+			p.stats.CacheHits++
+			p.stats.Completed++
+			p.jobs[j.id] = j
+			p.finishLocked(j)
+			return p.statusLocked(j), nil
+		}
+	}
+	if len(p.pending) >= p.opts.QueueDepth {
+		p.stats.Submitted--
+		p.stats.Rejected++
+		return Status{}, ErrQueueFull
+	}
+	p.pending = append(p.pending, j)
+	p.jobs[j.id] = j
+	p.cond.Signal()
+	return p.statusLocked(j), nil
+}
+
+// finishLocked marks a job terminal: closes its done channel, drops the
+// submission payload (only the result and status are ever read after a
+// terminal transition), and evicts the oldest terminal records beyond
+// Options.MaxRecords. Callers hold p.mu and must have set the terminal
+// state and finished time already.
+func (p *Pool) finishLocked(j *job) {
+	close(j.done)
+	j.bundle = nil
+	if p.opts.MaxRecords < 0 {
+		return
+	}
+	p.terminal = append(p.terminal, j.id)
+	for len(p.terminal) > p.opts.MaxRecords {
+		delete(p.jobs, p.terminal[0])
+		p.terminal = p.terminal[1:]
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.pending) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.pending) == 0 { // closed and drained
+			p.mu.Unlock()
+			return
+		}
+		j := p.pending[0]
+		p.pending = p.pending[1:]
+		p.mu.Unlock()
+		p.runJob(j)
+	}
+}
+
+func (p *Pool) runJob(j *job) {
+	p.mu.Lock()
+	if j.state != StateQueued { // canceled while queued
+		p.mu.Unlock()
+		return
+	}
+	// Re-check the cache at dequeue time: an identical job may have
+	// completed while this one waited in the queue.
+	if p.cache != nil {
+		if res, ok := p.cache.get(j.key); ok {
+			j.state = StateDone
+			j.res = res
+			j.cacheHit = true
+			j.finished = time.Now()
+			p.stats.TotalQueue += j.finished.Sub(j.submitted)
+			p.stats.CacheHits++
+			p.stats.Completed++
+			p.finishLocked(j)
+			p.mu.Unlock()
+			return
+		}
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	p.running++
+	p.stats.TotalQueue += j.started.Sub(j.submitted)
+	p.mu.Unlock()
+
+	res, err := rt.Submit(j.bundle, p.opts.Run)
+
+	p.mu.Lock()
+	j.finished = time.Now()
+	p.running--
+	p.stats.TotalRun += j.finished.Sub(j.started)
+	if err != nil {
+		j.state = StateFailed
+		j.err = err
+		p.stats.Failed++
+	} else {
+		j.state = StateDone
+		j.res = res
+		if res != nil {
+			j.engine = res.Engine
+		}
+		p.stats.Completed++
+		if p.cache != nil {
+			p.cache.put(j.key, res)
+		}
+	}
+	p.finishLocked(j)
+	p.mu.Unlock()
+}
+
+// Status returns a snapshot of the job's lifecycle.
+func (p *Pool) Status(id string) (Status, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return p.statusLocked(j), nil
+}
+
+// statusLocked snapshots a job; callers hold p.mu.
+func (p *Pool) statusLocked(j *job) Status {
+	s := Status{
+		ID:          j.id,
+		State:       j.state,
+		Engine:      j.engine,
+		CacheHit:    j.cacheHit,
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	switch {
+	case !j.started.IsZero():
+		s.QueueWait = j.started.Sub(j.submitted)
+		if !j.finished.IsZero() {
+			s.RunTime = j.finished.Sub(j.started)
+		}
+	case !j.finished.IsZero(): // cache hit or canceled in queue
+		s.QueueWait = j.finished.Sub(j.submitted)
+	}
+	return s
+}
+
+// Result returns the job's result once it is Done. A queued or running
+// job returns ErrNotFinished; a failed job returns its execution error; a
+// canceled job returns ErrCanceled. Repeated calls for the same job ID
+// share one Result (the cache keeps private copies, so mutating it cannot
+// poison other jobs) — concurrent readers of one job must coordinate
+// before calling methods that reorder Entries, such as Sort.
+func (p *Pool) Result(id string) (*result.Result, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	switch j.state {
+	case StateDone:
+		return j.res, nil
+	case StateFailed:
+		return nil, j.err
+	case StateCanceled:
+		return nil, fmt.Errorf("%w: %q", ErrCanceled, id)
+	default:
+		return nil, fmt.Errorf("%w: %q is %s", ErrNotFinished, id, j.state)
+	}
+}
+
+// Cancel cancels a job that is still in the queue. Running jobs cannot be
+// preempted (the backends are synchronous), and terminal jobs cannot be
+// canceled.
+func (p *Pool) Cancel(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	switch j.state {
+	case StateQueued:
+		// Drop the job from the pending FIFO (if a worker has not
+		// already popped it) so the queue slot frees immediately and
+		// backpressure relaxes without waiting for a worker.
+		for i, q := range p.pending {
+			if q == j {
+				p.pending = append(p.pending[:i], p.pending[i+1:]...)
+				break
+			}
+		}
+		j.state = StateCanceled
+		j.finished = time.Now()
+		p.stats.Canceled++
+		p.finishLocked(j)
+		return nil
+	case StateRunning:
+		return fmt.Errorf("jobs: %q is running and cannot be preempted", id)
+	default:
+		return fmt.Errorf("jobs: %q is already %s", id, j.state)
+	}
+}
+
+// Wait blocks until the job reaches a terminal state, then returns its
+// status. The snapshot comes from the job record Wait already holds, so
+// it stays valid even if the record is evicted from lookup (MaxRecords)
+// while waiting.
+func (p *Pool) Wait(id string) (Status, error) {
+	p.mu.Lock()
+	j, ok := p.jobs[id]
+	p.mu.Unlock()
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	<-j.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.statusLocked(j), nil
+}
+
+// Stats returns a snapshot of the pool's aggregate counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Workers = p.opts.Workers
+	s.QueueDepth = p.opts.QueueDepth
+	s.QueueLen = len(p.pending)
+	s.Running = p.running
+	if p.cache != nil {
+		s.CacheSize = p.cache.len()
+	}
+	return s
+}
+
+// Close stops accepting submissions, drains the queue, and waits for the
+// workers to exit. Jobs still queued at Close time are executed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// resolveEngine mirrors runtime.Submit's engine selection for status
+// reporting: the context's explicit engine, else the scheduler's choice,
+// else empty (the job will fail with the scheduler's error when it runs).
+func resolveEngine(b *bundle.Bundle) string {
+	if b.Context != nil && b.Context.Exec != nil && b.Context.Exec.Engine != "" {
+		return b.Context.Exec.Engine
+	}
+	if engine, err := rt.SelectEngine(b); err == nil {
+		return engine
+	}
+	return ""
+}

@@ -33,12 +33,12 @@ func (c Counts) Keys() []uint64 {
 }
 
 // MostFrequent returns the value with the highest count (lowest key wins
-// ties, for determinism).
+// ties, for determinism). Runs in O(n) over the map — no sorted key pass.
 func (c Counts) MostFrequent() (uint64, int) {
 	bestK, bestN := uint64(0), -1
-	for _, k := range c.Keys() {
-		if c[k] > bestN {
-			bestK, bestN = k, c[k]
+	for k, n := range c {
+		if n > bestN || (n == bestN && k < bestK) {
+			bestK, bestN = k, n
 		}
 	}
 	return bestK, bestN
