@@ -30,20 +30,21 @@ func main() {
 	estimate := flag.Bool("estimate", false, "print per-engine cost estimates instead of executing")
 	qasm := flag.Bool("qasm", false, "print the transpiled circuit as OpenQASM 2.0 instead of executing")
 	parallel := flag.Int("parallel", 0, "batch mode: execute all job files on a pool of this many workers")
+	shards := flag.Int("shards", 0, "statevector shards (single run: the grant; batch: the lone-job cap; 0 = auto)")
 	flag.Parse()
 	if *parallel > 0 {
 		if flag.NArg() < 1 || *estimate || *qasm {
-			fmt.Fprintln(os.Stderr, "usage: qmlrun -parallel n [-engine name] [-top n] job.json [job.json …]")
+			fmt.Fprintln(os.Stderr, "usage: qmlrun -parallel n [-engine name] [-top n] [-shards n] job.json [job.json …]")
 			os.Exit(2)
 		}
-		if err := runParallel(flag.Args(), *engine, *parallel, *top); err != nil {
+		if err := runParallel(flag.Args(), *engine, *parallel, *shards, *top); err != nil {
 			fmt.Fprintln(os.Stderr, "qmlrun:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: qmlrun [-engine name] [-top n] [-estimate] [-qasm] [-parallel n] job.json")
+		fmt.Fprintln(os.Stderr, "usage: qmlrun [-engine name] [-top n] [-estimate] [-qasm] [-parallel n] [-shards n] job.json")
 		os.Exit(2)
 	}
 	var err error
@@ -53,7 +54,7 @@ func main() {
 	case *qasm:
 		err = runQASM(flag.Arg(0))
 	default:
-		err = run(flag.Arg(0), *engine, *top)
+		err = run(flag.Arg(0), *engine, *top, *shards)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qmlrun:", err)
@@ -111,12 +112,12 @@ func runQASM(path string) error {
 	return nil
 }
 
-func run(path, engineOverride string, top int) error {
+func run(path, engineOverride string, top, shards int) error {
 	b, err := loadBundle(path, engineOverride)
 	if err != nil {
 		return err
 	}
-	res, err := runtime.Submit(b, runtime.Options{})
+	res, err := runtime.Submit(b, runtime.Options{Shards: shards})
 	if err != nil {
 		return err
 	}
@@ -149,10 +150,10 @@ func loadBundle(path, engineOverride string) (*bundle.Bundle, error) {
 // batch-mode consumer of the same scheduler cmd/qmlserve exposes over
 // HTTP. Identical bundles (same intent, context, shots, seed) execute
 // once and the duplicates are served from the content-addressed cache.
-func runParallel(paths []string, engineOverride string, workers, top int) error {
+func runParallel(paths []string, engineOverride string, workers, maxShards, top int) error {
 	// MaxRecords unbounded: the batch holds every job ID and reads each
 	// result exactly once, so no record may be evicted mid-batch.
-	pool := jobs.NewPool(jobs.Options{Workers: workers, QueueDepth: len(paths), MaxRecords: -1})
+	pool := jobs.NewPool(jobs.Options{Workers: workers, QueueDepth: len(paths), MaxRecords: -1, MaxShards: maxShards})
 	defer pool.Close()
 
 	ids := make([]string, len(paths))
@@ -177,6 +178,8 @@ func runParallel(paths []string, engineOverride string, workers, top int) error 
 		fmt.Printf("== %s (%s: %s", paths[i], id, st.State)
 		if st.CacheHit {
 			fmt.Printf(", cache hit")
+		} else if st.Coalesced {
+			fmt.Printf(", coalesced")
 		} else {
 			fmt.Printf(", queued %.1fms, ran %.1fms",
 				float64(st.QueueWait.Microseconds())/1000, float64(st.RunTime.Microseconds())/1000)

@@ -19,7 +19,15 @@
 // Re-POSTing an identical bundle (same intent, context, shots, seed)
 // returns a new job ID already in state "done" with "cache_hit": true —
 // the result is served from the content-addressed cache without
-// re-execution, visible in /v1/stats as cache_hits.
+// re-execution, visible in /v1/stats as cache_hits. A duplicate of a job
+// that is *currently executing* coalesces onto it instead of running
+// twice ("coalesced": true in its status, coalesced in /v1/stats).
+//
+// The pool doubles as the statevector shard scheduler: a job that starts
+// while the pool is otherwise idle is granted -max-shards parallel shards
+// (default GOMAXPROCS) so one big simulation spans every core, while jobs
+// running alongside others stay single-shard. POST /v1/jobs?shards=N pins
+// the grant per job; /v1/stats reports max_shards and wide_jobs.
 package main
 
 import (
@@ -42,13 +50,14 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (0 = NumCPU)")
 	queue := flag.Int("queue", 64, "bounded queue depth (full queue → 429)")
 	cache := flag.Int("cache", 1024, "result-cache entries (negative disables)")
+	maxShards := flag.Int("max-shards", 0, "statevector shards granted to a lone simulation job (0 = GOMAXPROCS)")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: qmlserve [-addr :8080] [-workers n] [-queue n] [-cache n]")
+		fmt.Fprintln(os.Stderr, "usage: qmlserve [-addr :8080] [-workers n] [-queue n] [-cache n] [-max-shards n]")
 		os.Exit(2)
 	}
 
-	pool := jobs.NewPool(jobs.Options{Workers: *workers, QueueDepth: *queue, CacheSize: *cache})
+	pool := jobs.NewPool(jobs.Options{Workers: *workers, QueueDepth: *queue, CacheSize: *cache, MaxShards: *maxShards})
 	srv := &http.Server{Addr: *addr, Handler: jobs.NewHandler(pool)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

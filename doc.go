@@ -9,6 +9,13 @@
 // on a gate-model statevector engine, a simulated annealer, or a pulse
 // model (internal/backend) without modification.
 //
+// The statevector engine (internal/sim) is a compile-then-execute kernel
+// machine: circuits compile into fused kernel plans (single-qubit runs
+// fold into one matrix, diagonal gates merge into phase tables,
+// controlled permutations specialize) swept by a persistent shard pool
+// that barriers between kernels. The per-job shard grant is a scheduling
+// decision of the serving layer — see below.
+//
 // # Serving layer
 //
 // On top of the one-shot runtime sits the asynchronous serving subsystem
@@ -19,9 +26,16 @@
 // (backpressure) instead of stalling submitters. Identical submissions
 // (same canonical bundle JSON, shots and seed) are deduplicated through a
 // content-addressed LRU result cache, sound because every stochastic
-// stage is seeded. Each job records its lifecycle (queued → running →
-// done/failed, or canceled while queued) with queue-wait and run-time
-// metrics.
+// stage is seeded; a duplicate of a job that is currently executing
+// coalesces onto the in-flight run instead of executing twice. Each job
+// records its lifecycle (queued → running → done/failed, or canceled
+// while queued) with queue-wait and run-time metrics.
+//
+// The pool is also the statevector shard scheduler: a job starting into
+// an otherwise idle pool is granted every shard (one big simulation spans
+// all cores), while jobs running alongside others stay single-shard so
+// concurrent throughput is undisturbed. POST /v1/jobs?shards=N pins the
+// grant per job; /v1/stats reports max_shards, wide_jobs and coalesced.
 //
 // Two consumers wrap the pool. cmd/qmlserve exposes it over HTTP
 // (stdlib net/http) speaking the job.json schema:

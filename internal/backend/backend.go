@@ -23,6 +23,15 @@ type Backend interface {
 	Execute(b *bundle.Bundle) (*result.Result, error)
 }
 
+// Sharded is implemented by backends whose hot loop can exploit a per-job
+// parallelism grant. The serving layer's scheduler decides the grant — a
+// large lone simulation gets every shard, concurrent small jobs stay
+// single-shard — and the runtime forwards it here; shards ≤ 0 means "let
+// the engine choose".
+type Sharded interface {
+	ExecuteSharded(b *bundle.Bundle, shards int) (*result.Result, error)
+}
+
 // DefaultShots is used when the context specifies no sample count.
 const DefaultShots = 1024
 

@@ -27,6 +27,13 @@ func (g *Gate) Name() string { return g.engine }
 // under the context's target, consults the comm and QEC context services,
 // simulates, and decodes through the final measurement's result schema.
 func (g *Gate) Execute(b *bundle.Bundle) (*result.Result, error) {
+	return g.ExecuteSharded(b, 0)
+}
+
+// ExecuteSharded implements backend.Sharded: the statevector sweep runs
+// across the granted number of persistent shards (≤ 0 lets the simulator
+// choose). The grant changes scheduling only, never results.
+func (g *Gate) ExecuteSharded(b *bundle.Bundle, shards int) (*result.Result, error) {
 	if err := b.Validate(qop.ValidateOptions{}); err != nil {
 		return nil, err
 	}
@@ -95,10 +102,10 @@ func (g *Gate) Execute(b *bundle.Bundle) (*result.Result, error) {
 	}
 	var run *sim.Result
 	if noise.Zero() {
-		run, err = sim.Run(circ, sim.Options{Shots: shots, Seed: seed})
+		run, err = sim.Run(circ, sim.Options{Shots: shots, Seed: seed, Shards: shards})
 	} else {
 		meta["noise"] = noise
-		run, err = sim.RunNoisy(circ, noise, sim.Options{Shots: shots, Seed: seed})
+		run, err = sim.RunNoisy(circ, noise, sim.Options{Shots: shots, Seed: seed, Shards: shards})
 	}
 	if err != nil {
 		return nil, err

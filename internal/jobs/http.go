@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/backend"
@@ -27,10 +28,13 @@ const MaxBodyBytes = 8 << 20
 //	GET    /v1/jobs/{id}/result decoded result (202 while pending)
 //	DELETE /v1/jobs/{id}        cancel a queued job
 //	GET    /v1/engines          registered engine names
-//	GET    /v1/stats            pool counters incl. cache_hits
+//	GET    /v1/stats            pool counters incl. cache_hits, coalesced, wide_jobs
 //
-// Backpressure surfaces as 429 with Retry-After when the pool's bounded
-// queue is full.
+// POST /v1/jobs?shards=N pins the statevector parallelism grant for that
+// job (0 or absent: the scheduler gives a lone simulation the pool's
+// max_shards and concurrent jobs one shard; the grant appears in the
+// status document as "shards"). Backpressure surfaces as 429 with
+// Retry-After when the pool's bounded queue is full.
 func NewHandler(p *Pool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -69,6 +73,8 @@ type statusJSON struct {
 	State       State   `json:"state"`
 	Engine      string  `json:"engine,omitempty"`
 	CacheHit    bool    `json:"cache_hit"`
+	Coalesced   bool    `json:"coalesced,omitempty"`
+	Shards      int     `json:"shards,omitempty"`
 	Error       string  `json:"error,omitempty"`
 	SubmittedAt string  `json:"submitted_at"`
 	StartedAt   string  `json:"started_at,omitempty"`
@@ -103,7 +109,16 @@ func handleSubmit(p *Pool, w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
 		return
 	}
-	st, err := p.submit(b)
+	var so SubmitOptions
+	if raw := r.URL.Query().Get("shards"); raw != "" {
+		shards, err := strconv.Atoi(raw)
+		if err != nil || shards < 0 {
+			writeJSON(w, http.StatusBadRequest, errorJSON{fmt.Sprintf("jobs: invalid shards %q", raw)})
+			return
+		}
+		so.Shards = shards
+	}
+	st, err := p.submit(b, so)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -173,6 +188,8 @@ func statusToJSON(st Status) statusJSON {
 		State:       st.State,
 		Engine:      st.Engine,
 		CacheHit:    st.CacheHit,
+		Coalesced:   st.Coalesced,
+		Shards:      st.Shards,
 		Error:       st.Error,
 		SubmittedAt: st.SubmittedAt.UTC().Format(time.RFC3339Nano),
 		QueueMS:     float64(st.QueueWait) / float64(time.Millisecond),

@@ -119,6 +119,37 @@ func TestHTTPQuickstartEndToEnd(t *testing.T) {
 	}
 }
 
+// TestHTTPShardsParam covers the per-job parallelism surface: ?shards=N
+// pins the grant (visible as "shards" in the status document), invalid
+// values are rejected, and /v1/stats reports the shard counters.
+func TestHTTPShardsParam(t *testing.T) {
+	pool := NewPool(Options{Workers: 1, QueueDepth: 4, MaxShards: 4})
+	defer pool.Close()
+	h := NewHandler(pool)
+	raw := quickstartBundle(t)
+
+	sub := doJSON(t, h, "POST", "/v1/jobs?shards=2", raw, http.StatusAccepted)
+	id, _ := sub["id"].(string)
+	if id == "" {
+		t.Fatalf("submit: %v", sub)
+	}
+	if _, err := pool.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+	st := doJSON(t, h, "GET", "/v1/jobs/"+id, nil, http.StatusOK)
+	if st["state"] != string(StateDone) || st["shards"] != float64(2) {
+		t.Fatalf("status: %v", st)
+	}
+
+	doJSON(t, h, "POST", "/v1/jobs?shards=bogus", raw, http.StatusBadRequest)
+	doJSON(t, h, "POST", "/v1/jobs?shards=-1", raw, http.StatusBadRequest)
+
+	stats := doJSON(t, h, "GET", "/v1/stats", nil, http.StatusOK)
+	if stats["max_shards"] != float64(4) || stats["wide_jobs"] != float64(1) {
+		t.Fatalf("stats: %v", stats)
+	}
+}
+
 // TestHTTPErrorSurface covers the non-happy paths of every endpoint.
 func TestHTTPErrorSurface(t *testing.T) {
 	pool := NewPool(Options{Workers: 1, QueueDepth: 4})

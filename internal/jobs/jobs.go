@@ -9,9 +9,19 @@
 // the backpressure signal the HTTP front-end translates into 429 — and
 // deduplicates identical submissions through a content-addressed result
 // cache keyed by the canonical bundle JSON plus resolved shots and seed.
-// Every job records its lifecycle (queued → running → done/failed, or
-// canceled while queued) with queue-wait and run-time metrics aggregated
-// into Stats.
+// A submission identical to a job that is *currently executing* does not
+// run twice either: it coalesces onto the in-flight job and completes
+// with the same result the moment the primary finishes. Every job records
+// its lifecycle (queued → running → done/failed, or canceled while
+// queued) with queue-wait and run-time metrics aggregated into Stats.
+//
+// The pool is also the shard scheduler for the statevector engine: when a
+// job starts it is granted a parallelism level (Status.Shards) forwarded
+// to backends implementing backend.Sharded. A job that finds the pool
+// otherwise idle takes Options.MaxShards so one big simulation spans
+// every core; jobs running alongside others stay single-shard so
+// concurrent throughput is undisturbed. Submitters can pin an explicit
+// grant per job via SubmitOptions.
 //
 // cmd/qmlserve wraps a Pool in an HTTP server (see NewHandler); cmd/qmlrun
 // -parallel uses the same Pool for concurrent batch execution.
@@ -79,6 +89,11 @@ type Options struct {
 	// ErrNotFound (default 65536; negative retains everything).
 	// Queued and running jobs are never evicted.
 	MaxRecords int
+	// MaxShards caps the statevector parallelism one job may be granted
+	// (default: GOMAXPROCS). A job that starts while the pool is
+	// otherwise idle receives the full cap; jobs running alongside
+	// others receive one shard.
+	MaxShards int
 	// Run is forwarded to runtime.Submit for every job.
 	Run rt.Options
 }
@@ -96,6 +111,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxRecords == 0 {
 		o.MaxRecords = 65536
 	}
+	if o.MaxShards <= 0 {
+		o.MaxShards = stdruntime.GOMAXPROCS(0)
+	}
 	return o
 }
 
@@ -105,13 +123,19 @@ type Status struct {
 	State    State
 	Engine   string
 	CacheHit bool
+	// Coalesced reports that this job never executed: it attached to an
+	// identical in-flight job and shares its outcome.
+	Coalesced bool
+	// Shards is the parallelism granted when the job started running (0
+	// while queued, and for cache hits and coalesced jobs).
+	Shards int
 	// Error holds the failure message for StateFailed.
 	Error       string
 	SubmittedAt time.Time
 	StartedAt   time.Time // zero until the job leaves the queue
 	FinishedAt  time.Time // zero until terminal
-	// QueueWait is StartedAt−SubmittedAt (or, for cache hits and
-	// canceled jobs, FinishedAt−SubmittedAt).
+	// QueueWait is StartedAt−SubmittedAt (or, for cache hits, coalesced
+	// and canceled jobs, FinishedAt−SubmittedAt).
 	QueueWait time.Duration
 	// RunTime is FinishedAt−StartedAt (zero for cache hits).
 	RunTime time.Duration
@@ -131,8 +155,15 @@ type Stats struct {
 	Rejected uint64 `json:"rejected"`
 	// CacheHits counts submissions served from the content-addressed
 	// result cache without re-execution.
-	CacheHits  uint64        `json:"cache_hits"`
-	CacheSize  int           `json:"cache_size"`
+	CacheHits uint64 `json:"cache_hits"`
+	CacheSize int    `json:"cache_size"`
+	// Coalesced counts submissions that attached to an identical
+	// in-flight job instead of executing.
+	Coalesced uint64 `json:"coalesced"`
+	// MaxShards is the per-job parallelism cap; WideJobs counts jobs that
+	// ran with more than one shard (the lone-big-job grant).
+	MaxShards  int           `json:"max_shards"`
+	WideJobs   uint64        `json:"wide_jobs"`
 	TotalQueue time.Duration `json:"total_queue_ns"`
 	TotalRun   time.Duration `json:"total_run_ns"`
 }
@@ -146,6 +177,10 @@ type job struct {
 	state     State
 	engine    string
 	cacheHit  bool
+	coalesced bool   // served by attaching to an identical in-flight job
+	shards    int    // submitter's explicit parallelism request (0 = scheduler)
+	granted   int    // shards granted when the job started running
+	waiters   []*job // identical submissions coalesced onto this running job
 	err       error
 	res       *result.Result
 	submitted time.Time
@@ -166,11 +201,15 @@ type Pool struct {
 	// backpressure accounting immediately.
 	pending []*job
 	jobs    map[string]*job
-	cache   *resultCache
-	nextID  uint64
-	running int
-	closed  bool
-	stats   Stats
+	// inflight maps a cache key to the job currently executing it, so
+	// identical submissions coalesce onto the running job instead of
+	// executing twice. Entries exist only while the primary is running.
+	inflight map[string]*job
+	cache    *resultCache
+	nextID   uint64
+	running  int
+	closed   bool
+	stats    Stats
 	// terminal holds finished job IDs in completion order for bounded
 	// record retention (Options.MaxRecords).
 	terminal []string
@@ -181,8 +220,9 @@ type Pool struct {
 func NewPool(opts Options) *Pool {
 	opts = opts.withDefaults()
 	p := &Pool{
-		opts: opts,
-		jobs: map[string]*job{},
+		opts:     opts,
+		jobs:     map[string]*job{},
+		inflight: map[string]*job{},
 	}
 	p.cond = sync.NewCond(&p.mu)
 	if opts.CacheSize > 0 {
@@ -195,13 +235,29 @@ func NewPool(opts Options) *Pool {
 	return p
 }
 
+// SubmitOptions carry per-job execution hints.
+type SubmitOptions struct {
+	// Shards pins the parallelism grant for this job (0 = let the
+	// scheduler decide: MaxShards when the pool is otherwise idle at
+	// start time, one shard when running alongside other jobs). Values
+	// above Options.MaxShards are clamped.
+	Shards int
+}
+
 // Submit registers the bundle as a job and enqueues it, returning the job
 // ID immediately. If an identical submission (same canonical bundle JSON,
 // shots and seed) already completed, the job is born terminal in StateDone
-// with the cached result and never touches the queue. A saturated queue
-// rejects with ErrQueueFull.
+// with the cached result and never touches the queue; if one is currently
+// executing, the job coalesces onto it and completes when it does. A
+// saturated queue rejects with ErrQueueFull.
 func (p *Pool) Submit(b *bundle.Bundle) (string, error) {
-	st, err := p.submit(b)
+	st, err := p.submit(b, SubmitOptions{})
+	return st.ID, err
+}
+
+// SubmitWith is Submit with per-job execution hints.
+func (p *Pool) SubmitWith(b *bundle.Bundle, o SubmitOptions) (string, error) {
+	st, err := p.submit(b, o)
 	return st.ID, err
 }
 
@@ -209,17 +265,15 @@ func (p *Pool) Submit(b *bundle.Bundle) (string, error) {
 // status snapshot from the same critical section, so callers (the HTTP
 // front-end) need no follow-up lookup that could miss an already-evicted
 // record.
-func (p *Pool) submit(b *bundle.Bundle) (Status, error) {
+func (p *Pool) submit(b *bundle.Bundle, o SubmitOptions) (Status, error) {
 	if b == nil {
 		return Status{}, fmt.Errorf("jobs: nil bundle")
 	}
-	key := ""
-	if p.cache != nil { // the key is only consulted by cache lookups
-		k, err := CacheKey(b)
-		if err != nil {
-			return Status{}, err
-		}
-		key = k
+	// The content address feeds both the result cache and in-flight
+	// coalescing.
+	key, err := CacheKey(b)
+	if err != nil {
+		return Status{}, err
 	}
 	engine := resolveEngine(b)
 	now := time.Now()
@@ -236,6 +290,7 @@ func (p *Pool) submit(b *bundle.Bundle) (Status, error) {
 		key:       key,
 		state:     StateQueued,
 		engine:    engine,
+		shards:    o.Shards,
 		submitted: now,
 		done:      make(chan struct{}),
 	}
@@ -252,6 +307,15 @@ func (p *Pool) submit(b *bundle.Bundle) (Status, error) {
 			p.finishLocked(j)
 			return p.statusLocked(j), nil
 		}
+	}
+	// In-flight coalescing: an identical job is executing right now, so
+	// attach to its completion instead of queueing a duplicate run. The
+	// duplicate occupies no queue slot and exerts no backpressure.
+	if primary, ok := p.inflight[key]; ok {
+		primary.waiters = append(primary.waiters, j)
+		p.jobs[j.id] = j
+		p.stats.Coalesced++
+		return p.statusLocked(j), nil
 	}
 	if len(p.pending) >= p.opts.QueueDepth {
 		p.stats.Submitted--
@@ -322,17 +386,49 @@ func (p *Pool) runJob(j *job) {
 			return
 		}
 	}
+	// Coalesce at dequeue time too: an identical job that was queued
+	// behind this one's twin is attached rather than re-executed.
+	if primary, ok := p.inflight[j.key]; ok && primary != j {
+		primary.waiters = append(primary.waiters, j)
+		p.stats.Coalesced++
+		p.mu.Unlock()
+		return
+	}
 	j.state = StateRunning
 	j.started = time.Now()
 	p.running++
+	p.inflight[j.key] = j
+	// Shard grant: a job starting into an otherwise idle pool takes the
+	// full cap so one big simulation spans every core; a job running
+	// alongside others (or with more work queued) stays single-shard.
+	granted := j.shards
+	if granted <= 0 {
+		if p.running == 1 && len(p.pending) == 0 {
+			granted = p.opts.MaxShards
+		} else {
+			granted = 1
+		}
+	}
+	if granted > p.opts.MaxShards {
+		granted = p.opts.MaxShards
+	}
+	j.granted = granted
+	if granted > 1 {
+		p.stats.WideJobs++
+	}
 	p.stats.TotalQueue += j.started.Sub(j.submitted)
+	runOpts := p.opts.Run
+	runOpts.Shards = granted
 	p.mu.Unlock()
 
-	res, err := rt.Submit(j.bundle, p.opts.Run)
+	res, err := rt.Submit(j.bundle, runOpts)
 
 	p.mu.Lock()
 	j.finished = time.Now()
 	p.running--
+	if p.inflight[j.key] == j {
+		delete(p.inflight, j.key)
+	}
 	p.stats.TotalRun += j.finished.Sub(j.started)
 	if err != nil {
 		j.state = StateFailed
@@ -350,6 +446,44 @@ func (p *Pool) runJob(j *job) {
 		}
 	}
 	p.finishLocked(j)
+	waiters := j.waiters
+	j.waiters = nil
+	p.mu.Unlock()
+	if len(waiters) == 0 {
+		return
+	}
+	// Complete every coalesced duplicate with the primary's outcome.
+	// Result copies (private per job, so sorting one job's entries cannot
+	// race with another consumer of the same execution) are made outside
+	// the critical section: the waiter count is not bounded by the queue
+	// depth, and the pool lock must not be held for O(waiters × result).
+	// The inflight entry is already gone, so no new duplicate can attach.
+	copies := make([]*result.Result, len(waiters))
+	if err == nil && res != nil {
+		for i := range waiters {
+			copies[i] = copyResult(res)
+		}
+	}
+	p.mu.Lock()
+	for i, w := range waiters {
+		if w.state != StateQueued { // canceled while attached
+			continue
+		}
+		w.finished = j.finished
+		w.coalesced = true
+		w.engine = j.engine
+		if err != nil {
+			w.state = StateFailed
+			w.err = err
+			p.stats.Failed++
+		} else {
+			w.state = StateDone
+			w.res = copies[i]
+			p.stats.Completed++
+		}
+		p.stats.TotalQueue += w.finished.Sub(w.submitted)
+		p.finishLocked(w)
+	}
 	p.mu.Unlock()
 }
 
@@ -371,6 +505,8 @@ func (p *Pool) statusLocked(j *job) Status {
 		State:       j.state,
 		Engine:      j.engine,
 		CacheHit:    j.cacheHit,
+		Coalesced:   j.coalesced,
+		Shards:      j.granted,
 		SubmittedAt: j.submitted,
 		StartedAt:   j.started,
 		FinishedAt:  j.finished,
@@ -474,6 +610,7 @@ func (p *Pool) Stats() Stats {
 	s.QueueDepth = p.opts.QueueDepth
 	s.QueueLen = len(p.pending)
 	s.Running = p.running
+	s.MaxShards = p.opts.MaxShards
 	if p.cache != nil {
 		s.CacheSize = p.cache.len()
 	}

@@ -68,6 +68,7 @@ type fakeBackend struct {
 	execs *atomic.Int64
 	block chan struct{}
 	ran   chan struct{}
+	fail  bool // Execute returns an error instead of a result
 }
 
 func (f *fakeBackend) Name() string { return f.name }
@@ -80,6 +81,9 @@ func (f *fakeBackend) Execute(b *bundle.Bundle) (*result.Result, error) {
 		<-f.block
 	}
 	f.execs.Add(1)
+	if f.fail {
+		return nil, fmt.Errorf("%s: injected failure", f.name)
+	}
 	seed := uint64(0)
 	if b.Context != nil && b.Context.Exec != nil {
 		seed = b.Context.Exec.Seed
@@ -454,19 +458,21 @@ func TestCacheKey(t *testing.T) {
 	}
 }
 
-// TestQueuedDuplicatesServedFromCache queues three identical jobs behind
-// a blocked worker: the first executes, the other two are served from the
-// cache at dequeue time without re-execution.
-func TestQueuedDuplicatesServedFromCache(t *testing.T) {
+// TestInFlightDuplicatesCoalesce submits two duplicates of a job that is
+// *currently executing*: they must attach to the running job's completion
+// (no second execution, no queue slot) and finish the moment it does.
+func TestInFlightDuplicatesCoalesce(t *testing.T) {
 	fake := &fakeBackend{block: make(chan struct{}), ran: make(chan struct{}, 4)}
-	registerFake(t, "fake.queued_dup", fake)
+	registerFake(t, "fake.inflight_dup", fake)
 
-	pool := NewPool(Options{Workers: 1, QueueDepth: 4})
+	// QueueDepth 1: the coalesced duplicates must not consume queue
+	// slots, or the second submission would be rejected.
+	pool := NewPool(Options{Workers: 1, QueueDepth: 1})
 	defer pool.Close()
 
 	ids := make([]string, 3)
 	for i := range ids {
-		id, err := pool.Submit(annealBundle(t, "fake.queued_dup", 50, 9))
+		id, err := pool.Submit(annealBundle(t, "fake.inflight_dup", 50, 9))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -481,15 +487,159 @@ func TestQueuedDuplicatesServedFromCache(t *testing.T) {
 		if err != nil || st.State != StateDone {
 			t.Fatalf("job %s: %v / %+v", id, err, st)
 		}
-		if wantHit := i > 0; st.CacheHit != wantHit {
-			t.Fatalf("job %d cacheHit = %v, want %v", i, st.CacheHit, wantHit)
+		if wantCoalesce := i > 0; st.Coalesced != wantCoalesce {
+			t.Fatalf("job %d coalesced = %v, want %v", i, st.Coalesced, wantCoalesce)
+		}
+		if st.CacheHit {
+			t.Fatalf("job %d reported a cache hit; in-flight duplicates must coalesce instead", i)
+		}
+		res, err := pool.Result(id)
+		if err != nil || len(res.Entries) != 2 {
+			t.Fatalf("job %s result: %v / %+v", id, err, res)
 		}
 	}
 	if got := fake.execs.Load(); got != 1 {
 		t.Fatalf("executions = %d, want 1", got)
 	}
-	if s := pool.Stats(); s.CacheHits != 2 {
+	if s := pool.Stats(); s.Coalesced != 2 || s.CacheHits != 0 || s.Completed != 3 {
 		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestCoalescedDuplicateSharesFailure checks that coalesced duplicates
+// inherit the primary's failure instead of hanging or re-executing.
+func TestCoalescedDuplicateSharesFailure(t *testing.T) {
+	fake := &fakeBackend{block: make(chan struct{}), ran: make(chan struct{}, 2), fail: true}
+	registerFake(t, "fake.inflight_fail", fake)
+
+	pool := NewPool(Options{Workers: 1, QueueDepth: 2})
+	defer pool.Close()
+
+	id1, err := pool.Submit(annealBundle(t, "fake.inflight_fail", 50, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-fake.ran
+	id2, err := pool.Submit(annealBundle(t, "fake.inflight_fail", 50, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(fake.block)
+	for _, id := range []string{id1, id2} {
+		st, err := pool.Wait(id)
+		if err != nil || st.State != StateFailed {
+			t.Fatalf("job %s: %v / %+v", id, err, st)
+		}
+		if _, err := pool.Result(id); err == nil {
+			t.Fatalf("job %s: failed job returned a result", id)
+		}
+	}
+	if got := fake.execs.Load(); got != 1 {
+		t.Fatalf("executions = %d, want 1", got)
+	}
+}
+
+// TestQueuedDuplicatesServedWithoutRerun queues three identical jobs
+// while the only worker is blocked on an unrelated job, so none of the
+// duplicates is in flight at submit time. The first executes; the others
+// must still be served without re-execution (dequeue-time coalescing or
+// cache, whichever fires first).
+func TestQueuedDuplicatesServedWithoutRerun(t *testing.T) {
+	blocker := &fakeBackend{block: make(chan struct{}), ran: make(chan struct{}, 2)}
+	registerFake(t, "fake.queued_blocker", blocker)
+	fake := &fakeBackend{}
+	registerFake(t, "fake.queued_dup", fake)
+
+	pool := NewPool(Options{Workers: 1, QueueDepth: 4})
+	defer pool.Close()
+
+	if _, err := pool.Submit(annealBundle(t, "fake.queued_blocker", 50, 1)); err != nil {
+		t.Fatal(err)
+	}
+	<-blocker.ran // worker is now busy; everything below stays queued
+	ids := make([]string, 3)
+	for i := range ids {
+		id, err := pool.Submit(annealBundle(t, "fake.queued_dup", 50, 9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	close(blocker.block)
+	for _, id := range ids {
+		st, err := pool.Wait(id)
+		if err != nil || st.State != StateDone {
+			t.Fatalf("job %s: %v / %+v", id, err, st)
+		}
+	}
+	if got := fake.execs.Load(); got != 1 {
+		t.Fatalf("executions = %d, want 1", got)
+	}
+	if s := pool.Stats(); s.CacheHits+s.Coalesced != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestShardGrantScheduling checks the per-job parallelism policy: a job
+// starting into an idle pool takes the full MaxShards grant, a job
+// starting while another runs stays single-shard, and an explicit
+// SubmitOptions pin wins (clamped to the cap).
+func TestShardGrantScheduling(t *testing.T) {
+	lone := &fakeBackend{}
+	registerFake(t, "fake.shards_lone", lone)
+	blocked := &fakeBackend{block: make(chan struct{}), ran: make(chan struct{}, 2)}
+	registerFake(t, "fake.shards_blocked", blocked)
+	rival := &fakeBackend{}
+	registerFake(t, "fake.shards_rival", rival)
+
+	pool := NewPool(Options{Workers: 2, QueueDepth: 8, CacheSize: -1, MaxShards: 8})
+	defer pool.Close()
+
+	// Idle pool: the lone job gets every shard.
+	id, err := pool.Submit(annealBundle(t, "fake.shards_lone", 50, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := pool.Wait(id); st.Shards != 8 {
+		t.Errorf("lone job granted %d shards, want 8", st.Shards)
+	}
+
+	// A job starting while another is running stays single-shard.
+	blockID, err := pool.Submit(annealBundle(t, "fake.shards_blocked", 50, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-blocked.ran
+	rivalID, err := pool.Submit(annealBundle(t, "fake.shards_rival", 50, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := pool.Wait(rivalID); st.Shards != 1 {
+		t.Errorf("concurrent job granted %d shards, want 1", st.Shards)
+	}
+	close(blocked.block)
+	if st, _ := pool.Wait(blockID); st.Shards != 8 {
+		t.Errorf("blocked lone job granted %d shards, want 8", st.Shards)
+	}
+
+	// Explicit pins are honored and clamped.
+	id, err = pool.SubmitWith(annealBundle(t, "fake.shards_lone", 50, 4), SubmitOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := pool.Wait(id); st.Shards != 3 {
+		t.Errorf("pinned job granted %d shards, want 3", st.Shards)
+	}
+	id, err = pool.SubmitWith(annealBundle(t, "fake.shards_lone", 50, 5), SubmitOptions{Shards: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := pool.Wait(id); st.Shards != 8 {
+		t.Errorf("overpinned job granted %d shards, want clamp to 8", st.Shards)
+	}
+
+	if s := pool.Stats(); s.MaxShards != 8 || s.WideJobs < 3 {
+		t.Errorf("stats: %+v", s)
 	}
 }
 

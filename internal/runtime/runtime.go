@@ -23,6 +23,12 @@ type Options struct {
 	SkipSchemaValidation bool
 	// AllowMidCircuit forwards to sequence validation.
 	AllowMidCircuit bool
+	// Shards is the per-job parallelism grant forwarded to backends that
+	// implement backend.Sharded (the statevector engine splits its
+	// amplitude sweeps into this many persistent shards). 0 lets the
+	// engine choose; the jobs scheduler sets it so a lone big simulation
+	// takes every core while concurrent jobs stay narrow.
+	Shards int
 }
 
 // SelectEngine picks an engine for a bundle with no explicit exec block:
@@ -83,7 +89,12 @@ func Submit(b *bundle.Bundle, opts Options) (*result.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := be.Execute(b)
+	var res *result.Result
+	if sb, ok := be.(backend.Sharded); ok && opts.Shards > 0 {
+		res, err = sb.ExecuteSharded(b, opts.Shards)
+	} else {
+		res, err = be.Execute(b)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("runtime: engine %s: %w", engine, err)
 	}

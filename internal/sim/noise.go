@@ -2,12 +2,20 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/circuit"
 	"repro/internal/gates"
 	"repro/internal/rng"
 )
+
+// maxTrajectoryBytes bounds the extra statevector memory the trajectory
+// engine may allocate across its shot workers (64 MiB): a 2^20-amplitude
+// state (16 MiB) runs at most 4 shot workers; anything at 2^22 and above
+// runs shots serially and parallelizes inside each gate sweep instead.
+const maxTrajectoryBytes = 64 << 20
 
 // NoiseModel parametrizes stochastic Pauli (depolarizing-style) noise for
 // trajectory simulation: after every gate, each touched qubit suffers a
@@ -41,6 +49,14 @@ func (n NoiseModel) Zero() bool {
 // inserted Pauli errors and samples one outcome. Cost is shots × circuit,
 // so it suits the small-register workloads of the evaluation; noiseless
 // runs fall through to the fast path.
+//
+// The shard grant (Options.Shards) parallelizes across trajectories: shot
+// ranges split over that many workers, each shot drawing from its own
+// serially pre-derived child RNG stream, so counts are bit-identical for
+// any grant — including the serial baseline. 0 chooses automatically
+// (trajectory workers for small states, whose per-gate sweeps stay
+// inline; serial shots for large states, whose sweeps fan out
+// internally).
 func RunNoisy(c *circuit.Circuit, noise NoiseModel, opts Options) (*Result, error) {
 	if err := noise.Validate(); err != nil {
 		return nil, err
@@ -51,10 +67,11 @@ func RunNoisy(c *circuit.Circuit, noise NoiseModel, opts Options) (*Result, erro
 	if opts.Shots < 0 {
 		return nil, fmt.Errorf("sim: negative shot count %d", opts.Shots)
 	}
+	if c.NumQubits < 1 || c.NumQubits > MaxQubits {
+		return nil, fmt.Errorf("sim: qubit count %d out of [1,%d]", c.NumQubits, MaxQubits)
+	}
 	mm := c.MeasureMap()
 	res := &Result{Counts: Counts{}, Shots: opts.Shots}
-	master := rng.New(opts.Seed)
-	paulis := [3]gates.Name{gates.X, gates.Y, gates.Z}
 
 	qubits := make([]int, 0, len(mm))
 	for q := range mm {
@@ -62,66 +79,134 @@ func RunNoisy(c *circuit.Circuit, noise NoiseModel, opts Options) (*Result, erro
 	}
 	sort.Ints(qubits)
 
-	for shot := 0; shot < opts.Shots; shot++ {
-		r := master.Child()
-		st, err := NewState(c.NumQubits)
+	// Child streams derive serially from the master so the per-shot
+	// randomness is independent of how shots are scheduled.
+	master := rng.New(opts.Seed)
+	rngs := make([]*rng.Rand, opts.Shots)
+	for shot := range rngs {
+		rngs[shot] = master.Child()
+	}
+
+	workers := opts.Shards
+	if workers <= 0 {
+		if 1<<c.NumQubits >= parallelThreshold {
+			workers = 1 // per-gate sweeps already fan out internally
+		} else {
+			workers = runtime.GOMAXPROCS(0)
+		}
+	}
+	// Every trajectory worker owns a full 2^n statevector, so clamp the
+	// fan-out to a fixed memory budget: a wide grant on a large state
+	// must not multiply peak memory (those states parallelize inside
+	// each gate sweep instead).
+	if maxByMem := maxTrajectoryBytes / (16 << c.NumQubits); workers > maxByMem {
+		workers = maxByMem
+	}
+	if workers > opts.Shots {
+		workers = opts.Shots
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	counts := make([]Counts, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := shardRange(opts.Shots, workers, w)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := Counts{}
+			for shot := lo; shot < hi; shot++ {
+				reg, measured, err := runTrajectory(c, noise, qubits, mm, rngs[shot])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if measured {
+					local[reg]++
+				}
+			}
+			counts[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		seenMeasure := false
-		for idx, ins := range c.Instrs {
-			switch ins.Op {
-			case circuit.OpMeasure:
-				seenMeasure = true
-				continue
-			case circuit.OpBarrier:
-				continue
-			}
-			if seenMeasure {
-				return nil, fmt.Errorf("sim: instruction %d follows a measurement", idx)
-			}
-			if err := applyInstruction(st, ins); err != nil {
-				return nil, fmt.Errorf("sim: instruction %d: %w", idx, err)
-			}
-			if ins.Op != circuit.OpGate {
-				continue
-			}
-			p := noise.Prob1Q
-			if len(ins.Qubits) > 1 {
-				p = noise.Prob2Q
-			}
-			if p == 0 {
-				continue
-			}
-			for _, q := range ins.Qubits {
-				if r.Float64() < p {
-					m, err := gates.Unitary1(paulis[r.Intn(3)], nil)
-					if err != nil {
-						return nil, err
-					}
-					if err := st.Apply1(m, q); err != nil {
-						return nil, err
-					}
+	}
+	for _, local := range counts {
+		for reg, n := range local {
+			res.Counts[reg] += n
+		}
+	}
+	return res, nil
+}
+
+// runTrajectory evolves one noisy shot and samples its measured register.
+func runTrajectory(c *circuit.Circuit, noise NoiseModel, qubits []int, mm map[int]int, r *rng.Rand) (uint64, bool, error) {
+	paulis := [3]gates.Name{gates.X, gates.Y, gates.Z}
+	st, err := NewState(c.NumQubits)
+	if err != nil {
+		return 0, false, err
+	}
+	seenMeasure := false
+	for idx, ins := range c.Instrs {
+		switch ins.Op {
+		case circuit.OpMeasure:
+			seenMeasure = true
+			continue
+		case circuit.OpBarrier:
+			continue
+		}
+		if seenMeasure {
+			return 0, false, fmt.Errorf("sim: instruction %d follows a measurement", idx)
+		}
+		if err := applyInstruction(st, ins); err != nil {
+			return 0, false, fmt.Errorf("sim: instruction %d: %w", idx, err)
+		}
+		if ins.Op != circuit.OpGate {
+			continue
+		}
+		p := noise.Prob1Q
+		if len(ins.Qubits) > 1 {
+			p = noise.Prob2Q
+		}
+		if p == 0 {
+			continue
+		}
+		for _, q := range ins.Qubits {
+			if r.Float64() < p {
+				m, err := gates.Unitary1(paulis[r.Intn(3)], nil)
+				if err != nil {
+					return 0, false, err
+				}
+				if err := st.Apply1(m, q); err != nil {
+					return 0, false, err
 				}
 			}
 		}
-		if len(mm) == 0 {
-			continue
-		}
-		k := sampleIndex(st, r)
-		var reg uint64
-		for _, q := range qubits {
-			bit := k >> uint(q) & 1
-			if noise.ReadoutFlip > 0 && r.Float64() < noise.ReadoutFlip {
-				bit ^= 1
-			}
-			if bit == 1 {
-				reg |= 1 << uint(mm[q])
-			}
-		}
-		res.Counts[reg]++
 	}
-	return res, nil
+	if len(mm) == 0 {
+		return 0, false, nil
+	}
+	k := sampleIndex(st, r)
+	var reg uint64
+	for _, q := range qubits {
+		bit := k >> uint(q) & 1
+		if noise.ReadoutFlip > 0 && r.Float64() < noise.ReadoutFlip {
+			bit ^= 1
+		}
+		if bit == 1 {
+			reg |= 1 << uint(mm[q])
+		}
+	}
+	return reg, true, nil
 }
 
 // sampleIndex draws one basis index from the Born distribution.

@@ -1,0 +1,612 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+// This file implements the compile-then-execute engine: a circuit is
+// lowered once into a kernel sequence (Compile), and the kernels are then
+// swept over the statevector by the persistent shard pool (Execute). The
+// compile step fuses runs of single-qubit gates on the same qubit into one
+// 2×2 matrix, merges consecutive diagonal/phase gates into a single
+// diagonal kernel, and specializes controlled permutations, so a deep
+// circuit needs far fewer bandwidth-bound sweeps than one per gate.
+
+// kernelKind enumerates the sweep shapes the executor knows.
+type kernelKind uint8
+
+const (
+	// kGate1Q applies a fused 2×2 unitary to one qubit, iterating the
+	// 2^(n-1) amplitude pairs directly.
+	kGate1Q kernelKind = iota
+	// kCtrlPerm swaps amplitude pairs over the subspace selected by
+	// constrained bits — the specialization of CX, SWAP, CCX and CSWAP.
+	kCtrlPerm
+	// kCtrlPhase multiplies one phase onto the all-ones subspace of its
+	// qubits — the specialization of CZ and CP before any merging.
+	kCtrlPhase
+	// kDiag multiplies a phase table indexed by a gathered local index —
+	// the merged form of runs of diagonal gates.
+	kDiag
+	// kPermute and kInit are the scratch-buffer natives.
+	kPermute
+	kInit
+)
+
+// bitInsert expands a compact subspace index by one constrained bit; see
+// expandIndex. Inserts are ordered by ascending bit position.
+type bitInsert struct {
+	low int // mask of the bits below the constrained position
+	bit int // the constrained value, shifted into place
+}
+
+// expandIndex maps a compact index over the free bits to a full amplitude
+// index with every constrained bit set to its required value.
+func expandIndex(c int, inserts []bitInsert) int {
+	for _, ins := range inserts {
+		c = (c&^ins.low)<<1 | ins.bit | c&ins.low
+	}
+	return c
+}
+
+// kernel is one compiled sweep.
+type kernel struct {
+	kind    kernelKind
+	support int  // bitmask of touched qubits
+	diag    bool // diagonal in the computational basis
+
+	// kGate1Q
+	q int
+	m gates.Matrix2
+
+	// kCtrlPerm / kCtrlPhase
+	inserts []bitInsert
+	free    int // number of unconstrained bits; the sweep runs 2^free trips
+	flip    int // kCtrlPerm: XOR mask exchanging the amplitude pair
+	phase   complex128
+
+	// kDiag / kPermute / kInit (local indexing: qubits[k] is bit k)
+	qubits []int
+	masks  []int
+	phases []complex128
+	perm   []uint64
+	amps   []complex128
+}
+
+// PlanStats reports what compilation achieved.
+type PlanStats struct {
+	// SourceOps counts compiled instructions (measurements and barriers
+	// excluded).
+	SourceOps int
+	// Kernels is the length of the compiled sequence; SourceOps−Kernels
+	// sweeps were eliminated by fusion.
+	Kernels int
+	// Fused1Q counts single-qubit gates folded into an earlier 2×2 kernel.
+	Fused1Q int
+	// MergedDiag counts diagonal gates (CZ/CP/Diagonal) merged into an
+	// earlier phase kernel.
+	MergedDiag int
+}
+
+// Plan is a compiled circuit: a kernel sequence ready to execute against
+// any state with the right qubit count. Plans are immutable after Compile
+// and safe for concurrent Execute calls on distinct states.
+type Plan struct {
+	n       int
+	kernels []kernel
+	stats   PlanStats
+}
+
+// NumQubits returns the qubit count the plan was compiled for.
+func (pl *Plan) NumQubits() int { return pl.n }
+
+// Stats returns the compile-time fusion statistics.
+func (pl *Plan) Stats() PlanStats { return pl.stats }
+
+// maxFuseScan bounds how far the compiler looks back for a fusion partner
+// while hopping over commuting kernels, so compilation stays linear in
+// depth. 64 comfortably covers a full layer on MaxQubits qubits.
+const maxFuseScan = 64
+
+// maxDiagFuseQubits caps the qubit support of a merged diagonal kernel;
+// the phase table holds 2^k entries and the gather costs k operations per
+// amplitude, so growth past a cache line of table stops paying.
+const maxDiagFuseQubits = 8
+
+// Compile lowers a circuit into a kernel plan. It performs all static
+// validation (qubit bounds, operand distinctness, init normalization), so
+// Execute can sweep without per-gate checks. Measurements must be
+// terminal, exactly as in Evolve.
+func Compile(c *circuit.Circuit) (*Plan, error) {
+	if c.NumQubits < 1 || c.NumQubits > MaxQubits {
+		return nil, fmt.Errorf("sim: qubit count %d out of [1,%d]", c.NumQubits, MaxQubits)
+	}
+	pl := &Plan{n: c.NumQubits}
+	seenMeasure := false
+	for idx, ins := range c.Instrs {
+		switch ins.Op {
+		case circuit.OpMeasure:
+			seenMeasure = true
+			continue
+		case circuit.OpBarrier:
+			continue
+		}
+		if seenMeasure {
+			return nil, fmt.Errorf("sim: instruction %d follows a measurement; mid-circuit measurement is not supported by the statevector engine", idx)
+		}
+		if err := pl.lower(ins); err != nil {
+			return nil, fmt.Errorf("sim: instruction %d: %w", idx, err)
+		}
+		pl.stats.SourceOps++
+	}
+	pl.stats.Kernels = len(pl.kernels)
+	return pl, nil
+}
+
+func (pl *Plan) checkQubits(qs ...int) error {
+	seen := 0
+	for _, q := range qs {
+		if q < 0 || q >= pl.n {
+			return fmt.Errorf("sim: qubit %d out of [0,%d)", q, pl.n)
+		}
+		if seen&(1<<q) != 0 {
+			return fmt.Errorf("sim: duplicate qubit %d", q)
+		}
+		seen |= 1 << q
+	}
+	return nil
+}
+
+// lower turns one instruction into a primitive kernel and appends it with
+// fusion.
+func (pl *Plan) lower(ins circuit.Instruction) error {
+	switch ins.Op {
+	case circuit.OpGate:
+		switch ins.Gate {
+		case gates.CX:
+			return pl.lowerCtrlPerm(
+				[]int{ins.Qubits[0]}, []int{ins.Qubits[1]}, 1<<ins.Qubits[1])
+		case gates.SWAP:
+			return pl.lowerCtrlPerm(
+				[]int{ins.Qubits[0]}, []int{ins.Qubits[1]},
+				1<<ins.Qubits[0]|1<<ins.Qubits[1])
+		case gates.CCX:
+			return pl.lowerCtrlPerm(
+				[]int{ins.Qubits[0], ins.Qubits[1]}, []int{ins.Qubits[2]}, 1<<ins.Qubits[2])
+		case gates.CSWAP:
+			return pl.lowerCtrlPerm(
+				[]int{ins.Qubits[0], ins.Qubits[1]}, []int{ins.Qubits[2]},
+				1<<ins.Qubits[1]|1<<ins.Qubits[2])
+		case gates.CZ:
+			return pl.lowerCtrlPhase(ins.Qubits, -1)
+		case gates.CP:
+			return pl.lowerCtrlPhase(ins.Qubits, cmplx.Exp(complex(0, ins.Params[0])))
+		default:
+			m, err := gates.Unitary1(ins.Gate, ins.Params)
+			if err != nil {
+				return err
+			}
+			q := ins.Qubits[0]
+			if err := pl.checkQubits(q); err != nil {
+				return err
+			}
+			pl.fuse1Q(kernel{
+				kind: kGate1Q, support: 1 << q, q: q, m: m,
+				diag: m[0][1] == 0 && m[1][0] == 0,
+			})
+			return nil
+		}
+	case circuit.OpDiagonal:
+		if err := pl.checkQubits(ins.Qubits...); err != nil {
+			return err
+		}
+		k := kernel{kind: kDiag, diag: true}
+		k.qubits = append([]int(nil), ins.Qubits...)
+		k.phases = append([]complex128(nil), ins.Phases...)
+		k.finishDiag()
+		pl.fuseDiag(k)
+		return nil
+	case circuit.OpPermute:
+		if err := pl.checkQubits(ins.Qubits...); err != nil {
+			return err
+		}
+		if len(ins.Perm) != 1<<len(ins.Qubits) {
+			return fmt.Errorf("sim: permutation table size %d != 2^%d", len(ins.Perm), len(ins.Qubits))
+		}
+		k := kernel{kind: kPermute, support: qubitMask(ins.Qubits)}
+		k.qubits = append([]int(nil), ins.Qubits...)
+		k.perm = append([]uint64(nil), ins.Perm...)
+		k.masks = qubitMasks(ins.Qubits)
+		pl.kernels = append(pl.kernels, k)
+		return nil
+	case circuit.OpInit:
+		if err := pl.checkQubits(ins.Qubits...); err != nil {
+			return err
+		}
+		if len(ins.Amps) != 1<<len(ins.Qubits) {
+			return fmt.Errorf("sim: init state size %d != 2^%d", len(ins.Amps), len(ins.Qubits))
+		}
+		norm := 0.0
+		for _, a := range ins.Amps {
+			norm += real(a)*real(a) + imag(a)*imag(a)
+		}
+		if math.Abs(norm-1) > 1e-9 {
+			return fmt.Errorf("sim: init state not normalized (norm² = %v)", norm)
+		}
+		k := kernel{kind: kInit, support: qubitMask(ins.Qubits)}
+		k.qubits = append([]int(nil), ins.Qubits...)
+		k.amps = append([]complex128(nil), ins.Amps...)
+		k.masks = qubitMasks(ins.Qubits)
+		pl.kernels = append(pl.kernels, k)
+		return nil
+	}
+	return fmt.Errorf("sim: unhandled opcode %d", ins.Op)
+}
+
+// lowerCtrlPerm builds the subspace-swap kernel for CX/SWAP/CCX/CSWAP:
+// ones lists bits constrained to 1, zeros bits constrained to 0 (the pair
+// member the sweep visits), flip exchanges the pair.
+func (pl *Plan) lowerCtrlPerm(ones, zeros []int, flip int) error {
+	qs := append(append([]int(nil), ones...), zeros...)
+	if err := pl.checkQubits(qs...); err != nil {
+		return err
+	}
+	k := kernel{
+		kind:    kCtrlPerm,
+		support: qubitMask(qs),
+		inserts: makeInserts(ones, zeros),
+		free:    pl.n - len(qs),
+		flip:    flip,
+	}
+	pl.kernels = append(pl.kernels, k)
+	return nil
+}
+
+func (pl *Plan) lowerCtrlPhase(qubits []int, ph complex128) error {
+	if err := pl.checkQubits(qubits...); err != nil {
+		return err
+	}
+	k := kernel{
+		kind:    kCtrlPhase,
+		support: qubitMask(qubits),
+		diag:    true,
+		inserts: makeInserts(qubits, nil),
+		free:    pl.n - len(qubits),
+		phase:   ph,
+	}
+	k.qubits = append([]int(nil), qubits...)
+	pl.fuseDiag(k)
+	return nil
+}
+
+// makeInserts builds the bit-insert list for the constrained positions:
+// ones are fixed to 1, zeros to 0. Positions must be distinct.
+func makeInserts(ones, zeros []int) []bitInsert {
+	type con struct{ pos, val int }
+	cons := make([]con, 0, len(ones)+len(zeros))
+	for _, p := range ones {
+		cons = append(cons, con{p, 1})
+	}
+	for _, p := range zeros {
+		cons = append(cons, con{p, 0})
+	}
+	// Insertion sort by position ascending (≤ 3 constraints in practice).
+	for i := 1; i < len(cons); i++ {
+		for j := i; j > 0 && cons[j].pos < cons[j-1].pos; j-- {
+			cons[j], cons[j-1] = cons[j-1], cons[j]
+		}
+	}
+	inserts := make([]bitInsert, len(cons))
+	for i, c := range cons {
+		inserts[i] = bitInsert{low: 1<<c.pos - 1, bit: c.val << c.pos}
+	}
+	return inserts
+}
+
+func qubitMask(qs []int) int {
+	m := 0
+	for _, q := range qs {
+		m |= 1 << q
+	}
+	return m
+}
+
+func qubitMasks(qs []int) []int {
+	masks := make([]int, len(qs))
+	for i, q := range qs {
+		masks[i] = 1 << q
+	}
+	return masks
+}
+
+// finishDiag derives the cached fields of a kDiag kernel from its qubit
+// list.
+func (k *kernel) finishDiag() {
+	k.support = qubitMask(k.qubits)
+	k.masks = qubitMasks(k.qubits)
+}
+
+// commutes reports whether two kernels commute: disjoint qubit support, or
+// both diagonal in the computational basis. The fusion scan may hop over a
+// commuting kernel without changing circuit semantics.
+func commutes(a, b *kernel) bool {
+	return a.support&b.support == 0 || (a.diag && b.diag)
+}
+
+// fuse1Q appends a single-qubit kernel, first scanning back over commuting
+// kernels for an earlier single-qubit kernel on the same qubit to fold
+// into.
+func (pl *Plan) fuse1Q(k kernel) {
+	floor := len(pl.kernels) - maxFuseScan
+	for i := len(pl.kernels) - 1; i >= 0 && i >= floor; i-- {
+		t := &pl.kernels[i]
+		if t.kind == kGate1Q && t.q == k.q {
+			t.m = gates.Mul2(k.m, t.m) // t ran first: new = k·t
+			t.diag = t.diag && k.diag
+			pl.stats.Fused1Q++
+			return
+		}
+		if !commutes(t, &k) {
+			break
+		}
+	}
+	pl.kernels = append(pl.kernels, k)
+}
+
+// fuseDiag appends a diagonal kernel (kCtrlPhase or kDiag), merging it
+// into an earlier phase kernel when the combined qubit support stays
+// within maxDiagFuseQubits. Two controlled phases on the same qubit pair
+// collapse without building a table at all.
+func (pl *Plan) fuseDiag(k kernel) {
+	floor := len(pl.kernels) - maxFuseScan
+	for i := len(pl.kernels) - 1; i >= 0 && i >= floor; i-- {
+		t := &pl.kernels[i]
+		if t.kind == kCtrlPhase && k.kind == kCtrlPhase && t.support == k.support {
+			t.phase *= k.phase
+			pl.stats.MergedDiag++
+			return
+		}
+		if (t.kind == kCtrlPhase || t.kind == kDiag) &&
+			bits.OnesCount(uint(t.support|k.support)) <= maxDiagFuseQubits {
+			t.toDiag()
+			mergeDiag(t, &k)
+			pl.stats.MergedDiag++
+			return
+		}
+		if !commutes(t, &k) {
+			break
+		}
+	}
+	pl.kernels = append(pl.kernels, k)
+}
+
+// toDiag rewrites a kCtrlPhase kernel as an equivalent kDiag table (the
+// identity everywhere except the all-ones local index).
+func (k *kernel) toDiag() {
+	if k.kind != kCtrlPhase {
+		return
+	}
+	n := len(k.qubits)
+	phases := make([]complex128, 1<<n)
+	for i := range phases {
+		phases[i] = 1
+	}
+	phases[len(phases)-1] = k.phase
+	k.kind = kDiag
+	k.phases = phases
+	k.inserts = nil
+	k.finishDiag()
+}
+
+// mergeDiag folds src (kCtrlPhase or kDiag) into the kDiag kernel dst,
+// extending dst's qubit list with src's new qubits and multiplying the
+// phase tables pointwise over the union index space.
+func mergeDiag(dst, src *kernel) {
+	src.toDiag()
+	union := append([]int(nil), dst.qubits...)
+	for _, q := range src.qubits {
+		if qubitMask(union)&(1<<q) == 0 {
+			union = append(union, q)
+		}
+	}
+	// posIn[i] maps union bit i to the kernel's local bit, or -1.
+	posIn := func(k *kernel) []int {
+		pos := make([]int, len(union))
+		for i, uq := range union {
+			pos[i] = -1
+			for j, q := range k.qubits {
+				if q == uq {
+					pos[i] = j
+					break
+				}
+			}
+		}
+		return pos
+	}
+	dstPos, srcPos := posIn(dst), posIn(src)
+	phases := make([]complex128, 1<<len(union))
+	for local := range phases {
+		dl, sl := 0, 0
+		for i := 0; i < len(union); i++ {
+			if local>>i&1 == 1 {
+				if dstPos[i] >= 0 {
+					dl |= 1 << dstPos[i]
+				}
+				if srcPos[i] >= 0 {
+					sl |= 1 << srcPos[i]
+				}
+			}
+		}
+		phases[local] = dst.phases[dl] * src.phases[sl]
+	}
+	dst.qubits = union
+	dst.phases = phases
+	dst.finishDiag()
+}
+
+// Execute applies the plan to st, sweeping each kernel across the shard
+// pool with a barrier between kernels. shards ≤ 0 selects automatically
+// (single-shard below the parallel threshold, GOMAXPROCS above).
+func (pl *Plan) Execute(st *State, shards int) error {
+	if st.n != pl.n {
+		return fmt.Errorf("sim: plan compiled for %d qubits, state has %d", pl.n, st.n)
+	}
+	pool := newShardPool(resolveShards(len(st.amps), shards))
+	defer pool.close()
+	return pl.executeOn(st, pool)
+}
+
+// executeOn runs the kernel sequence on an existing pool; Run reuses the
+// same pool afterwards for the CDF build.
+func (pl *Plan) executeOn(st *State, pool *shardPool) error {
+	a := st.amps
+	for i := range pl.kernels {
+		k := &pl.kernels[i]
+		switch k.kind {
+		case kGate1Q:
+			stride := 1 << k.q
+			m := k.m
+			pool.do(len(a)/2, func(_, lo, hi int) {
+				sweep1Q(a, m, stride, lo, hi)
+			})
+		case kCtrlPerm:
+			pool.do(1<<k.free, func(_, lo, hi int) {
+				sweepCtrlPerm(a, k.inserts, k.flip, lo, hi)
+			})
+		case kCtrlPhase:
+			pool.do(1<<k.free, func(_, lo, hi int) {
+				sweepCtrlPhase(a, k.inserts, k.phase, lo, hi)
+			})
+		case kDiag:
+			pool.do(len(a), func(_, lo, hi int) {
+				sweepDiag(a, k.masks, k.phases, lo, hi)
+			})
+		case kPermute:
+			src := st.scratchBuf()
+			pool.do(len(a), func(_, lo, hi int) {
+				copy(src[lo:hi], a[lo:hi])
+			})
+			pool.do(len(a), func(_, lo, hi int) {
+				sweepPermute(a, src, k.masks, k.perm, lo, hi)
+			})
+		case kInit:
+			anyMask := k.support
+			src := st.scratchBuf()
+			bad := make([]int, pool.shards)
+			for i := range bad {
+				bad[i] = -1
+			}
+			pool.do(len(a), func(w, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if i&anyMask != 0 && cmplx.Abs(a[i]) > 1e-12 && bad[w] < 0 {
+						bad[w] = i
+					}
+				}
+				copy(src[lo:hi], a[lo:hi])
+			})
+			for _, b := range bad {
+				if b >= 0 {
+					return fmt.Errorf("sim: init target qubits not in |0…0⟩ (amplitude at %d)", b)
+				}
+			}
+			amps := k.amps
+			pool.do(len(a), func(_, lo, hi int) {
+				sweepInit(a, src, k.masks, anyMask, amps, lo, hi)
+			})
+		}
+	}
+	return nil
+}
+
+// ---- sweep bodies, shared by plan execution and the State methods ----
+
+// sweep1Q applies a 2×2 unitary to the amplitude pairs indexed by
+// [lo, hi) ⊂ [0, 2^(n-1)): pair p expands to indices (i, i|stride) with
+// the target bit cleared and set.
+func sweep1Q(a []complex128, m gates.Matrix2, stride, lo, hi int) {
+	low := stride - 1
+	m00, m01, m10, m11 := m[0][0], m[0][1], m[1][0], m[1][1]
+	for p := lo; p < hi; p++ {
+		i := (p&^low)<<1 | p&low
+		j := i | stride
+		a0, a1 := a[i], a[j]
+		a[i] = m00*a0 + m01*a1
+		a[j] = m10*a0 + m11*a1
+	}
+}
+
+// sweepCtrlPerm exchanges amplitude pairs (i, i^flip) over the compact
+// subspace [lo, hi) ⊂ [0, 2^free).
+func sweepCtrlPerm(a []complex128, inserts []bitInsert, flip, lo, hi int) {
+	for c := lo; c < hi; c++ {
+		i := expandIndex(c, inserts)
+		j := i ^ flip
+		a[i], a[j] = a[j], a[i]
+	}
+}
+
+// sweepCtrlPhase multiplies ph onto the all-ones subspace.
+func sweepCtrlPhase(a []complex128, inserts []bitInsert, ph complex128, lo, hi int) {
+	for c := lo; c < hi; c++ {
+		a[expandIndex(c, inserts)] *= ph
+	}
+}
+
+// sweepDiag multiplies each amplitude by the table phase selected by its
+// gathered local index.
+func sweepDiag(a []complex128, masks []int, phases []complex128, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		local := 0
+		for k, mq := range masks {
+			if i&mq != 0 {
+				local |= 1 << k
+			}
+		}
+		a[i] *= phases[local]
+	}
+}
+
+// sweepPermute scatters dst[π(i)] = src[i] for source indices in [lo, hi).
+// The permutation is a bijection, so every destination is written exactly
+// once across all shards even though writes land outside [lo, hi).
+func sweepPermute(dst, src []complex128, masks []int, perm []uint64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		local := 0
+		for k, mq := range masks {
+			if i&mq != 0 {
+				local |= 1 << k
+			}
+		}
+		to := int(perm[local])
+		j := i
+		for k, mq := range masks {
+			if to&(1<<k) != 0 {
+				j |= mq
+			} else {
+				j &^= mq
+			}
+		}
+		dst[j] = src[i]
+	}
+}
+
+// sweepInit writes dst[i] = src[i &^ anyMask] · amps[local(i)] for
+// destination indices in [lo, hi); reads from src may cross shard
+// boundaries, writes stay inside.
+func sweepInit(dst, src []complex128, masks []int, anyMask int, amps []complex128, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		local := 0
+		for k, mq := range masks {
+			if i&mq != 0 {
+				local |= 1 << k
+			}
+		}
+		dst[i] = src[i&^anyMask] * amps[local]
+	}
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// deepCircuit builds the acceptance workload: layers of rz·sx·rz on every
+// qubit followed by a CZ ring — the shape a transpiled variational circuit
+// takes in the {sx, rz, cx/cz} basis. Three layers on 20 qubits exceed
+// depth 64 (each CZ ring alone contributes a depth-n chain).
+func deepCircuit(n, layers int) *circuit.Circuit {
+	c := circuit.New(n, 0)
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.RZ(0.17*float64(l*n+q+1), q)
+		}
+		for q := 0; q < n; q++ {
+			c.SXGate(q)
+		}
+		for q := 0; q < n; q++ {
+			c.RZ(0.31*float64(l*n+q+1), q)
+		}
+		for q := 0; q < n; q++ {
+			c.CZGate(q, (q+1)%n)
+		}
+	}
+	return c
+}
+
+// benchEvolveDirect is the seed engine's shape: one sweep per gate, no
+// fusion, fork-join parallelism inside each State method.
+func benchEvolveDirect(b *testing.B, c *circuit.Circuit) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		st, err := NewState(c.NumQubits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ins := range c.Instrs {
+			if err := applyInstruction(st, ins); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkPerGateEvolve20 is the baseline for the acceptance comparison:
+// the deep 20-qubit circuit executed gate by gate.
+func BenchmarkPerGateEvolve20(b *testing.B) {
+	c := deepCircuit(20, 3)
+	if d := c.Depth(); d < 64 {
+		b.Fatalf("benchmark circuit depth %d < 64", d)
+	}
+	b.ReportAllocs()
+	benchEvolveDirect(b, c)
+}
+
+// BenchmarkFusedEvolve20 executes the same circuit through the
+// compile→fuse→shard engine (compilation included in the measured loop, as
+// Run pays it too). The acceptance bar is ≥1.5× over
+// BenchmarkPerGateEvolve20.
+func BenchmarkFusedEvolve20(b *testing.B) {
+	c := deepCircuit(20, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evolve(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFusedEvolve20Shards pins explicit shard counts to expose the
+// scaling knob the serving layer drives.
+func BenchmarkFusedEvolve20Shards(b *testing.B) {
+	c := deepCircuit(20, 3)
+	for _, shards := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := EvolveShards(c, shards); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompileDeep20 isolates plan construction — it must stay
+// negligible next to a single statevector sweep.
+func BenchmarkCompileDeep20(b *testing.B) {
+	c := deepCircuit(20, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

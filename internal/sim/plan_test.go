@@ -1,0 +1,387 @@
+package sim
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+// randomCircuit builds a mixed circuit over n qubits: single-qubit gates
+// (parametric and fixed), the two- and three-qubit standard gates, and the
+// native diagonal/permute ops, optionally opening with a native init. The
+// mix is weighted toward gate runs so the fusion paths all exercise.
+func randomCircuit(r *rand.Rand, n, depth int) *circuit.Circuit {
+	c := circuit.New(n, n)
+	oneQ := []gates.Name{
+		gates.I, gates.X, gates.Y, gates.Z, gates.H, gates.S, gates.Sdg,
+		gates.T, gates.Tdg, gates.SX, gates.RX, gates.RY, gates.RZ, gates.P,
+	}
+	pick := func(k int) []int { // k distinct qubits
+		qs := r.Perm(n)[:k]
+		return qs
+	}
+	if r.Intn(3) == 0 {
+		k := 1 + r.Intn(min(2, n))
+		amps := randomLocalState(r, k)
+		if err := c.Init(pick(k), amps); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < depth; i++ {
+		switch roll := r.Intn(10); {
+		case roll < 4: // single-qubit gate
+			name := oneQ[r.Intn(len(oneQ))]
+			info, _ := gates.Lookup(name)
+			var params []float64
+			if info.Params == 1 {
+				params = []float64{r.Float64()*4*math.Pi - 2*math.Pi}
+			}
+			c.Gate(name, pick(1), params...)
+		case roll < 7 && n >= 2: // two-qubit gate
+			qs := pick(2)
+			switch r.Intn(4) {
+			case 0:
+				c.CX(qs[0], qs[1])
+			case 1:
+				c.CZGate(qs[0], qs[1])
+			case 2:
+				c.CPhase(r.Float64()*4*math.Pi-2*math.Pi, qs[0], qs[1])
+			default:
+				c.Swap(qs[0], qs[1])
+			}
+		case roll < 8 && n >= 3: // three-qubit gate
+			qs := pick(3)
+			if r.Intn(2) == 0 {
+				c.CCX(qs[0], qs[1], qs[2])
+			} else {
+				c.CSwap(qs[0], qs[1], qs[2])
+			}
+		case roll < 9: // native diagonal
+			k := 1 + r.Intn(min(3, n))
+			qs := pick(k)
+			phases := make([]complex128, 1<<k)
+			for j := range phases {
+				phases[j] = cmplx.Exp(complex(0, r.Float64()*2*math.Pi))
+			}
+			if err := c.Diagonal(qs, phases); err != nil {
+				panic(err)
+			}
+		default: // native permutation
+			k := 1 + r.Intn(min(3, n))
+			qs := pick(k)
+			perm := make([]uint64, 1<<k)
+			for j, p := range r.Perm(1 << k) {
+				perm[j] = uint64(p)
+			}
+			if err := c.Permute(qs, perm); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return c
+}
+
+func randomLocalState(r *rand.Rand, k int) []complex128 {
+	amps := make([]complex128, 1<<k)
+	norm := 0.0
+	for i := range amps {
+		amps[i] = complex(r.NormFloat64(), r.NormFloat64())
+		norm += real(amps[i])*real(amps[i]) + imag(amps[i])*imag(amps[i])
+	}
+	scale := complex(1/math.Sqrt(norm), 0)
+	for i := range amps {
+		amps[i] *= scale
+	}
+	return amps
+}
+
+// evolveDirect is the per-gate reference path: one State method call per
+// instruction, no fusion, no plan.
+func evolveDirect(t *testing.T, c *circuit.Circuit) *State {
+	t.Helper()
+	st := mustState(t, c.NumQubits)
+	for _, ins := range c.Instrs {
+		if ins.Op == circuit.OpMeasure || ins.Op == circuit.OpBarrier {
+			continue
+		}
+		if err := applyInstruction(st, ins); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func maxAmpDelta(a, b *State) float64 {
+	worst := 0.0
+	for k := 0; k < a.Dim(); k++ {
+		if d := cmplx.Abs(a.Amplitude(uint64(k)) - b.Amplitude(uint64(k))); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestCompileParityRandomCircuits is the compile-vs-direct parity check:
+// random mixed circuits on 2–12 qubits executed through the fused kernel
+// plan must agree amplitude-wise with the direct per-gate path within
+// 1e-9, at shard counts 1, 4 and GOMAXPROCS.
+func TestCompileParityRandomCircuits(t *testing.T) {
+	shardCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for n := 2; n <= 12; n++ {
+		for trial := 0; trial < 4; trial++ {
+			r := rand.New(rand.NewSource(int64(1000*n + trial)))
+			depth := 10 + r.Intn(40)
+			c := randomCircuit(r, n, depth)
+			want := evolveDirect(t, c)
+			pl, err := Compile(c)
+			if err != nil {
+				t.Fatalf("n=%d trial=%d: compile: %v", n, trial, err)
+			}
+			for _, shards := range shardCounts {
+				st := mustState(t, n)
+				if err := pl.Execute(st, shards); err != nil {
+					t.Fatalf("n=%d trial=%d shards=%d: %v", n, trial, shards, err)
+				}
+				if d := maxAmpDelta(want, st); d > 1e-9 {
+					t.Errorf("n=%d trial=%d shards=%d: max amplitude delta %v\n%s",
+						n, trial, shards, d, c)
+				}
+			}
+		}
+	}
+}
+
+// TestEvolvePlanMatchesDirect covers the public entry points on a
+// structured circuit (QFT-style phase cascade plus entanglers).
+func TestEvolvePlanMatchesDirect(t *testing.T) {
+	n := 6
+	c := circuit.New(n, n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+		for k := q + 1; k < n; k++ {
+			c.CPhase(math.Pi/float64(int(1)<<(k-q)), k, q)
+		}
+	}
+	for q := 0; q < n-1; q++ {
+		c.CX(q, q+1)
+	}
+	want := evolveDirect(t, c)
+	for _, shards := range []int{0, 1, 3} {
+		got, err := EvolveShards(c, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAmpDelta(want, got); d > 1e-9 {
+			t.Errorf("shards=%d: max amplitude delta %v", shards, d)
+		}
+	}
+}
+
+// TestCompileFuses1QRuns checks that a run of single-qubit gates on one
+// qubit — including gates on other qubits in between — compiles to a
+// single 2×2 kernel.
+func TestCompileFuses1QRuns(t *testing.T) {
+	c := circuit.New(3, 0)
+	c.H(0).RZ(0.3, 0).SXGate(0) // one fused kernel on q0
+	c.H(1)                      // separate kernel, commutes past q0's run
+	c.RZ(0.7, 0)                // still fuses into q0's kernel
+	pl, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pl.Stats()
+	if st.Kernels != 2 {
+		t.Errorf("kernels = %d, want 2 (fused q0 run + h q1); stats %+v", st.Kernels, st)
+	}
+	if st.Fused1Q != 3 {
+		t.Errorf("fused 1q = %d, want 3", st.Fused1Q)
+	}
+}
+
+// TestCompileMergesDiagonalRuns checks that a CZ/CP chain merges into
+// diagonal kernels instead of one sweep per gate.
+func TestCompileMergesDiagonalRuns(t *testing.T) {
+	n := 6
+	c := circuit.New(n, 0)
+	for q := 0; q < n; q++ {
+		c.CZGate(q, (q+1)%n) // ring: supports chain-overlap
+	}
+	c.CPhase(0.25, 0, 3)
+	pl, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pl.Stats()
+	if st.Kernels != 1 {
+		t.Errorf("kernels = %d, want 1 merged diagonal (stats %+v)", st.Kernels, st)
+	}
+	if st.MergedDiag != n {
+		t.Errorf("merged diag = %d, want %d", st.MergedDiag, n)
+	}
+	// And the merged kernel must still be correct.
+	want := evolveDirect(t, c)
+	got := mustState(t, n)
+	if err := pl.Execute(got, 2); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAmpDelta(want, got); d > 1e-12 {
+		t.Errorf("merged diagonal drifted: %v", d)
+	}
+}
+
+// TestCompileRepeatedCPhaseCollapses checks the no-table fast path: equal
+// support controlled phases multiply in place.
+func TestCompileRepeatedCPhaseCollapses(t *testing.T) {
+	c := circuit.New(4, 0)
+	c.CPhase(0.3, 1, 2).CPhase(0.4, 1, 2).CZGate(1, 2)
+	pl, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pl.Stats().Kernels; got != 1 {
+		t.Errorf("kernels = %d, want 1", got)
+	}
+	want := evolveDirect(t, c)
+	got := mustState(t, 4)
+	if err := pl.Execute(got, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAmpDelta(want, got); d > 1e-12 {
+		t.Errorf("collapsed phases drifted: %v", d)
+	}
+}
+
+// TestCompileRejectsMidCircuitMeasure mirrors Evolve's contract.
+func TestCompileRejectsMidCircuitMeasure(t *testing.T) {
+	c := circuit.New(2, 2)
+	c.H(0).Measure(0, 0)
+	c.X(1)
+	if _, err := Compile(c); err == nil {
+		t.Error("mid-circuit measurement compiled")
+	}
+}
+
+// TestPlanReuseAcrossStates runs one compiled plan on several fresh
+// states concurrently — Plans must be immutable after Compile.
+func TestPlanReuseAcrossStates(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	c := randomCircuit(r, 8, 40)
+	pl, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := evolveDirect(t, c)
+	done := make(chan float64, 4)
+	for g := 0; g < 4; g++ {
+		go func(shards int) {
+			st, _ := NewState(8)
+			if err := pl.Execute(st, shards); err != nil {
+				done <- math.Inf(1)
+				return
+			}
+			done <- maxAmpDelta(want, st)
+		}(1 + g%3)
+	}
+	for g := 0; g < 4; g++ {
+		if d := <-done; d > 1e-9 {
+			t.Errorf("concurrent plan reuse drifted: %v", d)
+		}
+	}
+}
+
+// TestRunCountsIdenticalAcrossShards locks in the scheduling/result
+// separation the jobs cache relies on: the shard grant must never change
+// sampled counts, bit for bit. The CDF builds in fixed-size blocks, so
+// its float association is independent of the shard count; the state is
+// large enough to span several blocks and shards.
+func TestRunCountsIdenticalAcrossShards(t *testing.T) {
+	n := 13 // 8192 amplitudes = two CDF blocks, above the parallel threshold
+	c := circuit.New(n, n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+		c.RZ(0.1*float64(q+1), q)
+	}
+	for q := 0; q < n-1; q++ {
+		c.CX(q, q+1)
+	}
+	for q := 0; q < n; q++ {
+		c.RY(0.07*float64(q+1), q)
+	}
+	c.MeasureAll()
+	var want Counts
+	for _, shards := range []int{1, 2, 3, runtime.GOMAXPROCS(0)} {
+		res, err := Run(c, Options{Shots: 3000, Seed: 11, Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if want == nil {
+			want = res.Counts
+			continue
+		}
+		if len(res.Counts) != len(want) {
+			t.Fatalf("shards=%d: %d outcomes, want %d", shards, len(res.Counts), len(want))
+		}
+		for k, v := range want {
+			if res.Counts[k] != v {
+				t.Fatalf("shards=%d: count[%d] = %d, want %d", shards, k, res.Counts[k], v)
+			}
+		}
+	}
+}
+
+// TestRunNoisyCountsIdenticalAcrossShards does the same for the
+// trajectory engine: the grant splits shots across workers, but each shot
+// owns a serially pre-derived RNG stream, so counts cannot depend on the
+// split.
+func TestRunNoisyCountsIdenticalAcrossShards(t *testing.T) {
+	c := circuit.New(4, 4)
+	c.H(0).CX(0, 1).CX(1, 2).CX(2, 3).MeasureAll()
+	noise := NoiseModel{Prob1Q: 0.01, Prob2Q: 0.05, ReadoutFlip: 0.02}
+	var want Counts
+	for _, shards := range []int{1, 2, 5, runtime.GOMAXPROCS(0)} {
+		res, err := RunNoisy(c, noise, Options{Shots: 800, Seed: 21, Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if want == nil {
+			want = res.Counts
+			continue
+		}
+		if len(res.Counts) != len(want) {
+			t.Fatalf("shards=%d: %d outcomes, want %d", shards, len(res.Counts), len(want))
+		}
+		for k, v := range want {
+			if res.Counts[k] != v {
+				t.Fatalf("shards=%d: count[%d] = %d, want %d", shards, k, res.Counts[k], v)
+			}
+		}
+	}
+}
+
+// TestScratchReuseAcrossCalls checks that repeated permute/init sweeps on
+// one state do not allocate a fresh 2^n staging copy per call.
+func TestScratchReuseAcrossCalls(t *testing.T) {
+	st := mustState(t, 10)
+	perm := make([]uint64, 4)
+	for i, p := range []uint64{2, 3, 1, 0} {
+		perm[i] = p
+	}
+	if err := st.ApplyPermute([]int{1, 4}, perm); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := st.ApplyPermute([]int{1, 4}, perm); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Two small fixed allocations remain (the qubit-mask slices); the
+	// 2^n scratch copy must not.
+	if allocs > 4 {
+		t.Errorf("ApplyPermute allocates %.1f objects per call; scratch not reused", allocs)
+	}
+}

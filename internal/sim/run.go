@@ -9,6 +9,11 @@ import (
 	"repro/internal/rng"
 )
 
+// cdfBlock is the fixed accumulation block of the sampling CDF build.
+// Block boundaries — not shard boundaries — define the float summation
+// order, so sampled counts are bit-identical across shard counts.
+const cdfBlock = 4096
+
 // Counts maps a classical-bit register value (clbit i = bit i of the key)
 // to the number of shots observing it.
 type Counts map[uint64]int
@@ -58,36 +63,45 @@ type Options struct {
 	Shots     int
 	Seed      uint64
 	KeepState bool
+	// Shards is the parallelism grant for this execution: the statevector
+	// splits into this many contiguous shards owned by persistent workers.
+	// 0 selects automatically (single-shard for small states, GOMAXPROCS
+	// for large ones); the serving layer passes an explicit value so a
+	// lone big simulation takes every core while concurrent jobs stay
+	// narrow.
+	Shards int
 }
 
 // Evolve applies every non-measurement instruction of the circuit to a
-// fresh |0…0⟩ state and returns it. Measurements must come last (the gate
-// engine is a terminal-measurement simulator; adaptive control is future
-// context work, as in the paper's late-binding discussion).
+// fresh |0…0⟩ state and returns it: the circuit is compiled to a fused
+// kernel plan and executed with an automatic shard count. Measurements
+// must come last (the gate engine is a terminal-measurement simulator;
+// adaptive control is future context work, as in the paper's late-binding
+// discussion).
 func Evolve(c *circuit.Circuit) (*State, error) {
+	return EvolveShards(c, 0)
+}
+
+// EvolveShards is Evolve with an explicit shard count (0 = auto).
+func EvolveShards(c *circuit.Circuit, shards int) (*State, error) {
+	pl, err := Compile(c)
+	if err != nil {
+		return nil, err
+	}
 	st, err := NewState(c.NumQubits)
 	if err != nil {
 		return nil, err
 	}
-	seenMeasure := false
-	for idx, ins := range c.Instrs {
-		switch ins.Op {
-		case circuit.OpMeasure:
-			seenMeasure = true
-			continue
-		case circuit.OpBarrier:
-			continue
-		}
-		if seenMeasure {
-			return nil, fmt.Errorf("sim: instruction %d follows a measurement; mid-circuit measurement is not supported by the statevector engine", idx)
-		}
-		if err := applyInstruction(st, ins); err != nil {
-			return nil, fmt.Errorf("sim: instruction %d: %w", idx, err)
-		}
+	if err := pl.Execute(st, shards); err != nil {
+		return nil, err
 	}
 	return st, nil
 }
 
+// applyInstruction is the direct per-gate path: one State method call per
+// instruction, no fusion. The noise-trajectory engine uses it (noise is
+// injected between gates, so gates must not fuse across injection points)
+// and the parity tests check the compiled plan against it.
 func applyInstruction(st *State, ins circuit.Instruction) error {
 	switch ins.Op {
 	case circuit.OpGate:
@@ -122,15 +136,26 @@ func applyInstruction(st *State, ins circuit.Instruction) error {
 }
 
 // Run executes the circuit for opts.Shots shots and returns counts over
-// the classical register defined by the circuit's measurements. A circuit
-// with no measurements yields empty counts (but still evolves, and the
-// state is available with KeepState).
+// the classical register defined by the circuit's measurements. The
+// circuit is compiled once into a fused kernel plan and executed across
+// opts.Shards persistent shards (0 = auto); the sampling CDF builds on
+// the same shard pool. A circuit with no measurements yields empty counts
+// (but still evolves, and the state is available with KeepState).
 func Run(c *circuit.Circuit, opts Options) (*Result, error) {
 	if opts.Shots < 0 {
 		return nil, fmt.Errorf("sim: negative shot count %d", opts.Shots)
 	}
-	st, err := Evolve(c)
+	pl, err := Compile(c)
 	if err != nil {
+		return nil, err
+	}
+	st, err := NewState(c.NumQubits)
+	if err != nil {
+		return nil, err
+	}
+	pool := newShardPool(resolveShards(st.Dim(), opts.Shards))
+	defer pool.close()
+	if err := pl.executeOn(st, pool); err != nil {
 		return nil, err
 	}
 	res := &Result{Counts: Counts{}, Shots: opts.Shots}
@@ -143,13 +168,41 @@ func Run(c *circuit.Circuit, opts Options) (*Result, error) {
 	}
 
 	// Sample basis indices from the Born distribution via CDF inversion,
-	// then project each index onto the measured clbits.
+	// then project each index onto the measured clbits. The prefix sum
+	// builds over the same shard pool in fixed-size blocks: each block's
+	// probability mass sums left to right, block offsets accumulate
+	// serially, and each block then writes its CDF slice from its exact
+	// offset. Because the block boundaries do not depend on the shard
+	// count, the float associativity — and therefore every sampled count
+	// — is bit-identical for any parallelism grant: the shard count is a
+	// scheduling decision, never a result change (the jobs result cache
+	// dedups on bundle+shots+seed alone and relies on this).
 	cdf := make([]float64, st.Dim())
+	nBlocks := (st.Dim() + cdfBlock - 1) / cdfBlock
+	blockSum := make([]float64, nBlocks)
+	pool.do(nBlocks, func(_, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			sum := 0.0
+			for i := b * cdfBlock; i < min((b+1)*cdfBlock, st.Dim()); i++ {
+				sum += st.Probability(uint64(i))
+			}
+			blockSum[b] = sum
+		}
+	})
 	acc := 0.0
-	for i := 0; i < st.Dim(); i++ {
-		acc += st.Probability(uint64(i))
-		cdf[i] = acc
+	for b, s := range blockSum {
+		blockSum[b] = acc // reuse as the block's starting offset
+		acc += s
 	}
+	pool.do(nBlocks, func(_, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			run := blockSum[b]
+			for i := b * cdfBlock; i < min((b+1)*cdfBlock, st.Dim()); i++ {
+				run += st.Probability(uint64(i))
+				cdf[i] = run
+			}
+		}
+	})
 	// Guard against float drift so the final bucket always catches u→1.
 	cdf[len(cdf)-1] = acc + 1
 

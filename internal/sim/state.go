@@ -1,13 +1,3 @@
-// Package sim implements the statevector simulator backing the middle
-// layer's gate path — the substitute for the paper's IBM Qiskit Aer state
-// vector simulator.
-//
-// The simulator stores all 2^n complex amplitudes, applies unitary gates
-// exactly, and samples measurement outcomes from the Born distribution
-// with a seeded generator. Gate application parallelizes across goroutines
-// once the state is large enough for the fan-out to pay for itself, in the
-// HPC spirit of the paper: the state vector is the hot data structure and
-// every gate is a bandwidth-bound sweep over it.
 package sim
 
 import (
@@ -20,8 +10,9 @@ import (
 	"repro/internal/gates"
 )
 
-// parallelThreshold is the amplitude count above which gate sweeps fan out
-// to worker goroutines. Below it, goroutine overhead dominates.
+// parallelThreshold is the sweep size above which one-shot gate sweeps and
+// reductions fan out to worker goroutines. Below it, goroutine overhead
+// dominates.
 const parallelThreshold = 1 << 13
 
 // MaxQubits bounds state allocation (2^26 amplitudes = 1 GiB).
@@ -32,6 +23,10 @@ const MaxQubits = 26
 type State struct {
 	n    int
 	amps []complex128
+	// scratch is the state-owned staging buffer ApplyPermute, ApplyInit
+	// and the corresponding plan kernels reuse instead of allocating a
+	// full 2^n copy per call. Lazily allocated.
+	scratch []complex128
 }
 
 // NewState returns |0…0⟩ on n qubits.
@@ -59,23 +54,37 @@ func (s *State) Probability(k uint64) float64 {
 	return real(a)*real(a) + imag(a)*imag(a)
 }
 
-// Norm returns Σ|amp|², which must stay 1 under unitary evolution.
+// Norm returns Σ|amp|², which must stay 1 under unitary evolution. The
+// reduction parallelizes over shards for large states.
 func (s *State) Norm() float64 {
-	total := 0.0
-	for _, a := range s.amps {
-		total += real(a)*real(a) + imag(a)*imag(a)
-	}
-	return total
+	a := s.amps
+	return parallelSum(len(a), func(lo, hi int) float64 {
+		total := 0.0
+		for _, v := range a[lo:hi] {
+			total += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return total
+	})
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy (without the scratch buffer).
 func (s *State) Clone() *State {
 	cp := &State{n: s.n, amps: make([]complex128, len(s.amps))}
 	copy(cp.amps, s.amps)
 	return cp
 }
 
-// parallelFor splits [0, n) across workers when n is large.
+// scratchBuf returns the lazily allocated full-size staging buffer.
+func (s *State) scratchBuf() []complex128 {
+	if s.scratch == nil {
+		s.scratch = make([]complex128, len(s.amps))
+	}
+	return s.scratch
+}
+
+// parallelFor splits [0, n) across workers when n is large. It is the
+// one-shot fork-join used by the direct State methods; plan execution uses
+// the persistent shard pool instead.
 func parallelFor(n int, body func(lo, hi int)) {
 	if n < parallelThreshold {
 		body(0, n)
@@ -85,16 +94,11 @@ func parallelFor(n int, body func(lo, hi int)) {
 	if workers > n {
 		workers = n
 	}
-	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
+		lo, hi := shardRange(n, workers, w)
 		if lo >= hi {
-			break
+			continue
 		}
 		wg.Add(1)
 		go func(lo, hi int) {
@@ -105,142 +109,83 @@ func parallelFor(n int, body func(lo, hi int)) {
 	wg.Wait()
 }
 
-// Apply1 applies a one-qubit unitary to qubit q.
+// Apply1 applies a one-qubit unitary to qubit q, iterating the 2^(n-1)
+// amplitude pairs directly.
 func (s *State) Apply1(m gates.Matrix2, q int) error {
 	if q < 0 || q >= s.n {
 		return fmt.Errorf("sim: qubit %d out of [0,%d)", q, s.n)
 	}
 	stride := 1 << uint(q)
 	a := s.amps
-	parallelFor(len(a), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if i&stride != 0 {
-				continue
-			}
-			j := i | stride
-			a0, a1 := a[i], a[j]
-			a[i] = m[0][0]*a0 + m[0][1]*a1
-			a[j] = m[1][0]*a0 + m[1][1]*a1
-		}
+	parallelFor(len(a)/2, func(lo, hi int) {
+		sweep1Q(a, m, stride, lo, hi)
+	})
+	return nil
+}
+
+// applyCtrlPerm sweeps the subspace pair exchange shared by CX, SWAP, CCX
+// and CSWAP: ones lists bits constrained to 1, zeros bits constrained to
+// 0, flip exchanges the amplitude pair.
+func (s *State) applyCtrlPerm(ones, zeros []int, flip int) error {
+	if err := s.checkDistinct(append(append([]int(nil), ones...), zeros...)...); err != nil {
+		return err
+	}
+	inserts := makeInserts(ones, zeros)
+	a := s.amps
+	parallelFor(len(a)>>len(inserts), func(lo, hi int) {
+		sweepCtrlPerm(a, inserts, flip, lo, hi)
 	})
 	return nil
 }
 
 // ApplyCX applies a controlled-X with the given control and target.
 func (s *State) ApplyCX(ctrl, tgt int) error {
-	if err := s.checkDistinct(ctrl, tgt); err != nil {
-		return err
-	}
-	cm := 1 << uint(ctrl)
-	tm := 1 << uint(tgt)
-	a := s.amps
-	parallelFor(len(a), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if i&cm != 0 && i&tm == 0 {
-				j := i | tm
-				a[i], a[j] = a[j], a[i]
-			}
-		}
-	})
-	return nil
+	return s.applyCtrlPerm([]int{ctrl}, []int{tgt}, 1<<tgt)
 }
 
 // ApplyCZ applies a controlled-Z.
 func (s *State) ApplyCZ(a1, a2 int) error {
-	if err := s.checkDistinct(a1, a2); err != nil {
-		return err
-	}
-	m := (1 << uint(a1)) | (1 << uint(a2))
-	a := s.amps
-	parallelFor(len(a), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if i&m == m {
-				a[i] = -a[i]
-			}
-		}
-	})
-	return nil
+	return s.applyCtrlPhase([]int{a1, a2}, -1)
 }
 
 // ApplyCP applies a controlled phase of angle lambda.
 func (s *State) ApplyCP(lambda float64, a1, a2 int) error {
-	if err := s.checkDistinct(a1, a2); err != nil {
+	return s.applyCtrlPhase([]int{a1, a2}, cmplx.Exp(complex(0, lambda)))
+}
+
+// applyCtrlPhase multiplies ph onto the subspace with every listed qubit
+// set, visiting only those 2^(n-k) amplitudes.
+func (s *State) applyCtrlPhase(qubits []int, ph complex128) error {
+	if err := s.checkDistinct(qubits...); err != nil {
 		return err
 	}
-	ph := cmplx.Exp(complex(0, lambda))
-	m := (1 << uint(a1)) | (1 << uint(a2))
+	inserts := makeInserts(qubits, nil)
 	a := s.amps
-	parallelFor(len(a), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if i&m == m {
-				a[i] *= ph
-			}
-		}
+	parallelFor(len(a)>>len(inserts), func(lo, hi int) {
+		sweepCtrlPhase(a, inserts, ph, lo, hi)
 	})
 	return nil
 }
 
 // ApplySwap swaps two qubits.
 func (s *State) ApplySwap(q1, q2 int) error {
-	if err := s.checkDistinct(q1, q2); err != nil {
-		return err
-	}
-	m1 := 1 << uint(q1)
-	m2 := 1 << uint(q2)
-	a := s.amps
-	parallelFor(len(a), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			// Process only (q1=1, q2=0) to visit each pair once.
-			if i&m1 != 0 && i&m2 == 0 {
-				j := (i &^ m1) | m2
-				a[i], a[j] = a[j], a[i]
-			}
-		}
-	})
-	return nil
+	return s.applyCtrlPerm([]int{q1}, []int{q2}, 1<<q1|1<<q2)
 }
 
 // ApplyCCX applies a Toffoli gate.
 func (s *State) ApplyCCX(c1, c2, tgt int) error {
-	if err := s.checkDistinct(c1, c2, tgt); err != nil {
-		return err
-	}
-	cm := (1 << uint(c1)) | (1 << uint(c2))
-	tm := 1 << uint(tgt)
-	a := s.amps
-	parallelFor(len(a), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if i&cm == cm && i&tm == 0 {
-				j := i | tm
-				a[i], a[j] = a[j], a[i]
-			}
-		}
-	})
-	return nil
+	return s.applyCtrlPerm([]int{c1, c2}, []int{tgt}, 1<<tgt)
 }
 
 // ApplyCSwap applies a Fredkin gate.
 func (s *State) ApplyCSwap(ctrl, q1, q2 int) error {
-	if err := s.checkDistinct(ctrl, q1, q2); err != nil {
-		return err
-	}
-	cm := 1 << uint(ctrl)
-	m1 := 1 << uint(q1)
-	m2 := 1 << uint(q2)
-	a := s.amps
-	parallelFor(len(a), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if i&cm != 0 && i&m1 != 0 && i&m2 == 0 {
-				j := (i &^ m1) | m2
-				a[i], a[j] = a[j], a[i]
-			}
-		}
-	})
-	return nil
+	return s.applyCtrlPerm([]int{ctrl, q1}, []int{q2}, 1<<q1|1<<q2)
 }
 
 // ApplyPermute applies a basis-state permutation over the listed qubits:
-// local index ℓ (bit k of ℓ = value of qubits[k]) maps to perm[ℓ].
+// local index ℓ (bit k of ℓ = value of qubits[k]) maps to perm[ℓ]. The
+// staging copy lives in the state-owned scratch buffer, reused across
+// calls.
 func (s *State) ApplyPermute(qubits []int, perm []uint64) error {
 	nq := len(qubits)
 	if len(perm) != 1<<uint(nq) {
@@ -249,32 +194,14 @@ func (s *State) ApplyPermute(qubits []int, perm []uint64) error {
 	if err := s.checkDistinct(qubits...); err != nil {
 		return err
 	}
-	src := make([]complex128, len(s.amps))
-	copy(src, s.amps)
+	src := s.scratchBuf()
 	a := s.amps
-	masks := make([]int, nq)
-	for k, q := range qubits {
-		masks[k] = 1 << uint(q)
-	}
+	masks := qubitMasks(qubits)
 	parallelFor(len(a), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			local := 0
-			for k := range masks {
-				if i&masks[k] != 0 {
-					local |= 1 << uint(k)
-				}
-			}
-			to := int(perm[local])
-			j := i
-			for k := range masks {
-				if to&(1<<uint(k)) != 0 {
-					j |= masks[k]
-				} else {
-					j &^= masks[k]
-				}
-			}
-			a[j] = src[i]
-		}
+		copy(src[lo:hi], a[lo:hi])
+	})
+	parallelFor(len(a), func(lo, hi int) {
+		sweepPermute(a, src, masks, perm, lo, hi)
 	})
 	return nil
 }
@@ -298,31 +225,20 @@ func (s *State) ApplyInit(qubits []int, amps []complex128) error {
 	if math.Abs(norm-1) > 1e-9 {
 		return fmt.Errorf("sim: init state not normalized (norm² = %v)", norm)
 	}
-	var anyMask int
-	masks := make([]int, nq)
-	for k, q := range qubits {
-		masks[k] = 1 << uint(q)
-		anyMask |= masks[k]
-	}
+	masks := qubitMasks(qubits)
+	anyMask := qubitMask(qubits)
 	for i, a := range s.amps {
 		if i&anyMask != 0 && cmplx.Abs(a) > 1e-12 {
 			return fmt.Errorf("sim: init target qubits not in |0…0⟩ (amplitude at %d)", i)
 		}
 	}
-	src := make([]complex128, len(s.amps))
-	copy(src, s.amps)
+	src := s.scratchBuf()
 	a := s.amps
 	parallelFor(len(a), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			local := 0
-			for k := range masks {
-				if i&masks[k] != 0 {
-					local |= 1 << uint(k)
-				}
-			}
-			base := i &^ anyMask
-			a[i] = src[base] * amps[local]
-		}
+		copy(src[lo:hi], a[lo:hi])
+	})
+	parallelFor(len(a), func(lo, hi int) {
+		sweepInit(a, src, masks, anyMask, amps, lo, hi)
 	})
 	return nil
 }
@@ -337,21 +253,10 @@ func (s *State) ApplyDiagonal(qubits []int, phases []complex128) error {
 	if err := s.checkDistinct(qubits...); err != nil {
 		return err
 	}
-	masks := make([]int, nq)
-	for k, q := range qubits {
-		masks[k] = 1 << uint(q)
-	}
+	masks := qubitMasks(qubits)
 	a := s.amps
 	parallelFor(len(a), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			local := 0
-			for k := range masks {
-				if i&masks[k] != 0 {
-					local |= 1 << uint(k)
-				}
-			}
-			a[i] *= phases[local]
-		}
+		sweepDiag(a, masks, phases, lo, hi)
 	})
 	return nil
 }
@@ -371,16 +276,22 @@ func (s *State) checkDistinct(qs ...int) error {
 }
 
 // ExpectationDiagonal returns Σ_k |amp_k|² f(k) for a diagonal observable
-// f over basis indices — the QAOA expected-cut evaluator.
+// f over basis indices — the QAOA expected-cut evaluator. The reduction
+// parallelizes over shards for large states, so f must be safe for
+// concurrent calls.
 func (s *State) ExpectationDiagonal(f func(uint64) float64) float64 {
-	total := 0.0
-	for k, a := range s.amps {
-		p := real(a)*real(a) + imag(a)*imag(a)
-		if p > 0 {
-			total += p * f(uint64(k))
+	a := s.amps
+	return parallelSum(len(a), func(lo, hi int) float64 {
+		total := 0.0
+		for k := lo; k < hi; k++ {
+			v := a[k]
+			p := real(v)*real(v) + imag(v)*imag(v)
+			if p > 0 {
+				total += p * f(uint64(k))
+			}
 		}
-	}
-	return total
+		return total
+	})
 }
 
 // Probabilities returns the full Born distribution. The slice is freshly
