@@ -354,8 +354,8 @@ func BenchmarkCountsMostFrequent(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if k, n := cnt.MostFrequent(); n != 96 || k != 96 {
-			b.Fatalf("MostFrequent = %d, %d", k, n)
+		if k, n, ok := cnt.MostFrequent(); !ok || n != 96 || k != 96 {
+			b.Fatalf("MostFrequent = %d, %d, %v", k, n, ok)
 		}
 	}
 }

@@ -1,0 +1,102 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// object mapping benchmark name → ns/op on stdout. CI pipes the bench
+// smoke step through it to publish BENCH_PR<n>.json artifacts, so the
+// performance trajectory of the kernel engine is recorded run over run
+// instead of scrolling away in logs.
+//
+//	go test -run '^$' -bench . -benchtime 1x ./... | benchjson > BENCH.json
+//
+// Sub-benchmarks keep their full slash-separated name; the -N GOMAXPROCS
+// suffix is stripped so artifacts diff cleanly across machines. A
+// benchmark appearing more than once (e.g. -count > 1) keeps its last
+// reading.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts name → ns/op pairs from benchmark result lines of
+// the form:
+//
+//	BenchmarkName-8   	      10	 123456 ns/op	  16 B/op ...
+func parseBench(r io.Reader) (map[string]float64, error) {
+	results := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := splitFields(sc.Text())
+		if len(fields) < 4 || !isBenchName(fields[0]) {
+			continue
+		}
+		// Find the value preceding the "ns/op" unit token.
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			var ns float64
+			if _, err := fmt.Sscanf(fields[i], "%g", &ns); err == nil {
+				results[trimProcs(fields[0])] = ns
+			}
+			break
+		}
+	}
+	return results, sc.Err()
+}
+
+func splitFields(line string) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(line); i++ {
+		if i < len(line) && line[i] != ' ' && line[i] != '\t' {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			out = append(out, line[start:i])
+			start = -1
+		}
+	}
+	return out
+}
+
+func isBenchName(s string) bool {
+	const prefix = "Benchmark"
+	return len(s) > len(prefix) && s[:len(prefix)] == prefix
+}
+
+// trimProcs strips the trailing -N GOMAXPROCS suffix from a benchmark
+// name, leaving sub-benchmark paths (and any -N inside them) intact.
+func trimProcs(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		c := name[i]
+		if c >= '0' && c <= '9' {
+			continue
+		}
+		if c == '-' && i < len(name)-1 {
+			return name[:i]
+		}
+		break
+	}
+	return name
+}

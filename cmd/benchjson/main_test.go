@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: repro/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFusedEvolve20   	       5	 213322464 ns/op	16923456 B/op	     745 allocs/op
+BenchmarkFusedEvolve20Shards/shards=4-8         	       1	 99000000 ns/op
+BenchmarkCompileDeep20-16 	    1549	    747519 ns/op	  535634 B/op	    1362 allocs/op
+BenchmarkCompileDeep20-16 	    1549	    700000 ns/op	  535634 B/op	    1362 allocs/op
+PASS
+ok  	repro/internal/sim	8.935s
+`
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkFusedEvolve20":                213322464,
+		"BenchmarkFusedEvolve20Shards/shards=4": 99000000,
+		"BenchmarkCompileDeep20":                700000, // last reading wins
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":           "BenchmarkFoo",
+		"BenchmarkFoo":             "BenchmarkFoo",
+		"BenchmarkFoo/shards=4-16": "BenchmarkFoo/shards=4",
+		"BenchmarkFoo/x-1":         "BenchmarkFoo/x",
+		"BenchmarkFoo-":            "BenchmarkFoo-",
+	}
+	for in, want := range cases {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -11,10 +11,12 @@
 //
 // The statevector engine (internal/sim) is a compile-then-execute kernel
 // machine: circuits compile into fused kernel plans (single-qubit runs
-// fold into one matrix, diagonal gates merge into phase tables,
-// controlled permutations specialize) swept by a persistent shard pool
-// that barriers between kernels. The per-job shard grant is a scheduling
-// decision of the serving layer — see below.
+// fold into one matrix, diagonal gates merge into phase tables, CX/CZ/CP/
+// SWAP chains on a qubit pair fold with their surrounding single-qubit
+// gates into dense 4×4 kernels, lone controlled permutations specialize)
+// swept in cache-blocked order by a persistent shard pool that barriers
+// between kernels. The per-job shard grant is a scheduling decision of
+// the serving layer — see below.
 //
 // # Serving layer
 //

@@ -82,10 +82,11 @@ func Names() []Name {
 // Matrix2 is a one-qubit unitary in row-major order.
 type Matrix2 [2][2]complex128
 
-// Matrix4 is a two-qubit unitary; basis order |q1 q0⟩ = |00⟩,|01⟩,|10⟩,|11⟩
-// with qubit 0 the least significant index (the first qubit operand is the
-// control for controlled gates and maps to the *higher* bit by the
-// simulator's convention, documented there).
+// Matrix4 is a two-qubit unitary in row-major order over the local basis
+// |b1 b0⟩ = |00⟩, |01⟩, |10⟩, |11⟩: local bit 0 is the least significant
+// index. Which physical qubit maps to which local bit is the caller's
+// convention — the simulator's dense two-qubit kernels put the lower qubit
+// position on bit 0.
 type Matrix4 [4][4]complex128
 
 // Unitary1 returns the matrix of a one-qubit gate.
@@ -156,6 +157,30 @@ func Mul2(a, b Matrix2) Matrix2 {
 	for i := 0; i < 2; i++ {
 		for j := 0; j < 2; j++ {
 			out[i][j] = a[i][0]*b[0][j] + a[i][1]*b[1][j]
+		}
+	}
+	return out
+}
+
+// Mul4 multiplies two-qubit unitaries (a·b: apply b first).
+func Mul4(a, b Matrix4) Matrix4 {
+	var out Matrix4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			out[i][j] = a[i][0]*b[0][j] + a[i][1]*b[1][j] +
+				a[i][2]*b[2][j] + a[i][3]*b[3][j]
+		}
+	}
+	return out
+}
+
+// Kron2 returns the Kronecker product hi ⊗ lo: hi acts on local bit 1, lo
+// on local bit 0 of the Matrix4 basis.
+func Kron2(hi, lo Matrix2) Matrix4 {
+	var out Matrix4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			out[i][j] = hi[i>>1][j>>1] * lo[i&1][j&1]
 		}
 	}
 	return out

@@ -6,6 +6,53 @@ import (
 	"testing"
 )
 
+// TestMul4Kron2 checks the two-qubit helpers: Kron2 factors multiply
+// componentwise (Kron2(a,b)·Kron2(c,d) = Kron2(ac, bd)), and Mul4 against
+// a hand-computed CX·(H⊗I) product column.
+func TestMul4Kron2(t *testing.T) {
+	h, _ := Unitary1(H, nil)
+	s, _ := Unitary1(S, nil)
+	x, _ := Unitary1(X, nil)
+	id := Matrix2{{1, 0}, {0, 1}}
+
+	left := Mul4(Kron2(h, s), Kron2(x, id))
+	right := Kron2(Mul2(h, x), Mul2(s, id))
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if cmplx.Abs(left[i][j]-right[i][j]) > 1e-12 {
+				t.Fatalf("Kron2 mixed-product property fails at (%d,%d): %v vs %v", i, j, left[i][j], right[i][j])
+			}
+		}
+	}
+
+	// CX with control on local bit 1, applied after H on bit 1: the |00⟩
+	// column of CX·(H⊗I) is (1/√2, 0, 0, 1/√2) — the Bell preparation.
+	cx := Matrix4{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 0, 1}, {0, 0, 1, 0}}
+	bell := Mul4(cx, Kron2(h, id))
+	want := [4]complex128{complex(1/math.Sqrt2, 0), 0, 0, complex(1/math.Sqrt2, 0)}
+	for i := 0; i < 4; i++ {
+		if cmplx.Abs(bell[i][0]-want[i]) > 1e-12 {
+			t.Fatalf("Bell column entry %d = %v, want %v", i, bell[i][0], want[i])
+		}
+	}
+}
+
+// TestKron2Entries pins the layout: hi acts on local bit 1, lo on bit 0.
+func TestKron2Entries(t *testing.T) {
+	x, _ := Unitary1(X, nil)
+	id := Matrix2{{1, 0}, {0, 1}}
+	xHi := Kron2(x, id)
+	// X on bit 1 maps |00⟩ -> |10⟩: column 0 has its 1 in row 2.
+	if xHi[2][0] != 1 || xHi[0][0] != 0 {
+		t.Errorf("Kron2(x, id) column 0 = %v", [4]complex128{xHi[0][0], xHi[1][0], xHi[2][0], xHi[3][0]})
+	}
+	xLo := Kron2(id, x)
+	// X on bit 0 maps |00⟩ -> |01⟩: column 0 has its 1 in row 1.
+	if xLo[1][0] != 1 || xLo[0][0] != 0 {
+		t.Errorf("Kron2(id, x) column 0 = %v", [4]complex128{xLo[0][0], xLo[1][0], xLo[2][0], xLo[3][0]})
+	}
+}
+
 func unitaryOK(t *testing.T, m Matrix2, name string) {
 	t.Helper()
 	// m·m† = I

@@ -17,16 +17,28 @@
 //     single-qubit gates on the same qubit fold into one 2×2 matrix,
 //     consecutive diagonal/phase gates (CZ, CP, Diagonal) merge into a
 //     single phase-table kernel, and the controlled permutations (CX,
-//     SWAP, CCX, CSWAP) specialize to subspace pair exchanges. The
-//     compiler may hop over commuting kernels (disjoint qubit support, or
-//     mutually diagonal) to find a fusion partner, so a deep circuit
-//     becomes far fewer sweeps than it has gates. All static validation
-//     happens here; executing a compiled plan performs no per-gate checks.
+//     SWAP, CCX, CSWAP) specialize to subspace pair exchanges. Chains of
+//     CX/CZ/CP/SWAP on one qubit pair additionally fuse — together with
+//     the single-qubit gates surrounding them on either qubit and any
+//     pair-local diagonals — into a dense 4×4 kernel swept over the
+//     2^(n-2) amplitude quadruples, so an entangler sandwich that would
+//     cost three to five full-state sweeps runs as one (PlanStats.Fused2Q
+//     counts the wins). A two-qubit gate with nothing to fold keeps its
+//     cheaper specialized form. The compiler may hop over commuting
+//     kernels (disjoint qubit support, or mutually diagonal) to find a
+//     fusion partner, so a deep circuit becomes far fewer sweeps than it
+//     has gates. All static validation happens here; executing a compiled
+//     plan performs no per-gate checks.
 //
 //  2. Kernels iterate their natural index space directly instead of
 //     scanning all 2^n indices and branching: a one-qubit kernel walks the
-//     2^(n-1) amplitude pairs, a controlled permutation walks only the
-//     2^(n-k) indices its k constrained bits select.
+//     2^(n-1) amplitude pairs, a two-qubit dense kernel the 2^(n-2)
+//     quadruples, a controlled permutation only the 2^(n-k) indices its k
+//     constrained bits select. High-stride kernels (target qubits whose
+//     pair halves sit far apart) run in cache-blocked order: the index
+//     expansion hoists out of the inner loop and the two (or four)
+//     quadrant streams advance through bounded contiguous runs that stay
+//     cache-resident while they are transformed.
 //
 //  3. Execute sweeps each kernel across a persistent shard pool: the
 //     index space splits into P contiguous shards owned by long-lived

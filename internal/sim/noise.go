@@ -48,21 +48,31 @@ func (n NoiseModel) Zero() bool {
 // trajectories: each shot evolves its own statevector with randomly
 // inserted Pauli errors and samples one outcome. Cost is shots × circuit,
 // so it suits the small-register workloads of the evaluation; noiseless
-// runs fall through to the fast path.
+// runs fall through to the fast path, and models with zero gate-error
+// probabilities (pure readout noise) evolve a single shared state and
+// sample every shot from its CDF. Options.KeepState is rejected whenever
+// the model is non-zero: trajectories have no single final state.
 //
 // The shard grant (Options.Shards) parallelizes across trajectories: shot
 // ranges split over that many workers, each shot drawing from its own
 // serially pre-derived child RNG stream, so counts are bit-identical for
 // any grant — including the serial baseline. 0 chooses automatically
-// (trajectory workers for small states, whose per-gate sweeps stay
-// inline; serial shots for large states, whose sweeps fan out
-// internally).
+// (trajectory workers for small states; serial shots for large states,
+// whose sweeps fan out internally). When several trajectory workers run,
+// each worker's per-gate sweeps are pinned to its own goroutine — the
+// grant never multiplies into workers×GOMAXPROCS sweep goroutines.
 func RunNoisy(c *circuit.Circuit, noise NoiseModel, opts Options) (*Result, error) {
 	if err := noise.Validate(); err != nil {
 		return nil, err
 	}
 	if noise.Zero() {
 		return Run(c, opts)
+	}
+	if opts.KeepState {
+		// Each trajectory evolves and discards its own statevector; there
+		// is no single final state a Result could carry, so accepting the
+		// flag would silently return Final == nil. Reject it instead.
+		return nil, fmt.Errorf("sim: KeepState is not supported with a non-zero noise model: trajectories have no single final state")
 	}
 	if opts.Shots < 0 {
 		return nil, fmt.Errorf("sim: negative shot count %d", opts.Shots)
@@ -87,6 +97,16 @@ func RunNoisy(c *circuit.Circuit, noise NoiseModel, opts Options) (*Result, erro
 		rngs[shot] = master.Child()
 	}
 
+	if noise.Prob1Q == 0 && noise.Prob2Q == 0 {
+		// Pure readout noise leaves every trajectory's unitary evolution
+		// identical: evolve one state through the compiled plan, build its
+		// sampling CDF once, and draw every shot by binary search instead
+		// of re-evolving 2^n amplitudes and linearly scanning them per
+		// shot. Each shot still consumes its own child stream in the same
+		// draw order as a full trajectory.
+		return runReadoutOnly(c, noise, opts, res, mm, qubits, rngs)
+	}
+
 	workers := opts.Shards
 	if workers <= 0 {
 		if 1<<c.NumQubits >= parallelThreshold {
@@ -109,6 +129,12 @@ func RunNoisy(c *circuit.Circuit, noise NoiseModel, opts Options) (*Result, erro
 		workers = 1
 	}
 
+	// With several trajectory workers the per-gate sweeps inside each shot
+	// must stay on the worker's goroutine: each sweep on a state at or
+	// above parallelThreshold would otherwise fan out to GOMAXPROCS
+	// goroutines per worker, oversubscribing the machine workers×cores
+	// times. A lone worker keeps the internal fan-out instead.
+	serialSweeps := workers > 1
 	counts := make([]Counts, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -122,7 +148,7 @@ func RunNoisy(c *circuit.Circuit, noise NoiseModel, opts Options) (*Result, erro
 			defer wg.Done()
 			local := Counts{}
 			for shot := lo; shot < hi; shot++ {
-				reg, measured, err := runTrajectory(c, noise, qubits, mm, rngs[shot])
+				reg, measured, err := runTrajectory(c, noise, qubits, mm, rngs[shot], serialSweeps)
 				if err != nil {
 					errs[w] = err
 					return
@@ -148,13 +174,76 @@ func RunNoisy(c *circuit.Circuit, noise NoiseModel, opts Options) (*Result, erro
 	return res, nil
 }
 
+// runReadoutOnly is the trajectory engine's fast path for models with
+// gate-error probabilities of zero: one compiled evolution shared by every
+// shot, one CDF build, and an O(n)-deep binary search per draw in place of
+// the O(2^n) linear probability scan per shot. Shot draws follow the same
+// child-stream order as full trajectories (outcome first, then one flip
+// draw per measured qubit), and the serial shot loop makes counts
+// trivially identical across shard grants.
+func runReadoutOnly(c *circuit.Circuit, noise NoiseModel, opts Options, res *Result, mm map[int]int, qubits []int, rngs []*rng.Rand) (*Result, error) {
+	pl, err := Compile(c)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Shots == 0 {
+		return res, nil
+	}
+	st, err := NewState(c.NumQubits)
+	if err != nil {
+		return nil, err
+	}
+	pool := newShardPool(resolveShards(st.Dim(), opts.Shards))
+	defer pool.close()
+	// Evolve even when nothing is measured: runtime errors (an init on
+	// qubits not in |0…0⟩) must surface exactly as the per-shot
+	// trajectory path surfaced them.
+	if err := pl.executeOn(st, pool); err != nil {
+		return nil, err
+	}
+	if len(mm) == 0 {
+		return res, nil
+	}
+	cdf, _, lastPos := buildCDF(st, pool)
+	for shot := 0; shot < opts.Shots; shot++ {
+		r := rngs[shot]
+		// Unscaled draw, matching sampleIndex's trajectory semantics: the
+		// clamp catches u beyond the drifted top of the distribution.
+		k := sampleCDF(cdf, lastPos, r.Float64())
+		res.Counts[projectRegister(k, qubits, mm, noise.ReadoutFlip, r)]++
+	}
+	return res, nil
+}
+
+// projectRegister maps a sampled basis index onto the classical register
+// defined by mm, flipping each measured bit with probability flip. The
+// draw order — one Float64 per measured qubit, ascending qubit order,
+// only when flip > 0 — is part of the seeded-stream contract the
+// trajectory and readout-only paths share; r may be nil when flip is 0.
+func projectRegister(k uint64, qubits []int, mm map[int]int, flip float64, r *rng.Rand) uint64 {
+	var reg uint64
+	for _, q := range qubits {
+		bit := k >> uint(q) & 1
+		if flip > 0 && r.Float64() < flip {
+			bit ^= 1
+		}
+		if bit == 1 {
+			reg |= 1 << uint(mm[q])
+		}
+	}
+	return reg
+}
+
 // runTrajectory evolves one noisy shot and samples its measured register.
-func runTrajectory(c *circuit.Circuit, noise NoiseModel, qubits []int, mm map[int]int, r *rng.Rand) (uint64, bool, error) {
+// serialSweeps pins the shot's gate sweeps to the calling goroutine (set
+// when trajectories already run in parallel).
+func runTrajectory(c *circuit.Circuit, noise NoiseModel, qubits []int, mm map[int]int, r *rng.Rand, serialSweeps bool) (uint64, bool, error) {
 	paulis := [3]gates.Name{gates.X, gates.Y, gates.Z}
 	st, err := NewState(c.NumQubits)
 	if err != nil {
 		return 0, false, err
 	}
+	st.noParallel = serialSweeps
 	seenMeasure := false
 	for idx, ins := range c.Instrs {
 		switch ins.Op {
@@ -196,26 +285,27 @@ func runTrajectory(c *circuit.Circuit, noise NoiseModel, qubits []int, mm map[in
 		return 0, false, nil
 	}
 	k := sampleIndex(st, r)
-	var reg uint64
-	for _, q := range qubits {
-		bit := k >> uint(q) & 1
-		if noise.ReadoutFlip > 0 && r.Float64() < noise.ReadoutFlip {
-			bit ^= 1
-		}
-		if bit == 1 {
-			reg |= 1 << uint(mm[q])
-		}
-	}
-	return reg, true, nil
+	return projectRegister(k, qubits, mm, noise.ReadoutFlip, r), true, nil
 }
 
-// sampleIndex draws one basis index from the Born distribution.
+// sampleIndex draws one basis index from the Born distribution by a
+// linear scan. Only the one-draw-per-state trajectory path uses it — a
+// CDF would cost the same 2^n pass it saves; shots drawn repeatedly from
+// one evolved state go through buildCDF + sampleCDF instead
+// (runReadoutOnly, Run).
 func sampleIndex(st *State, r *rng.Rand) uint64 {
 	u := r.Float64()
 	acc := 0.0
-	last := uint64(st.Dim() - 1)
+	// Float-drift fallback: if the accumulated norm tops out below u, the
+	// draw lands on the last basis state with positive probability — never
+	// on a zero-probability state (the same clamp sampleCDF applies).
+	last := uint64(0)
 	for k := 0; k < st.Dim(); k++ {
-		acc += st.Probability(uint64(k))
+		p := st.Probability(uint64(k))
+		if p > 0 {
+			last = uint64(k)
+		}
+		acc += p
 		if u < acc {
 			return uint64(k)
 		}

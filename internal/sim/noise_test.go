@@ -2,7 +2,10 @@ package sim
 
 import (
 	"math"
+	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/circuit"
 )
@@ -90,6 +93,151 @@ func TestRunNoisyValidation(t *testing.T) {
 	}
 	if _, err := RunNoisy(c, NoiseModel{Prob1Q: 0.1}, Options{Shots: -1}); err == nil {
 		t.Error("negative shots accepted")
+	}
+}
+
+// TestRunNoisyRejectsKeepState locks in the contract: trajectories have
+// no single final state, so KeepState must fail loudly instead of
+// silently returning Final == nil. The noiseless fall-through still
+// honors the flag.
+func TestRunNoisyRejectsKeepState(t *testing.T) {
+	c := bellCircuit()
+	if _, err := RunNoisy(c, NoiseModel{Prob1Q: 0.01}, Options{Shots: 10, KeepState: true}); err == nil {
+		t.Error("KeepState accepted by the trajectory engine")
+	}
+	if _, err := RunNoisy(c, NoiseModel{ReadoutFlip: 0.1}, Options{Shots: 10, KeepState: true}); err == nil {
+		t.Error("KeepState accepted by the readout-only path")
+	}
+	res, err := RunNoisy(c, NoiseModel{}, Options{Shots: 10, KeepState: true})
+	if err != nil {
+		t.Fatalf("zero-noise KeepState rejected: %v", err)
+	}
+	if res.Final == nil {
+		t.Error("zero-noise fall-through dropped the state")
+	}
+}
+
+// TestRunNoisyReadoutOnlySharedState exercises the readout-only fast path
+// (one evolution, shared CDF, binary-search draws): determinism by seed,
+// sensitivity to the seed, and agreement with the exact distribution.
+func TestRunNoisyReadoutOnlySharedState(t *testing.T) {
+	c := circuit.New(3, 3)
+	c.H(0).CX(0, 1).CX(1, 2).MeasureAll()
+	nm := NoiseModel{ReadoutFlip: 0.05}
+	a, err := RunNoisy(c, nm, Options{Shots: 4000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunNoisy(c, nm, Options{Shots: 4000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range a.Counts {
+		if b.Counts[k] != v {
+			t.Fatalf("same seed, different counts at %d", k)
+		}
+	}
+	if a.Counts.TotalShots() != 4000 {
+		t.Fatalf("total shots %d", a.Counts.TotalShots())
+	}
+	// GHZ + 5%% flips: the two correlated outcomes still dominate.
+	frac := float64(a.Counts[0]+a.Counts[7]) / 4000
+	if frac < 0.75 || frac >= 1.0 {
+		t.Errorf("GHZ fidelity proxy %v, want in [0.75, 1)", frac)
+	}
+	c2, err := RunNoisy(c, nm, Options{Shots: 4000, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for k, v := range a.Counts {
+		if c2.Counts[k] != v {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical readout-only counts")
+	}
+}
+
+// TestRunNoisyReadoutOnlyMidMeasureRejected keeps the fast path's error
+// contract aligned with the trajectory loop.
+func TestRunNoisyReadoutOnlyMidMeasureRejected(t *testing.T) {
+	c := circuit.New(2, 2)
+	c.H(0).Measure(0, 0)
+	c.X(1)
+	if _, err := RunNoisy(c, NoiseModel{ReadoutFlip: 0.1}, Options{Shots: 5}); err == nil {
+		t.Error("mid-circuit measurement accepted by readout-only path")
+	}
+	// Unmeasured circuits still surface compile errors (bypass the builder
+	// validation to plant an invalid instruction).
+	c2 := circuit.New(1, 0)
+	c2.Instrs = append(c2.Instrs, circuit.Instruction{
+		Op: circuit.OpGate, Gate: "nope", Qubits: []int{0},
+	})
+	if _, err := RunNoisy(c2, NoiseModel{ReadoutFlip: 0.1}, Options{Shots: 5}); err == nil {
+		t.Error("invalid gate accepted by readout-only path")
+	}
+	// Runtime evolution errors surface even with nothing measured, as the
+	// per-shot path surfaced them: an init on a qubit no longer in |0⟩.
+	c3 := circuit.New(1, 0)
+	c3.X(0)
+	if err := c3.Init([]int{0}, []complex128{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunNoisy(c3, NoiseModel{ReadoutFlip: 0.1}, Options{Shots: 5}); err == nil {
+		t.Error("init on non-|0⟩ qubit accepted by unmeasured readout-only path")
+	}
+}
+
+// TestRunNoisyTrajectoryWorkersSerialSweeps guards the oversubscription
+// fix: with W trajectory workers on a state above the parallel threshold,
+// per-gate sweeps must stay on the worker goroutines instead of fanning
+// out to W×GOMAXPROCS goroutines. The goroutine high-water mark during the
+// run must stay near the worker count.
+func TestRunNoisyTrajectoryWorkersSerialSweeps(t *testing.T) {
+	n := 14 // 2^14 amplitudes: every sweep is above parallelThreshold
+	c := circuit.New(n, n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for l := 0; l < 6; l++ {
+		for q := 0; q < n; q++ {
+			c.RY(0.1*float64(l+q+1), q)
+		}
+	}
+	c.MeasureAll()
+	workers := 4
+	// Force a multi-core fan-out decision even on single-core runners so
+	// the broken behavior (workers×GOMAXPROCS sweep goroutines) is visible
+	// everywhere.
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	base := runtime.NumGoroutine()
+	stop := make(chan struct{})
+	var maxG atomic.Int64
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if g := int64(runtime.NumGoroutine()); g > maxG.Load() {
+					maxG.Store(g)
+				}
+				time.Sleep(20 * time.Microsecond)
+			}
+		}
+	}()
+	_, err := RunNoisy(c, NoiseModel{Prob1Q: 0.01}, Options{Shots: 16, Seed: 3, Shards: workers})
+	close(stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow the monitor itself plus a little runtime slack; the broken
+	// behavior fans out to workers×GOMAXPROCS extra goroutines per sweep.
+	if limit := int64(base + workers + 6); maxG.Load() > limit {
+		t.Errorf("goroutine high-water mark %d exceeds %d: trajectory sweeps are fanning out", maxG.Load(), limit)
 	}
 }
 

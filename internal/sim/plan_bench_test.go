@@ -31,6 +31,53 @@ func deepCircuit(n, layers int) *circuit.Circuit {
 	return c
 }
 
+// cxBrickworkCircuit builds the CX-heavy acceptance workload: brickwork
+// layers of ry rotations, a CX ladder over even pairs, rz rotations, and a
+// CX ladder over odd pairs — the entangler-sandwich shape of
+// hardware-efficient ansätze and of the QFT/Grover arithmetic blocks. Every
+// CX has single-qubit gates touching its operands on both sides, so the
+// two-qubit dense fusion pass can fold 3–5 source gates into each 4×4
+// kernel; without it every CX is its own bandwidth-bound sweep.
+func cxBrickworkCircuit(n, layers int) *circuit.Circuit {
+	c := circuit.New(n, 0)
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.RY(0.13*float64(l*n+q+1), q)
+		}
+		for q := 0; q+1 < n; q += 2 {
+			c.CX(q, q+1)
+		}
+		for q := 0; q < n; q++ {
+			c.RZ(0.29*float64(l*n+q+1), q)
+		}
+		for q := 1; q+1 < n; q += 2 {
+			c.CX(q, q+1)
+		}
+	}
+	return c
+}
+
+// BenchmarkFusedEvolveCX20 runs the CX-heavy brickwork circuit through the
+// compiled plan path — the acceptance benchmark for the two-qubit dense
+// fusion pass (≥1.3× over the PR 2 plan number on this circuit).
+func BenchmarkFusedEvolveCX20(b *testing.B) {
+	c := cxBrickworkCircuit(20, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evolve(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerGateEvolveCX20 is the per-gate reference on the same
+// CX-heavy circuit.
+func BenchmarkPerGateEvolveCX20(b *testing.B) {
+	c := cxBrickworkCircuit(20, 4)
+	b.ReportAllocs()
+	benchEvolveDirect(b, c)
+}
+
 // benchEvolveDirect is the seed engine's shape: one sweep per gate, no
 // fusion, fork-join parallelism inside each State method.
 func benchEvolveDirect(b *testing.B, c *circuit.Circuit) {

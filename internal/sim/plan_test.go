@@ -256,6 +256,155 @@ func TestCompileRepeatedCPhaseCollapses(t *testing.T) {
 	}
 }
 
+// TestCompileFuses2QChains checks the dense two-qubit path: a CX/CZ/CX
+// chain on one pair with single-qubit gates sandwiched on both operands
+// compiles to a single 4×4 kernel, with every source gate counted in
+// Fused2Q.
+func TestCompileFuses2QChains(t *testing.T) {
+	c := circuit.New(3, 0)
+	c.RY(0.3, 0).RY(0.5, 1) // both fold into the CX below
+	c.CX(0, 1)
+	c.RZ(0.7, 0) // folds into the dense kernel
+	c.CZGate(0, 1)
+	c.CX(1, 0)
+	c.SXGate(1) // still folds
+	pl, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pl.Stats()
+	if st.Kernels != 1 {
+		t.Errorf("kernels = %d, want 1 dense 4×4; stats %+v", st.Kernels, st)
+	}
+	if st.Fused2Q != 6 {
+		t.Errorf("fused 2q = %d, want 6 (all gates but the first CX)", st.Fused2Q)
+	}
+	want := evolveDirect(t, c)
+	got := mustState(t, 3)
+	if err := pl.Execute(got, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAmpDelta(want, got); d > 1e-12 {
+		t.Errorf("dense chain drifted: %v", d)
+	}
+}
+
+// TestCompileLoneCXStaysSpecialized locks in the cost model: a CX with
+// nothing to fold must keep its half-state subspace-exchange form rather
+// than becoming a full-state dense sweep.
+func TestCompileLoneCXStaysSpecialized(t *testing.T) {
+	c := circuit.New(4, 0)
+	c.H(2) // disjoint qubit: commutes past, must not trigger dense form
+	c.CX(0, 1)
+	pl, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pl.Stats()
+	if st.Fused2Q != 0 {
+		t.Errorf("fused 2q = %d, want 0 for a lone CX", st.Fused2Q)
+	}
+	if st.Kernels != 2 {
+		t.Errorf("kernels = %d, want 2", st.Kernels)
+	}
+}
+
+// TestCompileParityCXSandwich is the acceptance parity suite for the 4×4
+// path: brickwork CX ladders with single-qubit gates sandwiched between
+// them, checked against the direct per-gate engine at 1e-9 across shard
+// counts {1, 4, GOMAXPROCS} — including high qubit pairs that exercise the
+// cache-blocked sweep order.
+func TestCompileParityCXSandwich(t *testing.T) {
+	shardCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, n := range []int{2, 5, 9, 12} {
+		c := cxBrickworkCircuit(n, 3)
+		// Append a chain on the two highest qubits so n ≥ 8 exercises
+		// sweep2QBlocked (lower pair stride ≥ blockedStrideMin).
+		if n >= 8 {
+			c.RY(0.4, n-2).CX(n-2, n-1).RZ(0.9, n-1).CX(n-2, n-1)
+		}
+		pl, err := Compile(c)
+		if err != nil {
+			t.Fatalf("n=%d: compile: %v", n, err)
+		}
+		if pl.Stats().Fused2Q == 0 {
+			t.Errorf("n=%d: no two-qubit fusion on a CX-sandwich circuit; stats %+v", n, pl.Stats())
+		}
+		want := evolveDirect(t, c)
+		for _, shards := range shardCounts {
+			st := mustState(t, n)
+			if err := pl.Execute(st, shards); err != nil {
+				t.Fatalf("n=%d shards=%d: %v", n, shards, err)
+			}
+			if d := maxAmpDelta(want, st); d > 1e-9 {
+				t.Errorf("n=%d shards=%d: max amplitude delta %v", n, shards, d)
+			}
+		}
+	}
+}
+
+// TestCompileParityCXHeavyRandom stresses the dense path with random
+// CX/SWAP-heavy circuits (two-qubit gates dominate the mix, with 1Q gates
+// and diagonals interleaved) across 2–12 qubits.
+func TestCompileParityCXHeavyRandom(t *testing.T) {
+	shardCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	oneQ := []gates.Name{gates.H, gates.SX, gates.RY, gates.RZ, gates.T}
+	for n := 2; n <= 12; n += 2 {
+		for trial := 0; trial < 3; trial++ {
+			r := rand.New(rand.NewSource(int64(7000*n + trial)))
+			c := circuit.New(n, 0)
+			for i := 0; i < 60; i++ {
+				switch roll := r.Intn(10); {
+				case roll < 6 && n >= 2: // two-qubit gate, often same-pair chains
+					a, b := r.Intn(n), r.Intn(n)
+					for b == a {
+						b = r.Intn(n)
+					}
+					switch r.Intn(4) {
+					case 0:
+						c.CX(a, b)
+					case 1:
+						c.Swap(a, b)
+					case 2:
+						c.CZGate(a, b)
+					default:
+						c.CPhase(r.Float64()*4-2, a, b)
+					}
+				case roll < 9:
+					name := oneQ[r.Intn(len(oneQ))]
+					info, _ := gates.Lookup(name)
+					var params []float64
+					if info.Params == 1 {
+						params = []float64{r.Float64()*4 - 2}
+					}
+					c.Gate(name, []int{r.Intn(n)}, params...)
+				default: // pair-local diagonal, folds into dense kernels
+					q := r.Intn(n)
+					phases := []complex128{1, cmplx.Exp(complex(0, r.Float64()*2))}
+					if err := c.Diagonal([]int{q}, phases); err != nil {
+						panic(err)
+					}
+				}
+			}
+			pl, err := Compile(c)
+			if err != nil {
+				t.Fatalf("n=%d trial=%d: compile: %v", n, trial, err)
+			}
+			want := evolveDirect(t, c)
+			for _, shards := range shardCounts {
+				st := mustState(t, n)
+				if err := pl.Execute(st, shards); err != nil {
+					t.Fatalf("n=%d trial=%d shards=%d: %v", n, trial, shards, err)
+				}
+				if d := maxAmpDelta(want, st); d > 1e-9 {
+					t.Errorf("n=%d trial=%d shards=%d: max amplitude delta %v\n%s",
+						n, trial, shards, d, c)
+				}
+			}
+		}
+	}
+}
+
 // TestCompileRejectsMidCircuitMeasure mirrors Evolve's contract.
 func TestCompileRejectsMidCircuitMeasure(t *testing.T) {
 	c := circuit.New(2, 2)

@@ -38,15 +38,20 @@ func (c Counts) Keys() []uint64 {
 }
 
 // MostFrequent returns the value with the highest count (lowest key wins
-// ties, for determinism). Runs in O(n) over the map — no sorted key pass.
-func (c Counts) MostFrequent() (uint64, int) {
+// ties, for determinism) and ok=false when no counts were recorded — the
+// zero value and count are meaningless in that case. Runs in O(n) over
+// the map — no sorted key pass.
+func (c Counts) MostFrequent() (value uint64, count int, ok bool) {
+	if len(c) == 0 {
+		return 0, 0, false
+	}
 	bestK, bestN := uint64(0), -1
 	for k, n := range c {
 		if n > bestN || (n == bestN && k < bestK) {
 			bestK, bestN = k, n
 		}
 	}
-	return bestK, bestN
+	return bestK, bestN, true
 }
 
 // Result is the outcome of executing a circuit.
@@ -167,44 +172,7 @@ func Run(c *circuit.Circuit, opts Options) (*Result, error) {
 		return res, nil
 	}
 
-	// Sample basis indices from the Born distribution via CDF inversion,
-	// then project each index onto the measured clbits. The prefix sum
-	// builds over the same shard pool in fixed-size blocks: each block's
-	// probability mass sums left to right, block offsets accumulate
-	// serially, and each block then writes its CDF slice from its exact
-	// offset. Because the block boundaries do not depend on the shard
-	// count, the float associativity — and therefore every sampled count
-	// — is bit-identical for any parallelism grant: the shard count is a
-	// scheduling decision, never a result change (the jobs result cache
-	// dedups on bundle+shots+seed alone and relies on this).
-	cdf := make([]float64, st.Dim())
-	nBlocks := (st.Dim() + cdfBlock - 1) / cdfBlock
-	blockSum := make([]float64, nBlocks)
-	pool.do(nBlocks, func(_, lo, hi int) {
-		for b := lo; b < hi; b++ {
-			sum := 0.0
-			for i := b * cdfBlock; i < min((b+1)*cdfBlock, st.Dim()); i++ {
-				sum += st.Probability(uint64(i))
-			}
-			blockSum[b] = sum
-		}
-	})
-	acc := 0.0
-	for b, s := range blockSum {
-		blockSum[b] = acc // reuse as the block's starting offset
-		acc += s
-	}
-	pool.do(nBlocks, func(_, lo, hi int) {
-		for b := lo; b < hi; b++ {
-			run := blockSum[b]
-			for i := b * cdfBlock; i < min((b+1)*cdfBlock, st.Dim()); i++ {
-				run += st.Probability(uint64(i))
-				cdf[i] = run
-			}
-		}
-	})
-	// Guard against float drift so the final bucket always catches u→1.
-	cdf[len(cdf)-1] = acc + 1
+	cdf, acc, lastPos := buildCDF(st, pool)
 
 	qubits := make([]int, 0, len(mm))
 	for q := range mm {
@@ -214,17 +182,78 @@ func Run(c *circuit.Circuit, opts Options) (*Result, error) {
 
 	r := rng.New(opts.Seed)
 	for shot := 0; shot < opts.Shots; shot++ {
-		u := r.Float64() * acc
-		// First index with cdf[k] > u; zero-probability states have
-		// cdf[k] == cdf[k-1] and are correctly skipped.
-		k := sort.Search(len(cdf), func(i int) bool { return cdf[i] > u })
-		var reg uint64
-		for _, q := range qubits {
-			if uint64(k)>>uint(q)&1 == 1 {
-				reg |= 1 << uint(mm[q])
-			}
-		}
-		res.Counts[reg]++
+		k := sampleCDF(cdf, lastPos, r.Float64()*acc)
+		res.Counts[projectRegister(k, qubits, mm, 0, nil)]++
 	}
 	return res, nil
+}
+
+// buildCDF computes the inclusive prefix sums of the state's Born
+// distribution, the total mass, and the index of the last basis state with
+// positive probability. The prefix sum builds over the shard pool in
+// fixed-size blocks: each block's probability mass sums left to right,
+// block offsets accumulate serially, and each block then writes its CDF
+// slice from its exact offset. Because the block boundaries do not depend
+// on the shard count, the float associativity — and therefore every
+// sampled count — is bit-identical for any parallelism grant: the shard
+// count is a scheduling decision, never a result change (the jobs result
+// cache dedups on bundle+shots+seed alone and relies on this).
+func buildCDF(st *State, pool *shardPool) (cdf []float64, acc float64, lastPos int) {
+	dim := st.Dim()
+	cdf = make([]float64, dim)
+	nBlocks := (dim + cdfBlock - 1) / cdfBlock
+	blockSum := make([]float64, nBlocks)
+	blockLast := make([]int, nBlocks)
+	pool.do(nBlocks, func(_, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			sum := 0.0
+			last := -1
+			for i := b * cdfBlock; i < min((b+1)*cdfBlock, dim); i++ {
+				p := st.Probability(uint64(i))
+				sum += p
+				if p > 0 {
+					last = i
+				}
+			}
+			blockSum[b] = sum
+			blockLast[b] = last
+		}
+	})
+	for b, s := range blockSum {
+		blockSum[b] = acc // reuse as the block's starting offset
+		acc += s
+	}
+	for b := nBlocks - 1; b >= 0; b-- {
+		if blockLast[b] >= 0 {
+			lastPos = blockLast[b]
+			break
+		}
+	}
+	pool.do(nBlocks, func(_, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			run := blockSum[b]
+			for i := b * cdfBlock; i < min((b+1)*cdfBlock, dim); i++ {
+				run += st.Probability(uint64(i))
+				cdf[i] = run
+			}
+		}
+	})
+	return cdf, acc, lastPos
+}
+
+// sampleCDF inverts the CDF for one draw u: the first index with
+// cdf[k] > u, clamped to the last positive-probability index. The clamp is
+// the float-drift guard: when rounding leaves cdf's top fractionally below
+// u, the search lands past every positive-probability state, and without
+// the clamp the draw would assign mass to a basis state the distribution
+// gives zero probability (the old guard bumped the final CDF entry, which
+// is exactly that bug for an all-ones state outside the support).
+// Zero-probability states inside the support have cdf[k] == cdf[k-1] and
+// are correctly skipped by the strict inequality.
+func sampleCDF(cdf []float64, lastPos int, u float64) uint64 {
+	k := sort.Search(len(cdf), func(i int) bool { return cdf[i] > u })
+	if k > lastPos {
+		k = lastPos
+	}
+	return uint64(k)
 }

@@ -155,9 +155,57 @@ func TestCountsHelpers(t *testing.T) {
 	if len(keys) != 3 || keys[0] != 3 || keys[1] != 5 || keys[2] != 9 {
 		t.Errorf("Keys = %v", keys)
 	}
-	k, n := cnt.MostFrequent()
-	if k != 3 || n != 30 {
-		t.Errorf("MostFrequent = %d, %d (tie should pick lowest key)", k, n)
+	k, n, ok := cnt.MostFrequent()
+	if !ok || k != 3 || n != 30 {
+		t.Errorf("MostFrequent = %d, %d, %v (tie should pick lowest key)", k, n, ok)
+	}
+	if _, _, ok := (Counts{}).MostFrequent(); ok {
+		t.Error("MostFrequent on empty counts reported ok")
+	}
+}
+
+// TestSampleCDFClampsDrift is the regression test for the sampling drift
+// guard: when float rounding leaves the top of the CDF below the drawn u,
+// the inversion must land on the last positive-probability basis state —
+// never on a zero-probability state past it (the old guard bumped the
+// final CDF entry, steering exactly such draws onto the all-ones state).
+func TestSampleCDFClampsDrift(t *testing.T) {
+	// States 2 and 3 have zero probability; state 1 is the last with mass.
+	cdf := []float64{0.5, 1.0, 1.0, 1.0}
+	lastPos := 1
+	if k := sampleCDF(cdf, lastPos, 1.0); k != 1 {
+		t.Errorf("drifted draw u=1.0 sampled index %d, want 1", k)
+	}
+	if k := sampleCDF(cdf, lastPos, 0.25); k != 0 {
+		t.Errorf("u=0.25 sampled index %d, want 0", k)
+	}
+	if k := sampleCDF(cdf, lastPos, 0.75); k != 1 {
+		t.Errorf("u=0.75 sampled index %d, want 1", k)
+	}
+	// A zero-probability gap inside the support is skipped, not clamped.
+	gap := []float64{0.5, 0.5, 1.0, 1.0}
+	if k := sampleCDF(gap, 2, 0.7); k != 2 {
+		t.Errorf("gap draw sampled index %d, want 2", k)
+	}
+}
+
+// TestRunCDFLastPositiveIndex checks the Run-level behavior on a state
+// whose trailing basis states carry no probability: no shot may land past
+// the support, for any seed tried.
+func TestRunCDFLastPositiveIndex(t *testing.T) {
+	c := circuit.New(3, 3)
+	c.H(0) // support = {|000⟩, |001⟩}; indices 2..7 have zero probability
+	c.MeasureAll()
+	for seed := uint64(0); seed < 20; seed++ {
+		res, err := Run(c, Options{Shots: 200, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range res.Counts {
+			if k > 1 {
+				t.Fatalf("seed %d: sampled zero-probability outcome %d", seed, k)
+			}
+		}
 	}
 }
 

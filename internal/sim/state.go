@@ -27,6 +27,12 @@ type State struct {
 	// and the corresponding plan kernels reuse instead of allocating a
 	// full 2^n copy per call. Lazily allocated.
 	scratch []complex128
+	// noParallel pins every sweep and reduction on this state to the
+	// caller's goroutine. The trajectory engine sets it on states owned by
+	// its shot workers: with W workers each fanning a gate sweep out to
+	// GOMAXPROCS goroutines, a single RunNoisy would otherwise run
+	// W×GOMAXPROCS sweep goroutines at once.
+	noParallel bool
 }
 
 // NewState returns |0…0⟩ on n qubits.
@@ -58,7 +64,7 @@ func (s *State) Probability(k uint64) float64 {
 // reduction parallelizes over shards for large states.
 func (s *State) Norm() float64 {
 	a := s.amps
-	return parallelSum(len(a), func(lo, hi int) float64 {
+	return s.psum(len(a), func(lo, hi int) float64 {
 		total := 0.0
 		for _, v := range a[lo:hi] {
 			total += real(v)*real(v) + imag(v)*imag(v)
@@ -80,6 +86,24 @@ func (s *State) scratchBuf() []complex128 {
 		s.scratch = make([]complex128, len(s.amps))
 	}
 	return s.scratch
+}
+
+// pfor runs body over [0, n), fanning out for large sweeps unless the
+// state is pinned serial (trajectory shot workers).
+func (s *State) pfor(n int, body func(lo, hi int)) {
+	if s.noParallel {
+		body(0, n)
+		return
+	}
+	parallelFor(n, body)
+}
+
+// psum is the reduction counterpart of pfor.
+func (s *State) psum(n int, f func(lo, hi int) float64) float64 {
+	if s.noParallel {
+		return f(0, n)
+	}
+	return parallelSum(n, f)
 }
 
 // parallelFor splits [0, n) across workers when n is large. It is the
@@ -117,8 +141,36 @@ func (s *State) Apply1(m gates.Matrix2, q int) error {
 	}
 	stride := 1 << uint(q)
 	a := s.amps
-	parallelFor(len(a)/2, func(lo, hi int) {
-		sweep1Q(a, m, stride, lo, hi)
+	s.pfor(len(a)/2, func(lo, hi int) {
+		sweep1QAuto(a, m, stride, lo, hi)
+	})
+	return nil
+}
+
+// Apply2 applies a two-qubit unitary to the pair (q0, q1): local basis bit
+// 0 is q0's value and bit 1 is q1's. It is the direct-path counterpart of
+// the plan's dense 4×4 kernel, sweeping the 2^(n-2) amplitude quadruples.
+func (s *State) Apply2(m gates.Matrix4, q0, q1 int) error {
+	if err := s.checkDistinct(q0, q1); err != nil {
+		return err
+	}
+	if q0 > q1 {
+		// Reorder to ascending qubit positions by conjugating with SWAP:
+		// permute local indices 1 and 2 in both rows and columns.
+		perm := [4]int{0, 2, 1, 3}
+		var sm gates.Matrix4
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				sm[i][j] = m[perm[i]][perm[j]]
+			}
+		}
+		m = sm
+		q0, q1 = q1, q0
+	}
+	maskLo, maskHi := 1<<q0, 1<<q1
+	a := s.amps
+	s.pfor(len(a)/4, func(lo, hi int) {
+		sweep2QAuto(a, &m, maskLo, maskHi, lo, hi)
 	})
 	return nil
 }
@@ -132,7 +184,7 @@ func (s *State) applyCtrlPerm(ones, zeros []int, flip int) error {
 	}
 	inserts := makeInserts(ones, zeros)
 	a := s.amps
-	parallelFor(len(a)>>len(inserts), func(lo, hi int) {
+	s.pfor(len(a)>>len(inserts), func(lo, hi int) {
 		sweepCtrlPerm(a, inserts, flip, lo, hi)
 	})
 	return nil
@@ -161,7 +213,7 @@ func (s *State) applyCtrlPhase(qubits []int, ph complex128) error {
 	}
 	inserts := makeInserts(qubits, nil)
 	a := s.amps
-	parallelFor(len(a)>>len(inserts), func(lo, hi int) {
+	s.pfor(len(a)>>len(inserts), func(lo, hi int) {
 		sweepCtrlPhase(a, inserts, ph, lo, hi)
 	})
 	return nil
@@ -197,10 +249,10 @@ func (s *State) ApplyPermute(qubits []int, perm []uint64) error {
 	src := s.scratchBuf()
 	a := s.amps
 	masks := qubitMasks(qubits)
-	parallelFor(len(a), func(lo, hi int) {
+	s.pfor(len(a), func(lo, hi int) {
 		copy(src[lo:hi], a[lo:hi])
 	})
-	parallelFor(len(a), func(lo, hi int) {
+	s.pfor(len(a), func(lo, hi int) {
 		sweepPermute(a, src, masks, perm, lo, hi)
 	})
 	return nil
@@ -234,10 +286,10 @@ func (s *State) ApplyInit(qubits []int, amps []complex128) error {
 	}
 	src := s.scratchBuf()
 	a := s.amps
-	parallelFor(len(a), func(lo, hi int) {
+	s.pfor(len(a), func(lo, hi int) {
 		copy(src[lo:hi], a[lo:hi])
 	})
-	parallelFor(len(a), func(lo, hi int) {
+	s.pfor(len(a), func(lo, hi int) {
 		sweepInit(a, src, masks, anyMask, amps, lo, hi)
 	})
 	return nil
@@ -255,7 +307,7 @@ func (s *State) ApplyDiagonal(qubits []int, phases []complex128) error {
 	}
 	masks := qubitMasks(qubits)
 	a := s.amps
-	parallelFor(len(a), func(lo, hi int) {
+	s.pfor(len(a), func(lo, hi int) {
 		sweepDiag(a, masks, phases, lo, hi)
 	})
 	return nil
@@ -281,7 +333,7 @@ func (s *State) checkDistinct(qs ...int) error {
 // concurrent calls.
 func (s *State) ExpectationDiagonal(f func(uint64) float64) float64 {
 	a := s.amps
-	return parallelSum(len(a), func(lo, hi int) float64 {
+	return s.psum(len(a), func(lo, hi int) float64 {
 		total := 0.0
 		for k := lo; k < hi; k++ {
 			v := a[k]
@@ -298,7 +350,7 @@ func (s *State) ExpectationDiagonal(f func(uint64) float64) float64 {
 // allocated.
 func (s *State) Probabilities() []float64 {
 	ps := make([]float64, len(s.amps))
-	parallelFor(len(s.amps), func(lo, hi int) {
+	s.pfor(len(s.amps), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			a := s.amps[i]
 			ps[i] = real(a)*real(a) + imag(a)*imag(a)

@@ -202,6 +202,96 @@ func TestCSwapTruthTable(t *testing.T) {
 	}
 }
 
+// TestApply2MatchesNamedGates checks the direct dense two-qubit path
+// against the specialized gate methods, in both operand orders.
+func TestApply2MatchesNamedGates(t *testing.T) {
+	prep := func() *State {
+		s := mustState(t, 3)
+		apply1(t, s, gates.H, 0)
+		apply1(t, s, gates.T, 1)
+		apply1(t, s, gates.RY, 2, 0.8)
+		apply1(t, s, gates.H, 2)
+		return s
+	}
+	cx := gates.Matrix4{{1, 0, 0, 0}, {0, 0, 0, 1}, {0, 0, 1, 0}, {0, 1, 0, 0}} // control = local bit 0
+	for _, ops := range [][2]int{{0, 2}, {2, 0}, {1, 2}} {
+		a, b := prep(), prep()
+		// Apply2's local bit 0 is the first operand: control = ops[0].
+		if err := a.Apply2(cx, ops[0], ops[1]); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.ApplyCX(ops[0], ops[1]); err != nil {
+			t.Fatal(err)
+		}
+		for k := uint64(0); k < 8; k++ {
+			if cmplx.Abs(a.Amplitude(k)-b.Amplitude(k)) > 1e-12 {
+				t.Errorf("Apply2 CX(%d,%d) != ApplyCX at %d", ops[0], ops[1], k)
+			}
+		}
+	}
+}
+
+// TestApply2KronOfSingles checks the basis convention: Kron2(mHi, mLo)
+// applied to (q0, q1) must equal applying mLo to q0 and mHi to q1.
+func TestApply2KronOfSingles(t *testing.T) {
+	mLo, _ := gates.Unitary1(gates.RY, []float64{0.7})
+	mHi, _ := gates.Unitary1(gates.SX, nil)
+	a, b := mustState(t, 4), mustState(t, 4)
+	apply1(t, a, gates.H, 1)
+	apply1(t, b, gates.H, 1)
+	apply1(t, a, gates.H, 3)
+	apply1(t, b, gates.H, 3)
+	if err := a.Apply2(gates.Kron2(mHi, mLo), 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Apply1(mLo, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Apply1(mHi, 3); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 16; k++ {
+		if cmplx.Abs(a.Amplitude(k)-b.Amplitude(k)) > 1e-12 {
+			t.Fatalf("Kron2 application mismatch at %d: %v vs %v", k, a.Amplitude(k), b.Amplitude(k))
+		}
+	}
+}
+
+// TestApply2HighPairBlockedSweep pushes a dense pair onto high qubits of a
+// state large enough to cross the parallel threshold, exercising the
+// cache-blocked sweep in both the serial and fan-out paths.
+func TestApply2HighPairBlockedSweep(t *testing.T) {
+	n := 15 // 2^15/4 = 8192 quads: at the fan-out threshold
+	m := gates.Mul4(gates.Kron2(mustU1(t, gates.H), mustU1(t, gates.H)),
+		gates.Matrix4{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 0, 1}, {0, 0, 1, 0}})
+	par, ser := mustState(t, n), mustState(t, n)
+	ser.noParallel = true
+	for _, s := range []*State{par, ser} {
+		apply1(t, s, gates.H, 0)
+		apply1(t, s, gates.RY, n-1, 0.6)
+		if err := s.Apply2(m, n-2, n-1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(par.Norm()-1) > 1e-9 || math.Abs(ser.Norm()-1) > 1e-9 {
+		t.Fatalf("norms drifted: %v, %v", par.Norm(), ser.Norm())
+	}
+	for _, k := range []uint64{0, 1, 1 << (n - 1), 1<<n - 1, 12345} {
+		if cmplx.Abs(par.Amplitude(k)-ser.Amplitude(k)) > 1e-12 {
+			t.Fatalf("serial and parallel blocked sweeps disagree at %d", k)
+		}
+	}
+}
+
+func mustU1(t *testing.T, n gates.Name, params ...float64) gates.Matrix2 {
+	t.Helper()
+	m, err := gates.Unitary1(n, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func TestOperandValidation(t *testing.T) {
 	s := mustState(t, 2)
 	m, _ := gates.Unitary1(gates.X, nil)
