@@ -10,17 +10,30 @@
 // suffix is stripped so artifacts diff cleanly across machines. A
 // benchmark appearing more than once (e.g. -count > 1) keeps its last
 // reading.
+//
+// -compare OLD.json additionally diffs the fresh readings against a
+// committed baseline and prints a WARNING line to stderr for every
+// benchmark slower than the baseline by more than -threshold (default
+// 0.15, i.e. 15%). Warnings never change the exit status — 1x smoke
+// timings are noisy, so the diff flags candidates for a real benchmark
+// run rather than gating the build.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 )
 
 func main() {
+	compare := flag.String("compare", "", "baseline BENCH json to diff against (warnings on stderr)")
+	threshold := flag.Float64("threshold", 0.15, "relative ns/op regression that triggers a warning")
+	flag.Parse()
 	results, err := parseBench(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -32,6 +45,54 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *compare != "" {
+		baseline, err := loadBaseline(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		for _, w := range compareBench(baseline, results, *threshold) {
+			fmt.Fprintln(os.Stderr, w)
+		}
+	}
+}
+
+func loadBaseline(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+// compareBench returns one warning line (sorted by benchmark name) per
+// benchmark whose fresh ns/op exceeds the baseline by more than the
+// relative threshold. Benchmarks absent from either side are skipped —
+// new benchmarks have no baseline, retired ones no reading.
+func compareBench(baseline, fresh map[string]float64, threshold float64) []string {
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var warnings []string
+	for _, name := range names {
+		old, ok := baseline[name]
+		if !ok || old <= 0 {
+			continue
+		}
+		ratio := fresh[name]/old - 1
+		if ratio > threshold {
+			warnings = append(warnings,
+				fmt.Sprintf("benchjson: WARNING %s regressed %.1f%% (%.0f → %.0f ns/op)",
+					name, ratio*100, old, fresh[name]))
+		}
+	}
+	return warnings
 }
 
 // parseBench extracts name → ns/op pairs from benchmark result lines of
@@ -43,7 +104,7 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		fields := splitFields(sc.Text())
+		fields := strings.Fields(sc.Text())
 		if len(fields) < 4 || !isBenchName(fields[0]) {
 			continue
 		}
@@ -60,24 +121,6 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 		}
 	}
 	return results, sc.Err()
-}
-
-func splitFields(line string) []string {
-	var out []string
-	start := -1
-	for i := 0; i <= len(line); i++ {
-		if i < len(line) && line[i] != ' ' && line[i] != '\t' {
-			if start < 0 {
-				start = i
-			}
-			continue
-		}
-		if start >= 0 {
-			out = append(out, line[start:i])
-			start = -1
-		}
-	}
-	return out
 }
 
 func isBenchName(s string) bool {

@@ -50,3 +50,28 @@ func TestTrimProcs(t *testing.T) {
 		}
 	}
 }
+
+func TestCompareBench(t *testing.T) {
+	baseline := map[string]float64{
+		"BenchmarkA":    100,
+		"BenchmarkB":    100,
+		"BenchmarkC":    100,
+		"BenchmarkGone": 50,
+	}
+	fresh := map[string]float64{
+		"BenchmarkA":   114, // within 15%
+		"BenchmarkB":   130, // regressed
+		"BenchmarkC":   80,  // improved
+		"BenchmarkNew": 999,
+	}
+	warnings := compareBench(baseline, fresh, 0.15)
+	if len(warnings) != 1 {
+		t.Fatalf("warnings = %v, want exactly one", warnings)
+	}
+	if !strings.Contains(warnings[0], "BenchmarkB") || !strings.Contains(warnings[0], "30.0%") {
+		t.Fatalf("warning = %q", warnings[0])
+	}
+	if got := compareBench(baseline, fresh, 0.5); len(got) != 0 {
+		t.Fatalf("loose threshold warnings = %v", got)
+	}
+}

@@ -3,7 +3,7 @@
 // backends (IBM Quantum's job API, D-Wave Leap), backed by the
 // internal/jobs worker pool and content-addressed result cache.
 //
-//	qmlserve -addr :8080 -workers 8 -queue 256 -cache 4096
+//	qmlserve -addr :8080 -workers 8 -queue 256 -cache 4096 -data-dir /var/lib/qmlserve
 //
 // Submit the quickstart bundle and poll it:
 //
@@ -13,6 +13,7 @@
 //	  → {"id":"job-00000001","state":"done","engine":"gate.aer_simulator",...}
 //	curl -s localhost:8080/v1/jobs/job-00000001/result
 //	  → {"engine":"gate.aer_simulator","samples":10000,"entries":[...]}
+//	curl -s 'localhost:8080/v1/jobs?state=done&limit=20'   # history listing
 //	curl -s localhost:8080/v1/engines
 //	curl -s localhost:8080/v1/stats
 //
@@ -28,6 +29,24 @@
 // (default GOMAXPROCS) so one big simulation spans every core, while jobs
 // running alongside others stay single-shard. POST /v1/jobs?shards=N pins
 // the grant per job; /v1/stats reports max_shards and wide_jobs.
+//
+// # Durability
+//
+// With -data-dir the service survives crashes: every job transition
+// appends to an append-only JSONL journal and results persist as
+// content-addressed files (internal/jobs/store). On startup the journal
+// replays — terminal jobs answer GET /v1/jobs/{id} and /result exactly as
+// before the restart, and jobs that were queued or running when the
+// process died are requeued and re-run (execution is deterministic in
+// bundle+shots+seed, so the re-run's counts are the ones the lost run
+// would have produced). -fsync picks the journal fsync policy: "always"
+// (default — an acknowledged submission survives an immediate crash),
+// "terminal" or "none". Without -data-dir the service is in-memory, as
+// before.
+//
+// On SIGINT/SIGTERM the server drains: in-flight HTTP requests get up to
+// 10 s, the pool finishes running and queued jobs (new submissions fail
+// fast with 503), and the journal is flushed and closed before exit.
 package main
 
 import (
@@ -35,6 +54,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -43,6 +63,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/jobs"
+	"repro/internal/jobs/store"
 )
 
 func main() {
@@ -51,25 +72,70 @@ func main() {
 	queue := flag.Int("queue", 64, "bounded queue depth (full queue → 429)")
 	cache := flag.Int("cache", 1024, "result-cache entries (negative disables)")
 	maxShards := flag.Int("max-shards", 0, "statevector shards granted to a lone simulation job (0 = GOMAXPROCS)")
+	dataDir := flag.String("data-dir", "", "journal + result directory for crash-safe restarts (empty = in-memory)")
+	fsync := flag.String("fsync", "always", "journal fsync policy: always|terminal|none")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: qmlserve [-addr :8080] [-workers n] [-queue n] [-cache n] [-max-shards n]")
+		fmt.Fprintln(os.Stderr, "usage: qmlserve [-addr :8080] [-workers n] [-queue n] [-cache n] [-max-shards n] [-data-dir dir] [-fsync always|terminal|none]")
 		os.Exit(2)
 	}
+	if err := run(*addr, *workers, *queue, *cache, *maxShards, *dataDir, *fsync); err != nil {
+		log.Fatalf("qmlserve: %v", err)
+	}
+}
 
-	pool := jobs.NewPool(jobs.Options{Workers: *workers, QueueDepth: *queue, CacheSize: *cache, MaxShards: *maxShards})
-	srv := &http.Server{Addr: *addr, Handler: jobs.NewHandler(pool)}
+// run brings the service up, blocks until SIGINT/SIGTERM or a listener
+// failure, and tears it down in order: HTTP drain, pool drain, journal
+// flush + close.
+func run(addr string, workers, queue, cache, maxShards int, dataDir, fsync string) error {
+	var st *store.Store
+	if dataDir != "" {
+		policy, err := store.ParseSyncPolicy(fsync)
+		if err != nil {
+			return err
+		}
+		st, err = store.Open(dataDir, store.Options{Sync: policy})
+		if err != nil {
+			return err
+		}
+	}
+
+	pool := jobs.NewPool(jobs.Options{
+		Workers: workers, QueueDepth: queue, CacheSize: cache,
+		MaxShards: maxShards, Store: st,
+	})
+	if st != nil {
+		s := pool.Stats()
+		log.Printf("qmlserve: recovered %d job records from %s (%d requeued, %d results on disk)",
+			s.Recovered, dataDir, s.Requeued, s.Results)
+	}
+
+	// An explicit listener (not ListenAndServe) so ":0" works and the
+	// bound address is known — the restart test leans on both.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		pool.Close()
+		if st != nil {
+			st.Close()
+		}
+		return err
+	}
+	srv := &http.Server{Handler: jobs.NewHandler(pool)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("qmlserve: listening on %s (engines: %v)", *addr, backend.Engines())
+	go func() { errc <- srv.Serve(ln) }()
+	log.Printf("qmlserve: listening on %s (engines: %v)", ln.Addr(), backend.Engines())
 
 	select {
 	case err := <-errc:
-		log.Fatalf("qmlserve: %v", err)
+		pool.Close()
+		if st != nil {
+			st.Close()
+		}
+		return err
 	case <-ctx.Done():
 	}
 
@@ -80,8 +146,17 @@ func main() {
 		// DeadlineExceeded here means in-flight requests were cut off.
 		log.Printf("qmlserve: shutdown: %v", err)
 	}
+	// Drain the pool: running and queued jobs finish (journaling their
+	// terminal states), coalesced waiters are released with their
+	// primaries, late submissions fail fast with ErrClosed.
 	pool.Close()
+	if st != nil {
+		if err := st.Close(); err != nil {
+			log.Printf("qmlserve: closing journal: %v", err)
+		}
+	}
 	s := pool.Stats()
-	log.Printf("qmlserve: done (submitted=%d completed=%d failed=%d cache_hits=%d)",
-		s.Submitted, s.Completed, s.Failed, s.CacheHits)
+	log.Printf("qmlserve: done (submitted=%d completed=%d failed=%d cache_hits=%d journal_events=%d)",
+		s.Submitted, s.Completed, s.Failed, s.CacheHits, s.Events)
+	return nil
 }

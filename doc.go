@@ -39,13 +39,24 @@
 // concurrent throughput is undisturbed. POST /v1/jobs?shards=N pins the
 // grant per job; /v1/stats reports max_shards, wide_jobs and coalesced.
 //
+// The serving layer is durable (internal/jobs/store): with a data
+// directory attached, every job transition appends to an append-only
+// JSONL journal (explicit fsync policy, compacted once terminal records
+// dominate) and results persist as content-addressed files. A restart
+// replays the journal — terminal jobs keep answering status/result
+// lookups, work that was queued or running when the process died is
+// requeued under its original ID and re-run to the same counts (execution
+// is deterministic in bundle+shots+seed), and a torn final journal line
+// from a mid-append crash is dropped, not fatal.
+//
 // Two consumers wrap the pool. cmd/qmlserve exposes it over HTTP
 // (stdlib net/http) speaking the job.json schema:
 //
-//	qmlserve -addr :8080 -workers 8 -queue 256 -cache 4096
+//	qmlserve -addr :8080 -workers 8 -queue 256 -cache 4096 -data-dir /var/lib/qmlserve
 //	curl -s -X POST --data-binary @job.json localhost:8080/v1/jobs
 //	curl -s localhost:8080/v1/jobs/job-00000001          # lifecycle + timing
 //	curl -s localhost:8080/v1/jobs/job-00000001/result   # decoded entries
+//	curl -s 'localhost:8080/v1/jobs?state=done'          # history, survives restarts
 //	curl -s localhost:8080/v1/engines                    # registry contents
 //	curl -s localhost:8080/v1/stats                      # counters incl. cache_hits
 //

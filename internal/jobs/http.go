@@ -24,9 +24,10 @@ const MaxBodyBytes = 8 << 20
 // from internal/schemas:
 //
 //	POST   /v1/jobs             submit a job.json bundle → 202 {id,state,cache_hit}
+//	GET    /v1/jobs             job history listing (?state=done&limit=100)
 //	GET    /v1/jobs/{id}        lifecycle status + timing
 //	GET    /v1/jobs/{id}/result decoded result (202 while pending)
-//	DELETE /v1/jobs/{id}        cancel a queued job
+//	DELETE /v1/jobs/{id}        cancel a queued (or coalesced) job
 //	GET    /v1/engines          registered engine names
 //	GET    /v1/stats            pool counters incl. cache_hits, coalesced, wide_jobs
 //
@@ -35,10 +36,18 @@ const MaxBodyBytes = 8 << 20
 // max_shards and concurrent jobs one shard; the grant appears in the
 // status document as "shards"). Backpressure surfaces as 429 with
 // Retry-After when the pool's bounded queue is full.
+//
+// When the pool is persistent (qmlserve -data-dir), the history listing,
+// per-job statuses and results all survive restarts, and /v1/stats gains
+// the journal counters (recovered, requeued, disk_hits, journal_events,
+// journal_compactions, disk_results).
 func NewHandler(p *Pool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		handleSubmit(p, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		handleList(p, w, r)
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		handleStatus(p, w, r)
@@ -132,6 +141,37 @@ func handleSubmit(p *Pool, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, submitJSON{ID: st.ID, State: st.State, CacheHit: st.CacheHit})
+}
+
+// listDefaultLimit caps GET /v1/jobs responses unless ?limit= overrides.
+const listDefaultLimit = 100
+
+func handleList(p *Pool, w http.ResponseWriter, r *http.Request) {
+	state := State(r.URL.Query().Get("state"))
+	switch state {
+	case "", StateQueued, StateRunning, StateDone, StateFailed, StateCanceled:
+	default:
+		writeJSON(w, http.StatusBadRequest, errorJSON{fmt.Sprintf("jobs: unknown state %q", state)})
+		return
+	}
+	limit := listDefaultLimit
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorJSON{fmt.Sprintf("jobs: invalid limit %q", raw)})
+			return
+		}
+		limit = n
+	}
+	sts := p.List(state, limit)
+	out := struct {
+		Jobs  []statusJSON `json:"jobs"`
+		Count int          `json:"count"`
+	}{Jobs: make([]statusJSON, len(sts)), Count: len(sts)}
+	for i, st := range sts {
+		out.Jobs[i] = statusToJSON(st)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func handleStatus(p *Pool, w http.ResponseWriter, r *http.Request) {

@@ -249,3 +249,49 @@ func TestHTTPFailedJobResult(t *testing.T) {
 		t.Fatalf("status: %v", st)
 	}
 }
+
+// TestHTTPListJobs covers GET /v1/jobs: history listing, state filter,
+// limit, and the 400 surface for bad parameters.
+func TestHTTPListJobs(t *testing.T) {
+	fake := &fakeBackend{}
+	registerFake(t, "fake.http_list", fake)
+	pool := NewPool(Options{Workers: 1, QueueDepth: 8, CacheSize: -1})
+	defer pool.Close()
+	h := NewHandler(pool)
+
+	var last string
+	for seed := uint64(1); seed <= 3; seed++ {
+		id, err := pool.Submit(annealBundle(t, "fake.http_list", 50, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pool.Wait(id); err != nil {
+			t.Fatal(err)
+		}
+		last = id
+	}
+
+	out := doJSON(t, h, "GET", "/v1/jobs", nil, http.StatusOK)
+	jobsList, ok := out["jobs"].([]any)
+	if !ok || len(jobsList) != 3 || out["count"] != float64(3) {
+		t.Fatalf("list: %v", out)
+	}
+	first, _ := jobsList[0].(map[string]any)
+	if first["id"] != last {
+		t.Fatalf("listing not newest-first: %v", first)
+	}
+	if st := first["state"]; st != string(StateDone) {
+		t.Fatalf("state: %v", st)
+	}
+
+	out = doJSON(t, h, "GET", "/v1/jobs?state=done&limit=2", nil, http.StatusOK)
+	if out["count"] != float64(2) {
+		t.Fatalf("filtered list: %v", out)
+	}
+	out = doJSON(t, h, "GET", "/v1/jobs?state=canceled", nil, http.StatusOK)
+	if out["count"] != float64(0) {
+		t.Fatalf("canceled list: %v", out)
+	}
+	doJSON(t, h, "GET", "/v1/jobs?state=bogus", nil, http.StatusBadRequest)
+	doJSON(t, h, "GET", "/v1/jobs?limit=-1", nil, http.StatusBadRequest)
+}

@@ -23,18 +23,49 @@
 // concurrent throughput is undisturbed. Submitters can pin an explicit
 // grant per job via SubmitOptions.
 //
-// cmd/qmlserve wraps a Pool in an HTTP server (see NewHandler); cmd/qmlrun
-// -parallel uses the same Pool for concurrent batch execution.
+// # Persistence and recovery
+//
+// With Options.Store attached (an internal/jobs/store journal + result
+// directory), accepted work is durable. Every lifecycle transition
+// appends one journal event — submitted (with the canonical bundle JSON),
+// started, done/failed/canceled, and forget when bounded retention evicts
+// a record — and completed results are written as content-addressed files
+// before the terminal event references them, so a "done" record on disk
+// never points at a missing result.
+//
+// The recovery guarantees, in order of the journal's fsync policy:
+//
+//   - A job terminal before the crash answers Status and Result after the
+//     restart exactly as before it (result loaded lazily from disk).
+//   - A job queued or running at crash time is requeued at boot under its
+//     original ID and re-run. Execution is deterministic in the cache key
+//     (bundle + shots + seed), so the re-run produces the counts the lost
+//     run would have: requeueing is invisible except in timing.
+//   - A torn final journal line (the append the crash interrupted) is
+//     dropped and truncated; it can only be a transition that was never
+//     acknowledged. Interior corruption fails Open loudly.
+//   - The LRU result cache rehydrates from the newest on-disk results at
+//     boot, and a memory-cache miss falls through to the disk store
+//     (Stats.DiskHits), so identical resubmissions across restarts still
+//     skip execution.
+//
+// cmd/qmlserve wraps a Pool in an HTTP server (see NewHandler) and wires
+// -data-dir to a store; cmd/qmlrun -parallel uses the same Pool for
+// concurrent batch execution.
 package jobs
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	stdruntime "runtime"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/bundle"
+	"repro/internal/jobs/store"
+	"repro/internal/qop"
 	"repro/internal/result"
 	rt "repro/internal/runtime"
 )
@@ -94,6 +125,16 @@ type Options struct {
 	// otherwise idle receives the full cap; jobs running alongside
 	// others receive one shard.
 	MaxShards int
+	// Store, when non-nil, makes the pool durable: every state
+	// transition appends to the store's journal, results persist as
+	// content-addressed files, and NewPool replays the journal —
+	// terminal jobs stay queryable across restarts, jobs that were
+	// queued or running at crash time are requeued, and the result
+	// cache rehydrates from disk. The pool does not close the store;
+	// the owner does, after Close returns. Journal append failures are
+	// counted (Stats.Errors) but never fail the job operation — the
+	// service degrades to in-memory rather than rejecting work.
+	Store *store.Store
 	// Run is forwarded to runtime.Submit for every job.
 	Run rt.Options
 }
@@ -166,6 +207,16 @@ type Stats struct {
 	WideJobs   uint64        `json:"wide_jobs"`
 	TotalQueue time.Duration `json:"total_queue_ns"`
 	TotalRun   time.Duration `json:"total_run_ns"`
+	// Persistence counters (all zero unless Options.Store is attached).
+	// Recovered counts job records restored from the journal at boot;
+	// Requeued counts the subset that was queued or running at crash
+	// time and re-entered the queue; DiskHits counts submissions served
+	// from an on-disk result that was no longer in the memory cache.
+	Recovered uint64 `json:"recovered"`
+	Requeued  uint64 `json:"requeued"`
+	DiskHits  uint64 `json:"disk_hits"`
+	// Journal/result-file counters from the attached store, inlined.
+	store.Stats
 }
 
 // job is the internal record; all fields after construction are guarded
@@ -181,6 +232,8 @@ type job struct {
 	shards    int    // submitter's explicit parallelism request (0 = scheduler)
 	granted   int    // shards granted when the job started running
 	waiters   []*job // identical submissions coalesced onto this running job
+	primary   *job   // the running job this one is attached to (waiters only)
+	resKey    string // content address of the on-disk result (recovered jobs)
 	err       error
 	res       *result.Result
 	submitted time.Time
@@ -216,7 +269,11 @@ type Pool struct {
 }
 
 // NewPool starts a pool with opts.Workers executor goroutines. Call Close
-// to drain and stop them.
+// to drain and stop them. When Options.Store is set, the store's journal
+// is replayed first: terminal jobs are re-exposed for Status/Result
+// lookups, jobs that were queued or running at crash time are requeued
+// (same job IDs, so pre-crash handles keep resolving), and the result
+// cache rehydrates from the on-disk result files.
 func NewPool(opts Options) *Pool {
 	opts = opts.withDefaults()
 	p := &Pool{
@@ -228,11 +285,109 @@ func NewPool(opts Options) *Pool {
 	if opts.CacheSize > 0 {
 		p.cache = newResultCache(opts.CacheSize)
 	}
+	if opts.Store != nil {
+		p.mu.Lock()
+		p.recoverLocked()
+		p.mu.Unlock()
+	}
 	for i := 0; i < opts.Workers; i++ {
 		p.wg.Add(1)
 		go p.worker()
 	}
 	return p
+}
+
+// journal appends a lifecycle event to the attached store. Persistence
+// failures are counted by the store and deliberately do not fail the job
+// operation: the pool degrades to in-memory service instead of rejecting
+// accepted work.
+func (p *Pool) journal(ev store.Event) {
+	if p.opts.Store == nil {
+		return
+	}
+	_ = p.opts.Store.Append(ev)
+}
+
+// recoverLocked replays the attached store's record table into the pool:
+// terminal records become queryable job records whose results load
+// lazily from disk, queued/running records are requeued (re-running a
+// requeued job is safe — execution is deterministic in the cache key, so
+// its counts are identical to what the lost run would have produced),
+// and the LRU cache warms from the newest on-disk results. Callers hold
+// p.mu; the workers have not started yet.
+func (p *Pool) recoverLocked() {
+	maxID := uint64(0)
+	for _, rec := range p.opts.Store.Records() {
+		var n uint64
+		if _, err := fmt.Sscanf(rec.Job, "job-%d", &n); err == nil && n > maxID {
+			maxID = n
+		}
+		j := &job{
+			id:        rec.Job,
+			key:       rec.Key,
+			engine:    rec.Engine,
+			submitted: rec.Submitted,
+			done:      make(chan struct{}),
+		}
+		p.stats.Recovered++
+		switch rec.State {
+		case store.StateDone:
+			j.state = StateDone
+			j.cacheHit = rec.CacheHit
+			j.coalesced = rec.Coalesced
+			j.granted = rec.Shards
+			j.started = rec.Started
+			j.finished = rec.Finished
+			j.resKey = rec.ResultKey
+			p.jobs[j.id] = j
+			p.finishLocked(j)
+		case store.StateFailed:
+			j.state = StateFailed
+			j.coalesced = rec.Coalesced
+			j.granted = rec.Shards
+			j.started = rec.Started
+			j.finished = rec.Finished
+			j.err = errors.New(rec.Error)
+			p.jobs[j.id] = j
+			p.finishLocked(j)
+		case store.StateCanceled:
+			j.state = StateCanceled
+			j.finished = rec.Finished
+			p.jobs[j.id] = j
+			p.finishLocked(j)
+		default: // queued or running at crash time: requeue
+			b, err := bundle.FromJSON(rec.Bundle, qop.ValidateOptions{AllowMidCircuit: p.opts.Run.AllowMidCircuit})
+			if err != nil {
+				// The journaled bundle no longer validates (schema drift,
+				// torn result of an older bug): surface it as a failed
+				// job instead of dropping the record on the floor.
+				j.state = StateFailed
+				j.err = fmt.Errorf("jobs: recovery: %w", err)
+				j.finished = time.Now()
+				p.stats.Failed++
+				p.jobs[j.id] = j
+				p.journal(store.Event{T: store.EvFailed, Job: j.id, At: j.finished, Error: j.err.Error()})
+				p.finishLocked(j)
+				continue
+			}
+			j.state = StateQueued
+			j.bundle = b
+			j.shards = rec.Pin // explicit grant requests survive the crash
+			p.jobs[j.id] = j
+			p.pending = append(p.pending, j)
+			p.stats.Requeued++
+		}
+	}
+	if maxID > p.nextID {
+		p.nextID = maxID
+	}
+	if p.cache != nil {
+		for _, key := range p.opts.Store.RecentResultKeys(p.opts.CacheSize) {
+			if res, ok, err := p.opts.Store.GetResult(key); err == nil && ok {
+				p.cache.put(key, res)
+			}
+		}
+	}
 }
 
 // SubmitOptions carry per-job execution hints.
@@ -276,6 +431,15 @@ func (p *Pool) submit(b *bundle.Bundle, o SubmitOptions) (Status, error) {
 		return Status{}, err
 	}
 	engine := resolveEngine(b)
+	// The journal records the canonical bundle JSON so a job that is
+	// queued or running at crash time can be reconstructed and requeued.
+	var rawBundle json.RawMessage
+	if p.opts.Store != nil {
+		rawBundle, err = json.Marshal(b)
+		if err != nil {
+			return Status{}, fmt.Errorf("jobs: marshal bundle: %w", err)
+		}
+	}
 	now := time.Now()
 
 	p.mu.Lock()
@@ -296,7 +460,17 @@ func (p *Pool) submit(b *bundle.Bundle, o SubmitOptions) (Status, error) {
 	}
 	p.stats.Submitted++
 	if p.cache != nil {
-		if res, ok := p.cache.get(key); ok {
+		res, hit := p.cache.get(key)
+		if !hit && p.opts.Store != nil {
+			// Second-level lookup: the result may live on disk (from a
+			// previous process life) without being in the memory LRU.
+			if dres, ok, derr := p.opts.Store.GetResult(key); derr == nil && ok {
+				res, hit = dres, true
+				p.cache.put(key, dres)
+				p.stats.DiskHits++
+			}
+		}
+		if hit {
 			j.state = StateDone
 			j.res = res
 			j.cacheHit = true
@@ -304,17 +478,22 @@ func (p *Pool) submit(b *bundle.Bundle, o SubmitOptions) (Status, error) {
 			p.stats.CacheHits++
 			p.stats.Completed++
 			p.jobs[j.id] = j
+			p.journalCacheHitLocked(j, res)
 			p.finishLocked(j)
 			return p.statusLocked(j), nil
 		}
 	}
 	// In-flight coalescing: an identical job is executing right now, so
 	// attach to its completion instead of queueing a duplicate run. The
-	// duplicate occupies no queue slot and exerts no backpressure.
+	// duplicate occupies no queue slot and exerts no backpressure. The
+	// journal still records it as an independent queued job: if the
+	// process dies before the primary finishes, the waiter requeues on
+	// its own at recovery.
 	if primary, ok := p.inflight[key]; ok {
-		primary.waiters = append(primary.waiters, j)
+		attachLocked(primary, j)
 		p.jobs[j.id] = j
 		p.stats.Coalesced++
+		p.journal(store.Event{T: store.EvSubmitted, Job: j.id, At: now, Key: key, Engine: engine, Bundle: rawBundle, Pin: o.Shards})
 		return p.statusLocked(j), nil
 	}
 	if len(p.pending) >= p.opts.QueueDepth {
@@ -324,8 +503,31 @@ func (p *Pool) submit(b *bundle.Bundle, o SubmitOptions) (Status, error) {
 	}
 	p.pending = append(p.pending, j)
 	p.jobs[j.id] = j
+	p.journal(store.Event{T: store.EvSubmitted, Job: j.id, At: now, Key: key, Engine: engine, Bundle: rawBundle, Pin: o.Shards})
 	p.cond.Signal()
 	return p.statusLocked(j), nil
+}
+
+// attachLocked coalesces j onto the running primary. Callers hold p.mu.
+func attachLocked(primary, j *job) {
+	j.primary = primary
+	primary.waiters = append(primary.waiters, j)
+}
+
+// journalCacheHitLocked records a submission that was born terminal from
+// the result cache: a submitted event (no bundle — nothing will ever
+// requeue it) followed by a done event referencing the content-addressed
+// result, which is written to disk first if some earlier process life
+// never persisted it. Callers hold p.mu.
+func (p *Pool) journalCacheHitLocked(j *job, res *result.Result) {
+	if p.opts.Store == nil {
+		return
+	}
+	if !p.opts.Store.HasResult(j.key) {
+		_ = p.opts.Store.PutResult(j.key, res)
+	}
+	p.journal(store.Event{T: store.EvSubmitted, Job: j.id, At: j.submitted, Key: j.key, Engine: j.engine})
+	p.journal(store.Event{T: store.EvDone, Job: j.id, At: j.finished, Engine: j.engine, CacheHit: true, Result: j.key})
 }
 
 // finishLocked marks a job terminal: closes its done channel, drops the
@@ -341,8 +543,13 @@ func (p *Pool) finishLocked(j *job) {
 	}
 	p.terminal = append(p.terminal, j.id)
 	for len(p.terminal) > p.opts.MaxRecords {
-		delete(p.jobs, p.terminal[0])
+		evicted := p.terminal[0]
+		delete(p.jobs, evicted)
 		p.terminal = p.terminal[1:]
+		// Keep the journal's record table in lockstep with the pool's
+		// bounded retention, so compaction can drop the evicted job's
+		// lines and restarts replay the same bounded history.
+		p.journal(store.Event{T: store.EvForget, Job: evicted, At: time.Now()})
 	}
 }
 
@@ -381,15 +588,23 @@ func (p *Pool) runJob(j *job) {
 			p.stats.TotalQueue += j.finished.Sub(j.submitted)
 			p.stats.CacheHits++
 			p.stats.Completed++
+			if p.opts.Store != nil {
+				if !p.opts.Store.HasResult(j.key) {
+					_ = p.opts.Store.PutResult(j.key, res)
+				}
+				p.journal(store.Event{T: store.EvDone, Job: j.id, At: j.finished, Engine: j.engine, CacheHit: true, Result: j.key})
+			}
 			p.finishLocked(j)
 			p.mu.Unlock()
 			return
 		}
 	}
 	// Coalesce at dequeue time too: an identical job that was queued
-	// behind this one's twin is attached rather than re-executed.
+	// behind this one's twin is attached rather than re-executed. No
+	// journal event — the job stays "queued" on disk and would requeue
+	// standalone after a crash.
 	if primary, ok := p.inflight[j.key]; ok && primary != j {
-		primary.waiters = append(primary.waiters, j)
+		attachLocked(primary, j)
 		p.stats.Coalesced++
 		p.mu.Unlock()
 		return
@@ -417,11 +632,21 @@ func (p *Pool) runJob(j *job) {
 		p.stats.WideJobs++
 	}
 	p.stats.TotalQueue += j.started.Sub(j.submitted)
+	p.journal(store.Event{T: store.EvStarted, Job: j.id, At: j.started, Shards: granted})
 	runOpts := p.opts.Run
 	runOpts.Shards = granted
 	p.mu.Unlock()
 
 	res, err := rt.Submit(j.bundle, runOpts)
+
+	// Persist the result before journaling the terminal transition, so a
+	// "done" record on disk never references a missing result file. A
+	// crash in between replays as "running" and simply re-runs the job —
+	// deterministic in the cache key, so the rerun's counts are
+	// identical.
+	if err == nil && res != nil && p.opts.Store != nil {
+		_ = p.opts.Store.PutResult(j.key, res)
+	}
 
 	p.mu.Lock()
 	j.finished = time.Now()
@@ -434,6 +659,7 @@ func (p *Pool) runJob(j *job) {
 		j.state = StateFailed
 		j.err = err
 		p.stats.Failed++
+		p.journal(store.Event{T: store.EvFailed, Job: j.id, At: j.finished, Engine: j.engine, Error: err.Error()})
 	} else {
 		j.state = StateDone
 		j.res = res
@@ -444,6 +670,7 @@ func (p *Pool) runJob(j *job) {
 		if p.cache != nil {
 			p.cache.put(j.key, res)
 		}
+		p.journal(store.Event{T: store.EvDone, Job: j.id, At: j.finished, Engine: j.engine, Result: j.key})
 	}
 	p.finishLocked(j)
 	waiters := j.waiters
@@ -457,7 +684,10 @@ func (p *Pool) runJob(j *job) {
 	// race with another consumer of the same execution) are made outside
 	// the critical section: the waiter count is not bounded by the queue
 	// depth, and the pool lock must not be held for O(waiters × result).
-	// The inflight entry is already gone, so no new duplicate can attach.
+	// The inflight entry is already gone, so no new duplicate can attach;
+	// Cancel detaches waiters from j.waiters, but that slice is already
+	// severed, so a waiter canceled in this window is caught by the state
+	// check below instead.
 	copies := make([]*result.Result, len(waiters))
 	if err == nil && res != nil {
 		for i := range waiters {
@@ -469,6 +699,7 @@ func (p *Pool) runJob(j *job) {
 		if w.state != StateQueued { // canceled while attached
 			continue
 		}
+		w.primary = nil
 		w.finished = j.finished
 		w.coalesced = true
 		w.engine = j.engine
@@ -476,10 +707,12 @@ func (p *Pool) runJob(j *job) {
 			w.state = StateFailed
 			w.err = err
 			p.stats.Failed++
+			p.journal(store.Event{T: store.EvFailed, Job: w.id, At: w.finished, Engine: w.engine, Coalesced: true, Error: err.Error()})
 		} else {
 			w.state = StateDone
 			w.res = copies[i]
 			p.stats.Completed++
+			p.journal(store.Event{T: store.EvDone, Job: w.id, At: w.finished, Engine: w.engine, Coalesced: true, Result: w.key})
 		}
 		p.stats.TotalQueue += w.finished.Sub(w.submitted)
 		p.finishLocked(w)
@@ -541,6 +774,18 @@ func (p *Pool) Result(id string) (*result.Result, error) {
 	}
 	switch j.state {
 	case StateDone:
+		// A job recovered from the journal holds only the content
+		// address of its result; load the file on first access.
+		if j.res == nil && j.resKey != "" && p.opts.Store != nil {
+			res, ok, err := p.opts.Store.GetResult(j.resKey)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("jobs: result file for %q (%s) is gone", id, j.resKey)
+			}
+			j.res = res
+		}
 		return j.res, nil
 	case StateFailed:
 		return nil, j.err
@@ -551,9 +796,11 @@ func (p *Pool) Result(id string) (*result.Result, error) {
 	}
 }
 
-// Cancel cancels a job that is still in the queue. Running jobs cannot be
-// preempted (the backends are synchronous), and terminal jobs cannot be
-// canceled.
+// Cancel cancels a job that is still in the queue, including a duplicate
+// that coalesced onto a running primary: the duplicate detaches and
+// cancels alone — the primary and any other attached duplicates are
+// untouched. Running jobs cannot be preempted (the backends are
+// synchronous), and terminal jobs cannot be canceled.
 func (p *Pool) Cancel(id string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -563,18 +810,34 @@ func (p *Pool) Cancel(id string) error {
 	}
 	switch j.state {
 	case StateQueued:
-		// Drop the job from the pending FIFO (if a worker has not
-		// already popped it) so the queue slot frees immediately and
-		// backpressure relaxes without waiting for a worker.
-		for i, q := range p.pending {
-			if q == j {
-				p.pending = append(p.pending[:i], p.pending[i+1:]...)
-				break
+		if j.primary != nil {
+			// Coalesced duplicate: detach only this waiter so the
+			// primary stops referencing it (a long-running primary must
+			// not pin every canceled duplicate in memory) and its
+			// completion sweep no longer considers it.
+			ws := j.primary.waiters
+			for i, w := range ws {
+				if w == j {
+					j.primary.waiters = append(ws[:i], ws[i+1:]...)
+					break
+				}
+			}
+			j.primary = nil
+		} else {
+			// Drop the job from the pending FIFO (if a worker has not
+			// already popped it) so the queue slot frees immediately and
+			// backpressure relaxes without waiting for a worker.
+			for i, q := range p.pending {
+				if q == j {
+					p.pending = append(p.pending[:i], p.pending[i+1:]...)
+					break
+				}
 			}
 		}
 		j.state = StateCanceled
 		j.finished = time.Now()
 		p.stats.Canceled++
+		p.journal(store.Event{T: store.EvCanceled, Job: j.id, At: j.finished})
 		p.finishLocked(j)
 		return nil
 	case StateRunning:
@@ -601,7 +864,8 @@ func (p *Pool) Wait(id string) (Status, error) {
 	return p.statusLocked(j), nil
 }
 
-// Stats returns a snapshot of the pool's aggregate counters.
+// Stats returns a snapshot of the pool's aggregate counters, including
+// the attached store's journal/result-file counters when persistent.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -614,11 +878,42 @@ func (p *Pool) Stats() Stats {
 	if p.cache != nil {
 		s.CacheSize = p.cache.len()
 	}
+	if p.opts.Store != nil {
+		s.Stats = p.opts.Store.Stats()
+	}
 	return s
 }
 
+// List returns status snapshots of every job the pool still tracks,
+// newest first (job IDs are monotonic). A non-empty state filters; limit
+// caps the result (<= 0: no cap).
+func (p *Pool) List(state State, limit int) []Status {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ids := make([]string, 0, len(p.jobs))
+	for id, j := range p.jobs {
+		if state != "" && j.state != state {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(ids)))
+	if limit > 0 && len(ids) > limit {
+		ids = ids[:limit]
+	}
+	out := make([]Status, len(ids))
+	for i, id := range ids {
+		out[i] = p.statusLocked(p.jobs[id])
+	}
+	return out
+}
+
 // Close stops accepting submissions, drains the queue, and waits for the
-// workers to exit. Jobs still queued at Close time are executed.
+// workers to exit. Jobs still queued at Close time are executed; their
+// waiters complete with them. Submissions arriving while the pool drains
+// fail fast with ErrClosed — they never block on the dying queue. The
+// attached store (if any) is flushed to disk before Close returns, but
+// not closed: the owner closes it once no more journaling can happen.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	if !p.closed {
@@ -627,6 +922,9 @@ func (p *Pool) Close() {
 	}
 	p.mu.Unlock()
 	p.wg.Wait()
+	if p.opts.Store != nil {
+		_ = p.opts.Store.Sync()
+	}
 }
 
 // resolveEngine mirrors runtime.Submit's engine selection for status

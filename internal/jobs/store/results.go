@@ -1,0 +1,181 @@
+package store
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/result"
+)
+
+// resultPath maps a content address ("sha256:<hex>") to its file. The hex
+// digest is validated so a hostile key cannot escape the results
+// directory.
+func (s *Store) resultPath(key string) (string, error) {
+	digest, ok := strings.CutPrefix(key, "sha256:")
+	if !ok || digest == "" {
+		return "", fmt.Errorf("store: result key %q lacks sha256: prefix", key)
+	}
+	if _, err := hex.DecodeString(digest); err != nil {
+		return "", fmt.Errorf("store: result key %q is not hex", key)
+	}
+	return filepath.Join(s.dir, "results", digest+".json"), nil
+}
+
+// PutResult writes the result under its content address via temp file +
+// atomic rename (fsynced unless SyncNone). Writing the same key twice is
+// idempotent.
+func (s *Store) PutResult(key string, res *result.Result) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path, err := s.resultPath(key)
+	if err != nil {
+		s.stats.Errors++
+		return err
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		s.stats.Errors++
+		return fmt.Errorf("store: result %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "result-*.tmp")
+	if err != nil {
+		s.stats.Errors++
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		s.stats.Errors++
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.opts.Sync != SyncNone {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			s.stats.Errors++
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		s.stats.Errors++
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		s.stats.Errors++
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.opts.Sync != SyncNone {
+		syncDir(filepath.Dir(path))
+	}
+	return nil
+}
+
+// GetResult loads a result by content address; ok=false when no file
+// exists for the key.
+func (s *Store) GetResult(key string) (*result.Result, bool, error) {
+	path, err := s.resultPath(key)
+	if err != nil {
+		return nil, false, err
+	}
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	var res result.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, false, fmt.Errorf("store: result %s: %w", key, err)
+	}
+	return &res, true, nil
+}
+
+// HasResult reports whether a result file exists for the key.
+func (s *Store) HasResult(key string) bool {
+	path, err := s.resultPath(key)
+	if err != nil {
+		return false
+	}
+	_, err = os.Stat(path)
+	return err == nil
+}
+
+// RecentResultKeys returns up to n result content addresses ordered
+// oldest→newest by file modification time, the order the pool feeds its
+// LRU on boot so the most recent result ends up most-recently-used
+// (n <= 0: all).
+func (s *Store) RecentResultKeys(n int) []string {
+	type entry struct {
+		key string
+		mod int64
+	}
+	var entries []entry
+	for _, de := range s.resultDirEntries() {
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		entries = append(entries, entry{"sha256:" + strings.TrimSuffix(de.Name(), ".json"), info.ModTime().UnixNano()})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mod < entries[j].mod })
+	if n > 0 && len(entries) > n {
+		entries = entries[len(entries)-n:]
+	}
+	keys := make([]string, len(entries))
+	for i, e := range entries {
+		keys[i] = e.key
+	}
+	return keys
+}
+
+func (s *Store) resultDirEntries() []os.DirEntry {
+	des, err := os.ReadDir(filepath.Join(s.dir, "results"))
+	if err != nil {
+		return nil
+	}
+	out := des[:0]
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".json") {
+			out = append(out, de)
+		}
+	}
+	return out
+}
+
+func (s *Store) countResults() int { return len(s.resultDirEntries()) }
+
+// gcResults deletes unreferenced result files beyond Options.MaxResults,
+// oldest first. Files referenced by a live record are always kept.
+func (s *Store) gcResults() {
+	if s.opts.MaxResults < 0 {
+		return
+	}
+	referenced := map[string]bool{}
+	for _, r := range s.records {
+		if r.ResultKey != "" {
+			referenced[r.ResultKey] = true
+		}
+		if r.Key != "" {
+			referenced[r.Key] = true
+		}
+	}
+	keys := s.RecentResultKeys(0) // oldest first
+	excess := len(keys) - s.opts.MaxResults
+	for _, key := range keys {
+		if excess <= 0 {
+			break
+		}
+		if referenced[key] {
+			continue
+		}
+		if path, err := s.resultPath(key); err == nil && os.Remove(path) == nil {
+			excess--
+		}
+	}
+}

@@ -1,0 +1,573 @@
+// Package store is the serving layer's persistence subsystem: an
+// append-only JSONL journal of job lifecycle events plus content-addressed
+// result files, giving jobs.Pool (and cmd/qmlserve via -data-dir) durable
+// job history and crash-safe restarts.
+//
+// # Journal
+//
+// Every job state transition appends one JSON line to journal.jsonl:
+// submitted (with the canonical bundle JSON, cache key and engine),
+// started (with the shard grant), done (with the result's content
+// address), failed (with the error), canceled, and forget (record
+// eviction). Replay folds the lines into a per-job Record table with
+// last-writer-wins merge semantics, so the same rules decode both a live
+// journal and a compacted one. The submitted event carries the full
+// bundle so a job that was queued or running at crash time can be
+// reconstructed and requeued by the pool — accepted work is never
+// silently dropped. Terminal events drop the bundle from the table (only
+// status and the result address are needed afterwards).
+//
+// A truncated final line — the torn write of a crash mid-append — is
+// tolerated: replay drops it and Open truncates the file back to the last
+// complete line before appending resumes. A corrupt line that is *not*
+// final fails Open, because silently skipping interior records would
+// fabricate history.
+//
+// # Fsync policy
+//
+// The policy is explicit (Options.Sync): SyncAlways (default) fsyncs the
+// journal after every event, so an acknowledged submission survives a
+// crash of the very next instruction; SyncTerminal fsyncs only submitted
+// and terminal events (a lost started event merely re-runs the job);
+// SyncNone leaves flushing to the OS. Result files and compaction renames
+// are always written via temp-file + rename, and fsynced unless SyncNone.
+//
+// The pool journals inside its own critical sections, which keeps the
+// event order trivially equal to the transition order but puts the fsync
+// on the submission path: under SyncAlways, sustained submission
+// throughput is bounded by disk sync latency. That is the intended
+// trade for a simulator whose jobs run milliseconds to seconds; a
+// group-commit writer (batch appends, one fsync per batch, submitters
+// await their barrier) is the known next step if the journal ever
+// becomes the bottleneck.
+//
+// # Compaction
+//
+// The journal grows by one line per transition while the record table is
+// bounded (the pool forgets evicted records). Once file lines exceed
+// compactFactor× the live table (plus a floor), Append rewrites the
+// journal from the table — at most three events per record — through a
+// temp file and atomic rename. Unreferenced result files beyond
+// Options.MaxResults are garbage-collected at the same time, oldest
+// first.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when the journal is fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every appended event (default).
+	SyncAlways SyncPolicy = iota
+	// SyncTerminal fsyncs after submitted and terminal events only.
+	SyncTerminal
+	// SyncNone never fsyncs; the OS flushes when it pleases.
+	SyncNone
+)
+
+// ParseSyncPolicy maps the qmlserve -fsync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "terminal":
+		return SyncTerminal, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync policy %q (want always|terminal|none)", s)
+}
+
+// Event types journaled by the pool.
+const (
+	EvSubmitted = "submitted"
+	EvStarted   = "started"
+	EvDone      = "done"
+	EvFailed    = "failed"
+	EvCanceled  = "canceled"
+	EvForget    = "forget"
+)
+
+// Job states as recorded in the journal (mirrors jobs.State without the
+// import cycle).
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Event is one journal line.
+type Event struct {
+	T   string    `json:"t"`
+	Job string    `json:"job"`
+	At  time.Time `json:"at"`
+	// Submitted fields. Pin is the submitter's explicit parallelism
+	// request (SubmitOptions.Shards), preserved so a requeued job keeps
+	// its sizing after a crash.
+	Key    string          `json:"key,omitempty"`
+	Engine string          `json:"engine,omitempty"`
+	Bundle json.RawMessage `json:"bundle,omitempty"`
+	Pin    int             `json:"pin,omitempty"`
+	// Started fields.
+	Shards int `json:"shards,omitempty"`
+	// Terminal fields.
+	CacheHit  bool   `json:"cache_hit,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Result    string `json:"result,omitempty"` // content address of the result file
+}
+
+// Record is the folded journal state of one job.
+type Record struct {
+	Job       string
+	Key       string
+	Engine    string
+	State     string
+	Bundle    json.RawMessage // retained only while queued/running
+	Pin       int             // submitter's explicit shard request
+	Shards    int
+	CacheHit  bool
+	Coalesced bool
+	Error     string
+	ResultKey string
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+}
+
+// Terminal reports whether the record's state is final.
+func (r *Record) Terminal() bool {
+	return r.State == StateDone || r.State == StateFailed || r.State == StateCanceled
+}
+
+// Stats are the persistence counters surfaced through /v1/stats.
+type Stats struct {
+	// Events counts journal lines appended since Open (not replayed ones).
+	Events uint64 `json:"journal_events"`
+	// Lines is the current journal file length in events.
+	Lines int `json:"journal_lines"`
+	// Compactions counts journal rewrites since Open.
+	Compactions uint64 `json:"journal_compactions"`
+	// Errors counts append/compaction failures the pool chose to survive.
+	Errors uint64 `json:"journal_errors"`
+	// Records is the live record-table size.
+	Records int `json:"journal_records"`
+	// Results is the number of result files on disk.
+	Results int `json:"disk_results"`
+	// TruncatedTail is 1 if Open dropped a torn final journal line.
+	TruncatedTail int `json:"journal_truncated_tail"`
+}
+
+// Options configure Open. The zero value is usable: SyncAlways, a 4×
+// compaction factor, and 4096 retained result files.
+type Options struct {
+	Sync SyncPolicy
+	// CompactFactor triggers compaction when journal lines exceed this
+	// multiple of the record table (plus a fixed floor); values < 2 are
+	// raised to 2.
+	CompactFactor int
+	// MaxResults bounds result files kept through compaction; files
+	// referenced by a live record are always kept (default 4096; negative
+	// retains everything).
+	MaxResults int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CompactFactor < 2 {
+		if o.CompactFactor != 0 {
+			o.CompactFactor = 2
+		} else {
+			o.CompactFactor = 4
+		}
+	}
+	if o.MaxResults == 0 {
+		o.MaxResults = 4096
+	}
+	return o
+}
+
+// compactFloor keeps tiny journals from compacting on every append.
+const compactFloor = 64
+
+// Store is a journal + result-file directory owned by one process. All
+// methods are safe for concurrent use (the pool journals under its own
+// lock but writes result files from worker goroutines).
+type Store struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File // journal, opened O_APPEND
+	lines   int
+	records map[string]*Record
+	stats   Stats
+}
+
+// Open creates dir (and its results/ subdirectory) if needed, replays the
+// journal into the record table, truncates a torn final line, and leaves
+// the journal open for appending.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(filepath.Join(dir, "results"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts, records: map[string]*Record{}}
+	if err := s.replay(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(s.journalPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.f = f
+	return s, nil
+}
+
+func (s *Store) journalPath() string { return filepath.Join(s.dir, "journal.jsonl") }
+
+// replay folds journal.jsonl into the record table. A torn final line is
+// dropped and the file truncated to the last complete line; a corrupt
+// interior line is a hard error.
+func (s *Store) replay() error {
+	raw, err := os.ReadFile(s.journalPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	good := 0 // byte offset past the last successfully applied line
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		lineEnd := good + len(line)
+		if lineEnd < len(raw) { // the scanner consumed a trailing '\n'
+			lineEnd++
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			good = lineEnd
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil || ev.T == "" || ev.Job == "" {
+			// Only the final line may be torn (a crash mid-append writes a
+			// partial tail, never garbage with valid records after it).
+			if lineEnd < len(raw) && len(bytes.TrimSpace(raw[lineEnd:])) > 0 {
+				return fmt.Errorf("store: corrupt journal line at byte %d: %s", good, truncateForErr(line))
+			}
+			s.stats.TruncatedTail = 1
+			if terr := os.Truncate(s.journalPath(), int64(good)); terr != nil {
+				return fmt.Errorf("store: truncating torn journal tail: %w", terr)
+			}
+			return nil
+		}
+		s.apply(ev)
+		s.lines++
+		good = lineEnd
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// A file not ending in '\n' had its tail handled above; if the last
+	// line parsed but lacked the newline, re-terminate it so the next
+	// append starts a fresh line.
+	if len(raw) > 0 && raw[len(raw)-1] != '\n' && good == len(raw) {
+		f, err := os.OpenFile(s.journalPath(), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		_, werr := f.WriteString("\n")
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			return fmt.Errorf("store: re-terminating journal: %v/%v", werr, cerr)
+		}
+	}
+	return nil
+}
+
+func truncateForErr(line []byte) string {
+	const max = 120
+	if len(line) > max {
+		return string(line[:max]) + "…"
+	}
+	return string(line)
+}
+
+// apply merges one event into the record table (last writer wins).
+func (s *Store) apply(ev Event) {
+	if ev.T == EvForget {
+		delete(s.records, ev.Job)
+		return
+	}
+	r := s.records[ev.Job]
+	if r == nil {
+		r = &Record{Job: ev.Job, State: StateQueued}
+		s.records[ev.Job] = r
+	}
+	switch ev.T {
+	case EvSubmitted:
+		r.State = StateQueued
+		r.Key = ev.Key
+		r.Engine = ev.Engine
+		r.Bundle = ev.Bundle
+		r.Pin = ev.Pin
+		r.Submitted = ev.At
+	case EvStarted:
+		r.State = StateRunning
+		r.Started = ev.At
+		r.Shards = ev.Shards
+	case EvDone, EvFailed, EvCanceled:
+		switch ev.T {
+		case EvDone:
+			r.State = StateDone
+			r.ResultKey = ev.Result
+		case EvFailed:
+			r.State = StateFailed
+			r.Error = ev.Error
+		case EvCanceled:
+			r.State = StateCanceled
+		}
+		if ev.Engine != "" {
+			r.Engine = ev.Engine
+		}
+		r.CacheHit = ev.CacheHit
+		r.Coalesced = ev.Coalesced
+		r.Finished = ev.At
+		r.Bundle = nil // only status + result address matter now
+	}
+}
+
+// Append journals one event: table merge, file append, fsync per policy,
+// and compaction when terminal/obsolete lines dominate the live table.
+func (s *Store) Append(ev Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.append(ev); err != nil {
+		s.stats.Errors++
+		return err
+	}
+	if s.lines > s.opts.CompactFactor*len(s.records)+compactFloor {
+		if err := s.compact(); err != nil {
+			s.stats.Errors++
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) append(ev Event) error {
+	if s.f == nil {
+		return errors.New("store: journal dead (lost during a failed compaction)")
+	}
+	raw, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := s.f.Write(append(raw, '\n')); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.syncEvent(ev.T) {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	s.apply(ev)
+	s.lines++
+	s.stats.Events++
+	return nil
+}
+
+func (s *Store) syncEvent(t string) bool {
+	switch s.opts.Sync {
+	case SyncAlways:
+		return true
+	case SyncTerminal:
+		return t != EvStarted
+	}
+	return false
+}
+
+// Compact rewrites the journal from the record table (at most three
+// events per record) through a temp file and atomic rename, then
+// garbage-collects unreferenced result files beyond Options.MaxResults.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compact()
+}
+
+func (s *Store) compact() error {
+	tmp, err := os.CreateTemp(s.dir, "journal-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	jobs := make([]string, 0, len(s.records))
+	for id := range s.records {
+		jobs = append(jobs, id)
+	}
+	sort.Strings(jobs)
+	written := 0
+	for _, id := range jobs {
+		for _, ev := range recordEvents(s.records[id]) {
+			raw, err := json.Marshal(ev)
+			if err != nil {
+				tmp.Close()
+				return fmt.Errorf("store: compact: %w", err)
+			}
+			if _, err := w.Write(append(raw, '\n')); err != nil {
+				tmp.Close()
+				return fmt.Errorf("store: compact: %w", err)
+			}
+			written++
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if s.opts.Sync != SyncNone {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: compact: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	// Swap order matters for failure atomicity: rename over the live
+	// journal first (the old handle keeps working until then, so a
+	// rename failure leaves the store fully functional on the old file),
+	// open the new inode, and only then retire the old handle. If the
+	// reopen fails the old handle points at the unlinked inode — appends
+	// there would vanish silently — so the store goes dead loudly
+	// instead (every later Append errors) rather than lying.
+	if err := os.Rename(tmp.Name(), s.journalPath()); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if s.opts.Sync != SyncNone {
+		syncDir(s.dir)
+	}
+	f, err := os.OpenFile(s.journalPath(), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.f.Close()
+		s.f = nil
+		return fmt.Errorf("store: compact: reopening journal: %w", err)
+	}
+	s.f.Close()
+	s.f = f
+	s.lines = written
+	s.stats.Compactions++
+	s.gcResults()
+	return nil
+}
+
+// recordEvents renders a record back into the minimal event sequence that
+// replays to the same state.
+func recordEvents(r *Record) []Event {
+	evs := []Event{{
+		T: EvSubmitted, Job: r.Job, At: r.Submitted,
+		Key: r.Key, Engine: r.Engine, Bundle: r.Bundle, Pin: r.Pin,
+	}}
+	if !r.Started.IsZero() {
+		evs = append(evs, Event{T: EvStarted, Job: r.Job, At: r.Started, Shards: r.Shards})
+	}
+	switch r.State {
+	case StateDone:
+		evs = append(evs, Event{
+			T: EvDone, Job: r.Job, At: r.Finished, Engine: r.Engine,
+			CacheHit: r.CacheHit, Coalesced: r.Coalesced, Result: r.ResultKey,
+		})
+	case StateFailed:
+		evs = append(evs, Event{
+			T: EvFailed, Job: r.Job, At: r.Finished, Engine: r.Engine,
+			Coalesced: r.Coalesced, Error: r.Error,
+		})
+	case StateCanceled:
+		evs = append(evs, Event{T: EvCanceled, Job: r.Job, At: r.Finished})
+	}
+	return evs
+}
+
+// Records returns the replayed job records sorted by job ID.
+func (s *Store) Records() []*Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Record, 0, len(s.records))
+	for _, r := range s.records {
+		cp := *r
+		out = append(out, &cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Job < out[j].Job })
+	return out
+}
+
+// Stats snapshots the persistence counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Lines = s.lines
+	st.Records = len(s.records)
+	st.Results = s.countResults()
+	return st
+}
+
+// Sync flushes the journal to disk regardless of policy.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errors.New("store: journal dead (lost during a failed compaction)")
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Close fsyncs (unless SyncNone) and closes the journal.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	if s.opts.Sync != SyncNone {
+		if err := s.f.Sync(); err != nil {
+			s.f.Close()
+			s.f = nil
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	err := s.f.Close()
+	s.f = nil
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// syncDir best-effort fsyncs a directory after a rename.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,325 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/result"
+)
+
+func tstamp(i int) time.Time {
+	return time.Date(2026, 7, 27, 12, 0, i, 0, time.UTC)
+}
+
+func sampleResult(seed int) *result.Result {
+	return &result.Result{
+		Engine:  "fake.store",
+		Samples: 100,
+		Entries: []result.Entry{
+			{Bitstring: "0101", Index: uint64(seed % 16), Count: 60},
+			{Bitstring: "1010", Index: uint64((seed + 5) % 16), Count: 40},
+		},
+	}
+}
+
+func sampleKey(i int) string {
+	return "sha256:" + strings.Repeat(fmt.Sprintf("%02x", i), 32)
+}
+
+// TestKillAndReopen appends a mixed lifecycle, reopens the directory
+// WITHOUT closing the first store (the crash image: O_APPEND writes are
+// in the file the moment Append returns), and checks the replayed table.
+func TestKillAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle := json.RawMessage(`{"fake":"bundle"}`)
+	evs := []Event{
+		{T: EvSubmitted, Job: "job-00000001", At: tstamp(1), Key: sampleKey(1), Engine: "e", Bundle: bundle},
+		{T: EvStarted, Job: "job-00000001", At: tstamp(2), Shards: 4},
+		{T: EvDone, Job: "job-00000001", At: tstamp(3), Engine: "e", Result: sampleKey(1)},
+		{T: EvSubmitted, Job: "job-00000002", At: tstamp(4), Key: sampleKey(2), Engine: "e", Bundle: bundle},
+		{T: EvStarted, Job: "job-00000002", At: tstamp(5), Shards: 1},
+		{T: EvSubmitted, Job: "job-00000003", At: tstamp(6), Key: sampleKey(3), Engine: "e", Bundle: bundle},
+		{T: EvSubmitted, Job: "job-00000004", At: tstamp(7), Key: sampleKey(4), Engine: "e", Bundle: bundle},
+		{T: EvFailed, Job: "job-00000004", At: tstamp(8), Error: "boom"},
+		{T: EvSubmitted, Job: "job-00000005", At: tstamp(9), Key: sampleKey(5), Engine: "e", Bundle: bundle},
+		{T: EvCanceled, Job: "job-00000005", At: tstamp(10)},
+		{T: EvSubmitted, Job: "job-00000006", At: tstamp(11), Key: sampleKey(6), Engine: "e", Bundle: bundle},
+		{T: EvForget, Job: "job-00000006", At: tstamp(12)},
+	}
+	for _, ev := range evs {
+		if err := s.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.PutResult(sampleKey(1), sampleResult(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no Close. Reopen the same directory.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	recs := s2.Records()
+	if len(recs) != 5 {
+		t.Fatalf("replayed %d records, want 5 (forgotten job dropped): %+v", len(recs), recs)
+	}
+	byJob := map[string]*Record{}
+	for _, r := range recs {
+		byJob[r.Job] = r
+	}
+	r1 := byJob["job-00000001"]
+	if r1.State != StateDone || r1.ResultKey != sampleKey(1) || !r1.Terminal() {
+		t.Fatalf("job 1: %+v", r1)
+	}
+	if r1.Bundle != nil {
+		t.Fatal("terminal record must drop the bundle")
+	}
+	if !r1.Submitted.Equal(tstamp(1)) || !r1.Started.Equal(tstamp(2)) || !r1.Finished.Equal(tstamp(3)) {
+		t.Fatalf("job 1 timings: %+v", r1)
+	}
+	if r2 := byJob["job-00000002"]; r2.State != StateRunning || string(r2.Bundle) != string(bundle) || r2.Shards != 1 {
+		t.Fatalf("job 2: %+v", r2)
+	}
+	if r3 := byJob["job-00000003"]; r3.State != StateQueued || string(r3.Bundle) != string(bundle) {
+		t.Fatalf("job 3: %+v", r3)
+	}
+	if r4 := byJob["job-00000004"]; r4.State != StateFailed || r4.Error != "boom" {
+		t.Fatalf("job 4: %+v", r4)
+	}
+	if r5 := byJob["job-00000005"]; r5.State != StateCanceled {
+		t.Fatalf("job 5: %+v", r5)
+	}
+	res, ok, err := s2.GetResult(sampleKey(1))
+	if err != nil || !ok {
+		t.Fatalf("result: %v ok=%v", err, ok)
+	}
+	if !reflect.DeepEqual(res, sampleResult(1)) {
+		t.Fatalf("result round-trip: %+v", res)
+	}
+}
+
+// TestTruncatedFinalLineTolerated simulates the torn write of a crash
+// mid-append: the final journal line is a partial record. Replay must
+// drop it (and only it), truncate the file, and keep appending cleanly.
+func TestTruncatedFinalLineTolerated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		ev := Event{T: EvSubmitted, Job: fmt.Sprintf("job-%08d", i), At: tstamp(i), Key: sampleKey(i)}
+		if err := s.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Torn tail: half a JSON object, no newline.
+	f, err := os.OpenFile(filepath.Join(dir, "journal.jsonl"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"t":"submitted","job":"job-0000`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("torn tail must not fail the boot: %v", err)
+	}
+	if got := len(s2.Records()); got != 3 {
+		t.Fatalf("replayed %d records, want 3 (torn line dropped)", got)
+	}
+	if s2.Stats().TruncatedTail != 1 {
+		t.Fatal("truncated tail not reported in stats")
+	}
+	// The file was truncated back to the last good line: appending and
+	// reopening must parse cleanly.
+	if err := s2.Append(Event{T: EvSubmitted, Job: "job-00000009", At: tstamp(9), Key: sampleKey(9)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if got := len(s3.Records()); got != 4 {
+		t.Fatalf("after truncate+append: %d records, want 4", got)
+	}
+	if s3.Stats().TruncatedTail != 0 {
+		t.Fatal("clean journal reported a truncated tail")
+	}
+}
+
+// TestCorruptInteriorLineFailsBoot: only the FINAL line may be torn;
+// garbage with valid records after it means real corruption and must not
+// be silently skipped.
+func TestCorruptInteriorLineFailsBoot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Event{T: EvSubmitted, Job: "job-00000001", At: tstamp(1), Key: sampleKey(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "journal.jsonl")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := append([]byte("{\"t\":\"subm\n"), raw...)
+	if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("interior corruption must fail Open")
+	}
+}
+
+// TestCompaction drives the journal past the compaction threshold with
+// repeated submit/cancel churn on a small live table and checks the file
+// shrinks while replaying to the same state.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Sync: SyncNone, CompactFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two long-lived records plus heavy churn of forgotten jobs.
+	for i := 1; i <= 2; i++ {
+		ev := Event{T: EvSubmitted, Job: fmt.Sprintf("job-%08d", i), At: tstamp(i), Key: sampleKey(i), Bundle: json.RawMessage(`{}`)}
+		if err := s.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 10; i < 200; i++ {
+		id := fmt.Sprintf("job-%08d", i)
+		for _, ev := range []Event{
+			{T: EvSubmitted, Job: id, At: tstamp(i), Key: sampleKey(i % 50)},
+			{T: EvCanceled, Job: id, At: tstamp(i)},
+			{T: EvForget, Job: id, At: tstamp(i)},
+		} {
+			if err := s.Append(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction after %d events (lines=%d records=%d)", st.Events, st.Lines, st.Records)
+	}
+	if st.Lines > 2*st.Records+compactFloor+3 {
+		t.Fatalf("journal did not shrink: lines=%d records=%d", st.Lines, st.Records)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	recs := s2.Records()
+	if len(recs) != 2 {
+		t.Fatalf("compacted journal replays %d records, want 2", len(recs))
+	}
+	for _, r := range recs {
+		if r.State != StateQueued || string(r.Bundle) != "{}" {
+			t.Fatalf("compacted record lost state: %+v", r)
+		}
+	}
+}
+
+// TestResultGC checks unreferenced result files beyond MaxResults are
+// collected at compaction, oldest first, while referenced files survive.
+func TestResultGC(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Sync: SyncNone, MaxResults: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 6; i++ {
+		if err := s.PutResult(sampleKey(i), sampleResult(i)); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes so "oldest" is well-defined on coarse clocks.
+		path, _ := s.resultPath(sampleKey(i))
+		mt := time.Now().Add(time.Duration(i-6) * time.Hour)
+		os.Chtimes(path, mt, mt)
+	}
+	// Job 1 references key 0 (the oldest file): GC must keep it.
+	if err := s.Append(Event{T: EvSubmitted, Job: "job-00000001", At: tstamp(1), Key: sampleKey(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Down to MaxResults: the referenced oldest file is kept, so the
+	// three unreferenced oldest (1, 2, 3) are the ones collected.
+	if got := s.Stats().Results; got != 3 {
+		t.Fatalf("results after GC = %d, want 3", got)
+	}
+	if !s.HasResult(sampleKey(0)) {
+		t.Fatal("referenced result was collected")
+	}
+	for _, i := range []int{1, 2, 3} {
+		if s.HasResult(sampleKey(i)) {
+			t.Fatalf("old unreferenced result %d survived GC", i)
+		}
+	}
+	for _, i := range []int{4, 5} {
+		if !s.HasResult(sampleKey(i)) {
+			t.Fatalf("newest result %d was collected", i)
+		}
+	}
+}
+
+// TestParseSyncPolicy pins the flag values.
+func TestParseSyncPolicy(t *testing.T) {
+	for s, want := range map[string]SyncPolicy{"always": SyncAlways, "terminal": SyncTerminal, "none": SyncNone} {
+		got, err := ParseSyncPolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+// TestResultKeyValidation: hostile keys must not escape the results dir.
+func TestResultKeyValidation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, key := range []string{"", "sha256:", "md5:abcd", "sha256:../../etc/passwd", "sha256:zzzz"} {
+		if err := s.PutResult(key, sampleResult(1)); err == nil {
+			t.Fatalf("key %q accepted", key)
+		}
+	}
+}

@@ -191,13 +191,16 @@ func Run(c *circuit.Circuit, opts Options) (*Result, error) {
 // buildCDF computes the inclusive prefix sums of the state's Born
 // distribution, the total mass, and the index of the last basis state with
 // positive probability. The prefix sum builds over the shard pool in
-// fixed-size blocks: each block's probability mass sums left to right,
-// block offsets accumulate serially, and each block then writes its CDF
-// slice from its exact offset. Because the block boundaries do not depend
-// on the shard count, the float associativity — and therefore every
-// sampled count — is bit-identical for any parallelism grant: the shard
-// count is a scheduling decision, never a result change (the jobs result
-// cache dedups on bundle+shots+seed alone and relies on this).
+// fixed-size blocks: each block's probability mass sums left to right with
+// the per-amplitude probabilities stashed into the cdf slice (computed
+// exactly once — the second pass reads them back instead of re-deriving
+// |amp|² for the whole state again), block offsets accumulate serially,
+// and each block then overwrites its cdf slice with the running prefix
+// from its exact offset. Because the block boundaries do not depend on
+// the shard count, the float associativity — and therefore every sampled
+// count — is bit-identical for any parallelism grant: the shard count is
+// a scheduling decision, never a result change (the jobs result cache
+// dedups on bundle+shots+seed alone and relies on this).
 func buildCDF(st *State, pool *shardPool) (cdf []float64, acc float64, lastPos int) {
 	dim := st.Dim()
 	cdf = make([]float64, dim)
@@ -210,6 +213,7 @@ func buildCDF(st *State, pool *shardPool) (cdf []float64, acc float64, lastPos i
 			last := -1
 			for i := b * cdfBlock; i < min((b+1)*cdfBlock, dim); i++ {
 				p := st.Probability(uint64(i))
+				cdf[i] = p
 				sum += p
 				if p > 0 {
 					last = i
@@ -233,7 +237,7 @@ func buildCDF(st *State, pool *shardPool) (cdf []float64, acc float64, lastPos i
 		for b := lo; b < hi; b++ {
 			run := blockSum[b]
 			for i := b * cdfBlock; i < min((b+1)*cdfBlock, dim); i++ {
-				run += st.Probability(uint64(i))
+				run += cdf[i]
 				cdf[i] = run
 			}
 		}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/circuit"
@@ -228,6 +229,98 @@ func TestEvolveQFTOnZeroIsUniform(t *testing.T) {
 	for k := 0; k < st.Dim(); k++ {
 		if math.Abs(st.Probability(uint64(k))-want) > 1e-12 {
 			t.Fatalf("QFT|0⟩ not uniform at %d: %v", k, st.Probability(uint64(k)))
+		}
+	}
+}
+
+// referenceCDF is the pre-optimization buildCDF algorithm, serial and
+// spelled out: per-block left-to-right probability sums, serial block
+// offsets, then a second Probability sweep writing the prefix. The
+// production buildCDF computes each probability once (stashing it in the
+// cdf slice between passes); this reference recomputes it, so agreement
+// must be bit-exact or the single-sweep rewrite changed the summation.
+func referenceCDF(st *State) (cdf []float64, acc float64, lastPos int) {
+	dim := st.Dim()
+	cdf = make([]float64, dim)
+	nBlocks := (dim + cdfBlock - 1) / cdfBlock
+	blockSum := make([]float64, nBlocks)
+	for b := 0; b < nBlocks; b++ {
+		sum := 0.0
+		for i := b * cdfBlock; i < min((b+1)*cdfBlock, dim); i++ {
+			p := st.Probability(uint64(i))
+			sum += p
+			if p > 0 {
+				lastPos = i
+			}
+		}
+		blockSum[b] = sum
+	}
+	for b, s := range blockSum {
+		blockSum[b] = acc
+		acc += s
+	}
+	for b := 0; b < nBlocks; b++ {
+		run := blockSum[b]
+		for i := b * cdfBlock; i < min((b+1)*cdfBlock, dim); i++ {
+			run += st.Probability(uint64(i))
+			cdf[i] = run
+		}
+	}
+	return cdf, acc, lastPos
+}
+
+// TestBuildCDFSingleSweepDeterminism pins the buildCDF rewrite (one
+// Probability evaluation per amplitude instead of two) to the fixed-block
+// summation order: for a 13-qubit state spanning multiple 4096-entry
+// blocks with irrational amplitudes, the CDF must be bit-identical to the
+// two-sweep reference for every shard count, and sampled counts must not
+// depend on the shard grant.
+func TestBuildCDFSingleSweepDeterminism(t *testing.T) {
+	c := circuit.New(13, 13)
+	for q := 0; q < 13; q++ {
+		c.RY(0.137+0.211*float64(q), q)
+	}
+	for q := 0; q < 12; q++ {
+		c.CX(q, q+1)
+	}
+	for q := 0; q < 13; q += 2 {
+		c.RY(0.731*float64(q+1), q)
+	}
+	st, err := Evolve(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCDF, refAcc, refLast := referenceCDF(st)
+	for _, shards := range []int{1, 3, 8} {
+		pool := newShardPool(shards)
+		cdf, acc, lastPos := buildCDF(st, pool)
+		pool.close()
+		if acc != refAcc {
+			t.Fatalf("shards=%d: total mass %v, reference %v", shards, acc, refAcc)
+		}
+		if lastPos != refLast {
+			t.Fatalf("shards=%d: lastPos %d, reference %d", shards, lastPos, refLast)
+		}
+		for i := range cdf {
+			if cdf[i] != refCDF[i] {
+				t.Fatalf("shards=%d: cdf[%d] = %v, reference %v (bit drift)", shards, i, cdf[i], refCDF[i])
+			}
+		}
+	}
+
+	// End to end: counts are identical across shard grants.
+	c.MeasureAll()
+	base, err := Run(c, Options{Shots: 2000, Seed: 99, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{3, 8} {
+		res, err := Run(c, Options{Shots: 2000, Seed: 99, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base.Counts, res.Counts) {
+			t.Fatalf("counts differ between shards=1 and shards=%d", shards)
 		}
 	}
 }
