@@ -41,12 +41,30 @@
 // bundle+shots+seed, so the re-run's counts are the ones the lost run
 // would have produced). -fsync picks the journal fsync policy: "always"
 // (default — an acknowledged submission survives an immediate crash),
-// "terminal" or "none". Without -data-dir the service is in-memory, as
-// before.
+// "group" (the same guarantee with concurrent appenders sharing one
+// fsync barrier), "terminal" or "none". Without -data-dir the service is
+// in-memory, as before.
 //
 // On SIGINT/SIGTERM the server drains: in-flight HTTP requests get up to
 // 10 s, the pool finishes running and queued jobs (new submissions fail
 // fast with 503), and the journal is flushed and closed before exit.
+//
+// # Fleet dispatch
+//
+// With -dispatch the same binary becomes a fleet front-end instead of a
+// worker: it runs no pool of its own and forwards every job to the
+// listed qmlserve nodes over the same /v1 protocol (internal/fleet).
+//
+//	qmlserve -addr :8080 -dispatch 10.0.0.1:8081,10.0.0.2:8081 -data-dir /var/lib/qmlserve
+//
+// Routing is load-aware with cache-key affinity (identical bundles land
+// on the worker that already caches their result), dead workers are
+// ejected by health probes and their in-flight jobs re-forwarded, and
+// with -data-dir every accepted job plus its worker assignment is
+// journaled — by default under the group-commit fsync policy — so both
+// worker deaths and dispatcher restarts preserve accepted work.
+// -probe-interval and -poll-interval tune the health and job-status
+// cadences.
 package main
 
 import (
@@ -58,10 +76,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/fleet"
 	"repro/internal/jobs"
 	"repro/internal/jobs/store"
 )
@@ -73,15 +93,113 @@ func main() {
 	cache := flag.Int("cache", 1024, "result-cache entries (negative disables)")
 	maxShards := flag.Int("max-shards", 0, "statevector shards granted to a lone simulation job (0 = GOMAXPROCS)")
 	dataDir := flag.String("data-dir", "", "journal + result directory for crash-safe restarts (empty = in-memory)")
-	fsync := flag.String("fsync", "always", "journal fsync policy: always|terminal|none")
+	fsync := flag.String("fsync", "", "journal fsync policy: always|group|terminal|none (default: always, or group in -dispatch mode)")
+	dispatch := flag.String("dispatch", "", "comma-separated worker base URLs: serve as a fleet dispatcher instead of a worker")
+	probeInterval := flag.Duration("probe-interval", time.Second, "dispatcher: worker health probe cadence")
+	pollInterval := flag.Duration("poll-interval", 100*time.Millisecond, "dispatcher: remote job status poll cadence")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: qmlserve [-addr :8080] [-workers n] [-queue n] [-cache n] [-max-shards n] [-data-dir dir] [-fsync always|terminal|none]")
+		fmt.Fprintln(os.Stderr, "usage: qmlserve [-addr :8080] [-workers n] [-queue n] [-cache n] [-max-shards n] [-data-dir dir] [-fsync always|group|terminal|none] [-dispatch w1,w2,...]")
 		os.Exit(2)
 	}
-	if err := run(*addr, *workers, *queue, *cache, *maxShards, *dataDir, *fsync); err != nil {
+	if *fsync == "" {
+		// Workers default to per-event fsync; the dispatcher journals
+		// from concurrent request goroutines, where group commit shares
+		// the fsync barriers.
+		if *dispatch != "" {
+			*fsync = "group"
+		} else {
+			*fsync = "always"
+		}
+	}
+	var err error
+	if *dispatch != "" {
+		err = runDispatch(*addr, *dispatch, *dataDir, *fsync, *probeInterval, *pollInterval)
+	} else {
+		err = run(*addr, *workers, *queue, *cache, *maxShards, *dataDir, *fsync)
+	}
+	if err != nil {
 		log.Fatalf("qmlserve: %v", err)
 	}
+}
+
+// runDispatch brings up the fleet front-end, blocks until
+// SIGINT/SIGTERM, and tears down in order: HTTP drain, dispatcher stop,
+// journal flush + close. Jobs still running on workers keep running;
+// the journal carries their assignments to the next dispatcher life.
+func runDispatch(addr, dispatch, dataDir, fsync string, probeInterval, pollInterval time.Duration) error {
+	var st *store.Store
+	if dataDir != "" {
+		policy, err := store.ParseSyncPolicy(fsync)
+		if err != nil {
+			return err
+		}
+		st, err = store.Open(dataDir, store.Options{Sync: policy})
+		if err != nil {
+			return err
+		}
+	}
+	d, err := fleet.New(fleet.Options{
+		Workers:       strings.Split(dispatch, ","),
+		Store:         st,
+		ProbeInterval: probeInterval,
+		PollInterval:  pollInterval,
+	})
+	if err != nil {
+		if st != nil {
+			st.Close()
+		}
+		return err
+	}
+	if st != nil {
+		s := d.Stats()
+		log.Printf("qmlserve: dispatcher recovered %d job records from %s (%d re-attached)",
+			s.Recovered, dataDir, s.Reattached)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		d.Close()
+		if st != nil {
+			st.Close()
+		}
+		return err
+	}
+	srv := &http.Server{Handler: fleet.NewHandler(d)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	log.Printf("qmlserve: dispatching to workers %s; listening on %s", dispatch, ln.Addr())
+
+	select {
+	case err := <-errc:
+		d.Close()
+		if st != nil {
+			st.Close()
+		}
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("qmlserve: dispatcher shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("qmlserve: shutdown: %v", err)
+	}
+	d.Close()
+	if st != nil {
+		if err := st.Close(); err != nil {
+			log.Printf("qmlserve: closing journal: %v", err)
+		}
+	}
+	s := d.Stats()
+	log.Printf("qmlserve: dispatcher done (submitted=%d completed=%d failed=%d forwarded=%d reforwarded=%d journal_events=%d)",
+		s.Submitted, s.Completed, s.Failed, s.Forwarded, s.Reforwarded, s.Events)
+	return nil
 }
 
 // run brings the service up, blocks until SIGINT/SIGTERM or a listener

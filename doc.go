@@ -15,8 +15,12 @@
 // SWAP chains on a qubit pair fold with their surrounding single-qubit
 // gates into dense 4×4 kernels, lone controlled permutations specialize)
 // swept in cache-blocked order by a persistent shard pool that barriers
-// between kernels. The per-job shard grant is a scheduling decision of
-// the serving layer — see below.
+// between kernels. A dense 4×4 kernel that finalizes as permutation ×
+// phase — a pure CX/CZ/SWAP chain — executes on a monomial fast path: 4
+// complex multiplies per amplitude quadruple instead of the dense
+// sweep's 16 multiplies and 12 adds (~2.3× on chain-heavy circuits).
+// The per-job shard grant is a scheduling decision of the serving layer
+// — see below.
 //
 // # Serving layer
 //
@@ -41,13 +45,34 @@
 //
 // The serving layer is durable (internal/jobs/store): with a data
 // directory attached, every job transition appends to an append-only
-// JSONL journal (explicit fsync policy, compacted once terminal records
-// dominate) and results persist as content-addressed files. A restart
-// replays the journal — terminal jobs keep answering status/result
-// lookups, work that was queued or running when the process died is
-// requeued under its original ID and re-run to the same counts (execution
-// is deterministic in bundle+shots+seed), and a torn final journal line
-// from a mid-append crash is dropped, not fatal.
+// JSONL journal (explicit fsync policy — including a group-commit mode
+// where concurrent appenders share one fsync barrier — compacted once
+// terminal records dominate) and results persist as content-addressed
+// files. A restart replays the journal — terminal jobs keep answering
+// status/result lookups, work that was queued or running when the
+// process died is requeued under its original ID and re-run to the same
+// counts (execution is deterministic in bundle+shots+seed), and a torn
+// final journal line from a mid-append crash is dropped, not fatal.
+//
+// # Fleet dispatch
+//
+// The serving layer scales past one machine with internal/fleet: a
+// dispatcher that fronts N worker qmlserve nodes over the same /v1
+// protocol the workers speak, so workers need zero changes to join a
+// fleet and clients cannot tell the front-end from a single node
+// (qmlserve -dispatch w1,w2,...). Routing is load-aware (least
+// outstanding dispatched jobs) with cache-key affinity via consistent
+// hashing — identical bundles land on the worker that already caches
+// their result, and duplicates of an in-flight job are pinned to its
+// worker so coalescing keeps working fleet-wide. A prober ejects workers
+// after consecutive /v1/stats failures (their keys rehash minimally to
+// the survivors) and readmits them on recovery; every dispatcher→worker
+// call carries a timeout so a hung node can never wedge a dispatcher
+// goroutine. With a journal attached the dispatcher records every
+// accepted job and worker assignment: a worker SIGKILLed mid-job has its
+// jobs re-forwarded and re-run to identical counts elsewhere, and a
+// dispatcher restart replays the journal, re-polls workers for in-flight
+// state, and keeps answering status/result for pre-crash jobs.
 //
 // Two consumers wrap the pool. cmd/qmlserve exposes it over HTTP
 // (stdlib net/http) speaking the job.json schema:

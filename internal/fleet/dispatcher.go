@@ -1,0 +1,1155 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bundle"
+	"repro/internal/jobs"
+	"repro/internal/jobs/store"
+)
+
+// Options configure a Dispatcher. Workers is required; everything else
+// has serving defaults.
+type Options struct {
+	// Workers are the fleet nodes' base URLs (host:port or http://…).
+	Workers []string
+	// Store, when non-nil, journals every accepted job (submission,
+	// assignment, lifecycle) so forwarding survives both worker deaths
+	// and dispatcher crashes. The dispatcher does not close the store.
+	Store *store.Store
+	// RequestTimeout bounds every dispatcher→worker HTTP call — both as
+	// a context deadline and as the shared http.Client's hard timeout —
+	// so a hung worker cannot wedge a dispatcher goroutine (default 10s).
+	RequestTimeout time.Duration
+	// ProbeInterval is the health/stats probe cadence (default 1s).
+	ProbeInterval time.Duration
+	// PollInterval is the per-job remote status poll cadence (default
+	// 100ms).
+	PollInterval time.Duration
+	// EjectAfter is the consecutive probe failures that mark a worker
+	// unhealthy; one success readmits it (default 3).
+	EjectAfter int
+	// ReforwardAfter is the consecutive per-job poll failures after
+	// which the job abandons its worker and re-forwards (default 3).
+	ReforwardAfter int
+	// AffinitySlack is how many more outstanding dispatched jobs the
+	// cache-affinity worker may carry than the least-loaded node before
+	// the router spills the job to the latter (default 4).
+	AffinitySlack int
+	// Vnodes is the virtual-node count per worker on the consistent-hash
+	// ring (default 64).
+	Vnodes int
+	// MaxRecords bounds retained terminal job records, like
+	// jobs.Options.MaxRecords (default 65536; negative retains all).
+	MaxRecords int
+	// AllowMidCircuit forwards to bundle validation.
+	AllowMidCircuit bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 10 * time.Second
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 100 * time.Millisecond
+	}
+	if o.EjectAfter <= 0 {
+		o.EjectAfter = 3
+	}
+	if o.ReforwardAfter <= 0 {
+		o.ReforwardAfter = 3
+	}
+	if o.AffinitySlack <= 0 {
+		o.AffinitySlack = 4
+	}
+	if o.Vnodes <= 0 {
+		o.Vnodes = 64
+	}
+	if o.MaxRecords == 0 {
+		o.MaxRecords = 65536
+	}
+	return o
+}
+
+// Stats aggregates dispatcher counters; the attached store's journal
+// counters are inlined when persistent.
+type Stats struct {
+	Workers   int    `json:"workers"`
+	Healthy   int    `json:"healthy_workers"`
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+	// Forwarded counts successful job handoffs to a worker; Reforwarded
+	// the subset that re-assigned a job after its worker died or forgot
+	// it.
+	Forwarded   uint64 `json:"forwarded"`
+	Reforwarded uint64 `json:"reforwarded"`
+	// Coalesced counts submissions whose cache key was already in flight
+	// through the dispatcher and were pinned to the primary's worker.
+	Coalesced uint64 `json:"coalesced"`
+	// AffinityHits counts routing decisions that followed the
+	// consistent-hash affinity worker; AffinitySpills those diverted to
+	// the least-loaded node by the slack rule.
+	AffinityHits   uint64 `json:"affinity_hits"`
+	AffinitySpills uint64 `json:"affinity_spills"`
+	Ejected        uint64 `json:"ejected"`
+	Readmitted     uint64 `json:"readmitted"`
+	// Recovered counts job records replayed from the journal at boot;
+	// Reattached the non-terminal subset whose workers are re-polled (and
+	// the job re-forwarded if the fleet no longer knows it).
+	Recovered  uint64 `json:"recovered"`
+	Reattached uint64 `json:"reattached"`
+	store.Stats
+}
+
+// WorkerInfo is one fleet node's health snapshot in /v1/stats.
+type WorkerInfo struct {
+	Name        string `json:"name"`
+	Healthy     bool   `json:"healthy"`
+	Outstanding int    `json:"outstanding"`
+	ConsecFails int    `json:"consecutive_failures"`
+	QueueLen    int    `json:"queue_len"`
+	Running     int    `json:"running"`
+}
+
+// Status is one dispatched job's externally visible snapshot.
+type Status struct {
+	ID     string
+	State  jobs.State
+	Engine string
+	// Worker is the fleet node currently (or finally) owning the job;
+	// Remote is the job's ID in that worker's own pool.
+	Worker string
+	Remote string
+	// CacheHit and Coalesced mirror the owning worker's verdict for the
+	// remote job (served from its cache / attached to its in-flight twin).
+	CacheHit  bool
+	Coalesced bool
+	Shards    int
+	// Reforwards counts how many times the job changed workers.
+	Reforwards  int
+	Error       string
+	SubmittedAt time.Time
+	StartedAt   time.Time
+	FinishedAt  time.Time
+}
+
+type worker struct {
+	name        string
+	c           *client
+	healthy     bool
+	consecFails int
+	outstanding int
+	lastStats   map[string]any
+}
+
+// fwdJob is the dispatcher-side job record. Mutable fields are guarded
+// by Dispatcher.mu; done closes exactly once under mu. evq is the job's
+// pending journal events: transitions enqueue under the mutex (so the
+// journal's per-job order always equals the transition order, which
+// replay's last-writer-wins merge depends on) and a single claimant
+// appends them to the store off-lock (so fsyncs never stall the
+// dispatcher, and concurrent jobs' appends share group-commit
+// barriers).
+type fwdJob struct {
+	id        string
+	key       string
+	engine    string
+	raw       json.RawMessage // canonical bundle, dropped when terminal
+	pin       int
+	state     jobs.State
+	worker    string // assigned node ("" while unassigned)
+	remote    string // job ID on that node
+	avoid     string // node to skip on the next forward (it just lost the job)
+	cacheHit  bool
+	coalesced bool
+	shards    int
+	forwards  int
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	done      chan struct{}
+	// Journal event queue (see the type comment). evGen counts events
+	// ever enqueued; flushedGen is the newest generation known appended
+	// (and, per the store's fsync policy, durable). flushJob waits until
+	// flushedGen catches the generation it observed at entry, so an
+	// acknowledgment path can never outrun its own event's durability
+	// even when a concurrent flusher claimed the queue first.
+	evq        []store.Event
+	evGen      uint64
+	flushedGen uint64
+	flushing   bool
+}
+
+// Dispatcher fronts a fleet of /v1 workers: it routes submissions,
+// watches their remote lifecycle, re-forwards orphans, and serves the
+// same /v1 surface itself (see NewHandler).
+type Dispatcher struct {
+	opts Options
+	ring *ring
+	hc   *http.Client
+	ctx  context.Context
+	stop context.CancelFunc
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	cond     *sync.Cond // wakes flushJob waiters when a flush batch lands
+	workers  map[string]*worker
+	names    []string // configured order, for stable reporting
+	jobs     map[string]*fwdJob
+	inflight map[string]*fwdJob // cache key → primary non-terminal job
+	terminal []string
+	dirty    []*fwdJob // jobs with enqueued journal events awaiting flush
+	nextID   uint64
+	closed   bool
+	stats    Stats
+}
+
+// New starts a dispatcher over the configured workers. When a store is
+// attached its journal is replayed first: terminal jobs answer Status
+// again, and non-terminal jobs are re-attached to their workers (or
+// re-forwarded if no worker still knows them). Call Close to stop the
+// prober and job watchers.
+func New(opts Options) (*Dispatcher, error) {
+	opts = opts.withDefaults()
+	if len(opts.Workers) == 0 {
+		return nil, errors.New("fleet: no workers configured")
+	}
+	d := &Dispatcher{
+		opts: opts,
+		// A dedicated transport: the default keeps only 2 idle
+		// connections per host, while the dispatcher concentrates many
+		// concurrent status polls, probes and proxies on a handful of
+		// worker hosts — reuse the connections instead of churning TCP.
+		hc: &http.Client{
+			Timeout: opts.RequestTimeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+		workers:  map[string]*worker{},
+		jobs:     map[string]*fwdJob{},
+		inflight: map[string]*fwdJob{},
+	}
+	d.cond = sync.NewCond(&d.mu)
+	d.ctx, d.stop = context.WithCancel(context.Background())
+	for _, name := range opts.Workers {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, dup := d.workers[name]; dup {
+			return nil, fmt.Errorf("fleet: duplicate worker %q", name)
+		}
+		// Optimistically healthy so submissions route before the first
+		// probe completes; the prober corrects within EjectAfter rounds.
+		d.workers[name] = &worker{name: name, c: newClient(name, d.hc), healthy: true}
+		d.names = append(d.names, name)
+	}
+	if len(d.names) == 0 {
+		return nil, errors.New("fleet: no workers configured")
+	}
+	d.ring = buildRing(d.names, opts.Vnodes)
+	var reattach []*fwdJob
+	if opts.Store != nil {
+		reattach = d.recover()
+		d.flushDirty() // recovery runs single-threaded; drain its events now
+	}
+	d.wg.Add(1)
+	go d.prober()
+	for _, j := range reattach {
+		d.wg.Add(1)
+		go d.runJob(j)
+	}
+	return d, nil
+}
+
+// recover replays the journal into the job table. Terminal records
+// become queryable; queued/running records keep their assignment (their
+// runner re-polls the worker for the in-flight state and re-forwards if
+// it is gone) and records that never got assigned forward from scratch.
+func (d *Dispatcher) recover() []*fwdJob {
+	var reattach []*fwdJob
+	for _, rec := range d.opts.Store.Records() {
+		var n uint64
+		if _, err := fmt.Sscanf(rec.Job, "job-%d", &n); err == nil && n > d.nextID {
+			d.nextID = n
+		}
+		j := &fwdJob{
+			id:        rec.Job,
+			key:       rec.Key,
+			engine:    rec.Engine,
+			pin:       rec.Pin,
+			worker:    rec.Worker,
+			remote:    rec.Remote,
+			submitted: rec.Submitted,
+			started:   rec.Started,
+			finished:  rec.Finished,
+			done:      make(chan struct{}),
+		}
+		d.stats.Recovered++
+		switch rec.State {
+		case store.StateDone:
+			j.state = jobs.StateDone
+			j.cacheHit = rec.CacheHit
+			j.coalesced = rec.Coalesced
+			j.shards = rec.Shards
+		case store.StateFailed:
+			j.state = jobs.StateFailed
+			j.errMsg = rec.Error
+			j.shards = rec.Shards
+		case store.StateCanceled:
+			j.state = jobs.StateCanceled
+		default: // queued or running at crash time: re-attach
+			if len(rec.Bundle) == 0 {
+				// Nothing to re-forward with; surface rather than drop.
+				j.state = jobs.StateFailed
+				j.errMsg = "fleet: recovery: journal record has no bundle"
+				j.finished = time.Now()
+				d.stats.Failed++
+				d.jobs[j.id] = j
+				d.enqueueLocked(j, store.Event{T: store.EvFailed, Job: j.id, At: j.finished, Error: j.errMsg})
+				d.finishRetention(j)
+				close(j.done)
+				continue
+			}
+			j.state = jobs.StateQueued
+			j.raw = rec.Bundle
+			j.started = time.Time{} // re-observed from the worker
+			if j.worker != "" {
+				if w := d.workers[j.worker]; w != nil {
+					w.outstanding++
+				} else {
+					// The fleet config changed across the restart; the
+					// assigned node is gone. Forward from scratch.
+					j.worker, j.remote = "", ""
+				}
+			}
+			d.jobs[j.id] = j
+			if d.inflight[j.key] == nil {
+				d.inflight[j.key] = j
+			}
+			d.stats.Reattached++
+			reattach = append(reattach, j)
+			continue
+		}
+		d.jobs[j.id] = j
+		d.finishRetention(j)
+		close(j.done)
+	}
+	return reattach
+}
+
+// enqueueLocked queues one journal event on its job, in transition
+// order. Callers hold d.mu and call flushDirty (and, on paths that
+// acknowledge the transition to a client, flushJob) after releasing it.
+func (d *Dispatcher) enqueueLocked(j *fwdJob, ev store.Event) {
+	if d.opts.Store == nil {
+		return
+	}
+	j.evq = append(j.evq, ev)
+	j.evGen++
+	d.dirty = append(d.dirty, j)
+}
+
+// flushDirty drains every job marked dirty since the last flush. Append
+// failures are counted by the store and never fail the dispatch
+// operation — the service degrades to in-memory rather than rejecting
+// accepted work.
+func (d *Dispatcher) flushDirty() {
+	if d.opts.Store == nil {
+		return
+	}
+	d.mu.Lock()
+	dirty := d.dirty
+	d.dirty = nil
+	d.mu.Unlock()
+	for _, j := range dirty {
+		d.flushJob(j)
+	}
+}
+
+// flushJob makes every event enqueued on the job before this call
+// durable (appended under the store's fsync policy) before returning.
+// One claimant at a time drains the queue (j.flushing) while waiters
+// block on the condvar until the generation they observed is flushed —
+// so an acknowledgment path cannot outrun its own event even when a
+// concurrent flushDirty claimed the queue first. Per-job append order
+// always equals enqueue order.
+func (d *Dispatcher) flushJob(j *fwdJob) {
+	if d.opts.Store == nil {
+		return
+	}
+	d.mu.Lock()
+	target := j.evGen
+	for j.flushedGen < target {
+		if j.flushing {
+			d.cond.Wait()
+			continue
+		}
+		if len(j.evq) == 0 {
+			// Defensive: everything up to target is claimed or flushed.
+			break
+		}
+		j.flushing = true
+		evs := j.evq
+		j.evq = nil
+		gen := j.evGen
+		d.mu.Unlock()
+		for _, ev := range evs {
+			_ = d.opts.Store.Append(ev)
+		}
+		d.mu.Lock()
+		j.flushing = false
+		if gen > j.flushedGen {
+			j.flushedGen = gen
+		}
+		d.cond.Broadcast()
+	}
+	d.mu.Unlock()
+}
+
+// Submit validates, journals and routes one bundle. The returned status
+// is the accepted job's snapshot (state queued). The raw canonical JSON
+// is re-derived from the parsed bundle so the journal, the cache key and
+// the forwarded payload all agree byte-for-byte.
+func (d *Dispatcher) Submit(b *bundle.Bundle, pin int) (Status, error) {
+	if b == nil {
+		return Status{}, errors.New("fleet: nil bundle")
+	}
+	key, err := jobs.CacheKey(b)
+	if err != nil {
+		return Status{}, err
+	}
+	raw, err := json.Marshal(b)
+	if err != nil {
+		return Status{}, fmt.Errorf("fleet: marshal bundle: %w", err)
+	}
+	engine := jobs.ResolveEngine(b)
+	now := time.Now()
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return Status{}, jobs.ErrClosed
+	}
+	d.nextID++
+	j := &fwdJob{
+		id:        fmt.Sprintf("job-%08d", d.nextID),
+		key:       key,
+		engine:    engine,
+		raw:       raw,
+		pin:       pin,
+		state:     jobs.StateQueued,
+		submitted: now,
+		done:      make(chan struct{}),
+	}
+	d.jobs[j.id] = j
+	d.stats.Submitted++
+	if primary := d.inflight[key]; primary != nil {
+		// A twin is already in flight through the dispatcher: the router
+		// will pin this job to the primary's worker so the worker-side
+		// pool coalesces them onto one execution.
+		d.stats.Coalesced++
+	} else {
+		d.inflight[key] = j
+	}
+	d.enqueueLocked(j, store.Event{T: store.EvSubmitted, Job: j.id, At: now, Key: key, Engine: engine, Bundle: raw, Pin: pin})
+	d.wg.Add(1)
+	st := d.statusLocked(j)
+	d.mu.Unlock()
+
+	// Append after releasing the dispatcher lock: concurrent submitters
+	// then share group-commit fsync barriers instead of serializing
+	// their syncs behind d.mu, while the per-job queue keeps this job's
+	// journal order equal to its transition order. flushJob then blocks
+	// until this job's submitted event is durable — the 202 must not
+	// outrun the fsync even if a concurrent flusher claimed the queue.
+	d.flushDirty()
+	d.flushJob(j)
+	go d.runJob(j)
+	return st, nil
+}
+
+// runJob owns one job's forwarding lifecycle: assign a worker, watch the
+// remote status, and re-forward when the worker dies or forgets the job.
+// It exits when the job is terminal or the dispatcher closes (the
+// journal then carries the state to the next process life).
+func (d *Dispatcher) runJob(j *fwdJob) {
+	defer d.wg.Done()
+	pollFails := 0
+	for d.ctx.Err() == nil {
+		d.mu.Lock()
+		if j.state.Terminal() {
+			d.mu.Unlock()
+			return
+		}
+		workerName, remote := j.worker, j.remote
+		d.mu.Unlock()
+
+		if workerName == "" || remote == "" {
+			if !d.forward(j) {
+				// No worker reachable right now; journal already holds the
+				// job, so keep retrying until the fleet comes back.
+				if !d.sleep(d.opts.ProbeInterval, j) {
+					return
+				}
+			}
+			pollFails = 0
+			continue
+		}
+
+		w := d.workerByName(workerName)
+		ctx, cancel := context.WithTimeout(d.ctx, d.opts.RequestTimeout)
+		st, notFound, err := w.c.status(ctx, remote)
+		cancel()
+		switch {
+		case err != nil:
+			pollFails++
+			if pollFails >= d.opts.ReforwardAfter {
+				d.detach(j, workerName)
+				pollFails = 0
+				continue
+			}
+		case notFound:
+			// The worker answered but no longer knows the job: it
+			// restarted without durable state. Re-forward immediately.
+			d.detach(j, workerName)
+			pollFails = 0
+			continue
+		default:
+			pollFails = 0
+			if d.observe(j, st) {
+				return
+			}
+		}
+		if !d.sleep(d.opts.PollInterval, j) {
+			return
+		}
+	}
+}
+
+// forward assigns the job to a worker and POSTs it. It tries the routing
+// choice first and rotates through the remaining healthy workers on
+// transport errors or backpressure; the node that just lost the job
+// (j.avoid) is skipped unless it is the only one left. Returns false
+// when no worker accepted.
+func (d *Dispatcher) forward(j *fwdJob) bool {
+	tried := map[string]bool{}
+	d.mu.Lock()
+	avoid := j.avoid
+	d.mu.Unlock()
+	if avoid != "" {
+		tried[avoid] = true
+	}
+	for round := 0; ; {
+		name := d.pick(j, tried)
+		if name == "" {
+			if round == 0 && avoid != "" {
+				// Every alternative is down; the avoided node may be the
+				// only fleet left (e.g. it restarted in-memory). Allow it.
+				delete(tried, avoid)
+				round++
+				continue
+			}
+			return false
+		}
+		tried[name] = true
+		w := d.workerByName(name)
+		ctx, cancel := context.WithTimeout(d.ctx, d.opts.RequestTimeout)
+		sub, err := w.c.submit(ctx, j.raw, j.pin)
+		cancel()
+		if err != nil {
+			continue // busy or unreachable: next candidate
+		}
+		d.mu.Lock()
+		if j.state.Terminal() { // canceled while forwarding
+			d.mu.Unlock()
+			// The worker now holds an orphan twin; best-effort cancel it.
+			cctx, ccancel := context.WithTimeout(d.ctx, d.opts.RequestTimeout)
+			w.c.cancel(cctx, sub.ID)
+			ccancel()
+			return true
+		}
+		j.worker, j.remote = name, sub.ID
+		j.avoid = ""
+		j.forwards++
+		if j.forwards > 1 {
+			d.stats.Reforwarded++
+		}
+		d.stats.Forwarded++
+		w.outstanding++
+		d.enqueueLocked(j, store.Event{T: store.EvAssigned, Job: j.id, At: time.Now(), Worker: name, Remote: sub.ID})
+		d.mu.Unlock()
+		d.flushDirty()
+		return true
+	}
+}
+
+// pick chooses a worker for the job: the in-flight primary's worker when
+// the key is already dispatched (dispatcher-level coalescing), else the
+// consistent-hash affinity node unless the slack rule spills to the
+// least-loaded healthy worker. Workers in tried are excluded.
+func (d *Dispatcher) pick(j *fwdJob, tried map[string]bool) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ok := func(name string) bool {
+		w := d.workers[name]
+		return w != nil && w.healthy && !tried[name]
+	}
+	if primary := d.inflight[j.key]; primary != nil && primary != j && primary.worker != "" && ok(primary.worker) {
+		return primary.worker
+	}
+	var least *worker
+	for _, name := range d.names {
+		if !ok(name) {
+			continue
+		}
+		w := d.workers[name]
+		if least == nil || w.outstanding < least.outstanding {
+			least = w
+		}
+	}
+	if least == nil {
+		return ""
+	}
+	affinity := d.ring.lookup(j.key, ok)
+	if affinity == "" {
+		return least.name
+	}
+	if aw := d.workers[affinity]; aw.outstanding > least.outstanding+d.opts.AffinitySlack {
+		d.stats.AffinitySpills++
+		return least.name
+	}
+	d.stats.AffinityHits++
+	return affinity
+}
+
+// detach severs the job from a worker that died or forgot it; the runner
+// loop forwards it elsewhere next.
+func (d *Dispatcher) detach(j *fwdJob, workerName string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if j.state.Terminal() {
+		// A concurrent Cancel/observe already finished the job (and
+		// decremented the worker's outstanding count); detaching now
+		// would double-decrement.
+		return
+	}
+	if j.worker != workerName { // raced with a re-forward
+		return
+	}
+	j.worker, j.remote = "", ""
+	j.avoid = workerName
+	j.started = time.Time{}
+	if j.state == jobs.StateRunning {
+		j.state = jobs.StateQueued
+	}
+	if w := d.workers[workerName]; w != nil {
+		w.outstanding--
+	}
+}
+
+// observe folds a remote status snapshot into the local record. Returns
+// true when the job reached a terminal state.
+func (d *Dispatcher) observe(j *fwdJob, st remoteStatus) bool {
+	d.mu.Lock()
+	if j.state.Terminal() {
+		d.mu.Unlock()
+		return true
+	}
+	if st.Engine != "" {
+		j.engine = st.Engine
+	}
+	j.cacheHit = st.CacheHit
+	j.coalesced = st.Coalesced
+	if st.Shards > 0 {
+		j.shards = st.Shards
+	}
+	switch jobs.State(st.State) {
+	case jobs.StateRunning:
+		if j.state == jobs.StateQueued {
+			j.state = jobs.StateRunning
+			j.started = time.Now()
+			d.enqueueLocked(j, store.Event{T: store.EvStarted, Job: j.id, At: j.started, Shards: st.Shards})
+		}
+	case jobs.StateDone:
+		j.errMsg = ""
+		d.finishLocked(j, jobs.StateDone)
+		d.enqueueLocked(j, store.Event{T: store.EvDone, Job: j.id, At: j.finished, Engine: j.engine, CacheHit: st.CacheHit, Coalesced: st.Coalesced})
+	case jobs.StateFailed:
+		j.errMsg = st.Error
+		d.finishLocked(j, jobs.StateFailed)
+		d.enqueueLocked(j, store.Event{T: store.EvFailed, Job: j.id, At: j.finished, Engine: j.engine, Coalesced: st.Coalesced, Error: st.Error})
+	case jobs.StateCanceled:
+		// Canceled out-of-band on the worker itself.
+		d.finishLocked(j, jobs.StateCanceled)
+		d.enqueueLocked(j, store.Event{T: store.EvCanceled, Job: j.id, At: j.finished})
+	}
+	terminal := j.state.Terminal()
+	d.mu.Unlock()
+	d.flushDirty()
+	return terminal
+}
+
+// finishLocked moves the job to a terminal state: stats, worker
+// outstanding bookkeeping, in-flight pin cleanup, bundle drop, done
+// close, and bounded retention. Callers hold d.mu and journal the
+// terminal event themselves after unlocking.
+func (d *Dispatcher) finishLocked(j *fwdJob, state jobs.State) {
+	j.state = state
+	j.finished = time.Now()
+	switch state {
+	case jobs.StateDone:
+		d.stats.Completed++
+	case jobs.StateFailed:
+		d.stats.Failed++
+	case jobs.StateCanceled:
+		d.stats.Canceled++
+	}
+	if j.worker != "" {
+		if w := d.workers[j.worker]; w != nil {
+			w.outstanding--
+		}
+	}
+	if d.inflight[j.key] == j {
+		delete(d.inflight, j.key)
+	}
+	j.raw = nil
+	close(j.done)
+	d.finishRetention(j)
+}
+
+// finishRetention appends the job to the terminal ring and evicts the
+// oldest records beyond MaxRecords, mirroring the worker pools' bounded
+// retention. Callers hold d.mu (or run single-threaded in recovery).
+func (d *Dispatcher) finishRetention(j *fwdJob) {
+	if d.opts.MaxRecords < 0 {
+		return
+	}
+	d.terminal = append(d.terminal, j.id)
+	for len(d.terminal) > d.opts.MaxRecords {
+		evicted := d.terminal[0]
+		d.terminal = d.terminal[1:]
+		if ej := d.jobs[evicted]; ej != nil {
+			// Enqueue on the evicted job's own queue so the forget event
+			// can never overtake a still-pending lifecycle event of that
+			// job in the journal.
+			d.enqueueLocked(ej, store.Event{T: store.EvForget, Job: evicted, At: time.Now()})
+		}
+		delete(d.jobs, evicted)
+	}
+}
+
+// sleep waits one cadence interval, waking early on dispatcher shutdown
+// (returns false) or the job turning terminal.
+func (d *Dispatcher) sleep(dur time.Duration, j *fwdJob) bool {
+	t := time.NewTimer(dur)
+	defer t.Stop()
+	select {
+	case <-d.ctx.Done():
+		return false
+	case <-j.done:
+		return true
+	case <-t.C:
+		return true
+	}
+}
+
+func (d *Dispatcher) workerByName(name string) *worker {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.workers[name]
+}
+
+// prober polls every worker's /v1/stats on the probe cadence, ejecting
+// after EjectAfter consecutive failures and readmitting on the first
+// success.
+func (d *Dispatcher) prober() {
+	defer d.wg.Done()
+	t := time.NewTicker(d.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.ctx.Done():
+			return
+		case <-t.C:
+		}
+		d.probeOnce()
+	}
+}
+
+func (d *Dispatcher) probeOnce() {
+	type outcome struct {
+		name  string
+		stats map[string]any
+		err   error
+	}
+	d.mu.Lock()
+	clients := make(map[string]*client, len(d.workers))
+	for name, w := range d.workers {
+		clients[name] = w.c
+	}
+	d.mu.Unlock()
+	results := make(chan outcome, len(clients))
+	for name, c := range clients {
+		go func(name string, c *client) {
+			ctx, cancel := context.WithTimeout(d.ctx, d.opts.RequestTimeout)
+			defer cancel()
+			st, err := c.stats(ctx)
+			results <- outcome{name: name, stats: st, err: err}
+		}(name, c)
+	}
+	for range clients {
+		o := <-results
+		d.mu.Lock()
+		w := d.workers[o.name]
+		switch {
+		case o.err != nil:
+			w.consecFails++
+			if w.healthy && w.consecFails >= d.opts.EjectAfter {
+				w.healthy = false
+				d.stats.Ejected++
+			}
+		default:
+			w.consecFails = 0
+			w.lastStats = o.stats
+			if !w.healthy {
+				w.healthy = true
+				d.stats.Readmitted++
+			}
+		}
+		d.mu.Unlock()
+	}
+}
+
+// Status returns a job's snapshot.
+func (d *Dispatcher) Status(id string) (Status, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[id]
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %q", jobs.ErrNotFound, id)
+	}
+	return d.statusLocked(j), nil
+}
+
+func (d *Dispatcher) statusLocked(j *fwdJob) Status {
+	reforwards := j.forwards - 1
+	if reforwards < 0 {
+		reforwards = 0
+	}
+	return Status{
+		ID:          j.id,
+		State:       j.state,
+		Engine:      j.engine,
+		Worker:      j.worker,
+		Remote:      j.remote,
+		CacheHit:    j.cacheHit,
+		Coalesced:   j.coalesced,
+		Shards:      j.shards,
+		Reforwards:  reforwards,
+		Error:       j.errMsg,
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+	}
+}
+
+// List returns snapshots of every tracked job, newest first; a non-empty
+// state filters, limit caps (<= 0: no cap). The dispatcher's table IS
+// the fleet-merged history: every job submitted through the front-end,
+// with its owning worker in each snapshot.
+func (d *Dispatcher) List(state jobs.State, limit int) []Status {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ids := make([]string, 0, len(d.jobs))
+	for id, j := range d.jobs {
+		if state != "" && j.state != state {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(ids)))
+	if limit > 0 && len(ids) > limit {
+		ids = ids[:limit]
+	}
+	out := make([]Status, len(ids))
+	for i, id := range ids {
+		out[i] = d.statusLocked(d.jobs[id])
+	}
+	return out
+}
+
+// Wait blocks until the job is terminal, then returns its snapshot.
+func (d *Dispatcher) Wait(id string) (Status, error) {
+	d.mu.Lock()
+	j, ok := d.jobs[id]
+	d.mu.Unlock()
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %q", jobs.ErrNotFound, id)
+	}
+	<-j.done
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.statusLocked(j), nil
+}
+
+// Result proxies the job's result document from its owning worker,
+// returning the worker's HTTP status code and body verbatim. Jobs that
+// never reached a worker follow the pool's error semantics.
+func (d *Dispatcher) Result(ctx context.Context, id string) (int, []byte, error) {
+	d.mu.Lock()
+	j, ok := d.jobs[id]
+	if !ok {
+		d.mu.Unlock()
+		return 0, nil, fmt.Errorf("%w: %q", jobs.ErrNotFound, id)
+	}
+	state, workerName, remote, errMsg := j.state, j.worker, j.remote, j.errMsg
+	d.mu.Unlock()
+	switch state {
+	case jobs.StateFailed:
+		return 0, nil, fmt.Errorf("%w: %s", ErrJobFailed, errMsg)
+	case jobs.StateCanceled:
+		return 0, nil, fmt.Errorf("%w: %q", jobs.ErrCanceled, id)
+	case jobs.StateDone:
+		if workerName == "" || remote == "" {
+			return 0, nil, fmt.Errorf("fleet: job %q has no worker assignment on record", id)
+		}
+		w := d.workerByName(workerName)
+		if w == nil {
+			return 0, nil, fmt.Errorf("fleet: job %q belongs to unknown worker %q", id, workerName)
+		}
+		cctx, cancel := context.WithTimeout(ctx, d.opts.RequestTimeout)
+		defer cancel()
+		code, body, err := w.c.resultRaw(cctx, remote)
+		if err != nil {
+			return 0, nil, err
+		}
+		return code, body, nil
+	default:
+		return 0, nil, fmt.Errorf("%w: %q is %s", jobs.ErrNotFinished, id, state)
+	}
+}
+
+// ErrConflict marks a cancel refused by state (already terminal, or
+// running remotely and not preemptible); the HTTP layer maps it to 409.
+var ErrConflict = errors.New("fleet: conflict")
+
+// ErrJobFailed wraps a dispatched job's execution failure so the HTTP
+// layer can serve it as a 500 exactly like a worker would.
+var ErrJobFailed = errors.New("fleet: job failed")
+
+// Cancel cancels a dispatched job. An unassigned job cancels locally; an
+// assigned one forwards DELETE to its owning worker under the caller's
+// context plus the request timeout, so a hung worker cannot wedge the
+// canceling goroutine. A worker that already forgot the job (it
+// restarted) counts as canceled too — the runner would only re-run work
+// the client no longer wants. The DELETE races the runner's re-forward
+// path, so after each round trip the assignment is re-checked under the
+// lock: if the job moved workers meanwhile, the cancel chases it to the
+// new node rather than reporting success while a live copy keeps
+// running elsewhere.
+func (d *Dispatcher) Cancel(ctx context.Context, id string) (Status, error) {
+	for attempt := 0; attempt < 4; attempt++ {
+		d.mu.Lock()
+		j, ok := d.jobs[id]
+		if !ok {
+			d.mu.Unlock()
+			return Status{}, fmt.Errorf("%w: %q", jobs.ErrNotFound, id)
+		}
+		if j.state.Terminal() {
+			st := d.statusLocked(j)
+			d.mu.Unlock()
+			if attempt > 0 {
+				// Went terminal during the chase (observe() or our own
+				// earlier DELETE landing); nothing left to cancel.
+				return st, nil
+			}
+			return st, fmt.Errorf("%w: %q is already %s", ErrConflict, id, st.State)
+		}
+		workerName, remote := j.worker, j.remote
+		if workerName == "" || remote == "" {
+			// Not yet (or no longer) assigned: cancel locally; the runner
+			// wakes on done and exits.
+			d.finishLocked(j, jobs.StateCanceled)
+			d.enqueueLocked(j, store.Event{T: store.EvCanceled, Job: j.id, At: j.finished})
+			st := d.statusLocked(j)
+			d.mu.Unlock()
+			d.flushDirty()
+			d.flushJob(j) // the 200 must not outrun the canceled event's fsync
+			return st, nil
+		}
+		d.mu.Unlock()
+
+		w := d.workerByName(workerName)
+		cctx, cancel := context.WithTimeout(ctx, d.opts.RequestTimeout)
+		code, body, err := w.c.cancel(cctx, remote)
+		cancel()
+		if err != nil {
+			return Status{}, fmt.Errorf("fleet: cancel %q on %s: %w", id, workerName, err)
+		}
+		switch code {
+		case http.StatusOK, http.StatusNotFound:
+			d.mu.Lock()
+			if j.worker != workerName || j.remote != remote {
+				// Re-forwarded while the DELETE was in flight: the copy we
+				// canceled is not the live one. Chase the new assignment.
+				d.mu.Unlock()
+				continue
+			}
+			if !j.state.Terminal() {
+				d.finishLocked(j, jobs.StateCanceled)
+				d.enqueueLocked(j, store.Event{T: store.EvCanceled, Job: j.id, At: j.finished})
+			}
+			st := d.statusLocked(j)
+			d.mu.Unlock()
+			d.flushDirty()
+			d.flushJob(j) // the 200 must not outrun the canceled event's fsync
+			return st, nil
+		default:
+			return Status{}, fmt.Errorf("%w: %s", ErrConflict, decodeErr(code, body))
+		}
+	}
+	return Status{}, fmt.Errorf("fleet: cancel %q: assignment kept moving; retry", id)
+}
+
+// Engines returns the union of engine names across healthy workers.
+func (d *Dispatcher) Engines(ctx context.Context) ([]string, error) {
+	d.mu.Lock()
+	clients := make([]*client, 0, len(d.workers))
+	for _, name := range d.names {
+		if w := d.workers[name]; w.healthy {
+			clients = append(clients, w.c)
+		}
+	}
+	d.mu.Unlock()
+	if len(clients) == 0 {
+		return nil, errors.New("fleet: no healthy workers")
+	}
+	type outcome struct {
+		engines []string
+		err     error
+	}
+	results := make(chan outcome, len(clients))
+	for _, c := range clients {
+		go func(c *client) {
+			cctx, cancel := context.WithTimeout(ctx, d.opts.RequestTimeout)
+			defer cancel()
+			engines, err := c.engines(cctx)
+			results <- outcome{engines, err}
+		}(c)
+	}
+	union := map[string]bool{}
+	var lastErr error
+	got := false
+	for range clients {
+		o := <-results
+		if o.err != nil {
+			lastErr = o.err
+			continue
+		}
+		got = true
+		for _, e := range o.engines {
+			union[e] = true
+		}
+	}
+	if !got {
+		return nil, lastErr
+	}
+	out := make([]string, 0, len(union))
+	for e := range union {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Stats snapshots the dispatcher counters (journal counters inlined when
+// persistent).
+func (d *Dispatcher) Stats() Stats {
+	d.mu.Lock()
+	s := d.stats
+	s.Workers = len(d.workers)
+	for _, w := range d.workers {
+		if w.healthy {
+			s.Healthy++
+		}
+	}
+	d.mu.Unlock()
+	if d.opts.Store != nil {
+		s.Stats = d.opts.Store.Stats()
+	}
+	return s
+}
+
+// WorkerInfos snapshots per-node health for /v1/stats, in configured
+// order.
+func (d *Dispatcher) WorkerInfos() []WorkerInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(d.names))
+	for _, name := range d.names {
+		w := d.workers[name]
+		info := WorkerInfo{
+			Name:        name,
+			Healthy:     w.healthy,
+			Outstanding: w.outstanding,
+			ConsecFails: w.consecFails,
+		}
+		if v, ok := w.lastStats["queue_len"].(float64); ok {
+			info.QueueLen = int(v)
+		}
+		if v, ok := w.lastStats["running"].(float64); ok {
+			info.Running = int(v)
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// FleetStats sums the numeric counters of every worker's last probe —
+// the fleet-wide aggregate served under "fleet" in /v1/stats.
+func (d *Dispatcher) FleetStats() map[string]float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	agg := map[string]float64{}
+	for _, w := range d.workers {
+		for k, v := range w.lastStats {
+			if f, ok := v.(float64); ok {
+				agg[k] += f
+			}
+		}
+	}
+	return agg
+}
+
+// Close stops the prober and the per-job watchers and flushes the
+// journal. Jobs still running on workers keep running there; the journal
+// holds their assignments, so a restarted dispatcher re-attaches to
+// them.
+func (d *Dispatcher) Close() {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	d.stop()
+	d.wg.Wait()
+	if d.opts.Store != nil {
+		_ = d.opts.Store.Sync()
+	}
+}

@@ -1,0 +1,217 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/bundle"
+	"repro/internal/jobs"
+	"repro/internal/qop"
+)
+
+// NewHandler exposes a Dispatcher over the same /v1 surface the workers
+// serve, so clients cannot tell a fleet front-end from a single node:
+//
+//	POST   /v1/jobs             submit → routed to a worker (202 {id,state})
+//	GET    /v1/jobs             fleet-merged history (?state=&limit=)
+//	GET    /v1/jobs/{id}        dispatch status incl. worker + remote ID
+//	GET    /v1/jobs/{id}/result result proxied from the owning worker
+//	DELETE /v1/jobs/{id}        cancel, forwarded to the owning worker
+//	GET    /v1/engines          union of engines across healthy workers
+//	GET    /v1/stats            dispatcher + per-worker + fleet aggregate
+//
+// POST /v1/jobs?shards=N forwards the pin to whichever worker runs the
+// job. Submissions are accepted as long as the dispatcher is up — if no
+// worker is reachable the job queues (durably, when journaled) until the
+// fleet returns.
+func NewHandler(d *Dispatcher) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmit(d, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		handleList(d, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := d.Status(r.PathValue("id"))
+		if err != nil {
+			jobs.WriteJSON(w, http.StatusNotFound, jobs.ErrorJSON{Error: err.Error()})
+			return
+		}
+		jobs.WriteJSON(w, http.StatusOK, statusToJSON(st))
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		handleResult(d, w, r)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleCancel(d, w, r)
+	})
+	mux.HandleFunc("GET /v1/engines", func(w http.ResponseWriter, r *http.Request) {
+		engines, err := d.Engines(r.Context())
+		if err != nil {
+			jobs.WriteJSON(w, http.StatusServiceUnavailable, jobs.ErrorJSON{Error: err.Error()})
+			return
+		}
+		jobs.WriteJSON(w, http.StatusOK, map[string]any{"engines": engines})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		jobs.WriteJSON(w, http.StatusOK, map[string]any{
+			"dispatcher": d.Stats(),
+			"workers":    d.WorkerInfos(),
+			"fleet":      d.FleetStats(),
+		})
+	})
+	return mux
+}
+
+type statusJSON struct {
+	ID          string     `json:"id"`
+	State       jobs.State `json:"state"`
+	Engine      string     `json:"engine,omitempty"`
+	Worker      string     `json:"worker,omitempty"`
+	Remote      string     `json:"remote,omitempty"`
+	CacheHit    bool       `json:"cache_hit"`
+	Coalesced   bool       `json:"coalesced,omitempty"`
+	Shards      int        `json:"shards,omitempty"`
+	Reforwards  int        `json:"reforwards,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	SubmittedAt string     `json:"submitted_at"`
+	StartedAt   string     `json:"started_at,omitempty"`
+	FinishedAt  string     `json:"finished_at,omitempty"`
+}
+
+func statusToJSON(st Status) statusJSON {
+	out := statusJSON{
+		ID:          st.ID,
+		State:       st.State,
+		Engine:      st.Engine,
+		Worker:      st.Worker,
+		Remote:      st.Remote,
+		CacheHit:    st.CacheHit,
+		Coalesced:   st.Coalesced,
+		Shards:      st.Shards,
+		Reforwards:  st.Reforwards,
+		Error:       st.Error,
+		SubmittedAt: st.SubmittedAt.UTC().Format(time.RFC3339Nano),
+	}
+	if !st.StartedAt.IsZero() {
+		out.StartedAt = st.StartedAt.UTC().Format(time.RFC3339Nano)
+	}
+	if !st.FinishedAt.IsZero() {
+		out.FinishedAt = st.FinishedAt.UTC().Format(time.RFC3339Nano)
+	}
+	return out
+}
+
+func handleSubmit(d *Dispatcher, w http.ResponseWriter, r *http.Request) {
+	defer r.Body.Close()
+	raw, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, jobs.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			jobs.WriteJSON(w, http.StatusRequestEntityTooLarge,
+				jobs.ErrorJSON{Error: fmt.Sprintf("fleet: body exceeds %d bytes", jobs.MaxBodyBytes)})
+		} else {
+			jobs.WriteJSON(w, http.StatusBadRequest, jobs.ErrorJSON{Error: err.Error()})
+		}
+		return
+	}
+	b, err := bundle.FromJSON(raw, qop.ValidateOptions{AllowMidCircuit: d.opts.AllowMidCircuit})
+	if err != nil {
+		jobs.WriteJSON(w, http.StatusBadRequest, jobs.ErrorJSON{Error: err.Error()})
+		return
+	}
+	pin := 0
+	if rawShards := r.URL.Query().Get("shards"); rawShards != "" {
+		pin, err = strconv.Atoi(rawShards)
+		if err != nil || pin < 0 {
+			jobs.WriteJSON(w, http.StatusBadRequest, jobs.ErrorJSON{Error: fmt.Sprintf("fleet: invalid shards %q", rawShards)})
+			return
+		}
+	}
+	st, err := d.Submit(b, pin)
+	switch {
+	case errors.Is(err, jobs.ErrClosed):
+		jobs.WriteJSON(w, http.StatusServiceUnavailable, jobs.ErrorJSON{Error: err.Error()})
+		return
+	case err != nil:
+		jobs.WriteJSON(w, http.StatusInternalServerError, jobs.ErrorJSON{Error: err.Error()})
+		return
+	}
+	jobs.WriteJSON(w, http.StatusAccepted, map[string]any{
+		"id": st.ID, "state": st.State, "cache_hit": st.CacheHit,
+	})
+}
+
+func handleList(d *Dispatcher, w http.ResponseWriter, r *http.Request) {
+	state := jobs.State(r.URL.Query().Get("state"))
+	switch state {
+	case "", jobs.StateQueued, jobs.StateRunning, jobs.StateDone, jobs.StateFailed, jobs.StateCanceled:
+	default:
+		jobs.WriteJSON(w, http.StatusBadRequest, jobs.ErrorJSON{Error: fmt.Sprintf("fleet: unknown state %q", state)})
+		return
+	}
+	limit := 100
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			jobs.WriteJSON(w, http.StatusBadRequest, jobs.ErrorJSON{Error: fmt.Sprintf("fleet: invalid limit %q", raw)})
+			return
+		}
+		limit = n
+	}
+	sts := d.List(state, limit)
+	out := struct {
+		Jobs  []statusJSON `json:"jobs"`
+		Count int          `json:"count"`
+	}{Jobs: make([]statusJSON, len(sts)), Count: len(sts)}
+	for i, st := range sts {
+		out.Jobs[i] = statusToJSON(st)
+	}
+	jobs.WriteJSON(w, http.StatusOK, out)
+}
+
+func handleResult(d *Dispatcher, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	code, body, err := d.Result(r.Context(), id)
+	if err != nil {
+		switch {
+		case errors.Is(err, jobs.ErrNotFound):
+			jobs.WriteJSON(w, http.StatusNotFound, jobs.ErrorJSON{Error: err.Error()})
+		case errors.Is(err, jobs.ErrNotFinished):
+			jobs.WriteJSON(w, http.StatusAccepted, jobs.ErrorJSON{Error: err.Error()})
+		case errors.Is(err, jobs.ErrCanceled):
+			jobs.WriteJSON(w, http.StatusGone, jobs.ErrorJSON{Error: err.Error()})
+		case errors.Is(err, ErrJobFailed):
+			jobs.WriteJSON(w, http.StatusInternalServerError, jobs.ErrorJSON{Error: err.Error()})
+		default:
+			// Proxy/transport error reaching the owning worker.
+			jobs.WriteJSON(w, http.StatusBadGateway, jobs.ErrorJSON{Error: err.Error()})
+		}
+		return
+	}
+	// Relay the worker's document (and verdict) verbatim.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+func handleCancel(d *Dispatcher, w http.ResponseWriter, r *http.Request) {
+	st, err := d.Cancel(r.Context(), r.PathValue("id"))
+	if err != nil {
+		switch {
+		case errors.Is(err, jobs.ErrNotFound):
+			jobs.WriteJSON(w, http.StatusNotFound, jobs.ErrorJSON{Error: err.Error()})
+		case errors.Is(err, ErrConflict):
+			jobs.WriteJSON(w, http.StatusConflict, jobs.ErrorJSON{Error: err.Error()})
+		default:
+			jobs.WriteJSON(w, http.StatusBadGateway, jobs.ErrorJSON{Error: err.Error()})
+		}
+		return
+	}
+	jobs.WriteJSON(w, http.StatusOK, statusToJSON(st))
+}

@@ -1,0 +1,64 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingMinimalRehash pins the consistent-hash property the affinity
+// router depends on: ejecting one worker moves ONLY the keys that worker
+// owned (everything else keeps its node), and readmitting it restores
+// the original mapping exactly — so a worker bouncing in and out of the
+// fleet does not scramble cache locality for the others.
+func TestRingMinimalRehash(t *testing.T) {
+	workers := []string{"http://w1:8080", "http://w2:8080", "http://w3:8080"}
+	r := buildRing(workers, 64)
+	keys := make([]string, 500)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sha256:%064d", i)
+	}
+	baseline := map[string]string{}
+	owned := map[string]int{}
+	for _, k := range keys {
+		w := r.lookup(k, nil)
+		if w == "" {
+			t.Fatalf("key %s mapped nowhere", k)
+		}
+		baseline[k] = w
+		owned[w]++
+	}
+	// Every worker must own a meaningful share — a degenerate ring would
+	// defeat load spreading.
+	for _, w := range workers {
+		if owned[w] < len(keys)/10 {
+			t.Fatalf("worker %s owns only %d/%d keys", w, owned[w], len(keys))
+		}
+	}
+
+	// Eject w2: its keys redistribute, all other keys stay put.
+	alive := func(name string) bool { return name != workers[1] }
+	moved := 0
+	for _, k := range keys {
+		w := r.lookup(k, alive)
+		if baseline[k] != workers[1] {
+			if w != baseline[k] {
+				t.Fatalf("key %s moved %s→%s though its owner stayed healthy", k, baseline[k], w)
+			}
+			continue
+		}
+		moved++
+		if w == workers[1] || w == "" {
+			t.Fatalf("key %s still on the ejected worker (%q)", k, w)
+		}
+	}
+	if moved != owned[workers[1]] {
+		t.Fatalf("moved %d keys, want exactly the ejected worker's %d", moved, owned[workers[1]])
+	}
+
+	// Readmit: the original mapping returns bit-for-bit.
+	for _, k := range keys {
+		if w := r.lookup(k, nil); w != baseline[k] {
+			t.Fatalf("key %s: %s after readmit, want %s", k, w, baseline[k])
+		}
+	}
+}

@@ -67,9 +67,14 @@ func NewHandler(p *Pool) http.Handler {
 	return mux
 }
 
-type errorJSON struct {
+// ErrorJSON is the error document every /v1 endpoint serves; the fleet
+// dispatcher speaks the same wire shape.
+type ErrorJSON struct {
 	Error string `json:"error"`
 }
+
+// errorJSON is kept as the local alias the worker handlers use.
+type errorJSON = ErrorJSON
 
 type submitJSON struct {
 	ID       string `json:"id"`
@@ -300,10 +305,15 @@ func readAllLimited(r *http.Request) ([]byte, error) {
 	return io.ReadAll(http.MaxBytesReader(nil, r.Body, MaxBodyBytes))
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// WriteJSON writes one /v1 response document (indented, with the JSON
+// content type). Shared with the fleet dispatcher's handler so both
+// services encode identically.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
 }
+
+func writeJSON(w http.ResponseWriter, code int, v any) { WriteJSON(w, code, v) }

@@ -927,6 +927,13 @@ func (p *Pool) Close() {
 	}
 }
 
+// ResolveEngine mirrors runtime.Submit's engine selection for status
+// reporting without executing anything: the context's explicit engine,
+// else the scheduler's choice, else empty (such a job will fail with the
+// scheduler's error when it runs). The fleet dispatcher uses it to
+// journal and report an engine for jobs it forwards rather than runs.
+func ResolveEngine(b *bundle.Bundle) string { return resolveEngine(b) }
+
 // resolveEngine mirrors runtime.Submit's engine selection for status
 // reporting: the context's explicit engine, else the scheduler's choice,
 // else empty (the job will fail with the scheduler's error when it runs).

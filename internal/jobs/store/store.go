@@ -27,26 +27,30 @@
 //
 // The policy is explicit (Options.Sync): SyncAlways (default) fsyncs the
 // journal after every event, so an acknowledged submission survives a
-// crash of the very next instruction; SyncTerminal fsyncs only submitted
-// and terminal events (a lost started event merely re-runs the job);
-// SyncNone leaves flushing to the OS. Result files and compaction renames
-// are always written via temp-file + rename, and fsynced unless SyncNone.
+// crash of the very next instruction; SyncGroup gives the same guarantee
+// through group commit — appenders write their line, then wait on a
+// shared fsync barrier driven by a leader elected among the waiters, so
+// N concurrent appends cost one fsync instead of N (Stats.Syncs vs
+// Stats.Events makes the batching visible); SyncTerminal fsyncs only
+// submitted and terminal events (a lost started event merely re-runs the
+// job); SyncNone leaves flushing to the OS. Result files and compaction
+// renames are always written via temp-file + rename, and fsynced unless
+// SyncNone.
 //
 // The pool journals inside its own critical sections, which keeps the
 // event order trivially equal to the transition order but puts the fsync
 // on the submission path: under SyncAlways, sustained submission
-// throughput is bounded by disk sync latency. That is the intended
-// trade for a simulator whose jobs run milliseconds to seconds; a
-// group-commit writer (batch appends, one fsync per batch, submitters
-// await their barrier) is the known next step if the journal ever
-// becomes the bottleneck.
+// throughput from one pool is bounded by disk sync latency. SyncGroup is
+// the lever when many goroutines journal concurrently — the fleet
+// dispatcher, which journals every forwarded job from per-request
+// goroutines, uses it by default.
 //
 // # Compaction
 //
 // The journal grows by one line per transition while the record table is
 // bounded (the pool forgets evicted records). Once file lines exceed
 // compactFactor× the live table (plus a floor), Append rewrites the
-// journal from the table — at most three events per record — through a
+// journal from the table — at most four events per record — through a
 // temp file and atomic rename. Unreferenced result files beyond
 // Options.MaxResults are garbage-collected at the same time, oldest
 // first.
@@ -75,6 +79,11 @@ const (
 	SyncTerminal
 	// SyncNone never fsyncs; the OS flushes when it pleases.
 	SyncNone
+	// SyncGroup is group commit: every event is durable before Append
+	// returns (the SyncAlways guarantee), but concurrent appenders share
+	// one fsync barrier — a leader elected among the waiters syncs once
+	// for every line written before the barrier.
+	SyncGroup
 )
 
 // ParseSyncPolicy maps the qmlserve -fsync flag values.
@@ -82,22 +91,28 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) {
 	switch s {
 	case "always":
 		return SyncAlways, nil
+	case "group":
+		return SyncGroup, nil
 	case "terminal":
 		return SyncTerminal, nil
 	case "none":
 		return SyncNone, nil
 	}
-	return 0, fmt.Errorf("store: unknown fsync policy %q (want always|terminal|none)", s)
+	return 0, fmt.Errorf("store: unknown fsync policy %q (want always|group|terminal|none)", s)
 }
 
-// Event types journaled by the pool.
+// Event types journaled by the pool and the fleet dispatcher.
 const (
 	EvSubmitted = "submitted"
-	EvStarted   = "started"
-	EvDone      = "done"
-	EvFailed    = "failed"
-	EvCanceled  = "canceled"
-	EvForget    = "forget"
+	// EvAssigned records a fleet dispatcher handing the job to a worker
+	// node (Worker) under the worker's own job ID (Remote). A re-forward
+	// after a worker death appends a fresh assignment; last writer wins.
+	EvAssigned = "assigned"
+	EvStarted  = "started"
+	EvDone     = "done"
+	EvFailed   = "failed"
+	EvCanceled = "canceled"
+	EvForget   = "forget"
 )
 
 // Job states as recorded in the journal (mirrors jobs.State without the
@@ -122,6 +137,10 @@ type Event struct {
 	Engine string          `json:"engine,omitempty"`
 	Bundle json.RawMessage `json:"bundle,omitempty"`
 	Pin    int             `json:"pin,omitempty"`
+	// Assigned fields (fleet dispatcher): the worker node the job was
+	// forwarded to and the job ID the worker answered with.
+	Worker string `json:"worker,omitempty"`
+	Remote string `json:"remote,omitempty"`
 	// Started fields.
 	Shards int `json:"shards,omitempty"`
 	// Terminal fields.
@@ -139,6 +158,8 @@ type Record struct {
 	State     string
 	Bundle    json.RawMessage // retained only while queued/running
 	Pin       int             // submitter's explicit shard request
+	Worker    string          // fleet dispatcher: assigned worker node
+	Remote    string          // fleet dispatcher: job ID on that worker
 	Shards    int
 	CacheHit  bool
 	Coalesced bool
@@ -160,6 +181,9 @@ type Stats struct {
 	Events uint64 `json:"journal_events"`
 	// Lines is the current journal file length in events.
 	Lines int `json:"journal_lines"`
+	// Syncs counts journal fsyncs issued on the append path since Open;
+	// under SyncGroup, Syncs < Events shows group commit batching.
+	Syncs uint64 `json:"journal_syncs"`
 	// Compactions counts journal rewrites since Open.
 	Compactions uint64 `json:"journal_compactions"`
 	// Errors counts append/compaction failures the pool chose to survive.
@@ -203,6 +227,12 @@ func (o Options) withDefaults() Options {
 // compactFloor keeps tiny journals from compacting on every append.
 const compactFloor = 64
 
+// testSyncHook, when non-nil, runs in the group-commit leader with the
+// mutex released, just before its fsync — a test seam that widens the
+// barrier window so batching is observable on filesystems whose fsync
+// returns instantly.
+var testSyncHook func()
+
 // Store is a journal + result-file directory owned by one process. All
 // methods are safe for concurrent use (the pool journals under its own
 // lock but writes result files from worker goroutines).
@@ -211,10 +241,21 @@ type Store struct {
 	opts Options
 
 	mu      sync.Mutex
-	f       *os.File // journal, opened O_APPEND
+	cond    *sync.Cond // group commit barrier + compaction/fsync exclusion
+	f       *os.File   // journal, opened O_APPEND
 	lines   int
 	records map[string]*Record
 	stats   Stats
+
+	// Group-commit state (SyncGroup only). dirtyGen counts appended
+	// lines; syncedGen is the newest generation known durable. A leader
+	// elected among the waiters fsyncs with the mutex released, covering
+	// every line written before the sync began.
+	dirtyGen  uint64
+	syncedGen uint64
+	syncing   bool
+	failedGen uint64 // generations ≤ failedGen saw failErr if not yet synced
+	failErr   error
 }
 
 // Open creates dir (and its results/ subdirectory) if needed, replays the
@@ -226,6 +267,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{dir: dir, opts: opts, records: map[string]*Record{}}
+	s.cond = sync.NewCond(&s.mu)
 	if err := s.replay(); err != nil {
 		return nil, err
 	}
@@ -327,6 +369,9 @@ func (s *Store) apply(ev Event) {
 		r.Bundle = ev.Bundle
 		r.Pin = ev.Pin
 		r.Submitted = ev.At
+	case EvAssigned:
+		r.Worker = ev.Worker
+		r.Remote = ev.Remote
 	case EvStarted:
 		r.State = StateRunning
 		r.Started = ev.At
@@ -352,8 +397,10 @@ func (s *Store) apply(ev Event) {
 	}
 }
 
-// Append journals one event: table merge, file append, fsync per policy,
-// and compaction when terminal/obsolete lines dominate the live table.
+// Append journals one event: table merge, file append, fsync per policy
+// (under SyncGroup the appender waits on the shared group-commit
+// barrier), and compaction when terminal/obsolete lines dominate the
+// live table.
 func (s *Store) Append(ev Event) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -361,11 +408,63 @@ func (s *Store) Append(ev Event) error {
 		s.stats.Errors++
 		return err
 	}
+	if s.opts.Sync == SyncGroup {
+		if err := s.awaitDurableLocked(s.dirtyGen); err != nil {
+			s.stats.Errors++
+			return err
+		}
+	}
 	if s.lines > s.opts.CompactFactor*len(s.records)+compactFloor {
 		if err := s.compact(); err != nil {
 			s.stats.Errors++
 			return err
 		}
+	}
+	return nil
+}
+
+// awaitDurableLocked blocks until every journal line up to generation gen
+// is fsynced. The first waiter that finds no sync in flight becomes the
+// leader: it releases the mutex, fsyncs once, and wakes everyone whose
+// line was written before the sync began — one fsync absorbs a whole
+// burst of concurrent appends. Callers hold s.mu; it is held again on
+// return.
+func (s *Store) awaitDurableLocked(gen uint64) error {
+	for s.syncedGen < gen {
+		if s.failedGen >= gen {
+			return s.failErr
+		}
+		if s.f == nil {
+			return errors.New("store: journal dead (lost during a failed compaction)")
+		}
+		if !s.syncing {
+			s.syncing = true
+			f := s.f
+			s.mu.Unlock()
+			if testSyncHook != nil {
+				testSyncHook()
+			}
+			s.mu.Lock()
+			// Re-read the barrier target after the hook/handoff window:
+			// every line already written is covered by the sync below.
+			target := s.dirtyGen
+			s.mu.Unlock()
+			err := f.Sync()
+			s.mu.Lock()
+			s.syncing = false
+			s.stats.Syncs++
+			if err != nil {
+				// Fail every waiter covered by this barrier; later
+				// appends elect a fresh leader and retry.
+				s.failedGen = target
+				s.failErr = fmt.Errorf("store: %w", err)
+			} else if target > s.syncedGen {
+				s.syncedGen = target
+			}
+			s.cond.Broadcast()
+			continue
+		}
+		s.cond.Wait()
 	}
 	return nil
 }
@@ -385,9 +484,11 @@ func (s *Store) append(ev Event) error {
 		if err := s.f.Sync(); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
+		s.stats.Syncs++
 	}
 	s.apply(ev)
 	s.lines++
+	s.dirtyGen++
 	s.stats.Events++
 	return nil
 }
@@ -397,12 +498,12 @@ func (s *Store) syncEvent(t string) bool {
 	case SyncAlways:
 		return true
 	case SyncTerminal:
-		return t != EvStarted
+		return t != EvStarted && t != EvAssigned
 	}
-	return false
+	return false // SyncNone, and SyncGroup syncs via the barrier
 }
 
-// Compact rewrites the journal from the record table (at most three
+// Compact rewrites the journal from the record table (at most four
 // events per record) through a temp file and atomic rename, then
 // garbage-collects unreferenced result files beyond Options.MaxResults.
 func (s *Store) Compact() error {
@@ -412,6 +513,12 @@ func (s *Store) Compact() error {
 }
 
 func (s *Store) compact() error {
+	// A group-commit leader may be fsyncing the current handle with the
+	// mutex released; wait it out so the rename/reopen below never races
+	// an in-flight sync on the retiring file.
+	for s.syncing {
+		s.cond.Wait()
+	}
 	tmp, err := os.CreateTemp(s.dir, "journal-*.tmp")
 	if err != nil {
 		return fmt.Errorf("store: compact: %w", err)
@@ -474,6 +581,13 @@ func (s *Store) compact() error {
 	s.f = f
 	s.lines = written
 	s.stats.Compactions++
+	// The compacted file was fully written and (unless SyncNone) fsynced
+	// before the rename, so every journaled generation is now durable;
+	// release any group-commit waiters.
+	if s.syncedGen < s.dirtyGen {
+		s.syncedGen = s.dirtyGen
+		s.cond.Broadcast()
+	}
 	s.gcResults()
 	return nil
 }
@@ -485,6 +599,9 @@ func recordEvents(r *Record) []Event {
 		T: EvSubmitted, Job: r.Job, At: r.Submitted,
 		Key: r.Key, Engine: r.Engine, Bundle: r.Bundle, Pin: r.Pin,
 	}}
+	if r.Worker != "" || r.Remote != "" {
+		evs = append(evs, Event{T: EvAssigned, Job: r.Job, Worker: r.Worker, Remote: r.Remote})
+	}
 	if !r.Started.IsZero() {
 		evs = append(evs, Event{T: EvStarted, Job: r.Job, At: r.Started, Shards: r.Shards})
 	}
@@ -546,6 +663,11 @@ func (s *Store) Sync() error {
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Let an in-flight group-commit leader finish before the handle goes
+	// away under its fsync.
+	for s.syncing {
+		s.cond.Wait()
+	}
 	if s.f == nil {
 		return nil
 	}

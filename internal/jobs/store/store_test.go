@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -296,9 +297,119 @@ func TestResultGC(t *testing.T) {
 	}
 }
 
+// TestGroupCommitDurableAndBatched hammers a SyncGroup store from many
+// goroutines: every append must be durable (all records replay after a
+// kill-style reopen) while the fsync barrier batches — far fewer fsyncs
+// than events.
+func TestGroupCommitDurableAndBatched(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Sync: SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Widen the barrier window: on filesystems where fsync returns
+	// instantly each appender would lead its own sync before the next
+	// arrives and batching would be invisible.
+	testSyncHook = func() { time.Sleep(2 * time.Millisecond) }
+	defer func() { testSyncHook = nil }()
+	const n = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			job := fmt.Sprintf("job-%08d", i)
+			if err := s.Append(Event{T: EvSubmitted, Job: job, At: tstamp(i % 60), Key: sampleKey(i % 8), Engine: "fake.store"}); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Events != n {
+		t.Fatalf("events = %d, want %d", st.Events, n)
+	}
+	if st.Syncs >= n {
+		t.Fatalf("group commit did not batch: %d fsyncs for %d events", st.Syncs, n)
+	}
+	if st.Syncs == 0 {
+		t.Fatal("no fsync issued at all")
+	}
+
+	// Crash image: reopen without closing — every acknowledged append
+	// must already be in the file.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := len(s2.Records()); got != n {
+		t.Fatalf("replayed %d records, want %d", got, n)
+	}
+	s.Close()
+}
+
+// TestAssignedEventReplay checks the fleet dispatcher's assignment event:
+// last assignment wins on replay, and compaction regenerates it.
+func TestAssignedEventReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.Append(Event{T: EvSubmitted, Job: "job-00000001", At: tstamp(1), Key: sampleKey(1), Engine: "fake.store", Bundle: json.RawMessage(`{"a":1}`)}))
+	must(s.Append(Event{T: EvAssigned, Job: "job-00000001", At: tstamp(2), Worker: "http://w1:8080", Remote: "job-00000042"}))
+	// Worker died; re-forwarded elsewhere — the newer assignment wins.
+	must(s.Append(Event{T: EvAssigned, Job: "job-00000001", At: tstamp(3), Worker: "http://w2:8080", Remote: "job-00000007"}))
+	must(s.Close())
+
+	check := func(s *Store) {
+		t.Helper()
+		recs := s.Records()
+		if len(recs) != 1 {
+			t.Fatalf("records: %d", len(recs))
+		}
+		r := recs[0]
+		if r.Worker != "http://w2:8080" || r.Remote != "job-00000007" {
+			t.Fatalf("assignment = %q/%q, want latest", r.Worker, r.Remote)
+		}
+		if r.State != StateQueued || string(r.Bundle) != `{"a":1}` {
+			t.Fatalf("record lost submitted fields: %+v", r)
+		}
+	}
+	s2, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(s2)
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	check(s3)
+}
+
 // TestParseSyncPolicy pins the flag values.
 func TestParseSyncPolicy(t *testing.T) {
-	for s, want := range map[string]SyncPolicy{"always": SyncAlways, "terminal": SyncTerminal, "none": SyncNone} {
+	for s, want := range map[string]SyncPolicy{"always": SyncAlways, "group": SyncGroup, "terminal": SyncTerminal, "none": SyncNone} {
 		got, err := ParseSyncPolicy(s)
 		if err != nil || got != want {
 			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", s, got, err)

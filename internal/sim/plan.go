@@ -71,6 +71,13 @@ type kernel struct {
 	q2 int
 	m  gates.Matrix2
 	m4 gates.Matrix4
+	// Monomial decomposition of m4 (permutation × phase: exactly one
+	// nonzero per row and column), precomputed at Compile finalize. The
+	// sweep then costs 4 complex multiplies per quadruple instead of the
+	// dense kernel's 16 multiplies + 12 adds: out[r] = mph[r]·in[msrc[r]].
+	mono bool
+	msrc [4]int
+	mph  [4]complex128
 
 	// kCtrlPerm / kCtrlPhase
 	inserts []bitInsert
@@ -103,6 +110,10 @@ type PlanStats struct {
 	// MergedDiag counts diagonal gates (CZ/CP/Diagonal) merged into an
 	// earlier phase kernel.
 	MergedDiag int
+	// Monomial2Q counts dense 4×4 kernels that finalized as permutation ×
+	// phase — pure CX/CZ/SWAP/S-style chains — and execute on the
+	// 4-multiply monomial sweep instead of the full dense sweep.
+	Monomial2Q int
 }
 
 // Plan is a compiled circuit: a kernel sequence ready to execute against
@@ -156,8 +167,50 @@ func Compile(c *circuit.Circuit) (*Plan, error) {
 		}
 		pl.stats.SourceOps++
 	}
+	// Finalize: fusion is done mutating kernels, so monomial structure is
+	// now stable. A dense 4×4 that ended up permutation×phase (a pure
+	// CX/CZ/SWAP chain, possibly with X/Z/S-style 1Q gates folded in)
+	// downgrades to the 4-multiply monomial sweep.
+	for i := range pl.kernels {
+		k := &pl.kernels[i]
+		if k.kind != kGate2Q {
+			continue
+		}
+		if src, ph, ok := monomial4(k.m4); ok {
+			k.mono, k.msrc, k.mph = true, src, ph
+			pl.stats.Monomial2Q++
+		}
+	}
 	pl.stats.Kernels = len(pl.kernels)
 	return pl, nil
+}
+
+// monomial4 decomposes m as out[r] = ph[r]·in[src[r]] when every row and
+// column holds exactly one nonzero entry. The zero test is exact, like
+// isDiag4's: products and Kronecker factors of exact-zero patterns stay
+// exactly zero, so gate chains that are structurally permutation×phase
+// are recognized without a tolerance; a false negative only costs the
+// fast path, never correctness.
+func monomial4(m gates.Matrix4) (src [4]int, ph [4]complex128, ok bool) {
+	var colUsed [4]bool
+	for r := 0; r < 4; r++ {
+		found := -1
+		for c := 0; c < 4; c++ {
+			if m[r][c] != 0 {
+				if found >= 0 {
+					return src, ph, false
+				}
+				found = c
+			}
+		}
+		if found < 0 || colUsed[found] {
+			return src, ph, false
+		}
+		colUsed[found] = true
+		src[r] = found
+		ph[r] = m[r][found]
+	}
+	return src, ph, true
 }
 
 func (pl *Plan) checkQubits(qs ...int) error {
@@ -702,6 +755,13 @@ func (pl *Plan) executeOn(st *State, pool *shardPool) error {
 			})
 		case kGate2Q:
 			maskLo, maskHi := 1<<k.q, 1<<k.q2
+			if k.mono {
+				src, ph := &k.msrc, &k.mph
+				pool.do(len(a)/4, func(_, lo, hi int) {
+					sweep2QMonoAuto(a, src, ph, maskLo, maskHi, lo, hi)
+				})
+				break
+			}
 			m := &k.m4
 			pool.do(len(a)/4, func(_, lo, hi int) {
 				sweep2QAuto(a, m, maskLo, maskHi, lo, hi)
@@ -890,6 +950,70 @@ func sweep2QAuto(a []complex128, m *gates.Matrix4, maskLo, maskHi, lo, hi int) {
 		return
 	}
 	sweep2Q(a, m, maskLo, maskHi, lo, hi)
+}
+
+// sweep2QMono applies a monomial (permutation × phase) 4×4 kernel to the
+// amplitude quadruples indexed by [lo, hi): each output slot is one
+// scaled input slot, 4 complex multiplies per quadruple where the dense
+// sweep pays 16 multiplies and 12 adds.
+func sweep2QMono(a []complex128, src *[4]int, ph *[4]complex128, maskLo, maskHi, lo, hi int) {
+	lowLo, lowHi := maskLo-1, maskHi-1
+	s0, s1, s2, s3 := src[0], src[1], src[2], src[3]
+	p0, p1, p2, p3 := ph[0], ph[1], ph[2], ph[3]
+	for c := lo; c < hi; c++ {
+		x := (c&^lowLo)<<1 | c&lowLo
+		i := (x&^lowHi)<<1 | x&lowHi
+		j := i | maskLo
+		k := i | maskHi
+		l := j | maskHi
+		q := [4]complex128{a[i], a[j], a[k], a[l]}
+		a[i] = p0 * q[s0]
+		a[j] = p1 * q[s1]
+		a[k] = p2 * q[s2]
+		a[l] = p3 * q[s3]
+	}
+}
+
+// sweep2QMonoBlocked is the cache-blocked monomial form for pairs whose
+// lower qubit stride gives long contiguous quadrant runs (mirrors
+// sweep2QBlocked's block expansion).
+func sweep2QMonoBlocked(a []complex128, src *[4]int, ph *[4]complex128, maskLo, maskHi, lo, hi int) {
+	lowLo, lowHi := maskLo-1, maskHi-1
+	p0, p1, p2, p3 := ph[0], ph[1], ph[2], ph[3]
+	for c := lo; c < hi; {
+		x := (c&^lowLo)<<1 | c&lowLo
+		i := (x&^lowHi)<<1 | x&lowHi
+		run := maskLo - c&lowLo
+		if run > hi-c {
+			run = hi - c
+		}
+		if run > cacheBlockAmps {
+			run = cacheBlockAmps
+		}
+		q := [4][]complex128{
+			a[i : i+run],
+			a[i|maskLo:][:run],
+			a[i|maskHi:][:run],
+			a[i|maskLo|maskHi:][:run],
+		}
+		in0, in1, in2, in3 := q[src[0]], q[src[1]], q[src[2]], q[src[3]]
+		q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
+		for r := range q0 {
+			b0, b1, b2, b3 := p0*in0[r], p1*in1[r], p2*in2[r], p3*in3[r]
+			q0[r], q1[r], q2[r], q3[r] = b0, b1, b2, b3
+		}
+		c += run
+	}
+}
+
+// sweep2QMonoAuto picks the blocked monomial sweep when the lower pair
+// qubit's stride gives long enough contiguous runs.
+func sweep2QMonoAuto(a []complex128, src *[4]int, ph *[4]complex128, maskLo, maskHi, lo, hi int) {
+	if maskLo >= blockedStrideMin {
+		sweep2QMonoBlocked(a, src, ph, maskLo, maskHi, lo, hi)
+		return
+	}
+	sweep2QMono(a, src, ph, maskLo, maskHi, lo, hi)
 }
 
 // sweepCtrlPerm exchanges amplitude pairs (i, i^flip) over the compact

@@ -135,6 +135,53 @@ func BenchmarkFusedEvolve20Shards(b *testing.B) {
 	}
 }
 
+// monomialChainCircuit builds the monomial-heavy workload: brickwork
+// layers whose pair kernels fuse from pure CX/CZ/SWAP chains plus
+// phase-type single-qubit gates, so every dense 4×4 finalizes as
+// permutation×phase and executes on the 4-multiply monomial sweep. An
+// opening H layer spreads amplitude so the sweeps move real weight.
+func monomialChainCircuit(n, layers int) *circuit.Circuit {
+	c := circuit.New(n, 0)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for l := 0; l < layers; l++ {
+		for q := 0; q+1 < n; q += 2 {
+			c.CX(q, q+1)
+			c.CZGate(q, q+1)
+			c.S(q)
+			c.CX(q+1, q)
+		}
+		for q := 1; q+1 < n; q += 2 {
+			c.Swap(q, q+1)
+			c.CX(q, q+1)
+			c.T(q + 1)
+			c.CZGate(q, q+1)
+		}
+	}
+	return c
+}
+
+// BenchmarkMonomialEvolve20 runs the monomial-heavy circuit through the
+// compiled plan — the acceptance benchmark for the permutation×phase
+// fast path (4 complex multiplies per quadruple instead of 16×mul+12×add).
+func BenchmarkMonomialEvolve20(b *testing.B) {
+	c := monomialChainCircuit(20, 4)
+	pl, err := Compile(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if pl.Stats().Monomial2Q == 0 {
+		b.Fatalf("benchmark circuit produced no monomial kernels: %+v", pl.Stats())
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evolve(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCompileDeep20 isolates plan construction — it must stay
 // negligible next to a single statevector sweep.
 func BenchmarkCompileDeep20(b *testing.B) {

@@ -405,6 +405,143 @@ func TestCompileParityCXHeavyRandom(t *testing.T) {
 	}
 }
 
+// monomialCircuit builds a circuit whose two-qubit chains are pure
+// permutation×phase: CX/CZ/SWAP/CP(π-multiples are unnecessary — any CP
+// is diagonal) chains on a few pairs, interleaved with phase-type and
+// permutation-type single-qubit gates (X, Y, Z, S, Sdg, T, Tdg). Every
+// dense 4×4 kernel such a circuit compiles to must finalize monomial.
+func monomialCircuit(r *rand.Rand, n, depth int) *circuit.Circuit {
+	c := circuit.New(n, 0)
+	oneQ := []gates.Name{gates.X, gates.Y, gates.Z, gates.S, gates.Sdg, gates.T, gates.Tdg}
+	for i := 0; i < depth; i++ {
+		switch r.Intn(5) {
+		case 0:
+			c.Gate(oneQ[r.Intn(len(oneQ))], []int{r.Intn(n)})
+		default:
+			qs := r.Perm(n)[:2]
+			switch r.Intn(4) {
+			case 0:
+				c.CX(qs[0], qs[1])
+			case 1:
+				c.CZGate(qs[0], qs[1])
+			case 2:
+				c.CPhase(r.Float64()*4*math.Pi-2*math.Pi, qs[0], qs[1])
+			default:
+				c.Swap(qs[0], qs[1])
+			}
+		}
+	}
+	return c
+}
+
+// TestCompileMonomialStats checks the fast-path detection: a CX·CZ·CX
+// chain on one pair fuses into a dense 4×4 that finalizes as monomial,
+// while folding in a Hadamard (a genuinely dense 1Q gate) keeps the
+// kernel on the dense sweep.
+func TestCompileMonomialStats(t *testing.T) {
+	c := circuit.New(3, 0)
+	c.CX(0, 1)
+	c.CZGate(0, 1)
+	c.CX(0, 1)
+	pl, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Stats().Fused2Q == 0 {
+		t.Fatalf("chain did not fuse: %+v", pl.Stats())
+	}
+	if pl.Stats().Monomial2Q != 1 {
+		t.Fatalf("CX·CZ·CX kernel not detected monomial: %+v", pl.Stats())
+	}
+
+	c2 := circuit.New(3, 0)
+	c2.CX(0, 1)
+	c2.H(0)
+	c2.CX(0, 1)
+	pl2, err := Compile(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl2.Stats().Monomial2Q != 0 {
+		t.Fatalf("H-bearing kernel wrongly detected monomial: %+v", pl2.Stats())
+	}
+}
+
+// TestCompileParityMonomial is the parity suite for the monomial sweep:
+// permutation×phase circuits on 2–12 qubits must agree with the direct
+// per-gate path at 1e-9 across shard counts, and the fast path must
+// actually be exercised.
+func TestCompileParityMonomial(t *testing.T) {
+	shardCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	sawMono := false
+	for n := 2; n <= 12; n += 2 {
+		for trial := 0; trial < 4; trial++ {
+			r := rand.New(rand.NewSource(int64(7000*n + trial)))
+			c := monomialCircuit(r, n, 20+r.Intn(30))
+			want := evolveDirect(t, c)
+			pl, err := Compile(c)
+			if err != nil {
+				t.Fatalf("n=%d trial=%d: %v", n, trial, err)
+			}
+			if pl.Stats().Monomial2Q > 0 {
+				sawMono = true
+			}
+			for _, shards := range shardCounts {
+				st := mustState(t, n)
+				if err := pl.Execute(st, shards); err != nil {
+					t.Fatalf("n=%d trial=%d shards=%d: %v", n, trial, shards, err)
+				}
+				if d := maxAmpDelta(want, st); d > 1e-9 {
+					t.Errorf("n=%d trial=%d shards=%d: max amplitude delta %v\n%s", n, trial, shards, d, c)
+				}
+			}
+		}
+	}
+	if !sawMono {
+		t.Fatal("no trial produced a monomial kernel; the fast path went untested")
+	}
+}
+
+// TestCompileParityMonomialBlocked pins the cache-blocked monomial sweep:
+// a chain on a high qubit pair (lower-qubit stride ≥ blockedStrideMin)
+// must match the direct path.
+func TestCompileParityMonomialBlocked(t *testing.T) {
+	const n = 14
+	c := circuit.New(n, 0)
+	// Spread amplitude across the low qubits only: a Hadamard on 12 or 13
+	// would fold into the pair kernel and (rightly) disqualify the
+	// monomial form. X/T on the pair keep it permutation×phase.
+	for q := 0; q < 12; q++ {
+		c.H(q)
+		c.T(q)
+	}
+	c.X(12)
+	c.T(13)
+	c.X(13)
+	c.CX(12, 13)
+	c.CZGate(12, 13)
+	c.Swap(12, 13)
+	c.S(12)
+	c.CX(13, 12)
+	want := evolveDirect(t, c)
+	pl, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Stats().Monomial2Q == 0 {
+		t.Fatalf("high-pair chain not monomial: %+v", pl.Stats())
+	}
+	for _, shards := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		st := mustState(t, n)
+		if err := pl.Execute(st, shards); err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAmpDelta(want, st); d > 1e-9 {
+			t.Errorf("shards=%d: max amplitude delta %v", shards, d)
+		}
+	}
+}
+
 // TestCompileRejectsMidCircuitMeasure mirrors Evolve's contract.
 func TestCompileRejectsMidCircuitMeasure(t *testing.T) {
 	c := circuit.New(2, 2)
