@@ -5,9 +5,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -16,6 +20,7 @@ import (
 	"repro/internal/bundle"
 	"repro/internal/ctxdesc"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/qdt"
 )
 
@@ -82,8 +87,22 @@ func startProc(t *testing.T, bin string, args ...string) *server {
 }
 
 func postJob(t *testing.T, s *server, raw []byte) string {
+	return postJobTraced(t, s, raw, "")
+}
+
+// postJobTraced submits with an optional X-Trace-Id and checks the
+// accepted trace echoes on the 202 header.
+func postJobTraced(t *testing.T, s *server, raw []byte, trace string) string {
 	t.Helper()
-	resp, err := http.Post(s.url("/v1/jobs"), "application/json", bytes.NewReader(raw))
+	req, err := http.NewRequest(http.MethodPost, s.url("/v1/jobs"), bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +116,34 @@ func postJob(t *testing.T, s *server, raw []byte) string {
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit code %d", resp.StatusCode)
 	}
+	if trace != "" && resp.Header.Get(obs.TraceHeader) != trace {
+		t.Fatalf("202 %s = %q, want %q", obs.TraceHeader, resp.Header.Get(obs.TraceHeader), trace)
+	}
 	return sub.ID
+}
+
+// scrapeMetrics GETs /metrics off a process and runs the strict
+// exposition parser, returning families by name.
+func scrapeMetrics(t *testing.T, s *server) map[string]obs.Family {
+	t.Helper()
+	resp, err := http.Get(s.url("/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d (%s)", resp.StatusCode, raw)
+	}
+	fams, err := obs.ParseExposition(string(raw))
+	if err != nil {
+		t.Fatalf("/metrics on %s does not parse: %v", s.addr, err)
+	}
+	byName := map[string]obs.Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	return byName
 }
 
 // TestDispatchAcceptance is the PR acceptance test at the process level:
@@ -129,10 +175,12 @@ func TestDispatchAcceptance(t *testing.T) {
 		"-data-dir", dataDir,
 		"-probe-interval", "100ms",
 		"-poll-interval", "25ms",
+		"-debug-addr", "127.0.0.1:0",
 	}
 	disp := startProc(t, bin, dispArgs...)
 
-	id := postJob(t, disp, slowBundle(t, 7))
+	const trace = "trace-acceptance-01"
+	id := postJobTraced(t, disp, slowBundle(t, 7), trace)
 
 	// Wait until the dispatcher reports the job running on a known
 	// worker, then SIGKILL that worker.
@@ -171,6 +219,60 @@ func TestDispatchAcceptance(t *testing.T) {
 		t.Fatalf("job was not re-forwarded: %v", fin)
 	}
 	resFleet := getJSON(t, disp.url("/v1/jobs/"+id+"/result"), http.StatusOK)
+
+	// Tracing: the inbound X-Trace-Id is on the status document with a
+	// span log, in the surviving worker's structured logs, and in the
+	// dispatcher's journal file.
+	if fin["trace_id"] != trace {
+		t.Fatalf("status trace_id = %v, want %q", fin["trace_id"], trace)
+	}
+	if spans, ok := fin["spans"].([]any); !ok || len(spans) < 3 {
+		t.Fatalf("status spans: %v", fin["spans"])
+	}
+	if !strings.Contains(survivor.logs.String(), trace) {
+		t.Fatalf("trace %q absent from the surviving worker's logs:\n%s", trace, survivor.logs)
+	}
+	journal, err := os.ReadFile(filepath.Join(dataDir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(journal), trace) {
+		t.Fatalf("trace %q absent from the dispatcher journal", trace)
+	}
+
+	// /metrics: both tiers serve a valid exposition with the latency
+	// histograms the PR promises.
+	dispFams := scrapeMetrics(t, disp)
+	for _, name := range []string{"fleet_roundtrip_seconds", "store_journal_append_seconds", "fleet_submitted_total", "build_info", "go_goroutines"} {
+		if _, ok := dispFams[name]; !ok {
+			t.Fatalf("dispatcher /metrics missing %s", name)
+		}
+	}
+	workerFams := scrapeMetrics(t, survivor)
+	for _, name := range []string{"jobs_queue_wait_seconds", "jobs_run_seconds", "sim_execute_seconds", "jobs_submitted_total"} {
+		if _, ok := workerFams[name]; !ok {
+			t.Fatalf("worker /metrics missing %s", name)
+		}
+	}
+
+	// -debug-addr: the dispatcher's debug listener answers pprof and a
+	// /metrics copy.
+	debugRE := regexp.MustCompile(`msg="qmlserve debug listening" addr=(\S+)`)
+	m := debugRE.FindStringSubmatch(disp.logs.String())
+	if m == nil {
+		t.Fatalf("debug listener address not logged:\n%s", disp.logs)
+	}
+	for _, path := range []string{"/debug/pprof/cmdline", "/metrics"} {
+		resp, err := http.Get("http://" + m[1] + path)
+		if err != nil {
+			t.Fatalf("GET %s on debug listener: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(body) == 0 {
+			t.Fatalf("debug %s = %d (%d bytes)", path, resp.StatusCode, len(body))
+		}
+	}
 
 	// Reference: the same bundle on a fresh single node produces the
 	// same counts (deterministic in bundle+shots+seed) — the re-run lost

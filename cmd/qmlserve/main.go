@@ -16,6 +16,7 @@
 //	curl -s 'localhost:8080/v1/jobs?state=done&limit=20'   # history listing
 //	curl -s localhost:8080/v1/engines
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics                         # Prometheus text format
 //
 // Re-POSTing an identical bundle (same intent, context, shots, seed)
 // returns a new job ID already in state "done" with "cache_hit": true —
@@ -29,6 +30,28 @@
 // (default GOMAXPROCS) so one big simulation spans every core, while jobs
 // running alongside others stay single-shard. POST /v1/jobs?shards=N pins
 // the grant per job; /v1/stats reports max_shards and wide_jobs.
+//
+// # Observability
+//
+// GET /metrics serves the internal/obs registry in Prometheus text
+// exposition format: the jobs_*/store_*/fleet_* counters behind
+// /v1/stats, latency histograms (queue wait, execution, per-stage
+// compile/execute/sample, journal append and fsync, dispatcher→worker
+// round trips), Go runtime gauges (go_goroutines, heap, GC) and a
+// build_info gauge carrying the VCS revision.
+//
+// Every job carries a trace ID: inbound X-Trace-Id is honored (else one
+// is generated), echoed on the 202, recorded in the journal, forwarded
+// dispatcher→worker, and attached to every structured log line. GET
+// /v1/jobs/{id} includes the trace ID and a per-job span log (queued →
+// started → transpile/compile/execute/sample → done).
+//
+// Logs are structured (log/slog); -log-format picks text (default) or
+// json. -debug-addr starts a second listener exposing /debug/pprof/* and
+// a /metrics copy — keep it on a loopback or otherwise private address:
+//
+//	qmlserve -addr :8080 -debug-addr 127.0.0.1:6060
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
 //
 // # Durability
 //
@@ -71,9 +94,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -84,7 +108,18 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/jobs"
 	"repro/internal/jobs/store"
+	"repro/internal/obs"
 )
+
+// config is the flag set both serving modes share.
+type config struct {
+	addr      string
+	dataDir   string
+	fsync     string
+	debugAddr string
+	log       *slog.Logger
+	reg       *obs.Registry
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -97,9 +132,15 @@ func main() {
 	dispatch := flag.String("dispatch", "", "comma-separated worker base URLs: serve as a fleet dispatcher instead of a worker")
 	probeInterval := flag.Duration("probe-interval", time.Second, "dispatcher: worker health probe cadence")
 	pollInterval := flag.Duration("poll-interval", 100*time.Millisecond, "dispatcher: remote job status poll cadence")
+	logFormat := flag.String("log-format", "text", "structured log format: text|json")
+	debugAddr := flag.String("debug-addr", "", "debug listener address for /debug/pprof and /metrics (empty = off; keep it private)")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: qmlserve [-addr :8080] [-workers n] [-queue n] [-cache n] [-max-shards n] [-data-dir dir] [-fsync always|group|terminal|none] [-dispatch w1,w2,...]")
+		fmt.Fprintln(os.Stderr, "usage: qmlserve [-addr :8080] [-workers n] [-queue n] [-cache n] [-max-shards n] [-data-dir dir] [-fsync always|group|terminal|none] [-dispatch w1,w2,...] [-log-format text|json] [-debug-addr :6060]")
+		os.Exit(2)
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		fmt.Fprintf(os.Stderr, "qmlserve: unknown -log-format %q (want text or json)\n", *logFormat)
 		os.Exit(2)
 	}
 	if *fsync == "" {
@@ -112,29 +153,67 @@ func main() {
 			*fsync = "always"
 		}
 	}
+	cfg := config{
+		addr:      *addr,
+		dataDir:   *dataDir,
+		fsync:     *fsync,
+		debugAddr: *debugAddr,
+		log:       obs.NewLogger(*logFormat, os.Stderr),
+		// One process-wide registry: subsystem instruments, Go runtime
+		// gauges and the build_info gauge all land here, so /metrics on
+		// the main and debug listeners serve one coherent exposition.
+		reg: obs.NewRegistry(),
+	}
+	obs.RegisterRuntime(cfg.reg)
+	obs.RegisterBuildInfo(cfg.reg)
 	var err error
 	if *dispatch != "" {
-		err = runDispatch(*addr, *dispatch, *dataDir, *fsync, *probeInterval, *pollInterval)
+		err = runDispatch(cfg, *dispatch, *probeInterval, *pollInterval)
 	} else {
-		err = run(*addr, *workers, *queue, *cache, *maxShards, *dataDir, *fsync)
+		err = run(cfg, *workers, *queue, *cache, *maxShards)
 	}
 	if err != nil {
-		log.Fatalf("qmlserve: %v", err)
+		cfg.log.Error("qmlserve exiting", "err", err)
+		os.Exit(1)
 	}
+}
+
+// startDebug brings up the -debug-addr listener: net/http/pprof's
+// handlers plus a /metrics copy, on its own mux so none of it leaks onto
+// the service address. Returns a stop func (nil addr = no-op).
+func startDebug(cfg config) (func(), error) {
+	if cfg.debugAddr == "" {
+		return func() {}, nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /metrics", obs.Handler(cfg.reg, obs.Default()))
+	ln, err := net.Listen("tcp", cfg.debugAddr)
+	if err != nil {
+		return nil, fmt.Errorf("debug listener: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	cfg.log.Info("qmlserve debug listening", "addr", ln.Addr().String())
+	return func() { srv.Close() }, nil
 }
 
 // runDispatch brings up the fleet front-end, blocks until
 // SIGINT/SIGTERM, and tears down in order: HTTP drain, dispatcher stop,
 // journal flush + close. Jobs still running on workers keep running;
 // the journal carries their assignments to the next dispatcher life.
-func runDispatch(addr, dispatch, dataDir, fsync string, probeInterval, pollInterval time.Duration) error {
+func runDispatch(cfg config, dispatch string, probeInterval, pollInterval time.Duration) error {
 	var st *store.Store
-	if dataDir != "" {
-		policy, err := store.ParseSyncPolicy(fsync)
+	if cfg.dataDir != "" {
+		policy, err := store.ParseSyncPolicy(cfg.fsync)
 		if err != nil {
 			return err
 		}
-		st, err = store.Open(dataDir, store.Options{Sync: policy})
+		st, err = store.Open(cfg.dataDir, store.Options{Sync: policy, Metrics: cfg.reg})
 		if err != nil {
 			return err
 		}
@@ -144,6 +223,8 @@ func runDispatch(addr, dispatch, dataDir, fsync string, probeInterval, pollInter
 		Store:         st,
 		ProbeInterval: probeInterval,
 		PollInterval:  pollInterval,
+		Logger:        cfg.log,
+		Metrics:       cfg.reg,
 	})
 	if err != nil {
 		if st != nil {
@@ -153,12 +234,20 @@ func runDispatch(addr, dispatch, dataDir, fsync string, probeInterval, pollInter
 	}
 	if st != nil {
 		s := d.Stats()
-		log.Printf("qmlserve: dispatcher recovered %d job records from %s (%d re-attached)",
-			s.Recovered, dataDir, s.Reattached)
+		cfg.log.Info("dispatcher recovered journal", "dir", cfg.dataDir, "recovered", s.Recovered, "reattached", s.Reattached)
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	stopDebug, err := startDebug(cfg)
 	if err != nil {
+		d.Close()
+		if st != nil {
+			st.Close()
+		}
+		return err
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		stopDebug()
 		d.Close()
 		if st != nil {
 			st.Close()
@@ -172,10 +261,11 @@ func runDispatch(addr, dispatch, dataDir, fsync string, probeInterval, pollInter
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	log.Printf("qmlserve: dispatching to workers %s; listening on %s", dispatch, ln.Addr())
+	cfg.log.Info("qmlserve listening", "addr", ln.Addr().String(), "mode", "dispatcher", "fleet", dispatch)
 
 	select {
 	case err := <-errc:
+		stopDebug()
 		d.Close()
 		if st != nil {
 			st.Close()
@@ -184,35 +274,37 @@ func runDispatch(addr, dispatch, dataDir, fsync string, probeInterval, pollInter
 	case <-ctx.Done():
 	}
 
-	log.Printf("qmlserve: dispatcher shutting down")
+	cfg.log.Info("dispatcher shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("qmlserve: shutdown: %v", err)
+		cfg.log.Warn("shutdown", "err", err)
 	}
+	stopDebug()
 	d.Close()
 	if st != nil {
 		if err := st.Close(); err != nil {
-			log.Printf("qmlserve: closing journal: %v", err)
+			cfg.log.Warn("closing journal", "err", err)
 		}
 	}
 	s := d.Stats()
-	log.Printf("qmlserve: dispatcher done (submitted=%d completed=%d failed=%d forwarded=%d reforwarded=%d journal_events=%d)",
-		s.Submitted, s.Completed, s.Failed, s.Forwarded, s.Reforwarded, s.Events)
+	cfg.log.Info("dispatcher done",
+		"submitted", s.Submitted, "completed", s.Completed, "failed", s.Failed,
+		"forwarded", s.Forwarded, "reforwarded", s.Reforwarded, "journal_events", s.Events)
 	return nil
 }
 
 // run brings the service up, blocks until SIGINT/SIGTERM or a listener
 // failure, and tears it down in order: HTTP drain, pool drain, journal
 // flush + close.
-func run(addr string, workers, queue, cache, maxShards int, dataDir, fsync string) error {
+func run(cfg config, workers, queue, cache, maxShards int) error {
 	var st *store.Store
-	if dataDir != "" {
-		policy, err := store.ParseSyncPolicy(fsync)
+	if cfg.dataDir != "" {
+		policy, err := store.ParseSyncPolicy(cfg.fsync)
 		if err != nil {
 			return err
 		}
-		st, err = store.Open(dataDir, store.Options{Sync: policy})
+		st, err = store.Open(cfg.dataDir, store.Options{Sync: policy, Metrics: cfg.reg})
 		if err != nil {
 			return err
 		}
@@ -221,17 +313,26 @@ func run(addr string, workers, queue, cache, maxShards int, dataDir, fsync strin
 	pool := jobs.NewPool(jobs.Options{
 		Workers: workers, QueueDepth: queue, CacheSize: cache,
 		MaxShards: maxShards, Store: st,
+		Logger: cfg.log, Metrics: cfg.reg,
 	})
 	if st != nil {
 		s := pool.Stats()
-		log.Printf("qmlserve: recovered %d job records from %s (%d requeued, %d results on disk)",
-			s.Recovered, dataDir, s.Requeued, s.Results)
+		cfg.log.Info("recovered journal", "dir", cfg.dataDir, "recovered", s.Recovered, "requeued", s.Requeued, "disk_results", s.Results)
 	}
 
+	stopDebug, err := startDebug(cfg)
+	if err != nil {
+		pool.Close()
+		if st != nil {
+			st.Close()
+		}
+		return err
+	}
 	// An explicit listener (not ListenAndServe) so ":0" works and the
 	// bound address is known — the restart test leans on both.
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
+		stopDebug()
 		pool.Close()
 		if st != nil {
 			st.Close()
@@ -245,10 +346,11 @@ func run(addr string, workers, queue, cache, maxShards int, dataDir, fsync strin
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	log.Printf("qmlserve: listening on %s (engines: %v)", ln.Addr(), backend.Engines())
+	cfg.log.Info("qmlserve listening", "addr", ln.Addr().String(), "mode", "worker", "engines", fmt.Sprint(backend.Engines()))
 
 	select {
 	case err := <-errc:
+		stopDebug()
 		pool.Close()
 		if st != nil {
 			st.Close()
@@ -257,24 +359,26 @@ func run(addr string, workers, queue, cache, maxShards int, dataDir, fsync strin
 	case <-ctx.Done():
 	}
 
-	log.Printf("qmlserve: shutting down")
+	cfg.log.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		// DeadlineExceeded here means in-flight requests were cut off.
-		log.Printf("qmlserve: shutdown: %v", err)
+		cfg.log.Warn("shutdown", "err", err)
 	}
+	stopDebug()
 	// Drain the pool: running and queued jobs finish (journaling their
 	// terminal states), coalesced waiters are released with their
 	// primaries, late submissions fail fast with ErrClosed.
 	pool.Close()
 	if st != nil {
 		if err := st.Close(); err != nil {
-			log.Printf("qmlserve: closing journal: %v", err)
+			cfg.log.Warn("closing journal", "err", err)
 		}
 	}
 	s := pool.Stats()
-	log.Printf("qmlserve: done (submitted=%d completed=%d failed=%d cache_hits=%d journal_events=%d)",
-		s.Submitted, s.Completed, s.Failed, s.CacheHits, s.Events)
+	cfg.log.Info("done",
+		"submitted", s.Submitted, "completed", s.Completed, "failed", s.Failed,
+		"cache_hits", s.CacheHits, "journal_events", s.Events)
 	return nil
 }

@@ -88,7 +88,10 @@ type server struct {
 	logs *logBuffer
 }
 
-var listenRE = regexp.MustCompile(`listening on (\S+)`)
+// listenRE matches the slog text line the server emits once bound:
+//
+//	time=... level=INFO msg="qmlserve listening" addr=127.0.0.1:43210 mode=worker ...
+var listenRE = regexp.MustCompile(`msg="qmlserve listening" addr=(\S+)`)
 
 func startServer(t *testing.T, bin, dataDir string) *server {
 	t.Helper()

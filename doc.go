@@ -74,6 +74,28 @@
 // dispatcher restart replays the journal, re-polls workers for in-flight
 // state, and keeps answering status/result for pre-crash jobs.
 //
+// # Observability
+//
+// Every layer reports through internal/obs, a stdlib-only telemetry
+// package: atomic counters, gauges and fixed-bucket histograms in a
+// named registry, exposed in Prometheus text format on GET /metrics
+// (worker and dispatcher alike). The instruments are the system of
+// record — /v1/stats reads the same counters back — so the two surfaces
+// can never disagree. Histograms time the stages that matter: queue
+// wait, compile/execute/sample inside the engine, journal append and
+// fsync, and the dispatcher→worker round trip.
+//
+// Work is traceable fleet-wide: POST /v1/jobs accepts (or generates,
+// then echoes) an X-Trace-Id; the dispatcher forwards it to whichever
+// worker runs the job, both tiers journal it with every event, and
+// GET /v1/jobs/{id} returns it with a per-job span log (queued →
+// assigned → started → done, with durations) on either tier. All
+// process output is structured log/slog (-log-format=text|json) tagged
+// with trace, job and worker fields, and -debug-addr opts into a
+// separate listener serving net/http/pprof plus a second /metrics.
+// Handlers are wrapped in panic-recovery middleware that logs the
+// stack and counts http_panics_total instead of killing the process.
+//
 // Two consumers wrap the pool. cmd/qmlserve exposes it over HTTP
 // (stdlib net/http) speaking the job.json schema:
 //

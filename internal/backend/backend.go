@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/bundle"
 	"repro/internal/result"
@@ -30,6 +31,17 @@ type Backend interface {
 // the engine choose".
 type Sharded interface {
 	ExecuteSharded(b *bundle.Bundle, shards int) (*result.Result, error)
+}
+
+// StageFunc receives one callback per pipeline stage a backend times
+// ("transpile", "compile", "execute", "sample") with its wall-clock
+// duration. The jobs layer turns these into per-job span logs.
+type StageFunc func(stage string, d time.Duration)
+
+// Staged is implemented by backends that can report per-stage timings.
+// stages may be nil (equivalent to ExecuteSharded).
+type Staged interface {
+	ExecuteStaged(b *bundle.Bundle, shards int, stages StageFunc) (*result.Result, error)
 }
 
 // DefaultShots is used when the context specifies no sample count.

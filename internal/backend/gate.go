@@ -2,6 +2,7 @@ package backend
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/algolib"
 	"repro/internal/bundle"
@@ -34,6 +35,13 @@ func (g *Gate) Execute(b *bundle.Bundle) (*result.Result, error) {
 // across the granted number of persistent shards (≤ 0 lets the simulator
 // choose). The grant changes scheduling only, never results.
 func (g *Gate) ExecuteSharded(b *bundle.Bundle, shards int) (*result.Result, error) {
+	return g.ExecuteStaged(b, shards, nil)
+}
+
+// ExecuteStaged implements backend.Staged: ExecuteSharded plus per-stage
+// timing callbacks ("transpile" here; "compile"/"execute"/"sample" from
+// the simulator).
+func (g *Gate) ExecuteStaged(b *bundle.Bundle, shards int, stages StageFunc) (*result.Result, error) {
 	if err := b.Validate(qop.ValidateOptions{}); err != nil {
 		return nil, err
 	}
@@ -61,9 +69,13 @@ func (g *Gate) ExecuteSharded(b *bundle.Bundle, shards int) (*result.Result, err
 	meta := map[string]any{}
 	circ := lowered.Circuit
 
+	transpileStart := time.Now()
 	tr, err := transpile.Transpile(circ, opts)
 	if err != nil {
 		return nil, err
+	}
+	if stages != nil {
+		stages("transpile", time.Since(transpileStart))
 	}
 	circ = tr.Circuit
 	meta["transpile"] = tr.Stats
@@ -102,8 +114,11 @@ func (g *Gate) ExecuteSharded(b *bundle.Bundle, shards int) (*result.Result, err
 	}
 	var run *sim.Result
 	if noise.Zero() {
-		run, err = sim.Run(circ, sim.Options{Shots: shots, Seed: seed, Shards: shards})
+		run, err = sim.Run(circ, sim.Options{Shots: shots, Seed: seed, Shards: shards, Stages: stages})
 	} else {
+		// The trajectory engine interleaves noise injection with gate
+		// application, so there is no clean compile/execute split to time;
+		// only the process-wide sim histograms its Run path shares apply.
 		meta["noise"] = noise
 		run, err = sim.RunNoisy(circ, noise, sim.Options{Shots: shots, Seed: seed, Shards: shards})
 	}

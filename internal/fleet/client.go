@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // errWorkerBusy is a worker's 429 backpressure translated into a routing
@@ -56,8 +58,10 @@ type remoteError struct {
 }
 
 // submit forwards a canonical bundle. A 429 surfaces as errWorkerBusy so
-// the router can spill to another node.
-func (c *client) submit(ctx context.Context, raw []byte, pin int) (remoteSubmit, error) {
+// the router can spill to another node. A non-empty trace rides the
+// X-Trace-Id header so the worker's journal, logs and spans carry the
+// same fleet-wide ID the dispatcher assigned.
+func (c *client) submit(ctx context.Context, raw []byte, pin int, trace string) (remoteSubmit, error) {
 	url := c.base + "/v1/jobs"
 	if pin > 0 {
 		url += "?shards=" + strconv.Itoa(pin)
@@ -67,6 +71,9 @@ func (c *client) submit(ctx context.Context, raw []byte, pin int) (remoteSubmit,
 		return remoteSubmit{}, fmt.Errorf("fleet: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return remoteSubmit{}, fmt.Errorf("fleet: %w", err)

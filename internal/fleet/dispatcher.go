@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/bundle"
 	"repro/internal/jobs"
 	"repro/internal/jobs/store"
+	"repro/internal/obs"
 )
 
 // Options configure a Dispatcher. Workers is required; everything else
@@ -52,6 +54,15 @@ type Options struct {
 	MaxRecords int
 	// AllowMidCircuit forwards to bundle validation.
 	AllowMidCircuit bool
+	// Logger receives structured dispatch logs (assignments, reforwards,
+	// ejections, terminal transitions) with job/trace/worker fields. nil
+	// discards.
+	Logger *slog.Logger
+	// Metrics is the registry the dispatcher registers its instruments
+	// in (fleet_* counters, the round-trip histogram, health gauges).
+	// nil creates a private registry — NewHandler serves whichever one
+	// is in effect on GET /metrics.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -122,11 +133,75 @@ type WorkerInfo struct {
 	ConsecFails int    `json:"consecutive_failures"`
 	QueueLen    int    `json:"queue_len"`
 	Running     int    `json:"running"`
+	// Revision is the worker build's VCS revision from its last stats
+	// probe ("" until the first successful probe, or for pre-telemetry
+	// workers) — rolling-upgrade visibility across the fleet.
+	Revision string `json:"revision,omitempty"`
+}
+
+// fleetMetrics are the registry-backed instruments behind Stats; like the
+// worker pools, the counters are the system of record and Stats() reads
+// them back, so /v1/stats and /metrics can never disagree.
+type fleetMetrics struct {
+	submitted      *obs.Counter
+	completed      *obs.Counter
+	failed         *obs.Counter
+	canceled       *obs.Counter
+	forwarded      *obs.Counter
+	reforwarded    *obs.Counter
+	coalesced      *obs.Counter
+	affinityHits   *obs.Counter
+	affinitySpills *obs.Counter
+	ejected        *obs.Counter
+	readmitted     *obs.Counter
+	recovered      *obs.Counter
+	reattached     *obs.Counter
+	roundtrip      *obs.Histogram
+}
+
+func newFleetMetrics(reg *obs.Registry, d *Dispatcher) *fleetMetrics {
+	m := &fleetMetrics{
+		submitted:      reg.Counter("fleet_submitted_total", "Jobs accepted by the dispatcher."),
+		completed:      reg.Counter("fleet_completed_total", "Dispatched jobs that finished in StateDone."),
+		failed:         reg.Counter("fleet_failed_total", "Dispatched jobs that finished in StateFailed."),
+		canceled:       reg.Counter("fleet_canceled_total", "Dispatched jobs canceled before completion."),
+		forwarded:      reg.Counter("fleet_forwarded_total", "Successful job handoffs to a worker."),
+		reforwarded:    reg.Counter("fleet_reforwarded_total", "Handoffs that re-assigned a job after its worker died or forgot it."),
+		coalesced:      reg.Counter("fleet_coalesced_total", "Submissions pinned to an identical in-flight job's worker."),
+		affinityHits:   reg.Counter("fleet_affinity_hits_total", "Routing decisions that followed the consistent-hash affinity worker."),
+		affinitySpills: reg.Counter("fleet_affinity_spills_total", "Routing decisions diverted to the least-loaded node by the slack rule."),
+		ejected:        reg.Counter("fleet_ejected_total", "Workers marked unhealthy after consecutive probe failures."),
+		readmitted:     reg.Counter("fleet_readmitted_total", "Unhealthy workers readmitted on a probe success."),
+		recovered:      reg.Counter("fleet_recovered_total", "Job records replayed from the journal at boot."),
+		reattached:     reg.Counter("fleet_reattached_total", "Recovered non-terminal jobs re-attached to their workers."),
+		roundtrip:      reg.Histogram("fleet_roundtrip_seconds", "Dispatcher→worker submit round-trip time (accepted handoffs only).", nil),
+	}
+	reg.GaugeFunc("fleet_workers_healthy", "Workers currently considered healthy.", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		n := 0
+		for _, w := range d.workers {
+			if w.healthy {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("fleet_jobs_tracked", "Jobs in the dispatcher's table (terminal records included until retention evicts them).", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return float64(len(d.jobs))
+	})
+	return m
 }
 
 // Status is one dispatched job's externally visible snapshot.
 type Status struct {
-	ID     string
+	ID string
+	// Trace is the job's fleet-wide trace ID (inbound X-Trace-Id, or
+	// dispatcher-generated); Spans its dispatch lifecycle log.
+	Trace  string
+	Spans  []obs.Span
 	State  jobs.State
 	Engine string
 	// Worker is the fleet node currently (or finally) owning the job;
@@ -165,6 +240,7 @@ type worker struct {
 // barriers).
 type fwdJob struct {
 	id        string
+	trace     string // fleet-wide trace ID, forwarded to workers
 	key       string
 	engine    string
 	raw       json.RawMessage // canonical bundle, dropped when terminal
@@ -181,6 +257,7 @@ type fwdJob struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+	spans     []obs.Span // dispatch lifecycle log, appended in transition order
 	done      chan struct{}
 	// Journal event queue (see the type comment). evGen counts events
 	// ever enqueued; flushedGen is the newest generation known appended
@@ -194,6 +271,12 @@ type fwdJob struct {
 	flushing   bool
 }
 
+// spanLocked appends one dispatch-lifecycle span. Callers hold
+// Dispatcher.mu (or run single-threaded in recovery).
+func (j *fwdJob) spanLocked(stage string, d time.Duration, note string) {
+	j.spans = append(j.spans, obs.NewSpan(stage, d, note))
+}
+
 // Dispatcher fronts a fleet of /v1 workers: it routes submissions,
 // watches their remote lifecycle, re-forwards orphans, and serves the
 // same /v1 surface itself (see NewHandler).
@@ -201,6 +284,9 @@ type Dispatcher struct {
 	opts Options
 	ring *ring
 	hc   *http.Client
+	met  *fleetMetrics
+	reg  *obs.Registry
+	log  *slog.Logger
 	ctx  context.Context
 	stop context.CancelFunc
 	wg   sync.WaitGroup
@@ -215,7 +301,6 @@ type Dispatcher struct {
 	dirty    []*fwdJob // jobs with enqueued journal events awaiting flush
 	nextID   uint64
 	closed   bool
-	stats    Stats
 }
 
 // New starts a dispatcher over the configured workers. When a store is
@@ -247,6 +332,16 @@ func New(opts Options) (*Dispatcher, error) {
 		inflight: map[string]*fwdJob{},
 	}
 	d.cond = sync.NewCond(&d.mu)
+	d.log = opts.Logger
+	if d.log == nil {
+		d.log = obs.Discard()
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	d.reg = reg
+	d.met = newFleetMetrics(reg, d)
 	d.ctx, d.stop = context.WithCancel(context.Background())
 	for _, name := range opts.Workers {
 		name = strings.TrimSpace(name)
@@ -292,6 +387,7 @@ func (d *Dispatcher) recover() []*fwdJob {
 		}
 		j := &fwdJob{
 			id:        rec.Job,
+			trace:     rec.Trace,
 			key:       rec.Key,
 			engine:    rec.Engine,
 			pin:       rec.Pin,
@@ -302,7 +398,7 @@ func (d *Dispatcher) recover() []*fwdJob {
 			finished:  rec.Finished,
 			done:      make(chan struct{}),
 		}
-		d.stats.Recovered++
+		d.met.recovered.Inc()
 		switch rec.State {
 		case store.StateDone:
 			j.state = jobs.StateDone
@@ -321,7 +417,9 @@ func (d *Dispatcher) recover() []*fwdJob {
 				j.state = jobs.StateFailed
 				j.errMsg = "fleet: recovery: journal record has no bundle"
 				j.finished = time.Now()
-				d.stats.Failed++
+				d.met.failed.Inc()
+				j.spanLocked("failed", 0, "journal record has no bundle")
+				d.log.Warn("job failed at recovery", "job", j.id, "trace", j.trace, "err", j.errMsg)
 				d.jobs[j.id] = j
 				d.enqueueLocked(j, store.Event{T: store.EvFailed, Job: j.id, At: j.finished, Error: j.errMsg})
 				d.finishRetention(j)
@@ -344,7 +442,9 @@ func (d *Dispatcher) recover() []*fwdJob {
 			if d.inflight[j.key] == nil {
 				d.inflight[j.key] = j
 			}
-			d.stats.Reattached++
+			d.met.reattached.Inc()
+			j.spanLocked("queued", 0, "re-attached after restart")
+			d.log.Info("job re-attached", "job", j.id, "trace", j.trace, "worker", j.worker)
 			reattach = append(reattach, j)
 			continue
 		}
@@ -429,6 +529,14 @@ func (d *Dispatcher) flushJob(j *fwdJob) {
 // is re-derived from the parsed bundle so the journal, the cache key and
 // the forwarded payload all agree byte-for-byte.
 func (d *Dispatcher) Submit(b *bundle.Bundle, pin int) (Status, error) {
+	return d.SubmitTraced(b, pin, "")
+}
+
+// SubmitTraced is Submit with an explicit trace ID (normally the inbound
+// X-Trace-Id header). Empty or invalid IDs are replaced with a generated
+// one; the accepted ID rides the journal, every forward to a worker, and
+// the status document.
+func (d *Dispatcher) SubmitTraced(b *bundle.Bundle, pin int, traceID string) (Status, error) {
 	if b == nil {
 		return Status{}, errors.New("fleet: nil bundle")
 	}
@@ -451,6 +559,7 @@ func (d *Dispatcher) Submit(b *bundle.Bundle, pin int) (Status, error) {
 	d.nextID++
 	j := &fwdJob{
 		id:        fmt.Sprintf("job-%08d", d.nextID),
+		trace:     obs.EnsureTraceID(traceID),
 		key:       key,
 		engine:    engine,
 		raw:       raw,
@@ -460,19 +569,22 @@ func (d *Dispatcher) Submit(b *bundle.Bundle, pin int) (Status, error) {
 		done:      make(chan struct{}),
 	}
 	d.jobs[j.id] = j
-	d.stats.Submitted++
+	d.met.submitted.Inc()
 	if primary := d.inflight[key]; primary != nil {
 		// A twin is already in flight through the dispatcher: the router
 		// will pin this job to the primary's worker so the worker-side
 		// pool coalesces them onto one execution.
-		d.stats.Coalesced++
+		d.met.coalesced.Inc()
+		j.spanLocked("queued", 0, "coalesces with "+primary.id)
 	} else {
 		d.inflight[key] = j
+		j.spanLocked("queued", 0, "")
 	}
-	d.enqueueLocked(j, store.Event{T: store.EvSubmitted, Job: j.id, At: now, Key: key, Engine: engine, Bundle: raw, Pin: pin})
+	d.enqueueLocked(j, store.Event{T: store.EvSubmitted, Job: j.id, Trace: j.trace, At: now, Key: key, Engine: engine, Bundle: raw, Pin: pin})
 	d.wg.Add(1)
 	st := d.statusLocked(j)
 	d.mu.Unlock()
+	d.log.Info("job accepted", "job", j.id, "trace", j.trace, "engine", engine)
 
 	// Append after releasing the dispatcher lock: concurrent submitters
 	// then share group-commit fsync barriers instead of serializing
@@ -572,11 +684,14 @@ func (d *Dispatcher) forward(j *fwdJob) bool {
 		tried[name] = true
 		w := d.workerByName(name)
 		ctx, cancel := context.WithTimeout(d.ctx, d.opts.RequestTimeout)
-		sub, err := w.c.submit(ctx, j.raw, j.pin)
+		rtStart := time.Now()
+		sub, err := w.c.submit(ctx, j.raw, j.pin, j.trace)
+		rt := time.Since(rtStart)
 		cancel()
 		if err != nil {
 			continue // busy or unreachable: next candidate
 		}
+		d.met.roundtrip.Observe(rt)
 		d.mu.Lock()
 		if j.state.Terminal() { // canceled while forwarding
 			d.mu.Unlock()
@@ -589,13 +704,22 @@ func (d *Dispatcher) forward(j *fwdJob) bool {
 		j.worker, j.remote = name, sub.ID
 		j.avoid = ""
 		j.forwards++
-		if j.forwards > 1 {
-			d.stats.Reforwarded++
+		reforward := j.forwards > 1
+		if reforward {
+			d.met.reforwarded.Inc()
+			j.spanLocked("assigned", rt, fmt.Sprintf("re-forwarded to %s as %s", name, sub.ID))
+		} else {
+			j.spanLocked("assigned", rt, fmt.Sprintf("%s as %s", name, sub.ID))
 		}
-		d.stats.Forwarded++
+		d.met.forwarded.Inc()
 		w.outstanding++
-		d.enqueueLocked(j, store.Event{T: store.EvAssigned, Job: j.id, At: time.Now(), Worker: name, Remote: sub.ID})
+		d.enqueueLocked(j, store.Event{T: store.EvAssigned, Job: j.id, Trace: j.trace, At: time.Now(), Worker: name, Remote: sub.ID})
 		d.mu.Unlock()
+		if reforward {
+			d.log.Warn("job re-forwarded", "job", j.id, "trace", j.trace, "worker", name, "remote", sub.ID)
+		} else {
+			d.log.Info("job forwarded", "job", j.id, "trace", j.trace, "worker", name, "remote", sub.ID)
+		}
 		d.flushDirty()
 		return true
 	}
@@ -633,10 +757,10 @@ func (d *Dispatcher) pick(j *fwdJob, tried map[string]bool) string {
 		return least.name
 	}
 	if aw := d.workers[affinity]; aw.outstanding > least.outstanding+d.opts.AffinitySlack {
-		d.stats.AffinitySpills++
+		d.met.affinitySpills.Inc()
 		return least.name
 	}
-	d.stats.AffinityHits++
+	d.met.affinityHits.Inc()
 	return affinity
 }
 
@@ -663,6 +787,8 @@ func (d *Dispatcher) detach(j *fwdJob, workerName string) {
 	if w := d.workers[workerName]; w != nil {
 		w.outstanding--
 	}
+	j.spanLocked("detached", 0, "worker "+workerName+" lost the job")
+	d.log.Warn("job detached", "job", j.id, "trace", j.trace, "worker", workerName)
 }
 
 // observe folds a remote status snapshot into the local record. Returns
@@ -686,20 +812,21 @@ func (d *Dispatcher) observe(j *fwdJob, st remoteStatus) bool {
 		if j.state == jobs.StateQueued {
 			j.state = jobs.StateRunning
 			j.started = time.Now()
-			d.enqueueLocked(j, store.Event{T: store.EvStarted, Job: j.id, At: j.started, Shards: st.Shards})
+			j.spanLocked("started", 0, "on "+j.worker)
+			d.enqueueLocked(j, store.Event{T: store.EvStarted, Job: j.id, Trace: j.trace, At: j.started, Shards: st.Shards})
 		}
 	case jobs.StateDone:
 		j.errMsg = ""
 		d.finishLocked(j, jobs.StateDone)
-		d.enqueueLocked(j, store.Event{T: store.EvDone, Job: j.id, At: j.finished, Engine: j.engine, CacheHit: st.CacheHit, Coalesced: st.Coalesced})
+		d.enqueueLocked(j, store.Event{T: store.EvDone, Job: j.id, Trace: j.trace, At: j.finished, Engine: j.engine, CacheHit: st.CacheHit, Coalesced: st.Coalesced})
 	case jobs.StateFailed:
 		j.errMsg = st.Error
 		d.finishLocked(j, jobs.StateFailed)
-		d.enqueueLocked(j, store.Event{T: store.EvFailed, Job: j.id, At: j.finished, Engine: j.engine, Coalesced: st.Coalesced, Error: st.Error})
+		d.enqueueLocked(j, store.Event{T: store.EvFailed, Job: j.id, Trace: j.trace, At: j.finished, Engine: j.engine, Coalesced: st.Coalesced, Error: st.Error})
 	case jobs.StateCanceled:
 		// Canceled out-of-band on the worker itself.
 		d.finishLocked(j, jobs.StateCanceled)
-		d.enqueueLocked(j, store.Event{T: store.EvCanceled, Job: j.id, At: j.finished})
+		d.enqueueLocked(j, store.Event{T: store.EvCanceled, Job: j.id, Trace: j.trace, At: j.finished})
 	}
 	terminal := j.state.Terminal()
 	d.mu.Unlock()
@@ -714,13 +841,23 @@ func (d *Dispatcher) observe(j *fwdJob, st remoteStatus) bool {
 func (d *Dispatcher) finishLocked(j *fwdJob, state jobs.State) {
 	j.state = state
 	j.finished = time.Now()
+	var run time.Duration
+	if !j.started.IsZero() {
+		run = j.finished.Sub(j.started)
+	}
 	switch state {
 	case jobs.StateDone:
-		d.stats.Completed++
+		d.met.completed.Inc()
+		j.spanLocked("done", run, "")
+		d.log.Info("job done", "job", j.id, "trace", j.trace, "worker", j.worker, "run_ms", float64(run)/1e6)
 	case jobs.StateFailed:
-		d.stats.Failed++
+		d.met.failed.Inc()
+		j.spanLocked("failed", run, j.errMsg)
+		d.log.Warn("job failed", "job", j.id, "trace", j.trace, "worker", j.worker, "err", j.errMsg)
 	case jobs.StateCanceled:
-		d.stats.Canceled++
+		d.met.canceled.Inc()
+		j.spanLocked("canceled", 0, "")
+		d.log.Info("job canceled", "job", j.id, "trace", j.trace, "worker", j.worker)
 	}
 	if j.worker != "" {
 		if w := d.workers[j.worker]; w != nil {
@@ -824,14 +961,16 @@ func (d *Dispatcher) probeOnce() {
 			w.consecFails++
 			if w.healthy && w.consecFails >= d.opts.EjectAfter {
 				w.healthy = false
-				d.stats.Ejected++
+				d.met.ejected.Inc()
+				d.log.Warn("worker ejected", "worker", o.name, "consecutive_failures", w.consecFails)
 			}
 		default:
 			w.consecFails = 0
 			w.lastStats = o.stats
 			if !w.healthy {
 				w.healthy = true
-				d.stats.Readmitted++
+				d.met.readmitted.Inc()
+				d.log.Info("worker readmitted", "worker", o.name)
 			}
 		}
 		d.mu.Unlock()
@@ -856,6 +995,8 @@ func (d *Dispatcher) statusLocked(j *fwdJob) Status {
 	}
 	return Status{
 		ID:          j.id,
+		Trace:       j.trace,
+		Spans:       append([]obs.Span(nil), j.spans...),
 		State:       j.state,
 		Engine:      j.engine,
 		Worker:      j.worker,
@@ -988,7 +1129,7 @@ func (d *Dispatcher) Cancel(ctx context.Context, id string) (Status, error) {
 			// Not yet (or no longer) assigned: cancel locally; the runner
 			// wakes on done and exits.
 			d.finishLocked(j, jobs.StateCanceled)
-			d.enqueueLocked(j, store.Event{T: store.EvCanceled, Job: j.id, At: j.finished})
+			d.enqueueLocked(j, store.Event{T: store.EvCanceled, Job: j.id, Trace: j.trace, At: j.finished})
 			st := d.statusLocked(j)
 			d.mu.Unlock()
 			d.flushDirty()
@@ -1015,7 +1156,7 @@ func (d *Dispatcher) Cancel(ctx context.Context, id string) (Status, error) {
 			}
 			if !j.state.Terminal() {
 				d.finishLocked(j, jobs.StateCanceled)
-				d.enqueueLocked(j, store.Event{T: store.EvCanceled, Job: j.id, At: j.finished})
+				d.enqueueLocked(j, store.Event{T: store.EvCanceled, Job: j.id, Trace: j.trace, At: j.finished})
 			}
 			st := d.statusLocked(j)
 			d.mu.Unlock()
@@ -1081,10 +1222,24 @@ func (d *Dispatcher) Engines(ctx context.Context) ([]string, error) {
 }
 
 // Stats snapshots the dispatcher counters (journal counters inlined when
-// persistent).
+// persistent). The counters are read back from the registry instruments,
+// so this document and /metrics always agree.
 func (d *Dispatcher) Stats() Stats {
+	var s Stats
+	s.Submitted = d.met.submitted.Value()
+	s.Completed = d.met.completed.Value()
+	s.Failed = d.met.failed.Value()
+	s.Canceled = d.met.canceled.Value()
+	s.Forwarded = d.met.forwarded.Value()
+	s.Reforwarded = d.met.reforwarded.Value()
+	s.Coalesced = d.met.coalesced.Value()
+	s.AffinityHits = d.met.affinityHits.Value()
+	s.AffinitySpills = d.met.affinitySpills.Value()
+	s.Ejected = d.met.ejected.Value()
+	s.Readmitted = d.met.readmitted.Value()
+	s.Recovered = d.met.recovered.Value()
+	s.Reattached = d.met.reattached.Value()
 	d.mu.Lock()
-	s := d.stats
 	s.Workers = len(d.workers)
 	for _, w := range d.workers {
 		if w.healthy {
@@ -1097,6 +1252,10 @@ func (d *Dispatcher) Stats() Stats {
 	}
 	return s
 }
+
+// Metrics returns the registry the dispatcher's instruments live in
+// (Options.Metrics, or the private one created when that was nil).
+func (d *Dispatcher) Metrics() *obs.Registry { return d.reg }
 
 // WorkerInfos snapshots per-node health for /v1/stats, in configured
 // order.
@@ -1117,6 +1276,11 @@ func (d *Dispatcher) WorkerInfos() []WorkerInfo {
 		}
 		if v, ok := w.lastStats["running"].(float64); ok {
 			info.Running = int(v)
+		}
+		if build, ok := w.lastStats["build"].(map[string]any); ok {
+			if rev, ok := build["revision"].(string); ok {
+				info.Revision = rev
+			}
 		}
 		out = append(out, info)
 	}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/bundle"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/qop"
 )
 
@@ -63,13 +64,19 @@ func NewHandler(d *Dispatcher) http.Handler {
 			"dispatcher": d.Stats(),
 			"workers":    d.WorkerInfos(),
 			"fleet":      d.FleetStats(),
+			"build":      obs.Build(),
 		})
 	})
-	return mux
+	// The dispatcher's own instruments plus the process-wide registry
+	// (go_*/build_info when the server registered them there) in one
+	// exposition.
+	mux.Handle("GET /metrics", obs.Handler(d.reg, obs.Default()))
+	return obs.Recover(mux, d.log, d.reg.Counter("http_panics_total", "Handler panics recovered by the middleware."))
 }
 
 type statusJSON struct {
 	ID          string     `json:"id"`
+	TraceID     string     `json:"trace_id,omitempty"`
 	State       jobs.State `json:"state"`
 	Engine      string     `json:"engine,omitempty"`
 	Worker      string     `json:"worker,omitempty"`
@@ -82,11 +89,14 @@ type statusJSON struct {
 	SubmittedAt string     `json:"submitted_at"`
 	StartedAt   string     `json:"started_at,omitempty"`
 	FinishedAt  string     `json:"finished_at,omitempty"`
+	Spans       []obs.Span `json:"spans,omitempty"`
 }
 
 func statusToJSON(st Status) statusJSON {
 	out := statusJSON{
 		ID:          st.ID,
+		TraceID:     st.Trace,
+		Spans:       st.Spans,
 		State:       st.State,
 		Engine:      st.Engine,
 		Worker:      st.Worker,
@@ -133,7 +143,7 @@ func handleSubmit(d *Dispatcher, w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	st, err := d.Submit(b, pin)
+	st, err := d.SubmitTraced(b, pin, r.Header.Get(obs.TraceHeader))
 	switch {
 	case errors.Is(err, jobs.ErrClosed):
 		jobs.WriteJSON(w, http.StatusServiceUnavailable, jobs.ErrorJSON{Error: err.Error()})
@@ -142,8 +152,11 @@ func handleSubmit(d *Dispatcher, w http.ResponseWriter, r *http.Request) {
 		jobs.WriteJSON(w, http.StatusInternalServerError, jobs.ErrorJSON{Error: err.Error()})
 		return
 	}
+	// Echo the accepted (possibly dispatcher-generated) trace ID so
+	// callers can correlate without parsing the body.
+	w.Header().Set(obs.TraceHeader, st.Trace)
 	jobs.WriteJSON(w, http.StatusAccepted, map[string]any{
-		"id": st.ID, "state": st.State, "cache_hit": st.CacheHit,
+		"id": st.ID, "trace_id": st.Trace, "state": st.State, "cache_hit": st.CacheHit,
 	})
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/bundle"
+	"repro/internal/obs"
 	"repro/internal/qdt"
 	"repro/internal/qop"
 	"repro/internal/result"
@@ -64,7 +65,11 @@ func NewHandler(p *Pool) http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, p.Stats())
 	})
-	return mux
+	// The pool's own instruments plus the process-wide registry (sim_*
+	// stage histograms, and go_*/build_info when the server registered
+	// them there) in one exposition.
+	mux.Handle("GET /metrics", obs.Handler(p.reg, obs.Default()))
+	return obs.Recover(mux, p.log, p.reg.Counter("http_panics_total", "Handler panics recovered by the middleware."))
 }
 
 // ErrorJSON is the error document every /v1 endpoint serves; the fleet
@@ -78,23 +83,26 @@ type errorJSON = ErrorJSON
 
 type submitJSON struct {
 	ID       string `json:"id"`
+	TraceID  string `json:"trace_id,omitempty"`
 	State    State  `json:"state"`
 	CacheHit bool   `json:"cache_hit"`
 }
 
 type statusJSON struct {
-	ID          string  `json:"id"`
-	State       State   `json:"state"`
-	Engine      string  `json:"engine,omitempty"`
-	CacheHit    bool    `json:"cache_hit"`
-	Coalesced   bool    `json:"coalesced,omitempty"`
-	Shards      int     `json:"shards,omitempty"`
-	Error       string  `json:"error,omitempty"`
-	SubmittedAt string  `json:"submitted_at"`
-	StartedAt   string  `json:"started_at,omitempty"`
-	FinishedAt  string  `json:"finished_at,omitempty"`
-	QueueMS     float64 `json:"queue_ms"`
-	RunMS       float64 `json:"run_ms"`
+	ID          string     `json:"id"`
+	TraceID     string     `json:"trace_id,omitempty"`
+	State       State      `json:"state"`
+	Engine      string     `json:"engine,omitempty"`
+	CacheHit    bool       `json:"cache_hit"`
+	Coalesced   bool       `json:"coalesced,omitempty"`
+	Shards      int        `json:"shards,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	SubmittedAt string     `json:"submitted_at"`
+	StartedAt   string     `json:"started_at,omitempty"`
+	FinishedAt  string     `json:"finished_at,omitempty"`
+	QueueMS     float64    `json:"queue_ms"`
+	RunMS       float64    `json:"run_ms"`
+	Spans       []obs.Span `json:"spans,omitempty"`
 }
 
 type entryJSON struct {
@@ -132,6 +140,7 @@ func handleSubmit(p *Pool, w http.ResponseWriter, r *http.Request) {
 		}
 		so.Shards = shards
 	}
+	so.TraceID = r.Header.Get(obs.TraceHeader)
 	st, err := p.submit(b, so)
 	switch {
 	case errors.Is(err, ErrQueueFull):
@@ -145,7 +154,10 @@ func handleSubmit(p *Pool, w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorJSON{err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusAccepted, submitJSON{ID: st.ID, State: st.State, CacheHit: st.CacheHit})
+	// Echo the accepted (possibly server-generated) trace ID so callers
+	// can correlate without parsing the body.
+	w.Header().Set(obs.TraceHeader, st.Trace)
+	writeJSON(w, http.StatusAccepted, submitJSON{ID: st.ID, TraceID: st.Trace, State: st.State, CacheHit: st.CacheHit})
 }
 
 // listDefaultLimit caps GET /v1/jobs responses unless ?limit= overrides.
@@ -230,6 +242,7 @@ func handleCancel(p *Pool, w http.ResponseWriter, r *http.Request) {
 func statusToJSON(st Status) statusJSON {
 	out := statusJSON{
 		ID:          st.ID,
+		TraceID:     st.Trace,
 		State:       st.State,
 		Engine:      st.Engine,
 		CacheHit:    st.CacheHit,
@@ -239,6 +252,7 @@ func statusToJSON(st Status) statusJSON {
 		SubmittedAt: st.SubmittedAt.UTC().Format(time.RFC3339Nano),
 		QueueMS:     float64(st.QueueWait) / float64(time.Millisecond),
 		RunMS:       float64(st.RunTime) / float64(time.Millisecond),
+		Spans:       st.Spans,
 	}
 	if !st.StartedAt.IsZero() {
 		out.StartedAt = st.StartedAt.UTC().Format(time.RFC3339Nano)

@@ -58,6 +58,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	stdruntime "runtime"
 	"sort"
 	"sync"
@@ -65,6 +66,7 @@ import (
 
 	"repro/internal/bundle"
 	"repro/internal/jobs/store"
+	"repro/internal/obs"
 	"repro/internal/qop"
 	"repro/internal/result"
 	rt "repro/internal/runtime"
@@ -137,6 +139,14 @@ type Options struct {
 	Store *store.Store
 	// Run is forwarded to runtime.Submit for every job.
 	Run rt.Options
+	// Logger receives structured lifecycle logs (job ID, trace ID,
+	// engine, state transitions). nil discards them.
+	Logger *slog.Logger
+	// Metrics is the registry the pool's instruments register in (nil: a
+	// private registry, so pools in tests never collide). The server
+	// passes its own so /metrics carries jobs_* families; pass the same
+	// registry to the store so one scrape covers both.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -160,7 +170,10 @@ func (o Options) withDefaults() Options {
 
 // Status is an externally visible snapshot of one job's lifecycle.
 type Status struct {
-	ID       string
+	ID string
+	// Trace is the job's fleet-wide trace ID (inbound X-Trace-Id or
+	// server-generated).
+	Trace    string
 	State    State
 	Engine   string
 	CacheHit bool
@@ -180,6 +193,9 @@ type Status struct {
 	QueueWait time.Duration
 	// RunTime is FinishedAt−StartedAt (zero for cache hits).
 	RunTime time.Duration
+	// Spans is the job's lifecycle log: queued/started/stage timings/
+	// persisted/terminal, in order, with monotonic timestamps.
+	Spans []obs.Span
 }
 
 // Stats aggregates pool-level counters and timing metrics.
@@ -215,14 +231,76 @@ type Stats struct {
 	Recovered uint64 `json:"recovered"`
 	Requeued  uint64 `json:"requeued"`
 	DiskHits  uint64 `json:"disk_hits"`
+	// Build identifies the serving binary (Go version, VCS revision) so
+	// fleet operators can tell mixed-version workers apart.
+	Build obs.BuildInfo `json:"build"`
 	// Journal/result-file counters from the attached store, inlined.
 	store.Stats
+}
+
+// poolMetrics are the registry-backed instruments behind Stats: the
+// counters are the system of record (Stats() reads them back), and the
+// histograms additionally expose queue-wait and run-time distributions
+// on /metrics (their exact nanosecond sums are Stats' total_queue_ns and
+// total_run_ns).
+type poolMetrics struct {
+	submitted *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	canceled  *obs.Counter
+	rejected  *obs.Counter
+	cacheHits *obs.Counter
+	diskHits  *obs.Counter
+	coalesced *obs.Counter
+	wideJobs  *obs.Counter
+	recovered *obs.Counter
+	requeued  *obs.Counter
+	queueWait *obs.Histogram
+	runTime   *obs.Histogram
+}
+
+func newPoolMetrics(reg *obs.Registry, p *Pool) *poolMetrics {
+	m := &poolMetrics{
+		submitted: reg.Counter("jobs_submitted_total", "Submissions accepted (rejected ones count in jobs_rejected_total only)."),
+		completed: reg.Counter("jobs_completed_total", "Jobs finished in StateDone, including cache hits and coalesced twins."),
+		failed:    reg.Counter("jobs_failed_total", "Jobs finished in StateFailed."),
+		canceled:  reg.Counter("jobs_canceled_total", "Jobs canceled while queued."),
+		rejected:  reg.Counter("jobs_rejected_total", "Submissions refused with ErrQueueFull."),
+		cacheHits: reg.Counter("jobs_cache_hits_total", "Submissions served from the content-addressed result cache."),
+		diskHits:  reg.Counter("jobs_disk_hits_total", "Submissions served from an on-disk result absent from the memory cache."),
+		coalesced: reg.Counter("jobs_coalesced_total", "Submissions attached to an identical in-flight job."),
+		wideJobs:  reg.Counter("jobs_wide_total", "Jobs granted more than one shard."),
+		recovered: reg.Counter("jobs_recovered_total", "Job records restored from the journal at boot."),
+		requeued:  reg.Counter("jobs_requeued_total", "Recovered jobs that re-entered the queue."),
+		queueWait: reg.Histogram("jobs_queue_wait_seconds", "Time from submission to execution start (or to completion for dequeue-time cache hits and coalesced twins).", nil),
+		runTime:   reg.Histogram("jobs_run_seconds", "Execution wall time of jobs that ran.", nil),
+	}
+	reg.GaugeFunc("jobs_queue_len", "Jobs waiting in the bounded queue.", func() float64 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return float64(len(p.pending))
+	})
+	reg.GaugeFunc("jobs_running", "Jobs executing right now.", func() float64 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return float64(p.running)
+	})
+	reg.GaugeFunc("jobs_cache_entries", "Entries in the in-memory result cache.", func() float64 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if p.cache == nil {
+			return 0
+		}
+		return float64(p.cache.len())
+	})
+	return m
 }
 
 // job is the internal record; all fields after construction are guarded
 // by Pool.mu except done, which is closed exactly once under mu.
 type job struct {
 	id        string
+	trace     string // fleet-wide trace ID
 	bundle    *bundle.Bundle
 	key       string
 	state     State
@@ -239,12 +317,21 @@ type job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+	spans     []obs.Span // lifecycle log, appended in transition order
 	done      chan struct{}
+}
+
+// spanLocked appends one lifecycle span. Callers hold p.mu.
+func (j *job) spanLocked(stage string, d time.Duration, note string) {
+	j.spans = append(j.spans, obs.NewSpan(stage, d, note))
 }
 
 // Pool is a concurrent job scheduler over runtime.Submit.
 type Pool struct {
 	opts Options
+	met  *poolMetrics
+	reg  *obs.Registry
+	log  *slog.Logger
 	wg   sync.WaitGroup
 
 	mu   sync.Mutex
@@ -282,6 +369,16 @@ func NewPool(opts Options) *Pool {
 		inflight: map[string]*job{},
 	}
 	p.cond = sync.NewCond(&p.mu)
+	p.log = opts.Logger
+	if p.log == nil {
+		p.log = obs.Discard()
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	p.reg = reg
+	p.met = newPoolMetrics(reg, p)
 	if opts.CacheSize > 0 {
 		p.cache = newResultCache(opts.CacheSize)
 	}
@@ -324,12 +421,13 @@ func (p *Pool) recoverLocked() {
 		}
 		j := &job{
 			id:        rec.Job,
+			trace:     rec.Trace,
 			key:       rec.Key,
 			engine:    rec.Engine,
 			submitted: rec.Submitted,
 			done:      make(chan struct{}),
 		}
-		p.stats.Recovered++
+		p.met.recovered.Inc()
 		switch rec.State {
 		case store.StateDone:
 			j.state = StateDone
@@ -364,18 +462,21 @@ func (p *Pool) recoverLocked() {
 				j.state = StateFailed
 				j.err = fmt.Errorf("jobs: recovery: %w", err)
 				j.finished = time.Now()
-				p.stats.Failed++
+				p.met.failed.Inc()
 				p.jobs[j.id] = j
 				p.journal(store.Event{T: store.EvFailed, Job: j.id, At: j.finished, Error: j.err.Error()})
 				p.finishLocked(j)
+				p.log.Warn("job failed at recovery", "job", j.id, "trace", j.trace, "err", j.err)
 				continue
 			}
 			j.state = StateQueued
 			j.bundle = b
 			j.shards = rec.Pin // explicit grant requests survive the crash
+			j.spanLocked("queued", 0, "requeued after restart")
 			p.jobs[j.id] = j
 			p.pending = append(p.pending, j)
-			p.stats.Requeued++
+			p.met.requeued.Inc()
+			p.log.Info("job requeued", "job", j.id, "trace", j.trace, "engine", j.engine)
 		}
 	}
 	if maxID > p.nextID {
@@ -397,6 +498,10 @@ type SubmitOptions struct {
 	// start time, one shard when running alongside other jobs). Values
 	// above Options.MaxShards are clamped.
 	Shards int
+	// TraceID is the inbound fleet-wide trace ID (X-Trace-Id). Empty or
+	// invalid IDs are replaced with a fresh random one; the accepted ID
+	// is in the returned Status and every journal event and log line.
+	TraceID string
 }
 
 // Submit registers the bundle as a job and enqueues it, returning the job
@@ -450,6 +555,7 @@ func (p *Pool) submit(b *bundle.Bundle, o SubmitOptions) (Status, error) {
 	p.nextID++
 	j := &job{
 		id:        fmt.Sprintf("job-%08d", p.nextID),
+		trace:     obs.EnsureTraceID(o.TraceID),
 		bundle:    b,
 		key:       key,
 		state:     StateQueued,
@@ -458,7 +564,6 @@ func (p *Pool) submit(b *bundle.Bundle, o SubmitOptions) (Status, error) {
 		submitted: now,
 		done:      make(chan struct{}),
 	}
-	p.stats.Submitted++
 	if p.cache != nil {
 		res, hit := p.cache.get(key)
 		if !hit && p.opts.Store != nil {
@@ -467,7 +572,7 @@ func (p *Pool) submit(b *bundle.Bundle, o SubmitOptions) (Status, error) {
 			if dres, ok, derr := p.opts.Store.GetResult(key); derr == nil && ok {
 				res, hit = dres, true
 				p.cache.put(key, dres)
-				p.stats.DiskHits++
+				p.met.diskHits.Inc()
 			}
 		}
 		if hit {
@@ -475,11 +580,15 @@ func (p *Pool) submit(b *bundle.Bundle, o SubmitOptions) (Status, error) {
 			j.res = res
 			j.cacheHit = true
 			j.finished = now
-			p.stats.CacheHits++
-			p.stats.Completed++
+			j.spanLocked("queued", 0, "")
+			j.spanLocked("done", 0, "cache hit")
+			p.met.submitted.Inc()
+			p.met.cacheHits.Inc()
+			p.met.completed.Inc()
 			p.jobs[j.id] = j
 			p.journalCacheHitLocked(j, res)
 			p.finishLocked(j)
+			p.log.Info("job done", "job", j.id, "trace", j.trace, "engine", j.engine, "cache_hit", true)
 			return p.statusLocked(j), nil
 		}
 	}
@@ -491,19 +600,24 @@ func (p *Pool) submit(b *bundle.Bundle, o SubmitOptions) (Status, error) {
 	// its own at recovery.
 	if primary, ok := p.inflight[key]; ok {
 		attachLocked(primary, j)
+		j.spanLocked("queued", 0, "coalesced onto "+primary.id)
 		p.jobs[j.id] = j
-		p.stats.Coalesced++
-		p.journal(store.Event{T: store.EvSubmitted, Job: j.id, At: now, Key: key, Engine: engine, Bundle: rawBundle, Pin: o.Shards})
+		p.met.submitted.Inc()
+		p.met.coalesced.Inc()
+		p.journal(store.Event{T: store.EvSubmitted, Job: j.id, At: now, Trace: j.trace, Key: key, Engine: engine, Bundle: rawBundle, Pin: o.Shards})
+		p.log.Info("job coalesced", "job", j.id, "trace", j.trace, "engine", engine, "primary", primary.id)
 		return p.statusLocked(j), nil
 	}
 	if len(p.pending) >= p.opts.QueueDepth {
-		p.stats.Submitted--
-		p.stats.Rejected++
+		p.met.rejected.Inc()
 		return Status{}, ErrQueueFull
 	}
+	j.spanLocked("queued", 0, "")
 	p.pending = append(p.pending, j)
 	p.jobs[j.id] = j
-	p.journal(store.Event{T: store.EvSubmitted, Job: j.id, At: now, Key: key, Engine: engine, Bundle: rawBundle, Pin: o.Shards})
+	p.met.submitted.Inc()
+	p.journal(store.Event{T: store.EvSubmitted, Job: j.id, At: now, Trace: j.trace, Key: key, Engine: engine, Bundle: rawBundle, Pin: o.Shards})
+	p.log.Info("job queued", "job", j.id, "trace", j.trace, "engine", engine)
 	p.cond.Signal()
 	return p.statusLocked(j), nil
 }
@@ -526,7 +640,7 @@ func (p *Pool) journalCacheHitLocked(j *job, res *result.Result) {
 	if !p.opts.Store.HasResult(j.key) {
 		_ = p.opts.Store.PutResult(j.key, res)
 	}
-	p.journal(store.Event{T: store.EvSubmitted, Job: j.id, At: j.submitted, Key: j.key, Engine: j.engine})
+	p.journal(store.Event{T: store.EvSubmitted, Job: j.id, At: j.submitted, Trace: j.trace, Key: j.key, Engine: j.engine})
 	p.journal(store.Event{T: store.EvDone, Job: j.id, At: j.finished, Engine: j.engine, CacheHit: true, Result: j.key})
 }
 
@@ -585,9 +699,10 @@ func (p *Pool) runJob(j *job) {
 			j.res = res
 			j.cacheHit = true
 			j.finished = time.Now()
-			p.stats.TotalQueue += j.finished.Sub(j.submitted)
-			p.stats.CacheHits++
-			p.stats.Completed++
+			j.spanLocked("done", j.finished.Sub(j.submitted), "cache hit at dequeue")
+			p.met.queueWait.Observe(j.finished.Sub(j.submitted))
+			p.met.cacheHits.Inc()
+			p.met.completed.Inc()
 			if p.opts.Store != nil {
 				if !p.opts.Store.HasResult(j.key) {
 					_ = p.opts.Store.PutResult(j.key, res)
@@ -595,6 +710,7 @@ func (p *Pool) runJob(j *job) {
 				p.journal(store.Event{T: store.EvDone, Job: j.id, At: j.finished, Engine: j.engine, CacheHit: true, Result: j.key})
 			}
 			p.finishLocked(j)
+			p.log.Info("job done", "job", j.id, "trace", j.trace, "engine", j.engine, "cache_hit", true)
 			p.mu.Unlock()
 			return
 		}
@@ -605,7 +721,8 @@ func (p *Pool) runJob(j *job) {
 	// standalone after a crash.
 	if primary, ok := p.inflight[j.key]; ok && primary != j {
 		attachLocked(primary, j)
-		p.stats.Coalesced++
+		j.spanLocked("queued", 0, "coalesced onto "+primary.id)
+		p.met.coalesced.Inc()
 		p.mu.Unlock()
 		return
 	}
@@ -629,12 +746,21 @@ func (p *Pool) runJob(j *job) {
 	}
 	j.granted = granted
 	if granted > 1 {
-		p.stats.WideJobs++
+		p.met.wideJobs.Inc()
 	}
-	p.stats.TotalQueue += j.started.Sub(j.submitted)
+	p.met.queueWait.Observe(j.started.Sub(j.submitted))
+	j.spanLocked("started", j.started.Sub(j.submitted), fmt.Sprintf("shards=%d", granted))
 	p.journal(store.Event{T: store.EvStarted, Job: j.id, At: j.started, Shards: granted})
+	p.log.Info("job started", "job", j.id, "trace", j.trace, "engine", j.engine, "shards", granted)
 	runOpts := p.opts.Run
 	runOpts.Shards = granted
+	// Per-stage timings from the engine become spans on this job; the
+	// callback runs on the worker goroutine with p.mu released.
+	runOpts.Stages = func(stage string, d time.Duration) {
+		p.mu.Lock()
+		j.spanLocked(stage, d, "")
+		p.mu.Unlock()
+	}
 	p.mu.Unlock()
 
 	res, err := rt.Submit(j.bundle, runOpts)
@@ -644,8 +770,9 @@ func (p *Pool) runJob(j *job) {
 	// crash in between replays as "running" and simply re-runs the job —
 	// deterministic in the cache key, so the rerun's counts are
 	// identical.
+	persisted := false
 	if err == nil && res != nil && p.opts.Store != nil {
-		_ = p.opts.Store.PutResult(j.key, res)
+		persisted = p.opts.Store.PutResult(j.key, res) == nil
 	}
 
 	p.mu.Lock()
@@ -654,23 +781,30 @@ func (p *Pool) runJob(j *job) {
 	if p.inflight[j.key] == j {
 		delete(p.inflight, j.key)
 	}
-	p.stats.TotalRun += j.finished.Sub(j.started)
+	p.met.runTime.Observe(j.finished.Sub(j.started))
+	if persisted {
+		j.spanLocked("persisted", 0, "")
+	}
 	if err != nil {
 		j.state = StateFailed
 		j.err = err
-		p.stats.Failed++
+		j.spanLocked("failed", j.finished.Sub(j.started), "")
+		p.met.failed.Inc()
 		p.journal(store.Event{T: store.EvFailed, Job: j.id, At: j.finished, Engine: j.engine, Error: err.Error()})
+		p.log.Warn("job failed", "job", j.id, "trace", j.trace, "engine", j.engine, "err", err)
 	} else {
 		j.state = StateDone
 		j.res = res
 		if res != nil {
 			j.engine = res.Engine
 		}
-		p.stats.Completed++
+		j.spanLocked("done", j.finished.Sub(j.started), "")
+		p.met.completed.Inc()
 		if p.cache != nil {
 			p.cache.put(j.key, res)
 		}
 		p.journal(store.Event{T: store.EvDone, Job: j.id, At: j.finished, Engine: j.engine, Result: j.key})
+		p.log.Info("job done", "job", j.id, "trace", j.trace, "engine", j.engine, "run_ms", j.finished.Sub(j.started).Milliseconds())
 	}
 	p.finishLocked(j)
 	waiters := j.waiters
@@ -706,15 +840,19 @@ func (p *Pool) runJob(j *job) {
 		if err != nil {
 			w.state = StateFailed
 			w.err = err
-			p.stats.Failed++
+			w.spanLocked("failed", 0, "with primary "+j.id)
+			p.met.failed.Inc()
 			p.journal(store.Event{T: store.EvFailed, Job: w.id, At: w.finished, Engine: w.engine, Coalesced: true, Error: err.Error()})
+			p.log.Warn("job failed", "job", w.id, "trace", w.trace, "engine", w.engine, "coalesced", true, "err", err)
 		} else {
 			w.state = StateDone
 			w.res = copies[i]
-			p.stats.Completed++
+			w.spanLocked("done", 0, "with primary "+j.id)
+			p.met.completed.Inc()
 			p.journal(store.Event{T: store.EvDone, Job: w.id, At: w.finished, Engine: w.engine, Coalesced: true, Result: w.key})
+			p.log.Info("job done", "job", w.id, "trace", w.trace, "engine", w.engine, "coalesced", true)
 		}
-		p.stats.TotalQueue += w.finished.Sub(w.submitted)
+		p.met.queueWait.Observe(w.finished.Sub(w.submitted))
 		p.finishLocked(w)
 	}
 	p.mu.Unlock()
@@ -735,6 +873,7 @@ func (p *Pool) Status(id string) (Status, error) {
 func (p *Pool) statusLocked(j *job) Status {
 	s := Status{
 		ID:          j.id,
+		Trace:       j.trace,
 		State:       j.state,
 		Engine:      j.engine,
 		CacheHit:    j.cacheHit,
@@ -743,6 +882,7 @@ func (p *Pool) statusLocked(j *job) Status {
 		SubmittedAt: j.submitted,
 		StartedAt:   j.started,
 		FinishedAt:  j.finished,
+		Spans:       append([]obs.Span(nil), j.spans...),
 	}
 	if j.err != nil {
 		s.Error = j.err.Error()
@@ -836,8 +976,10 @@ func (p *Pool) Cancel(id string) error {
 		}
 		j.state = StateCanceled
 		j.finished = time.Now()
-		p.stats.Canceled++
+		j.spanLocked("canceled", j.finished.Sub(j.submitted), "")
+		p.met.canceled.Inc()
 		p.journal(store.Event{T: store.EvCanceled, Job: j.id, At: j.finished})
+		p.log.Info("job canceled", "job", j.id, "trace", j.trace)
 		p.finishLocked(j)
 		return nil
 	case StateRunning:
@@ -864,12 +1006,35 @@ func (p *Pool) Wait(id string) (Status, error) {
 	return p.statusLocked(j), nil
 }
 
+// Metrics returns the registry the pool's instruments live in (the one
+// from Options.Metrics, or the pool's private registry). NewHandler
+// serves it on GET /metrics.
+func (p *Pool) Metrics() *obs.Registry { return p.reg }
+
 // Stats returns a snapshot of the pool's aggregate counters, including
 // the attached store's journal/result-file counters when persistent.
+// The registry instruments are the system of record: the counters read
+// back verbatim and the timing totals are the exact nanosecond sums of
+// the queue-wait and run-time histograms, so /v1/stats and /metrics can
+// never disagree.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	s := p.stats
+	s.Submitted = p.met.submitted.Value()
+	s.Completed = p.met.completed.Value()
+	s.Failed = p.met.failed.Value()
+	s.Canceled = p.met.canceled.Value()
+	s.Rejected = p.met.rejected.Value()
+	s.CacheHits = p.met.cacheHits.Value()
+	s.DiskHits = p.met.diskHits.Value()
+	s.Coalesced = p.met.coalesced.Value()
+	s.WideJobs = p.met.wideJobs.Value()
+	s.Recovered = p.met.recovered.Value()
+	s.Requeued = p.met.requeued.Value()
+	s.TotalQueue = time.Duration(p.met.queueWait.SumNanos())
+	s.TotalRun = time.Duration(p.met.runTime.SumNanos())
+	s.Build = obs.Build()
 	s.Workers = p.opts.Workers
 	s.QueueDepth = p.opts.QueueDepth
 	s.QueueLen = len(p.pending)

@@ -35,38 +35,38 @@ func (s *Store) PutResult(key string, res *result.Result) error {
 	defer s.mu.Unlock()
 	path, err := s.resultPath(key)
 	if err != nil {
-		s.stats.Errors++
+		s.met.errors.Inc()
 		return err
 	}
 	raw, err := json.Marshal(res)
 	if err != nil {
-		s.stats.Errors++
+		s.met.errors.Inc()
 		return fmt.Errorf("store: result %s: %w", key, err)
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), "result-*.tmp")
 	if err != nil {
-		s.stats.Errors++
+		s.met.errors.Inc()
 		return fmt.Errorf("store: %w", err)
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := tmp.Write(raw); err != nil {
 		tmp.Close()
-		s.stats.Errors++
+		s.met.errors.Inc()
 		return fmt.Errorf("store: %w", err)
 	}
 	if s.opts.Sync != SyncNone {
 		if err := tmp.Sync(); err != nil {
 			tmp.Close()
-			s.stats.Errors++
+			s.met.errors.Inc()
 			return fmt.Errorf("store: %w", err)
 		}
 	}
 	if err := tmp.Close(); err != nil {
-		s.stats.Errors++
+		s.met.errors.Inc()
 		return fmt.Errorf("store: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		s.stats.Errors++
+		s.met.errors.Inc()
 		return fmt.Errorf("store: %w", err)
 	}
 	if s.opts.Sync != SyncNone {

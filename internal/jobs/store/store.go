@@ -67,6 +67,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // SyncPolicy selects when the journal is fsynced.
@@ -130,6 +132,10 @@ type Event struct {
 	T   string    `json:"t"`
 	Job string    `json:"job"`
 	At  time.Time `json:"at"`
+	// Trace is the job's fleet-wide trace ID (set on submitted events;
+	// replay and compaction keep it on the record so GET /v1/jobs/{id}
+	// can answer with it after a restart).
+	Trace string `json:"trace,omitempty"`
 	// Submitted fields. Pin is the submitter's explicit parallelism
 	// request (SubmitOptions.Shards), preserved so a requeued job keeps
 	// its sizing after a crash.
@@ -153,6 +159,7 @@ type Event struct {
 // Record is the folded journal state of one job.
 type Record struct {
 	Job       string
+	Trace     string // fleet-wide trace ID
 	Key       string
 	Engine    string
 	State     string
@@ -208,6 +215,44 @@ type Options struct {
 	// referenced by a live record are always kept (default 4096; negative
 	// retains everything).
 	MaxResults int
+	// Metrics is the registry the store's instruments register in (nil:
+	// a private registry, so stores in tests never collide). The server
+	// passes its own so /metrics carries store_* families.
+	Metrics *obs.Registry
+}
+
+// storeMetrics are the registry-backed instruments behind Stats: the
+// counters are the system of record (Stats() reads them back), the
+// histograms exist only on /metrics.
+type storeMetrics struct {
+	events      *obs.Counter
+	syncs       *obs.Counter
+	compactions *obs.Counter
+	errors      *obs.Counter
+	appendLat   *obs.Histogram
+	fsyncLat    *obs.Histogram
+}
+
+func newStoreMetrics(reg *obs.Registry, s *Store) *storeMetrics {
+	m := &storeMetrics{
+		events:      reg.Counter("store_journal_events_total", "Journal lines appended since Open (not replayed ones)."),
+		syncs:       reg.Counter("store_journal_syncs_total", "Journal fsyncs issued on the append path since Open."),
+		compactions: reg.Counter("store_journal_compactions_total", "Journal rewrites since Open."),
+		errors:      reg.Counter("store_journal_errors_total", "Append/compaction/result-write failures the caller chose to survive."),
+		appendLat:   reg.Histogram("store_journal_append_seconds", "Journal append latency including the durability barrier.", nil),
+		fsyncLat:    reg.Histogram("store_journal_fsync_seconds", "Journal fsync latency.", nil),
+	}
+	reg.GaugeFunc("store_journal_lines", "Current journal file length in events.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.lines)
+	})
+	reg.GaugeFunc("store_journal_records", "Live record-table size.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.records))
+	})
+	return m
 }
 
 func (o Options) withDefaults() Options {
@@ -246,6 +291,7 @@ type Store struct {
 	lines   int
 	records map[string]*Record
 	stats   Stats
+	met     *storeMetrics
 
 	// Group-commit state (SyncGroup only). dirtyGen counts appended
 	// lines; syncedGen is the newest generation known durable. A leader
@@ -268,6 +314,11 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s := &Store{dir: dir, opts: opts, records: map[string]*Record{}}
 	s.cond = sync.NewCond(&s.mu)
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.met = newStoreMetrics(reg, s)
 	if err := s.replay(); err != nil {
 		return nil, err
 	}
@@ -361,6 +412,9 @@ func (s *Store) apply(ev Event) {
 		r = &Record{Job: ev.Job, State: StateQueued}
 		s.records[ev.Job] = r
 	}
+	if ev.Trace != "" {
+		r.Trace = ev.Trace
+	}
 	switch ev.T {
 	case EvSubmitted:
 		r.State = StateQueued
@@ -402,21 +456,25 @@ func (s *Store) apply(ev Event) {
 // barrier), and compaction when terminal/obsolete lines dominate the
 // live table.
 func (s *Store) Append(ev Event) error {
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.append(ev); err != nil {
-		s.stats.Errors++
+		s.met.errors.Inc()
 		return err
 	}
 	if s.opts.Sync == SyncGroup {
 		if err := s.awaitDurableLocked(s.dirtyGen); err != nil {
-			s.stats.Errors++
+			s.met.errors.Inc()
 			return err
 		}
 	}
+	// Observed once the event is durable per policy — compaction is
+	// amortized housekeeping, not append latency.
+	s.met.appendLat.Observe(time.Since(start))
 	if s.lines > s.opts.CompactFactor*len(s.records)+compactFloor {
 		if err := s.compact(); err != nil {
-			s.stats.Errors++
+			s.met.errors.Inc()
 			return err
 		}
 	}
@@ -449,10 +507,12 @@ func (s *Store) awaitDurableLocked(gen uint64) error {
 			// every line already written is covered by the sync below.
 			target := s.dirtyGen
 			s.mu.Unlock()
+			syncStart := time.Now()
 			err := f.Sync()
+			s.met.fsyncLat.Observe(time.Since(syncStart))
 			s.mu.Lock()
 			s.syncing = false
-			s.stats.Syncs++
+			s.met.syncs.Inc()
 			if err != nil {
 				// Fail every waiter covered by this barrier; later
 				// appends elect a fresh leader and retry.
@@ -481,15 +541,17 @@ func (s *Store) append(ev Event) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	if s.syncEvent(ev.T) {
+		syncStart := time.Now()
 		if err := s.f.Sync(); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
-		s.stats.Syncs++
+		s.met.fsyncLat.Observe(time.Since(syncStart))
+		s.met.syncs.Inc()
 	}
 	s.apply(ev)
 	s.lines++
 	s.dirtyGen++
-	s.stats.Events++
+	s.met.events.Inc()
 	return nil
 }
 
@@ -580,7 +642,7 @@ func (s *Store) compact() error {
 	s.f.Close()
 	s.f = f
 	s.lines = written
-	s.stats.Compactions++
+	s.met.compactions.Inc()
 	// The compacted file was fully written and (unless SyncNone) fsynced
 	// before the rename, so every journaled generation is now durable;
 	// release any group-commit waiters.
@@ -596,7 +658,7 @@ func (s *Store) compact() error {
 // replays to the same state.
 func recordEvents(r *Record) []Event {
 	evs := []Event{{
-		T: EvSubmitted, Job: r.Job, At: r.Submitted,
+		T: EvSubmitted, Job: r.Job, At: r.Submitted, Trace: r.Trace,
 		Key: r.Key, Engine: r.Engine, Bundle: r.Bundle, Pin: r.Pin,
 	}}
 	if r.Worker != "" || r.Remote != "" {
@@ -635,11 +697,17 @@ func (s *Store) Records() []*Record {
 	return out
 }
 
-// Stats snapshots the persistence counters.
+// Stats snapshots the persistence counters. The registry instruments
+// are the system of record; this keeps /v1/stats' JSON shape while
+// /metrics reads the same instruments directly.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
+	st.Events = s.met.events.Value()
+	st.Syncs = s.met.syncs.Value()
+	st.Compactions = s.met.compactions.Value()
+	st.Errors = s.met.errors.Value()
 	st.Lines = s.lines
 	st.Records = len(s.records)
 	st.Results = s.countResults()

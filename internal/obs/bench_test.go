@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The hot-path instruments sit inside the pool scheduler and journal
+// append path; these pin their cost so instrumentation regressions show
+// up in the benchmark diff (the CI threshold gate runs over them).
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_ops_total", "ops")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_lat_seconds", "lat", nil)
+	d := 137 * time.Microsecond
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(d)
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := NewRegistry().Gauge("bench_depth", "depth")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}

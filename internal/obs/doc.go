@@ -1,0 +1,75 @@
+// Package obs is the middle layer's observability subsystem: a
+// dependency-free metrics registry with Prometheus text exposition, job
+// trace IDs and span logs, structured-logging helpers, and the HTTP
+// middleware the serving layer wraps around every handler.
+//
+// # Metrics
+//
+// A Registry holds named instruments — monotonic Counters, settable
+// Gauges, gauges computed at scrape time (GaugeFunc), and fixed-bucket
+// latency Histograms — and renders them in the Prometheus text
+// exposition format (version 0.0.4) via WriteText or the Handler an
+// HTTP server mounts on GET /metrics. Instrument lookups are
+// get-or-create: asking twice for the same name (and label set) returns
+// the same instrument, so independent subsystems sharing one registry
+// cannot double-register. All instruments are lock-free on the hot path
+// (atomic increments and observes, a few nanoseconds each — see the
+// package benchmarks) and safe for concurrent use.
+//
+// Naming conventions, followed throughout the repo:
+//
+//   - snake_case metric names prefixed by their subsystem: jobs_ (worker
+//     pool), store_ (journal + result files), fleet_ (dispatcher), sim_
+//     (statevector engine), go_ (runtime), http_ (serving middleware).
+//   - Counters end in _total; durations are histograms in seconds ending
+//     in _seconds; sizes end in _bytes.
+//   - build_info is a constant 1-valued gauge whose labels (go_version,
+//     revision) identify the binary — fleet operators diff it across
+//     workers to spot mixed-version fleets.
+//
+// Histograms use DefBuckets by default: exponential latency bounds from
+// 10µs to 10s, chosen so both journal fsyncs (~100µs–10ms) and
+// 20-qubit statevector executions (~100ms–10s) land mid-range.
+// Quantiles (p50/p90/p99) are derivable from any histogram via
+// Histogram.Quantile, which interpolates linearly inside the owning
+// bucket — the same estimate Prometheus' histogram_quantile computes
+// server-side.
+//
+// RegisterRuntime adds Go runtime gauges (goroutines, heap and total
+// memory, GC cycles and pause p99) sourced from runtime/metrics and
+// refreshed at scrape time; RegisterBuildInfo adds the build_info
+// gauge from debug.ReadBuildInfo.
+//
+// ParseExposition is the strict counterpart to WriteText: a
+// line-format parser over a scraped /metrics body that validates metric
+// and label grammar, TYPE declarations, and histogram invariants
+// (ascending le bounds, monotonic cumulative counts, +Inf == _count).
+// The process-level acceptance tests scrape real servers through it.
+//
+// # Tracing
+//
+// Every job carries a trace ID across the fleet. The contract:
+//
+//   - POST /v1/jobs accepts an inbound X-Trace-Id header (1–128 chars of
+//     [A-Za-z0-9._-]); absent or invalid, the server generates a random
+//     16-byte hex ID. The accepted ID is echoed in the response header
+//     and the submit/status documents ("trace_id").
+//   - The fleet dispatcher forwards the same header with the job to its
+//     worker, records the ID in every journal event and job record, and
+//     both dispatcher and worker log it on every lifecycle transition —
+//     one grep for the ID reconstructs the job's fleet-wide life.
+//   - Each job accumulates a span log (queued, assigned, started,
+//     transpile/compile/execute/sample stage timings, persisted, done)
+//     with monotonic timestamps, surfaced in GET /v1/jobs/{id}.
+//
+// # Profiling
+//
+// qmlserve -debug-addr brings up a second listener serving
+// net/http/pprof under /debug/pprof/ plus a /metrics alias, so CPU and
+// heap profiles never contend with (or get rate-limited by) production
+// traffic:
+//
+//	qmlserve -addr :8080 -debug-addr 127.0.0.1:6060
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=30
+//	curl -s http://127.0.0.1:6060/debug/pprof/goroutine?debug=2
+package obs

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+)
+
+// NewLogger builds a slog.Logger writing to w in the given format:
+// "json" for machine-ingested output, anything else (conventionally
+// "text") for logfmt-style key=value lines.
+func NewLogger(format string, w io.Writer) *slog.Logger {
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(w, nil))
+	}
+	return slog.New(slog.NewTextHandler(w, nil))
+}
+
+// Discard returns a logger that drops everything — the default for
+// library layers whose caller did not wire one up.
+func Discard() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// Recover wraps an HTTP handler with panic recovery: a panicking
+// handler logs the stack (with the request's trace ID, method, and
+// path) and answers 500 JSON instead of tearing down the connection's
+// serve goroutine. http.ErrAbortHandler passes through — it is the
+// sanctioned way to abort a response mid-stream. Panics are counted in
+// panics when non-nil.
+func Recover(next http.Handler, log *slog.Logger, panics *Counter) http.Handler {
+	if log == nil {
+		log = Discard()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			if panics != nil {
+				panics.Inc()
+			}
+			log.Error("handler panic",
+				"err", fmt.Sprint(v),
+				"method", r.Method,
+				"path", r.URL.Path,
+				"trace", r.Header.Get(TraceHeader),
+				"stack", string(debug.Stack()),
+			)
+			// Headers may already be out; WriteHeader then double-logs
+			// to the server's ErrorLog but the connection stays usable
+			// for the common not-yet-written case.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			io.WriteString(w, `{"error":"internal server error"}`+"\n")
+		}()
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRecoverMiddleware(t *testing.T) {
+	var logBuf strings.Builder
+	panics := NewRegistry().Counter("http_panics_total", "p")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) { panic("kaboom") })
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, _ *http.Request) { w.Write([]byte("fine")) })
+	srv := httptest.NewServer(Recover(mux, NewLogger("json", &logBuf), panics))
+	defer srv.Close()
+
+	req, _ := http.NewRequest("GET", srv.URL+"/boom", nil)
+	req.Header.Set(TraceHeader, "trace-abc")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("panic tore down the connection: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error == "" {
+		t.Fatalf("500 body not error JSON: %v %+v", err, body)
+	}
+	if panics.Value() != 1 {
+		t.Fatalf("panic counter = %d, want 1", panics.Value())
+	}
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(logBuf.String()), &entry); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, logBuf.String())
+	}
+	if entry["trace"] != "trace-abc" {
+		t.Fatalf("log entry missing trace ID: %v", entry)
+	}
+	if s, _ := entry["stack"].(string); !strings.Contains(s, "TestRecoverMiddleware") {
+		t.Fatalf("log entry stack does not reach the panicking handler:\n%s", s)
+	}
+
+	// The server (and its middleware) stays serviceable afterwards.
+	if got := httpGet(t, srv.URL+"/ok"); got != "fine" {
+		t.Fatalf("post-panic request = %q", got)
+	}
+	if panics.Value() != 1 {
+		t.Fatalf("ok request counted as panic")
+	}
+}
+
+func TestRecoverPassesThroughAbortHandler(t *testing.T) {
+	h := Recover(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	}), Discard(), nil)
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Fatalf("ErrAbortHandler was swallowed")
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf strings.Builder
+	NewLogger("json", &buf).Info("hello", "k", "v")
+	if !strings.HasPrefix(strings.TrimSpace(buf.String()), "{") {
+		t.Fatalf("json logger produced %q", buf.String())
+	}
+	buf.Reset()
+	NewLogger("text", &buf).Info("hello", "k", "v")
+	if !strings.Contains(buf.String(), "k=v") {
+		t.Fatalf("text logger produced %q", buf.String())
+	}
+	Discard().Info("dropped")
+}

@@ -1,0 +1,357 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its sorted label
+// set (including le for histogram buckets), and the value.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Label lookup on a sample; empty when absent.
+func (s Sample) Label(name string) string {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// Family is one parsed metric family: every sample sharing a base name,
+// plus its declared TYPE ("counter", "gauge", "histogram", or "" when
+// undeclared).
+type Family struct {
+	Name    string
+	Type    string
+	Samples []Sample
+}
+
+// Value returns the value of the family's first sample matching every
+// given label (no labels = first sample), and ok=false when none match.
+func (f *Family) Value(labels ...Label) (float64, bool) {
+	for _, s := range f.Samples {
+		match := true
+		for _, want := range labels {
+			if s.Label(want.Name) != want.Value {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// ParseExposition is a strict parser for the Prometheus text exposition
+// format (version 0.0.4), used by tests to validate scraped /metrics
+// bodies. Beyond grammar (metric and label name charsets, quoting,
+// numeric values), it checks structural invariants:
+//
+//   - TYPE declared at most once per family, before its samples;
+//   - histogram families expose _bucket/_sum/_count, bucket le bounds
+//     parse and ascend strictly, cumulative bucket counts are
+//     monotonically non-decreasing, and the +Inf bucket equals _count;
+//   - counter values are non-negative;
+//   - no duplicate sample (same name and label set).
+//
+// Families are keyed and returned by base name (histogram suffixes
+// folded in), sorted by name.
+func ParseExposition(body string) ([]Family, error) {
+	type fam struct {
+		*Family
+		typedAt   int
+		seen      map[string]bool
+		hasBucket bool
+		hasSum    bool
+		hasCount  bool
+	}
+	fams := map[string]*fam{}
+	get := func(name string) *fam {
+		f, ok := fams[name]
+		if !ok {
+			f = &fam{Family: &Family{Name: name}, typedAt: -1, seen: map[string]bool{}}
+			fams[name] = f
+		}
+		return f
+	}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || fields[0] != "#" {
+				continue // free-form comment
+			}
+			switch fields[1] {
+			case "TYPE":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !validName(name) {
+					return nil, fmt.Errorf("line %d: invalid metric name %q in TYPE", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown TYPE %q for %s", lineNo, typ, name)
+				}
+				f := get(name)
+				if f.Type != "" {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if len(f.Samples) > 0 {
+					return nil, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				f.Type = typ
+				f.typedAt = lineNo
+			case "HELP":
+				if !validName(fields[2]) {
+					return nil, fmt.Errorf("line %d: invalid metric name %q in HELP", lineNo, fields[2])
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name {
+				if f, ok := fams[trimmed]; ok && f.Type == "histogram" {
+					base = trimmed
+				}
+				break
+			}
+		}
+		f := get(base)
+		key := name + metricKey("", labels)
+		if f.seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate sample %s%s", lineNo, name, renderLabels(labels, ""))
+		}
+		f.seen[key] = true
+		switch {
+		case f.Type == "histogram" && strings.HasSuffix(name, "_bucket"):
+			f.hasBucket = true
+		case f.Type == "histogram" && strings.HasSuffix(name, "_sum"):
+			f.hasSum = true
+		case f.Type == "histogram" && strings.HasSuffix(name, "_count"):
+			f.hasCount = true
+		case f.Type == "counter" && (value < 0 || math.IsNaN(value)):
+			return nil, fmt.Errorf("line %d: counter %s has invalid value %v", lineNo, name, value)
+		}
+		f.Samples = append(f.Samples, Sample{Name: name, Labels: labels, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Family, 0, len(fams))
+	for _, f := range fams {
+		if f.Type == "histogram" {
+			if err := checkHistogram(f.Family, f.hasBucket, f.hasSum, f.hasCount); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, *f.Family)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// checkHistogram validates one histogram family's bucket invariants,
+// per label set (le excluded).
+func checkHistogram(f *Family, hasBucket, hasSum, hasCount bool) error {
+	if !hasBucket || !hasSum || !hasCount {
+		return fmt.Errorf("histogram %s missing _bucket/_sum/_count series", f.Name)
+	}
+	type series struct {
+		les    []float64
+		counts []float64
+		count  float64
+		gotCnt bool
+	}
+	bySet := map[string]*series{}
+	setKey := func(labels []Label) string {
+		rest := make([]Label, 0, len(labels))
+		for _, l := range labels {
+			if l.Name != "le" {
+				rest = append(rest, l)
+			}
+		}
+		return metricKey("", rest)
+	}
+	for _, s := range f.Samples {
+		k := setKey(s.Labels)
+		sr, ok := bySet[k]
+		if !ok {
+			sr = &series{}
+			bySet[k] = sr
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			leStr := s.Label("le")
+			le := math.Inf(1)
+			if leStr != "+Inf" {
+				v, err := strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					return fmt.Errorf("histogram %s: bad le %q", f.Name, leStr)
+				}
+				le = v
+			}
+			sr.les = append(sr.les, le)
+			sr.counts = append(sr.counts, s.Value)
+		case strings.HasSuffix(s.Name, "_count"):
+			sr.count = s.Value
+			sr.gotCnt = true
+		}
+	}
+	for _, sr := range bySet {
+		if len(sr.les) == 0 {
+			continue
+		}
+		for i := 1; i < len(sr.les); i++ {
+			if sr.les[i] <= sr.les[i-1] {
+				return fmt.Errorf("histogram %s: le bounds not strictly ascending (%v after %v)", f.Name, sr.les[i], sr.les[i-1])
+			}
+			if sr.counts[i] < sr.counts[i-1] {
+				return fmt.Errorf("histogram %s: cumulative bucket counts decrease at le=%v", f.Name, sr.les[i])
+			}
+		}
+		if !math.IsInf(sr.les[len(sr.les)-1], 1) {
+			return fmt.Errorf("histogram %s: missing +Inf bucket", f.Name)
+		}
+		if !sr.gotCnt {
+			return fmt.Errorf("histogram %s: label set missing _count", f.Name)
+		}
+		if inf := sr.counts[len(sr.counts)-1]; inf != sr.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", f.Name, inf, sr.count)
+		}
+	}
+	return nil
+}
+
+// parseSampleLine parses `name{l="v",...} value` (labels optional).
+// Timestamps (a third field) are accepted and ignored.
+func parseSampleLine(line string) (string, []Label, float64, error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample line %q", line)
+	}
+	name := line[:i]
+	if !validName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	var labels []Label
+	rest := line[i:]
+	if rest[0] == '{' {
+		var err error
+		labels, rest, err = parseLabels(rest[1:])
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("metric %s: %v", name, err)
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("metric %s: expected value (and optional timestamp), got %q", name, rest)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("metric %s: bad value %q", name, fields[0])
+	}
+	sort.Slice(labels, func(a, b int) bool { return labels[a].Name < labels[b].Name })
+	return name, labels, v, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels consumes `l1="v1",l2="v2"}` and returns the labels plus
+// the remainder after the closing brace.
+func parseLabels(s string) ([]Label, string, error) {
+	var labels []Label
+	for {
+		s = strings.TrimLeft(s, " ")
+		if s == "" {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if s[0] == '}' {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '=' in %q", s)
+		}
+		lname := strings.TrimSpace(s[:eq])
+		if !validName(lname) {
+			return nil, "", fmt.Errorf("invalid label name %q", lname)
+		}
+		s = s[eq+1:]
+		if s == "" || s[0] != '"' {
+			return nil, "", fmt.Errorf("label %s: value not quoted", lname)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if s == "" {
+				return nil, "", fmt.Errorf("label %s: unterminated value", lname)
+			}
+			c := s[0]
+			s = s[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if s == "" {
+					return nil, "", fmt.Errorf("label %s: dangling escape", lname)
+				}
+				switch s[0] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("label %s: bad escape \\%c", lname, s[0])
+				}
+				s = s[1:]
+				continue
+			}
+			val.WriteByte(c)
+		}
+		labels = append(labels, Label{Name: lname, Value: val.String()})
+		s = strings.TrimLeft(s, " ")
+		if s != "" && s[0] == ',' {
+			s = s[1:]
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, r *Registry) []Family {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseExposition(sb.String())
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\nbody:\n%s", err, sb.String())
+	}
+	return fams
+}
+
+func findFamily(t *testing.T, fams []Family, name string) *Family {
+	t.Helper()
+	for i := range fams {
+		if fams[i].Name == name {
+			return &fams[i]
+		}
+	}
+	t.Fatalf("family %s not found", name)
+	return nil
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d\n%s", url, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
+func TestParseValidBody(t *testing.T) {
+	body := `# HELP http_requests_total The total number of HTTP requests.
+# TYPE http_requests_total counter
+http_requests_total{method="post",code="200"} 1027 1395066363000
+http_requests_total{method="post",code="400"} 3
+
+# Minimalistic line:
+metric_without_timestamp_and_labels 12.47
+# TYPE rpc_duration_seconds histogram
+rpc_duration_seconds_bucket{le="0.05"} 24054
+rpc_duration_seconds_bucket{le="0.1"} 33444
+rpc_duration_seconds_bucket{le="+Inf"} 34444
+rpc_duration_seconds_sum 8953.332
+rpc_duration_seconds_count 34444
+`
+	fams, err := ParseExposition(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := findFamily(t, fams, "http_requests_total")
+	if f.Type != "counter" {
+		t.Fatalf("type = %q, want counter", f.Type)
+	}
+	if v, ok := f.Value(Label{Name: "code", Value: "200"}); !ok || v != 1027 {
+		t.Fatalf("code=200 = %v,%v", v, ok)
+	}
+	h := findFamily(t, fams, "rpc_duration_seconds")
+	if len(h.Samples) != 5 {
+		t.Fatalf("histogram folded %d samples, want 5", len(h.Samples))
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad metric name": `0bad_name 1` + "\n",
+		"bad value":       `metric_a one` + "\n",
+		"unquoted label":  `metric_a{x=1} 1` + "\n",
+		"unterminated":    `metric_a{x="1" 1` + "\n",
+		"duplicate sample": `metric_a{x="1"} 1
+metric_a{x="1"} 2
+`,
+		"duplicate TYPE": `# TYPE metric_a counter
+# TYPE metric_a gauge
+`,
+		"TYPE after samples": `metric_a 1
+# TYPE metric_a counter
+`,
+		"negative counter": `# TYPE metric_a counter
+metric_a -1
+`,
+		"unknown type": `# TYPE metric_a widget` + "\n",
+		"histogram missing +Inf": `# TYPE h histogram
+h_bucket{le="1"} 1
+h_sum 0.5
+h_count 1
+`,
+		"histogram non-monotonic": `# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="2"} 3
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 5
+`,
+		"histogram le not ascending": `# TYPE h histogram
+h_bucket{le="2"} 3
+h_bucket{le="1"} 5
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 5
+`,
+		"histogram inf != count": `# TYPE h histogram
+h_bucket{le="1"} 4
+h_bucket{le="+Inf"} 4
+h_sum 1
+h_count 5
+`,
+		"histogram missing sum": `# TYPE h histogram
+h_bucket{le="+Inf"} 1
+h_count 1
+`,
+	}
+	for name, body := range cases {
+		if _, err := ParseExposition(body); err == nil {
+			t.Errorf("%s: parser accepted invalid body:\n%s", name, body)
+		}
+	}
+}
+
+func TestParseHistogramPerLabelSet(t *testing.T) {
+	body := `# TYPE h histogram
+h_bucket{op="read",le="1"} 2
+h_bucket{op="read",le="+Inf"} 2
+h_sum{op="read"} 0.4
+h_count{op="read"} 2
+h_bucket{op="write",le="1"} 7
+h_bucket{op="write",le="+Inf"} 9
+h_sum{op="write"} 12
+h_count{op="write"} 9
+`
+	if _, err := ParseExposition(body); err != nil {
+		t.Fatalf("per-label-set histogram rejected: %v", err)
+	}
+}

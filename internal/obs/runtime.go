@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+)
+
+// runtimeKeys are the runtime/metrics keys the Go runtime gauges read.
+var runtimeKeys = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+}
+
+var registeredRuntime sync.Map // *Registry → bool
+
+// RegisterRuntime adds Go runtime gauges to reg, refreshed at scrape
+// time via an OnGather hook reading one runtime/metrics batch:
+//
+//	go_goroutines           live goroutine count
+//	go_heap_objects_bytes   bytes of live heap objects
+//	go_mem_total_bytes      total bytes from the OS
+//	go_gc_cycles_total      completed GC cycles (gauge: runtime-owned)
+//	go_gc_pause_p99_seconds p99 stop-the-world pause, process lifetime
+//
+// Idempotent per registry.
+func RegisterRuntime(reg *Registry) {
+	if _, loaded := registeredRuntime.LoadOrStore(reg, true); loaded {
+		return
+	}
+	goroutines := reg.Gauge("go_goroutines", "Live goroutine count.")
+	heapObj := reg.Gauge("go_heap_objects_bytes", "Bytes of live heap objects.")
+	memTotal := reg.Gauge("go_mem_total_bytes", "Total bytes of memory obtained from the OS.")
+	gcCycles := reg.Gauge("go_gc_cycles_total", "Completed GC cycles since process start.")
+	gcPause := reg.Gauge("go_gc_pause_p99_seconds", "p99 GC stop-the-world pause over the process lifetime.")
+	samples := make([]metrics.Sample, len(runtimeKeys))
+	for i, k := range runtimeKeys {
+		samples[i].Name = k
+	}
+	reg.OnGather(func() {
+		metrics.Read(samples)
+		for _, s := range samples {
+			switch s.Name {
+			case "/sched/goroutines:goroutines":
+				goroutines.Set(float64(s.Value.Uint64()))
+			case "/memory/classes/heap/objects:bytes":
+				heapObj.Set(float64(s.Value.Uint64()))
+			case "/memory/classes/total:bytes":
+				memTotal.Set(float64(s.Value.Uint64()))
+			case "/gc/cycles/total:gc-cycles":
+				gcCycles.Set(float64(s.Value.Uint64()))
+			case "/gc/pauses:seconds":
+				gcPause.Set(float64HistQuantile(s.Value.Float64Histogram(), 0.99))
+			}
+		}
+	})
+}
+
+// float64HistQuantile estimates a quantile from a runtime/metrics
+// Float64Histogram (bucket midpoints; runtime histograms may have
+// infinite outer bounds, which clamp to the adjacent finite bound).
+func float64HistQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := uint64(0)
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	cum := 0.0
+	for i, c := range h.Counts {
+		cum += float64(c)
+		if cum >= target {
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			switch {
+			case math.IsInf(lo, 0):
+				return hi
+			case math.IsInf(hi, 0):
+				return lo
+			default:
+				return (lo + hi) / 2
+			}
+		}
+	}
+	last := h.Buckets[len(h.Buckets)-1]
+	if math.IsInf(last, 0) {
+		last = h.Buckets[len(h.Buckets)-2]
+	}
+	return last
+}

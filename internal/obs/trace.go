@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"time"
+)
+
+// TraceHeader is the HTTP header carrying a job's trace ID: accepted on
+// POST /v1/jobs, echoed on responses, and forwarded dispatcher→worker.
+const TraceHeader = "X-Trace-Id"
+
+// MaxTraceIDLen bounds accepted trace IDs so a hostile header cannot
+// bloat journals and logs.
+const MaxTraceIDLen = 128
+
+// NewTraceID returns a random 32-hex-char (16-byte) trace ID.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("obs: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether s is acceptable as an inbound trace ID:
+// 1–128 characters of [A-Za-z0-9._-].
+func ValidTraceID(s string) bool {
+	if len(s) == 0 || len(s) > MaxTraceIDLen {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// EnsureTraceID returns s when it is a valid trace ID and a fresh random
+// ID otherwise (including for empty s).
+func EnsureTraceID(s string) string {
+	if ValidTraceID(s) {
+		return s
+	}
+	return NewTraceID()
+}
+
+// Span is one entry in a job's lifecycle log: a named stage, the wall
+// time it completed, how long it took (zero for instantaneous
+// transitions like "queued"), and an optional note (e.g. the owning
+// worker's name on "assigned").
+type Span struct {
+	Stage string        `json:"stage"`
+	At    time.Time     `json:"at"`
+	Dur   time.Duration `json:"-"`
+	DurNs int64         `json:"dur_ns"`
+	Note  string        `json:"note,omitempty"`
+}
+
+// NewSpan builds a span stamped with the current time.
+func NewSpan(stage string, d time.Duration, note string) Span {
+	return Span{Stage: stage, At: time.Now().UTC(), Dur: d, DurNs: d.Nanoseconds(), Note: note}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewTraceID(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		id := NewTraceID()
+		if len(id) != 32 {
+			t.Fatalf("trace ID %q has length %d, want 32", id, len(id))
+		}
+		if !ValidTraceID(id) {
+			t.Fatalf("generated ID %q fails its own validator", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	valid := []string{"a", "req-42", "trace.id_A-Z", strings.Repeat("x", MaxTraceIDLen)}
+	for _, s := range valid {
+		if !ValidTraceID(s) {
+			t.Errorf("ValidTraceID(%q) = false, want true", s)
+		}
+	}
+	invalid := []string{"", "has space", "семь", "a/b", "x\n", strings.Repeat("x", MaxTraceIDLen+1)}
+	for _, s := range invalid {
+		if ValidTraceID(s) {
+			t.Errorf("ValidTraceID(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestEnsureTraceID(t *testing.T) {
+	if got := EnsureTraceID("keep-me"); got != "keep-me" {
+		t.Fatalf("valid ID rewritten to %q", got)
+	}
+	if got := EnsureTraceID("bad id!"); !ValidTraceID(got) || got == "bad id!" {
+		t.Fatalf("invalid ID not replaced: %q", got)
+	}
+	if got := EnsureTraceID(""); !ValidTraceID(got) {
+		t.Fatalf("empty ID not replaced: %q", got)
+	}
+}
+
+func TestNewSpan(t *testing.T) {
+	sp := NewSpan("executed", 250*time.Millisecond, "w1")
+	if sp.Stage != "executed" || sp.Note != "w1" {
+		t.Fatalf("span fields: %+v", sp)
+	}
+	if sp.DurNs != 250e6 {
+		t.Fatalf("DurNs = %d, want 250e6", sp.DurNs)
+	}
+	if sp.At.IsZero() || sp.At.Location() != time.UTC {
+		t.Fatalf("span timestamp not stamped UTC: %v", sp.At)
+	}
+}

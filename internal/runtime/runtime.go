@@ -29,6 +29,11 @@ type Options struct {
 	// engine choose; the jobs scheduler sets it so a lone big simulation
 	// takes every core while concurrent jobs stay narrow.
 	Shards int
+	// Stages, when non-nil, receives per-stage timing callbacks from
+	// backends implementing backend.Staged (transpile/compile/execute/
+	// sample for the gate path). The jobs layer wires this to per-job
+	// span logs; backends without stage support ignore it.
+	Stages backend.StageFunc
 }
 
 // SelectEngine picks an engine for a bundle with no explicit exec block:
@@ -90,7 +95,9 @@ func Submit(b *bundle.Bundle, opts Options) (*result.Result, error) {
 		return nil, err
 	}
 	var res *result.Result
-	if sb, ok := be.(backend.Sharded); ok && opts.Shards > 0 {
+	if tb, ok := be.(backend.Staged); ok && (opts.Shards > 0 || opts.Stages != nil) {
+		res, err = tb.ExecuteStaged(b, opts.Shards, opts.Stages)
+	} else if sb, ok := be.(backend.Sharded); ok && opts.Shards > 0 {
 		res, err = sb.ExecuteSharded(b, opts.Shards)
 	} else {
 		res, err = be.Execute(b)

@@ -3,11 +3,32 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/gates"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
+
+// Engine stage histograms, registered process-wide: the sim layer has no
+// handle on a server's registry, so it reports through obs.Default() and
+// servers merge that registry into their /metrics.
+var (
+	simCompile = obs.Default().Histogram("sim_compile_seconds", "Circuit → fused kernel plan compile latency.", nil)
+	simExecute = obs.Default().Histogram("sim_execute_seconds", "Kernel plan execution latency over the shard pool.", nil)
+	simSample  = obs.Default().Histogram("sim_sample_seconds", "CDF build + shot sampling latency.", nil)
+)
+
+// observeStage records one engine stage in the process-wide histogram
+// and forwards it to the per-job observer, if any.
+func observeStage(h *obs.Histogram, stages func(string, time.Duration), name string, start time.Time) {
+	d := time.Since(start)
+	h.Observe(d)
+	if stages != nil {
+		stages(name, d)
+	}
+}
 
 // cdfBlock is the fixed accumulation block of the sampling CDF build.
 // Block boundaries — not shard boundaries — define the float summation
@@ -75,6 +96,11 @@ type Options struct {
 	// lone big simulation takes every core while concurrent jobs stay
 	// narrow.
 	Shards int
+	// Stages, when non-nil, receives one callback per engine stage
+	// ("compile", "execute", "sample") with its wall-clock duration — the
+	// hook the jobs layer uses to attach per-job span logs. Stage timings
+	// also land in the process-wide sim_*_seconds histograms regardless.
+	Stages func(stage string, d time.Duration)
 }
 
 // Evolve applies every non-measurement instruction of the circuit to a
@@ -89,17 +115,21 @@ func Evolve(c *circuit.Circuit) (*State, error) {
 
 // EvolveShards is Evolve with an explicit shard count (0 = auto).
 func EvolveShards(c *circuit.Circuit, shards int) (*State, error) {
+	start := time.Now()
 	pl, err := Compile(c)
 	if err != nil {
 		return nil, err
 	}
+	simCompile.Observe(time.Since(start))
 	st, err := NewState(c.NumQubits)
 	if err != nil {
 		return nil, err
 	}
+	start = time.Now()
 	if err := pl.Execute(st, shards); err != nil {
 		return nil, err
 	}
+	simExecute.Observe(time.Since(start))
 	return st, nil
 }
 
@@ -150,19 +180,23 @@ func Run(c *circuit.Circuit, opts Options) (*Result, error) {
 	if opts.Shots < 0 {
 		return nil, fmt.Errorf("sim: negative shot count %d", opts.Shots)
 	}
+	stageStart := time.Now()
 	pl, err := Compile(c)
 	if err != nil {
 		return nil, err
 	}
+	observeStage(simCompile, opts.Stages, "compile", stageStart)
 	st, err := NewState(c.NumQubits)
 	if err != nil {
 		return nil, err
 	}
 	pool := newShardPool(resolveShards(st.Dim(), opts.Shards))
 	defer pool.close()
+	stageStart = time.Now()
 	if err := pl.executeOn(st, pool); err != nil {
 		return nil, err
 	}
+	observeStage(simExecute, opts.Stages, "execute", stageStart)
 	res := &Result{Counts: Counts{}, Shots: opts.Shots}
 	if opts.KeepState {
 		res.Final = st
@@ -172,6 +206,7 @@ func Run(c *circuit.Circuit, opts Options) (*Result, error) {
 		return res, nil
 	}
 
+	stageStart = time.Now()
 	cdf, acc, lastPos := buildCDF(st, pool)
 
 	qubits := make([]int, 0, len(mm))
@@ -185,6 +220,7 @@ func Run(c *circuit.Circuit, opts Options) (*Result, error) {
 		k := sampleCDF(cdf, lastPos, r.Float64()*acc)
 		res.Counts[projectRegister(k, qubits, mm, 0, nil)]++
 	}
+	observeStage(simSample, opts.Stages, "sample", stageStart)
 	return res, nil
 }
 
