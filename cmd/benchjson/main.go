@@ -9,7 +9,9 @@
 // Sub-benchmarks keep their full slash-separated name; the -N GOMAXPROCS
 // suffix is stripped so artifacts diff cleanly across machines. A
 // benchmark appearing more than once (e.g. -count > 1) keeps its last
-// reading.
+// reading by default; -best keeps the minimum ns/op across repeats
+// instead — the standard noise filter for committed baselines, since the
+// fastest repeat is the one least disturbed by machine load.
 //
 // -compare OLD.json additionally diffs the fresh readings against a
 // committed baseline and prints a WARNING line to stderr for every
@@ -33,8 +35,9 @@ import (
 func main() {
 	compare := flag.String("compare", "", "baseline BENCH json to diff against (warnings on stderr)")
 	threshold := flag.Float64("threshold", 0.15, "relative ns/op regression that triggers a warning")
+	best := flag.Bool("best", false, "keep the minimum ns/op across -count repeats instead of the last")
 	flag.Parse()
-	results, err := parseBench(os.Stdin)
+	results, err := parseBench(os.Stdin, *best)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -99,7 +102,10 @@ func compareBench(baseline, fresh map[string]float64, threshold float64) []strin
 // the form:
 //
 //	BenchmarkName-8   	      10	 123456 ns/op	  16 B/op ...
-func parseBench(r io.Reader) (map[string]float64, error) {
+//
+// With best set, repeated readings of one benchmark keep the minimum
+// ns/op; otherwise the last reading wins.
+func parseBench(r io.Reader, best bool) (map[string]float64, error) {
 	results := make(map[string]float64)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -115,7 +121,10 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 			}
 			var ns float64
 			if _, err := fmt.Sscanf(fields[i], "%g", &ns); err == nil {
-				results[trimProcs(fields[0])] = ns
+				name := trimProcs(fields[0])
+				if prev, seen := results[name]; !best || !seen || ns < prev {
+					results[name] = ns
+				}
 			}
 			break
 		}

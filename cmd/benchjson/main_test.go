@@ -17,7 +17,7 @@ BenchmarkCompileDeep20-16 	    1549	    700000 ns/op	  535634 B/op	    1362 allo
 PASS
 ok  	repro/internal/sim	8.935s
 `
-	got, err := parseBench(strings.NewReader(in))
+	got, err := parseBench(strings.NewReader(in), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,6 +33,33 @@ ok  	repro/internal/sim	8.935s
 		if got[name] != ns {
 			t.Errorf("%s = %v, want %v", name, got[name], ns)
 		}
+	}
+}
+
+// TestParseBenchBest pins the -best aggregation: across -count repeats the
+// minimum ns/op survives, regardless of reading order.
+func TestParseBenchBest(t *testing.T) {
+	in := `BenchmarkA-8 	 5	 300 ns/op
+BenchmarkA-8 	 5	 100 ns/op
+BenchmarkA-8 	 5	 200 ns/op
+BenchmarkB-8 	 5	 400 ns/op
+`
+	got, err := parseBench(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkA"] != 100 {
+		t.Errorf("BenchmarkA = %v, want min 100", got["BenchmarkA"])
+	}
+	if got["BenchmarkB"] != 400 {
+		t.Errorf("BenchmarkB = %v, want 400", got["BenchmarkB"])
+	}
+	last, err := parseBench(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last["BenchmarkA"] != 200 {
+		t.Errorf("last-wins BenchmarkA = %v, want 200", last["BenchmarkA"])
 	}
 }
 

@@ -22,6 +22,17 @@
 // The per-job shard grant is a scheduling decision of the serving layer
 // — see below.
 //
+// Amplitudes live in a structure-of-arrays layout: split real and
+// imaginary float64 planes, each 64-byte aligned, so sweep bodies are
+// autovectorizable scalar float loops instead of interleaved complex128
+// arithmetic; kernel matrices and phase tables split once at compile
+// time. Shard workers first-touch their own contiguous plane ranges at
+// state creation, placing pages with their owners on NUMA machines. The
+// split expressions group exactly as complex128 arithmetic, so sampled
+// counts for a fixed bundle+shots+seed are bit-identical to the
+// interleaved layout — the result cache and fleet re-run guarantees
+// rest on this.
+//
 // # Serving layer
 //
 // On top of the one-shot runtime sits the asynchronous serving subsystem

@@ -89,6 +89,44 @@ type Matrix2 [2][2]complex128
 // position on bit 0.
 type Matrix4 [4][4]complex128
 
+// Split2 is a one-qubit unitary stored as separate real and imaginary
+// planes. The simulator splits every kernel matrix into this form at
+// compile time so its inner sweeps are branch-free float64 arithmetic over
+// the split amplitude planes — no complex deinterleave per element.
+type Split2 struct {
+	Re, Im [2][2]float64
+}
+
+// Split decomposes the matrix into its real and imaginary planes.
+func (m Matrix2) Split() Split2 {
+	var s Split2
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			s.Re[i][j] = real(m[i][j])
+			s.Im[i][j] = imag(m[i][j])
+		}
+	}
+	return s
+}
+
+// Split4 is a two-qubit unitary stored as separate real and imaginary
+// planes; see Split2.
+type Split4 struct {
+	Re, Im [4][4]float64
+}
+
+// Split decomposes the matrix into its real and imaginary planes.
+func (m Matrix4) Split() Split4 {
+	var s Split4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			s.Re[i][j] = real(m[i][j])
+			s.Im[i][j] = imag(m[i][j])
+		}
+	}
+	return s
+}
+
 // Unitary1 returns the matrix of a one-qubit gate.
 func Unitary1(n Name, params []float64) (Matrix2, error) {
 	info, err := Lookup(n)

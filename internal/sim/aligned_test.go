@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestAlignedFloatsAlignment pins the allocation contract both amplitude
+// planes and the scratch buffers rely on: the base address sits on a
+// 64-byte cache-line boundary, the slice holds exactly n elements, and the
+// capacity is clamped so appends cannot reach back onto the unaligned
+// prefix.
+func TestAlignedFloatsAlignment(t *testing.T) {
+	for _, n := range []int{1, 7, 8, 9, 1 << 10, 1<<13 + 3, 1 << 20} {
+		s := alignedFloats(n)
+		if len(s) != n {
+			t.Fatalf("alignedFloats(%d) has len %d", n, len(s))
+		}
+		if cap(s) != n {
+			t.Fatalf("alignedFloats(%d) has cap %d; appends could step onto the prefix", n, cap(s))
+		}
+		addr := uintptr(unsafe.Pointer(unsafe.SliceData(s)))
+		if addr%cacheLine != 0 {
+			t.Fatalf("alignedFloats(%d) base %#x not %d-byte aligned", n, addr, cacheLine)
+		}
+		// The slice must be fully writable.
+		s[0], s[n-1] = 1, 2
+	}
+	if s := alignedFloats(0); s != nil {
+		t.Fatalf("alignedFloats(0) = %v, want nil", s)
+	}
+}
+
+// TestStatePlanesAligned checks that freshly allocated states and their
+// scratch planes actually use the aligned allocator.
+func TestStatePlanesAligned(t *testing.T) {
+	s := mustState(t, 10)
+	for name, plane := range map[string][]float64{
+		"re": s.re, "im": s.im,
+		"scratchRe": s.scratchPlanes().re, "scratchIm": s.scratchPlanes().im,
+	} {
+		addr := uintptr(unsafe.Pointer(unsafe.SliceData(plane)))
+		if addr%cacheLine != 0 {
+			t.Errorf("%s plane base %#x not %d-byte aligned", name, addr, cacheLine)
+		}
+	}
+}

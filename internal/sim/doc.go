@@ -61,4 +61,45 @@
 // across states. The direct State.Apply* methods remain for per-gate
 // consumers such as the noise-trajectory path, built on the same
 // pair-index sweeps.
+//
+// # Amplitude layout
+//
+// The statevector is stored structure-of-arrays: two parallel float64
+// planes, re[k] and im[k], instead of one []complex128. Go's complex128
+// code generation keeps real and imaginary parts interleaved and largely
+// scalar; on the split planes every sweep body is plain float64 arithmetic
+// over contiguous equal-length slices, which the compiler bounds-check
+// eliminates and autovectorizes. Kernel matrices, phase tables and init
+// amplitude tables are split once at compile finalize (gates.Split2 /
+// gates.Split4, the phRe/phIm tables), never per sweep.
+//
+// Both planes come from alignedFloats, which over-allocates and re-slices
+// so element 0 sits on a 64-byte cache-line boundary: plane base alignment
+// is deterministic rather than allocator luck, sweeps never straddle an
+// extra line at the block edges, and re and im keep identical offsets so
+// a pair (re[k], im[k]) always splits across exactly two predictable
+// lines. The full-size staging planes (State.scratch, used by permutation
+// and init kernels that cannot run in place) are allocated the same way,
+// lazily, and reused for the life of the State.
+//
+// First-touch ownership: a State created for plan execution (newStateOn)
+// has its planes zeroed by the shard pool itself — each worker clears
+// exactly the contiguous range of re and im it will later sweep, before
+// any kernel runs. On NUMA machines first touch decides page placement,
+// so this puts every shard's pages on the socket of the worker that owns
+// them; on single-socket machines it is equivalent to the allocator's
+// lazy zeroing and costs nothing extra.
+//
+// The split arithmetic is grouped exactly as Go complex128 arithmetic —
+// (m·a)ʳ computes as mr·ar − mi·ai, multi-term sums associate left to
+// right, and no FMA contraction is introduced — so amplitudes match the
+// pre-refactor engine bit for bit, except that fast paths may skip exact
+// ±0-valued terms, which can only flip the sign of a zero and is
+// unobservable through probabilities. Sampled counts for a fixed
+// bundle+shots+seed are therefore unchanged by the layout (the parity
+// suite in soa_parity_test.go pins this against a complex128 reference).
+//
+// External packages see none of this: Amplitude, Probability and the
+// Apply*/Evolve/Run APIs still speak complex128, and nothing outside the
+// package may assume plane layout, alignment, or scratch reuse.
 package sim

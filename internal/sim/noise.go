@@ -189,12 +189,12 @@ func runReadoutOnly(c *circuit.Circuit, noise NoiseModel, opts Options, res *Res
 	if opts.Shots == 0 {
 		return res, nil
 	}
-	st, err := NewState(c.NumQubits)
+	pool := newShardPool(resolveShards(1<<c.NumQubits, opts.Shards))
+	defer pool.close()
+	st, err := newStateOn(c.NumQubits, pool)
 	if err != nil {
 		return nil, err
 	}
-	pool := newShardPool(resolveShards(st.Dim(), opts.Shards))
-	defer pool.close()
 	// Evolve even when nothing is measured: runtime errors (an init on
 	// qubits not in |0…0⟩) must surface exactly as the per-shot
 	// trajectory path surfaced them.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/circuit"
+	"repro/internal/gates"
 )
 
 func bellCircuit() *circuit.Circuit {
@@ -238,6 +239,53 @@ func TestRunNoisyTrajectoryWorkersSerialSweeps(t *testing.T) {
 	// behavior fans out to workers×GOMAXPROCS extra goroutines per sweep.
 	if limit := int64(base + workers + 6); maxG.Load() > limit {
 		t.Errorf("goroutine high-water mark %d exceeds %d: trajectory sweeps are fanning out", maxG.Load(), limit)
+	}
+}
+
+// TestCloneThenEvolveKeepsSerialSweeps extends the high-water guard to the
+// clone path: Clone must carry the serial-sweep pin, so evolving a clone of
+// a pinned state spawns no sweep goroutines even above parallelThreshold.
+// (A Clone that dropped the pin would fan each sweep out to GOMAXPROCS
+// goroutines, resurrecting the oversubscription the pin exists to prevent.)
+func TestCloneThenEvolveKeepsSerialSweeps(t *testing.T) {
+	n := 14 // 2^14 amplitudes: every sweep is above parallelThreshold
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	st := mustStateQuick(n)
+	st.noParallel = true
+	cl := st.Clone()
+	h, err := gates.Unitary1(gates.H, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	stop := make(chan struct{})
+	var maxG atomic.Int64
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if g := int64(runtime.NumGoroutine()); g > maxG.Load() {
+					maxG.Store(g)
+				}
+				time.Sleep(20 * time.Microsecond)
+			}
+		}
+	}()
+	for l := 0; l < 4; l++ {
+		for q := 0; q < n; q++ {
+			if err := cl.Apply1(h, q); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	// Only the monitor goroutine plus runtime slack: the pinned clone's
+	// sweeps all run on the calling goroutine.
+	if limit := int64(base + 3); maxG.Load() > limit {
+		t.Errorf("goroutine high-water mark %d exceeds %d: cloned state lost the serial-sweep pin", maxG.Load(), limit)
 	}
 }
 

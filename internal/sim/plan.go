@@ -17,6 +17,12 @@ import (
 // 2×2 matrix, merges consecutive diagonal/phase gates into a single
 // diagonal kernel, and specializes controlled permutations, so a deep
 // circuit needs far fewer bandwidth-bound sweeps than one per gate.
+//
+// Fusion composes kernels as complex matrices; at Compile finalize every
+// kernel matrix and phase table is split once into real/imaginary float64
+// parts (gates.Split2/Split4, the ph*/amp* plane slices), so the execution
+// sweeps are branch-free float arithmetic over the state's split planes
+// with no complex deinterleave per element.
 
 // kernelKind enumerates the sweep shapes the executor knows.
 type kernelKind uint8
@@ -66,18 +72,24 @@ type kernel struct {
 	support int  // bitmask of touched qubits
 	diag    bool // diagonal in the computational basis
 
-	// kGate1Q (q only) / kGate2Q (q is the lower qubit, q2 the higher)
-	q  int
-	q2 int
-	m  gates.Matrix2
-	m4 gates.Matrix4
+	// kGate1Q (q only) / kGate2Q (q is the lower qubit, q2 the higher).
+	// The complex matrices are the fusion-time representation; ms/m4s are
+	// their split real/imag planes, derived once at Compile finalize and
+	// the only form the sweeps read.
+	q   int
+	q2  int
+	m   gates.Matrix2
+	ms  gates.Split2
+	m4  gates.Matrix4
+	m4s gates.Split4
 	// Monomial decomposition of m4 (permutation × phase: exactly one
 	// nonzero per row and column), precomputed at Compile finalize. The
 	// sweep then costs 4 complex multiplies per quadruple instead of the
 	// dense kernel's 16 multiplies + 12 adds: out[r] = mph[r]·in[msrc[r]].
-	mono bool
-	msrc [4]int
-	mph  [4]complex128
+	mono  bool
+	msrc  [4]int
+	mphRe [4]float64
+	mphIm [4]float64
 
 	// kCtrlPerm / kCtrlPhase
 	inserts []bitInsert
@@ -85,12 +97,19 @@ type kernel struct {
 	flip    int // kCtrlPerm: XOR mask exchanging the amplitude pair
 	phase   complex128
 
-	// kDiag / kPermute / kInit (local indexing: qubits[k] is bit k)
+	// kDiag / kPermute / kInit (local indexing: qubits[k] is bit k).
+	// phases/amps are the complex merge-time tables; phRe/phIm and
+	// ampRe/ampIm the split planes the sweeps read (finishDiag keeps the
+	// diagonal split in lockstep with table merges).
 	qubits []int
 	masks  []int
 	phases []complex128
+	phRe   []float64
+	phIm   []float64
 	perm   []uint64
 	amps   []complex128
+	ampRe  []float64
+	ampIm  []float64
 }
 
 // PlanStats reports what compilation achieved.
@@ -167,18 +186,26 @@ func Compile(c *circuit.Circuit) (*Plan, error) {
 		}
 		pl.stats.SourceOps++
 	}
-	// Finalize: fusion is done mutating kernels, so monomial structure is
-	// now stable. A dense 4×4 that ended up permutation×phase (a pure
-	// CX/CZ/SWAP chain, possibly with X/Z/S-style 1Q gates folded in)
-	// downgrades to the 4-multiply monomial sweep.
+	// Finalize: fusion is done mutating kernels, so matrix contents and
+	// monomial structure are now stable. Split every kernel matrix into
+	// real/imag planes once, and downgrade any dense 4×4 that ended up
+	// permutation×phase (a pure CX/CZ/SWAP chain, possibly with
+	// X/Z/S-style 1Q gates folded in) to the 4-multiply monomial sweep.
 	for i := range pl.kernels {
 		k := &pl.kernels[i]
-		if k.kind != kGate2Q {
-			continue
-		}
-		if src, ph, ok := monomial4(k.m4); ok {
-			k.mono, k.msrc, k.mph = true, src, ph
-			pl.stats.Monomial2Q++
+		switch k.kind {
+		case kGate1Q:
+			k.ms = k.m.Split()
+		case kGate2Q:
+			if src, ph, ok := monomial4(k.m4); ok {
+				k.mono, k.msrc = true, src
+				for r := 0; r < 4; r++ {
+					k.mphRe[r], k.mphIm[r] = real(ph[r]), imag(ph[r])
+				}
+				pl.stats.Monomial2Q++
+				continue
+			}
+			k.m4s = k.m4.Split()
 		}
 	}
 	pl.stats.Kernels = len(pl.kernels)
@@ -303,6 +330,7 @@ func (pl *Plan) lower(ins circuit.Instruction) error {
 		k := kernel{kind: kInit, support: qubitMask(ins.Qubits)}
 		k.qubits = append([]int(nil), ins.Qubits...)
 		k.amps = append([]complex128(nil), ins.Amps...)
+		k.ampRe, k.ampIm = splitComplexSlice(k.amps)
 		k.masks = qubitMasks(ins.Qubits)
 		pl.kernels = append(pl.kernels, k)
 		return nil
@@ -414,10 +442,13 @@ func qubitMasks(qs []int) []int {
 }
 
 // finishDiag derives the cached fields of a kDiag kernel from its qubit
-// list.
+// list and phase table — including the split real/imag planes the sweep
+// reads, so table merges (mergeDiag, toDiag) can never leave the split
+// form stale.
 func (k *kernel) finishDiag() {
 	k.support = qubitMask(k.qubits)
 	k.masks = qubitMasks(k.qubits)
+	k.phRe, k.phIm = splitComplexSlice(k.phases)
 }
 
 // commutes reports whether two kernels commute: disjoint qubit support, or
@@ -735,7 +766,7 @@ func (pl *Plan) Execute(st *State, shards int) error {
 	if st.n != pl.n {
 		return fmt.Errorf("sim: plan compiled for %d qubits, state has %d", pl.n, st.n)
 	}
-	pool := newShardPool(resolveShards(len(st.amps), shards))
+	pool := newShardPool(resolveShards(st.Dim(), shards))
 	defer pool.close()
 	return pl.executeOn(st, pool)
 }
@@ -743,72 +774,76 @@ func (pl *Plan) Execute(st *State, shards int) error {
 // executeOn runs the kernel sequence on an existing pool; Run reuses the
 // same pool afterwards for the CDF build.
 func (pl *Plan) executeOn(st *State, pool *shardPool) error {
-	a := st.amps
+	re, im := st.re, st.im
+	dim := len(re)
 	for i := range pl.kernels {
 		k := &pl.kernels[i]
 		switch k.kind {
 		case kGate1Q:
 			stride := 1 << k.q
-			m := k.m
-			pool.do(len(a)/2, func(_, lo, hi int) {
-				sweep1QAuto(a, m, stride, lo, hi)
+			ms := &k.ms
+			pool.do(dim/2, func(_, lo, hi int) {
+				sweep1QAuto(re, im, ms, stride, lo, hi)
 			})
 		case kGate2Q:
 			maskLo, maskHi := 1<<k.q, 1<<k.q2
 			if k.mono {
-				src, ph := &k.msrc, &k.mph
-				pool.do(len(a)/4, func(_, lo, hi int) {
-					sweep2QMonoAuto(a, src, ph, maskLo, maskHi, lo, hi)
+				src, phRe, phIm := &k.msrc, &k.mphRe, &k.mphIm
+				pool.do(dim/4, func(_, lo, hi int) {
+					sweep2QMonoAuto(re, im, src, phRe, phIm, maskLo, maskHi, lo, hi)
 				})
 				break
 			}
-			m := &k.m4
-			pool.do(len(a)/4, func(_, lo, hi int) {
-				sweep2QAuto(a, m, maskLo, maskHi, lo, hi)
+			ms := &k.m4s
+			pool.do(dim/4, func(_, lo, hi int) {
+				sweep2QAuto(re, im, ms, maskLo, maskHi, lo, hi)
 			})
 		case kCtrlPerm:
 			pool.do(1<<k.free, func(_, lo, hi int) {
-				sweepCtrlPerm(a, k.inserts, k.flip, lo, hi)
+				sweepCtrlPerm(re, im, k.inserts, k.flip, lo, hi)
 			})
 		case kCtrlPhase:
+			phR, phI := real(k.phase), imag(k.phase)
 			pool.do(1<<k.free, func(_, lo, hi int) {
-				sweepCtrlPhase(a, k.inserts, k.phase, lo, hi)
+				sweepCtrlPhase(re, im, k.inserts, phR, phI, lo, hi)
 			})
 		case kDiag:
-			pool.do(len(a), func(_, lo, hi int) {
-				sweepDiag(a, k.masks, k.phases, lo, hi)
+			pool.do(dim, func(_, lo, hi int) {
+				sweepDiag(re, im, k.masks, k.phRe, k.phIm, lo, hi)
 			})
 		case kPermute:
-			src := st.scratchBuf()
-			pool.do(len(a), func(_, lo, hi int) {
-				copy(src[lo:hi], a[lo:hi])
+			src := st.scratchPlanes()
+			pool.do(dim, func(_, lo, hi int) {
+				copy(src.re[lo:hi], re[lo:hi])
+				copy(src.im[lo:hi], im[lo:hi])
 			})
-			pool.do(len(a), func(_, lo, hi int) {
-				sweepPermute(a, src, k.masks, k.perm, lo, hi)
+			pool.do(dim, func(_, lo, hi int) {
+				sweepPermute(re, im, src.re, src.im, k.masks, k.perm, lo, hi)
 			})
 		case kInit:
 			anyMask := k.support
-			src := st.scratchBuf()
+			src := st.scratchPlanes()
 			bad := make([]int, pool.shards)
 			for i := range bad {
 				bad[i] = -1
 			}
-			pool.do(len(a), func(w, lo, hi int) {
+			pool.do(dim, func(w, lo, hi int) {
 				for i := lo; i < hi; i++ {
-					if i&anyMask != 0 && cmplx.Abs(a[i]) > 1e-12 && bad[w] < 0 {
+					if i&anyMask != 0 && bad[w] < 0 &&
+						cmplx.Abs(complex(re[i], im[i])) > 1e-12 {
 						bad[w] = i
 					}
 				}
-				copy(src[lo:hi], a[lo:hi])
+				copy(src.re[lo:hi], re[lo:hi])
+				copy(src.im[lo:hi], im[lo:hi])
 			})
 			for _, b := range bad {
 				if b >= 0 {
 					return fmt.Errorf("sim: init target qubits not in |0…0⟩ (amplitude at %d)", b)
 				}
 			}
-			amps := k.amps
-			pool.do(len(a), func(_, lo, hi int) {
-				sweepInit(a, src, k.masks, anyMask, amps, lo, hi)
+			pool.do(dim, func(_, lo, hi int) {
+				sweepInit(re, im, src.re, src.im, k.masks, anyMask, k.ampRe, k.ampIm, lo, hi)
 			})
 		}
 	}
@@ -816,6 +851,13 @@ func (pl *Plan) executeOn(st *State, pool *shardPool) error {
 }
 
 // ---- sweep bodies, shared by plan execution and the State methods ----
+//
+// Every sweep operates on the split re/im planes. The float expressions
+// mirror the grouping of Go's complex128 arithmetic exactly — a complex
+// product contributes (ar·br − ai·bi) and (ar·bi + ai·br) as parenthesized
+// units, sums of products associate left to right — so the split kernels
+// produce bit-identical amplitudes to the former []complex128 kernels and
+// sampled counts are unchanged across the layout refactor.
 
 // blockedStrideMin is the smallest kernel stride worth the cache-blocked
 // sweep form: below it the contiguous runs are too short for the per-run
@@ -823,34 +865,41 @@ func (pl *Plan) executeOn(st *State, pool *shardPool) error {
 const blockedStrideMin = 64
 
 // cacheBlockAmps bounds the contiguous run length of a blocked sweep so
-// each block's quadrant slices (2 streams for a 1Q kernel, 4 for a 2Q one)
-// stay L2-resident while they are being transformed: 4096 amplitudes per
-// stream is 64 KiB, at most 256 KiB in flight.
+// each block's quadrant slices (4 streams for a 1Q kernel, 8 for a 2Q one,
+// counting both planes) stay L2-resident while they are being transformed:
+// 4096 amplitudes per stream is 32 KiB per plane, at most 256 KiB in
+// flight.
 const cacheBlockAmps = 1 << 12
 
 // sweep1Q applies a 2×2 unitary to the amplitude pairs indexed by
 // [lo, hi) ⊂ [0, 2^(n-1)): pair p expands to indices (i, i|stride) with
 // the target bit cleared and set.
-func sweep1Q(a []complex128, m gates.Matrix2, stride, lo, hi int) {
+func sweep1Q(re, im []float64, m *gates.Split2, stride, lo, hi int) {
 	low := stride - 1
-	m00, m01, m10, m11 := m[0][0], m[0][1], m[1][0], m[1][1]
+	m00r, m01r, m10r, m11r := m.Re[0][0], m.Re[0][1], m.Re[1][0], m.Re[1][1]
+	m00i, m01i, m10i, m11i := m.Im[0][0], m.Im[0][1], m.Im[1][0], m.Im[1][1]
 	for p := lo; p < hi; p++ {
 		i := (p&^low)<<1 | p&low
 		j := i | stride
-		a0, a1 := a[i], a[j]
-		a[i] = m00*a0 + m01*a1
-		a[j] = m10*a0 + m11*a1
+		a0r, a0i := re[i], im[i]
+		a1r, a1i := re[j], im[j]
+		re[i] = (m00r*a0r - m00i*a0i) + (m01r*a1r - m01i*a1i)
+		im[i] = (m00r*a0i + m00i*a0r) + (m01r*a1i + m01i*a1r)
+		re[j] = (m10r*a0r - m10i*a0i) + (m11r*a1r - m11i*a1i)
+		im[j] = (m10r*a0i + m10i*a0r) + (m11r*a1i + m11i*a1r)
 	}
 }
 
 // sweep1QBlocked is the cache-blocked form for high-stride targets: the
-// pair index expands once per block and the two half-streams then advance
-// as plain consecutive runs, bounded by cacheBlockAmps so both halves stay
-// cache-resident while being transformed. Per-pair bit surgery disappears
-// from the inner loop.
-func sweep1QBlocked(a []complex128, m gates.Matrix2, stride, lo, hi int) {
+// pair index expands once per block and the four half-streams (two planes
+// × two halves) then advance as plain consecutive runs, bounded by
+// cacheBlockAmps so all streams stay cache-resident while being
+// transformed. Per-pair bit surgery disappears from the inner loop, which
+// is straight-line float math over equal-length slices.
+func sweep1QBlocked(re, im []float64, m *gates.Split2, stride, lo, hi int) {
 	low := stride - 1
-	m00, m01, m10, m11 := m[0][0], m[0][1], m[1][0], m[1][1]
+	m00r, m01r, m10r, m11r := m.Re[0][0], m.Re[0][1], m.Re[1][0], m.Re[1][1]
+	m00i, m01i, m10i, m11i := m.Im[0][0], m.Im[0][1], m.Im[1][0], m.Im[1][1]
 	for p := lo; p < hi; {
 		i := (p&^low)<<1 | p&low
 		run := stride - p&low
@@ -860,61 +909,68 @@ func sweep1QBlocked(a []complex128, m gates.Matrix2, stride, lo, hi int) {
 		if run > cacheBlockAmps {
 			run = cacheBlockAmps
 		}
-		// The two half-streams as equal-length slices: the bounds checks
+		// The half-streams as equal-length slices: the bounds checks
 		// vanish from the inner loop.
-		h0 := a[i : i+run]
-		h1 := a[i|stride:][:run]
-		for r := range h0 {
-			a0, a1 := h0[r], h1[r]
-			h0[r] = m00*a0 + m01*a1
-			h1[r] = m10*a0 + m11*a1
+		r0 := re[i : i+run]
+		i0 := im[i:][:run]
+		r1 := re[i|stride:][:run]
+		i1 := im[i|stride:][:run]
+		for r := range r0 {
+			a0r, a0i := r0[r], i0[r]
+			a1r, a1i := r1[r], i1[r]
+			r0[r] = (m00r*a0r - m00i*a0i) + (m01r*a1r - m01i*a1i)
+			i0[r] = (m00r*a0i + m00i*a0r) + (m01r*a1i + m01i*a1r)
+			r1[r] = (m10r*a0r - m10i*a0i) + (m11r*a1r - m11i*a1i)
+			i1[r] = (m10r*a0i + m10i*a0r) + (m11r*a1i + m11i*a1r)
 		}
 		p += run
 	}
 }
 
 // sweep1QAuto picks the blocked sweep for high-stride targets.
-func sweep1QAuto(a []complex128, m gates.Matrix2, stride, lo, hi int) {
+func sweep1QAuto(re, im []float64, m *gates.Split2, stride, lo, hi int) {
 	if stride >= blockedStrideMin {
-		sweep1QBlocked(a, m, stride, lo, hi)
+		sweep1QBlocked(re, im, m, stride, lo, hi)
 		return
 	}
-	sweep1Q(a, m, stride, lo, hi)
+	sweep1Q(re, im, m, stride, lo, hi)
 }
 
 // sweep2Q applies a dense 4×4 unitary to the amplitude quadruples indexed
 // by [lo, hi) ⊂ [0, 2^(n-2)): quad c expands to the base index i with both
 // pair bits clear; its partners sit at i|maskLo, i|maskHi and i|both.
-func sweep2Q(a []complex128, m *gates.Matrix4, maskLo, maskHi, lo, hi int) {
+func sweep2Q(re, im []float64, m *gates.Split4, maskLo, maskHi, lo, hi int) {
 	lowLo, lowHi := maskLo-1, maskHi-1
-	m00, m01, m02, m03 := m[0][0], m[0][1], m[0][2], m[0][3]
-	m10, m11, m12, m13 := m[1][0], m[1][1], m[1][2], m[1][3]
-	m20, m21, m22, m23 := m[2][0], m[2][1], m[2][2], m[2][3]
-	m30, m31, m32, m33 := m[3][0], m[3][1], m[3][2], m[3][3]
+	mr, mi := &m.Re, &m.Im
 	for c := lo; c < hi; c++ {
 		x := (c&^lowLo)<<1 | c&lowLo
 		i := (x&^lowHi)<<1 | x&lowHi
 		j := i | maskLo
 		k := i | maskHi
 		l := j | maskHi
-		a0, a1, a2, a3 := a[i], a[j], a[k], a[l]
-		a[i] = m00*a0 + m01*a1 + m02*a2 + m03*a3
-		a[j] = m10*a0 + m11*a1 + m12*a2 + m13*a3
-		a[k] = m20*a0 + m21*a1 + m22*a2 + m23*a3
-		a[l] = m30*a0 + m31*a1 + m32*a2 + m33*a3
+		a0r, a0i := re[i], im[i]
+		a1r, a1i := re[j], im[j]
+		a2r, a2i := re[k], im[k]
+		a3r, a3i := re[l], im[l]
+		re[i] = (mr[0][0]*a0r - mi[0][0]*a0i) + (mr[0][1]*a1r - mi[0][1]*a1i) + (mr[0][2]*a2r - mi[0][2]*a2i) + (mr[0][3]*a3r - mi[0][3]*a3i)
+		im[i] = (mr[0][0]*a0i + mi[0][0]*a0r) + (mr[0][1]*a1i + mi[0][1]*a1r) + (mr[0][2]*a2i + mi[0][2]*a2r) + (mr[0][3]*a3i + mi[0][3]*a3r)
+		re[j] = (mr[1][0]*a0r - mi[1][0]*a0i) + (mr[1][1]*a1r - mi[1][1]*a1i) + (mr[1][2]*a2r - mi[1][2]*a2i) + (mr[1][3]*a3r - mi[1][3]*a3i)
+		im[j] = (mr[1][0]*a0i + mi[1][0]*a0r) + (mr[1][1]*a1i + mi[1][1]*a1r) + (mr[1][2]*a2i + mi[1][2]*a2r) + (mr[1][3]*a3i + mi[1][3]*a3r)
+		re[k] = (mr[2][0]*a0r - mi[2][0]*a0i) + (mr[2][1]*a1r - mi[2][1]*a1i) + (mr[2][2]*a2r - mi[2][2]*a2i) + (mr[2][3]*a3r - mi[2][3]*a3i)
+		im[k] = (mr[2][0]*a0i + mi[2][0]*a0r) + (mr[2][1]*a1i + mi[2][1]*a1r) + (mr[2][2]*a2i + mi[2][2]*a2r) + (mr[2][3]*a3i + mi[2][3]*a3r)
+		re[l] = (mr[3][0]*a0r - mi[3][0]*a0i) + (mr[3][1]*a1r - mi[3][1]*a1i) + (mr[3][2]*a2r - mi[3][2]*a2i) + (mr[3][3]*a3r - mi[3][3]*a3i)
+		im[l] = (mr[3][0]*a0i + mi[3][0]*a0r) + (mr[3][1]*a1i + mi[3][1]*a1r) + (mr[3][2]*a2i + mi[3][2]*a2r) + (mr[3][3]*a3i + mi[3][3]*a3r)
 	}
 }
 
 // sweep2QBlocked is the cache-blocked form for pairs whose lower qubit is
-// high: the quadruple index expands once per block and the four quadrant
-// streams advance as consecutive runs bounded by cacheBlockAmps, keeping
-// all four slices cache-resident with no per-quad bit surgery.
-func sweep2QBlocked(a []complex128, m *gates.Matrix4, maskLo, maskHi, lo, hi int) {
+// high: the quadruple index expands once per block and the eight quadrant
+// streams (four per plane) advance as consecutive runs bounded by
+// cacheBlockAmps, keeping all slices cache-resident with no per-quad bit
+// surgery.
+func sweep2QBlocked(re, im []float64, m *gates.Split4, maskLo, maskHi, lo, hi int) {
 	lowLo, lowHi := maskLo-1, maskHi-1
-	m00, m01, m02, m03 := m[0][0], m[0][1], m[0][2], m[0][3]
-	m10, m11, m12, m13 := m[1][0], m[1][1], m[1][2], m[1][3]
-	m20, m21, m22, m23 := m[2][0], m[2][1], m[2][2], m[2][3]
-	m30, m31, m32, m33 := m[3][0], m[3][1], m[3][2], m[3][3]
+	mr, mi := &m.Re, &m.Im
 	for c := lo; c < hi; {
 		x := (c&^lowLo)<<1 | c&lowLo
 		i := (x&^lowHi)<<1 | x&lowHi
@@ -925,18 +981,29 @@ func sweep2QBlocked(a []complex128, m *gates.Matrix4, maskLo, maskHi, lo, hi int
 		if run > cacheBlockAmps {
 			run = cacheBlockAmps
 		}
-		// The four quadrant streams as equal-length slices: the bounds
-		// checks vanish from the inner loop.
-		q0 := a[i : i+run]
-		q1 := a[i|maskLo:][:run]
-		q2 := a[i|maskHi:][:run]
-		q3 := a[i|maskLo|maskHi:][:run]
-		for r := range q0 {
-			a0, a1, a2, a3 := q0[r], q1[r], q2[r], q3[r]
-			q0[r] = m00*a0 + m01*a1 + m02*a2 + m03*a3
-			q1[r] = m10*a0 + m11*a1 + m12*a2 + m13*a3
-			q2[r] = m20*a0 + m21*a1 + m22*a2 + m23*a3
-			q3[r] = m30*a0 + m31*a1 + m32*a2 + m33*a3
+		// The quadrant streams as equal-length slices: the bounds checks
+		// vanish from the inner loop.
+		r0 := re[i : i+run]
+		i0 := im[i:][:run]
+		r1 := re[i|maskLo:][:run]
+		i1 := im[i|maskLo:][:run]
+		r2 := re[i|maskHi:][:run]
+		i2 := im[i|maskHi:][:run]
+		r3 := re[i|maskLo|maskHi:][:run]
+		i3 := im[i|maskLo|maskHi:][:run]
+		for r := range r0 {
+			a0r, a0i := r0[r], i0[r]
+			a1r, a1i := r1[r], i1[r]
+			a2r, a2i := r2[r], i2[r]
+			a3r, a3i := r3[r], i3[r]
+			r0[r] = (mr[0][0]*a0r - mi[0][0]*a0i) + (mr[0][1]*a1r - mi[0][1]*a1i) + (mr[0][2]*a2r - mi[0][2]*a2i) + (mr[0][3]*a3r - mi[0][3]*a3i)
+			i0[r] = (mr[0][0]*a0i + mi[0][0]*a0r) + (mr[0][1]*a1i + mi[0][1]*a1r) + (mr[0][2]*a2i + mi[0][2]*a2r) + (mr[0][3]*a3i + mi[0][3]*a3r)
+			r1[r] = (mr[1][0]*a0r - mi[1][0]*a0i) + (mr[1][1]*a1r - mi[1][1]*a1i) + (mr[1][2]*a2r - mi[1][2]*a2i) + (mr[1][3]*a3r - mi[1][3]*a3i)
+			i1[r] = (mr[1][0]*a0i + mi[1][0]*a0r) + (mr[1][1]*a1i + mi[1][1]*a1r) + (mr[1][2]*a2i + mi[1][2]*a2r) + (mr[1][3]*a3i + mi[1][3]*a3r)
+			r2[r] = (mr[2][0]*a0r - mi[2][0]*a0i) + (mr[2][1]*a1r - mi[2][1]*a1i) + (mr[2][2]*a2r - mi[2][2]*a2i) + (mr[2][3]*a3r - mi[2][3]*a3i)
+			i2[r] = (mr[2][0]*a0i + mi[2][0]*a0r) + (mr[2][1]*a1i + mi[2][1]*a1r) + (mr[2][2]*a2i + mi[2][2]*a2r) + (mr[2][3]*a3i + mi[2][3]*a3r)
+			r3[r] = (mr[3][0]*a0r - mi[3][0]*a0i) + (mr[3][1]*a1r - mi[3][1]*a1i) + (mr[3][2]*a2r - mi[3][2]*a2i) + (mr[3][3]*a3r - mi[3][3]*a3i)
+			i3[r] = (mr[3][0]*a0i + mi[3][0]*a0r) + (mr[3][1]*a1i + mi[3][1]*a1r) + (mr[3][2]*a2i + mi[3][2]*a2r) + (mr[3][3]*a3i + mi[3][3]*a3r)
 		}
 		c += run
 	}
@@ -944,42 +1011,300 @@ func sweep2QBlocked(a []complex128, m *gates.Matrix4, maskLo, maskHi, lo, hi int
 
 // sweep2QAuto picks the blocked sweep when the lower pair qubit's stride
 // gives long enough contiguous runs.
-func sweep2QAuto(a []complex128, m *gates.Matrix4, maskLo, maskHi, lo, hi int) {
+func sweep2QAuto(re, im []float64, m *gates.Split4, maskLo, maskHi, lo, hi int) {
 	if maskLo >= blockedStrideMin {
-		sweep2QBlocked(a, m, maskLo, maskHi, lo, hi)
+		sweep2QBlocked(re, im, m, maskLo, maskHi, lo, hi)
 		return
 	}
-	sweep2Q(a, m, maskLo, maskHi, lo, hi)
+	sweep2Q(re, im, m, maskLo, maskHi, lo, hi)
 }
 
 // sweep2QMono applies a monomial (permutation × phase) 4×4 kernel to the
 // amplitude quadruples indexed by [lo, hi): each output slot is one
 // scaled input slot, 4 complex multiplies per quadruple where the dense
 // sweep pays 16 multiplies and 12 adds.
-func sweep2QMono(a []complex128, src *[4]int, ph *[4]complex128, maskLo, maskHi, lo, hi int) {
+func sweep2QMono(re, im []float64, src *[4]int, phRe, phIm *[4]float64, maskLo, maskHi, lo, hi int) {
 	lowLo, lowHi := maskLo-1, maskHi-1
 	s0, s1, s2, s3 := src[0], src[1], src[2], src[3]
-	p0, p1, p2, p3 := ph[0], ph[1], ph[2], ph[3]
+	p0r, p1r, p2r, p3r := phRe[0], phRe[1], phRe[2], phRe[3]
+	p0i, p1i, p2i, p3i := phIm[0], phIm[1], phIm[2], phIm[3]
+	if a, b, ok := monoTransposition(src, phRe, phIm); ok {
+		// The permutation is one transposition and every fixed row keeps
+		// unit phase (the shape CX/CZ chains with folded S/T produce):
+		// only two of the four quadrant slots change per quadruple, so
+		// half the loads, stores and multiplies drop out. Unit-phase rows
+		// were exact out = 1·a − 0·b identities; skipping them changes at
+		// most the sign of a zero amplitude.
+		off := [4]int{0, maskLo, maskHi, maskLo | maskHi}
+		offA, offB := off[a], off[b]
+		par, pai := phRe[a], phIm[a]
+		pbr, pbi := phRe[b], phIm[b]
+		for c := lo; c < hi; c++ {
+			x := (c&^lowLo)<<1 | c&lowLo
+			i := (x&^lowHi)<<1 | x&lowHi
+			ia, ib := i|offA, i|offB
+			avr, avi := re[ia], im[ia]
+			bvr, bvi := re[ib], im[ib]
+			re[ia] = par*bvr - pai*bvi
+			im[ia] = par*bvi + pai*bvr
+			re[ib] = pbr*avr - pbi*avi
+			im[ib] = pbr*avi + pbi*avr
+		}
+		return
+	}
+	if p0i == 0 && p1i == 0 && p2i == 0 && p3i == 0 {
+		// Real phases (CX/CZ/SWAP/X/Z chains): the planes decouple —
+		// out = p·in on each plane separately, half the multiplies. The
+		// dropped −pi·in terms were exact zeros, so amplitudes match the
+		// general path up to the sign of a zero, which no probability or
+		// sampled count can observe.
+		for c := lo; c < hi; c++ {
+			x := (c&^lowLo)<<1 | c&lowLo
+			i := (x&^lowHi)<<1 | x&lowHi
+			j := i | maskLo
+			k := i | maskHi
+			l := j | maskHi
+			qr := [4]float64{re[i], re[j], re[k], re[l]}
+			qi := [4]float64{im[i], im[j], im[k], im[l]}
+			re[i], im[i] = p0r*qr[s0], p0r*qi[s0]
+			re[j], im[j] = p1r*qr[s1], p1r*qi[s1]
+			re[k], im[k] = p2r*qr[s2], p2r*qi[s2]
+			re[l], im[l] = p3r*qr[s3], p3r*qi[s3]
+		}
+		return
+	}
 	for c := lo; c < hi; c++ {
 		x := (c&^lowLo)<<1 | c&lowLo
 		i := (x&^lowHi)<<1 | x&lowHi
 		j := i | maskLo
 		k := i | maskHi
 		l := j | maskHi
-		q := [4]complex128{a[i], a[j], a[k], a[l]}
-		a[i] = p0 * q[s0]
-		a[j] = p1 * q[s1]
-		a[k] = p2 * q[s2]
-		a[l] = p3 * q[s3]
+		qr := [4]float64{re[i], re[j], re[k], re[l]}
+		qi := [4]float64{im[i], im[j], im[k], im[l]}
+		re[i] = p0r*qr[s0] - p0i*qi[s0]
+		im[i] = p0r*qi[s0] + p0i*qr[s0]
+		re[j] = p1r*qr[s1] - p1i*qi[s1]
+		im[j] = p1r*qi[s1] + p1i*qr[s1]
+		re[k] = p2r*qr[s2] - p2i*qi[s2]
+		im[k] = p2r*qi[s2] + p2i*qr[s2]
+		re[l] = p3r*qr[s3] - p3i*qi[s3]
+		im[l] = p3r*qi[s3] + p3i*qr[s3]
+	}
+}
+
+// monoTransposition reports whether the monomial's permutation is exactly
+// one transposition (a b) with every fixed row keeping unit phase — the
+// dominant kernel shape compiled from CX/CZ chains, with or without folded
+// S/T phases on the moved rows.
+func monoTransposition(src *[4]int, phRe, phIm *[4]float64) (a, b int, ok bool) {
+	a = -1
+	for r := 0; r < 4; r++ {
+		if src[r] == r {
+			if phRe[r] != 1 || phIm[r] != 0 {
+				return 0, 0, false
+			}
+			continue
+		}
+		if a < 0 {
+			a = r
+			continue
+		}
+		if b != 0 {
+			return 0, 0, false // third moved row
+		}
+		b = r
+	}
+	if a < 0 || b == 0 {
+		return 0, 0, false
+	}
+	if src[a] != b || src[b] != a {
+		return 0, 0, false
+	}
+	return a, b, true
+}
+
+// monoComplexPlanes is the cycle-walking blocked monomial for complex
+// phases, operating on both planes' quadrant runs together: unit-phase
+// fixed rows skip their streams entirely, fixed rows with phase scale in
+// place, and each k-cycle loops over only the 2k streams it moves —
+// instead of one 16-stream loop whose slice bases spill out of the
+// register file.
+func monoComplexPlanes(qr, qi *[4][]float64, src *[4]int, phRe, phIm *[4]float64) {
+	var done [4]bool
+	for r0 := 0; r0 < 4; r0++ {
+		if done[r0] {
+			continue
+		}
+		done[r0] = true
+		if src[r0] == r0 {
+			pr, pi := phRe[r0], phIm[r0]
+			if pr == 1 && pi == 0 {
+				continue
+			}
+			sr := qr[r0]
+			si := qi[r0][:len(sr)]
+			for n := range sr {
+				ar, ai := sr[n], si[n]
+				sr[n] = ar*pr - ai*pi
+				si[n] = ar*pi + ai*pr
+			}
+			continue
+		}
+		r1 := src[r0]
+		if src[r1] == r0 {
+			done[r1] = true
+			p0r, p0i := phRe[r0], phIm[r0]
+			p1r, p1i := phRe[r1], phIm[r1]
+			ar0 := qr[r0]
+			ai0 := qi[r0][:len(ar0)]
+			ar1 := qr[r1][:len(ar0)]
+			ai1 := qi[r1][:len(ar0)]
+			for n := range ar0 {
+				v0r, v0i := ar0[n], ai0[n]
+				v1r, v1i := ar1[n], ai1[n]
+				ar0[n] = p0r*v1r - p0i*v1i
+				ai0[n] = p0r*v1i + p0i*v1r
+				ar1[n] = p1r*v0r - p1i*v0i
+				ai1[n] = p1r*v0i + p1i*v0r
+			}
+			continue
+		}
+		// 3- or 4-cycle: collect it and rotate with per-element buffering.
+		cyc := [4]int{r0, r1, src[r1], -1}
+		n := 3
+		if src[cyc[2]] != r0 {
+			cyc[3] = src[cyc[2]]
+			n = 4
+		}
+		for _, r := range cyc[1:n] {
+			done[r] = true
+		}
+		if n == 3 {
+			p0r, p0i := phRe[cyc[0]], phIm[cyc[0]]
+			p1r, p1i := phRe[cyc[1]], phIm[cyc[1]]
+			p2r, p2i := phRe[cyc[2]], phIm[cyc[2]]
+			s0r := qr[cyc[0]]
+			s0i := qi[cyc[0]][:len(s0r)]
+			s1r := qr[cyc[1]][:len(s0r)]
+			s1i := qi[cyc[1]][:len(s0r)]
+			s2r := qr[cyc[2]][:len(s0r)]
+			s2i := qi[cyc[2]][:len(s0r)]
+			for k := range s0r {
+				v0r, v0i := s0r[k], s0i[k]
+				v1r, v1i := s1r[k], s1i[k]
+				v2r, v2i := s2r[k], s2i[k]
+				s0r[k] = p0r*v1r - p0i*v1i
+				s0i[k] = p0r*v1i + p0i*v1r
+				s1r[k] = p1r*v2r - p1i*v2i
+				s1i[k] = p1r*v2i + p1i*v2r
+				s2r[k] = p2r*v0r - p2i*v0i
+				s2i[k] = p2r*v0i + p2i*v0r
+			}
+			continue
+		}
+		p0r, p0i := phRe[cyc[0]], phIm[cyc[0]]
+		p1r, p1i := phRe[cyc[1]], phIm[cyc[1]]
+		p2r, p2i := phRe[cyc[2]], phIm[cyc[2]]
+		p3r, p3i := phRe[cyc[3]], phIm[cyc[3]]
+		s0r := qr[cyc[0]]
+		s0i := qi[cyc[0]][:len(s0r)]
+		s1r := qr[cyc[1]][:len(s0r)]
+		s1i := qi[cyc[1]][:len(s0r)]
+		s2r := qr[cyc[2]][:len(s0r)]
+		s2i := qi[cyc[2]][:len(s0r)]
+		s3r := qr[cyc[3]][:len(s0r)]
+		s3i := qi[cyc[3]][:len(s0r)]
+		for k := range s0r {
+			v0r, v0i := s0r[k], s0i[k]
+			v1r, v1i := s1r[k], s1i[k]
+			v2r, v2i := s2r[k], s2i[k]
+			v3r, v3i := s3r[k], s3i[k]
+			s0r[k] = p0r*v1r - p0i*v1i
+			s0i[k] = p0r*v1i + p0i*v1r
+			s1r[k] = p1r*v2r - p1i*v2i
+			s1i[k] = p1r*v2i + p1i*v2r
+			s2r[k] = p2r*v3r - p2i*v3i
+			s2i[k] = p2r*v3i + p2i*v3r
+			s3r[k] = p3r*v0r - p3i*v0i
+			s3i[k] = p3r*v0i + p3i*v0r
+		}
+	}
+}
+
+// monoRealPlane applies out[r] = ph[r]·in[src[r]] over one plane's four
+// equal-length quadrant runs for a real-phase monomial, walking the
+// permutation's cycles: identity rows with unit phase skip their loads and
+// stores entirely (a CX kernel moves only two of the four quadrants, so
+// half the block's traffic vanishes), fixed points with phase scale in
+// place, and 2/3/4-cycles run as tight swap-scale loops over just the
+// streams they touch.
+func monoRealPlane(q *[4][]float64, src *[4]int, ph *[4]float64) {
+	var done [4]bool
+	for r0 := 0; r0 < 4; r0++ {
+		if done[r0] {
+			continue
+		}
+		done[r0] = true
+		if src[r0] == r0 {
+			if p := ph[r0]; p != 1 {
+				s := q[r0]
+				for i := range s {
+					s[i] = p * s[i]
+				}
+			}
+			continue
+		}
+		r1 := src[r0]
+		if src[r1] == r0 {
+			done[r1] = true
+			p0, p1 := ph[r0], ph[r1]
+			a := q[r0]
+			b := q[r1][:len(a)]
+			for i := range a {
+				va, vb := a[i], b[i]
+				a[i] = p0 * vb
+				b[i] = p1 * va
+			}
+			continue
+		}
+		r2 := src[r1]
+		if src[r2] == r0 {
+			done[r1], done[r2] = true, true
+			p0, p1, p2 := ph[r0], ph[r1], ph[r2]
+			s0 := q[r0]
+			s1 := q[r1][:len(s0)]
+			s2 := q[r2][:len(s0)]
+			for i := range s0 {
+				v0, v1, v2 := s0[i], s1[i], s2[i]
+				s0[i] = p0 * v1
+				s1[i] = p1 * v2
+				s2[i] = p2 * v0
+			}
+			continue
+		}
+		r3 := src[r2]
+		done[r1], done[r2], done[r3] = true, true, true
+		p0, p1, p2, p3 := ph[r0], ph[r1], ph[r2], ph[r3]
+		s0 := q[r0]
+		s1 := q[r1][:len(s0)]
+		s2 := q[r2][:len(s0)]
+		s3 := q[r3][:len(s0)]
+		for i := range s0 {
+			v0, v1, v2, v3 := s0[i], s1[i], s2[i], s3[i]
+			s0[i] = p0 * v1
+			s1[i] = p1 * v2
+			s2[i] = p2 * v3
+			s3[i] = p3 * v0
+		}
 	}
 }
 
 // sweep2QMonoBlocked is the cache-blocked monomial form for pairs whose
 // lower qubit stride gives long contiguous quadrant runs (mirrors
 // sweep2QBlocked's block expansion).
-func sweep2QMonoBlocked(a []complex128, src *[4]int, ph *[4]complex128, maskLo, maskHi, lo, hi int) {
+func sweep2QMonoBlocked(re, im []float64, src *[4]int, phRe, phIm *[4]float64, maskLo, maskHi, lo, hi int) {
 	lowLo, lowHi := maskLo-1, maskHi-1
-	p0, p1, p2, p3 := ph[0], ph[1], ph[2], ph[3]
+	allReal := phIm[0] == 0 && phIm[1] == 0 && phIm[2] == 0 && phIm[3] == 0
 	for c := lo; c < hi; {
 		x := (c&^lowLo)<<1 | c&lowLo
 		i := (x&^lowHi)<<1 | x&lowHi
@@ -990,17 +1315,27 @@ func sweep2QMonoBlocked(a []complex128, src *[4]int, ph *[4]complex128, maskLo, 
 		if run > cacheBlockAmps {
 			run = cacheBlockAmps
 		}
-		q := [4][]complex128{
-			a[i : i+run],
-			a[i|maskLo:][:run],
-			a[i|maskHi:][:run],
-			a[i|maskLo|maskHi:][:run],
+		qr := [4][]float64{
+			re[i : i+run],
+			re[i|maskLo:][:run],
+			re[i|maskHi:][:run],
+			re[i|maskLo|maskHi:][:run],
 		}
-		in0, in1, in2, in3 := q[src[0]], q[src[1]], q[src[2]], q[src[3]]
-		q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
-		for r := range q0 {
-			b0, b1, b2, b3 := p0*in0[r], p1*in1[r], p2*in2[r], p3*in3[r]
-			q0[r], q1[r], q2[r], q3[r] = b0, b1, b2, b3
+		qi := [4][]float64{
+			im[i : i+run],
+			im[i|maskLo:][:run],
+			im[i|maskHi:][:run],
+			im[i|maskLo|maskHi:][:run],
+		}
+		if allReal {
+			// Real phases decouple the planes (see sweep2QMono): each
+			// plane is an in-place permute-and-scale of its quadrant runs,
+			// cycle by cycle, touching only the quadrants the permutation
+			// moves — four live streams per loop instead of sixteen.
+			monoRealPlane(&qr, src, phRe)
+			monoRealPlane(&qi, src, phRe)
+		} else {
+			monoComplexPlanes(&qr, &qi, src, phRe, phIm)
 		}
 		c += run
 	}
@@ -1008,49 +1343,91 @@ func sweep2QMonoBlocked(a []complex128, src *[4]int, ph *[4]complex128, maskLo, 
 
 // sweep2QMonoAuto picks the blocked monomial sweep when the lower pair
 // qubit's stride gives long enough contiguous runs.
-func sweep2QMonoAuto(a []complex128, src *[4]int, ph *[4]complex128, maskLo, maskHi, lo, hi int) {
+func sweep2QMonoAuto(re, im []float64, src *[4]int, phRe, phIm *[4]float64, maskLo, maskHi, lo, hi int) {
 	if maskLo >= blockedStrideMin {
-		sweep2QMonoBlocked(a, src, ph, maskLo, maskHi, lo, hi)
+		sweep2QMonoBlocked(re, im, src, phRe, phIm, maskLo, maskHi, lo, hi)
 		return
 	}
-	sweep2QMono(a, src, ph, maskLo, maskHi, lo, hi)
+	sweep2QMono(re, im, src, phRe, phIm, maskLo, maskHi, lo, hi)
 }
 
 // sweepCtrlPerm exchanges amplitude pairs (i, i^flip) over the compact
 // subspace [lo, hi) ⊂ [0, 2^free).
-func sweepCtrlPerm(a []complex128, inserts []bitInsert, flip, lo, hi int) {
+func sweepCtrlPerm(re, im []float64, inserts []bitInsert, flip, lo, hi int) {
 	for c := lo; c < hi; c++ {
 		i := expandIndex(c, inserts)
 		j := i ^ flip
-		a[i], a[j] = a[j], a[i]
+		re[i], re[j] = re[j], re[i]
+		im[i], im[j] = im[j], im[i]
 	}
 }
 
-// sweepCtrlPhase multiplies ph onto the all-ones subspace.
-func sweepCtrlPhase(a []complex128, inserts []bitInsert, ph complex128, lo, hi int) {
+// sweepCtrlPhase multiplies the phase (phR + i·phI) onto the all-ones
+// subspace.
+func sweepCtrlPhase(re, im []float64, inserts []bitInsert, phR, phI float64, lo, hi int) {
 	for c := lo; c < hi; c++ {
-		a[expandIndex(c, inserts)] *= ph
+		i := expandIndex(c, inserts)
+		ar, ai := re[i], im[i]
+		re[i] = ar*phR - ai*phI
+		im[i] = ar*phI + ai*phR
 	}
+}
+
+// diagGather is the byte-indexed gather used by sweepDiag: table[b][v]
+// holds the local-index bits contributed when byte b of the amplitude
+// index has value v, so local(i) ORs one lookup per index byte instead of
+// running a branchy per-mask loop per amplitude. The tables cost a few KiB
+// to build per sweep call — noise against the 2^n loop they serve.
+type diagGather struct {
+	tbl [4][256]uint32 // MaxQubits = 26 ⇒ index bytes 0..3
+}
+
+func makeDiagGather(masks []int) *diagGather {
+	g := &diagGather{}
+	for k, mq := range masks {
+		pos := bits.TrailingZeros(uint(mq))
+		byteIdx, bit := pos>>3, pos&7
+		for v := 0; v < 256; v++ {
+			if v>>bit&1 == 1 {
+				g.tbl[byteIdx][v] |= 1 << k
+			}
+		}
+	}
+	return g
 }
 
 // sweepDiag multiplies each amplitude by the table phase selected by its
-// gathered local index.
-func sweepDiag(a []complex128, masks []int, phases []complex128, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		local := 0
-		for k, mq := range masks {
-			if i&mq != 0 {
-				local |= 1 << k
-			}
+// gathered local index; the table is pre-split into real/imag planes. The
+// gather hoists: within a 256-aligned run only the low index byte varies,
+// so the high bytes' contribution is computed once per run and the inner
+// loop pays a single byte-table load per amplitude.
+func sweepDiag(re, im []float64, masks []int, phRe, phIm []float64, lo, hi int) {
+	g := makeDiagGather(masks)
+	t0 := &g.tbl[0]
+	for i := lo; i < hi; {
+		base := i & 255
+		run := 256 - base
+		if run > hi-i {
+			run = hi - i
 		}
-		a[i] *= phases[local]
+		hiPart := g.tbl[1][i>>8&255] | g.tbl[2][i>>16&255] | g.tbl[3][i>>24&255]
+		rr := re[i : i+run]
+		ii := im[i:][:run]
+		for r := range rr {
+			loc := hiPart | t0[base+r]
+			pr, pi := phRe[loc], phIm[loc]
+			ar, ai := rr[r], ii[r]
+			rr[r] = ar*pr - ai*pi
+			ii[r] = ar*pi + ai*pr
+		}
+		i += run
 	}
 }
 
 // sweepPermute scatters dst[π(i)] = src[i] for source indices in [lo, hi).
 // The permutation is a bijection, so every destination is written exactly
 // once across all shards even though writes land outside [lo, hi).
-func sweepPermute(dst, src []complex128, masks []int, perm []uint64, lo, hi int) {
+func sweepPermute(dstRe, dstIm, srcRe, srcIm []float64, masks []int, perm []uint64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		local := 0
 		for k, mq := range masks {
@@ -1067,14 +1444,15 @@ func sweepPermute(dst, src []complex128, masks []int, perm []uint64, lo, hi int)
 				j &^= mq
 			}
 		}
-		dst[j] = src[i]
+		dstRe[j] = srcRe[i]
+		dstIm[j] = srcIm[i]
 	}
 }
 
 // sweepInit writes dst[i] = src[i &^ anyMask] · amps[local(i)] for
 // destination indices in [lo, hi); reads from src may cross shard
 // boundaries, writes stay inside.
-func sweepInit(dst, src []complex128, masks []int, anyMask int, amps []complex128, lo, hi int) {
+func sweepInit(dstRe, dstIm, srcRe, srcIm []float64, masks []int, anyMask int, ampRe, ampIm []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		local := 0
 		for k, mq := range masks {
@@ -1082,6 +1460,10 @@ func sweepInit(dst, src []complex128, masks []int, anyMask int, amps []complex12
 				local |= 1 << k
 			}
 		}
-		dst[i] = src[i&^anyMask] * amps[local]
+		s := i &^ anyMask
+		sr, si := srcRe[s], srcIm[s]
+		ar, ai := ampRe[local], ampIm[local]
+		dstRe[i] = sr*ar - si*ai
+		dstIm[i] = sr*ai + si*ar
 	}
 }

@@ -3,9 +3,11 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"testing"
 
 	"repro/internal/circuit"
+	"repro/internal/rng"
 )
 
 // deepCircuit builds the acceptance workload: layers of rz·sx·rz on every
@@ -13,7 +15,7 @@ import (
 // takes in the {sx, rz, cx/cz} basis. Three layers on 20 qubits exceed
 // depth 64 (each CZ ring alone contributes a depth-n chain).
 func deepCircuit(n, layers int) *circuit.Circuit {
-	c := circuit.New(n, 0)
+	c := circuit.New(n, n)
 	for l := 0; l < layers; l++ {
 		for q := 0; q < n; q++ {
 			c.RZ(0.17*float64(l*n+q+1), q)
@@ -178,6 +180,61 @@ func BenchmarkMonomialEvolve20(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Evolve(c); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildCDF20 isolates the sampling CDF build over the split
+// planes on a spread-out 20-qubit state: two full passes over 2^20
+// amplitudes on the shard pool, fixed-block summation order.
+func BenchmarkBuildCDF20(b *testing.B) {
+	c := deepCircuit(20, 1)
+	st, err := Evolve(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := newShardPool(resolveShards(st.Dim(), 0))
+	defer pool.close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, acc, _ := buildCDF(st, pool); acc <= 0 {
+			b.Fatal("empty distribution")
+		}
+	}
+}
+
+// BenchmarkSamplingStage20 measures the full sampling stage as Run pays
+// it — CDF build plus 4096 binary-search draws and register projections —
+// on the same evolved 20-qubit state.
+func BenchmarkSamplingStage20(b *testing.B) {
+	c := deepCircuit(20, 1)
+	c.MeasureAll()
+	st, err := Evolve(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mm := c.MeasureMap()
+	qubits := make([]int, 0, len(mm))
+	for q := range mm {
+		qubits = append(qubits, q)
+	}
+	sort.Ints(qubits)
+	pool := newShardPool(resolveShards(st.Dim(), 0))
+	defer pool.close()
+	const shots = 4096
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cdf, acc, lastPos := buildCDF(st, pool)
+		r := rng.New(42)
+		counts := Counts{}
+		for shot := 0; shot < shots; shot++ {
+			k := sampleCDF(cdf, lastPos, r.Float64()*acc)
+			counts[projectRegister(k, qubits, mm, 0, nil)]++
+		}
+		if counts.TotalShots() != shots {
+			b.Fatal("lost shots")
 		}
 	}
 }

@@ -121,12 +121,14 @@ func EvolveShards(c *circuit.Circuit, shards int) (*State, error) {
 		return nil, err
 	}
 	simCompile.Observe(time.Since(start))
-	st, err := NewState(c.NumQubits)
+	pool := newShardPool(resolveShards(1<<c.NumQubits, shards))
+	defer pool.close()
+	st, err := newStateOn(c.NumQubits, pool)
 	if err != nil {
 		return nil, err
 	}
 	start = time.Now()
-	if err := pl.Execute(st, shards); err != nil {
+	if err := pl.executeOn(st, pool); err != nil {
 		return nil, err
 	}
 	simExecute.Observe(time.Since(start))
@@ -186,12 +188,12 @@ func Run(c *circuit.Circuit, opts Options) (*Result, error) {
 		return nil, err
 	}
 	observeStage(simCompile, opts.Stages, "compile", stageStart)
-	st, err := NewState(c.NumQubits)
+	pool := newShardPool(resolveShards(1<<c.NumQubits, opts.Shards))
+	defer pool.close()
+	st, err := newStateOn(c.NumQubits, pool)
 	if err != nil {
 		return nil, err
 	}
-	pool := newShardPool(resolveShards(st.Dim(), opts.Shards))
-	defer pool.close()
 	stageStart = time.Now()
 	if err := pl.executeOn(st, pool); err != nil {
 		return nil, err
@@ -243,16 +245,24 @@ func buildCDF(st *State, pool *shardPool) (cdf []float64, acc float64, lastPos i
 	nBlocks := (dim + cdfBlock - 1) / cdfBlock
 	blockSum := make([]float64, nBlocks)
 	blockLast := make([]int, nBlocks)
+	re, im := st.re, st.im
 	pool.do(nBlocks, func(_, lo, hi int) {
 		for b := lo; b < hi; b++ {
 			sum := 0.0
 			last := -1
-			for i := b * cdfBlock; i < min((b+1)*cdfBlock, dim); i++ {
-				p := st.Probability(uint64(i))
-				cdf[i] = p
+			base, end := b*cdfBlock, min((b+1)*cdfBlock, dim)
+			// Equal-length block slices over the split planes: |amp|² is
+			// the same expression, and the same float grouping, as
+			// State.Probability, so the CDF — and every sampled count —
+			// is unchanged by reading the planes directly.
+			rr, ii := re[base:end], im[base:end:end]
+			out := cdf[base:end:end]
+			for k := range rr {
+				p := rr[k]*rr[k] + ii[k]*ii[k]
+				out[k] = p
 				sum += p
 				if p > 0 {
-					last = i
+					last = base + k
 				}
 			}
 			blockSum[b] = sum

@@ -18,15 +18,29 @@ const parallelThreshold = 1 << 13
 // MaxQubits bounds state allocation (2^26 amplitudes = 1 GiB).
 const MaxQubits = 26
 
+// planes bundles the two amplitude planes of the structure-of-arrays
+// layout: amplitude k is complex(re[k], im[k]). Splitting the planes lets
+// every hot sweep run as straight-line float64 arithmetic over two
+// contiguous streams — the form the compiler turns into much tighter code
+// than []complex128 streaming — while Amplitude/Probability stay the
+// external contract.
+type planes struct {
+	re, im []float64
+}
+
 // State is an n-qubit statevector. Qubit 0 is the least significant bit of
-// the basis index: |q_{n-1} … q_1 q_0⟩ ↔ index Σ q_i 2^i.
+// the basis index: |q_{n-1} … q_1 q_0⟩ ↔ index Σ q_i 2^i. Amplitudes are
+// stored as split real/imaginary planes (structure of arrays), each
+// 64-byte aligned; see the package doc's amplitude-layout section.
 type State struct {
-	n    int
-	amps []complex128
+	n int
+	// re and im are the split amplitude planes, each of length 2^n and
+	// cache-line aligned via alignedFloats.
+	re, im []float64
 	// scratch is the state-owned staging buffer ApplyPermute, ApplyInit
 	// and the corresponding plan kernels reuse instead of allocating a
 	// full 2^n copy per call. Lazily allocated.
-	scratch []complex128
+	scratch planes
 	// noParallel pins every sweep and reduction on this state to the
 	// caller's goroutine. The trajectory engine sets it on states owned by
 	// its shot workers: with W workers each fanning a gate sweep out to
@@ -37,11 +51,45 @@ type State struct {
 
 // NewState returns |0…0⟩ on n qubits.
 func NewState(n int) (*State, error) {
+	s, err := newStateUninit(n)
+	if err != nil {
+		return nil, err
+	}
+	s.re[0] = 1
+	return s, nil
+}
+
+// newStateUninit allocates the aligned planes without setting any
+// amplitude. The planes are logically zero (Go allocation guarantees it)
+// but their pages may be untouched; newStateOn first-touches them on the
+// shard workers.
+func newStateUninit(n int) (*State, error) {
 	if n < 1 || n > MaxQubits {
 		return nil, fmt.Errorf("sim: qubit count %d out of [1,%d]", n, MaxQubits)
 	}
-	s := &State{n: n, amps: make([]complex128, 1<<uint(n))}
-	s.amps[0] = 1
+	dim := 1 << uint(n)
+	return &State{n: n, re: alignedFloats(dim), im: alignedFloats(dim)}, nil
+}
+
+// newStateOn returns |0…0⟩ with both amplitude planes first-touched on the
+// pool's workers: each worker writes (zeroes) exactly the contiguous shard
+// range it will sweep for the rest of the execution, so on NUMA systems
+// with first-touch page placement every shard's pages land on the memory
+// node of the core that streams them. Best-effort by construction — the Go
+// allocator may hand back an already-touched span, whose pages keep their
+// prior placement — but fresh large slabs come straight from the OS
+// untouched, which is exactly the 2^n-amplitude case that matters.
+func newStateOn(n int, pool *shardPool) (*State, error) {
+	s, err := newStateUninit(n)
+	if err != nil {
+		return nil, err
+	}
+	re, im := s.re, s.im
+	pool.do(len(re), func(_, lo, hi int) {
+		clear(re[lo:hi])
+		clear(im[lo:hi])
+	})
+	s.re[0] = 1
 	return s, nil
 }
 
@@ -49,41 +97,52 @@ func NewState(n int) (*State, error) {
 func (s *State) NumQubits() int { return s.n }
 
 // Dim returns 2^n.
-func (s *State) Dim() int { return len(s.amps) }
+func (s *State) Dim() int { return len(s.re) }
 
 // Amplitude returns the amplitude of basis state k.
-func (s *State) Amplitude(k uint64) complex128 { return s.amps[k] }
+func (s *State) Amplitude(k uint64) complex128 {
+	return complex(s.re[k], s.im[k])
+}
 
 // Probability returns |amp_k|².
 func (s *State) Probability(k uint64) float64 {
-	a := s.amps[k]
-	return real(a)*real(a) + imag(a)*imag(a)
+	return s.re[k]*s.re[k] + s.im[k]*s.im[k]
 }
 
 // Norm returns Σ|amp|², which must stay 1 under unitary evolution. The
 // reduction parallelizes over shards for large states.
 func (s *State) Norm() float64 {
-	a := s.amps
-	return s.psum(len(a), func(lo, hi int) float64 {
+	re, im := s.re, s.im
+	return s.psum(len(re), func(lo, hi int) float64 {
 		total := 0.0
-		for _, v := range a[lo:hi] {
-			total += real(v)*real(v) + imag(v)*imag(v)
+		rr, ii := re[lo:hi], im[lo:hi:hi]
+		for k := range rr {
+			total += rr[k]*rr[k] + ii[k]*ii[k]
 		}
 		return total
 	})
 }
 
-// Clone returns a deep copy (without the scratch buffer).
+// Clone returns a deep copy (without the scratch buffer). The serial-sweep
+// pin carries over: a clone made by a trajectory shot worker must not
+// regain nested sweep parallelism, or W workers would again fan out
+// W×GOMAXPROCS sweep goroutines.
 func (s *State) Clone() *State {
-	cp := &State{n: s.n, amps: make([]complex128, len(s.amps))}
-	copy(cp.amps, s.amps)
+	cp := &State{
+		n:          s.n,
+		re:         alignedFloats(len(s.re)),
+		im:         alignedFloats(len(s.im)),
+		noParallel: s.noParallel,
+	}
+	copy(cp.re, s.re)
+	copy(cp.im, s.im)
 	return cp
 }
 
-// scratchBuf returns the lazily allocated full-size staging buffer.
-func (s *State) scratchBuf() []complex128 {
-	if s.scratch == nil {
-		s.scratch = make([]complex128, len(s.amps))
+// scratchPlanes returns the lazily allocated full-size staging planes.
+func (s *State) scratchPlanes() planes {
+	if s.scratch.re == nil {
+		s.scratch = planes{re: alignedFloats(len(s.re)), im: alignedFloats(len(s.im))}
 	}
 	return s.scratch
 }
@@ -140,9 +199,10 @@ func (s *State) Apply1(m gates.Matrix2, q int) error {
 		return fmt.Errorf("sim: qubit %d out of [0,%d)", q, s.n)
 	}
 	stride := 1 << uint(q)
-	a := s.amps
-	s.pfor(len(a)/2, func(lo, hi int) {
-		sweep1QAuto(a, m, stride, lo, hi)
+	ms := m.Split()
+	re, im := s.re, s.im
+	s.pfor(len(re)/2, func(lo, hi int) {
+		sweep1QAuto(re, im, &ms, stride, lo, hi)
 	})
 	return nil
 }
@@ -168,9 +228,10 @@ func (s *State) Apply2(m gates.Matrix4, q0, q1 int) error {
 		q0, q1 = q1, q0
 	}
 	maskLo, maskHi := 1<<q0, 1<<q1
-	a := s.amps
-	s.pfor(len(a)/4, func(lo, hi int) {
-		sweep2QAuto(a, &m, maskLo, maskHi, lo, hi)
+	ms := m.Split()
+	re, im := s.re, s.im
+	s.pfor(len(re)/4, func(lo, hi int) {
+		sweep2QAuto(re, im, &ms, maskLo, maskHi, lo, hi)
 	})
 	return nil
 }
@@ -183,9 +244,9 @@ func (s *State) applyCtrlPerm(ones, zeros []int, flip int) error {
 		return err
 	}
 	inserts := makeInserts(ones, zeros)
-	a := s.amps
-	s.pfor(len(a)>>len(inserts), func(lo, hi int) {
-		sweepCtrlPerm(a, inserts, flip, lo, hi)
+	re, im := s.re, s.im
+	s.pfor(len(re)>>len(inserts), func(lo, hi int) {
+		sweepCtrlPerm(re, im, inserts, flip, lo, hi)
 	})
 	return nil
 }
@@ -212,9 +273,9 @@ func (s *State) applyCtrlPhase(qubits []int, ph complex128) error {
 		return err
 	}
 	inserts := makeInserts(qubits, nil)
-	a := s.amps
-	s.pfor(len(a)>>len(inserts), func(lo, hi int) {
-		sweepCtrlPhase(a, inserts, ph, lo, hi)
+	re, im := s.re, s.im
+	s.pfor(len(re)>>len(inserts), func(lo, hi int) {
+		sweepCtrlPhase(re, im, inserts, real(ph), imag(ph), lo, hi)
 	})
 	return nil
 }
@@ -246,14 +307,15 @@ func (s *State) ApplyPermute(qubits []int, perm []uint64) error {
 	if err := s.checkDistinct(qubits...); err != nil {
 		return err
 	}
-	src := s.scratchBuf()
-	a := s.amps
+	src := s.scratchPlanes()
+	re, im := s.re, s.im
 	masks := qubitMasks(qubits)
-	s.pfor(len(a), func(lo, hi int) {
-		copy(src[lo:hi], a[lo:hi])
+	s.pfor(len(re), func(lo, hi int) {
+		copy(src.re[lo:hi], re[lo:hi])
+		copy(src.im[lo:hi], im[lo:hi])
 	})
-	s.pfor(len(a), func(lo, hi int) {
-		sweepPermute(a, src, masks, perm, lo, hi)
+	s.pfor(len(re), func(lo, hi int) {
+		sweepPermute(re, im, src.re, src.im, masks, perm, lo, hi)
 	})
 	return nil
 }
@@ -279,18 +341,20 @@ func (s *State) ApplyInit(qubits []int, amps []complex128) error {
 	}
 	masks := qubitMasks(qubits)
 	anyMask := qubitMask(qubits)
-	for i, a := range s.amps {
-		if i&anyMask != 0 && cmplx.Abs(a) > 1e-12 {
+	for i := range s.re {
+		if i&anyMask != 0 && cmplx.Abs(s.Amplitude(uint64(i))) > 1e-12 {
 			return fmt.Errorf("sim: init target qubits not in |0…0⟩ (amplitude at %d)", i)
 		}
 	}
-	src := s.scratchBuf()
-	a := s.amps
-	s.pfor(len(a), func(lo, hi int) {
-		copy(src[lo:hi], a[lo:hi])
+	ampRe, ampIm := splitComplexSlice(amps)
+	src := s.scratchPlanes()
+	re, im := s.re, s.im
+	s.pfor(len(re), func(lo, hi int) {
+		copy(src.re[lo:hi], re[lo:hi])
+		copy(src.im[lo:hi], im[lo:hi])
 	})
-	s.pfor(len(a), func(lo, hi int) {
-		sweepInit(a, src, masks, anyMask, amps, lo, hi)
+	s.pfor(len(re), func(lo, hi int) {
+		sweepInit(re, im, src.re, src.im, masks, anyMask, ampRe, ampIm, lo, hi)
 	})
 	return nil
 }
@@ -306,11 +370,23 @@ func (s *State) ApplyDiagonal(qubits []int, phases []complex128) error {
 		return err
 	}
 	masks := qubitMasks(qubits)
-	a := s.amps
-	s.pfor(len(a), func(lo, hi int) {
-		sweepDiag(a, masks, phases, lo, hi)
+	phRe, phIm := splitComplexSlice(phases)
+	re, im := s.re, s.im
+	s.pfor(len(re), func(lo, hi int) {
+		sweepDiag(re, im, masks, phRe, phIm, lo, hi)
 	})
 	return nil
+}
+
+// splitComplexSlice decomposes a complex table into its real and
+// imaginary planes (the compile-time form the sweep kernels consume).
+func splitComplexSlice(vs []complex128) (re, im []float64) {
+	re = alignedFloats(len(vs))
+	im = alignedFloats(len(vs))
+	for i, v := range vs {
+		re[i], im[i] = real(v), imag(v)
+	}
+	return re, im
 }
 
 func (s *State) checkDistinct(qs ...int) error {
@@ -332,12 +408,11 @@ func (s *State) checkDistinct(qs ...int) error {
 // parallelizes over shards for large states, so f must be safe for
 // concurrent calls.
 func (s *State) ExpectationDiagonal(f func(uint64) float64) float64 {
-	a := s.amps
-	return s.psum(len(a), func(lo, hi int) float64 {
+	re, im := s.re, s.im
+	return s.psum(len(re), func(lo, hi int) float64 {
 		total := 0.0
 		for k := lo; k < hi; k++ {
-			v := a[k]
-			p := real(v)*real(v) + imag(v)*imag(v)
+			p := re[k]*re[k] + im[k]*im[k]
 			if p > 0 {
 				total += p * f(uint64(k))
 			}
@@ -349,11 +424,13 @@ func (s *State) ExpectationDiagonal(f func(uint64) float64) float64 {
 // Probabilities returns the full Born distribution. The slice is freshly
 // allocated.
 func (s *State) Probabilities() []float64 {
-	ps := make([]float64, len(s.amps))
-	s.pfor(len(s.amps), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			a := s.amps[i]
-			ps[i] = real(a)*real(a) + imag(a)*imag(a)
+	re, im := s.re, s.im
+	ps := make([]float64, len(re))
+	s.pfor(len(re), func(lo, hi int) {
+		rr, ii := re[lo:hi], im[lo:hi:hi]
+		out := ps[lo:hi:hi]
+		for i := range rr {
+			out[i] = rr[i]*rr[i] + ii[i]*ii[i]
 		}
 	})
 	return ps

@@ -158,6 +158,24 @@ func TestSwapExchangesQubits(t *testing.T) {
 	}
 }
 
+// TestClonePreservesSerialSweepPin guards the Clone regression: a clone of
+// a serial-pinned state (trajectory shot workers pin their states) must
+// stay pinned, or cloned states would regain nested sweep parallelism.
+func TestClonePreservesSerialSweepPin(t *testing.T) {
+	s := mustState(t, 3)
+	apply1(t, s, gates.H, 0)
+	s.noParallel = true
+	cl := s.Clone()
+	if !cl.noParallel {
+		t.Error("Clone dropped the serial-sweep pin")
+	}
+	// Deep copy: mutating the clone must not touch the original.
+	apply1(t, cl, gates.X, 1)
+	if cmplx.Abs(s.Amplitude(2)) > 0 {
+		t.Error("clone shares amplitude planes with the original")
+	}
+}
+
 func TestCCXTruthTable(t *testing.T) {
 	for in := uint64(0); in < 8; in++ {
 		s := mustState(t, 3)
