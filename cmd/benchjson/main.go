@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -60,6 +61,12 @@ func main() {
 	}
 }
 
+// loadBaseline reads and strictly validates a committed baseline: every
+// entry must be a finite, strictly positive ns/op reading. A zero,
+// negative or NaN baseline would turn the regression ratio into
+// garbage (division by zero, inverted sign, always-false comparison),
+// so a bad file is a hard error naming the offending entry rather than
+// a silently odd diff.
 func loadBaseline(path string) (map[string]float64, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -69,7 +76,32 @@ func loadBaseline(path string) (map[string]float64, error) {
 	if err := json.Unmarshal(raw, &out); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	if err := validateBaseline(out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
 	return out, nil
+}
+
+// validateBaseline rejects entries no regression ratio can be computed
+// against.
+func validateBaseline(baseline map[string]float64) error {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic error for multi-entry failures
+	for _, name := range names {
+		ns := baseline[name]
+		switch {
+		case math.IsNaN(ns):
+			return fmt.Errorf("baseline entry %q is NaN ns/op; re-record the baseline", name)
+		case math.IsInf(ns, 0):
+			return fmt.Errorf("baseline entry %q is infinite ns/op; re-record the baseline", name)
+		case ns <= 0:
+			return fmt.Errorf("baseline entry %q has non-positive ns/op %v; re-record the baseline", name, ns)
+		}
+	}
+	return nil
 }
 
 // compareBench returns one warning line (sorted by benchmark name) per
@@ -84,8 +116,10 @@ func compareBench(baseline, fresh map[string]float64, threshold float64) []strin
 	sort.Strings(names)
 	var warnings []string
 	for _, name := range names {
+		// loadBaseline already rejected non-positive readings, so the
+		// ratio below is always well-defined.
 		old, ok := baseline[name]
-		if !ok || old <= 0 {
+		if !ok {
 			continue
 		}
 		ratio := fresh[name]/old - 1

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -75,6 +78,54 @@ func TestTrimProcs(t *testing.T) {
 		if got := trimProcs(in); got != want {
 			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+// TestLoadBaselineStrict pins the -compare input contract: a baseline
+// entry with zero, negative, NaN or infinite ns/op is a hard error
+// naming the entry, never a silently odd regression ratio.
+func TestLoadBaselineStrict(t *testing.T) {
+	write := func(t *testing.T, body string) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "BENCH.json")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	good, err := loadBaseline(write(t, `{"BenchmarkA": 100, "BenchmarkB": 0.5}`))
+	if err != nil {
+		t.Fatalf("valid baseline rejected: %v", err)
+	}
+	if good["BenchmarkA"] != 100 || good["BenchmarkB"] != 0.5 {
+		t.Fatalf("valid baseline misread: %v", good)
+	}
+
+	rejected := map[string]string{
+		"zero":     `{"BenchmarkOK": 100, "BenchmarkZero": 0}`,
+		"negative": `{"BenchmarkNeg": -7}`,
+	}
+	for name, body := range rejected {
+		if _, err := loadBaseline(write(t, body)); err == nil {
+			t.Errorf("%s baseline accepted, want error", name)
+		} else if !strings.Contains(err.Error(), "re-record the baseline") {
+			t.Errorf("%s baseline error %q lacks the remediation hint", name, err)
+		}
+	}
+	// JSON cannot encode NaN/Inf literals, so they arrive only through a
+	// future non-JSON path; validateBaseline still rejects them.
+	if err := validateBaseline(map[string]float64{"BenchmarkNaN": math.NaN()}); err == nil {
+		t.Error("NaN baseline entry accepted, want error")
+	}
+	if err := validateBaseline(map[string]float64{"BenchmarkInf": math.Inf(1)}); err == nil {
+		t.Error("infinite baseline entry accepted, want error")
+	}
+	// The error names the offending entry, deterministically the first
+	// in name order.
+	_, err = loadBaseline(write(t, `{"BenchmarkB_bad": 0, "BenchmarkA_bad": 0}`))
+	if err == nil || !strings.Contains(err.Error(), `"BenchmarkA_bad"`) {
+		t.Errorf("error %v does not name the first offending entry", err)
 	}
 }
 

@@ -107,6 +107,25 @@
 // Handlers are wrapped in panic-recovery middleware that logs the
 // stack and counts http_panics_total instead of killing the process.
 //
+// # Invariants and static enforcement
+//
+// The guarantees above are load-bearing: the result cache, crash
+// requeue and fleet re-forwarding assume a fixed bundle+shots+seed
+// samples bit-identical counts; the dispatcher assumes no fsync ever
+// runs under its lock; the SoA sweeps assume no interleaved complex128
+// arithmetic creeps back in; and the durability story assumes journal
+// errors are never silently dropped. Rather than living in doc comments
+// and reviewer memory, these contracts are enforced mechanically by
+// cmd/simvet, a stdlib-only static-analysis driver over the custom
+// analyzer suite in internal/lint (determinism, lockblock, soacomplex,
+// obsconv, journalerr — see that package's doc for each contract and
+// the //lint:ignore annotation syntax). CI runs
+//
+//	go run ./cmd/simvet ./...
+//
+// as a required gate alongside vet/build/test, so every future change
+// is checked against the invariants automatically.
+//
 // Two consumers wrap the pool. cmd/qmlserve exposes it over HTTP
 // (stdlib net/http) speaking the job.json schema:
 //

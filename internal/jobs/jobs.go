@@ -402,6 +402,7 @@ func (p *Pool) journal(ev store.Event) {
 	if p.opts.Store == nil {
 		return
 	}
+	//lint:ignore journalerr persistence failures count in store_journal_errors_total; the pool degrades to in-memory service rather than failing accepted work
 	_ = p.opts.Store.Append(ev)
 }
 
@@ -638,6 +639,7 @@ func (p *Pool) journalCacheHitLocked(j *job, res *result.Result) {
 		return
 	}
 	if !p.opts.Store.HasResult(j.key) {
+		//lint:ignore journalerr best-effort backfill; failures count in store_journal_errors_total and the result stays served from cache
 		_ = p.opts.Store.PutResult(j.key, res)
 	}
 	p.journal(store.Event{T: store.EvSubmitted, Job: j.id, At: j.submitted, Trace: j.trace, Key: j.key, Engine: j.engine})
@@ -695,6 +697,22 @@ func (p *Pool) runJob(j *job) {
 	// completed while this one waited in the queue.
 	if p.cache != nil {
 		if res, ok := p.cache.get(j.key); ok {
+			if p.opts.Store != nil && !p.opts.Store.HasResult(j.key) {
+				// Backfill the content-addressed result file (an earlier
+				// process life never persisted it) off-lock: its fsync must
+				// not stall submitters. Cancel can take the job while the
+				// lock is down, so re-check before going terminal; the
+				// orphaned result file is harmless (content-addressed, and
+				// the next identical job reuses it).
+				p.mu.Unlock()
+				//lint:ignore journalerr best-effort backfill; failures count in store_journal_errors_total and the result stays served from cache
+				_ = p.opts.Store.PutResult(j.key, res)
+				p.mu.Lock()
+				if j.state != StateQueued {
+					p.mu.Unlock()
+					return
+				}
+			}
 			j.state = StateDone
 			j.res = res
 			j.cacheHit = true
@@ -704,9 +722,6 @@ func (p *Pool) runJob(j *job) {
 			p.met.cacheHits.Inc()
 			p.met.completed.Inc()
 			if p.opts.Store != nil {
-				if !p.opts.Store.HasResult(j.key) {
-					_ = p.opts.Store.PutResult(j.key, res)
-				}
 				p.journal(store.Event{T: store.EvDone, Job: j.id, At: j.finished, Engine: j.engine, CacheHit: true, Result: j.key})
 			}
 			p.finishLocked(j)
@@ -1088,6 +1103,7 @@ func (p *Pool) Close() {
 	p.mu.Unlock()
 	p.wg.Wait()
 	if p.opts.Store != nil {
+		//lint:ignore journalerr final courtesy flush on shutdown; every event already met its policy's durability barrier when appended
 		_ = p.opts.Store.Sync()
 	}
 }

@@ -29,10 +29,12 @@ func (s *Store) resultPath(key string) (string, error) {
 
 // PutResult writes the result under its content address via temp file +
 // atomic rename (fsynced unless SyncNone). Writing the same key twice is
-// idempotent.
+// idempotent. It deliberately runs without s.mu: everything it touches
+// is immutable (s.dir, s.opts) or atomic (s.met), concurrent writers of
+// the same key race benignly (identical content, atomic rename), and
+// holding the store lock across a file write + fsync would stall every
+// journal append behind the result fsync.
 func (s *Store) PutResult(key string, res *result.Result) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	path, err := s.resultPath(key)
 	if err != nil {
 		s.met.errors.Inc()

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// determinismScopes are the simulation-core package-path suffixes where
+// unseeded randomness breaks the bit-identical-counts contract. Packages
+// that import internal/rng are in scope too, wherever they live — pulling
+// in the deterministic generator and then reaching for math/rand's global
+// state defeats the point.
+var determinismScopes = []string{
+	"internal/sim",
+	"internal/gates",
+	"internal/algolib",
+}
+
+// randConstructors are the math/rand (v1 and v2) package-level functions
+// that build an explicitly seeded generator instead of touching shared
+// global state. Everything else at package level is banned in scope.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// Determinism enforces the internal/rng contract: simulation-core code
+// never draws from math/rand's process-global source, never reseeds it,
+// and never derives a seed from the wall clock. Sampled counts for a
+// fixed bundle+shots+seed must be bit-identical across runs and hosts —
+// the result cache, crash requeue, and fleet re-forwarding all compare
+// or reuse counts on that assumption.
+func Determinism() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "sim-core randomness must flow through repro/internal/rng with an explicit seed",
+		Run:  runDeterminism,
+	}
+}
+
+func runDeterminism(p *Package) []Diagnostic {
+	if !determinismInScope(p) {
+		return nil
+	}
+	var diags []Diagnostic
+	flagged := map[token.Pos]bool{} // nested seed calls share time.Now subtrees
+	for _, f := range p.Files {
+		if p.inTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.funcObj(call)
+			if fn == nil {
+				return true
+			}
+			if isMathRandPkgFunc(fn) && !randConstructors[fn.Name()] {
+				msg := fmt.Sprintf("math/rand global-state call rand.%s; draw from repro/internal/rng with an explicit seed instead", fn.Name())
+				if fn.Name() == "Seed" {
+					msg = "rand.Seed reseeds the process-global source; construct a repro/internal/rng generator with an explicit seed instead"
+				}
+				diags = append(diags, Diagnostic{Pos: p.position(call), Analyzer: "determinism", Message: msg})
+			}
+			if isSeedingCall(fn) {
+				for _, arg := range call.Args {
+					ast.Inspect(arg, func(m ast.Node) bool {
+						inner, ok := m.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						ifn := p.funcObj(inner)
+						if ifn != nil && funcPkgPath(ifn) == "time" && ifn.Name() == "Now" && !flagged[inner.Pos()] {
+							flagged[inner.Pos()] = true
+							diags = append(diags, Diagnostic{
+								Pos:      p.position(inner),
+								Analyzer: "determinism",
+								Message:  "time.Now()-derived seed: the same bundle+shots+seed must sample identical counts on every run",
+							})
+						}
+						return true
+					})
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+func determinismInScope(p *Package) bool {
+	for _, s := range determinismScopes {
+		if hasPathSuffix(p.Path, s) {
+			return true
+		}
+	}
+	for _, imp := range p.Types.Imports() {
+		if hasPathSuffix(imp.Path(), "internal/rng") {
+			return true
+		}
+	}
+	return false
+}
+
+func funcPkgPath(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isMathRandPkgFunc reports whether fn is a package-level function of
+// math/rand or math/rand/v2 (methods on *rand.Rand are fine: those
+// generators carry their own seeded state).
+func isMathRandPkgFunc(fn *types.Func) bool {
+	path := funcPkgPath(fn)
+	if path != "math/rand" && path != "math/rand/v2" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// isSeedingCall reports whether fn consumes a seed argument: the
+// internal/rng constructors, or the math/rand constructor/reseed entry
+// points. time.Now anywhere in those argument subtrees is a wall-clock
+// seed.
+func isSeedingCall(fn *types.Func) bool {
+	if hasPathSuffix(funcPkgPath(fn), "internal/rng") && strings.HasPrefix(fn.Name(), "New") {
+		return true
+	}
+	if isMathRandPkgFunc(fn) {
+		switch fn.Name() {
+		case "New", "NewSource", "Seed", "NewPCG", "NewChaCha8":
+			return true
+		}
+	}
+	// (*rand.Rand).Seed reseeds an explicit generator; a wall-clock seed
+	// there is just as fatal to reproducibility.
+	if pkg, typ := recvTypePkgPath(fn); pkg == "math/rand" && typ == "Rand" && fn.Name() == "Seed" {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// metricNameRE is the registry's own validName contract plus the
+// Prometheus best-practice shape: lower-snake_case starting with a
+// letter.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// obsRegMethods are the internal/obs Registry registration entry points.
+var obsRegMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"GaugeFunc": true,
+	"Histogram": true,
+}
+
+// ObsConv enforces the Prometheus exposition conventions the /metrics
+// surface promises: metric names are lower-snake_case; counters (and
+// only counters) end in _total; nothing claims the _count/_sum/_bucket
+// suffixes the histogram renderer owns; a name is never registered
+// twice in one registry construction, nor with two different instrument
+// kinds in one package (the registry panics on a kind clash at
+// runtime — this finds it at vet time); and a registration with empty
+// help text is only valid as a lookup of a name some other call in the
+// package registers with real help.
+func ObsConv() *Analyzer {
+	return &Analyzer{
+		Name: "obsconv",
+		Doc:  "obs instrument names follow Prometheus conventions and register exactly once per construction",
+		Run:  runObsConv,
+	}
+}
+
+// obsReg is one literal-name registration call site.
+type obsReg struct {
+	name  string
+	kind  string // method name: Counter, Gauge, GaugeFunc, Histogram
+	help  string
+	scope string // enclosing function (duplicate detection unit)
+	node  ast.Node
+}
+
+func runObsConv(p *Package) []Diagnostic {
+	var regs []obsReg
+	for _, f := range p.Files {
+		if p.inTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			scope := "package-level init"
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				scope = fd.Name.Name
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if r, ok := p.obsRegistration(call); ok {
+					r.scope = scope
+					regs = append(regs, r)
+				}
+				return true
+			})
+		}
+	}
+	if len(regs) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:      p.position(n),
+			Analyzer: "obsconv",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	kindOf := map[string]string{}   // name → first kind seen
+	seenIn := map[string]ast.Node{} // scope+name → first registration
+	helpFor := map[string]bool{}    // name → registered with non-empty help somewhere
+	for _, r := range regs {
+		if r.help != "" {
+			helpFor[r.name] = true
+		}
+	}
+	for _, r := range regs {
+		if !metricNameRE.MatchString(r.name) {
+			report(r.node, "metric name %q is not lower-snake_case ([a-z][a-z0-9_]*)", r.name)
+		}
+		if r.kind == "Counter" && !strings.HasSuffix(r.name, "_total") {
+			report(r.node, "counter %q must end in _total", r.name)
+		}
+		if r.kind != "Counter" && strings.HasSuffix(r.name, "_total") {
+			report(r.node, "%s %q must not end in _total (reserved for counters)", strings.ToLower(r.kind), r.name)
+		}
+		for _, suffix := range []string{"_count", "_sum", "_bucket"} {
+			if strings.HasSuffix(r.name, suffix) {
+				report(r.node, "metric name %q ends in %s, which the histogram exposition owns", r.name, suffix)
+			}
+		}
+		if first, ok := kindOf[r.name]; !ok {
+			kindOf[r.name] = r.kind
+		} else if first != r.kind {
+			report(r.node, "metric %q registered as %s here but as %s elsewhere in the package (the registry panics on kind clashes)", r.name, r.kind, first)
+		}
+		key := r.scope + "\x00" + r.name
+		if _, dup := seenIn[key]; dup {
+			report(r.node, "duplicate registration of %q in %s", r.name, r.scope)
+		} else {
+			seenIn[key] = r.node
+		}
+		if r.help == "" && !helpFor[r.name] {
+			report(r.node, "metric %q has empty help and no registration with help in this package — lookup of a never-registered name?", r.name)
+		}
+	}
+	return diags
+}
+
+// obsRegistration matches a call to an internal/obs Registry
+// registration method with a literal metric name, returning the parsed
+// site. Non-literal names are invisible to static checking and skipped.
+func (p *Package) obsRegistration(call *ast.CallExpr) (obsReg, bool) {
+	fn := p.funcObj(call)
+	if fn == nil || !obsRegMethods[fn.Name()] {
+		return obsReg{}, false
+	}
+	pkg, typ := recvTypePkgPath(fn)
+	if typ != "Registry" || !hasPathSuffix(pkg, "internal/obs") {
+		return obsReg{}, false
+	}
+	if len(call.Args) < 2 {
+		return obsReg{}, false
+	}
+	name, ok := stringLit(call.Args[0])
+	if !ok {
+		return obsReg{}, false
+	}
+	help, helpIsLit := stringLit(call.Args[1])
+	if !helpIsLit {
+		help = "<dynamic>" // non-literal help counts as provided
+	}
+	return obsReg{name: name, kind: fn.Name(), help: help, node: call}, true
+}
+
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// soaAllowFiles are internal/sim files exempt from the complex ban.
+// plan.go is circuit compilation: it folds gate matrices with complex128
+// arithmetic once per compile, then splits the result into real/imag
+// planes before any sweep runs — compile time is not the hot path.
+var soaAllowFiles = map[string]bool{
+	"plan.go": true,
+}
+
+// SoaComplex enforces the PR 7 structure-of-arrays contract: kernel
+// sweeps in internal/sim operate on split real/imag float64 planes, so
+// no complex64/complex128 arithmetic and no []complex slice allocations
+// belong in sweep code. The complex(), real() and imag() builtins stay
+// legal — they are the conversion shims at the public Amplitudes
+// boundary — as is anything in a _test.go file (the parity tests keep a
+// complex128 reference simulator on purpose) or in the compile-time
+// allowlist.
+func SoaComplex() *Analyzer {
+	return &Analyzer{
+		Name: "soacomplex",
+		Doc:  "no complex arithmetic or []complex allocations in internal/sim sweep code",
+		Run:  runSoaComplex,
+	}
+}
+
+func runSoaComplex(p *Package) []Diagnostic {
+	if !hasPathSuffix(p.Path, "internal/sim") {
+		return nil
+	}
+	var diags []Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:      p.position(n),
+			Analyzer: "soacomplex",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range p.Files {
+		if p.inTestFile(f) {
+			continue
+		}
+		if soaAllowFiles[filepath.Base(p.position(f).Filename)] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				switch x.Op {
+				case token.ADD, token.SUB, token.MUL, token.QUO:
+					if p.isComplex(x.X) || p.isComplex(x.Y) {
+						report(x, "complex arithmetic (%s) in sweep code; operate on the split real/imag planes", x.Op)
+					}
+				}
+			case *ast.AssignStmt:
+				switch x.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+					if len(x.Lhs) == 1 && p.isComplex(x.Lhs[0]) {
+						report(x, "complex compound assignment (%s) in sweep code; operate on the split real/imag planes", x.Tok)
+					}
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.SUB && p.isComplex(x.X) {
+					report(x, "complex negation in sweep code; operate on the split real/imag planes")
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "make" && len(x.Args) > 0 {
+					if t, ok := p.Info.Types[x]; ok {
+						if sl, ok := t.Type.Underlying().(*types.Slice); ok && isComplexType(sl.Elem()) {
+							report(x, "[]complex allocation in sweep code; allocate split real/imag float64 planes")
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				if t, ok := p.Info.Types[x]; ok {
+					if sl, ok := t.Type.Underlying().(*types.Slice); ok && isComplexType(sl.Elem()) {
+						report(x, "[]complex literal in sweep code; build split real/imag float64 planes")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+func (p *Package) isComplex(e ast.Expr) bool {
+	t, ok := p.Info.Types[e]
+	return ok && t.Type != nil && isComplexType(t.Type)
+}
+
+func isComplexType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsComplex != 0
+}

@@ -1,0 +1,14 @@
+// Package badignore holds a reasonless suppression directive, which is
+// itself a finding (checked programmatically in lint_test.go — the
+// malformed directive's own line cannot also carry a want comment).
+package badignore
+
+// V is plain package state.
+var V int
+
+// Set writes V under a directive that names an analyzer but gives no
+// reason.
+func Set(x int) {
+	//lint:ignore determinism
+	V = x
+}

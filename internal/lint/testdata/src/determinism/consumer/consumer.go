@@ -1,0 +1,27 @@
+// Package consumer imports the deterministic generator, which puts it
+// in determinism scope wherever it lives in the tree.
+package consumer
+
+import (
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Seeded derives the generator seed from the wall clock, breaking
+// run-to-run reproducibility.
+func Seeded() uint64 {
+	g := rng.New(uint64(time.Now().UnixNano())) // want `determinism: time\.Now\(\)-derived seed`
+	return g.Uint64()
+}
+
+// Fixed is the near-miss: an explicit literal seed.
+func Fixed() uint64 {
+	g := rng.New(42)
+	return g.Uint64()
+}
+
+// Stamp may read the clock for non-seed purposes.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

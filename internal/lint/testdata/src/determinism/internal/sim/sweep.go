@@ -1,0 +1,23 @@
+// Package sim is a determinism-analyzer fixture mirroring the real
+// simulation core's package-path suffix.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Sweep draws from the process-global source and reseeds it from the
+// wall clock — the true positives.
+func Sweep() int {
+	rand.Seed(time.Now().UnixNano()) // want `determinism: rand\.Seed reseeds` // want `determinism: time\.Now\(\)-derived seed`
+	return rand.Intn(6)              // want `determinism: math/rand global-state call rand\.Intn`
+}
+
+// SeededOK is the near-miss: an explicitly seeded local generator is the
+// sanctioned construction, so the rand.New/rand.NewSource constructors
+// and the methods on the resulting *rand.Rand stay legal.
+func SeededOK() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(6)
+}

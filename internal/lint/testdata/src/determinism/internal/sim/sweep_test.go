@@ -1,0 +1,14 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGlobalRandAllowed proves the contract binds production code only:
+// global-source draws in _test.go files are deliberately not findings.
+func TestGlobalRandAllowed(t *testing.T) {
+	if rand.Intn(3) > 2 {
+		t.Fatal("impossible")
+	}
+}

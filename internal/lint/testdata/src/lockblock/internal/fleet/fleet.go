@@ -1,0 +1,98 @@
+// Package fleet is a lockblock fixture mirroring the dispatcher's
+// package-path suffix.
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// Dispatcher mirrors the real dispatcher's lock around a job table.
+type Dispatcher struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	jobs map[string]int
+	ch   chan int
+}
+
+// SleepUnderLock blocks the whole table on a timer.
+func (d *Dispatcher) SleepUnderLock() {
+	d.mu.Lock()
+	time.Sleep(time.Millisecond) // want `lockblock: time\.Sleep while d\.mu is held`
+	d.mu.Unlock()
+}
+
+// SendUnderLock parks on a channel send with the lock held (the
+// deferred Unlock only runs at return, so the lock is held here).
+func (d *Dispatcher) SendUnderLock(v int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ch <- v // want `lockblock: channel send while d\.mu is held`
+}
+
+// RecvUnderLock parks on a receive with the lock held.
+func (d *Dispatcher) RecvUnderLock() int {
+	d.mu.Lock()
+	v := <-d.ch // want `lockblock: channel receive while d\.mu is held`
+	d.mu.Unlock()
+	return v
+}
+
+// SelectUnderLock parks in a select with no default.
+func (d *Dispatcher) SelectUnderLock() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	select { // want `lockblock: select with no default while d\.mu is held`
+	case v := <-d.ch:
+		d.jobs["x"] = v
+	}
+}
+
+// UnlockFirst is the near-miss: release, block, retake — the real
+// dispatcher's flush pattern.
+func (d *Dispatcher) UnlockFirst() {
+	d.mu.Lock()
+	d.jobs["x"] = 1
+	d.mu.Unlock()
+	time.Sleep(time.Millisecond)
+	d.mu.Lock()
+	d.jobs["x"] = 2
+	d.mu.Unlock()
+}
+
+// CondWait is the sanctioned block: Wait releases the lock while parked.
+func (d *Dispatcher) CondWait() {
+	d.mu.Lock()
+	for len(d.jobs) == 0 {
+		d.cond.Wait()
+	}
+	d.mu.Unlock()
+}
+
+// SpawnOK proves a function literal is its own lock scope: the
+// goroutine body blocks, but not under d.mu.
+func (d *Dispatcher) SpawnOK() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+// NonBlockingSelect drains with a default case, which cannot park.
+func (d *Dispatcher) NonBlockingSelect() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	select {
+	case <-d.ch:
+	default:
+	}
+}
+
+// IgnoredSleep demonstrates a reasoned suppression the driver honors.
+func (d *Dispatcher) IgnoredSleep() {
+	d.mu.Lock()
+	//lint:ignore lockblock fixture proves the suppression mechanism
+	time.Sleep(time.Millisecond)
+	d.mu.Unlock()
+}

@@ -1,0 +1,42 @@
+// Package store is a lockblock fixture mirroring the journal store's
+// package-path suffix, so its own mutators are in the blocking set.
+package store
+
+import (
+	"os"
+	"sync"
+)
+
+// Store mirrors the real journal store's shape.
+type Store struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// Append is a journal mutator (blocking per the lockblock contract).
+func (s *Store) Append(b []byte) error {
+	_, err := s.f.Write(b)
+	return err
+}
+
+// FsyncUnderLock holds the store lock across the durability barrier.
+func (s *Store) FsyncUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync() // want `lockblock: \(\*os\.File\)\.Sync \(fsync\) while s\.mu is held`
+}
+
+// AppendUnderLock calls a store mutator with the lock held.
+func (s *Store) AppendUnderLock(b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Append(b) // want `lockblock: journal/store mutator Store\.Append while s\.mu is held`
+}
+
+// SyncOffLock is the near-miss: the lock is released before the
+// barrier, the two-phase pattern the contract wants.
+func (s *Store) SyncOffLock() error {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return s.f.Sync()
+}

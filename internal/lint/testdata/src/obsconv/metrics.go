@@ -1,0 +1,29 @@
+// Package obsfix is an obsconv fixture registering instruments against
+// the real internal/obs registry.
+package obsfix
+
+import "repro/internal/obs"
+
+// Register builds the fixture's instrument set.
+func Register(reg *obs.Registry) {
+	reg.Counter("fix_ops_total", "Operations processed.") // near-miss: convention-clean
+	reg.Counter("fix_requests", "Requests seen.")         // want `obsconv: counter "fix_requests" must end in _total`
+	reg.Gauge("fix_depth_total", "Queue depth.")          // want `obsconv: gauge "fix_depth_total" must not end in _total`
+	reg.Histogram("fix_lat_bucket", "Latency.", nil)      // want `obsconv: metric name "fix_lat_bucket" ends in _bucket`
+	reg.Gauge("FixBadName", "Camel case.")                // want `obsconv: metric name "FixBadName" is not lower-snake_case`
+	reg.Counter("fix_dup_total", "First registration.")
+	reg.Counter("fix_dup_total", "Second registration.") // want `obsconv: duplicate registration of "fix_dup_total" in Register`
+}
+
+// Lookup reads back one metric that Register created and one that
+// nothing ever registers.
+func Lookup(reg *obs.Registry) {
+	reg.Counter("fix_ops_total", "")  // near-miss: registered with help in Register
+	reg.Counter("fix_typo_total", "") // want `obsconv: metric "fix_typo_total" has empty help and no registration with help`
+}
+
+// Clash registers an existing name under another kind, which the
+// registry would only catch by panicking at runtime.
+func Clash(reg *obs.Registry) {
+	reg.Gauge("fix_ops_total", "Operations, but as a gauge.") // want `obsconv: gauge "fix_ops_total" must not end in _total` // want `obsconv: metric "fix_ops_total" registered as Gauge here but as Counter elsewhere`
+}

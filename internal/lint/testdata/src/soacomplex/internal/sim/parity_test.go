@@ -1,0 +1,14 @@
+package sim
+
+import "testing"
+
+// TestParityReference keeps interleaved complex128 arithmetic the way
+// the real parity tests keep their reference simulator: _test.go files
+// are deliberately out of scope.
+func TestParityReference(t *testing.T) {
+	amps := []complex128{complex(1, 2), complex(3, 4)}
+	acc := amps[0] * amps[1]
+	if real(acc) == 0 && imag(acc) == 0 {
+		t.Fatal("unexpected zero product")
+	}
+}

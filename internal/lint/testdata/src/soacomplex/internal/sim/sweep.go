@@ -1,0 +1,41 @@
+// Package sim is a soacomplex fixture mirroring the simulation core's
+// package-path suffix.
+package sim
+
+// SweepComplex does interleaved complex arithmetic in sweep code.
+func SweepComplex(amps []complex128, k complex128) {
+	for i := range amps {
+		amps[i] = amps[i] * k // want `soacomplex: complex arithmetic \(\*\)`
+	}
+}
+
+// AccumulateComplex compound-assigns on a complex accumulator.
+func AccumulateComplex(amps []complex128) complex128 {
+	var acc complex128
+	for i := range amps {
+		acc += amps[i] // want `soacomplex: complex compound assignment \(\+=\)`
+	}
+	return acc
+}
+
+// AllocComplex allocates an interleaved buffer.
+func AllocComplex(n int) []complex128 {
+	return make([]complex128, n) // want `soacomplex: \[\]complex allocation`
+}
+
+// SweepSoA is the near-miss: the split real/imag plane form the
+// contract wants; all-float arithmetic is untouched.
+func SweepSoA(re, im []float64, kr, ki float64) {
+	for i := range re {
+		r, m := re[i], im[i]
+		re[i] = r*kr - m*ki
+		im[i] = r*ki + m*kr
+	}
+}
+
+// Boundary is legal: the complex/real/imag conversion builtins are the
+// public Amplitudes shims.
+func Boundary(re, im float64) (float64, float64) {
+	c := complex(re, im)
+	return real(c), imag(c)
+}

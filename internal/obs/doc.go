@@ -27,6 +27,14 @@
 //     revision) identify the binary — fleet operators diff it across
 //     workers to spot mixed-version fleets.
 //
+// The conventions are enforced mechanically: the obsconv analyzer in
+// internal/lint (run by cmd/simvet in CI) flags non-snake_case names,
+// counters missing _total (and non-counters claiming it or the
+// histogram-owned _count/_sum/_bucket suffixes), duplicate
+// registrations within one construction, and same-name registrations
+// under two instrument kinds — the clash this registry would otherwise
+// only catch by panicking at runtime.
+//
 // Histograms use DefBuckets by default: exponential latency bounds from
 // 10µs to 10s, chosen so both journal fsyncs (~100µs–10ms) and
 // 20-qubit statevector executions (~100ms–10s) land mid-range.

@@ -5,7 +5,11 @@
 // Determinism is a middle-layer contract: the execution context carries an
 // explicit seed, and every backend must reproduce bit-identical results for
 // a fixed seed. math/rand's global state is therefore never used; each
-// consumer owns an explicitly seeded generator.
+// consumer owns an explicitly seeded generator. The contract is enforced
+// mechanically: the determinism analyzer in internal/lint (run by
+// cmd/simvet in CI) flags math/rand global-state calls, rand.Seed, and
+// time.Now()-derived seeds in simulation-core packages and in every
+// package importing this one.
 //
 // The core generator is xoshiro256**, seeded through splitmix64 as its
 // authors recommend. Both algorithms are public domain (Blackman & Vigna).
