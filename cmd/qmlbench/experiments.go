@@ -2,6 +2,8 @@ package main
 
 import (
 	"fmt"
+	"math"
+	"time"
 
 	"repro/internal/algolib"
 	"repro/internal/anneal"
@@ -10,9 +12,11 @@ import (
 	"repro/internal/ctxdesc"
 	"repro/internal/graph"
 	"repro/internal/ising"
+	"repro/internal/jobs"
 	"repro/internal/qdt"
 	"repro/internal/qec"
 	"repro/internal/qop"
+	"repro/internal/result"
 	"repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/transpile"
@@ -71,6 +75,96 @@ func runE1(seed uint64) error {
 	}
 	fmt.Printf("expected cut (sampled, 4096 shots): %.3f   paper: ≈3.0–3.2\n", cut/float64(total))
 	fmt.Printf("transpile: %+v\n", res.Meta["transpile"])
+
+	// Variational loop, old vs new serving path: a (γ,β) angle grid that
+	// the pre-sweep stack submits as one job per point — each paying its
+	// own validate/lower/transpile/compile — against ONE symbolic bundle
+	// through the sweep API, which compiles the plan once and binds per
+	// point. Counts are bit-identical by the sweep determinism contract.
+	angles := []float64{0.13, 0.26, 0.39, 0.52, 0.65, 0.79, 0.92, 1.05, 1.18}
+	var points [][]float64
+	for _, ga := range angles {
+		for _, be := range angles {
+			points = append(points, []float64{ga, be})
+		}
+	}
+	reg := isingVars()
+	g = graph.Cycle(4)
+	const shots = 1024
+
+	poolOld := jobs.NewPool(jobs.Options{Workers: 1, QueueDepth: len(points), CacheSize: -1, MaxRecords: -1})
+	defer poolOld.Close()
+	startOld := time.Now()
+	oldIDs := make([]string, len(points))
+	for i, pt := range points {
+		seq, err := algolib.BuildQAOA(reg, g, []float64{pt[0]}, []float64{pt[1]})
+		if err != nil {
+			return err
+		}
+		pb, err := bundle.New([]*qdt.DataType{reg}, seq, ctxdesc.NewGate("gate.statevector", shots, seed))
+		if err != nil {
+			return err
+		}
+		if oldIDs[i], err = poolOld.Submit(pb); err != nil {
+			return err
+		}
+	}
+	oldRes := make([]*result.Result, len(points))
+	for i, id := range oldIDs {
+		if _, err := poolOld.Wait(id); err != nil {
+			return err
+		}
+		if oldRes[i], err = poolOld.Result(id); err != nil {
+			return err
+		}
+	}
+	oldDur := time.Since(startOld)
+
+	seq, err := algolib.BuildQAOASymbolic(reg, g, []string{"gamma0"}, []string{"beta0"})
+	if err != nil {
+		return err
+	}
+	sctx := ctxdesc.NewGate("gate.statevector", shots, seed)
+	sctx.Sweep = &ctxdesc.Sweep{Params: []string{"gamma0", "beta0"}, Points: points}
+	tmpl, err := bundle.New([]*qdt.DataType{reg}, seq, sctx)
+	if err != nil {
+		return err
+	}
+	poolNew := jobs.NewPool(jobs.Options{Workers: 1, QueueDepth: 1, CacheSize: -1, MaxRecords: -1})
+	defer poolNew.Close()
+	startNew := time.Now()
+	sweepID, err := poolNew.SubmitSweep(tmpl)
+	if err != nil {
+		return err
+	}
+	if _, err := poolNew.Wait(sweepID); err != nil {
+		return err
+	}
+	sweepRes, err := poolNew.SweepResult(sweepID)
+	if err != nil {
+		return err
+	}
+	newDur := time.Since(startNew)
+
+	bestCut, bestIdx := -1.0, 0
+	for i, r := range sweepRes {
+		if fmt.Sprint(r.Entries) != fmt.Sprint(oldRes[i].Entries) {
+			return fmt.Errorf("E1: sweep point %d counts differ from the per-job path", i)
+		}
+		c, n := 0.0, 0
+		for _, e := range r.Entries {
+			c += g.CutValueBits(e.Index) * float64(e.Count)
+			n += e.Count
+		}
+		if avg := c / float64(n); avg > bestCut {
+			bestCut, bestIdx = avg, i
+		}
+	}
+	fmt.Printf("variational %d-point (γ,β) grid, per-point counts bit-identical across paths\n", len(points))
+	fmt.Printf("  best sampled cut %.3f at γ=%.2f β=%.2f\n", bestCut, points[bestIdx][0], points[bestIdx][1])
+	fmt.Printf("  old per-job loop: %.0f ms   sweep API: %.0f ms   speedup: %.1f×\n",
+		float64(oldDur.Microseconds())/1000, float64(newDur.Microseconds())/1000,
+		float64(oldDur.Nanoseconds())/float64(newDur.Nanoseconds()))
 	return nil
 }
 
@@ -325,46 +419,104 @@ func embeddedCtx(seed uint64) *ctxdesc.Context {
 }
 
 func runE10(uint64) error {
-	// Expected cut vs QAOA depth p, angles grid-searched per depth.
+	// Expected cut vs QAOA depth p, angles grid-searched per depth. The
+	// search runs twice per depth: the old loop re-lowers and re-compiles
+	// every grid point (Lower + Evolve), the new loop lowers the symbolic
+	// ansatz once, compiles ONE parametric plan, and Bind(point)s it —
+	// only the angle-bearing kernels are re-derived per point. Both must
+	// land on the same optimum (bind-invariance contract).
 	reg := isingVars()
 	g := graph.Cycle(4)
-	fmt.Println("p   best expected cut (grid-searched angles)")
+	regs := algolib.Registers{"ising_vars": reg}
+	cutOf := func(k uint64) float64 { return g.CutValueBits(k) }
+	fmt.Println("p   best expected cut   old loop     parametric plan   speedup")
 	for p := 1; p <= 3; p++ {
-		best := -1.0
 		grid := []float64{0.13, 0.26, 0.39, 0.52, 0.65, 0.79, 0.92, 1.05, 1.18}
-		var search func(gammas, betas []float64)
-		search = func(gammas, betas []float64) {
-			if len(gammas) == p {
-				seq, err := algolib.BuildQAOA(reg, g, gammas, betas)
-				if err != nil {
-					return
-				}
-				low, err := algolib.Lower(seq, algolib.Registers{"ising_vars": reg})
-				if err != nil {
-					return
-				}
-				st, err := sim.Evolve(low.Circuit)
-				if err != nil {
-					return
-				}
-				cut := st.ExpectationDiagonal(func(k uint64) float64 { return g.CutValueBits(k) })
-				if cut > best {
-					best = cut
-				}
-				return
-			}
-			for _, ga := range grid {
-				for _, be := range grid {
-					search(append(gammas, ga), append(betas, be))
-				}
-			}
-		}
 		if p > 1 {
 			// Coarsen the grid for p ≥ 2 to keep the sweep tractable.
 			grid = []float64{0.26, 0.52, 0.79, 1.05}
 		}
-		search(nil, nil)
-		fmt.Printf("%d   %.4f\n", p, best)
+		// Enumerate every (γ₁..γₚ, β₁..βₚ) combination.
+		var points [][]float64
+		var enum func(vals []float64)
+		enum = func(vals []float64) {
+			if len(vals) == 2*p {
+				points = append(points, append([]float64(nil), vals...))
+				return
+			}
+			for _, v := range grid {
+				enum(append(vals, v))
+			}
+		}
+		enum(nil)
+
+		startOld := time.Now()
+		bestOld := -1.0
+		for _, pt := range points {
+			seq, err := algolib.BuildQAOA(reg, g, pt[:p], pt[p:])
+			if err != nil {
+				return err
+			}
+			low, err := algolib.Lower(seq, regs)
+			if err != nil {
+				return err
+			}
+			st, err := sim.Evolve(low.Circuit)
+			if err != nil {
+				return err
+			}
+			if cut := st.ExpectationDiagonal(cutOf); cut > bestOld {
+				bestOld = cut
+			}
+		}
+		oldDur := time.Since(startOld)
+
+		names := make([]string, 0, 2*p)
+		gammaNames := make([]string, p)
+		betaNames := make([]string, p)
+		for l := 0; l < p; l++ {
+			gammaNames[l] = fmt.Sprintf("gamma%d", l)
+			betaNames[l] = fmt.Sprintf("beta%d", l)
+		}
+		names = append(append(names, gammaNames...), betaNames...)
+		startNew := time.Now()
+		seq, err := algolib.BuildQAOASymbolic(reg, g, gammaNames, betaNames)
+		if err != nil {
+			return err
+		}
+		low, err := algolib.LowerParametric(seq, regs, names)
+		if err != nil {
+			return err
+		}
+		plan, err := sim.CompileParametric(low.Circuit)
+		if err != nil {
+			return err
+		}
+		bestNew := -1.0
+		for _, pt := range points {
+			bound, err := plan.Bind(pt)
+			if err != nil {
+				return err
+			}
+			st, err := sim.NewState(plan.NumQubits())
+			if err != nil {
+				return err
+			}
+			if err := bound.Execute(st, 1); err != nil {
+				return err
+			}
+			if cut := st.ExpectationDiagonal(cutOf); cut > bestNew {
+				bestNew = cut
+			}
+		}
+		newDur := time.Since(startNew)
+
+		if math.Abs(bestOld-bestNew) > 1e-9 {
+			return fmt.Errorf("E10: p=%d optimum differs: old %.12f, parametric %.12f", p, bestOld, bestNew)
+		}
+		fmt.Printf("%d   %.4f             %7.1f ms   %7.1f ms        %.1f×\n",
+			p, bestOld, float64(oldDur.Microseconds())/1000, float64(newDur.Microseconds())/1000,
+			float64(oldDur.Nanoseconds())/float64(newDur.Nanoseconds()))
 	}
 	fmt.Println("shape: p=1 reaches 3.0 (the C4 optimum at depth 1); deeper circuits close the gap to 4")
 	return nil

@@ -7,6 +7,17 @@
 //	qmlrun -engine anneal.sa job.json   # override the context's engine
 //	qmlrun -top 5 job.json
 //	qmlrun -parallel 4 a.json b.json c.json   # batch mode on a worker pool
+//
+// An OpenQASM 2.0 circuit runs like any bundle: -qasm parses the file
+// (the ToQASM subset plus common Qiskit spellings), wraps it as a
+// GATE_LIST operator over a boolean register with full-register
+// readout, and executes it on the gate path:
+//
+//	qmlrun -qasm bell.qasm
+//	qmlrun -qasm -shots 4096 -seed 7 grover.qasm
+//
+// The reverse direction still exists: -emit-qasm lowers and transpiles
+// a bundle's gate path and prints it as OpenQASM 2.0.
 package main
 
 import (
@@ -16,8 +27,10 @@ import (
 
 	"repro/internal/algolib"
 	"repro/internal/bundle"
+	"repro/internal/circuit"
 	"repro/internal/ctxdesc"
 	"repro/internal/jobs"
+	"repro/internal/qdt"
 	"repro/internal/qop"
 	"repro/internal/result"
 	"repro/internal/runtime"
@@ -28,12 +41,15 @@ func main() {
 	engine := flag.String("engine", "", "override the context's exec.engine")
 	top := flag.Int("top", 10, "show at most this many outcomes")
 	estimate := flag.Bool("estimate", false, "print per-engine cost estimates instead of executing")
-	qasm := flag.Bool("qasm", false, "print the transpiled circuit as OpenQASM 2.0 instead of executing")
+	qasm := flag.Bool("qasm", false, "treat the input as an OpenQASM 2.0 circuit and run it on the gate path")
+	emitQASM := flag.Bool("emit-qasm", false, "print the transpiled circuit as OpenQASM 2.0 instead of executing")
+	shots := flag.Int("shots", 1024, "samples for -qasm runs (job.json bundles carry their own)")
+	seed := flag.Uint64("seed", 1, "sampling seed for -qasm runs")
 	parallel := flag.Int("parallel", 0, "batch mode: execute all job files on a pool of this many workers")
 	shards := flag.Int("shards", 0, "statevector shards (single run: the grant; batch: the lone-job cap; 0 = auto)")
 	flag.Parse()
 	if *parallel > 0 {
-		if flag.NArg() < 1 || *estimate || *qasm {
+		if flag.NArg() < 1 || *estimate || *qasm || *emitQASM {
 			fmt.Fprintln(os.Stderr, "usage: qmlrun -parallel n [-engine name] [-top n] [-shards n] job.json [job.json …]")
 			os.Exit(2)
 		}
@@ -44,15 +60,17 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: qmlrun [-engine name] [-top n] [-estimate] [-qasm] [-parallel n] [-shards n] job.json")
+		fmt.Fprintln(os.Stderr, "usage: qmlrun [-engine name] [-top n] [-estimate] [-qasm] [-emit-qasm] [-parallel n] [-shards n] job.json|file.qasm")
 		os.Exit(2)
 	}
 	var err error
 	switch {
 	case *estimate:
 		err = runEstimate(flag.Arg(0))
-	case *qasm:
+	case *emitQASM:
 		err = runQASM(flag.Arg(0))
+	case *qasm:
+		err = runFromQASM(flag.Arg(0), *engine, *top, *shards, *shots, *seed)
 	default:
 		err = run(flag.Arg(0), *engine, *top, *shards)
 	}
@@ -110,6 +128,52 @@ func runQASM(path string) error {
 	}
 	fmt.Print(text)
 	return nil
+}
+
+// runFromQASM parses an OpenQASM 2.0 file and executes it through the
+// same runtime path as a bundle — the dormant parser's CLI entry point.
+func runFromQASM(path, engineOverride string, top, shards, shots int, seed uint64) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	b, err := qasmBundle(string(src), engineOverride, shots, seed)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	res, err := runtime.Submit(b, runtime.Options{Shards: shards})
+	if err != nil {
+		return err
+	}
+	printResult(res, top)
+	return nil
+}
+
+// qasmBundle wraps a parsed OpenQASM circuit as a one-register bundle:
+// a GATE_LIST operator carrying the raw gates plus a full-register
+// MEASUREMENT readout (the parser validates the file's own measure
+// statements; sampling always reads every qubit). QASM names no
+// execution context, so the bundle runs on the gate path —
+// gate.statevector unless engineOverride picks another gate engine.
+func qasmBundle(src, engineOverride string, shots int, seed uint64) (*bundle.Bundle, error) {
+	c, err := circuit.FromQASM(src)
+	if err != nil {
+		return nil, err
+	}
+	if c.NumQubits == 0 {
+		return nil, fmt.Errorf("qasm: no quantum register declared")
+	}
+	reg := qdt.New("q", "q", c.NumQubits, qdt.BoolRegister, qdt.AsBool)
+	gl, err := algolib.NewGateList(reg, c)
+	if err != nil {
+		return nil, err
+	}
+	engine := "gate.statevector"
+	if engineOverride != "" {
+		engine = engineOverride
+	}
+	ctx := ctxdesc.NewGate(engine, shots, seed)
+	return bundle.New([]*qdt.DataType{reg}, qop.Sequence{gl, algolib.NewMeasurement(reg)}, ctx)
 }
 
 func run(path, engineOverride string, top, shards int) error {

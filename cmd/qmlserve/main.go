@@ -31,6 +31,16 @@
 // running alongside others stay single-shard. POST /v1/jobs?shards=N pins
 // the grant per job; /v1/stats reports max_shards and wide_jobs.
 //
+// A parameter sweep — one bundle whose context carries a sweep block
+// (parameter names + point grid) — submits as ONE job via POST
+// /v1/sweeps: one journal record, one queue slot, the parametric plan
+// compiled once and bound per point, every point's counts and cache key
+// bit-identical to submitting that point concretely. GET
+// /v1/sweeps/{id} returns the indexed per-point result set, and GET
+// /v1/jobs/{id} reports grid progress (points/points_done). Status
+// polls long-poll with ?wait=<duration> (capped at 60s): the request
+// parks until the job reaches a terminal state or the wait expires.
+//
 // # Observability
 //
 // GET /metrics serves the internal/obs registry in Prometheus text
@@ -88,6 +98,14 @@
 // worker deaths and dispatcher restarts preserve accepted work.
 // -probe-interval and -poll-interval tune the health and job-status
 // cadences.
+//
+// The dispatcher speaks the sweep surface too: a POST /v1/sweeps grid
+// is scattered point-range-wise across the healthy workers as
+// independent sub-sweeps, a dead worker's unfinished ranges (and only
+// those) re-forward to survivors, and GET /v1/sweeps/{id} merges the
+// per-range documents back into one globally indexed result set —
+// per-point identical to a single-node run of the same grid. ?wait=
+// long-polling works on the dispatcher's GET /v1/jobs/{id} as well.
 package main
 
 import (

@@ -85,6 +85,36 @@
 // dispatcher restart replays the journal, re-polls workers for in-flight
 // state, and keeps answering status/result for pre-crash jobs.
 //
+// # Parametric plans and sweeps
+//
+// Variational workloads (QAOA, QML training) submit thousands of
+// circuits that differ only in rotation angles. The stack separates
+// circuit structure from numeric parameters once at the bottom and
+// exploits it at every layer above. Gate angles may be symbolic: an
+// algolib descriptor carries a "$name" marker instead of a number
+// (algolib.BuildQAOASymbolic, SymbolicParam) and LowerParametric emits
+// the same circuit a concrete lowering would, with ParamRefs in place
+// of constants. sim.CompileParametric compiles that circuit ONCE into a
+// ParamPlan whose fusion structure, statistics and kernel order are
+// bind-invariant; Bind(values) re-derives only the kernels whose
+// matrices actually depend on a parameter and returns an ordinary Plan.
+//
+// One layer up, a bundle whose context carries a sweep block (parameter
+// names + a point grid) is a sweep job: jobs.Pool.SubmitSweep accepts
+// the whole grid as ONE job — one journal record, one queue slot —
+// fanning out per point, with every point materialized by
+// bundle.BindPoint into exactly the concrete bundle a caller would have
+// submitted for that point alone. Per-point cache keys, fingerprints
+// and sampled counts are therefore bit-identical to individual
+// concrete-angle submissions — the determinism invariant the cache and
+// replication story rests on. Over HTTP the grid is POST /v1/sweeps and
+// the indexed result set is GET /v1/sweeps/{id}; GET /v1/jobs/{id}
+// supports long-polling via ?wait=<duration> on both tiers. The fleet
+// dispatcher scatters a sweep point-range-wise across healthy workers
+// as independent sub-sweeps and re-forwards only the unfinished ranges
+// when a worker dies; the merged, re-indexed result set is
+// indistinguishable from a single-node run of the same grid.
+//
 // # Observability
 //
 // Every layer reports through internal/obs, a stdlib-only telemetry

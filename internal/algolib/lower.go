@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/circuit"
+	"repro/internal/gates"
 	"repro/internal/qop"
 )
 
@@ -21,6 +22,10 @@ type Lowered struct {
 // form"). Registers are packed in first-use order; the final MEASUREMENT
 // (if any) defines the classical register via its result schema.
 func Lower(ops qop.Sequence, regs Registers) (*Lowered, error) {
+	return lowerSeq(ops, regs, nil)
+}
+
+func lowerSeq(ops qop.Sequence, regs Registers, env *paramEnv) (*Lowered, error) {
 	if err := Validate(ops, regs); err != nil {
 		return nil, err
 	}
@@ -61,14 +66,14 @@ func Lower(ops qop.Sequence, regs Registers) (*Lowered, error) {
 	}
 	c := circuit.New(next, numClbits)
 	for idx, op := range ops {
-		if err := lowerOp(c, op, regs, offsets); err != nil {
+		if err := lowerOp(c, op, regs, offsets, env); err != nil {
 			return nil, fmt.Errorf("algolib: lowering op %d (%s): %w", idx, op.Name, err)
 		}
 	}
 	return &Lowered{Circuit: c, Offsets: offsets}, nil
 }
 
-func lowerOp(c *circuit.Circuit, op *qop.Operator, regs Registers, offsets map[string]int) error {
+func lowerOp(c *circuit.Circuit, op *qop.Operator, regs Registers, offsets map[string]int, env *paramEnv) error {
 	base := offsets[op.DomainQDT]
 	width := regs[op.DomainQDT].Width
 	switch op.RepKind {
@@ -88,6 +93,9 @@ func lowerOp(c *circuit.Circuit, op *qop.Operator, regs Registers, offsets map[s
 			}
 		}
 	case qop.AngleEncoding:
+		if done, err := env.lowerAngleEncoding(c, op, base, width); done || err != nil {
+			return err
+		}
 		angles, err := floatSliceParam(op, "angles")
 		if err != nil {
 			return err
@@ -151,11 +159,28 @@ func lowerOp(c *circuit.Circuit, op *qop.Operator, regs Registers, offsets map[s
 		}
 		c.CPhase(angle, base+ctrl, base+tgt)
 	case qop.IsingCostPhase:
-		gamma, err := op.ParamFloat("gamma")
+		g, err := GraphFromCostPhase(op, width)
 		if err != nil {
 			return err
 		}
-		g, err := GraphFromCostPhase(op, width)
+		if idx, sym, err := env.refIndex(op, "gamma"); err != nil {
+			return err
+		} else if sym {
+			// Symbolic γ: same CX·RZ·CX structure, with the per-edge
+			// constant 2w folded into the reference scale so a bind
+			// computes (2w)·γ — bit-identical to the concrete
+			// (2γ)·w (doubling is exact, one rounding each way).
+			for _, e := range g.Edges {
+				u, v := base+e.U, base+e.V
+				c.CX(u, v)
+				if err := c.GateRefs(gates.RZ, []int{v}, []float64{0}, []circuit.ParamRef{{Index: idx, Scale: 2 * e.Weight}}); err != nil {
+					return err
+				}
+				c.CX(u, v)
+			}
+			return nil
+		}
+		gamma, err := op.ParamFloat("gamma")
 		if err != nil {
 			return err
 		}
@@ -166,6 +191,16 @@ func lowerOp(c *circuit.Circuit, op *qop.Operator, regs Registers, offsets map[s
 			c.CX(u, v)
 		}
 	case qop.MixerRX:
+		if idx, sym, err := env.refIndex(op, "beta"); err != nil {
+			return err
+		} else if sym {
+			for q := 0; q < width; q++ {
+				if err := c.GateRefs(gates.RX, []int{base + q}, []float64{0}, []circuit.ParamRef{{Index: idx, Scale: 2}}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
 		beta, err := op.ParamFloat("beta")
 		if err != nil {
 			return err
@@ -263,6 +298,8 @@ func lowerOp(c *circuit.Circuit, op *qop.Operator, regs Registers, offsets map[s
 		for q := 0; q < width; q++ {
 			c.H(base + q)
 		}
+	case qop.GateList:
+		return lowerGateList(c, op, base)
 	case qop.Measurement:
 		if op.Result == nil {
 			return fmt.Errorf("MEASUREMENT without result_schema")

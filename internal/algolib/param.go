@@ -1,0 +1,237 @@
+package algolib
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/graph"
+	"repro/internal/qdt"
+	"repro/internal/qop"
+)
+
+// SymbolicParam returns the marker value ("$name") that makes an
+// operator parameter reference a named sweep parameter instead of
+// carrying a concrete number. Markers survive JSON round-trips — they
+// are ordinary string parameter values — and only LowerParametric
+// interprets them; the concrete Lower path rejects them with the usual
+// "parameter is not numeric" error.
+func SymbolicParam(name string) string { return "$" + name }
+
+// LowerParametric realizes a descriptor sequence whose gamma/beta/angle
+// parameters may carry "$name" markers referencing the named sweep
+// parameters (in bind-vector order). The emitted circuit is
+// structurally identical to the concrete lowering — markers become
+// symbolic ParamRefs on the same instructions — and
+// Circuit.BindValues(point) reproduces exactly the circuit a concrete
+// lowering would emit for that point. That identity is the foundation
+// of the sweep determinism contract.
+func LowerParametric(ops qop.Sequence, regs Registers, paramNames []string) (*Lowered, error) {
+	env := &paramEnv{index: make(map[string]int, len(paramNames))}
+	for i, name := range paramNames {
+		if name == "" {
+			return nil, fmt.Errorf("algolib: sweep parameter %d has empty name", i)
+		}
+		if _, dup := env.index[name]; dup {
+			return nil, fmt.Errorf("algolib: duplicate sweep parameter %q", name)
+		}
+		env.index[name] = i
+	}
+	return lowerSeq(ops, regs, env)
+}
+
+// paramEnv maps sweep parameter names to bind-vector indices during a
+// parametric lowering. A nil env means concrete lowering.
+type paramEnv struct {
+	index map[string]int
+}
+
+// refIndex reports whether op's key parameter is a symbolic marker and
+// resolves its bind index when it is.
+func (env *paramEnv) refIndex(op *qop.Operator, key string) (int, bool, error) {
+	if env == nil {
+		return 0, false, nil
+	}
+	s, ok := op.Params[key].(string)
+	if !ok || !strings.HasPrefix(s, "$") {
+		return 0, false, nil
+	}
+	idx, err := env.lookup(op, s)
+	return idx, err == nil, err
+}
+
+func (env *paramEnv) lookup(op *qop.Operator, marker string) (int, error) {
+	name := strings.TrimPrefix(marker, "$")
+	idx, ok := env.index[name]
+	if !ok {
+		return 0, fmt.Errorf("op %q references unknown sweep parameter %q", op.Name, name)
+	}
+	return idx, nil
+}
+
+// lowerAngleEncoding handles an ANGLE_ENCODING whose angles list mixes
+// numbers and "$name" markers. Returns done=false when the list is
+// fully concrete (or env is nil) so the caller's concrete path runs.
+func (env *paramEnv) lowerAngleEncoding(c *circuit.Circuit, op *qop.Operator, base, width int) (bool, error) {
+	if env == nil {
+		return false, nil
+	}
+	raw, ok := op.Params["angles"].([]any)
+	if !ok {
+		return false, nil
+	}
+	symbolic := false
+	for _, v := range raw {
+		if s, isS := v.(string); isS && strings.HasPrefix(s, "$") {
+			symbolic = true
+			break
+		}
+	}
+	if !symbolic {
+		return false, nil
+	}
+	if len(raw) != width {
+		return true, fmt.Errorf("%d angles for width %d", len(raw), width)
+	}
+	for q, v := range raw {
+		switch t := v.(type) {
+		case float64:
+			c.RY(t, base+q)
+		case string:
+			idx, err := env.lookup(op, t)
+			if err != nil {
+				return true, err
+			}
+			if err := c.GateRefs(gates.RY, []int{base + q}, []float64{0}, []circuit.ParamRef{{Index: idx, Scale: 1}}); err != nil {
+				return true, err
+			}
+		default:
+			return true, fmt.Errorf("angles[%d] is %T, want number or $marker", q, v)
+		}
+	}
+	return true, nil
+}
+
+// NewGateList wraps a flat circuit as a GATE_LIST operator: the raw
+// gate escape hatch, used by the QASM ingestion path. Measurements and
+// barriers are not encoded — the caller emits a MEASUREMENT descriptor
+// for the readout.
+func NewGateList(reg *qdt.DataType, c *circuit.Circuit) (*qop.Operator, error) {
+	if err := reg.Validate(); err != nil {
+		return nil, err
+	}
+	if c.NumQubits != reg.Width {
+		return nil, fmt.Errorf("algolib: circuit has %d qubits, register width %d", c.NumQubits, reg.Width)
+	}
+	var list []any
+	oneQ, twoQ := 0, 0
+	for _, ins := range c.Instrs {
+		switch ins.Op {
+		case circuit.OpGate:
+			qs := make([]any, len(ins.Qubits))
+			for i, q := range ins.Qubits {
+				qs[i] = float64(q)
+			}
+			entry := map[string]any{"gate": string(ins.Gate), "qubits": qs}
+			if len(ins.Params) > 0 {
+				ps := make([]any, len(ins.Params))
+				for i, p := range ins.Params {
+					ps[i] = p
+				}
+				entry["params"] = ps
+			}
+			list = append(list, entry)
+			if len(ins.Qubits) == 2 {
+				twoQ++
+			} else {
+				oneQ++
+			}
+		case circuit.OpMeasure, circuit.OpBarrier:
+			// readout is a separate MEASUREMENT descriptor; barriers
+			// carry no semantics for the simulator
+		default:
+			return nil, fmt.Errorf("algolib: opcode %d has no GATE_LIST encoding", ins.Op)
+		}
+	}
+	op := newOp("gate_list", qop.GateList, reg.ID)
+	op.SetParam("gates", list)
+	op.CostHint = &qop.CostHint{OneQ: oneQ, TwoQ: twoQ, Depth: c.Depth()}
+	return op, nil
+}
+
+// lowerGateList replays a GATE_LIST descriptor's entries as gate
+// instructions at the register's base offset.
+func lowerGateList(c *circuit.Circuit, op *qop.Operator, base int) error {
+	raw, ok := op.Params["gates"].([]any)
+	if !ok {
+		return fmt.Errorf("GATE_LIST missing gates param")
+	}
+	for i, entry := range raw {
+		m, ok := entry.(map[string]any)
+		if !ok {
+			return fmt.Errorf("gates[%d] is %T, want object", i, entry)
+		}
+		name, _ := m["gate"].(string)
+		if name == "" {
+			return fmt.Errorf("gates[%d] missing gate name", i)
+		}
+		qraw, ok := m["qubits"].([]any)
+		if !ok {
+			return fmt.Errorf("gates[%d] missing qubits", i)
+		}
+		qs := make([]int, len(qraw))
+		for j, v := range qraw {
+			f, isF := v.(float64)
+			if !isF {
+				return fmt.Errorf("gates[%d].qubits[%d] is %T", i, j, v)
+			}
+			qs[j] = base + int(f)
+		}
+		var params []float64
+		if praw, has := m["params"].([]any); has {
+			params = make([]float64, len(praw))
+			for j, v := range praw {
+				f, isF := v.(float64)
+				if !isF {
+					return fmt.Errorf("gates[%d].params[%d] is %T", i, j, v)
+				}
+				params[j] = f
+			}
+		}
+		if err := c.Append(circuit.Instruction{Op: circuit.OpGate, Gate: gates.Name(name), Qubits: qs, Params: params}); err != nil {
+			return fmt.Errorf("gates[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// BuildQAOASymbolic emits the same descriptor stack as BuildQAOA with
+// every layer angle referencing a named sweep parameter instead of a
+// concrete value. gammaNames and betaNames must have equal length
+// p ≥ 1; the names index into a sweep's parameter list.
+func BuildQAOASymbolic(reg *qdt.DataType, g *graph.Graph, gammaNames, betaNames []string) (qop.Sequence, error) {
+	if len(gammaNames) != len(betaNames) || len(gammaNames) == 0 {
+		return nil, fmt.Errorf("algolib: QAOA needs equal non-empty name lists, got %d/%d", len(gammaNames), len(betaNames))
+	}
+	prep, err := NewPrepUniform(reg)
+	if err != nil {
+		return nil, err
+	}
+	seq := qop.Sequence{prep}
+	for layer := range gammaNames {
+		cost, err := NewIsingCostPhase(reg, g, 0)
+		if err != nil {
+			return nil, err
+		}
+		cost.SetParam("gamma", SymbolicParam(gammaNames[layer]))
+		mixer, err := NewMixerRX(reg, 0)
+		if err != nil {
+			return nil, err
+		}
+		mixer.SetParam("beta", SymbolicParam(betaNames[layer]))
+		seq = append(seq, cost, mixer)
+	}
+	seq = append(seq, NewMeasurement(reg))
+	return seq, nil
+}

@@ -1,0 +1,166 @@
+package backend
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/algolib"
+	"repro/internal/bundle"
+	"repro/internal/qdt"
+	"repro/internal/result"
+	"repro/internal/sim"
+	"repro/internal/transpile"
+)
+
+// Sweeper is implemented by backends that can execute a parameter sweep
+// against a single compiled plan. b is the template bundle whose context
+// carries the sweep block and whose operator parameters may hold "$name"
+// markers; concrete[k] is the fully materialized bundle for global point
+// index indices[k] — exactly the bundle a caller would submit for that
+// point alone — used for per-point fallback and provenance. each is
+// invoked once per point, in indices order.
+//
+// The contract is bit-identity: the result delivered for point i equals,
+// entry for entry, what Execute(concrete[k]) would return. A backend
+// unable to honor that for some point must execute that point through
+// its concrete path rather than approximate.
+type Sweeper interface {
+	ExecuteSweep(b *bundle.Bundle, concrete []*bundle.Bundle, indices []int, shards int, stages StageFunc, each func(i int, res *result.Result) error) error
+}
+
+// ExecuteSweep implements Sweeper for the gate engine: lower the
+// template once with symbolic parameter references, transpile and
+// compile once, then Bind per point. Points the parametric fast path
+// cannot express exactly — degenerate angles the optimizer would have
+// dropped, contexts with comm/QEC/noise blocks, transpile options
+// outside the parametric subset — run through ExecuteStaged on their
+// concrete bundle instead, so every point keeps the bit-identity
+// contract regardless of which path served it.
+func (g *Gate) ExecuteSweep(b *bundle.Bundle, concrete []*bundle.Bundle, indices []int, shards int, stages StageFunc, each func(i int, res *result.Result) error) error {
+	if len(concrete) != len(indices) {
+		return fmt.Errorf("backend: %d concrete bundles for %d indices", len(concrete), len(indices))
+	}
+	ctx := b.Context
+	if ctx == nil || ctx.Sweep == nil {
+		return fmt.Errorf("backend: sweep execution without a sweep context block")
+	}
+	sw := ctx.Sweep
+	for _, gi := range indices {
+		if gi < 0 || gi >= len(sw.Points) {
+			return fmt.Errorf("backend: point index %d out of range [0,%d)", gi, len(sw.Points))
+		}
+	}
+
+	fallbackPoint := func(k int) error {
+		res, err := g.ExecuteStaged(concrete[k], shards, stages)
+		if err != nil {
+			return fmt.Errorf("point %d: %w", indices[k], err)
+		}
+		return each(indices[k], res)
+	}
+	fallbackAll := func() error {
+		for k := range concrete {
+			if err := fallbackPoint(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Blocks the parametric pipeline does not model run concretely.
+	noise, err := noiseFromOptions(ctx)
+	if err != nil {
+		return err
+	}
+	if ctx.Comm != nil || ctx.QEC != nil || !noise.Zero() {
+		return fallbackAll()
+	}
+
+	regs := algolib.Registers{}
+	for _, d := range b.QDTs {
+		regs[d.ID] = d
+	}
+	lowered, err := algolib.LowerParametric(b.Operators, regs, sw.Params)
+	if err != nil {
+		// The template did not lower symbolically (e.g. markers on an
+		// operator kind without a parametric lowering); the concrete
+		// bundles still lower point by point.
+		return fallbackAll()
+	}
+	if !lowered.Circuit.HasRefs() {
+		// Nothing symbolic: all points are the same circuit.
+		return fallbackAll()
+	}
+
+	opts := transpile.FromContext(ctx)
+	transpileStart := time.Now()
+	tr, ok, err := transpile.TranspileParametric(lowered.Circuit, opts)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fallbackAll()
+	}
+	if stages != nil {
+		stages("transpile", time.Since(transpileStart))
+	}
+	circ := tr.Circuit
+
+	compileStart := time.Now()
+	pp, err := sim.CompileParametric(circ)
+	if err != nil {
+		return fallbackAll()
+	}
+	if stages != nil {
+		stages("compile", time.Since(compileStart))
+	}
+
+	shots := DefaultShots
+	seed := uint64(0)
+	if ctx.Exec != nil {
+		if ctx.Exec.Samples > 0 {
+			shots = ctx.Exec.Samples
+		}
+		seed = ctx.Exec.Seed
+	}
+	m := b.Operators.FinalMeasurement()
+	var reg *qdt.DataType
+	if m != nil {
+		if reg, err = measuredRegister(b, m); err != nil {
+			return err
+		}
+	}
+
+	for k, gi := range indices {
+		v := sw.Points[gi]
+		if opts.OptimizationLevel >= 1 && transpile.ParamAngleZero(circ, v) {
+			// The concrete optimizer would drop this point's zero-angle
+			// rotation — a structural change the template cannot express.
+			if err := fallbackPoint(k); err != nil {
+				return err
+			}
+			continue
+		}
+		pl, err := pp.Bind(v)
+		if err != nil {
+			return fmt.Errorf("point %d: %w", gi, err)
+		}
+		run, err := sim.RunPlan(circ, pl, sim.Options{Shots: shots, Seed: seed, Shards: shards, Stages: stages})
+		if err != nil {
+			return fmt.Errorf("point %d: %w", gi, err)
+		}
+		res := &result.Result{Engine: g.engine, Samples: shots, Meta: map[string]any{"transpile": tr.Stats}}
+		if m != nil {
+			entries, err := result.DecodeCounts(run.Counts, m.Result, reg)
+			if err != nil {
+				return fmt.Errorf("point %d: %w", gi, err)
+			}
+			res.Entries = entries
+			res.Sort()
+		}
+		if err := each(gi, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package bundle
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/qop"
+)
+
+// BindPoint materializes the concrete bundle for one sweep point: every
+// operator parameter holding a "$name" marker — directly or as an
+// element of a list-valued parameter — is replaced by the point's value
+// for that name, and the sweep context block is removed. The result is
+// exactly the bundle a caller would have submitted with those concrete
+// values in the first place: its intent fingerprint and result-cache
+// identity match a direct concrete submission, which is what makes
+// per-point sweep caching sound.
+//
+// The clone is copy-on-write: QDTs and operators without markers are
+// shared with the template, and only marker-bearing operators get fresh
+// Params maps. Callers must treat both the template and the bound bundle
+// as immutable after binding (every in-tree consumer already does — the
+// pipeline reads the IR without mutating it). Sharing is what keeps
+// per-point binding off the sweep hot path's profile; the previous JSON
+// round-trip clone dominated sweep throughput.
+func (b *Bundle) BindPoint(point []float64) (*Bundle, error) {
+	if b.Context == nil || b.Context.Sweep == nil {
+		return nil, fmt.Errorf("bundle: BindPoint on a bundle without a sweep block")
+	}
+	sw := b.Context.Sweep
+	if len(point) != len(sw.Params) {
+		return nil, fmt.Errorf("bundle: point has %d values for %d sweep params", len(point), len(sw.Params))
+	}
+	values := make(map[string]float64, len(sw.Params))
+	for i, name := range sw.Params {
+		values[name] = point[i]
+	}
+
+	cp := *b
+	ctx := *b.Context
+	ctx.Sweep = nil
+	cp.Context = &ctx
+
+	subst := func(v any) (any, error) {
+		s, ok := v.(string)
+		if !ok || !strings.HasPrefix(s, "$") {
+			return v, nil
+		}
+		f, known := values[strings.TrimPrefix(s, "$")]
+		if !known {
+			return nil, fmt.Errorf("marker %q references no sweep parameter", s)
+		}
+		return f, nil
+	}
+	isMarker := func(v any) bool {
+		s, ok := v.(string)
+		return ok && strings.HasPrefix(s, "$")
+	}
+	hasMarker := func(params map[string]any) bool {
+		for _, v := range params {
+			switch t := v.(type) {
+			case string:
+				if isMarker(t) {
+					return true
+				}
+			case []any:
+				for _, el := range t {
+					if isMarker(el) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+
+	ops := make(qop.Sequence, len(b.Operators))
+	copy(ops, b.Operators)
+	for i, op := range ops {
+		if op.Params == nil || !hasMarker(op.Params) {
+			continue
+		}
+		oc := *op
+		oc.Params = make(map[string]any, len(op.Params))
+		for key, v := range op.Params {
+			switch t := v.(type) {
+			case string:
+				nv, err := subst(t)
+				if err != nil {
+					return nil, fmt.Errorf("bundle: op %q param %q: %w", op.Name, key, err)
+				}
+				oc.Params[key] = nv
+			case []any:
+				el := make([]any, len(t))
+				for j, e := range t {
+					nv, err := subst(e)
+					if err != nil {
+						return nil, fmt.Errorf("bundle: op %q param %q[%d]: %w", op.Name, key, j, err)
+					}
+					el[j] = nv
+				}
+				oc.Params[key] = el
+			default:
+				oc.Params[key] = v
+			}
+		}
+		ops[i] = &oc
+	}
+	cp.Operators = ops
+
+	if b.Provenance != nil {
+		prov := *b.Provenance
+		cp.Provenance = &prov
+		fp, err := cp.Fingerprint()
+		if err != nil {
+			return nil, err
+		}
+		cp.Provenance.IntentFingerprint = fp
+	}
+	return &cp, nil
+}

@@ -37,6 +37,13 @@ type Instruction struct {
 	Params []float64 // gate angles
 	Clbits []int     // for OpMeasure (parallel to Qubits)
 
+	// Refs, when non-nil, parallels Params and marks symbolic entries:
+	// Refs[i].Index >= 0 means the effective angle is
+	// Refs[i].Scale * values[Refs[i].Index] under a bind vector, and the
+	// Params[i] value is a placeholder. Entries with Index < 0 are
+	// concrete. Concrete circuits leave Refs nil.
+	Refs []ParamRef
+
 	// Perm, for OpPermute, maps input basis index -> output basis index
 	// over the listed qubits (local indexing: Qubits[0] is bit 0).
 	Perm []uint64
@@ -77,6 +84,9 @@ func (c *Circuit) Append(ins Instruction) error {
 		}
 		if len(ins.Params) != info.Params {
 			return fmt.Errorf("circuit: gate %q takes %d params, got %d", ins.Gate, info.Params, len(ins.Params))
+		}
+		if ins.Refs != nil && len(ins.Refs) != len(ins.Params) {
+			return fmt.Errorf("circuit: gate %q has %d params but %d refs", ins.Gate, len(ins.Params), len(ins.Refs))
 		}
 	case OpMeasure:
 		if len(ins.Qubits) != len(ins.Clbits) {
@@ -235,6 +245,7 @@ func (c *Circuit) Copy() *Circuit {
 		cp.Qubits = append([]int(nil), ins.Qubits...)
 		cp.Params = append([]float64(nil), ins.Params...)
 		cp.Clbits = append([]int(nil), ins.Clbits...)
+		cp.Refs = append([]ParamRef(nil), ins.Refs...)
 		cp.Perm = append([]uint64(nil), ins.Perm...)
 		cp.Amps = append([]complex128(nil), ins.Amps...)
 		cp.Phases = append([]complex128(nil), ins.Phases...)

@@ -13,6 +13,7 @@ package ctxdesc
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -27,6 +28,7 @@ type Context struct {
 	Anneal *Anneal `json:"anneal,omitempty"`
 	Comm   *Comm   `json:"comm,omitempty"`
 	Pulse  *Pulse  `json:"pulse,omitempty"`
+	Sweep  *Sweep  `json:"sweep,omitempty"`
 
 	// Extensions carries forward-compatible blocks the core does not
 	// interpret (Listing 5 shows an "extensions" field).
@@ -95,6 +97,20 @@ type Comm struct {
 	AllowTeleport  bool  `json:"allow_teleport"`       // permit teleported two-qubit gates
 	Partition      []int `json:"partition,omitempty"`  // explicit qubit→QPU map; empty = block partition
 	EPRBufferPairs int   `json:"epr_buffer,omitempty"` // pre-shared entanglement budget (0 = unlimited)
+}
+
+// Sweep is the parameter-sweep block: operator parameters carrying the
+// marker "$name" (for a name listed in Params) are bound per point from
+// the Points grid, one execution per point. The program compiles once
+// as a parametric plan; per-point results are bit-identical to
+// submitting the same bundle with the point's concrete values in place
+// of the markers.
+type Sweep struct {
+	// Params names the sweep parameters in bind-vector order: point
+	// index j supplies the value for "$Params[j]".
+	Params []string `json:"params"`
+	// Points is the evaluation grid; every row has len(Params) values.
+	Points [][]float64 `json:"points"`
 }
 
 // Pulse is the pulse/control block (§4.3.1).
@@ -207,6 +223,34 @@ func (c *Context) Validate() error {
 			probs = append(probs, "pulse durations must be non-negative")
 		}
 	}
+	if s := c.Sweep; s != nil {
+		if len(s.Params) == 0 {
+			probs = append(probs, "sweep.params is empty")
+		}
+		seen := make(map[string]bool, len(s.Params))
+		for i, name := range s.Params {
+			if name == "" {
+				probs = append(probs, fmt.Sprintf("sweep.params[%d] is empty", i))
+			} else if seen[name] {
+				probs = append(probs, fmt.Sprintf("sweep.params[%d] %q is duplicated", i, name))
+			}
+			seen[name] = true
+		}
+		if len(s.Points) == 0 {
+			probs = append(probs, "sweep.points is empty")
+		}
+		for i, pt := range s.Points {
+			if len(pt) != len(s.Params) {
+				probs = append(probs, fmt.Sprintf("sweep.points[%d] has %d values for %d params", i, len(pt), len(s.Params)))
+				continue
+			}
+			for j, v := range pt {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					probs = append(probs, fmt.Sprintf("sweep.points[%d][%d] is not finite", i, j))
+				}
+			}
+		}
+	}
 	if len(probs) > 0 {
 		return fmt.Errorf("ctx: %s", strings.Join(probs, "; "))
 	}
@@ -277,6 +321,9 @@ func (c *Context) Merge(o *Context) *Context {
 	}
 	if o.Pulse != nil {
 		out.Pulse = o.Clone().Pulse
+	}
+	if o.Sweep != nil {
+		out.Sweep = o.Clone().Sweep
 	}
 	for k, v := range o.Extensions {
 		if out.Extensions == nil {

@@ -51,6 +51,10 @@ type remoteStatus struct {
 	Coalesced bool   `json:"coalesced"`
 	Shards    int    `json:"shards"`
 	Error     string `json:"error"`
+	// Sweep fields: a sub-sweep job reports its range-local progress.
+	Sweep      bool `json:"sweep"`
+	Points     int  `json:"points"`
+	PointsDone int  `json:"points_done"`
 }
 
 type remoteError struct {
@@ -92,6 +96,52 @@ func (c *client) submit(ctx context.Context, raw []byte, pin int, trace string) 
 	default:
 		return remoteSubmit{}, fmt.Errorf("fleet: %s: submit: %s", c.base, decodeErr(resp.StatusCode, body))
 	}
+}
+
+// submitSweep forwards a sub-sweep bundle to a worker's POST /v1/sweeps.
+// Backpressure spills to another node exactly like plain submissions.
+func (c *client) submitSweep(ctx context.Context, raw []byte, trace string) (remoteSubmit, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sweeps", bytes.NewReader(raw))
+	if err != nil {
+		return remoteSubmit{}, fmt.Errorf("fleet: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return remoteSubmit{}, fmt.Errorf("fleet: %w", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		var out remoteSubmit
+		if err := json.Unmarshal(body, &out); err != nil || out.ID == "" {
+			return remoteSubmit{}, fmt.Errorf("fleet: %s accepted sweep with unreadable body: %v", c.base, err)
+		}
+		return out, nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return remoteSubmit{}, errWorkerBusy
+	default:
+		return remoteSubmit{}, fmt.Errorf("fleet: %s: sweep submit: %s", c.base, decodeErr(resp.StatusCode, body))
+	}
+}
+
+// sweepResultRaw fetches a worker's indexed sub-sweep result document
+// for range merging.
+func (c *client) sweepResultRaw(ctx context.Context, id string) (code int, body []byte, err error) {
+	resp, err := c.get(ctx, "/v1/sweeps/"+id)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return 0, nil, fmt.Errorf("fleet: %s: sweep result body: %w", c.base, err)
+	}
+	return resp.StatusCode, body, nil
 }
 
 // status polls a remote job. notFound=true means the worker answered but

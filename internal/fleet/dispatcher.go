@@ -122,6 +122,9 @@ type Stats struct {
 	// the job re-forwarded if the fleet no longer knows it).
 	Recovered  uint64 `json:"recovered"`
 	Reattached uint64 `json:"reattached"`
+	// Sweeps counts parameter-sweep jobs accepted (each one queue slot,
+	// scattered range-wise over the fleet).
+	Sweeps uint64 `json:"sweeps"`
 	store.Stats
 }
 
@@ -156,6 +159,7 @@ type fleetMetrics struct {
 	readmitted     *obs.Counter
 	recovered      *obs.Counter
 	reattached     *obs.Counter
+	sweeps         *obs.Counter
 	roundtrip      *obs.Histogram
 }
 
@@ -174,6 +178,7 @@ func newFleetMetrics(reg *obs.Registry, d *Dispatcher) *fleetMetrics {
 		readmitted:     reg.Counter("fleet_readmitted_total", "Unhealthy workers readmitted on a probe success."),
 		recovered:      reg.Counter("fleet_recovered_total", "Job records replayed from the journal at boot."),
 		reattached:     reg.Counter("fleet_reattached_total", "Recovered non-terminal jobs re-attached to their workers."),
+		sweeps:         reg.Counter("fleet_sweeps_total", "Parameter-sweep jobs accepted by the dispatcher."),
 		roundtrip:      reg.Histogram("fleet_roundtrip_seconds", "Dispatcher→worker submit round-trip time (accepted handoffs only).", nil),
 	}
 	reg.GaugeFunc("fleet_workers_healthy", "Workers currently considered healthy.", func() float64 {
@@ -214,7 +219,12 @@ type Status struct {
 	Coalesced bool
 	Shards    int
 	// Reforwards counts how many times the job changed workers.
-	Reforwards  int
+	Reforwards int
+	// Sweep marks a parameter-sweep job; Points is its grid size and
+	// PointsDone the fleet-wide per-point progress summed over ranges.
+	Sweep       bool
+	Points      int
+	PointsDone  int
 	Error       string
 	SubmittedAt time.Time
 	StartedAt   time.Time
@@ -269,6 +279,11 @@ type fwdJob struct {
 	evGen      uint64
 	flushedGen uint64
 	flushing   bool
+	// sweep is non-nil for parameter-sweep jobs: the point grid is
+	// scattered range-wise over the fleet instead of forwarded whole
+	// (see sweep.go). worker/remote stay empty; assignments live on the
+	// ranges.
+	sweep *sweepScatter
 }
 
 // spanLocked appends one dispatch-lifecycle span. Callers hold
@@ -398,6 +413,14 @@ func (d *Dispatcher) recover() []*fwdJob {
 			finished:  rec.Finished,
 			done:      make(chan struct{}),
 		}
+		if rec.Points > 0 {
+			// A sweep record. Its range assignments are not folded into
+			// the record (they are per-range EvAssigned history), so a
+			// non-terminal sweep re-scatters from scratch; a terminal one
+			// answers Status but not SweepResult (see SweepResult).
+			j.sweep = &sweepScatter{points: rec.Points}
+			j.worker, j.remote = "", ""
+		}
 		d.met.recovered.Inc()
 		switch rec.State {
 		case store.StateDone:
@@ -439,7 +462,7 @@ func (d *Dispatcher) recover() []*fwdJob {
 				}
 			}
 			d.jobs[j.id] = j
-			if d.inflight[j.key] == nil {
+			if j.sweep == nil && d.inflight[j.key] == nil {
 				d.inflight[j.key] = j
 			}
 			d.met.reattached.Inc()
@@ -605,6 +628,10 @@ func (d *Dispatcher) SubmitTraced(b *bundle.Bundle, pin int, traceID string) (St
 // journal then carries the state to the next process life).
 func (d *Dispatcher) runJob(j *fwdJob) {
 	defer d.wg.Done()
+	if j.sweep != nil {
+		d.runSweep(j)
+		return
+	}
 	pollFails := 0
 	for d.ctx.Err() == nil {
 		d.mu.Lock()
@@ -994,7 +1021,27 @@ func (d *Dispatcher) statusLocked(j *fwdJob) Status {
 	if reforwards < 0 {
 		reforwards = 0
 	}
+	var sweep bool
+	var points, pointsDone int
+	if j.sweep != nil {
+		sweep = true
+		points = j.sweep.points
+		pointsDone = j.sweep.pointsDoneLocked()
+		if j.state == jobs.StateDone {
+			pointsDone = points // incl. terminal records recovered without ranges
+		}
+		// Reforwards for a sweep counts range re-assignments.
+		reforwards = 0
+		for _, r := range j.sweep.ranges {
+			if r.forwards > 1 {
+				reforwards += r.forwards - 1
+			}
+		}
+	}
 	return Status{
+		Sweep:       sweep,
+		Points:      points,
+		PointsDone:  pointsDone,
 		ID:          j.id,
 		Trace:       j.trace,
 		Spans:       append([]obs.Span(nil), j.spans...),
@@ -1125,6 +1172,38 @@ func (d *Dispatcher) Cancel(ctx context.Context, id string) (Status, error) {
 			}
 			return st, fmt.Errorf("%w: %q is already %s", ErrConflict, id, st.State)
 		}
+		if j.sweep != nil {
+			// Cancel every assigned range's remote sub-sweep best-effort
+			// after finishing locally; the range watchers wake on done and
+			// exit. A range that slips through keeps running remotely but
+			// its results are never fetched.
+			type rloc struct{ worker, remote string }
+			var locs []rloc
+			for _, rg := range j.sweep.ranges {
+				if rg.worker != "" && !rg.done && !rg.failed {
+					if w := d.workers[rg.worker]; w != nil {
+						w.outstanding--
+					}
+					if rg.remote != "" {
+						locs = append(locs, rloc{rg.worker, rg.remote})
+					}
+				}
+			}
+			d.finishLocked(j, jobs.StateCanceled)
+			d.enqueueLocked(j, store.Event{T: store.EvCanceled, Job: j.id, Trace: j.trace, At: j.finished})
+			st := d.statusLocked(j)
+			d.mu.Unlock()
+			for _, loc := range locs {
+				if w := d.workerByName(loc.worker); w != nil {
+					cctx, ccancel := context.WithTimeout(ctx, d.opts.RequestTimeout)
+					w.c.cancel(cctx, loc.remote)
+					ccancel()
+				}
+			}
+			d.flushDirty()
+			d.flushJob(j) // the 200 must not outrun the canceled event's fsync
+			return st, nil
+		}
 		workerName, remote := j.worker, j.remote
 		if workerName == "" || remote == "" {
 			// Not yet (or no longer) assigned: cancel locally; the runner
@@ -1240,6 +1319,7 @@ func (d *Dispatcher) Stats() Stats {
 	s.Readmitted = d.met.readmitted.Value()
 	s.Recovered = d.met.recovered.Value()
 	s.Reattached = d.met.reattached.Value()
+	s.Sweeps = d.met.sweeps.Value()
 	d.mu.Lock()
 	s.Workers = len(d.workers)
 	for _, w := range d.workers {

@@ -22,13 +22,18 @@ import (
 //	GET    /v1/jobs/{id}        dispatch status incl. worker + remote ID
 //	GET    /v1/jobs/{id}/result result proxied from the owning worker
 //	DELETE /v1/jobs/{id}        cancel, forwarded to the owning worker
+//	POST   /v1/sweeps           parameter sweep → scattered range-wise (202)
+//	GET    /v1/sweeps/{id}      merged, globally indexed per-point results
 //	GET    /v1/engines          union of engines across healthy workers
 //	GET    /v1/stats            dispatcher + per-worker + fleet aggregate
 //
 // POST /v1/jobs?shards=N forwards the pin to whichever worker runs the
-// job. Submissions are accepted as long as the dispatcher is up — if no
-// worker is reachable the job queues (durably, when journaled) until the
-// fleet returns.
+// job. GET /v1/jobs/{id} and GET /v1/sweeps/{id} accept ?wait=<duration>
+// to long-poll: the response is delayed until the job turns terminal or
+// the duration (capped at 60s) elapses, whichever is first. Submissions
+// are accepted as long as the dispatcher is up — if no worker is
+// reachable the job queues (durably, when journaled) until the fleet
+// returns.
 func NewHandler(d *Dispatcher) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -38,12 +43,22 @@ func NewHandler(d *Dispatcher) http.Handler {
 		handleList(d, w, r)
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		st, err := d.Status(r.PathValue("id"))
+		wait, ok := waitParam(w, r)
+		if !ok {
+			return
+		}
+		st, err := d.WaitTimeout(r.PathValue("id"), wait)
 		if err != nil {
 			jobs.WriteJSON(w, http.StatusNotFound, jobs.ErrorJSON{Error: err.Error()})
 			return
 		}
 		jobs.WriteJSON(w, http.StatusOK, statusToJSON(st))
+	})
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		handleSweepSubmit(d, w, r)
+	})
+	mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleSweepResult(d, w, r)
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
 		handleResult(d, w, r)
@@ -85,11 +100,36 @@ type statusJSON struct {
 	Coalesced   bool       `json:"coalesced,omitempty"`
 	Shards      int        `json:"shards,omitempty"`
 	Reforwards  int        `json:"reforwards,omitempty"`
+	Sweep       bool       `json:"sweep,omitempty"`
+	Points      int        `json:"points,omitempty"`
+	PointsDone  int        `json:"points_done,omitempty"`
 	Error       string     `json:"error,omitempty"`
 	SubmittedAt string     `json:"submitted_at"`
 	StartedAt   string     `json:"started_at,omitempty"`
 	FinishedAt  string     `json:"finished_at,omitempty"`
 	Spans       []obs.Span `json:"spans,omitempty"`
+}
+
+// maxLongPoll caps ?wait= so a stuck client cannot pin a handler
+// goroutine indefinitely; clients re-issue the poll to keep waiting.
+const maxLongPoll = 60 * time.Second
+
+// waitParam parses ?wait=<duration>. ok=false means the handler already
+// answered 400.
+func waitParam(w http.ResponseWriter, r *http.Request) (time.Duration, bool) {
+	raw := r.URL.Query().Get("wait")
+	if raw == "" {
+		return 0, true
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil || d < 0 {
+		jobs.WriteJSON(w, http.StatusBadRequest, jobs.ErrorJSON{Error: fmt.Sprintf("fleet: invalid wait %q", raw)})
+		return 0, false
+	}
+	if d > maxLongPoll {
+		d = maxLongPoll
+	}
+	return d, true
 }
 
 func statusToJSON(st Status) statusJSON {
@@ -105,6 +145,9 @@ func statusToJSON(st Status) statusJSON {
 		Coalesced:   st.Coalesced,
 		Shards:      st.Shards,
 		Reforwards:  st.Reforwards,
+		Sweep:       st.Sweep,
+		Points:      st.Points,
+		PointsDone:  st.PointsDone,
 		Error:       st.Error,
 		SubmittedAt: st.SubmittedAt.UTC().Format(time.RFC3339Nano),
 	}
@@ -211,6 +254,80 @@ func handleResult(d *Dispatcher, w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	w.Write(body)
+}
+
+func handleSweepSubmit(d *Dispatcher, w http.ResponseWriter, r *http.Request) {
+	defer r.Body.Close()
+	raw, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, jobs.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			jobs.WriteJSON(w, http.StatusRequestEntityTooLarge,
+				jobs.ErrorJSON{Error: fmt.Sprintf("fleet: body exceeds %d bytes", jobs.MaxBodyBytes)})
+		} else {
+			jobs.WriteJSON(w, http.StatusBadRequest, jobs.ErrorJSON{Error: err.Error()})
+		}
+		return
+	}
+	b, err := bundle.FromJSON(raw, qop.ValidateOptions{AllowMidCircuit: d.opts.AllowMidCircuit})
+	if err != nil {
+		jobs.WriteJSON(w, http.StatusBadRequest, jobs.ErrorJSON{Error: err.Error()})
+		return
+	}
+	st, err := d.SubmitSweepTraced(b, r.Header.Get(obs.TraceHeader))
+	switch {
+	case errors.Is(err, jobs.ErrClosed):
+		jobs.WriteJSON(w, http.StatusServiceUnavailable, jobs.ErrorJSON{Error: err.Error()})
+		return
+	case err != nil:
+		jobs.WriteJSON(w, http.StatusBadRequest, jobs.ErrorJSON{Error: err.Error()})
+		return
+	}
+	w.Header().Set(obs.TraceHeader, st.Trace)
+	jobs.WriteJSON(w, http.StatusAccepted, map[string]any{
+		"id": st.ID, "trace_id": st.Trace, "state": st.State, "points": st.Points,
+	})
+}
+
+func handleSweepResult(d *Dispatcher, w http.ResponseWriter, r *http.Request) {
+	wait, ok := waitParam(w, r)
+	if !ok {
+		return
+	}
+	id := r.PathValue("id")
+	st, err := d.WaitTimeout(id, wait)
+	if err != nil {
+		jobs.WriteJSON(w, http.StatusNotFound, jobs.ErrorJSON{Error: err.Error()})
+		return
+	}
+	merged, engine, err := d.SweepResult(r.Context(), id)
+	if err != nil {
+		switch {
+		case errors.Is(err, jobs.ErrNotFound):
+			jobs.WriteJSON(w, http.StatusNotFound, jobs.ErrorJSON{Error: err.Error()})
+		case errors.Is(err, ErrNotSweep):
+			jobs.WriteJSON(w, http.StatusBadRequest, jobs.ErrorJSON{Error: err.Error()})
+		case errors.Is(err, jobs.ErrNotFinished):
+			// Still in flight: answer progress, mirroring the worker tier.
+			jobs.WriteJSON(w, http.StatusAccepted, statusToJSON(st))
+		case errors.Is(err, jobs.ErrCanceled):
+			jobs.WriteJSON(w, http.StatusGone, jobs.ErrorJSON{Error: err.Error()})
+		case errors.Is(err, ErrJobFailed):
+			jobs.WriteJSON(w, http.StatusInternalServerError, jobs.ErrorJSON{Error: err.Error()})
+		default:
+			jobs.WriteJSON(w, http.StatusBadGateway, jobs.ErrorJSON{Error: err.Error()})
+		}
+		return
+	}
+	jobs.WriteJSON(w, http.StatusOK, map[string]any{
+		"id":          st.ID,
+		"trace_id":    st.Trace,
+		"state":       st.State,
+		"engine":      engine,
+		"points":      st.Points,
+		"points_done": st.PointsDone,
+		"results":     merged,
+	})
 }
 
 func handleCancel(d *Dispatcher, w http.ResponseWriter, r *http.Request) {

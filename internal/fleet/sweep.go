@@ -1,0 +1,626 @@
+// Sweep scatter: the dispatcher accepts a parameter-sweep bundle as ONE
+// job, splits its point grid into contiguous ranges — one per healthy
+// worker — and forwards each range to its worker as an independent
+// sub-sweep bundle (the template with Context.Sweep.Points sliced).
+// Each range has its own watcher; when a worker dies mid-sweep only its
+// unfinished ranges re-forward, finished ranges keep their results where
+// they are. GET /v1/sweeps/{id} merges the per-range result sets back
+// into one globally indexed set. Because BindPoint strips the sweep
+// block before fingerprinting, a point bound from a sub-range template
+// is bit-identical — counts, cache key, intent fingerprint — to the same
+// point bound from the full template, which is what makes the scattered
+// result set indistinguishable from a single-node sweep.
+
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bundle"
+	"repro/internal/jobs"
+	"repro/internal/jobs/store"
+	"repro/internal/obs"
+	"repro/internal/qop"
+)
+
+// ErrNotSweep marks a sweep-only operation on a plain job; the HTTP
+// layer maps it to 400.
+var ErrNotSweep = errors.New("fleet: not a sweep job")
+
+// sweepRange is one contiguous slice [from,to) of the point grid,
+// forwarded to a worker as an independent sub-sweep. Mutable fields are
+// guarded by Dispatcher.mu.
+type sweepRange struct {
+	from, to   int
+	raw        json.RawMessage // sub-sweep bundle for this range
+	prefer     string          // scatter-time worker choice, for initial spread
+	worker     string          // owning node ("" while unassigned)
+	remote     string          // sweep job ID on that node
+	avoid      string          // node to skip on the next forward
+	forwards   int
+	pointsDone int // remote progress, range-local
+	done       bool
+	failed     bool
+	errMsg     string
+}
+
+// sweepScatter is the dispatcher-side state of one sweep job. ranges is
+// nil until runSweep scatters (and stays nil for terminal records
+// recovered from the journal — their per-range assignments are not
+// retained, only the merged outcome).
+type sweepScatter struct {
+	points int
+	ranges []*sweepRange
+}
+
+// pointsDoneLocked sums per-range progress. Callers hold Dispatcher.mu.
+func (s *sweepScatter) pointsDoneLocked() int {
+	n := 0
+	for _, r := range s.ranges {
+		if r.done {
+			n += r.to - r.from
+		} else {
+			n += r.pointsDone
+		}
+	}
+	return n
+}
+
+// SubmitSweep accepts a parameter-sweep bundle as one dispatched job.
+func (d *Dispatcher) SubmitSweep(b *bundle.Bundle) (Status, error) {
+	return d.SubmitSweepTraced(b, "")
+}
+
+// SubmitSweepTraced is SubmitSweep with an explicit trace ID. The grid
+// journals as ONE record; the scatter happens after acceptance.
+func (d *Dispatcher) SubmitSweepTraced(b *bundle.Bundle, traceID string) (Status, error) {
+	if b == nil {
+		return Status{}, errors.New("fleet: nil bundle")
+	}
+	if b.Context == nil || b.Context.Sweep == nil {
+		return Status{}, errors.New("fleet: bundle has no sweep context block")
+	}
+	n := len(b.Context.Sweep.Points)
+	if n == 0 {
+		return Status{}, errors.New("fleet: sweep has no points")
+	}
+	if n > jobs.MaxSweepPoints {
+		return Status{}, fmt.Errorf("fleet: sweep has %d points, max %d", n, jobs.MaxSweepPoints)
+	}
+	key, err := jobs.CacheKey(b)
+	if err != nil {
+		return Status{}, err
+	}
+	raw, err := json.Marshal(b)
+	if err != nil {
+		return Status{}, fmt.Errorf("fleet: marshal bundle: %w", err)
+	}
+	engine := jobs.ResolveEngine(b)
+	now := time.Now()
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return Status{}, jobs.ErrClosed
+	}
+	d.nextID++
+	j := &fwdJob{
+		id:        fmt.Sprintf("job-%08d", d.nextID),
+		trace:     obs.EnsureTraceID(traceID),
+		key:       key,
+		engine:    engine,
+		raw:       raw,
+		state:     jobs.StateQueued,
+		submitted: now,
+		sweep:     &sweepScatter{points: n},
+		done:      make(chan struct{}),
+	}
+	// Sweeps skip the in-flight coalescing table: their work is spread
+	// over the fleet, so there is no single "primary worker" to pin a
+	// twin to.
+	d.jobs[j.id] = j
+	d.met.submitted.Inc()
+	d.met.sweeps.Inc()
+	j.spanLocked("queued", 0, fmt.Sprintf("sweep points=%d", n))
+	d.enqueueLocked(j, store.Event{T: store.EvSubmitted, Job: j.id, Trace: j.trace, At: now, Key: key, Engine: engine, Bundle: raw, Points: n})
+	d.wg.Add(1)
+	st := d.statusLocked(j)
+	d.mu.Unlock()
+	d.log.Info("sweep accepted", "job", j.id, "trace", j.trace, "engine", engine, "points", n)
+	d.flushDirty()
+	d.flushJob(j) // the 202 must not outrun the submitted event's fsync
+	go d.runJob(j)
+	return st, nil
+}
+
+// runSweep owns one sweep's scatter-and-watch lifecycle. Called from
+// runJob, which holds the WaitGroup slot.
+func (d *Dispatcher) runSweep(j *fwdJob) {
+	tmpl, err := bundle.FromJSON(j.raw, qop.ValidateOptions{AllowMidCircuit: d.opts.AllowMidCircuit})
+	if err != nil {
+		d.failSweep(j, fmt.Sprintf("fleet: sweep template: %v", err))
+		return
+	}
+	points := tmpl.Context.Sweep.Points
+
+	// Scatter over however many workers are healthy right now; with none
+	// reachable, wait — the journal already holds the job.
+	var names []string
+	for d.ctx.Err() == nil {
+		names = d.healthyNames()
+		if len(names) > 0 {
+			break
+		}
+		d.mu.Lock()
+		terminal := j.state.Terminal()
+		d.mu.Unlock()
+		if terminal || !d.sleep(d.opts.ProbeInterval, j) {
+			return
+		}
+	}
+	if d.ctx.Err() != nil {
+		return
+	}
+	k := len(names)
+	if k > len(points) {
+		k = len(points)
+	}
+	ranges := make([]*sweepRange, 0, k)
+	per, extra := len(points)/k, len(points)%k
+	from := 0
+	for i := 0; i < k; i++ {
+		to := from + per
+		if i < extra {
+			to++
+		}
+		sub, err := subSweepRaw(tmpl, from, to)
+		if err != nil {
+			d.failSweep(j, fmt.Sprintf("fleet: slice sweep range [%d,%d): %v", from, to, err))
+			return
+		}
+		ranges = append(ranges, &sweepRange{from: from, to: to, raw: sub, prefer: names[i]})
+		from = to
+	}
+
+	d.mu.Lock()
+	if j.state.Terminal() { // canceled while slicing
+		d.mu.Unlock()
+		return
+	}
+	j.sweep.ranges = ranges
+	j.spanLocked("scattered", 0, fmt.Sprintf("%d points over %d ranges", len(points), k))
+	d.mu.Unlock()
+	d.log.Info("sweep scattered", "job", j.id, "trace", j.trace, "points", len(points), "ranges", k)
+
+	var wg sync.WaitGroup
+	for _, r := range ranges {
+		wg.Add(1)
+		go func(r *sweepRange) {
+			defer wg.Done()
+			d.runRange(j, r)
+		}(r)
+	}
+	wg.Wait()
+
+	d.mu.Lock()
+	if j.state.Terminal() {
+		d.mu.Unlock()
+		return
+	}
+	allDone, errMsg := true, ""
+	for _, r := range ranges {
+		if r.failed && errMsg == "" {
+			errMsg = r.errMsg
+		}
+		if !r.done {
+			allDone = false
+		}
+	}
+	switch {
+	case errMsg != "":
+		j.errMsg = errMsg
+		d.finishLocked(j, jobs.StateFailed)
+		d.enqueueLocked(j, store.Event{T: store.EvFailed, Job: j.id, Trace: j.trace, At: j.finished, Engine: j.engine, Error: errMsg})
+	case allDone:
+		d.finishLocked(j, jobs.StateDone)
+		d.enqueueLocked(j, store.Event{T: store.EvDone, Job: j.id, Trace: j.trace, At: j.finished, Engine: j.engine})
+	default:
+		// Dispatcher shutting down mid-sweep: the journal keeps the job
+		// queued; the next process life re-scatters it.
+		d.mu.Unlock()
+		return
+	}
+	d.mu.Unlock()
+	d.flushDirty()
+}
+
+// failSweep marks the whole sweep failed before any range forwarded.
+func (d *Dispatcher) failSweep(j *fwdJob, msg string) {
+	d.mu.Lock()
+	if j.state.Terminal() {
+		d.mu.Unlock()
+		return
+	}
+	j.errMsg = msg
+	d.finishLocked(j, jobs.StateFailed)
+	d.enqueueLocked(j, store.Event{T: store.EvFailed, Job: j.id, Trace: j.trace, At: j.finished, Error: msg})
+	d.mu.Unlock()
+	d.flushDirty()
+}
+
+// runRange owns one range's forwarding lifecycle, mirroring runJob: it
+// assigns a worker, watches the remote sub-sweep, and re-forwards THIS
+// range — and only this range — when its worker dies or forgets it.
+func (d *Dispatcher) runRange(j *fwdJob, r *sweepRange) {
+	pollFails := 0
+	for d.ctx.Err() == nil {
+		d.mu.Lock()
+		if j.state.Terminal() || r.done || r.failed {
+			d.mu.Unlock()
+			return
+		}
+		workerName, remote := r.worker, r.remote
+		d.mu.Unlock()
+
+		if workerName == "" || remote == "" {
+			if !d.forwardRange(j, r) {
+				if !d.sleep(d.opts.ProbeInterval, j) {
+					return
+				}
+			}
+			pollFails = 0
+			continue
+		}
+
+		w := d.workerByName(workerName)
+		ctx, cancel := context.WithTimeout(d.ctx, d.opts.RequestTimeout)
+		st, notFound, err := w.c.status(ctx, remote)
+		cancel()
+		switch {
+		case err != nil:
+			pollFails++
+			if pollFails >= d.opts.ReforwardAfter {
+				d.detachRange(j, r, workerName)
+				pollFails = 0
+				continue
+			}
+		case notFound:
+			d.detachRange(j, r, workerName)
+			pollFails = 0
+			continue
+		default:
+			pollFails = 0
+			if d.observeRange(j, r, st) {
+				return
+			}
+		}
+		if !d.sleep(d.opts.PollInterval, j) {
+			return
+		}
+	}
+}
+
+// forwardRange assigns the range to a worker and POSTs its sub-sweep.
+// The scatter-time preferred node is tried first so concurrent ranges
+// spread across the fleet; on refusal it rotates through the remaining
+// healthy workers, least-loaded first, skipping the node that just lost
+// the range.
+func (d *Dispatcher) forwardRange(j *fwdJob, r *sweepRange) bool {
+	tried := map[string]bool{}
+	d.mu.Lock()
+	avoid, prefer := r.avoid, r.prefer
+	d.mu.Unlock()
+	if avoid != "" {
+		tried[avoid] = true
+	}
+	for round := 0; ; {
+		name := ""
+		if prefer != "" && !tried[prefer] && d.workerOK(prefer) {
+			name = prefer
+		} else {
+			name = d.leastLoaded(tried)
+		}
+		if name == "" {
+			if round == 0 && avoid != "" {
+				// Everything else is down; the avoided node may be the only
+				// fleet left. Allow it.
+				delete(tried, avoid)
+				round++
+				continue
+			}
+			return false
+		}
+		tried[name] = true
+		w := d.workerByName(name)
+		ctx, cancel := context.WithTimeout(d.ctx, d.opts.RequestTimeout)
+		rtStart := time.Now()
+		sub, err := w.c.submitSweep(ctx, r.raw, j.trace)
+		rt := time.Since(rtStart)
+		cancel()
+		if err != nil {
+			continue // busy or unreachable: next candidate
+		}
+		d.met.roundtrip.Observe(rt)
+		d.mu.Lock()
+		if j.state.Terminal() { // canceled while forwarding
+			d.mu.Unlock()
+			cctx, ccancel := context.WithTimeout(d.ctx, d.opts.RequestTimeout)
+			w.c.cancel(cctx, sub.ID)
+			ccancel()
+			return true
+		}
+		r.worker, r.remote = name, sub.ID
+		r.avoid = ""
+		r.forwards++
+		reforward := r.forwards > 1
+		if reforward {
+			d.met.reforwarded.Inc()
+			j.spanLocked("assigned", rt, fmt.Sprintf("range [%d,%d) re-forwarded to %s as %s", r.from, r.to, name, sub.ID))
+		} else {
+			j.spanLocked("assigned", rt, fmt.Sprintf("range [%d,%d) to %s as %s", r.from, r.to, name, sub.ID))
+		}
+		d.met.forwarded.Inc()
+		w.outstanding++
+		d.enqueueLocked(j, store.Event{T: store.EvAssigned, Job: j.id, Trace: j.trace, At: time.Now(), Worker: name, Remote: sub.ID, From: r.from, To: r.to})
+		d.mu.Unlock()
+		if reforward {
+			d.log.Warn("sweep range re-forwarded", "job", j.id, "trace", j.trace, "from", r.from, "to", r.to, "worker", name, "remote", sub.ID)
+		} else {
+			d.log.Info("sweep range forwarded", "job", j.id, "trace", j.trace, "from", r.from, "to", r.to, "worker", name, "remote", sub.ID)
+		}
+		d.flushDirty()
+		return true
+	}
+}
+
+// workerOK reports whether the named worker exists and is healthy.
+func (d *Dispatcher) workerOK(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	w := d.workers[name]
+	return w != nil && w.healthy
+}
+
+// leastLoaded picks the healthy worker with the fewest outstanding
+// dispatched jobs, excluding tried.
+func (d *Dispatcher) leastLoaded(tried map[string]bool) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var least *worker
+	for _, name := range d.names {
+		w := d.workers[name]
+		if w == nil || !w.healthy || tried[name] {
+			continue
+		}
+		if least == nil || w.outstanding < least.outstanding {
+			least = w
+		}
+	}
+	if least == nil {
+		return ""
+	}
+	return least.name
+}
+
+// healthyNames snapshots the healthy workers in configured order.
+func (d *Dispatcher) healthyNames() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	for _, name := range d.names {
+		if w := d.workers[name]; w != nil && w.healthy {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// detachRange severs one range from a worker that died or forgot it;
+// the range's watcher forwards it elsewhere next. Other ranges keep
+// their assignments — only unfinished work moves.
+func (d *Dispatcher) detachRange(j *fwdJob, r *sweepRange, workerName string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if j.state.Terminal() || r.done || r.failed {
+		return
+	}
+	if r.worker != workerName { // raced with a re-forward
+		return
+	}
+	r.worker, r.remote = "", ""
+	r.avoid = workerName
+	r.pointsDone = 0 // the replacement worker re-runs the whole range
+	if w := d.workers[workerName]; w != nil {
+		w.outstanding--
+	}
+	j.spanLocked("detached", 0, fmt.Sprintf("range [%d,%d): worker %s lost the sub-sweep", r.from, r.to, workerName))
+	d.log.Warn("sweep range detached", "job", j.id, "trace", j.trace, "from", r.from, "to", r.to, "worker", workerName)
+}
+
+// observeRange folds a remote sub-sweep status into the range. Returns
+// true when the range reached a terminal state.
+func (d *Dispatcher) observeRange(j *fwdJob, r *sweepRange, st remoteStatus) bool {
+	d.mu.Lock()
+	if j.state.Terminal() || r.done || r.failed {
+		d.mu.Unlock()
+		return true
+	}
+	if st.Engine != "" {
+		j.engine = st.Engine
+	}
+	if st.PointsDone > r.pointsDone {
+		r.pointsDone = st.PointsDone
+	}
+	enqueued := false
+	switch jobs.State(st.State) {
+	case jobs.StateRunning:
+		if j.state == jobs.StateQueued {
+			j.state = jobs.StateRunning
+			j.started = time.Now()
+			j.spanLocked("started", 0, "first range running on "+r.worker)
+			d.enqueueLocked(j, store.Event{T: store.EvStarted, Job: j.id, Trace: j.trace, At: j.started, Shards: st.Shards})
+			enqueued = true
+		}
+	case jobs.StateDone:
+		r.done = true
+		r.pointsDone = r.to - r.from
+		if w := d.workers[r.worker]; w != nil {
+			w.outstanding--
+		}
+		j.spanLocked("range done", 0, fmt.Sprintf("[%d,%d) on %s", r.from, r.to, r.worker))
+	case jobs.StateFailed:
+		r.failed = true
+		r.errMsg = st.Error
+		if w := d.workers[r.worker]; w != nil {
+			w.outstanding--
+		}
+		j.spanLocked("range failed", 0, fmt.Sprintf("[%d,%d) on %s: %s", r.from, r.to, r.worker, st.Error))
+	case jobs.StateCanceled:
+		// Canceled out-of-band on the worker: treat as a range failure so
+		// the sweep surfaces it rather than hanging.
+		r.failed = true
+		r.errMsg = fmt.Sprintf("fleet: range [%d,%d) canceled on worker %s", r.from, r.to, r.worker)
+	}
+	terminal := r.done || r.failed
+	d.mu.Unlock()
+	if enqueued {
+		d.flushDirty()
+	}
+	return terminal
+}
+
+// subSweepRaw renders the template with its point grid sliced to
+// [from,to) — the independent sub-sweep bundle one worker runs. Only the
+// context block is copied; registers and operators are shared.
+func subSweepRaw(tmpl *bundle.Bundle, from, to int) (json.RawMessage, error) {
+	cp := *tmpl
+	ctx := *tmpl.Context
+	sw := *ctx.Sweep
+	sw.Points = sw.Points[from:to]
+	ctx.Sweep = &sw
+	cp.Context = &ctx
+	raw, err := json.Marshal(&cp)
+	if err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// SweepPointJSON is one merged per-point result in a dispatcher sweep
+// result document; Index is the global grid index.
+type SweepPointJSON struct {
+	Index   int            `json:"index"`
+	Engine  string         `json:"engine,omitempty"`
+	Samples int            `json:"samples,omitempty"`
+	Entries []any          `json:"entries"`
+	Meta    map[string]any `json:"meta,omitempty"`
+}
+
+// remoteSweepDoc is a worker's GET /v1/sweeps/{id} document (the fields
+// the dispatcher merges).
+type remoteSweepDoc struct {
+	Engine  string           `json:"engine"`
+	Results []SweepPointJSON `json:"results"`
+}
+
+// SweepResult merges the per-range result sets from their owning
+// workers into one globally indexed set. Only terminal sweeps answer;
+// a sweep recovered as terminal from the journal after a dispatcher
+// restart no longer knows its range assignments and reports that
+// explicitly.
+func (d *Dispatcher) SweepResult(ctx context.Context, id string) ([]SweepPointJSON, string, error) {
+	d.mu.Lock()
+	j, ok := d.jobs[id]
+	if !ok {
+		d.mu.Unlock()
+		return nil, "", fmt.Errorf("%w: %q", jobs.ErrNotFound, id)
+	}
+	if j.sweep == nil {
+		d.mu.Unlock()
+		return nil, "", fmt.Errorf("%w: %q", ErrNotSweep, id)
+	}
+	state, engine, errMsg := j.state, j.engine, j.errMsg
+	type rloc struct {
+		from, to       int
+		worker, remote string
+	}
+	locs := make([]rloc, 0, len(j.sweep.ranges))
+	for _, r := range j.sweep.ranges {
+		locs = append(locs, rloc{from: r.from, to: r.to, worker: r.worker, remote: r.remote})
+	}
+	points := j.sweep.points
+	d.mu.Unlock()
+
+	switch state {
+	case jobs.StateFailed:
+		return nil, "", fmt.Errorf("%w: %s", ErrJobFailed, errMsg)
+	case jobs.StateCanceled:
+		return nil, "", fmt.Errorf("%w: %q", jobs.ErrCanceled, id)
+	case jobs.StateDone:
+	default:
+		return nil, "", fmt.Errorf("%w: %q is %s", jobs.ErrNotFinished, id, state)
+	}
+	if len(locs) == 0 {
+		return nil, "", fmt.Errorf("fleet: sweep %q finished before this dispatcher started; its range assignments were not retained — resubmit the sweep", id)
+	}
+	merged := make([]SweepPointJSON, points)
+	for _, loc := range locs {
+		w := d.workerByName(loc.worker)
+		if w == nil {
+			return nil, "", fmt.Errorf("fleet: sweep %q range [%d,%d) belongs to unknown worker %q", id, loc.from, loc.to, loc.worker)
+		}
+		cctx, cancel := context.WithTimeout(ctx, d.opts.RequestTimeout)
+		code, body, err := w.c.sweepResultRaw(cctx, loc.remote)
+		cancel()
+		if err != nil {
+			return nil, "", err
+		}
+		if code != 200 {
+			return nil, "", fmt.Errorf("fleet: %s: sweep result for range [%d,%d): %s", loc.worker, loc.from, loc.to, decodeErr(code, body))
+		}
+		var doc remoteSweepDoc
+		if err := json.Unmarshal(body, &doc); err != nil {
+			return nil, "", fmt.Errorf("fleet: %s: sweep result body: %w", loc.worker, err)
+		}
+		if len(doc.Results) != loc.to-loc.from {
+			return nil, "", fmt.Errorf("fleet: %s answered %d results for range [%d,%d)", loc.worker, len(doc.Results), loc.from, loc.to)
+		}
+		for _, pt := range doc.Results {
+			gi := loc.from + pt.Index
+			if gi < 0 || gi >= points {
+				return nil, "", fmt.Errorf("fleet: %s answered out-of-range point %d for range [%d,%d)", loc.worker, pt.Index, loc.from, loc.to)
+			}
+			pt.Index = gi
+			merged[gi] = pt
+		}
+	}
+	return merged, engine, nil
+}
+
+// WaitTimeout blocks until the job is terminal or the duration elapses,
+// then returns its snapshot — the long-poll primitive behind ?wait=.
+// Non-positive durations degenerate to Status.
+func (d *Dispatcher) WaitTimeout(id string, dur time.Duration) (Status, error) {
+	d.mu.Lock()
+	j, ok := d.jobs[id]
+	d.mu.Unlock()
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %q", jobs.ErrNotFound, id)
+	}
+	if dur > 0 {
+		t := time.NewTimer(dur)
+		select {
+		case <-j.done:
+		case <-t.C:
+		}
+		t.Stop()
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.statusLocked(j), nil
+}

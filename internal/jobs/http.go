@@ -26,11 +26,27 @@ const MaxBodyBytes = 8 << 20
 //
 //	POST   /v1/jobs             submit a job.json bundle → 202 {id,state,cache_hit}
 //	GET    /v1/jobs             job history listing (?state=done&limit=100)
-//	GET    /v1/jobs/{id}        lifecycle status + timing
+//	GET    /v1/jobs/{id}        lifecycle status + timing (?wait=5s long-polls)
 //	GET    /v1/jobs/{id}/result decoded result (202 while pending)
 //	DELETE /v1/jobs/{id}        cancel a queued (or coalesced) job
+//	POST   /v1/sweeps           submit a sweep bundle → 202 {id,state,points}
+//	GET    /v1/sweeps/{id}      indexed per-point result set (?wait=5s long-polls)
 //	GET    /v1/engines          registered engine names
 //	GET    /v1/stats            pool counters incl. cache_hits, coalesced, wide_jobs
+//
+// A sweep bundle is an ordinary job.json whose context carries a sweep
+// block ({"params": [...], "points": [[...], ...]}) and whose operator
+// parameters reference the swept names as "$name" markers. The whole grid
+// is ONE job: one queue slot, one journal record, per-point fan-out when
+// it runs (see SubmitSweep). GET /v1/sweeps/{id} answers 202 with the
+// lifecycle status (including points_done progress) until the sweep is
+// terminal, then the indexed result set.
+//
+// ?wait=<duration> on GET /v1/jobs/{id} and GET /v1/sweeps/{id} long-polls:
+// the response is held until the job turns terminal or the duration
+// (capped at 60s) elapses, whichever is first, then carries the status at
+// that moment. Pollers get an answer in one round-trip instead of a
+// retry loop.
 //
 // POST /v1/jobs?shards=N pins the statevector parallelism grant for that
 // job (0 or absent: the scheduler gives a lone simulation the pool's
@@ -58,6 +74,12 @@ func NewHandler(p *Pool) http.Handler {
 	})
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		handleCancel(p, w, r)
+	})
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		handleSweepSubmit(p, w, r)
+	})
+	mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleSweepResult(p, w, r)
 	})
 	mux.HandleFunc("GET /v1/engines", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"engines": backend.Engines()})
@@ -96,6 +118,9 @@ type statusJSON struct {
 	CacheHit    bool       `json:"cache_hit"`
 	Coalesced   bool       `json:"coalesced,omitempty"`
 	Shards      int        `json:"shards,omitempty"`
+	Sweep       bool       `json:"sweep,omitempty"`
+	Points      int        `json:"points,omitempty"`
+	PointsDone  int        `json:"points_done,omitempty"`
 	Error       string     `json:"error,omitempty"`
 	SubmittedAt string     `json:"submitted_at"`
 	StartedAt   string     `json:"started_at,omitempty"`
@@ -191,8 +216,35 @@ func handleList(p *Pool, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// maxLongPoll caps the ?wait= long-poll duration so a handler goroutine
+// never hangs past proxy/server timeouts.
+const maxLongPoll = 60 * time.Second
+
+// waitParam parses the ?wait= long-poll duration. ok=false means the
+// parameter was present but invalid (the caller has already replied).
+func waitParam(w http.ResponseWriter, r *http.Request) (time.Duration, bool) {
+	raw := r.URL.Query().Get("wait")
+	if raw == "" {
+		return 0, true
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil || d < 0 {
+		writeJSON(w, http.StatusBadRequest, errorJSON{fmt.Sprintf("jobs: invalid wait %q", raw)})
+		return 0, false
+	}
+	if d > maxLongPoll {
+		d = maxLongPoll
+	}
+	return d, true
+}
+
 func handleStatus(p *Pool, w http.ResponseWriter, r *http.Request) {
-	st, err := p.Status(r.PathValue("id"))
+	wait, ok := waitParam(w, r)
+	if !ok {
+		return
+	}
+	id := r.PathValue("id")
+	st, err := p.WaitTimeout(id, wait)
 	if err != nil {
 		writeJSON(w, http.StatusNotFound, errorJSON{err.Error()})
 		return
@@ -239,6 +291,121 @@ func handleCancel(p *Pool, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statusToJSON(st))
 }
 
+type sweepSubmitJSON struct {
+	ID      string `json:"id"`
+	TraceID string `json:"trace_id,omitempty"`
+	State   State  `json:"state"`
+	Points  int    `json:"points"`
+}
+
+// sweepPointJSON is one indexed per-point result in a sweep result set.
+type sweepPointJSON struct {
+	Index   int            `json:"index"`
+	Engine  string         `json:"engine"`
+	Samples int            `json:"samples"`
+	Entries []entryJSON    `json:"entries"`
+	Meta    map[string]any `json:"meta,omitempty"`
+}
+
+type sweepResultJSON struct {
+	ID         string           `json:"id"`
+	TraceID    string           `json:"trace_id,omitempty"`
+	State      State            `json:"state"`
+	Engine     string           `json:"engine,omitempty"`
+	Points     int              `json:"points"`
+	PointsDone int              `json:"points_done"`
+	Results    []sweepPointJSON `json:"results"`
+}
+
+func handleSweepSubmit(p *Pool, w http.ResponseWriter, r *http.Request) {
+	raw, err := readBody(w, r)
+	if err != nil {
+		return // readBody already replied
+	}
+	b, err := bundle.FromJSON(raw, qop.ValidateOptions{AllowMidCircuit: p.opts.Run.AllowMidCircuit})
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		return
+	}
+	var so SubmitOptions
+	if raw := r.URL.Query().Get("shards"); raw != "" {
+		shards, err := strconv.Atoi(raw)
+		if err != nil || shards < 0 {
+			writeJSON(w, http.StatusBadRequest, errorJSON{fmt.Sprintf("jobs: invalid shards %q", raw)})
+			return
+		}
+		so.Shards = shards
+	}
+	so.TraceID = r.Header.Get(obs.TraceHeader)
+	st, err := p.submitSweep(b, so)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorJSON{err.Error()})
+		return
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{err.Error()})
+		return
+	case err != nil:
+		// Everything else is a malformed sweep submission (missing sweep
+		// block, empty or oversized grid, unkeyable bundle).
+		writeJSON(w, http.StatusBadRequest, errorJSON{err.Error()})
+		return
+	}
+	w.Header().Set(obs.TraceHeader, st.Trace)
+	writeJSON(w, http.StatusAccepted, sweepSubmitJSON{ID: st.ID, TraceID: st.Trace, State: st.State, Points: st.Points})
+}
+
+func handleSweepResult(p *Pool, w http.ResponseWriter, r *http.Request) {
+	wait, ok := waitParam(w, r)
+	if !ok {
+		return
+	}
+	id := r.PathValue("id")
+	st, err := p.WaitTimeout(id, wait)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorJSON{err.Error()})
+		return
+	}
+	if !st.Sweep {
+		writeJSON(w, http.StatusBadRequest, errorJSON{fmt.Sprintf("jobs: %q is not a sweep", id)})
+		return
+	}
+	if !st.State.Terminal() {
+		// Still queued or running: report progress, poll (or ?wait=) again.
+		writeJSON(w, http.StatusAccepted, statusToJSON(st))
+		return
+	}
+	results, err := p.SweepResult(id)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrNotFound):
+			writeJSON(w, http.StatusNotFound, errorJSON{err.Error()})
+		case errors.Is(err, ErrCanceled):
+			writeJSON(w, http.StatusGone, errorJSON{err.Error()})
+		default: // execution failure, or a recovered result file is gone
+			writeJSON(w, http.StatusInternalServerError, errorJSON{err.Error()})
+		}
+		return
+	}
+	out := sweepResultJSON{
+		ID:         st.ID,
+		TraceID:    st.Trace,
+		State:      st.State,
+		Engine:     st.Engine,
+		Points:     st.Points,
+		PointsDone: st.PointsDone,
+		Results:    make([]sweepPointJSON, 0, len(results)),
+	}
+	for i, res := range results {
+		rj := resultToJSON(id, res)
+		out.Results = append(out.Results, sweepPointJSON{
+			Index: i, Engine: rj.Engine, Samples: rj.Samples, Entries: rj.Entries, Meta: rj.Meta,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 func statusToJSON(st Status) statusJSON {
 	out := statusJSON{
 		ID:          st.ID,
@@ -248,6 +415,9 @@ func statusToJSON(st Status) statusJSON {
 		CacheHit:    st.CacheHit,
 		Coalesced:   st.Coalesced,
 		Shards:      st.Shards,
+		Sweep:       st.Sweep,
+		Points:      st.Points,
+		PointsDone:  st.PointsDone,
 		Error:       st.Error,
 		SubmittedAt: st.SubmittedAt.UTC().Format(time.RFC3339Nano),
 		QueueMS:     float64(st.QueueWait) / float64(time.Millisecond),

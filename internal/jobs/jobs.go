@@ -49,6 +49,34 @@
 //     (Stats.DiskHits), so identical resubmissions across restarts still
 //     skip execution.
 //
+// # Sweep jobs
+//
+// A bundle whose context carries a sweep block — parameter names plus a
+// point grid — enters through SubmitSweep as ONE job: one journal
+// record (the submitted event stores the template with its grid), one
+// queue slot, one worker fanning out per point. The worker materializes
+// each point with bundle.BindPoint, which substitutes the point's
+// values into the "$name" markers and strips the sweep block: the
+// result is byte-for-byte the bundle a caller would have submitted for
+// that point alone. The per-point cache key is derived from that
+// concrete bundle exactly as a plain submission's would be (canonical
+// bundle JSON + resolved shots and seed, see CacheKey), so sweep points
+// hit, and populate, the same content-addressed cache as individual
+// jobs — a sweep after a per-point run (or vice versa) re-executes
+// nothing.
+//
+// Execution goes through runtime.SubmitSweep: the symbolic template
+// compiles once into a sim.ParamPlan and each point binds into it. The
+// bind-invariance contract (see internal/sim: structure, kernel order
+// and stats fixed across bindings; bound execution bit-identical to a
+// concrete compile) is what makes this sound — per-point counts,
+// fingerprints and cache keys are indistinguishable from the
+// concrete-angle path, so determinism-dependent machinery (cache,
+// crash requeue, fleet re-forwarding) needs no sweep-specific cases.
+// SweepResult returns the indexed per-point result set; the HTTP layer
+// surfaces the pair as POST /v1/sweeps and GET /v1/sweeps/{id}, and
+// GET /v1/jobs/{id} long-polls with ?wait=<duration>.
+//
 // cmd/qmlserve wraps a Pool in an HTTP server (see NewHandler) and wires
 // -data-dir to a store; cmd/qmlrun -parallel uses the same Pool for
 // concurrent batch execution.
@@ -183,6 +211,12 @@ type Status struct {
 	// Shards is the parallelism granted when the job started running (0
 	// while queued, and for cache hits and coalesced jobs).
 	Shards int
+	// Sweep reports a sweep job; Points is its parameter-grid size and
+	// PointsDone how many points have completed so far (equal to Points
+	// once the job is done).
+	Sweep      bool
+	Points     int
+	PointsDone int
 	// Error holds the failure message for StateFailed.
 	Error       string
 	SubmittedAt time.Time
@@ -231,6 +265,10 @@ type Stats struct {
 	Recovered uint64 `json:"recovered"`
 	Requeued  uint64 `json:"requeued"`
 	DiskHits  uint64 `json:"disk_hits"`
+	// Sweeps counts sweep submissions accepted; SweepPoints counts points
+	// completed by done sweeps (cached points included).
+	Sweeps      uint64 `json:"sweeps"`
+	SweepPoints uint64 `json:"sweep_points"`
 	// Build identifies the serving binary (Go version, VCS revision) so
 	// fleet operators can tell mixed-version workers apart.
 	Build obs.BuildInfo `json:"build"`
@@ -244,36 +282,40 @@ type Stats struct {
 // on /metrics (their exact nanosecond sums are Stats' total_queue_ns and
 // total_run_ns).
 type poolMetrics struct {
-	submitted *obs.Counter
-	completed *obs.Counter
-	failed    *obs.Counter
-	canceled  *obs.Counter
-	rejected  *obs.Counter
-	cacheHits *obs.Counter
-	diskHits  *obs.Counter
-	coalesced *obs.Counter
-	wideJobs  *obs.Counter
-	recovered *obs.Counter
-	requeued  *obs.Counter
-	queueWait *obs.Histogram
-	runTime   *obs.Histogram
+	submitted   *obs.Counter
+	completed   *obs.Counter
+	failed      *obs.Counter
+	canceled    *obs.Counter
+	rejected    *obs.Counter
+	cacheHits   *obs.Counter
+	diskHits    *obs.Counter
+	coalesced   *obs.Counter
+	wideJobs    *obs.Counter
+	recovered   *obs.Counter
+	requeued    *obs.Counter
+	sweeps      *obs.Counter
+	sweepPoints *obs.Counter
+	queueWait   *obs.Histogram
+	runTime     *obs.Histogram
 }
 
 func newPoolMetrics(reg *obs.Registry, p *Pool) *poolMetrics {
 	m := &poolMetrics{
-		submitted: reg.Counter("jobs_submitted_total", "Submissions accepted (rejected ones count in jobs_rejected_total only)."),
-		completed: reg.Counter("jobs_completed_total", "Jobs finished in StateDone, including cache hits and coalesced twins."),
-		failed:    reg.Counter("jobs_failed_total", "Jobs finished in StateFailed."),
-		canceled:  reg.Counter("jobs_canceled_total", "Jobs canceled while queued."),
-		rejected:  reg.Counter("jobs_rejected_total", "Submissions refused with ErrQueueFull."),
-		cacheHits: reg.Counter("jobs_cache_hits_total", "Submissions served from the content-addressed result cache."),
-		diskHits:  reg.Counter("jobs_disk_hits_total", "Submissions served from an on-disk result absent from the memory cache."),
-		coalesced: reg.Counter("jobs_coalesced_total", "Submissions attached to an identical in-flight job."),
-		wideJobs:  reg.Counter("jobs_wide_total", "Jobs granted more than one shard."),
-		recovered: reg.Counter("jobs_recovered_total", "Job records restored from the journal at boot."),
-		requeued:  reg.Counter("jobs_requeued_total", "Recovered jobs that re-entered the queue."),
-		queueWait: reg.Histogram("jobs_queue_wait_seconds", "Time from submission to execution start (or to completion for dequeue-time cache hits and coalesced twins).", nil),
-		runTime:   reg.Histogram("jobs_run_seconds", "Execution wall time of jobs that ran.", nil),
+		submitted:   reg.Counter("jobs_submitted_total", "Submissions accepted (rejected ones count in jobs_rejected_total only)."),
+		completed:   reg.Counter("jobs_completed_total", "Jobs finished in StateDone, including cache hits and coalesced twins."),
+		failed:      reg.Counter("jobs_failed_total", "Jobs finished in StateFailed."),
+		canceled:    reg.Counter("jobs_canceled_total", "Jobs canceled while queued."),
+		rejected:    reg.Counter("jobs_rejected_total", "Submissions refused with ErrQueueFull."),
+		cacheHits:   reg.Counter("jobs_cache_hits_total", "Submissions served from the content-addressed result cache."),
+		diskHits:    reg.Counter("jobs_disk_hits_total", "Submissions served from an on-disk result absent from the memory cache."),
+		coalesced:   reg.Counter("jobs_coalesced_total", "Submissions attached to an identical in-flight job."),
+		wideJobs:    reg.Counter("jobs_wide_total", "Jobs granted more than one shard."),
+		recovered:   reg.Counter("jobs_recovered_total", "Job records restored from the journal at boot."),
+		requeued:    reg.Counter("jobs_requeued_total", "Recovered jobs that re-entered the queue."),
+		sweeps:      reg.Counter("jobs_sweeps_total", "Sweep submissions accepted (each is one job fanning out per point)."),
+		sweepPoints: reg.Counter("jobs_sweep_points_total", "Sweep points completed in StateDone sweeps, including cached points."),
+		queueWait:   reg.Histogram("jobs_queue_wait_seconds", "Time from submission to execution start (or to completion for dequeue-time cache hits and coalesced twins).", nil),
+		runTime:     reg.Histogram("jobs_run_seconds", "Execution wall time of jobs that ran.", nil),
 	}
 	reg.GaugeFunc("jobs_queue_len", "Jobs waiting in the bounded queue.", func() float64 {
 		p.mu.Lock()
@@ -312,6 +354,10 @@ type job struct {
 	waiters   []*job // identical submissions coalesced onto this running job
 	primary   *job   // the running job this one is attached to (waiters only)
 	resKey    string // content address of the on-disk result (recovered jobs)
+	// sweep is non-nil for sweep jobs (SubmitSweep): per-point progress,
+	// result keys and results. Such a job occupies one queue slot and one
+	// journal record but fans out per point when it runs.
+	sweep     *sweepState
 	err       error
 	res       *result.Result
 	submitted time.Time
@@ -429,6 +475,12 @@ func (p *Pool) recoverLocked() {
 			done:      make(chan struct{}),
 		}
 		p.met.recovered.Inc()
+		// Sweep records carry the grid size (and, when done, the per-point
+		// result addresses); reconstruct the sweep state so Status reports
+		// the job as a sweep and SweepResult can lazy-load from disk.
+		if rec.Points > 0 {
+			j.sweep = &sweepState{points: rec.Points}
+		}
 		switch rec.State {
 		case store.StateDone:
 			j.state = StateDone
@@ -438,6 +490,16 @@ func (p *Pool) recoverLocked() {
 			j.started = rec.Started
 			j.finished = rec.Finished
 			j.resKey = rec.ResultKey
+			if len(rec.Results) > 0 {
+				if j.sweep == nil {
+					j.sweep = &sweepState{}
+				}
+				j.sweep.keys = append([]string(nil), rec.Results...)
+				j.sweep.completed = len(rec.Results)
+				if j.sweep.points == 0 {
+					j.sweep.points = len(rec.Results)
+				}
+			}
 			p.jobs[j.id] = j
 			p.finishLocked(j)
 		case store.StateFailed:
@@ -688,6 +750,13 @@ func (p *Pool) worker() {
 }
 
 func (p *Pool) runJob(j *job) {
+	// j.sweep is assigned before the job ever enters the pending queue
+	// (under p.mu at submit or recovery), and the worker dequeued j under
+	// the same mutex, so this unlocked read is ordered.
+	if j.sweep != nil {
+		p.runSweepJob(j)
+		return
+	}
 	p.mu.Lock()
 	if j.state != StateQueued { // canceled while queued
 		p.mu.Unlock()
@@ -899,6 +968,11 @@ func (p *Pool) statusLocked(j *job) Status {
 		FinishedAt:  j.finished,
 		Spans:       append([]obs.Span(nil), j.spans...),
 	}
+	if j.sweep != nil {
+		s.Sweep = true
+		s.Points = j.sweep.points
+		s.PointsDone = j.sweep.completed
+	}
 	if j.err != nil {
 		s.Error = j.err.Error()
 	}
@@ -929,6 +1003,9 @@ func (p *Pool) Result(id string) (*result.Result, error) {
 	}
 	switch j.state {
 	case StateDone:
+		if j.sweep != nil {
+			return nil, fmt.Errorf("jobs: %q is a sweep; use SweepResult", id)
+		}
 		// A job recovered from the journal holds only the content
 		// address of its result; load the file on first access.
 		if j.res == nil && j.resKey != "" && p.opts.Store != nil {
@@ -1047,6 +1124,8 @@ func (p *Pool) Stats() Stats {
 	s.WideJobs = p.met.wideJobs.Value()
 	s.Recovered = p.met.recovered.Value()
 	s.Requeued = p.met.requeued.Value()
+	s.Sweeps = p.met.sweeps.Value()
+	s.SweepPoints = p.met.sweepPoints.Value()
 	s.TotalQueue = time.Duration(p.met.queueWait.SumNanos())
 	s.TotalRun = time.Duration(p.met.runTime.SumNanos())
 	s.Build = obs.Build()

@@ -166,6 +166,10 @@ func (s *Store) gcResults() {
 		if r.Key != "" {
 			referenced[r.Key] = true
 		}
+		// A done sweep record references every per-point result file.
+		for _, k := range r.Results {
+			referenced[k] = true
+		}
 	}
 	keys := s.RecentResultKeys(0) // oldest first
 	excess := len(keys) - s.opts.MaxResults

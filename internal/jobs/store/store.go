@@ -147,8 +147,20 @@ type Event struct {
 	// forwarded to and the job ID the worker answered with.
 	Worker string `json:"worker,omitempty"`
 	Remote string `json:"remote,omitempty"`
+	// From/To bound the contiguous point range [From,To) covered by a
+	// sweep-range assignment (fleet dispatcher; both zero on whole-job
+	// assignments). Range history is observability, not folded state: a
+	// restarted dispatcher re-scatters non-terminal sweeps from scratch.
+	From int `json:"from,omitempty"`
+	To   int `json:"to,omitempty"`
 	// Started fields.
 	Shards int `json:"shards,omitempty"`
+	// Sweep fields: Points (on submitted events) is the parameter-grid
+	// size of a sweep job — the whole grid journals as ONE record, not one
+	// per point; Results (on done events) lists the per-point result
+	// content addresses in point order.
+	Points  int      `json:"points,omitempty"`
+	Results []string `json:"results,omitempty"`
 	// Terminal fields.
 	CacheHit  bool   `json:"cache_hit,omitempty"`
 	Coalesced bool   `json:"coalesced,omitempty"`
@@ -168,6 +180,8 @@ type Record struct {
 	Worker    string          // fleet dispatcher: assigned worker node
 	Remote    string          // fleet dispatcher: job ID on that worker
 	Shards    int
+	Points    int      // sweep jobs: parameter-grid size (0 for plain jobs)
+	Results   []string // sweep jobs: per-point result content addresses
 	CacheHit  bool
 	Coalesced bool
 	Error     string
@@ -422,6 +436,7 @@ func (s *Store) apply(ev Event) {
 		r.Engine = ev.Engine
 		r.Bundle = ev.Bundle
 		r.Pin = ev.Pin
+		r.Points = ev.Points
 		r.Submitted = ev.At
 	case EvAssigned:
 		r.Worker = ev.Worker
@@ -435,6 +450,7 @@ func (s *Store) apply(ev Event) {
 		case EvDone:
 			r.State = StateDone
 			r.ResultKey = ev.Result
+			r.Results = ev.Results
 		case EvFailed:
 			r.State = StateFailed
 			r.Error = ev.Error
@@ -660,6 +676,7 @@ func recordEvents(r *Record) []Event {
 	evs := []Event{{
 		T: EvSubmitted, Job: r.Job, At: r.Submitted, Trace: r.Trace,
 		Key: r.Key, Engine: r.Engine, Bundle: r.Bundle, Pin: r.Pin,
+		Points: r.Points,
 	}}
 	if r.Worker != "" || r.Remote != "" {
 		evs = append(evs, Event{T: EvAssigned, Job: r.Job, Worker: r.Worker, Remote: r.Remote})
@@ -672,6 +689,7 @@ func recordEvents(r *Record) []Event {
 		evs = append(evs, Event{
 			T: EvDone, Job: r.Job, At: r.Finished, Engine: r.Engine,
 			CacheHit: r.CacheHit, Coalesced: r.Coalesced, Result: r.ResultKey,
+			Results: r.Results,
 		})
 	case StateFailed:
 		evs = append(evs, Event{

@@ -1,0 +1,83 @@
+package store
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestSweepRecordReplayAndCompaction pins the sweep extension of the
+// event schema: Points survives the submitted event, the done event's
+// Results list survives replay AND a compaction rewrite, and result files
+// referenced only by a sweep record are exempt from GC.
+func TestSweepRecordReplayAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{MaxResults: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle := json.RawMessage(`{"fake":"sweep-bundle"}`)
+	keys := []string{sampleKey(1), sampleKey(2), sampleKey(3)}
+	for i, k := range keys {
+		if err := s.PutResult(k, sampleResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := []Event{
+		{T: EvSubmitted, Job: "job-00000001", At: tstamp(1), Key: sampleKey(9), Engine: "e", Bundle: bundle, Points: 3},
+		{T: EvStarted, Job: "job-00000001", At: tstamp(2), Shards: 2},
+		{T: EvDone, Job: "job-00000001", At: tstamp(3), Engine: "e", Results: keys},
+	}
+	for _, ev := range evs {
+		if err := s.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	check := func(stage string, st *Store) {
+		t.Helper()
+		recs := st.Records()
+		if len(recs) != 1 {
+			t.Fatalf("%s: %d records, want 1", stage, len(recs))
+		}
+		r := recs[0]
+		if r.State != StateDone || r.Points != 3 || !reflect.DeepEqual(r.Results, keys) {
+			t.Fatalf("%s: record state=%s points=%d results=%v", stage, r.State, r.Points, r.Results)
+		}
+		if r.Bundle != nil {
+			t.Fatalf("%s: terminal record kept its bundle", stage)
+		}
+	}
+	check("live", s)
+
+	// Crash image: reopen without closing.
+	s2, err := Open(dir, Options{MaxResults: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("replayed", s2)
+
+	// Compaction rewrites from the record table; the sweep fields must
+	// round-trip through recordEvents, and gcResults must treat every
+	// per-point key as referenced even with MaxResults=1.
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	check("compacted", s2)
+	for _, k := range keys {
+		if !s2.HasResult(k) {
+			t.Fatalf("GC removed sweep-referenced result %s", k)
+		}
+	}
+	s.Close()
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	check("reopened after compaction", s3)
+}

@@ -1,0 +1,365 @@
+// Sweep jobs: one submission carrying a parameter grid that occupies one
+// queue slot, journals as one record, and fans out per point inside a
+// single worker turn. The template bundle's sweep context block (params +
+// points) stays attached to the job; every point is materialized with
+// bundle.BindPoint into exactly the concrete bundle a caller would have
+// submitted for that point alone, so per-point cache keys, fingerprints
+// and counts are bit-identical to individual submissions. Points whose
+// concrete twin already has a cached or on-disk result are served from it
+// without execution; the rest run through runtime.SubmitSweep, which
+// compiles the parametric plan once and binds per point.
+
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/bundle"
+	"repro/internal/jobs/store"
+	"repro/internal/obs"
+	"repro/internal/result"
+	rt "repro/internal/runtime"
+)
+
+// MaxSweepPoints bounds one sweep submission's parameter grid.
+const MaxSweepPoints = 4096
+
+// sweepState is the per-point progress of a sweep job. All fields are
+// guarded by Pool.mu; the worker running the sweep is the only writer, so
+// it may read fields it already wrote without the lock.
+type sweepState struct {
+	points int
+	// keys holds the per-point result content addresses in point order
+	// (each equals CacheKey of that point's materialized bundle).
+	keys []string
+	// results holds the per-point results in point order; entries fill in
+	// as points complete. nil for jobs recovered from the journal — their
+	// results lazy-load from the store by key on first SweepResult call.
+	results   []*result.Result
+	completed int
+}
+
+// SubmitSweep registers a sweep bundle — a bundle whose context carries a
+// sweep block — as ONE job and enqueues it, returning the job ID
+// immediately. Unlike Submit there is no whole-sweep result cache or
+// in-flight coalescing (the per-point caches below it make re-running a
+// sweep cheap anyway); a saturated queue still rejects with ErrQueueFull.
+func (p *Pool) SubmitSweep(b *bundle.Bundle) (string, error) {
+	st, err := p.submitSweep(b, SubmitOptions{})
+	return st.ID, err
+}
+
+// SubmitSweepWith is SubmitSweep with per-job execution hints.
+func (p *Pool) SubmitSweepWith(b *bundle.Bundle, o SubmitOptions) (string, error) {
+	st, err := p.submitSweep(b, o)
+	return st.ID, err
+}
+
+// submitSweep does the work of SubmitSweep and returns the job's status
+// snapshot from the same critical section (the HTTP front-end needs no
+// follow-up lookup).
+func (p *Pool) submitSweep(b *bundle.Bundle, o SubmitOptions) (Status, error) {
+	if b == nil {
+		return Status{}, fmt.Errorf("jobs: nil bundle")
+	}
+	if b.Context == nil || b.Context.Sweep == nil {
+		return Status{}, fmt.Errorf("jobs: sweep submission without a sweep context block")
+	}
+	n := len(b.Context.Sweep.Points)
+	if n == 0 {
+		return Status{}, fmt.Errorf("jobs: sweep has no points")
+	}
+	if n > MaxSweepPoints {
+		return Status{}, fmt.Errorf("jobs: sweep has %d points, max %d", n, MaxSweepPoints)
+	}
+	// The template's own content address (the sweep block is part of the
+	// context, so it never collides with a per-point key) identifies the
+	// job in the journal.
+	key, err := CacheKey(b)
+	if err != nil {
+		return Status{}, err
+	}
+	engine := resolveEngine(b)
+	var rawBundle json.RawMessage
+	if p.opts.Store != nil {
+		rawBundle, err = json.Marshal(b)
+		if err != nil {
+			return Status{}, fmt.Errorf("jobs: marshal bundle: %w", err)
+		}
+	}
+	now := time.Now()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return Status{}, ErrClosed
+	}
+	if len(p.pending) >= p.opts.QueueDepth {
+		p.met.rejected.Inc()
+		return Status{}, ErrQueueFull
+	}
+	p.nextID++
+	j := &job{
+		id:        fmt.Sprintf("job-%08d", p.nextID),
+		trace:     obs.EnsureTraceID(o.TraceID),
+		bundle:    b,
+		key:       key,
+		state:     StateQueued,
+		engine:    engine,
+		shards:    o.Shards,
+		submitted: now,
+		sweep:     &sweepState{points: n},
+		done:      make(chan struct{}),
+	}
+	j.spanLocked("queued", 0, fmt.Sprintf("sweep points=%d", n))
+	p.pending = append(p.pending, j)
+	p.jobs[j.id] = j
+	p.met.submitted.Inc()
+	p.met.sweeps.Inc()
+	p.journal(store.Event{T: store.EvSubmitted, Job: j.id, At: now, Trace: j.trace, Key: key, Engine: engine, Bundle: rawBundle, Pin: o.Shards, Points: n})
+	p.log.Info("sweep queued", "job", j.id, "trace", j.trace, "engine", engine, "points", n)
+	p.cond.Signal()
+	return p.statusLocked(j), nil
+}
+
+// runSweepJob executes a sweep job on the worker goroutine that dequeued
+// it: materialize every point, serve points whose concrete twin already
+// has a result from the memory or disk cache, run the rest through
+// runtime.SubmitSweep (compile once, bind per point), persist each result
+// under its per-point content address, and journal ONE terminal event
+// whose Results field lists every address in point order.
+func (p *Pool) runSweepJob(j *job) {
+	p.mu.Lock()
+	if j.state != StateQueued { // canceled while queued
+		p.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	p.running++
+	// Same shard grant policy as plain jobs: a sweep starting into an
+	// otherwise idle pool takes the full cap (the points run sequentially,
+	// each wide); alongside other work it stays narrow.
+	granted := j.shards
+	if granted <= 0 {
+		if p.running == 1 && len(p.pending) == 0 {
+			granted = p.opts.MaxShards
+		} else {
+			granted = 1
+		}
+	}
+	if granted > p.opts.MaxShards {
+		granted = p.opts.MaxShards
+	}
+	j.granted = granted
+	if granted > 1 {
+		p.met.wideJobs.Inc()
+	}
+	b := j.bundle
+	sw := b.Context.Sweep
+	n := len(sw.Points)
+	j.sweep.points = n
+	j.sweep.keys = make([]string, n)
+	j.sweep.results = make([]*result.Result, n)
+	p.met.queueWait.Observe(j.started.Sub(j.submitted))
+	j.spanLocked("started", j.started.Sub(j.submitted), fmt.Sprintf("sweep points=%d shards=%d", n, granted))
+	p.journal(store.Event{T: store.EvStarted, Job: j.id, At: j.started, Shards: granted})
+	p.log.Info("sweep started", "job", j.id, "trace", j.trace, "engine", j.engine, "points", n, "shards", granted)
+	runOpts := p.opts.Run
+	runOpts.Shards = granted
+	// No per-stage span callback: a sweep would log stage spans per point
+	// and drown the lifecycle log; the coarse spans below cover it.
+	p.mu.Unlock()
+
+	// Materialize every point and derive its content address off-lock.
+	// Each key equals CacheKey of the concrete bundle a standalone
+	// submission of that point would carry, which is what lets sweep
+	// points and individual jobs share one result cache.
+	bindStart := time.Now()
+	concrete := make([]*bundle.Bundle, n)
+	keys := make([]string, n)
+	var err error
+	for i := 0; i < n && err == nil; i++ {
+		if concrete[i], err = b.BindPoint(sw.Points[i]); err == nil {
+			keys[i], err = CacheKey(concrete[i])
+		}
+	}
+
+	var missIdx []int
+	if err == nil {
+		served := make([]bool, n)
+		p.mu.Lock()
+		copy(j.sweep.keys, keys)
+		j.spanLocked("materialized", time.Since(bindStart), fmt.Sprintf("points=%d", n))
+		if p.cache != nil {
+			for i := range keys {
+				if res, ok := p.cache.get(keys[i]); ok {
+					j.sweep.results[i] = res
+					j.sweep.completed++
+					served[i] = true
+					p.met.cacheHits.Inc()
+				}
+			}
+		}
+		p.mu.Unlock()
+		if p.opts.Store != nil {
+			// Second-level lookup: a point's result may live on disk (from
+			// a previous process life) without being in the memory LRU.
+			for i := range keys {
+				if served[i] {
+					continue
+				}
+				if res, ok, derr := p.opts.Store.GetResult(keys[i]); derr == nil && ok {
+					p.mu.Lock()
+					j.sweep.results[i] = res
+					j.sweep.completed++
+					if p.cache != nil {
+						p.cache.put(keys[i], res)
+					}
+					p.mu.Unlock()
+					served[i] = true
+					p.met.diskHits.Inc()
+				}
+			}
+		}
+		for i := range served {
+			if !served[i] {
+				missIdx = append(missIdx, i)
+			}
+		}
+	}
+
+	if err == nil && len(missIdx) > 0 {
+		missB := make([]*bundle.Bundle, len(missIdx))
+		for k, i := range missIdx {
+			missB[k] = concrete[i]
+		}
+		execStart := time.Now()
+		err = rt.SubmitSweep(b, missB, missIdx, runOpts, func(i int, res *result.Result) error {
+			// Persist before publishing, so the terminal journal event's
+			// Results list never references a missing file. PutResult is
+			// lock-free by design; the cache is not — it needs p.mu.
+			if p.opts.Store != nil {
+				//lint:ignore journalerr persistence failures count in store_journal_errors_total; the sweep degrades to in-memory results rather than failing
+				_ = p.opts.Store.PutResult(keys[i], res)
+			}
+			p.mu.Lock()
+			j.sweep.results[i] = res
+			j.sweep.completed++
+			if p.cache != nil {
+				p.cache.put(keys[i], res)
+			}
+			p.mu.Unlock()
+			return nil
+		})
+		p.mu.Lock()
+		j.spanLocked("executed", time.Since(execStart), fmt.Sprintf("points=%d cached=%d", len(missIdx), n-len(missIdx)))
+		p.mu.Unlock()
+	}
+	if err == nil && p.opts.Store != nil {
+		// Backfill points served from the memory cache whose files an
+		// earlier process life never persisted (mirrors the single-job
+		// cache-hit backfill), so the done record below is self-contained.
+		for i := range keys {
+			if !p.opts.Store.HasResult(keys[i]) {
+				//lint:ignore journalerr best-effort backfill; failures count in store_journal_errors_total and the result stays served from memory
+				_ = p.opts.Store.PutResult(keys[i], j.sweep.results[i])
+			}
+		}
+	}
+
+	p.mu.Lock()
+	j.finished = time.Now()
+	p.running--
+	p.met.runTime.Observe(j.finished.Sub(j.started))
+	if err != nil {
+		j.state = StateFailed
+		j.err = err
+		j.spanLocked("failed", j.finished.Sub(j.started), "")
+		p.met.failed.Inc()
+		p.journal(store.Event{T: store.EvFailed, Job: j.id, At: j.finished, Engine: j.engine, Error: err.Error()})
+		p.log.Warn("sweep failed", "job", j.id, "trace", j.trace, "engine", j.engine, "err", err)
+	} else {
+		j.state = StateDone
+		if len(missIdx) == 0 {
+			j.cacheHit = true // every point served without execution
+		}
+		j.spanLocked("done", j.finished.Sub(j.started), fmt.Sprintf("points=%d", n))
+		p.met.completed.Inc()
+		p.met.sweepPoints.Add(uint64(n))
+		p.journal(store.Event{T: store.EvDone, Job: j.id, At: j.finished, Engine: j.engine, Results: append([]string(nil), keys...)})
+		p.log.Info("sweep done", "job", j.id, "trace", j.trace, "engine", j.engine, "points", n, "run_ms", j.finished.Sub(j.started).Milliseconds())
+	}
+	p.finishLocked(j)
+	p.mu.Unlock()
+}
+
+// SweepResult returns the per-point results of a done sweep job, indexed
+// by point order. A queued or running sweep returns ErrNotFinished; a
+// failed sweep returns its execution error. Jobs recovered from the
+// journal hold only the per-point content addresses; their results load
+// from the store on first access.
+func (p *Pool) SweepResult(id string) ([]*result.Result, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if j.sweep == nil {
+		return nil, fmt.Errorf("jobs: %q is not a sweep", id)
+	}
+	switch j.state {
+	case StateDone:
+		if j.sweep.results == nil {
+			if p.opts.Store == nil {
+				return nil, fmt.Errorf("jobs: sweep results for %q are gone (no store attached)", id)
+			}
+			loaded := make([]*result.Result, len(j.sweep.keys))
+			for i, k := range j.sweep.keys {
+				res, ok, err := p.opts.Store.GetResult(k)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					return nil, fmt.Errorf("jobs: result file for %q point %d (%s) is gone", id, i, k)
+				}
+				loaded[i] = res
+			}
+			j.sweep.results = loaded
+		}
+		return append([]*result.Result(nil), j.sweep.results...), nil
+	case StateFailed:
+		return nil, j.err
+	case StateCanceled:
+		return nil, fmt.Errorf("%w: %q", ErrCanceled, id)
+	default:
+		return nil, fmt.Errorf("%w: %q is %s", ErrNotFinished, id, j.state)
+	}
+}
+
+// WaitTimeout blocks until the job reaches a terminal state or the
+// timeout elapses, then returns the job's status at that moment — the
+// long-poll primitive behind GET /v1/jobs/{id}?wait=. A non-positive
+// timeout degenerates to Status.
+func (p *Pool) WaitTimeout(id string, d time.Duration) (Status, error) {
+	p.mu.Lock()
+	j, ok := p.jobs[id]
+	p.mu.Unlock()
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if d > 0 {
+		t := time.NewTimer(d)
+		select {
+		case <-j.done:
+		case <-t.C:
+		}
+		t.Stop()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.statusLocked(j), nil
+}

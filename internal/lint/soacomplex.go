@@ -12,8 +12,12 @@ import (
 // plan.go is circuit compilation: it folds gate matrices with complex128
 // arithmetic once per compile, then splits the result into real/imag
 // planes before any sweep runs — compile time is not the hot path.
+// paramplan.go is the parametric variant of the same fold — its rebuild
+// closures replay those complex128 matrix products per Bind, still
+// before any amplitudes are touched.
 var soaAllowFiles = map[string]bool{
-	"plan.go": true,
+	"plan.go":      true,
+	"paramplan.go": true,
 }
 
 // SoaComplex enforces the PR 7 structure-of-arrays contract: kernel

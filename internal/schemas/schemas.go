@@ -158,6 +158,15 @@ const CTX = `{
       },
       "additionalProperties": false
     },
+    "sweep": {
+      "type": "object",
+      "required": ["params", "points"],
+      "properties": {
+        "params": {"type": "array", "minItems": 1, "items": {"type": "string", "minLength": 1}},
+        "points": {"type": "array", "minItems": 1, "items": {"type": "array", "items": {"type": "number"}}}
+      },
+      "additionalProperties": false
+    },
     "extensions": {"type": "object"}
   },
   "additionalProperties": false,

@@ -62,6 +62,30 @@
 // consumers such as the noise-trajectory path, built on the same
 // pair-index sweeps.
 //
+// # Parametric plans
+//
+// A circuit whose rotation angles carry symbolic ParamRefs (the sweep
+// path: algolib.LowerParametric) compiles once with CompileParametric
+// into a ParamPlan. Compilation runs the ordinary fusion pipeline on a
+// placeholder binding and records, per parameter-dependent kernel, a
+// rebuild closure that re-derives just that kernel's fused matrix,
+// split planes, and monomial decomposition from a concrete value
+// vector. Bind(values) then produces a runnable Plan by rebuilding only
+// the affected kernels — fusion never re-runs per point.
+//
+// The bind-invariance contract: a ParamPlan's kernel structure, order,
+// and fusion stats (bar Monomial2Q, which each binding re-derives from
+// its concrete matrices) are fixed at compile time and identical for
+// every binding; Bind(v) yields a Plan whose execution is bit-identical
+// to Compile on the concretely-lowered circuit for v. A parameter value
+// that lands on a shape the template cannot reproduce exactly (e.g. an
+// angle that would have made a kernel monomial under concrete
+// compilation) is detected per kernel and that point falls back to a
+// full recompile (Binds() reports binds vs. fallbacks), preserving
+// bit-identity over raw speed. Sweep throughput rests on this: the
+// serving layer's per-point results, cache keys and counts must be
+// indistinguishable from individual concrete submissions.
+//
 // # Amplitude layout
 //
 // The statevector is stored structure-of-arrays: two parallel float64

@@ -110,6 +110,16 @@ type kernel struct {
 	amps   []complex128
 	ampRe  []float64
 	ampIm  []float64
+
+	// Parametric recording (CompileParametric only; always nil in
+	// concrete plans). re1/re2 rebuild this kernel's fused matrix from a
+	// bound parameter vector by replaying the exact sequence of
+	// Mul2/Mul4/Kron2/row-scale operations the fusion scan performed —
+	// same operations, same order, same float rounding — so a bound
+	// kernel matrix is bit-identical to the one a concrete compile of
+	// the bound circuit would produce.
+	re1 func(v []float64) gates.Matrix2
+	re2 func(v []float64) gates.Matrix4
 }
 
 // PlanStats reports what compilation achieved.
@@ -142,6 +152,10 @@ type Plan struct {
 	n       int
 	kernels []kernel
 	stats   PlanStats
+
+	// par is the parametric recording sink during CompileParametric;
+	// nil for concrete compiles.
+	par *paramRec
 }
 
 // NumQubits returns the qubit count the plan was compiled for.
@@ -165,10 +179,22 @@ const maxDiagFuseQubits = 8
 // Execute can sweep without per-gate checks. Measurements must be
 // terminal, exactly as in Evolve.
 func Compile(c *circuit.Circuit) (*Plan, error) {
+	if c.HasRefs() {
+		return nil, fmt.Errorf("sim: circuit carries symbolic parameter references; use CompileParametric")
+	}
+	return compile(c, nil)
+}
+
+// compile is the shared body of Compile and CompileParametric. A
+// non-nil par makes the lowering record matrix-rebuild closures and
+// classification checks for symbolic instructions. Every call — both
+// entry points and the degenerate-bind fallback — bumps CompileCount.
+func compile(c *circuit.Circuit, par *paramRec) (*Plan, error) {
+	compileCount.Add(1)
 	if c.NumQubits < 1 || c.NumQubits > MaxQubits {
 		return nil, fmt.Errorf("sim: qubit count %d out of [1,%d]", c.NumQubits, MaxQubits)
 	}
-	pl := &Plan{n: c.NumQubits}
+	pl := &Plan{n: c.NumQubits, par: par}
 	seenMeasure := false
 	for idx, ins := range c.Instrs {
 		switch ins.Op {
@@ -276,7 +302,13 @@ func (pl *Plan) lower(ins circuit.Instruction) error {
 		case gates.CP:
 			return pl.lowerCtrlPhase(ins.Qubits, cmplx.Exp(complex(0, ins.Params[0])))
 		default:
-			m, err := gates.Unitary1(ins.Gate, ins.Params)
+			params := ins.Params
+			var reb func(v []float64) gates.Matrix2
+			if pl.par != nil && ins.Symbolic() {
+				reb = unitary1Rebuild(ins)
+				params = boundParams(ins.Params, ins.Refs, pl.par.placeholder)
+			}
+			m, err := gates.Unitary1(ins.Gate, params)
 			if err != nil {
 				return err
 			}
@@ -284,10 +316,19 @@ func (pl *Plan) lower(ins circuit.Instruction) error {
 			if err := pl.checkQubits(q); err != nil {
 				return err
 			}
-			pl.fuse1Q(kernel{
+			k := kernel{
 				kind: kGate1Q, support: 1 << q, q: q, m: m,
 				diag: m[0][1] == 0 && m[1][0] == 0,
-			})
+				re1:  reb,
+			}
+			if reb != nil {
+				// The leaf's diag classification is numeric; record a
+				// bind-time re-check so a degenerate angle (which would
+				// classify differently in a concrete compile, changing
+				// fusion decisions downstream) falls back.
+				pl.par.check1Q(reb, k.diag)
+			}
+			pl.fuse1Q(k)
 			return nil
 		}
 	case circuit.OpDiagonal:
@@ -591,9 +632,13 @@ func (pl *Plan) fuse2Q(qLo, qHi int, m gates.Matrix4, plain kernel) {
 	if floor < 0 {
 		floor = 0
 	}
+	var reb func(v []float64) gates.Matrix4
 	for i := len(pl.kernels) - 1; i >= floor; i-- {
 		t := &pl.kernels[i]
 		if fold2QPartner(t, pairMask) {
+			if reb != nil || t.re1 != nil || t.re2 != nil {
+				reb = fold2QRebuild(m, reb, *t, qLo, qHi)
+			}
 			m = gates.Mul4(m, expand2Q(t, qLo, qHi))
 			pl.kernels = append(pl.kernels[:i], pl.kernels[i+1:]...)
 			pl.stats.Fused2Q++
@@ -608,10 +653,18 @@ func (pl *Plan) fuse2Q(qLo, qHi int, m gates.Matrix4, plain kernel) {
 		pl.kernels = append(pl.kernels, plain)
 		return
 	}
-	pl.kernels = append(pl.kernels, kernel{
+	nk := kernel{
 		kind: kGate2Q, support: pairMask,
 		q: qLo, q2: qHi, m4: m, diag: isDiag4(m),
-	})
+		re2: reb,
+	}
+	if reb != nil {
+		// Like the 1Q leaf diag flag, this kernel's diag classification
+		// is numeric and feeds later commute/fold decisions: re-check it
+		// per bind against the bound product.
+		pl.par.check2Q(reb, nk.diag)
+	}
+	pl.kernels = append(pl.kernels, nk)
 }
 
 // fuse1Q appends a single-qubit kernel, first scanning back over commuting
@@ -625,12 +678,18 @@ func (pl *Plan) fuse1Q(k kernel) {
 	for i := len(pl.kernels) - 1; i >= 0 && i >= floor; i-- {
 		t := &pl.kernels[i]
 		if t.kind == kGate1Q && t.q == k.q {
+			if t.re1 != nil || k.re1 != nil {
+				t.re1 = mul2Rebuild(k, *t)
+			}
 			t.m = gates.Mul2(k.m, t.m) // t ran first: new = k·t
 			t.diag = t.diag && k.diag
 			pl.stats.Fused1Q++
 			return
 		}
 		if t.kind == kGate2Q && t.support&k.support != 0 {
+			if t.re2 != nil || k.re1 != nil {
+				t.re2 = fold1QRebuild(k, *t)
+			}
 			t.m4 = gates.Mul4(expand2Q(&k, t.q, t.q2), t.m4)
 			t.diag = t.diag && k.diag
 			pl.stats.Fused2Q++
@@ -645,6 +704,9 @@ func (pl *Plan) fuse1Q(k kernel) {
 		if (t.kind == kCtrlPerm || t.kind == kCtrlPhase) && isPairSupport(t.support) {
 			// Non-commuting, so t touches k.q: promote and fold.
 			t.toGate2Q()
+			if k.re1 != nil {
+				t.re2 = fold1QRebuild(k, *t)
+			}
 			t.m4 = gates.Mul4(expand2Q(&k, t.q, t.q2), t.m4)
 			t.diag = t.diag && k.diag
 			pl.stats.Fused2Q++
@@ -673,6 +735,9 @@ func (pl *Plan) fuseDiag(k kernel) {
 			// The diagonal acts only on the dense kernel's pair: scale the
 			// 4×4's rows in place.
 			d := diag4For(&k, t.q, t.q2)
+			if t.re2 != nil {
+				t.re2 = rowScaleRebuild(t.re2, d)
+			}
 			for r := 0; r < 4; r++ {
 				for c := 0; c < 4; c++ {
 					t.m4[r][c] *= d[r]

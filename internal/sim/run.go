@@ -188,13 +188,33 @@ func Run(c *circuit.Circuit, opts Options) (*Result, error) {
 		return nil, err
 	}
 	observeStage(simCompile, opts.Stages, "compile", stageStart)
+	return runCompiled(c, pl, opts)
+}
+
+// RunPlan is Run with a precompiled plan: the sweep path binds a
+// ParamPlan per parameter point and executes each bound plan here,
+// skipping recompilation. pl must have been compiled from c or from a
+// bound copy of it — the measurement map and qubit count are read from
+// c, and execution, CDF build, and sampling follow the exact code path
+// Run takes, so counts are bit-identical to Run on the bound circuit.
+func RunPlan(c *circuit.Circuit, pl *Plan, opts Options) (*Result, error) {
+	if opts.Shots < 0 {
+		return nil, fmt.Errorf("sim: negative shot count %d", opts.Shots)
+	}
+	if pl.n != c.NumQubits {
+		return nil, fmt.Errorf("sim: plan compiled for %d qubits, circuit has %d", pl.n, c.NumQubits)
+	}
+	return runCompiled(c, pl, opts)
+}
+
+func runCompiled(c *circuit.Circuit, pl *Plan, opts Options) (*Result, error) {
 	pool := newShardPool(resolveShards(1<<c.NumQubits, opts.Shards))
 	defer pool.close()
 	st, err := newStateOn(c.NumQubits, pool)
 	if err != nil {
 		return nil, err
 	}
-	stageStart = time.Now()
+	stageStart := time.Now()
 	if err := pl.executeOn(st, pool); err != nil {
 		return nil, err
 	}

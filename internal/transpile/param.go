@@ -1,0 +1,136 @@
+package transpile
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+// TranspileParametric transpiles a circuit carrying symbolic parameter
+// references so that binding commutes with transpilation: for every
+// bind vector v under which no symbolic rotation's angle is ≡ 0
+// (mod 2π), Transpile(c.BindValues(v), opts).Circuit equals
+// result.Circuit.BindValues(v) instruction for instruction, and the
+// reported Stats match what the concrete transpile would report (all
+// stats fields are structural, never value-dependent).
+//
+// ok=false means the options or circuit fall outside the supported fast
+// path — basis-gate decomposition, coupling-map routing, optimization
+// level ≥ 2, or a level-1 merge opportunity adjacent to a symbolic
+// rotation (a summed angle has no single-reference representation).
+// Callers then transpile each bound point concretely; correctness is
+// never at stake, only the compile-once speedup.
+func TranspileParametric(c *circuit.Circuit, opts Options) (*Result, bool, error) {
+	if len(opts.BasisGates) > 0 || len(opts.CouplingMap) > 0 || opts.OptimizationLevel >= 2 {
+		return nil, false, nil
+	}
+	stats := Stats{
+		DepthBefore: c.Depth(),
+		TwoQBefore:  c.TwoQubitCount(),
+		SizeBefore:  c.Size(),
+	}
+	// With no basis and no coupling map, Decompose and Route are
+	// identity passes; the concrete pipeline reduces to OptimizeBasis
+	// applied twice (before and after the no-op router).
+	out := c.Copy()
+	if opts.OptimizationLevel >= 1 {
+		var ok bool
+		if out.Instrs, ok = onePassParam(out.Instrs); !ok {
+			return nil, false, nil
+		}
+		if out.Instrs, ok = onePassParam(out.Instrs); !ok {
+			return nil, false, nil
+		}
+	}
+	stats.DepthAfter = out.Depth()
+	stats.TwoQAfter = out.TwoQubitCount()
+	stats.SizeAfter = out.Size()
+	return &Result{Circuit: out, Layout: identityLayout(c.NumQubits), Stats: stats}, true, nil
+}
+
+// ParamAngleZero reports whether any symbolic rotation in c binds to an
+// angle ≡ 0 (mod 2π) under values. Level-1 optimization of the bound
+// concrete circuit would drop such a rotation — a structural change the
+// parametric template cannot express — so a bind hitting this condition
+// must fall back to the concrete pipeline for that point.
+func ParamAngleZero(c *circuit.Circuit, values []float64) bool {
+	for i := range c.Instrs {
+		ins := &c.Instrs[i]
+		if ins.Op != circuit.OpGate || !isRotation(ins.Gate) || !ins.Symbolic() {
+			continue
+		}
+		for _, r := range ins.Refs {
+			if r.Index >= 0 && r.Index < len(values) && angleZero(r.Scale*values[r.Index]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// onePassParam is onePass(…, lookThrough=false) lifted to circuits with
+// symbolic parameter references. onePass's structure decisions — which
+// pairs merge or cancel, where the look-ahead breaks — depend only on
+// gate names and operands; the value-dependent decisions are the
+// zero-angle drops. Symbolic rotations are therefore kept verbatim
+// (ParamAngleZero catches the dropped-at-bind case), and a merge whose
+// pair involves a symbolic rotation reports ok=false: unsupported.
+func onePassParam(instrs []circuit.Instruction) ([]circuit.Instruction, bool) {
+	var out []circuit.Instruction
+	removed := make([]bool, len(instrs))
+	for i := 0; i < len(instrs); i++ {
+		if removed[i] {
+			continue
+		}
+		ins := instrs[i]
+		if ins.Op != circuit.OpGate {
+			out = append(out, ins)
+			continue
+		}
+		sym := ins.Symbolic()
+		if sym && !isRotation(ins.Gate) {
+			// Only rotations have a defined symbolic peephole story.
+			return nil, false
+		}
+		if !sym {
+			if ins.Gate == gates.I {
+				continue
+			}
+			if isRotation(ins.Gate) && angleZero(ins.Params[0]) {
+				continue
+			}
+		}
+		matched := false
+		for j := i + 1; j < len(instrs); j++ {
+			if removed[j] {
+				continue
+			}
+			next := instrs[j]
+			if next.Op != circuit.OpGate {
+				break
+			}
+			if isRotation(ins.Gate) && next.Gate == ins.Gate && sameOperands(ins, next) {
+				if sym || next.Symbolic() {
+					return nil, false
+				}
+				merged := ins
+				merged.Params = []float64{ins.Params[0] + next.Params[0]}
+				removed[j] = true
+				if !angleZero(merged.Params[0]) {
+					out = append(out, merged)
+				}
+				matched = true
+				break
+			}
+			if inverseOf(ins, next) {
+				removed[j] = true
+				matched = true
+				break
+			}
+			break
+		}
+		if !matched {
+			out = append(out, ins)
+		}
+	}
+	return out, true
+}
