@@ -7,6 +7,13 @@
 //	qmlrun -engine anneal.sa job.json   # override the context's engine
 //	qmlrun -top 5 job.json
 //	qmlrun -parallel 4 a.json b.json c.json   # batch mode on a worker pool
+//	qmlrun -profile job.json   # print the kernel-granular execution profile
+//
+// -profile runs statevector execution with the kernel profiler on and
+// appends the per-kernel table to the output: one row per fused kernel
+// with its kind, support mask, wall time, per-shard min/max and the
+// imbalance ratio (max/mean over shards). Profiling never changes
+// counts — the sweep bodies and shard ranges are identical either way.
 //
 // An OpenQASM 2.0 circuit runs like any bundle: -qasm parses the file
 // (the ToQASM subset plus common Qiskit spellings), wraps it as a
@@ -34,6 +41,7 @@ import (
 	"repro/internal/qop"
 	"repro/internal/result"
 	"repro/internal/runtime"
+	"repro/internal/sim"
 	"repro/internal/transpile"
 )
 
@@ -47,6 +55,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "sampling seed for -qasm runs")
 	parallel := flag.Int("parallel", 0, "batch mode: execute all job files on a pool of this many workers")
 	shards := flag.Int("shards", 0, "statevector shards (single run: the grant; batch: the lone-job cap; 0 = auto)")
+	profile := flag.Bool("profile", false, "run with the kernel-granular profiler on and print the per-kernel table (counts are unchanged)")
 	flag.Parse()
 	if *parallel > 0 {
 		if flag.NArg() < 1 || *estimate || *qasm || *emitQASM {
@@ -60,7 +69,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: qmlrun [-engine name] [-top n] [-estimate] [-qasm] [-emit-qasm] [-parallel n] [-shards n] job.json|file.qasm")
+		fmt.Fprintln(os.Stderr, "usage: qmlrun [-engine name] [-top n] [-estimate] [-qasm] [-emit-qasm] [-parallel n] [-shards n] [-profile] job.json|file.qasm")
 		os.Exit(2)
 	}
 	var err error
@@ -70,9 +79,9 @@ func main() {
 	case *emitQASM:
 		err = runQASM(flag.Arg(0))
 	case *qasm:
-		err = runFromQASM(flag.Arg(0), *engine, *top, *shards, *shots, *seed)
+		err = runFromQASM(flag.Arg(0), *engine, *top, *shards, *shots, *seed, *profile)
 	default:
-		err = run(flag.Arg(0), *engine, *top, *shards)
+		err = run(flag.Arg(0), *engine, *top, *shards, *profile)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qmlrun:", err)
@@ -132,7 +141,7 @@ func runQASM(path string) error {
 
 // runFromQASM parses an OpenQASM 2.0 file and executes it through the
 // same runtime path as a bundle — the dormant parser's CLI entry point.
-func runFromQASM(path, engineOverride string, top, shards, shots int, seed uint64) error {
+func runFromQASM(path, engineOverride string, top, shards, shots int, seed uint64, profile bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -141,11 +150,12 @@ func runFromQASM(path, engineOverride string, top, shards, shots int, seed uint6
 	if err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	res, err := runtime.Submit(b, runtime.Options{Shards: shards})
+	res, err := runtime.Submit(b, runtime.Options{Shards: shards, Profile: profile})
 	if err != nil {
 		return err
 	}
 	printResult(res, top)
+	printProfile(res)
 	return nil
 }
 
@@ -176,16 +186,17 @@ func qasmBundle(src, engineOverride string, shots int, seed uint64) (*bundle.Bun
 	return bundle.New([]*qdt.DataType{reg}, qop.Sequence{gl, algolib.NewMeasurement(reg)}, ctx)
 }
 
-func run(path, engineOverride string, top, shards int) error {
+func run(path, engineOverride string, top, shards int, profile bool) error {
 	b, err := loadBundle(path, engineOverride)
 	if err != nil {
 		return err
 	}
-	res, err := runtime.Submit(b, runtime.Options{Shards: shards})
+	res, err := runtime.Submit(b, runtime.Options{Shards: shards, Profile: profile})
 	if err != nil {
 		return err
 	}
 	printResult(res, top)
+	printProfile(res)
 	return nil
 }
 
@@ -294,5 +305,23 @@ func printResult(res *result.Result, top int) {
 		if v, ok := res.Meta[key]; ok {
 			fmt.Printf("%s: %+v\n", key, v)
 		}
+	}
+}
+
+// printProfile renders the kernel-granular execution profile attached by
+// a -profile run (res.Meta["profile"]); silent when the result carries
+// none (engines without a statevector plan, or -profile off).
+func printProfile(res *result.Result) {
+	p, ok := res.Meta["profile"].(*sim.Profile)
+	if !ok || p == nil {
+		return
+	}
+	fmt.Printf("\nprofile: %d kernels over %d shards, total %.3f ms\n",
+		len(p.Kernels), p.Shards, float64(p.TotalNs)/1e6)
+	fmt.Println("  idx  kind       support             ms   shard min/max ms   imbalance")
+	for _, k := range p.Kernels {
+		fmt.Printf("  %3d  %-9s  %#016x  %9.3f  %8.3f/%-8.3f  %9.2f\n",
+			k.Index, k.Kind, k.Support, float64(k.Ns)/1e6,
+			float64(k.ShardMinNs)/1e6, float64(k.ShardMaxNs)/1e6, k.Imbalance)
 	}
 }

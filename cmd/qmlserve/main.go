@@ -56,12 +56,29 @@
 // /v1/jobs/{id} includes the trace ID and a per-job span log (queued →
 // started → transpile/compile/execute/sample → done).
 //
+// A submission carrying a top-level "profile": true (or POSTed with
+// ?profile=true) runs with the simulator's kernel-granular profiler on:
+// its status and result documents gain a "profile" table — one row per
+// fused kernel with wall time, per-shard min/max and the imbalance
+// ratio — whose total matches the execute span. Profiled sweeps report
+// per-kind aggregates over the whole grid. Profiled submissions cache
+// separately from unprofiled ones; counts are bit-identical either way.
+//
 // Logs are structured (log/slog); -log-format picks text (default) or
-// json. -debug-addr starts a second listener exposing /debug/pprof/* and
-// a /metrics copy — keep it on a loopback or otherwise private address:
+// json. -debug-addr starts a second listener exposing /debug/pprof/*,
+// /debug/events and a /metrics copy — keep it on a loopback or
+// otherwise private address:
 //
 //	qmlserve -addr :8080 -debug-addr 127.0.0.1:6060
 //	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
+//	curl -s http://127.0.0.1:6060/debug/events   # flight recorder dump
+//
+// /debug/events is the always-on flight recorder (internal/obs): a
+// fixed-size lock-free ring of recent structured events — job
+// transitions, kernel-batch completions, fleet forwards and detaches,
+// journal fsync stalls — dumped as JSON, newest last. The same tail is
+// attached to panic reports, so a crash carries what the process was
+// doing in its final moments.
 //
 // # Durability
 //
@@ -209,6 +226,10 @@ func startDebug(cfg config) (func(), error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	// The flight recorder: the most recent structured events (job
+	// transitions, kernel batches, fleet forwards, fsync stalls) as JSON,
+	// for "what was happening just now" forensics without log scraping.
+	mux.Handle("GET /debug/events", obs.DefaultFlight().Handler())
 	mux.Handle("GET /metrics", obs.Handler(cfg.reg, obs.Default()))
 	ln, err := net.Listen("tcp", cfg.debugAddr)
 	if err != nil {

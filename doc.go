@@ -126,6 +126,35 @@
 // wait, compile/execute/sample inside the engine, journal append and
 // fsync, and the dispatcher→worker round trip.
 //
+// # Profiling and the flight recorder
+//
+// Kernel-granular execution profiling is opt-in per submission: POST
+// /v1/jobs (or /v1/sweeps) with a top-level "profile": true flag — or
+// ?profile=true — runs the statevector plan with per-kernel timers on,
+// and the job's status document gains a "profile" kernel table next to
+// the span log: one row per compiled kernel with its kind, qubit
+// support mask, wall time, per-shard min/max sweep times and the
+// max/mean imbalance ratio. The table's total tracks the execute stage
+// span, so an operator reads exactly where a slow job's time went —
+// and whether the shards shared it evenly — from the status endpoint
+// alone. Profiled sweeps aggregate per-point tables into per-kind
+// totals; the fleet dispatcher forwards the flag to whichever worker
+// runs the job (it survives re-forwarding after a worker death) and
+// proxies the table back opaquely. Profiling is observational only:
+// counts are bit-identical with it on or off, and profiled submissions
+// cache under a distinct key so a status document's kernel table is
+// deterministic in the submission. Independent of the opt-in profiler,
+// every executed kernel feeds always-on per-kind labeled instruments
+// (sim_kernels_total, sim_kernel_seconds) on /metrics.
+//
+// The flight recorder (obs.Flight) is the always-on black box: a
+// fixed-size lock-free ring of recent structured events — job
+// transitions, kernel-batch completions, fleet forwards/detaches/
+// ejects/readmits, journal fsync stalls — dumped as JSON at
+// GET /debug/events on the -debug-addr listener and appended to every
+// panic report, so a post-mortem starts from the last things the
+// process did.
+//
 // Work is traceable fleet-wide: POST /v1/jobs accepts (or generates,
 // then echoes) an X-Trace-Id; the dispatcher forwards it to whichever
 // worker runs the job, both tiers journal it with every event, and

@@ -44,6 +44,16 @@ type Staged interface {
 	ExecuteStaged(b *bundle.Bundle, shards int, stages StageFunc) (*result.Result, error)
 }
 
+// Profiled is implemented by backends that can attach a kernel-granular
+// execution profile to the result document: ExecuteProfiled behaves like
+// ExecuteStaged and additionally stores the profile (the sim.Profile
+// kernel table for the gate engine) under Meta["profile"] in the result.
+// The profile is observational only — entries and counts are bit-identical
+// to the unprofiled run.
+type Profiled interface {
+	ExecuteProfiled(b *bundle.Bundle, shards int, stages StageFunc) (*result.Result, error)
+}
+
 // DefaultShots is used when the context specifies no sample count.
 const DefaultShots = 1024
 

@@ -42,6 +42,18 @@ func (g *Gate) ExecuteSharded(b *bundle.Bundle, shards int) (*result.Result, err
 // timing callbacks ("transpile" here; "compile"/"execute"/"sample" from
 // the simulator).
 func (g *Gate) ExecuteStaged(b *bundle.Bundle, shards int, stages StageFunc) (*result.Result, error) {
+	return g.executeStaged(b, shards, stages, false)
+}
+
+// ExecuteProfiled implements backend.Profiled: ExecuteStaged with the
+// simulator's kernel-granular profiler on; the per-kernel table lands in
+// the result's Meta["profile"]. The noise-trajectory path has no plan
+// execution to profile, so noisy contexts return no profile.
+func (g *Gate) ExecuteProfiled(b *bundle.Bundle, shards int, stages StageFunc) (*result.Result, error) {
+	return g.executeStaged(b, shards, stages, true)
+}
+
+func (g *Gate) executeStaged(b *bundle.Bundle, shards int, stages StageFunc, profile bool) (*result.Result, error) {
 	if err := b.Validate(qop.ValidateOptions{}); err != nil {
 		return nil, err
 	}
@@ -114,7 +126,7 @@ func (g *Gate) ExecuteStaged(b *bundle.Bundle, shards int, stages StageFunc) (*r
 	}
 	var run *sim.Result
 	if noise.Zero() {
-		run, err = sim.Run(circ, sim.Options{Shots: shots, Seed: seed, Shards: shards, Stages: stages})
+		run, err = sim.Run(circ, sim.Options{Shots: shots, Seed: seed, Shards: shards, Stages: stages, Profile: profile})
 	} else {
 		// The trajectory engine interleaves noise injection with gate
 		// application, so there is no clean compile/execute split to time;
@@ -124,6 +136,9 @@ func (g *Gate) ExecuteStaged(b *bundle.Bundle, shards int, stages StageFunc) (*r
 	}
 	if err != nil {
 		return nil, err
+	}
+	if run.Profile != nil {
+		meta["profile"] = run.Profile
 	}
 
 	res := &result.Result{Engine: g.engine, Samples: shots, Meta: meta}

@@ -24,8 +24,12 @@ import (
 // entry for entry, what Execute(concrete[k]) would return. A backend
 // unable to honor that for some point must execute that point through
 // its concrete path rather than approximate.
+//
+// When profile is set, each point's result carries its kernel-granular
+// execution profile under Meta["profile"] (observational only — entries
+// are unchanged); the serving layer aggregates the per-point tables.
 type Sweeper interface {
-	ExecuteSweep(b *bundle.Bundle, concrete []*bundle.Bundle, indices []int, shards int, stages StageFunc, each func(i int, res *result.Result) error) error
+	ExecuteSweep(b *bundle.Bundle, concrete []*bundle.Bundle, indices []int, shards int, stages StageFunc, profile bool, each func(i int, res *result.Result) error) error
 }
 
 // ExecuteSweep implements Sweeper for the gate engine: lower the
@@ -36,7 +40,7 @@ type Sweeper interface {
 // outside the parametric subset — run through ExecuteStaged on their
 // concrete bundle instead, so every point keeps the bit-identity
 // contract regardless of which path served it.
-func (g *Gate) ExecuteSweep(b *bundle.Bundle, concrete []*bundle.Bundle, indices []int, shards int, stages StageFunc, each func(i int, res *result.Result) error) error {
+func (g *Gate) ExecuteSweep(b *bundle.Bundle, concrete []*bundle.Bundle, indices []int, shards int, stages StageFunc, profile bool, each func(i int, res *result.Result) error) error {
 	if len(concrete) != len(indices) {
 		return fmt.Errorf("backend: %d concrete bundles for %d indices", len(concrete), len(indices))
 	}
@@ -52,7 +56,7 @@ func (g *Gate) ExecuteSweep(b *bundle.Bundle, concrete []*bundle.Bundle, indices
 	}
 
 	fallbackPoint := func(k int) error {
-		res, err := g.ExecuteStaged(concrete[k], shards, stages)
+		res, err := g.executeStaged(concrete[k], shards, stages, profile)
 		if err != nil {
 			return fmt.Errorf("point %d: %w", indices[k], err)
 		}
@@ -145,11 +149,14 @@ func (g *Gate) ExecuteSweep(b *bundle.Bundle, concrete []*bundle.Bundle, indices
 		if err != nil {
 			return fmt.Errorf("point %d: %w", gi, err)
 		}
-		run, err := sim.RunPlan(circ, pl, sim.Options{Shots: shots, Seed: seed, Shards: shards, Stages: stages})
+		run, err := sim.RunPlan(circ, pl, sim.Options{Shots: shots, Seed: seed, Shards: shards, Stages: stages, Profile: profile})
 		if err != nil {
 			return fmt.Errorf("point %d: %w", gi, err)
 		}
 		res := &result.Result{Engine: g.engine, Samples: shots, Meta: map[string]any{"transpile": tr.Stats}}
+		if run.Profile != nil {
+			res.Meta["profile"] = run.Profile
+		}
 		if m != nil {
 			entries, err := result.DecodeCounts(run.Counts, m.Result, reg)
 			if err != nil {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	neturl "net/url"
 	"strconv"
 	"strings"
 
@@ -55,6 +56,11 @@ type remoteStatus struct {
 	Sweep      bool `json:"sweep"`
 	Points     int  `json:"points"`
 	PointsDone int  `json:"points_done"`
+	// Profile is the worker's kernel-granular execution profile document
+	// (profiled jobs only; for sub-sweeps, the worker's per-kind
+	// aggregate). Proxied opaquely — the dispatcher never parses it, so
+	// worker-side profile schema evolution needs no fleet change.
+	Profile json.RawMessage `json:"profile"`
 }
 
 type remoteError struct {
@@ -64,11 +70,20 @@ type remoteError struct {
 // submit forwards a canonical bundle. A 429 surfaces as errWorkerBusy so
 // the router can spill to another node. A non-empty trace rides the
 // X-Trace-Id header so the worker's journal, logs and spans carry the
-// same fleet-wide ID the dispatcher assigned.
-func (c *client) submit(ctx context.Context, raw []byte, pin int, trace string) (remoteSubmit, error) {
+// same fleet-wide ID the dispatcher assigned. profile rides the
+// ?profile=true query form, since the forwarded body is re-derived from
+// the parsed bundle and cannot carry the submission's top-level flag.
+func (c *client) submit(ctx context.Context, raw []byte, pin int, trace string, profile bool) (remoteSubmit, error) {
 	url := c.base + "/v1/jobs"
+	q := neturl.Values{}
 	if pin > 0 {
-		url += "?shards=" + strconv.Itoa(pin)
+		q.Set("shards", strconv.Itoa(pin))
+	}
+	if profile {
+		q.Set("profile", "true")
+	}
+	if len(q) > 0 {
+		url += "?" + q.Encode()
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(raw))
 	if err != nil {
@@ -99,9 +114,14 @@ func (c *client) submit(ctx context.Context, raw []byte, pin int, trace string) 
 }
 
 // submitSweep forwards a sub-sweep bundle to a worker's POST /v1/sweeps.
-// Backpressure spills to another node exactly like plain submissions.
-func (c *client) submitSweep(ctx context.Context, raw []byte, trace string) (remoteSubmit, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sweeps", bytes.NewReader(raw))
+// Backpressure spills to another node exactly like plain submissions;
+// profile rides ?profile=true like plain submissions too.
+func (c *client) submitSweep(ctx context.Context, raw []byte, trace string, profile bool) (remoteSubmit, error) {
+	url := c.base + "/v1/sweeps"
+	if profile {
+		url += "?profile=true"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(raw))
 	if err != nil {
 		return remoteSubmit{}, fmt.Errorf("fleet: %w", err)
 	}

@@ -222,13 +222,42 @@ type Status struct {
 	Reforwards int
 	// Sweep marks a parameter-sweep job; Points is its grid size and
 	// PointsDone the fleet-wide per-point progress summed over ranges.
-	Sweep       bool
-	Points      int
-	PointsDone  int
+	Sweep      bool
+	Points     int
+	PointsDone int
+	// Progress is the completed-point fraction for sweeps (0..1, 1 once
+	// terminal); ETA extrapolates the remaining run time of a running
+	// sweep from fleet-wide progress so far. Both zero for plain jobs.
+	Progress float64
+	ETA      time.Duration
+	// Ranges is the per-range dispatch detail of a sweep: which worker
+	// owns each slice of the grid and how far along it is. Nil for plain
+	// jobs and for terminal sweeps recovered without range assignments.
+	Ranges []RangeInfo
+	// Profile is the kernel-granular execution profile of a profiled
+	// job, proxied opaquely from the owning worker's status document
+	// (for sweeps: per-kind tables merged over the ranges). Nil unless
+	// the submission asked for profiling and the work has completed.
+	Profile     json.RawMessage
 	Error       string
 	SubmittedAt time.Time
 	StartedAt   time.Time
 	FinishedAt  time.Time
+}
+
+// RangeInfo is one sweep range's dispatch snapshot in a fleet status
+// document: the [From,To) grid slice, its owning worker and remote
+// sub-sweep ID, and range-local progress.
+type RangeInfo struct {
+	From       int    `json:"from"`
+	To         int    `json:"to"`
+	State      string `json:"state"` // queued | running | done | failed
+	Worker     string `json:"worker,omitempty"`
+	Remote     string `json:"remote,omitempty"`
+	PointsDone int    `json:"points_done"`
+	// Forwards counts handoffs; >1 means the range moved workers.
+	Forwards int    `json:"forwards"`
+	Error    string `json:"error,omitempty"`
 }
 
 type worker struct {
@@ -249,12 +278,16 @@ type worker struct {
 // dispatcher, and concurrent jobs' appends share group-commit
 // barriers).
 type fwdJob struct {
-	id        string
-	trace     string // fleet-wide trace ID, forwarded to workers
-	key       string
-	engine    string
-	raw       json.RawMessage // canonical bundle, dropped when terminal
-	pin       int
+	id     string
+	trace  string // fleet-wide trace ID, forwarded to workers
+	key    string
+	engine string
+	raw    json.RawMessage // canonical bundle, dropped when terminal
+	pin    int
+	// profile asks the executing worker for a kernel-granular profile;
+	// forwarded as ?profile=true (the raw bundle is re-derived from the
+	// parsed struct, so the body flag would not survive).
+	profile   bool
 	state     jobs.State
 	worker    string // assigned node ("" while unassigned)
 	remote    string // job ID on that node
@@ -268,7 +301,12 @@ type fwdJob struct {
 	started   time.Time
 	finished  time.Time
 	spans     []obs.Span // dispatch lifecycle log, appended in transition order
-	done      chan struct{}
+	// profileDoc is the owning worker's kernel-granular profile table,
+	// captured opaquely from its status document once the remote job
+	// completes (re-captured from the replacement worker after a
+	// re-forward). Nil for unprofiled submissions.
+	profileDoc json.RawMessage
+	done       chan struct{}
 	// Journal event queue (see the type comment). evGen counts events
 	// ever enqueued; flushedGen is the newest generation known appended
 	// (and, per the store's fsync policy, durable). flushJob waits until
@@ -406,6 +444,7 @@ func (d *Dispatcher) recover() []*fwdJob {
 			key:       rec.Key,
 			engine:    rec.Engine,
 			pin:       rec.Pin,
+			profile:   rec.Profile,
 			worker:    rec.Worker,
 			remote:    rec.Remote,
 			submitted: rec.Submitted,
@@ -553,14 +592,16 @@ func (d *Dispatcher) flushJob(j *fwdJob) {
 // is re-derived from the parsed bundle so the journal, the cache key and
 // the forwarded payload all agree byte-for-byte.
 func (d *Dispatcher) Submit(b *bundle.Bundle, pin int) (Status, error) {
-	return d.SubmitTraced(b, pin, "")
+	return d.SubmitTraced(b, pin, "", false)
 }
 
 // SubmitTraced is Submit with an explicit trace ID (normally the inbound
-// X-Trace-Id header). Empty or invalid IDs are replaced with a generated
-// one; the accepted ID rides the journal, every forward to a worker, and
-// the status document.
-func (d *Dispatcher) SubmitTraced(b *bundle.Bundle, pin int, traceID string) (Status, error) {
+// X-Trace-Id header) and profile flag. Empty or invalid IDs are replaced
+// with a generated one; the accepted ID rides the journal, every forward
+// to a worker, and the status document. profile asks the executing
+// worker for a kernel-granular profile, which the dispatcher proxies
+// back into this job's status once the worker reports it.
+func (d *Dispatcher) SubmitTraced(b *bundle.Bundle, pin int, traceID string, profile bool) (Status, error) {
 	if b == nil {
 		return Status{}, errors.New("fleet: nil bundle")
 	}
@@ -588,6 +629,7 @@ func (d *Dispatcher) SubmitTraced(b *bundle.Bundle, pin int, traceID string) (St
 		engine:    engine,
 		raw:       raw,
 		pin:       pin,
+		profile:   profile,
 		state:     jobs.StateQueued,
 		submitted: now,
 		done:      make(chan struct{}),
@@ -604,7 +646,7 @@ func (d *Dispatcher) SubmitTraced(b *bundle.Bundle, pin int, traceID string) (St
 		d.inflight[key] = j
 		j.spanLocked("queued", 0, "")
 	}
-	d.enqueueLocked(j, store.Event{T: store.EvSubmitted, Job: j.id, Trace: j.trace, At: now, Key: key, Engine: engine, Bundle: raw, Pin: pin})
+	d.enqueueLocked(j, store.Event{T: store.EvSubmitted, Job: j.id, Trace: j.trace, At: now, Key: key, Engine: engine, Bundle: raw, Pin: pin, Profile: profile})
 	d.wg.Add(1)
 	st := d.statusLocked(j)
 	d.mu.Unlock()
@@ -713,7 +755,7 @@ func (d *Dispatcher) forward(j *fwdJob) bool {
 		w := d.workerByName(name)
 		ctx, cancel := context.WithTimeout(d.ctx, d.opts.RequestTimeout)
 		rtStart := time.Now()
-		sub, err := w.c.submit(ctx, j.raw, j.pin, j.trace)
+		sub, err := w.c.submit(ctx, j.raw, j.pin, j.trace, j.profile)
 		rt := time.Since(rtStart)
 		cancel()
 		if err != nil {
@@ -745,8 +787,10 @@ func (d *Dispatcher) forward(j *fwdJob) bool {
 		d.mu.Unlock()
 		if reforward {
 			d.log.Warn("job re-forwarded", "job", j.id, "trace", j.trace, "worker", name, "remote", sub.ID)
+			obs.RecordDur(obs.FlightFleetForward, j.id, "re-forwarded to "+name+" as "+sub.ID, rt)
 		} else {
 			d.log.Info("job forwarded", "job", j.id, "trace", j.trace, "worker", name, "remote", sub.ID)
+			obs.RecordDur(obs.FlightFleetForward, j.id, name+" as "+sub.ID, rt)
 		}
 		d.flushDirty()
 		return true
@@ -816,6 +860,7 @@ func (d *Dispatcher) detach(j *fwdJob, workerName string) {
 		w.outstanding--
 	}
 	j.spanLocked("detached", 0, "worker "+workerName+" lost the job")
+	obs.Record(obs.FlightFleetDetach, j.id, "worker "+workerName+" lost the job")
 	d.log.Warn("job detached", "job", j.id, "trace", j.trace, "worker", workerName)
 }
 
@@ -834,6 +879,12 @@ func (d *Dispatcher) observe(j *fwdJob, st remoteStatus) bool {
 	j.coalesced = st.Coalesced
 	if st.Shards > 0 {
 		j.shards = st.Shards
+	}
+	if len(st.Profile) > 0 {
+		// The worker's kernel table, proxied opaquely. Overwrite rather
+		// than keep-first: after a re-forward the replacement worker's
+		// table describes the execution that actually produced the result.
+		j.profileDoc = st.Profile
 	}
 	switch jobs.State(st.State) {
 	case jobs.StateRunning:
@@ -990,6 +1041,7 @@ func (d *Dispatcher) probeOnce() {
 			if w.healthy && w.consecFails >= d.opts.EjectAfter {
 				w.healthy = false
 				d.met.ejected.Inc()
+				obs.Record(obs.FlightFleetEject, "", fmt.Sprintf("worker %s after %d probe failures", o.name, w.consecFails))
 				d.log.Warn("worker ejected", "worker", o.name, "consecutive_failures", w.consecFails)
 			}
 		default:
@@ -998,6 +1050,7 @@ func (d *Dispatcher) probeOnce() {
 			if !w.healthy {
 				w.healthy = true
 				d.met.readmitted.Inc()
+				obs.Record(obs.FlightFleetReadmit, "", "worker "+o.name)
 				d.log.Info("worker readmitted", "worker", o.name)
 			}
 		}
@@ -1023,6 +1076,10 @@ func (d *Dispatcher) statusLocked(j *fwdJob) Status {
 	}
 	var sweep bool
 	var points, pointsDone int
+	var progress float64
+	var eta time.Duration
+	var ranges []RangeInfo
+	profile := j.profileDoc
 	if j.sweep != nil {
 		sweep = true
 		points = j.sweep.points
@@ -1036,12 +1093,37 @@ func (d *Dispatcher) statusLocked(j *fwdJob) Status {
 			if r.forwards > 1 {
 				reforwards += r.forwards - 1
 			}
+			ranges = append(ranges, RangeInfo{
+				From:       r.from,
+				To:         r.to,
+				State:      r.stateLocked(),
+				Worker:     r.worker,
+				Remote:     r.remote,
+				PointsDone: r.pointsDoneLocked(),
+				Forwards:   r.forwards,
+				Error:      r.errMsg,
+			})
 		}
+		if points > 0 {
+			progress = float64(pointsDone) / float64(points)
+		}
+		if j.state == jobs.StateRunning && pointsDone > 0 && pointsDone < points && !j.started.IsZero() {
+			elapsed := time.Since(j.started)
+			eta = elapsed / time.Duration(pointsDone) * time.Duration(points-pointsDone)
+		}
+		profile = j.sweep.mergedProfileLocked()
+	}
+	if j.state.Terminal() && sweep {
+		progress = 1
 	}
 	return Status{
 		Sweep:       sweep,
 		Points:      points,
 		PointsDone:  pointsDone,
+		Progress:    progress,
+		ETA:         eta,
+		Ranges:      ranges,
+		Profile:     profile,
 		ID:          j.id,
 		Trace:       j.trace,
 		Spans:       append([]obs.Span(nil), j.spans...),

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -90,24 +91,30 @@ func NewHandler(d *Dispatcher) http.Handler {
 }
 
 type statusJSON struct {
-	ID          string     `json:"id"`
-	TraceID     string     `json:"trace_id,omitempty"`
-	State       jobs.State `json:"state"`
-	Engine      string     `json:"engine,omitempty"`
-	Worker      string     `json:"worker,omitempty"`
-	Remote      string     `json:"remote,omitempty"`
-	CacheHit    bool       `json:"cache_hit"`
-	Coalesced   bool       `json:"coalesced,omitempty"`
-	Shards      int        `json:"shards,omitempty"`
-	Reforwards  int        `json:"reforwards,omitempty"`
-	Sweep       bool       `json:"sweep,omitempty"`
-	Points      int        `json:"points,omitempty"`
-	PointsDone  int        `json:"points_done,omitempty"`
-	Error       string     `json:"error,omitempty"`
-	SubmittedAt string     `json:"submitted_at"`
-	StartedAt   string     `json:"started_at,omitempty"`
-	FinishedAt  string     `json:"finished_at,omitempty"`
-	Spans       []obs.Span `json:"spans,omitempty"`
+	ID          string      `json:"id"`
+	TraceID     string      `json:"trace_id,omitempty"`
+	State       jobs.State  `json:"state"`
+	Engine      string      `json:"engine,omitempty"`
+	Worker      string      `json:"worker,omitempty"`
+	Remote      string      `json:"remote,omitempty"`
+	CacheHit    bool        `json:"cache_hit"`
+	Coalesced   bool        `json:"coalesced,omitempty"`
+	Shards      int         `json:"shards,omitempty"`
+	Reforwards  int         `json:"reforwards,omitempty"`
+	Sweep       bool        `json:"sweep,omitempty"`
+	Points      int         `json:"points,omitempty"`
+	PointsDone  int         `json:"points_done,omitempty"`
+	Progress    float64     `json:"progress,omitempty"`
+	EtaMS       float64     `json:"eta_ms,omitempty"`
+	Ranges      []RangeInfo `json:"ranges,omitempty"`
+	Error       string      `json:"error,omitempty"`
+	SubmittedAt string      `json:"submitted_at"`
+	StartedAt   string      `json:"started_at,omitempty"`
+	FinishedAt  string      `json:"finished_at,omitempty"`
+	Spans       []obs.Span  `json:"spans,omitempty"`
+	// Profile is the kernel-granular execution profile proxied from the
+	// owning worker (profiled submissions only).
+	Profile json.RawMessage `json:"profile,omitempty"`
 }
 
 // maxLongPoll caps ?wait= so a stuck client cannot pin a handler
@@ -148,6 +155,10 @@ func statusToJSON(st Status) statusJSON {
 		Sweep:       st.Sweep,
 		Points:      st.Points,
 		PointsDone:  st.PointsDone,
+		Progress:    st.Progress,
+		EtaMS:       float64(st.ETA) / float64(time.Millisecond),
+		Ranges:      st.Ranges,
+		Profile:     st.Profile,
 		Error:       st.Error,
 		SubmittedAt: st.SubmittedAt.UTC().Format(time.RFC3339Nano),
 	}
@@ -186,7 +197,7 @@ func handleSubmit(d *Dispatcher, w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	st, err := d.SubmitTraced(b, pin, r.Header.Get(obs.TraceHeader))
+	st, err := d.SubmitTraced(b, pin, r.Header.Get(obs.TraceHeader), jobs.ProfileFlag(raw) || r.URL.Query().Get("profile") == "true")
 	switch {
 	case errors.Is(err, jobs.ErrClosed):
 		jobs.WriteJSON(w, http.StatusServiceUnavailable, jobs.ErrorJSON{Error: err.Error()})
@@ -274,7 +285,7 @@ func handleSweepSubmit(d *Dispatcher, w http.ResponseWriter, r *http.Request) {
 		jobs.WriteJSON(w, http.StatusBadRequest, jobs.ErrorJSON{Error: err.Error()})
 		return
 	}
-	st, err := d.SubmitSweepTraced(b, r.Header.Get(obs.TraceHeader))
+	st, err := d.SubmitSweepTraced(b, r.Header.Get(obs.TraceHeader), jobs.ProfileFlag(raw) || r.URL.Query().Get("profile") == "true")
 	switch {
 	case errors.Is(err, jobs.ErrClosed):
 		jobs.WriteJSON(w, http.StatusServiceUnavailable, jobs.ErrorJSON{Error: err.Error()})
@@ -319,15 +330,20 @@ func handleSweepResult(d *Dispatcher, w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	jobs.WriteJSON(w, http.StatusOK, map[string]any{
+	doc := map[string]any{
 		"id":          st.ID,
 		"trace_id":    st.Trace,
 		"state":       st.State,
 		"engine":      engine,
 		"points":      st.Points,
 		"points_done": st.PointsDone,
+		"progress":    st.Progress,
 		"results":     merged,
-	})
+	}
+	if len(st.Profile) > 0 {
+		doc["profile"] = st.Profile
+	}
+	jobs.WriteJSON(w, http.StatusOK, doc)
 }
 
 func handleCancel(d *Dispatcher, w http.ResponseWriter, r *http.Request) {

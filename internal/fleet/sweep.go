@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -47,6 +48,34 @@ type sweepRange struct {
 	done       bool
 	failed     bool
 	errMsg     string
+	// profile is the worker's per-kind kernel profile for this range's
+	// sub-sweep, captured opaquely when the range completes (profiled
+	// submissions only).
+	profile json.RawMessage
+}
+
+// stateLocked names the range's lifecycle phase for status documents.
+// Callers hold Dispatcher.mu.
+func (r *sweepRange) stateLocked() string {
+	switch {
+	case r.failed:
+		return "failed"
+	case r.done:
+		return "done"
+	case r.worker != "":
+		return "running"
+	default:
+		return "queued"
+	}
+}
+
+// pointsDoneLocked is the range-local completed-point count. Callers
+// hold Dispatcher.mu.
+func (r *sweepRange) pointsDoneLocked() int {
+	if r.done {
+		return r.to - r.from
+	}
+	return r.pointsDone
 }
 
 // sweepScatter is the dispatcher-side state of one sweep job. ranges is
@@ -62,23 +91,78 @@ type sweepScatter struct {
 func (s *sweepScatter) pointsDoneLocked() int {
 	n := 0
 	for _, r := range s.ranges {
-		if r.done {
-			n += r.to - r.from
-		} else {
-			n += r.pointsDone
-		}
+		n += r.pointsDoneLocked()
 	}
 	return n
 }
 
-// SubmitSweep accepts a parameter-sweep bundle as one dispatched job.
-func (d *Dispatcher) SubmitSweep(b *bundle.Bundle) (Status, error) {
-	return d.SubmitSweepTraced(b, "")
+// rangeProfileDoc mirrors the worker jobs layer's aggregated sweep
+// profile shape for merging range documents; kinds stay opaque rows.
+type rangeProfileDoc struct {
+	Points         int   `json:"points"`
+	PointsProfiled int   `json:"points_profiled"`
+	TotalNs        int64 `json:"total_ns"`
+	Kinds          []struct {
+		Kind    string `json:"kind"`
+		Kernels int    `json:"kernels"`
+		Ns      int64  `json:"ns"`
+	} `json:"kinds"`
 }
 
-// SubmitSweepTraced is SubmitSweep with an explicit trace ID. The grid
-// journals as ONE record; the scatter happens after acceptance.
-func (d *Dispatcher) SubmitSweepTraced(b *bundle.Bundle, traceID string) (Status, error) {
+// mergedProfileLocked folds the per-range worker profile documents into
+// one fleet-wide per-kind table, byte-compatible with a single worker's
+// aggregated sweep profile. Nil until at least one range reported a
+// profile (i.e. always nil for unprofiled sweeps). Callers hold
+// Dispatcher.mu.
+func (s *sweepScatter) mergedProfileLocked() json.RawMessage {
+	var out rangeProfileDoc
+	idx := map[string]int{}
+	seen := false
+	for _, r := range s.ranges {
+		if len(r.profile) == 0 {
+			continue
+		}
+		var doc rangeProfileDoc
+		if err := json.Unmarshal(r.profile, &doc); err != nil {
+			continue
+		}
+		seen = true
+		out.Points += doc.Points
+		out.PointsProfiled += doc.PointsProfiled
+		out.TotalNs += doc.TotalNs
+		for _, k := range doc.Kinds {
+			i, ok := idx[k.Kind]
+			if !ok {
+				i = len(out.Kinds)
+				idx[k.Kind] = i
+				out.Kinds = append(out.Kinds, k)
+				continue
+			}
+			out.Kinds[i].Kernels += k.Kernels
+			out.Kinds[i].Ns += k.Ns
+		}
+	}
+	if !seen {
+		return nil
+	}
+	sort.Slice(out.Kinds, func(i, j int) bool { return out.Kinds[i].Ns > out.Kinds[j].Ns })
+	raw, err := json.Marshal(out)
+	if err != nil {
+		return nil
+	}
+	return raw
+}
+
+// SubmitSweep accepts a parameter-sweep bundle as one dispatched job.
+func (d *Dispatcher) SubmitSweep(b *bundle.Bundle) (Status, error) {
+	return d.SubmitSweepTraced(b, "", false)
+}
+
+// SubmitSweepTraced is SubmitSweep with an explicit trace ID and profile
+// flag. The grid journals as ONE record; the scatter happens after
+// acceptance. profile forwards to every range's worker, whose per-kind
+// kernel tables merge back into this job's status document.
+func (d *Dispatcher) SubmitSweepTraced(b *bundle.Bundle, traceID string, profile bool) (Status, error) {
 	if b == nil {
 		return Status{}, errors.New("fleet: nil bundle")
 	}
@@ -115,6 +199,7 @@ func (d *Dispatcher) SubmitSweepTraced(b *bundle.Bundle, traceID string) (Status
 		key:       key,
 		engine:    engine,
 		raw:       raw,
+		profile:   profile,
 		state:     jobs.StateQueued,
 		submitted: now,
 		sweep:     &sweepScatter{points: n},
@@ -127,7 +212,7 @@ func (d *Dispatcher) SubmitSweepTraced(b *bundle.Bundle, traceID string) (Status
 	d.met.submitted.Inc()
 	d.met.sweeps.Inc()
 	j.spanLocked("queued", 0, fmt.Sprintf("sweep points=%d", n))
-	d.enqueueLocked(j, store.Event{T: store.EvSubmitted, Job: j.id, Trace: j.trace, At: now, Key: key, Engine: engine, Bundle: raw, Points: n})
+	d.enqueueLocked(j, store.Event{T: store.EvSubmitted, Job: j.id, Trace: j.trace, At: now, Key: key, Engine: engine, Bundle: raw, Points: n, Profile: profile})
 	d.wg.Add(1)
 	st := d.statusLocked(j)
 	d.mu.Unlock()
@@ -339,7 +424,7 @@ func (d *Dispatcher) forwardRange(j *fwdJob, r *sweepRange) bool {
 		w := d.workerByName(name)
 		ctx, cancel := context.WithTimeout(d.ctx, d.opts.RequestTimeout)
 		rtStart := time.Now()
-		sub, err := w.c.submitSweep(ctx, r.raw, j.trace)
+		sub, err := w.c.submitSweep(ctx, r.raw, j.trace, j.profile)
 		rt := time.Since(rtStart)
 		cancel()
 		if err != nil {
@@ -370,8 +455,10 @@ func (d *Dispatcher) forwardRange(j *fwdJob, r *sweepRange) bool {
 		d.mu.Unlock()
 		if reforward {
 			d.log.Warn("sweep range re-forwarded", "job", j.id, "trace", j.trace, "from", r.from, "to", r.to, "worker", name, "remote", sub.ID)
+			obs.RecordDur(obs.FlightFleetForward, j.id, fmt.Sprintf("range [%d,%d) re-forwarded to %s as %s", r.from, r.to, name, sub.ID), rt)
 		} else {
 			d.log.Info("sweep range forwarded", "job", j.id, "trace", j.trace, "from", r.from, "to", r.to, "worker", name, "remote", sub.ID)
+			obs.RecordDur(obs.FlightFleetForward, j.id, fmt.Sprintf("range [%d,%d) to %s as %s", r.from, r.to, name, sub.ID), rt)
 		}
 		d.flushDirty()
 		return true
@@ -439,6 +526,7 @@ func (d *Dispatcher) detachRange(j *fwdJob, r *sweepRange, workerName string) {
 		w.outstanding--
 	}
 	j.spanLocked("detached", 0, fmt.Sprintf("range [%d,%d): worker %s lost the sub-sweep", r.from, r.to, workerName))
+	obs.Record(obs.FlightFleetDetach, j.id, fmt.Sprintf("range [%d,%d): worker %s lost the sub-sweep", r.from, r.to, workerName))
 	d.log.Warn("sweep range detached", "job", j.id, "trace", j.trace, "from", r.from, "to", r.to, "worker", workerName)
 }
 
@@ -455,6 +543,11 @@ func (d *Dispatcher) observeRange(j *fwdJob, r *sweepRange, st remoteStatus) boo
 	}
 	if st.PointsDone > r.pointsDone {
 		r.pointsDone = st.PointsDone
+	}
+	if len(st.Profile) > 0 {
+		// The sub-sweep's worker-aggregated kernel table; overwritten on
+		// re-forward so the table matches the execution that survived.
+		r.profile = st.Profile
 	}
 	enqueued := false
 	switch jobs.State(st.State) {
@@ -473,6 +566,7 @@ func (d *Dispatcher) observeRange(j *fwdJob, r *sweepRange, st remoteStatus) boo
 			w.outstanding--
 		}
 		j.spanLocked("range done", 0, fmt.Sprintf("[%d,%d) on %s", r.from, r.to, r.worker))
+		obs.Record(obs.FlightSweepRange, j.id, fmt.Sprintf("range [%d,%d) done on %s", r.from, r.to, r.worker))
 	case jobs.StateFailed:
 		r.failed = true
 		r.errMsg = st.Error
@@ -480,6 +574,7 @@ func (d *Dispatcher) observeRange(j *fwdJob, r *sweepRange, st remoteStatus) boo
 			w.outstanding--
 		}
 		j.spanLocked("range failed", 0, fmt.Sprintf("[%d,%d) on %s: %s", r.from, r.to, r.worker, st.Error))
+		obs.Record(obs.FlightSweepRange, j.id, fmt.Sprintf("range [%d,%d) failed on %s: %s", r.from, r.to, r.worker, st.Error))
 	case jobs.StateCanceled:
 		// Canceled out-of-band on the worker: treat as a range failure so
 		// the sweep surfaces it rather than hanging.

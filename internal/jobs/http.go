@@ -111,23 +111,26 @@ type submitJSON struct {
 }
 
 type statusJSON struct {
-	ID          string     `json:"id"`
-	TraceID     string     `json:"trace_id,omitempty"`
-	State       State      `json:"state"`
-	Engine      string     `json:"engine,omitempty"`
-	CacheHit    bool       `json:"cache_hit"`
-	Coalesced   bool       `json:"coalesced,omitempty"`
-	Shards      int        `json:"shards,omitempty"`
-	Sweep       bool       `json:"sweep,omitempty"`
-	Points      int        `json:"points,omitempty"`
-	PointsDone  int        `json:"points_done,omitempty"`
-	Error       string     `json:"error,omitempty"`
-	SubmittedAt string     `json:"submitted_at"`
-	StartedAt   string     `json:"started_at,omitempty"`
-	FinishedAt  string     `json:"finished_at,omitempty"`
-	QueueMS     float64    `json:"queue_ms"`
-	RunMS       float64    `json:"run_ms"`
-	Spans       []obs.Span `json:"spans,omitempty"`
+	ID          string          `json:"id"`
+	TraceID     string          `json:"trace_id,omitempty"`
+	State       State           `json:"state"`
+	Engine      string          `json:"engine,omitempty"`
+	CacheHit    bool            `json:"cache_hit"`
+	Coalesced   bool            `json:"coalesced,omitempty"`
+	Shards      int             `json:"shards,omitempty"`
+	Sweep       bool            `json:"sweep,omitempty"`
+	Points      int             `json:"points,omitempty"`
+	PointsDone  int             `json:"points_done,omitempty"`
+	Progress    float64         `json:"progress,omitempty"`
+	EtaMS       float64         `json:"eta_ms,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	SubmittedAt string          `json:"submitted_at"`
+	StartedAt   string          `json:"started_at,omitempty"`
+	FinishedAt  string          `json:"finished_at,omitempty"`
+	QueueMS     float64         `json:"queue_ms"`
+	RunMS       float64         `json:"run_ms"`
+	Spans       []obs.Span      `json:"spans,omitempty"`
+	Profile     json.RawMessage `json:"profile,omitempty"`
 }
 
 type entryJSON struct {
@@ -146,6 +149,27 @@ type resultJSON struct {
 	Meta    map[string]any `json:"meta,omitempty"`
 }
 
+// ProfileFlag side-parses the optional top-level "profile" flag from a
+// raw submission body. The flag is not part of the bundle schema —
+// FromJSON ignores unknown top-level fields and schema validation
+// re-marshals from the struct — so it rides verbatim through any proxy
+// that forwards the raw body, and reaches the executing worker without
+// protocol changes. Proxies that re-derive the body from the parsed
+// bundle (the fleet dispatcher re-marshals, which drops unknown fields)
+// forward the flag as ?profile=true instead, exactly like shard pins.
+func ProfileFlag(raw []byte) bool {
+	var flags struct {
+		Profile bool `json:"profile"`
+	}
+	_ = json.Unmarshal(raw, &flags) // malformed bodies already failed FromJSON
+	return flags.Profile
+}
+
+// queryProfile reads the ?profile=true form of the flag.
+func queryProfile(r *http.Request) bool {
+	return r.URL.Query().Get("profile") == "true"
+}
+
 func handleSubmit(p *Pool, w http.ResponseWriter, r *http.Request) {
 	raw, err := readBody(w, r)
 	if err != nil {
@@ -157,6 +181,7 @@ func handleSubmit(p *Pool, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var so SubmitOptions
+	so.Profile = ProfileFlag(raw) || queryProfile(r)
 	if raw := r.URL.Query().Get("shards"); raw != "" {
 		shards, err := strconv.Atoi(raw)
 		if err != nil || shards < 0 {
@@ -314,6 +339,8 @@ type sweepResultJSON struct {
 	Engine     string           `json:"engine,omitempty"`
 	Points     int              `json:"points"`
 	PointsDone int              `json:"points_done"`
+	Progress   float64          `json:"progress"`
+	Profile    json.RawMessage  `json:"profile,omitempty"`
 	Results    []sweepPointJSON `json:"results"`
 }
 
@@ -328,6 +355,7 @@ func handleSweepSubmit(p *Pool, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var so SubmitOptions
+	so.Profile = ProfileFlag(raw) || queryProfile(r)
 	if raw := r.URL.Query().Get("shards"); raw != "" {
 		shards, err := strconv.Atoi(raw)
 		if err != nil || shards < 0 {
@@ -388,6 +416,11 @@ func handleSweepResult(p *Pool, w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	// Re-snapshot: a recovered sweep's aggregated profile materializes on
+	// the SweepResult call above (results lazy-load from disk).
+	if st2, err2 := p.Status(id); err2 == nil {
+		st = st2
+	}
 	out := sweepResultJSON{
 		ID:         st.ID,
 		TraceID:    st.Trace,
@@ -395,6 +428,8 @@ func handleSweepResult(p *Pool, w http.ResponseWriter, r *http.Request) {
 		Engine:     st.Engine,
 		Points:     st.Points,
 		PointsDone: st.PointsDone,
+		Progress:   st.Progress,
+		Profile:    st.Profile,
 		Results:    make([]sweepPointJSON, 0, len(results)),
 	}
 	for i, res := range results {
@@ -422,7 +457,10 @@ func statusToJSON(st Status) statusJSON {
 		SubmittedAt: st.SubmittedAt.UTC().Format(time.RFC3339Nano),
 		QueueMS:     float64(st.QueueWait) / float64(time.Millisecond),
 		RunMS:       float64(st.RunTime) / float64(time.Millisecond),
+		Progress:    st.Progress,
+		EtaMS:       float64(st.ETA) / float64(time.Millisecond),
 		Spans:       st.Spans,
+		Profile:     st.Profile,
 	}
 	if !st.StartedAt.IsZero() {
 		out.StartedAt = st.StartedAt.UTC().Format(time.RFC3339Nano)

@@ -217,6 +217,17 @@ type Status struct {
 	Sweep      bool
 	Points     int
 	PointsDone int
+	// Progress is PointsDone/Points for sweep jobs (1 for any terminal
+	// job), and ETA a coarse remaining-time estimate extrapolated from
+	// the completed points' average duration (zero until at least one
+	// point finishes, and for non-sweep jobs).
+	Progress float64
+	ETA      time.Duration
+	// Profile is the kernel-granular execution profile of a profiled job
+	// (SubmitOptions.Profile): the sim.Profile kernel table for plain
+	// jobs, the per-kind aggregate for sweeps. nil while the job runs and
+	// for unprofiled jobs.
+	Profile json.RawMessage
 	// Error holds the failure message for StateFailed.
 	Error       string
 	SubmittedAt time.Time
@@ -348,12 +359,16 @@ type job struct {
 	state     State
 	engine    string
 	cacheHit  bool
-	coalesced bool   // served by attaching to an identical in-flight job
-	shards    int    // submitter's explicit parallelism request (0 = scheduler)
-	granted   int    // shards granted when the job started running
-	waiters   []*job // identical submissions coalesced onto this running job
-	primary   *job   // the running job this one is attached to (waiters only)
-	resKey    string // content address of the on-disk result (recovered jobs)
+	coalesced bool // served by attaching to an identical in-flight job
+	shards    int  // submitter's explicit parallelism request (0 = scheduler)
+	granted   int  // shards granted when the job started running
+	profile   bool // run with the kernel-granular profiler on
+	// profileDoc is the extracted Meta["profile"] JSON of a completed
+	// profiled job, surfaced in Status next to the span log.
+	profileDoc json.RawMessage
+	waiters    []*job // identical submissions coalesced onto this running job
+	primary    *job   // the running job this one is attached to (waiters only)
+	resKey     string // content address of the on-disk result (recovered jobs)
 	// sweep is non-nil for sweep jobs (SubmitSweep): per-point progress,
 	// result keys and results. Such a job occupies one queue slot and one
 	// journal record but fans out per point when it runs.
@@ -471,6 +486,7 @@ func (p *Pool) recoverLocked() {
 			trace:     rec.Trace,
 			key:       rec.Key,
 			engine:    rec.Engine,
+			profile:   rec.Profile,
 			submitted: rec.Submitted,
 			done:      make(chan struct{}),
 		}
@@ -565,6 +581,12 @@ type SubmitOptions struct {
 	// invalid IDs are replaced with a fresh random one; the accepted ID
 	// is in the returned Status and every journal event and log line.
 	TraceID string
+	// Profile turns on the kernel-granular execution profiler for this
+	// job: the per-kernel table lands in the result's Meta["profile"] and
+	// the status document's "profile" field. Observational only — counts
+	// are bit-identical — but profiled jobs cache under a distinct key so
+	// the table's presence is deterministic in the submission.
+	Profile bool
 }
 
 // Submit registers the bundle as a job and enqueues it, returning the job
@@ -593,11 +615,13 @@ func (p *Pool) submit(b *bundle.Bundle, o SubmitOptions) (Status, error) {
 		return Status{}, fmt.Errorf("jobs: nil bundle")
 	}
 	// The content address feeds both the result cache and in-flight
-	// coalescing.
+	// coalescing; profiled submissions key separately so the profile's
+	// presence is deterministic in the submission.
 	key, err := CacheKey(b)
 	if err != nil {
 		return Status{}, err
 	}
+	key = profiledKey(key, o.Profile)
 	engine := resolveEngine(b)
 	// The journal records the canonical bundle JSON so a job that is
 	// queued or running at crash time can be reconstructed and requeued.
@@ -624,6 +648,7 @@ func (p *Pool) submit(b *bundle.Bundle, o SubmitOptions) (Status, error) {
 		state:     StateQueued,
 		engine:    engine,
 		shards:    o.Shards,
+		profile:   o.Profile,
 		submitted: now,
 		done:      make(chan struct{}),
 	}
@@ -642,6 +667,7 @@ func (p *Pool) submit(b *bundle.Bundle, o SubmitOptions) (Status, error) {
 			j.state = StateDone
 			j.res = res
 			j.cacheHit = true
+			j.profileDoc = profileRaw(res)
 			j.finished = now
 			j.spanLocked("queued", 0, "")
 			j.spanLocked("done", 0, "cache hit")
@@ -651,6 +677,7 @@ func (p *Pool) submit(b *bundle.Bundle, o SubmitOptions) (Status, error) {
 			p.jobs[j.id] = j
 			p.journalCacheHitLocked(j, res)
 			p.finishLocked(j)
+			obs.Record(obs.FlightJobDone, j.id, "cache hit")
 			p.log.Info("job done", "job", j.id, "trace", j.trace, "engine", j.engine, "cache_hit", true)
 			return p.statusLocked(j), nil
 		}
@@ -667,7 +694,8 @@ func (p *Pool) submit(b *bundle.Bundle, o SubmitOptions) (Status, error) {
 		p.jobs[j.id] = j
 		p.met.submitted.Inc()
 		p.met.coalesced.Inc()
-		p.journal(store.Event{T: store.EvSubmitted, Job: j.id, At: now, Trace: j.trace, Key: key, Engine: engine, Bundle: rawBundle, Pin: o.Shards})
+		p.journal(store.Event{T: store.EvSubmitted, Job: j.id, At: now, Trace: j.trace, Key: key, Engine: engine, Bundle: rawBundle, Pin: o.Shards, Profile: o.Profile})
+		obs.Record(obs.FlightJobQueued, j.id, "coalesced onto "+primary.id)
 		p.log.Info("job coalesced", "job", j.id, "trace", j.trace, "engine", engine, "primary", primary.id)
 		return p.statusLocked(j), nil
 	}
@@ -679,7 +707,8 @@ func (p *Pool) submit(b *bundle.Bundle, o SubmitOptions) (Status, error) {
 	p.pending = append(p.pending, j)
 	p.jobs[j.id] = j
 	p.met.submitted.Inc()
-	p.journal(store.Event{T: store.EvSubmitted, Job: j.id, At: now, Trace: j.trace, Key: key, Engine: engine, Bundle: rawBundle, Pin: o.Shards})
+	p.journal(store.Event{T: store.EvSubmitted, Job: j.id, At: now, Trace: j.trace, Key: key, Engine: engine, Bundle: rawBundle, Pin: o.Shards, Profile: o.Profile})
+	obs.Record(obs.FlightJobQueued, j.id, "")
 	p.log.Info("job queued", "job", j.id, "trace", j.trace, "engine", engine)
 	p.cond.Signal()
 	return p.statusLocked(j), nil
@@ -785,6 +814,7 @@ func (p *Pool) runJob(j *job) {
 			j.state = StateDone
 			j.res = res
 			j.cacheHit = true
+			j.profileDoc = profileRaw(res)
 			j.finished = time.Now()
 			j.spanLocked("done", j.finished.Sub(j.submitted), "cache hit at dequeue")
 			p.met.queueWait.Observe(j.finished.Sub(j.submitted))
@@ -794,6 +824,7 @@ func (p *Pool) runJob(j *job) {
 				p.journal(store.Event{T: store.EvDone, Job: j.id, At: j.finished, Engine: j.engine, CacheHit: true, Result: j.key})
 			}
 			p.finishLocked(j)
+			obs.Record(obs.FlightJobDone, j.id, "cache hit at dequeue")
 			p.log.Info("job done", "job", j.id, "trace", j.trace, "engine", j.engine, "cache_hit", true)
 			p.mu.Unlock()
 			return
@@ -835,9 +866,11 @@ func (p *Pool) runJob(j *job) {
 	p.met.queueWait.Observe(j.started.Sub(j.submitted))
 	j.spanLocked("started", j.started.Sub(j.submitted), fmt.Sprintf("shards=%d", granted))
 	p.journal(store.Event{T: store.EvStarted, Job: j.id, At: j.started, Shards: granted})
+	obs.Record(obs.FlightJobRunning, j.id, fmt.Sprintf("shards=%d", granted))
 	p.log.Info("job started", "job", j.id, "trace", j.trace, "engine", j.engine, "shards", granted)
 	runOpts := p.opts.Run
 	runOpts.Shards = granted
+	runOpts.Profile = j.profile
 	// Per-stage timings from the engine become spans on this job; the
 	// callback runs on the worker goroutine with p.mu released.
 	runOpts.Stages = func(stage string, d time.Duration) {
@@ -875,10 +908,12 @@ func (p *Pool) runJob(j *job) {
 		j.spanLocked("failed", j.finished.Sub(j.started), "")
 		p.met.failed.Inc()
 		p.journal(store.Event{T: store.EvFailed, Job: j.id, At: j.finished, Engine: j.engine, Error: err.Error()})
+		obs.Record(obs.FlightJobFailed, j.id, err.Error())
 		p.log.Warn("job failed", "job", j.id, "trace", j.trace, "engine", j.engine, "err", err)
 	} else {
 		j.state = StateDone
 		j.res = res
+		j.profileDoc = profileRaw(res)
 		if res != nil {
 			j.engine = res.Engine
 		}
@@ -888,6 +923,7 @@ func (p *Pool) runJob(j *job) {
 			p.cache.put(j.key, res)
 		}
 		p.journal(store.Event{T: store.EvDone, Job: j.id, At: j.finished, Engine: j.engine, Result: j.key})
+		obs.RecordDur(obs.FlightJobDone, j.id, "", j.finished.Sub(j.started))
 		p.log.Info("job done", "job", j.id, "trace", j.trace, "engine", j.engine, "run_ms", j.finished.Sub(j.started).Milliseconds())
 	}
 	p.finishLocked(j)
@@ -931,6 +967,7 @@ func (p *Pool) runJob(j *job) {
 		} else {
 			w.state = StateDone
 			w.res = copies[i]
+			w.profileDoc = j.profileDoc
 			w.spanLocked("done", 0, "with primary "+j.id)
 			p.met.completed.Inc()
 			p.journal(store.Event{T: store.EvDone, Job: w.id, At: w.finished, Engine: w.engine, Coalesced: true, Result: w.key})
@@ -968,10 +1005,23 @@ func (p *Pool) statusLocked(j *job) Status {
 		FinishedAt:  j.finished,
 		Spans:       append([]obs.Span(nil), j.spans...),
 	}
+	s.Profile = j.profileDoc
 	if j.sweep != nil {
 		s.Sweep = true
 		s.Points = j.sweep.points
 		s.PointsDone = j.sweep.completed
+		if s.Points > 0 {
+			s.Progress = float64(s.PointsDone) / float64(s.Points)
+		}
+		// Coarse ETA: extrapolate the remaining points from the average
+		// duration of the ones already completed this run.
+		if j.state == StateRunning && s.PointsDone > 0 && s.PointsDone < s.Points {
+			elapsed := time.Since(j.started)
+			s.ETA = elapsed / time.Duration(s.PointsDone) * time.Duration(s.Points-s.PointsDone)
+		}
+	}
+	if j.state.Terminal() {
+		s.Progress = 1
 	}
 	if j.err != nil {
 		s.Error = j.err.Error()
@@ -1017,6 +1067,7 @@ func (p *Pool) Result(id string) (*result.Result, error) {
 				return nil, fmt.Errorf("jobs: result file for %q (%s) is gone", id, j.resKey)
 			}
 			j.res = res
+			j.profileDoc = profileRaw(res)
 		}
 		return j.res, nil
 	case StateFailed:
@@ -1071,6 +1122,7 @@ func (p *Pool) Cancel(id string) error {
 		j.spanLocked("canceled", j.finished.Sub(j.submitted), "")
 		p.met.canceled.Inc()
 		p.journal(store.Event{T: store.EvCanceled, Job: j.id, At: j.finished})
+		obs.Record(obs.FlightJobCanceled, j.id, "")
 		p.log.Info("job canceled", "job", j.id, "trace", j.trace)
 		p.finishLocked(j)
 		return nil

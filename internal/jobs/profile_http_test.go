@@ -1,0 +1,177 @@
+package jobs
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+// withProfileFlag injects the top-level "profile": true flag into a
+// job.json document, the way a client opts a submission into profiling.
+func withProfileFlag(t testing.TB, raw []byte) []byte {
+	t.Helper()
+	doc := map[string]any{}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["profile"] = true
+	out, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// profileDoc pulls the status document's kernel table.
+func profileDoc(t testing.TB, st map[string]any) map[string]any {
+	t.Helper()
+	p, ok := st["profile"].(map[string]any)
+	if !ok {
+		t.Fatalf("status has no profile document: %v", st["profile"])
+	}
+	return p
+}
+
+// TestHTTPProfiledJob is the serving-layer profiling contract: a
+// profiled submission's status document carries the per-kernel table,
+// its total tracks the execute stage span, counts are bit-identical to
+// the unprofiled twin, and the two cache separately.
+func TestHTTPProfiledJob(t *testing.T) {
+	pool := NewPool(Options{Workers: 2, QueueDepth: 8})
+	defer pool.Close()
+	h := NewHandler(pool)
+	raw := quickstartBundle(t)
+
+	// Unprofiled baseline.
+	sub := doJSON(t, h, "POST", "/v1/jobs", raw, http.StatusAccepted)
+	baseID, _ := sub["id"].(string)
+	baseSt := doJSON(t, h, "GET", "/v1/jobs/"+baseID+"?wait=30s", nil, http.StatusOK)
+	if _, has := baseSt["profile"]; has {
+		t.Fatal("unprofiled job status carries a profile")
+	}
+	baseRes := doJSON(t, h, "GET", "/v1/jobs/"+baseID+"/result", nil, http.StatusOK)
+
+	// Profiled twin: same circuit, body flag set. Must NOT be served from
+	// the unprofiled run's cache entry — the kernel table's presence is
+	// deterministic in the submission.
+	sub = doJSON(t, h, "POST", "/v1/jobs", withProfileFlag(t, raw), http.StatusAccepted)
+	profID, _ := sub["id"].(string)
+	if sub["cache_hit"] == true {
+		t.Fatal("profiled submission hit the unprofiled cache entry")
+	}
+	st := doJSON(t, h, "GET", "/v1/jobs/"+profID+"?wait=30s", nil, http.StatusOK)
+	if st["state"] != string(StateDone) {
+		t.Fatalf("profiled job: %v", st)
+	}
+	p := profileDoc(t, st)
+	kernels, ok := p["kernels"].([]any)
+	if !ok || len(kernels) == 0 {
+		t.Fatalf("profile has no kernel table: %v", p)
+	}
+	var rowSum float64
+	for _, el := range kernels {
+		row := el.(map[string]any)
+		if row["kind"] == "" || row["ns"].(float64) < 0 {
+			t.Fatalf("bad kernel row: %v", row)
+		}
+		rowSum += row["ns"].(float64)
+	}
+	total, _ := p["total_ns"].(float64)
+	if total <= 0 || rowSum != total {
+		t.Fatalf("total_ns %v != kernel row sum %v", total, rowSum)
+	}
+	// The kernel total accounts for the execute stage: never more than
+	// the stage span, and not vanishingly less.
+	var execNs float64
+	for _, el := range st["spans"].([]any) {
+		span := el.(map[string]any)
+		if span["stage"] == "execute" {
+			execNs = span["dur_ns"].(float64)
+		}
+	}
+	if execNs <= 0 {
+		t.Fatalf("no execute span in %v", st["spans"])
+	}
+	if total > execNs*1.10 || total < execNs*0.25 {
+		t.Fatalf("kernel total %v ns does not track execute span %v ns", total, execNs)
+	}
+
+	// Counts are bit-identical profile-on vs profile-off; the profile
+	// also rides the result document's meta.
+	res := doJSON(t, h, "GET", "/v1/jobs/"+profID+"/result", nil, http.StatusOK)
+	if !reflect.DeepEqual(baseRes["entries"], res["entries"]) {
+		t.Fatal("profiled run's entries differ from the unprofiled twin")
+	}
+	if meta, ok := res["meta"].(map[string]any); !ok || meta["profile"] == nil {
+		t.Fatal("result meta lost the profile")
+	}
+
+	// Resubmitting the profiled twin is a cache hit that keeps its table.
+	sub = doJSON(t, h, "POST", "/v1/jobs", withProfileFlag(t, raw), http.StatusAccepted)
+	if sub["cache_hit"] != true {
+		t.Fatalf("profiled resubmission missed the cache: %v", sub)
+	}
+	st = doJSON(t, h, "GET", "/v1/jobs/"+sub["id"].(string), nil, http.StatusOK)
+	profileDoc(t, st)
+
+	// The ?profile=true query form (what the fleet dispatcher forwards)
+	// lands on the same cache entry as the body flag.
+	sub = doJSON(t, h, "POST", "/v1/jobs?profile=true", raw, http.StatusAccepted)
+	if sub["cache_hit"] != true {
+		t.Fatalf("?profile=true submission missed the profiled cache entry: %v", sub)
+	}
+}
+
+// TestHTTPProfiledSweep checks the aggregated sweep profile and the
+// progress fields on the sweep surfaces.
+func TestHTTPProfiledSweep(t *testing.T) {
+	pool := NewPool(Options{Workers: 2, QueueDepth: 8})
+	defer pool.Close()
+	h := NewHandler(pool)
+	points := [][]float64{{0.3, 0.7}, {1.1, 0.2}, {0.8, 1.4}, {0.5, 0.9}}
+	raw := sweepBundleJSON(t, 4, points)
+
+	sub := doJSON(t, h, "POST", "/v1/sweeps?profile=true", raw, http.StatusAccepted)
+	id, _ := sub["id"].(string)
+	st := doJSON(t, h, "GET", "/v1/jobs/"+id+"?wait=30s", nil, http.StatusOK)
+	if st["state"] != string(StateDone) || st["progress"] != float64(1) {
+		t.Fatalf("status: state=%v progress=%v", st["state"], st["progress"])
+	}
+	p := profileDoc(t, st)
+	if p["points"] != float64(len(points)) || p["points_profiled"] != float64(len(points)) {
+		t.Fatalf("sweep profile coverage: %v", p)
+	}
+	kinds, ok := p["kinds"].([]any)
+	if !ok || len(kinds) == 0 {
+		t.Fatalf("sweep profile has no per-kind rows: %v", p)
+	}
+	var kindSum float64
+	for _, el := range kinds {
+		row := el.(map[string]any)
+		if row["kind"] == "" || row["kernels"].(float64) <= 0 {
+			t.Fatalf("bad kind row: %v", row)
+		}
+		kindSum += row["ns"].(float64)
+	}
+	if total, _ := p["total_ns"].(float64); total <= 0 || kindSum != total {
+		t.Fatalf("sweep total_ns %v != kind sum %v", p["total_ns"], kindSum)
+	}
+
+	// The sweep result doc echoes the aggregate and progress.
+	res := doJSON(t, h, "GET", "/v1/sweeps/"+id, nil, http.StatusOK)
+	if res["progress"] != float64(1) {
+		t.Fatalf("sweep result progress = %v", res["progress"])
+	}
+	if _, ok := res["profile"].(map[string]any); !ok {
+		t.Fatalf("sweep result has no profile aggregate: %v", res["profile"])
+	}
+
+	// An unprofiled sweep stays clean of profile documents.
+	sub = doJSON(t, h, "POST", "/v1/sweeps", raw, http.StatusAccepted)
+	uid, _ := sub["id"].(string)
+	st = doJSON(t, h, "GET", "/v1/jobs/"+uid+"?wait=30s", nil, http.StatusOK)
+	if _, has := st["profile"]; has {
+		t.Fatal("unprofiled sweep status carries a profile")
+	}
+}

@@ -138,11 +138,14 @@ type Event struct {
 	Trace string `json:"trace,omitempty"`
 	// Submitted fields. Pin is the submitter's explicit parallelism
 	// request (SubmitOptions.Shards), preserved so a requeued job keeps
-	// its sizing after a crash.
-	Key    string          `json:"key,omitempty"`
-	Engine string          `json:"engine,omitempty"`
-	Bundle json.RawMessage `json:"bundle,omitempty"`
-	Pin    int             `json:"pin,omitempty"`
+	// its sizing after a crash. Profile records that the submitter asked
+	// for the kernel-granular execution profile, so a requeued job re-runs
+	// with profiling on and its status document regains the kernel table.
+	Key     string          `json:"key,omitempty"`
+	Engine  string          `json:"engine,omitempty"`
+	Bundle  json.RawMessage `json:"bundle,omitempty"`
+	Pin     int             `json:"pin,omitempty"`
+	Profile bool            `json:"profile,omitempty"`
 	// Assigned fields (fleet dispatcher): the worker node the job was
 	// forwarded to and the job ID the worker answered with.
 	Worker string `json:"worker,omitempty"`
@@ -177,6 +180,7 @@ type Record struct {
 	State     string
 	Bundle    json.RawMessage // retained only while queued/running
 	Pin       int             // submitter's explicit shard request
+	Profile   bool            // submitter asked for the execution profile
 	Worker    string          // fleet dispatcher: assigned worker node
 	Remote    string          // fleet dispatcher: job ID on that worker
 	Shards    int
@@ -291,6 +295,21 @@ const compactFloor = 64
 // barrier window so batching is observable on filesystems whose fsync
 // returns instantly.
 var testSyncHook func()
+
+// fsyncStallThreshold is the journal fsync latency beyond which a
+// fsync_stall event lands in the flight recorder: slow syncs are the
+// usual culprit when submission latency spikes, and the ring keeps the
+// recent ones visible at /debug/events without scraping histograms.
+const fsyncStallThreshold = 50 * time.Millisecond
+
+// observeFsync records the fsync latency in the histogram and, past the
+// stall threshold, in the process flight recorder.
+func (m *storeMetrics) observeFsync(d time.Duration) {
+	m.fsyncLat.Observe(d)
+	if d >= fsyncStallThreshold {
+		obs.RecordDur(obs.FlightFsyncStall, "", "journal fsync", d)
+	}
+}
 
 // Store is a journal + result-file directory owned by one process. All
 // methods are safe for concurrent use (the pool journals under its own
@@ -436,6 +455,7 @@ func (s *Store) apply(ev Event) {
 		r.Engine = ev.Engine
 		r.Bundle = ev.Bundle
 		r.Pin = ev.Pin
+		r.Profile = ev.Profile
 		r.Points = ev.Points
 		r.Submitted = ev.At
 	case EvAssigned:
@@ -525,7 +545,7 @@ func (s *Store) awaitDurableLocked(gen uint64) error {
 			s.mu.Unlock()
 			syncStart := time.Now()
 			err := f.Sync()
-			s.met.fsyncLat.Observe(time.Since(syncStart))
+			s.met.observeFsync(time.Since(syncStart))
 			s.mu.Lock()
 			s.syncing = false
 			s.met.syncs.Inc()
@@ -561,7 +581,7 @@ func (s *Store) append(ev Event) error {
 		if err := s.f.Sync(); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
-		s.met.fsyncLat.Observe(time.Since(syncStart))
+		s.met.observeFsync(time.Since(syncStart))
 		s.met.syncs.Inc()
 	}
 	s.apply(ev)
@@ -676,7 +696,7 @@ func recordEvents(r *Record) []Event {
 	evs := []Event{{
 		T: EvSubmitted, Job: r.Job, At: r.Submitted, Trace: r.Trace,
 		Key: r.Key, Engine: r.Engine, Bundle: r.Bundle, Pin: r.Pin,
-		Points: r.Points,
+		Profile: r.Profile, Points: r.Points,
 	}}
 	if r.Worker != "" || r.Remote != "" {
 		evs = append(evs, Event{T: EvAssigned, Job: r.Job, Worker: r.Worker, Remote: r.Remote})

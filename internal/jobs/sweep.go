@@ -81,6 +81,7 @@ func (p *Pool) submitSweep(b *bundle.Bundle, o SubmitOptions) (Status, error) {
 	if err != nil {
 		return Status{}, err
 	}
+	key = profiledKey(key, o.Profile)
 	engine := resolveEngine(b)
 	var rawBundle json.RawMessage
 	if p.opts.Store != nil {
@@ -109,6 +110,7 @@ func (p *Pool) submitSweep(b *bundle.Bundle, o SubmitOptions) (Status, error) {
 		state:     StateQueued,
 		engine:    engine,
 		shards:    o.Shards,
+		profile:   o.Profile,
 		submitted: now,
 		sweep:     &sweepState{points: n},
 		done:      make(chan struct{}),
@@ -118,7 +120,8 @@ func (p *Pool) submitSweep(b *bundle.Bundle, o SubmitOptions) (Status, error) {
 	p.jobs[j.id] = j
 	p.met.submitted.Inc()
 	p.met.sweeps.Inc()
-	p.journal(store.Event{T: store.EvSubmitted, Job: j.id, At: now, Trace: j.trace, Key: key, Engine: engine, Bundle: rawBundle, Pin: o.Shards, Points: n})
+	p.journal(store.Event{T: store.EvSubmitted, Job: j.id, At: now, Trace: j.trace, Key: key, Engine: engine, Bundle: rawBundle, Pin: o.Shards, Profile: o.Profile, Points: n})
+	obs.Record(obs.FlightJobQueued, j.id, fmt.Sprintf("sweep points=%d", n))
 	p.log.Info("sweep queued", "job", j.id, "trace", j.trace, "engine", engine, "points", n)
 	p.cond.Signal()
 	return p.statusLocked(j), nil
@@ -166,9 +169,11 @@ func (p *Pool) runSweepJob(j *job) {
 	p.met.queueWait.Observe(j.started.Sub(j.submitted))
 	j.spanLocked("started", j.started.Sub(j.submitted), fmt.Sprintf("sweep points=%d shards=%d", n, granted))
 	p.journal(store.Event{T: store.EvStarted, Job: j.id, At: j.started, Shards: granted})
+	obs.Record(obs.FlightJobRunning, j.id, fmt.Sprintf("sweep points=%d shards=%d", n, granted))
 	p.log.Info("sweep started", "job", j.id, "trace", j.trace, "engine", j.engine, "points", n, "shards", granted)
 	runOpts := p.opts.Run
 	runOpts.Shards = granted
+	runOpts.Profile = j.profile
 	// No per-stage span callback: a sweep would log stage spans per point
 	// and drown the lifecycle log; the coarse spans below cover it.
 	p.mu.Unlock()
@@ -183,7 +188,11 @@ func (p *Pool) runSweepJob(j *job) {
 	var err error
 	for i := 0; i < n && err == nil; i++ {
 		if concrete[i], err = b.BindPoint(sw.Points[i]); err == nil {
-			keys[i], err = CacheKey(concrete[i])
+			if keys[i], err = CacheKey(concrete[i]); err == nil {
+				// Same keying rule as standalone submissions: a profiled
+				// sweep's points share the cache with profiled single jobs.
+				keys[i] = profiledKey(keys[i], j.profile)
+			}
 		}
 	}
 
@@ -280,16 +289,21 @@ func (p *Pool) runSweepJob(j *job) {
 		j.spanLocked("failed", j.finished.Sub(j.started), "")
 		p.met.failed.Inc()
 		p.journal(store.Event{T: store.EvFailed, Job: j.id, At: j.finished, Engine: j.engine, Error: err.Error()})
+		obs.Record(obs.FlightJobFailed, j.id, err.Error())
 		p.log.Warn("sweep failed", "job", j.id, "trace", j.trace, "engine", j.engine, "err", err)
 	} else {
 		j.state = StateDone
 		if len(missIdx) == 0 {
 			j.cacheHit = true // every point served without execution
 		}
+		if j.profile {
+			j.profileDoc = aggregateSweepProfiles(j.sweep.results)
+		}
 		j.spanLocked("done", j.finished.Sub(j.started), fmt.Sprintf("points=%d", n))
 		p.met.completed.Inc()
 		p.met.sweepPoints.Add(uint64(n))
 		p.journal(store.Event{T: store.EvDone, Job: j.id, At: j.finished, Engine: j.engine, Results: append([]string(nil), keys...)})
+		obs.RecordDur(obs.FlightJobDone, j.id, fmt.Sprintf("sweep points=%d", n), j.finished.Sub(j.started))
 		p.log.Info("sweep done", "job", j.id, "trace", j.trace, "engine", j.engine, "points", n, "run_ms", j.finished.Sub(j.started).Milliseconds())
 	}
 	p.finishLocked(j)
@@ -329,6 +343,9 @@ func (p *Pool) SweepResult(id string) ([]*result.Result, error) {
 				loaded[i] = res
 			}
 			j.sweep.results = loaded
+			if j.profile && j.profileDoc == nil {
+				j.profileDoc = aggregateSweepProfiles(loaded)
+			}
 		}
 		return append([]*result.Result(nil), j.sweep.results...), nil
 	case StateFailed:

@@ -16,11 +16,25 @@ var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 
 // obsRegMethods are the internal/obs Registry registration entry points.
 var obsRegMethods = map[string]bool{
-	"Counter":   true,
-	"Gauge":     true,
-	"GaugeFunc": true,
-	"Histogram": true,
+	"Counter":         true,
+	"Gauge":           true,
+	"GaugeFunc":       true,
+	"Histogram":       true,
+	"CounterFamily":   true,
+	"HistogramFamily": true,
 }
+
+// famBaseKind maps a family registration to the instrument kind its
+// children register as, for kind-clash detection against plain
+// registrations of the same name.
+var famBaseKind = map[string]string{
+	"CounterFamily":   "Counter",
+	"HistogramFamily": "Histogram",
+}
+
+// maxFamilyValues mirrors the obs registry's cardinality bound; a larger
+// "enum" is almost certainly a dynamic value set in disguise.
+const maxFamilyValues = 32
 
 // ObsConv enforces the Prometheus exposition conventions the /metrics
 // surface promises: metric names are lower-snake_case; counters (and
@@ -42,10 +56,18 @@ func ObsConv() *Analyzer {
 // obsReg is one literal-name registration call site.
 type obsReg struct {
 	name  string
-	kind  string // method name: Counter, Gauge, GaugeFunc, Histogram
+	kind  string // method name: Counter, Gauge, GaugeFunc, Histogram, CounterFamily, HistogramFamily
 	help  string
 	scope string // enclosing function (duplicate detection unit)
 	node  ast.Node
+
+	// Family-only fields. A family registration carries a label name and
+	// a value enum; both must be literals so the exposition's label
+	// cardinality is provably bounded at vet time.
+	label     string
+	labelLit  bool
+	values    []string
+	valuesLit bool
 }
 
 func runObsConv(p *Package) []Diagnostic {
@@ -92,13 +114,21 @@ func runObsConv(p *Package) []Diagnostic {
 		}
 	}
 	for _, r := range regs {
+		// A family registers children of its base instrument kind; its
+		// name obeys the same suffix rules and clashes with plain
+		// registrations of that kind.
+		baseKind := r.kind
+		if bk, fam := famBaseKind[r.kind]; fam {
+			baseKind = bk
+			checkFamily(report, r)
+		}
 		if !metricNameRE.MatchString(r.name) {
 			report(r.node, "metric name %q is not lower-snake_case ([a-z][a-z0-9_]*)", r.name)
 		}
-		if r.kind == "Counter" && !strings.HasSuffix(r.name, "_total") {
+		if baseKind == "Counter" && !strings.HasSuffix(r.name, "_total") {
 			report(r.node, "counter %q must end in _total", r.name)
 		}
-		if r.kind != "Counter" && strings.HasSuffix(r.name, "_total") {
+		if baseKind != "Counter" && strings.HasSuffix(r.name, "_total") {
 			report(r.node, "%s %q must not end in _total (reserved for counters)", strings.ToLower(r.kind), r.name)
 		}
 		for _, suffix := range []string{"_count", "_sum", "_bucket"} {
@@ -107,9 +137,9 @@ func runObsConv(p *Package) []Diagnostic {
 			}
 		}
 		if first, ok := kindOf[r.name]; !ok {
-			kindOf[r.name] = r.kind
-		} else if first != r.kind {
-			report(r.node, "metric %q registered as %s here but as %s elsewhere in the package (the registry panics on kind clashes)", r.name, r.kind, first)
+			kindOf[r.name] = baseKind
+		} else if first != baseKind {
+			report(r.node, "metric %q registered as %s here but as %s elsewhere in the package (the registry panics on kind clashes)", r.name, baseKind, first)
 		}
 		key := r.scope + "\x00" + r.name
 		if _, dup := seenIn[key]; dup {
@@ -122,6 +152,41 @@ func runObsConv(p *Package) []Diagnostic {
 		}
 	}
 	return diags
+}
+
+// checkFamily enforces the labeled-family contract: the label name is a
+// literal in lower-snake_case, and the value set is a literal []string
+// enum — non-empty, at most maxFamilyValues entries, no empty strings,
+// no duplicates. Rejecting non-literal value sets is what guarantees a
+// job or trace ID can never become a label value: unbounded-cardinality
+// labels never survive vet.
+func checkFamily(report func(ast.Node, string, ...any), r obsReg) {
+	if !r.labelLit {
+		report(r.node, "family %q label name must be a string literal", r.name)
+	} else if !metricNameRE.MatchString(r.label) {
+		report(r.node, "family %q label name %q is not lower-snake_case ([a-z][a-z0-9_]*)", r.name, r.label)
+	}
+	if !r.valuesLit {
+		report(r.node, "family %q value set must be a literal []string of string literals — dynamic values are unbounded label cardinality", r.name)
+		return
+	}
+	if len(r.values) == 0 {
+		report(r.node, "family %q has an empty value set", r.name)
+	}
+	if len(r.values) > maxFamilyValues {
+		report(r.node, "family %q has %d values; the registry caps label cardinality at %d", r.name, len(r.values), maxFamilyValues)
+	}
+	seen := map[string]bool{}
+	for _, v := range r.values {
+		if v == "" {
+			report(r.node, "family %q has an empty label value", r.name)
+			continue
+		}
+		if seen[v] {
+			report(r.node, "family %q repeats label value %q", r.name, v)
+		}
+		seen[v] = true
+	}
 }
 
 // obsRegistration matches a call to an internal/obs Registry
@@ -147,7 +212,41 @@ func (p *Package) obsRegistration(call *ast.CallExpr) (obsReg, bool) {
 	if !helpIsLit {
 		help = "<dynamic>" // non-literal help counts as provided
 	}
-	return obsReg{name: name, kind: fn.Name(), help: help, node: call}, true
+	r := obsReg{name: name, kind: fn.Name(), help: help, node: call}
+	if _, fam := famBaseKind[r.kind]; fam {
+		// CounterFamily(name, help, label, values);
+		// HistogramFamily(name, help, buckets, label, values).
+		labelIdx := 2
+		if r.kind == "HistogramFamily" {
+			labelIdx = 3
+		}
+		if len(call.Args) <= labelIdx+1 {
+			return obsReg{}, false
+		}
+		r.label, r.labelLit = stringLit(call.Args[labelIdx])
+		r.values, r.valuesLit = stringSliceLit(call.Args[labelIdx+1])
+	}
+	return r, true
+}
+
+// stringSliceLit unpacks a literal []string{...} whose elements are all
+// string literals. Anything else — a variable, an append, a call — is
+// reported as non-literal, because the analyzer cannot bound its
+// cardinality or prove it free of per-job identifiers.
+func stringSliceLit(e ast.Expr) ([]string, bool) {
+	cl, ok := ast.Unparen(e).(*ast.CompositeLit)
+	if !ok {
+		return nil, false
+	}
+	out := make([]string, 0, len(cl.Elts))
+	for _, el := range cl.Elts {
+		s, ok := stringLit(el)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, s)
+	}
+	return out, true
 }
 
 func stringLit(e ast.Expr) (string, bool) {

@@ -27,3 +27,27 @@ func Lookup(reg *obs.Registry) {
 func Clash(reg *obs.Registry) {
 	reg.Gauge("fix_ops_total", "Operations, but as a gauge.") // want `obsconv: gauge "fix_ops_total" must not end in _total` // want `obsconv: metric "fix_ops_total" registered as Gauge here but as Counter elsewhere`
 }
+
+// dynamicValues stands in for a value set the analyzer cannot bound —
+// the shape a job- or trace-ID leak would take.
+var dynamicValues = []string{"alpha", "beta"}
+
+// labelVar is a non-literal label name.
+var labelVar = "kind"
+
+// Families registers labeled instrument families; the analyzer must
+// prove each label enum is a literal, bounded, duplicate-free []string.
+func Families(reg *obs.Registry) {
+	reg.CounterFamily("fix_fam_ops_total", "Ops by kind.", "kind", []string{"alpha", "beta"})                                                                                                                                                                                                                // near-miss: convention-clean
+	reg.HistogramFamily("fix_fam_lat_ms", "Latency by kind.", nil, "kind", []string{"alpha"})                                                                                                                                                                                                                // near-miss: convention-clean
+	reg.CounterFamily("fix_fam_requests", "Requests.", "kind", []string{"alpha"})                                                                                                                                                                                                                            // want `obsconv: counter "fix_fam_requests" must end in _total`
+	reg.HistogramFamily("fix_fam_dur_total", "Durations.", nil, "kind", []string{"alpha"})                                                                                                                                                                                                                   // want `obsconv: histogramfamily "fix_fam_dur_total" must not end in _total`
+	reg.CounterFamily("fix_fam_badlabel_total", "Ops.", "Kind", []string{"alpha"})                                                                                                                                                                                                                           // want `obsconv: family "fix_fam_badlabel_total" label name "Kind" is not lower-snake_case`
+	reg.CounterFamily("fix_fam_varlabel_total", "Ops.", labelVar, []string{"alpha"})                                                                                                                                                                                                                         // want `obsconv: family "fix_fam_varlabel_total" label name must be a string literal`
+	reg.CounterFamily("fix_fam_dyn_total", "Ops.", "kind", dynamicValues)                                                                                                                                                                                                                                    // want `obsconv: family "fix_fam_dyn_total" value set must be a literal \[\]string`
+	reg.CounterFamily("fix_fam_dupval_total", "Ops.", "kind", []string{"alpha", "alpha"})                                                                                                                                                                                                                    // want `obsconv: family "fix_fam_dupval_total" repeats label value "alpha"`
+	reg.CounterFamily("fix_fam_novals_total", "Ops.", "kind", []string{})                                                                                                                                                                                                                                    // want `obsconv: family "fix_fam_novals_total" has an empty value set`
+	reg.CounterFamily("fix_fam_blankval_total", "Ops.", "kind", []string{""})                                                                                                                                                                                                                                // want `obsconv: family "fix_fam_blankval_total" has an empty label value`
+	reg.Gauge("fix_fam_lat_ms", "Latency, but as a gauge.")                                                                                                                                                                                                                                                  // want `obsconv: metric "fix_fam_lat_ms" registered as Gauge here but as Histogram elsewhere` // want `obsconv: duplicate registration of "fix_fam_lat_ms" in Families`
+	reg.CounterFamily("fix_fam_wide_total", "Ops.", "kind", []string{"v00", "v01", "v02", "v03", "v04", "v05", "v06", "v07", "v08", "v09", "v10", "v11", "v12", "v13", "v14", "v15", "v16", "v17", "v18", "v19", "v20", "v21", "v22", "v23", "v24", "v25", "v26", "v27", "v28", "v29", "v30", "v31", "v32"}) // want `obsconv: family "fix_fam_wide_total" has 33 values; the registry caps label cardinality at 32`
+}

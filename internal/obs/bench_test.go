@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 )
@@ -31,5 +33,42 @@ func BenchmarkGaugeSet(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g.Set(float64(i))
+	}
+}
+
+func BenchmarkFamilyCounterAt(b *testing.B) {
+	f := NewRegistry().CounterFamily("bench_kind_total", "ops by kind", "kind",
+		[]string{"gate1q", "gate2q", "monomial", "diag", "permute", "ctrlphase", "init"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.At(i & 3).Inc()
+	}
+}
+
+func BenchmarkFlightRecord(b *testing.B) {
+	f := NewFlight(512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Record(FlightKernelBatch, "bench", "")
+	}
+}
+
+// BenchmarkWriteText pins the scrape path's allocation behavior: the
+// registry pre-sizes its buffer from the previous exposition's length,
+// so a steady-state scrape should not regrow it sample by sample.
+func BenchmarkWriteText(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 24; i++ {
+		r.Counter(fmt.Sprintf("bench_scrape_c%02d_total", i), "scrape fodder").Add(uint64(i))
+		r.Histogram(fmt.Sprintf("bench_scrape_h%02d", i), "scrape fodder", nil).Observe(time.Millisecond)
+	}
+	var sb strings.Builder
+	r.WriteText(&sb) // warm lastLen so steady state is measured
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sb.Reset()
+		if err := r.WriteText(&sb); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -27,13 +27,27 @@
 //     revision) identify the binary — fleet operators diff it across
 //     workers to spot mixed-version fleets.
 //
+// Labeled instruments come in two forms. Ad-hoc Label arguments on
+// Counter/Gauge/Histogram create one distinct instrument per label set.
+// CounterFamily and HistogramFamily are the bounded-cardinality form:
+// one label name whose complete value enum is declared at registration,
+// with every child created eagerly so hot paths index a pre-resolved
+// slice (At(ordinal)) with no lock, map lookup, or allocation — the
+// shape the simulator's per-kernel-kind instruments need. The enum is
+// capped at 32 values and can never grow afterwards, which is what
+// keeps the /metrics exposition bounded.
+//
 // The conventions are enforced mechanically: the obsconv analyzer in
 // internal/lint (run by cmd/simvet in CI) flags non-snake_case names,
 // counters missing _total (and non-counters claiming it or the
 // histogram-owned _count/_sum/_bucket suffixes), duplicate
 // registrations within one construction, and same-name registrations
 // under two instrument kinds — the clash this registry would otherwise
-// only catch by panicking at runtime.
+// only catch by panicking at runtime. Family registrations are policed
+// too: the label name must be a lower-snake_case literal and the value
+// set a literal []string (non-empty, duplicate-free, at most 32
+// entries), so an unbounded value — a job or trace ID — can never leak
+// in as a label.
 //
 // Histograms use DefBuckets by default: exponential latency bounds from
 // 10µs to 10s, chosen so both journal fsyncs (~100µs–10ms) and
@@ -70,7 +84,7 @@
 //     transpile/compile/execute/sample stage timings, persisted, done)
 //     with monotonic timestamps, surfaced in GET /v1/jobs/{id}.
 //
-// # Profiling
+// # Profiling and the flight recorder
 //
 // qmlserve -debug-addr brings up a second listener serving
 // net/http/pprof under /debug/pprof/ plus a /metrics alias, so CPU and
@@ -80,4 +94,22 @@
 //	qmlserve -addr :8080 -debug-addr 127.0.0.1:6060
 //	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=30
 //	curl -s http://127.0.0.1:6060/debug/pprof/goroutine?debug=2
+//
+// The same listener serves GET /debug/events, the flight recorder: a
+// fixed-size lock-free ring (Flight) of the most recent structured
+// events from every layer — job transitions, kernel-batch completions,
+// fleet forwards/detaches/ejects/readmits, journal fsync stalls.
+// Recording costs one small allocation plus one atomic store per event,
+// so it is always on; readers snapshot without blocking writers. The
+// Recover middleware appends the ring's tail to every panic report, so
+// a post-mortem starts with the last things the process did rather
+// than with log archaeology. Library layers record through the
+// process-wide ring (obs.Record / obs.RecordDur) under the fixed kind
+// enum (FlightJobQueued ... FlightSweepRange) — per-job identity goes
+// in the event's Job field, never in a new kind.
+//
+// Kernel-granular simulator profiling (per-kernel tables on job status
+// documents, opt-in per submission) lives in internal/sim and the
+// serving layer; see the root package doc. Its always-on aggregates —
+// the sim_kernels_total and sim_kernel_seconds families — live here.
 package obs

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// The flight recorder is the always-on black box: a fixed-size lock-free
+// ring of the most recent structured events across every layer — job
+// transitions, kernel-batch completions, fleet forwards and detaches,
+// journal fsync stalls. It costs one small allocation and one atomic
+// store per event, so it stays on in production; /debug/events on the
+// -debug-addr listener dumps it, and the Recover middleware appends its
+// tail to every panic report so a post-mortem starts with the last things
+// the process did rather than with log archaeology.
+
+// Flight event kinds. The set is a fixed enum by convention — recording
+// sites must not invent per-job kinds (the job ID goes in the Job field).
+const (
+	FlightJobQueued    = "job_queued"
+	FlightJobRunning   = "job_running"
+	FlightJobDone      = "job_done"
+	FlightJobFailed    = "job_failed"
+	FlightJobCanceled  = "job_canceled"
+	FlightKernelBatch  = "kernel_batch"
+	FlightFleetForward = "fleet_forward"
+	FlightFleetDetach  = "fleet_detach"
+	FlightFleetEject   = "fleet_eject"
+	FlightFleetReadmit = "fleet_readmit"
+	FlightFsyncStall   = "fsync_stall"
+	FlightSweepRange   = "sweep_range"
+)
+
+// FlightEvent is one recorded entry. Seq is a process-wide monotonic
+// sequence number; events with higher Seq happened later.
+type FlightEvent struct {
+	Seq   uint64    `json:"seq"`
+	At    time.Time `json:"at"`
+	Kind  string    `json:"kind"`
+	Job   string    `json:"job,omitempty"`
+	Note  string    `json:"note,omitempty"`
+	DurNs int64     `json:"dur_ns,omitempty"`
+}
+
+// Flight is a fixed-size lock-free ring of recent events. Writers claim a
+// sequence number with one atomic add and publish the event with one
+// atomic pointer store; readers snapshot without blocking writers. The
+// zero of a slot (nil) means "never written". A nil *Flight records
+// nothing, so wiring is optional everywhere.
+type Flight struct {
+	mask uint64
+	seq  atomic.Uint64
+	slot []atomic.Pointer[FlightEvent]
+}
+
+// NewFlight returns a ring holding at least size events (rounded up to a
+// power of two, minimum 16).
+func NewFlight(size int) *Flight {
+	n := 16
+	for n < size && n < 1<<16 {
+		n <<= 1
+	}
+	return &Flight{mask: uint64(n - 1), slot: make([]atomic.Pointer[FlightEvent], n)}
+}
+
+var defaultFlight = NewFlight(512)
+
+// DefaultFlight is the process-wide ring. Library layers record here;
+// servers mount its Handler on the debug listener.
+func DefaultFlight() *Flight { return defaultFlight }
+
+// Record appends kind/job/note to the process-wide ring.
+func Record(kind, job, note string) { defaultFlight.RecordDur(kind, job, note, 0) }
+
+// RecordDur appends an event carrying a duration to the process-wide ring.
+func RecordDur(kind, job, note string, d time.Duration) {
+	defaultFlight.RecordDur(kind, job, note, d)
+}
+
+// Record appends one event, overwriting the oldest once the ring is full.
+func (f *Flight) Record(kind, job, note string) { f.RecordDur(kind, job, note, 0) }
+
+// RecordDur appends one event carrying a duration. Safe for concurrent
+// use from any goroutine, including under mutexes: it never blocks.
+func (f *Flight) RecordDur(kind, job, note string, d time.Duration) {
+	if f == nil {
+		return
+	}
+	ev := &FlightEvent{At: time.Now(), Kind: kind, Job: job, Note: note, DurNs: d.Nanoseconds()}
+	ev.Seq = f.seq.Add(1) - 1
+	f.slot[ev.Seq&f.mask].Store(ev)
+}
+
+// Events snapshots the ring, oldest first. Events overwritten while the
+// snapshot runs may be missing; the sequence numbers expose any gap.
+func (f *Flight) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	evs := make([]FlightEvent, 0, len(f.slot))
+	for i := range f.slot {
+		if p := f.slot[i].Load(); p != nil {
+			evs = append(evs, *p)
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+	return evs
+}
+
+// Tail returns the newest n events, oldest first.
+func (f *Flight) Tail(n int) []FlightEvent {
+	evs := f.Events()
+	if len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}
+
+// Len reports how many events have ever been recorded (not the ring
+// capacity).
+func (f *Flight) Len() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.seq.Load()
+}
+
+// Handler serves the ring as JSON: {"recorded": N, "events": [...]}. It
+// belongs on the -debug-addr listener next to pprof and /metrics.
+func (f *Flight) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		evs := f.Events()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"recorded": f.Len(), "events": evs})
+	})
+}
+
+// flightSummary renders events as one compact line for log records (the
+// panic report): "kind job note" entries joined by " | ".
+func flightSummary(evs []FlightEvent) string {
+	if len(evs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, ev := range evs {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		b.WriteString(ev.At.Format("15:04:05.000"))
+		b.WriteByte(' ')
+		b.WriteString(ev.Kind)
+		if ev.Job != "" {
+			b.WriteByte(' ')
+			b.WriteString(ev.Job)
+		}
+		if ev.Note != "" {
+			b.WriteByte(' ')
+			b.WriteString(ev.Note)
+		}
+	}
+	return b.String()
+}

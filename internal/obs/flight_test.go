@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightWrapKeepsNewest(t *testing.T) {
+	f := NewFlight(16)
+	for i := 0; i < 40; i++ {
+		f.Record(FlightJobDone, "j", "")
+	}
+	if f.Len() != 40 {
+		t.Fatalf("Len = %d, want 40", f.Len())
+	}
+	evs := f.Events()
+	if len(evs) != 16 {
+		t.Fatalf("ring holds %d events, want capacity 16", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(24 + i); ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d (newest 16, oldest first)", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestFlightTailAndDuration(t *testing.T) {
+	f := NewFlight(16)
+	f.Record(FlightJobQueued, "a", "first")
+	f.RecordDur(FlightKernelBatch, "b", "batch", 3*time.Millisecond)
+	tail := f.Tail(1)
+	if len(tail) != 1 || tail[0].Kind != FlightKernelBatch || tail[0].DurNs != int64(3*time.Millisecond) {
+		t.Fatalf("Tail(1) = %+v, want the kernel batch with its duration", tail)
+	}
+}
+
+func TestFlightNilIsInert(t *testing.T) {
+	var f *Flight
+	f.Record(FlightJobDone, "j", "") // must not panic
+	if f.Events() != nil || f.Len() != 0 {
+		t.Fatal("nil flight is not empty")
+	}
+}
+
+// TestFlightConcurrentRecord hammers the ring from many goroutines
+// (meaningful under -race): every claimed sequence number is unique and
+// the snapshot stays sorted with no duplicates.
+func TestFlightConcurrentRecord(t *testing.T) {
+	f := NewFlight(64)
+	const goroutines, perG = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				f.Record(FlightKernelBatch, "j", "n")
+			}
+		}()
+	}
+	wg.Wait()
+	if f.Len() != goroutines*perG {
+		t.Fatalf("Len = %d, want %d", f.Len(), goroutines*perG)
+	}
+	evs := f.Events()
+	if len(evs) != 64 {
+		t.Fatalf("snapshot has %d events, want full ring of 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("snapshot out of order or duplicated at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestFlightHandlerServesJSON(t *testing.T) {
+	f := NewFlight(16)
+	f.Record(FlightFleetForward, "job-1", "to worker w0")
+	rec := httptest.NewRecorder()
+	f.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var doc struct {
+		Recorded uint64        `json:"recorded"`
+		Events   []FlightEvent `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("body is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if doc.Recorded != 1 || len(doc.Events) != 1 || doc.Events[0].Kind != FlightFleetForward || doc.Events[0].Job != "job-1" {
+		t.Fatalf("doc = %+v, want the one recorded forward", doc)
+	}
+}

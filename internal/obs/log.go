@@ -23,11 +23,12 @@ func NewLogger(format string, w io.Writer) *slog.Logger {
 func Discard() *slog.Logger { return slog.New(slog.DiscardHandler) }
 
 // Recover wraps an HTTP handler with panic recovery: a panicking
-// handler logs the stack (with the request's trace ID, method, and
-// path) and answers 500 JSON instead of tearing down the connection's
-// serve goroutine. http.ErrAbortHandler passes through — it is the
-// sanctioned way to abort a response mid-stream. Panics are counted in
-// panics when non-nil.
+// handler logs the stack (with the request's trace ID, method, path,
+// and the tail of the process flight recorder — the last things the
+// process did before the panic) and answers 500 JSON instead of tearing
+// down the connection's serve goroutine. http.ErrAbortHandler passes
+// through — it is the sanctioned way to abort a response mid-stream.
+// Panics are counted in panics when non-nil.
 func Recover(next http.Handler, log *slog.Logger, panics *Counter) http.Handler {
 	if log == nil {
 		log = Discard()
@@ -50,6 +51,7 @@ func Recover(next http.Handler, log *slog.Logger, panics *Counter) http.Handler 
 				"path", r.URL.Path,
 				"trace", r.Header.Get(TraceHeader),
 				"stack", string(debug.Stack()),
+				"flight", flightSummary(defaultFlight.Tail(16)),
 			)
 			// Headers may already be out; WriteHeader then double-logs
 			// to the server's ErrorLog but the connection stays usable

@@ -174,6 +174,13 @@ type metric struct {
 	kind   metricKind
 	labels []Label
 
+	// Rendered label strings, computed once at registration so scrapes
+	// never re-escape or re-join label sets: lbl is the plain set,
+	// lblBuckets the per-bound sets (le included, +Inf last) for
+	// histograms.
+	lbl        string
+	lblBuckets []string
+
 	counter *Counter
 	gauge   *Gauge
 	fn      func() float64
@@ -191,6 +198,11 @@ type Registry struct {
 	order    []*metric
 	kinds    map[string]metricKind
 	onGather []func()
+
+	// lastLen remembers the previous exposition's byte length so the next
+	// scrape pre-sizes its buffer in one allocation instead of growing
+	// through the doubling ladder (the /metrics churn fix).
+	lastLen atomic.Int64
 }
 
 // NewRegistry returns an empty registry.
@@ -261,6 +273,14 @@ func (r *Registry) lookup(name, help string, kind metricKind, labels []Label, mk
 	}
 	m := mk()
 	m.name, m.help, m.kind, m.labels = name, help, kind, sorted
+	m.lbl = renderLabels(sorted, "")
+	if m.hist != nil {
+		m.lblBuckets = make([]string, len(m.hist.bounds)+1)
+		for i, bound := range m.hist.bounds {
+			m.lblBuckets[i] = renderLabels(sorted, formatFloat(bound))
+		}
+		m.lblBuckets[len(m.hist.bounds)] = renderLabels(sorted, "+Inf")
+	}
 	r.metrics[key] = m
 	r.kinds[name] = kind
 	r.order = append(r.order, m)
@@ -326,6 +346,15 @@ func (r *Registry) writeText(w io.Writer, seen map[string]bool) error {
 	}
 	sort.SliceStable(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
 	var b strings.Builder
+	b.Grow(int(r.lastLen.Load()) + 256)
+	line := func(name, suffix, labels, value string) {
+		b.WriteString(name)
+		b.WriteString(suffix)
+		b.WriteString(labels)
+		b.WriteByte(' ')
+		b.WriteString(value)
+		b.WriteByte('\n')
+	}
 	last := ""
 	for _, m := range ms {
 		if m.name != last {
@@ -337,36 +366,45 @@ func (r *Registry) writeText(w io.Writer, seen map[string]bool) error {
 			}
 			seen[m.name] = true
 			if m.help != "" {
-				fmt.Fprintf(&b, "# HELP %s %s\n", m.name, escapeHelp(m.help))
+				b.WriteString("# HELP ")
+				b.WriteString(m.name)
+				b.WriteByte(' ')
+				b.WriteString(escapeHelp(m.help))
+				b.WriteByte('\n')
 			}
-			fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
+			b.WriteString("# TYPE ")
+			b.WriteString(m.name)
+			b.WriteByte(' ')
+			b.WriteString(m.kind.String())
+			b.WriteByte('\n')
 			last = m.name
 		}
 		switch m.kind {
 		case kindCounter:
-			fmt.Fprintf(&b, "%s%s %d\n", m.name, renderLabels(m.labels, ""), m.counter.Value())
+			line(m.name, "", m.lbl, strconv.FormatUint(m.counter.Value(), 10))
 		case kindGauge:
-			fmt.Fprintf(&b, "%s%s %s\n", m.name, renderLabels(m.labels, ""), formatFloat(m.gauge.Value()))
+			line(m.name, "", m.lbl, formatFloat(m.gauge.Value()))
 		case kindGaugeFunc:
 			v := 0.0
 			if m.fn != nil {
 				v = m.fn()
 			}
-			fmt.Fprintf(&b, "%s%s %s\n", m.name, renderLabels(m.labels, ""), formatFloat(v))
+			line(m.name, "", m.lbl, formatFloat(v))
 		case kindHistogram:
 			h := m.hist
 			cum := uint64(0)
-			for i, bound := range h.bounds {
+			for i := range h.bounds {
 				cum += h.counts[i].Load()
-				fmt.Fprintf(&b, "%s_bucket%s %d\n", m.name, renderLabels(m.labels, formatFloat(bound)), cum)
+				line(m.name, "_bucket", m.lblBuckets[i], strconv.FormatUint(cum, 10))
 			}
 			// The overflow bucket renders as the total count so the +Inf
 			// invariant holds even if observations raced the loop above.
-			fmt.Fprintf(&b, "%s_bucket%s %d\n", m.name, renderLabels(m.labels, "+Inf"), h.Count())
-			fmt.Fprintf(&b, "%s_sum%s %s\n", m.name, renderLabels(m.labels, ""), formatFloat(h.Sum()))
-			fmt.Fprintf(&b, "%s_count%s %d\n", m.name, renderLabels(m.labels, ""), h.Count())
+			line(m.name, "_bucket", m.lblBuckets[len(h.bounds)], strconv.FormatUint(h.Count(), 10))
+			line(m.name, "_sum", m.lbl, formatFloat(h.Sum()))
+			line(m.name, "_count", m.lbl, strconv.FormatUint(h.Count(), 10))
 		}
 	}
+	r.lastLen.Store(int64(b.Len()))
 	_, err := io.WriteString(w, b.String())
 	return err
 }
@@ -381,13 +419,14 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-func escapeHelp(s string) string {
-	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
-}
+var (
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+)
 
-func escapeLabel(s string) string {
-	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(s)
-}
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
 
 // renderLabels formats a label set, appending le when non-empty (the
 // histogram bucket case).

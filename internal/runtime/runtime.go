@@ -34,6 +34,12 @@ type Options struct {
 	// sample for the gate path). The jobs layer wires this to per-job
 	// span logs; backends without stage support ignore it.
 	Stages backend.StageFunc
+	// Profile requests the kernel-granular execution profile from
+	// backends implementing backend.Profiled: the per-kernel table lands
+	// in the result's Meta["profile"]. Backends without profiling support
+	// execute normally and return no profile. Observational only — the
+	// result entries are bit-identical with or without it.
+	Profile bool
 }
 
 // SelectEngine picks an engine for a bundle with no explicit exec block:
@@ -95,7 +101,9 @@ func Submit(b *bundle.Bundle, opts Options) (*result.Result, error) {
 		return nil, err
 	}
 	var res *result.Result
-	if tb, ok := be.(backend.Staged); ok && (opts.Shards > 0 || opts.Stages != nil) {
+	if pb, ok := be.(backend.Profiled); ok && opts.Profile {
+		res, err = pb.ExecuteProfiled(b, opts.Shards, opts.Stages)
+	} else if tb, ok := be.(backend.Staged); ok && (opts.Shards > 0 || opts.Stages != nil) {
 		res, err = tb.ExecuteStaged(b, opts.Shards, opts.Stages)
 	} else if sb, ok := be.(backend.Sharded); ok && opts.Shards > 0 {
 		res, err = sb.ExecuteSharded(b, opts.Shards)
@@ -170,7 +178,7 @@ func SubmitSweep(b *bundle.Bundle, concrete []*bundle.Bundle, indices []int, opt
 	for k, gi := range indices {
 		pos[gi] = k
 	}
-	err = sweeper.ExecuteSweep(b, concrete, indices, opts.Shards, opts.Stages, func(i int, res *result.Result) error {
+	err = sweeper.ExecuteSweep(b, concrete, indices, opts.Shards, opts.Stages, opts.Profile, func(i int, res *result.Result) error {
 		if k, known := pos[i]; known {
 			// BindPoint stamps the bound bundle's provenance with a fresh
 			// intent fingerprint; reuse it rather than re-hashing the whole

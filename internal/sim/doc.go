@@ -126,4 +126,22 @@
 // External packages see none of this: Amplitude, Probability and the
 // Apply*/Evolve/Run APIs still speak complex128, and nothing outside the
 // package may assume plane layout, alignment, or scratch reuse.
+//
+// # Profiling and the flight recorder
+//
+// Kernel execution is observable at two costs. Always on: every
+// executed kernel increments a per-kind counter and observes its wall
+// time in a per-kind histogram (the sim_kernels_total and
+// sim_kernel_seconds labeled families — kinds gate1q, gate2q, monomial,
+// diag, permute, ctrlphase, init), pre-resolved by ordinal so the cost
+// is two clock reads and three atomic adds per kernel; plan executions
+// also drop a kernel_batch event into the obs flight recorder. Opt in
+// (Options.Profile, or Plan.ExecuteProfiled): execution additionally
+// records the per-kernel table — kind, support mask, wall time, and
+// per-shard sweep min/max with the max/mean imbalance ratio — into a
+// Profile (Result.Profile), the document the serving layer attaches to
+// job status. Per-shard timing wraps every sweep closure, so it is only
+// paid when requested. Profiling is observational only: sweep bodies
+// and shard ranges are identical with and without it, so amplitudes and
+// sampled counts are bit-identical (pinned by profile_test.go).
 package sim

@@ -198,7 +198,7 @@ func runReadoutOnly(c *circuit.Circuit, noise NoiseModel, opts Options, res *Res
 	// Evolve even when nothing is measured: runtime errors (an init on
 	// qubits not in |0…0⟩) must surface exactly as the per-shot
 	// trajectory path surfaced them.
-	if err := pl.executeOn(st, pool); err != nil {
+	if err := pl.executeOn(st, pool, nil); err != nil {
 		return nil, err
 	}
 	if len(mm) == 0 {

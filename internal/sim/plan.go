@@ -5,9 +5,11 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/gates"
+	"repro/internal/obs"
 )
 
 // This file implements the compile-then-execute engine: a circuit is
@@ -833,56 +835,76 @@ func (pl *Plan) Execute(st *State, shards int) error {
 	}
 	pool := newShardPool(resolveShards(st.Dim(), shards))
 	defer pool.close()
-	return pl.executeOn(st, pool)
+	return pl.executeOn(st, pool, nil)
 }
 
 // executeOn runs the kernel sequence on an existing pool; Run reuses the
-// same pool afterwards for the CDF build.
-func (pl *Plan) executeOn(st *State, pool *shardPool) error {
+// same pool afterwards for the CDF build. Every kernel feeds the
+// always-on per-kind instruments; when prof is non-nil, each sweep
+// closure is additionally wrapped to accumulate per-shard times for the
+// opt-in kernel table. Neither layer touches amplitudes or shard
+// ranges, so execution stays bit-identical profiled or not.
+func (pl *Plan) executeOn(st *State, pool *shardPool, prof *execProfiler) error {
 	re, im := st.re, st.im
 	dim := len(re)
+	run := pool.do
+	if prof != nil {
+		run = func(total int, fn func(w, lo, hi int)) {
+			pool.do(total, func(w, lo, hi int) {
+				shardStart := time.Now()
+				fn(w, lo, hi)
+				prof.shard[w] += time.Since(shardStart)
+			})
+		}
+	}
+	batchStart := time.Now()
 	for i := range pl.kernels {
 		k := &pl.kernels[i]
+		ord := kindOrdinal(k)
+		if prof != nil {
+			prof.begin()
+		}
+		kernelStart := time.Now()
 		switch k.kind {
 		case kGate1Q:
 			stride := 1 << k.q
 			ms := &k.ms
-			pool.do(dim/2, func(_, lo, hi int) {
+			run(dim/2, func(_, lo, hi int) {
 				sweep1QAuto(re, im, ms, stride, lo, hi)
 			})
 		case kGate2Q:
 			maskLo, maskHi := 1<<k.q, 1<<k.q2
 			if k.mono {
 				src, phRe, phIm := &k.msrc, &k.mphRe, &k.mphIm
-				pool.do(dim/4, func(_, lo, hi int) {
+				run(dim/4, func(_, lo, hi int) {
 					sweep2QMonoAuto(re, im, src, phRe, phIm, maskLo, maskHi, lo, hi)
 				})
 				break
 			}
 			ms := &k.m4s
-			pool.do(dim/4, func(_, lo, hi int) {
+			run(dim/4, func(_, lo, hi int) {
 				sweep2QAuto(re, im, ms, maskLo, maskHi, lo, hi)
 			})
 		case kCtrlPerm:
-			pool.do(1<<k.free, func(_, lo, hi int) {
+			run(1<<k.free, func(_, lo, hi int) {
 				sweepCtrlPerm(re, im, k.inserts, k.flip, lo, hi)
 			})
 		case kCtrlPhase:
 			phR, phI := real(k.phase), imag(k.phase)
-			pool.do(1<<k.free, func(_, lo, hi int) {
+			run(1<<k.free, func(_, lo, hi int) {
 				sweepCtrlPhase(re, im, k.inserts, phR, phI, lo, hi)
 			})
 		case kDiag:
-			pool.do(dim, func(_, lo, hi int) {
+			run(dim, func(_, lo, hi int) {
 				sweepDiag(re, im, k.masks, k.phRe, k.phIm, lo, hi)
 			})
 		case kPermute:
 			src := st.scratchPlanes()
-			pool.do(dim, func(_, lo, hi int) {
+			run(dim, func(_, lo, hi int) {
 				copy(src.re[lo:hi], re[lo:hi])
 				copy(src.im[lo:hi], im[lo:hi])
 			})
-			pool.do(dim, func(_, lo, hi int) {
+			run(dim, func(_, lo, hi int) {
 				sweepPermute(re, im, src.re, src.im, k.masks, k.perm, lo, hi)
 			})
 		case kInit:
@@ -892,7 +914,7 @@ func (pl *Plan) executeOn(st *State, pool *shardPool) error {
 			for i := range bad {
 				bad[i] = -1
 			}
-			pool.do(dim, func(w, lo, hi int) {
+			run(dim, func(w, lo, hi int) {
 				for i := lo; i < hi; i++ {
 					if i&anyMask != 0 && bad[w] < 0 &&
 						cmplx.Abs(complex(re[i], im[i])) > 1e-12 {
@@ -907,11 +929,20 @@ func (pl *Plan) executeOn(st *State, pool *shardPool) error {
 					return fmt.Errorf("sim: init target qubits not in |0…0⟩ (amplitude at %d)", b)
 				}
 			}
-			pool.do(dim, func(_, lo, hi int) {
+			run(dim, func(_, lo, hi int) {
 				sweepInit(re, im, src.re, src.im, k.masks, anyMask, k.ampRe, k.ampIm, lo, hi)
 			})
 		}
+		kernelDur := time.Since(kernelStart)
+		simKernels.At(ord).Inc()
+		simKernelSeconds.At(ord).Observe(kernelDur)
+		if prof != nil {
+			prof.end(i, k, ord, kernelDur)
+		}
 	}
+	obs.RecordDur(obs.FlightKernelBatch, "",
+		fmt.Sprintf("kernels=%d shards=%d n=%d", len(pl.kernels), pool.shards, pl.n),
+		time.Since(batchStart))
 	return nil
 }
 

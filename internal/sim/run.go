@@ -82,6 +82,9 @@ type Result struct {
 	// Final gives access to the pre-measurement state (nil unless
 	// KeepState was set), used by expectation-value helpers and tests.
 	Final *State
+	// Profile is the kernel-granular execution profile (nil unless
+	// Options.Profile was set).
+	Profile *Profile
 }
 
 // Options configure Run.
@@ -101,6 +104,12 @@ type Options struct {
 	// hook the jobs layer uses to attach per-job span logs. Stage timings
 	// also land in the process-wide sim_*_seconds histograms regardless.
 	Stages func(stage string, d time.Duration)
+	// Profile opts into the kernel-granular execution profiler: per-kernel
+	// wall time and per-shard sweep times, returned in Result.Profile.
+	// Profiling never changes amplitudes or sampled counts — the sweep
+	// bodies and shard ranges are identical either way; only timestamps
+	// are taken around them.
+	Profile bool
 }
 
 // Evolve applies every non-measurement instruction of the circuit to a
@@ -128,7 +137,7 @@ func EvolveShards(c *circuit.Circuit, shards int) (*State, error) {
 		return nil, err
 	}
 	start = time.Now()
-	if err := pl.executeOn(st, pool); err != nil {
+	if err := pl.executeOn(st, pool, nil); err != nil {
 		return nil, err
 	}
 	simExecute.Observe(time.Since(start))
@@ -214,14 +223,21 @@ func runCompiled(c *circuit.Circuit, pl *Plan, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var prof *execProfiler
+	if opts.Profile {
+		prof = newExecProfiler(pool.shards, len(pl.kernels))
+	}
 	stageStart := time.Now()
-	if err := pl.executeOn(st, pool); err != nil {
+	if err := pl.executeOn(st, pool, prof); err != nil {
 		return nil, err
 	}
 	observeStage(simExecute, opts.Stages, "execute", stageStart)
 	res := &Result{Counts: Counts{}, Shots: opts.Shots}
 	if opts.KeepState {
 		res.Final = st
+	}
+	if prof != nil {
+		res.Profile = prof.finish()
 	}
 	mm := c.MeasureMap()
 	if len(mm) == 0 || opts.Shots == 0 {
